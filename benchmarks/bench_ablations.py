@@ -1,0 +1,20 @@
+"""Ablations bench: the design-choice studies of DESIGN.md.
+
+Run: ``pytest benchmarks/bench_ablations.py --benchmark-only``
+Artifact: ``results/ablations.txt``
+"""
+
+from conftest import publish
+from repro.experiments.ablations import run_ablations
+
+
+def test_regenerate_ablations(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablations(repetitions=6, seed=21), rounds=1, iterations=1
+    )
+    publish("ablations", result.render())
+    rows = {row.label: row for row in result.study("unfold-up vs fold-down")}
+    assert (
+        rows["unfold up (paper)"].mean_abs_error
+        < rows["fold down (alternative)"].mean_abs_error
+    )

@@ -1,0 +1,33 @@
+"""Section V bench: closed-form accuracy analysis vs Monte-Carlo.
+
+Run: ``pytest benchmarks/bench_accuracy.py --benchmark-only``
+Artifact: ``results/accuracy_analysis.txt``
+"""
+
+import pytest
+
+from conftest import publish
+from repro.accuracy.variance import estimator_stddev
+from repro.experiments.accuracy_analysis import run_accuracy_analysis
+
+
+def test_regenerate_accuracy_analysis(benchmark):
+    """Closed forms (Eqs. 33/36) against simulation for the paper's
+    operating points."""
+    result = benchmark.pedantic(
+        lambda: run_accuracy_analysis(repetitions=15, seed=9),
+        rounds=1,
+        iterations=1,
+    )
+    publish("accuracy_analysis", result.render())
+    for case in result.cases:
+        assert case.mc_stddev == pytest.approx(case.closed_stddev, rel=0.6)
+
+
+def test_closed_form_cost(benchmark):
+    """One exact bias+stddev evaluation must stay well under a
+    millisecond — it is called inside parameter sweeps."""
+    value = benchmark(
+        estimator_stddev, 10_000, 500_000, 3_000, 131_072, 8_388_608, 2
+    )
+    assert value > 0

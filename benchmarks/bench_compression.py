@@ -1,0 +1,55 @@
+"""Report-compression bench: uplink cost per RSU class.
+
+Run: ``pytest benchmarks/bench_compression.py --benchmark-only``
+Artifact: ``results/compression.txt``
+"""
+
+import numpy as np
+
+from conftest import publish
+from repro.core.compression import decode_report, encode_report
+from repro.core.encoder import encode_passes
+from repro.core.parameters import SchemeParameters
+from repro.utils.tables import AsciiTable
+
+
+def _report_for(volume, load_factor, seed):
+    from repro.core.sizing import array_size_for_volume
+    from repro.traffic.population import VehicleFleet
+
+    m = array_size_for_volume(volume, load_factor)
+    params = SchemeParameters(s=2, load_factor=load_factor, m_o=m, hash_seed=seed)
+    fleet = VehicleFleet.random(volume, seed=seed)
+    return encode_passes(fleet.ids, fleet.keys, 1, m, params)
+
+
+def test_uplink_cost_by_rsu_class(benchmark):
+    """Wire bytes per RSU class, raw vs compressed, at f̄ = 13 (the
+    privacy-0.5 operating point used across the evaluation)."""
+    classes = {"local": 2_500, "collector": 20_000, "arterial": 120_000}
+    table = AsciiTable(
+        ["RSU class", "veh/day", "m (bits)", "raw KiB", "compressed KiB", "ratio"],
+        title="Per-period uplink cost (report framing + bit array)",
+    )
+    reports = {}
+    for name, volume in classes.items():
+        report = _report_for(volume, 13.0, seed=hash(name) % 2**31)
+        reports[name] = report
+        raw = report.array_size / 8
+        wire = len(encode_report(report))
+        table.add_row(
+            [
+                name,
+                volume,
+                report.array_size,
+                raw / 1024,
+                wire / 1024,
+                raw / wire,
+            ]
+        )
+        assert decode_report(encode_report(report)).bits == report.bits
+    publish("compression", table.render())
+
+    report = reports["collector"]
+    encoded = benchmark(encode_report, report)
+    assert len(encoded) < report.array_size / 8

@@ -1,0 +1,40 @@
+"""Figure 2 bench: regenerate the three privacy plots and time the
+closed-form sweep.
+
+Run: ``pytest benchmarks/bench_figure2.py --benchmark-only``
+Artifact: ``results/figure2.txt``
+"""
+
+import pytest
+
+from conftest import publish
+from repro.experiments.figure2 import run_figure2
+
+
+@pytest.fixture(scope="module")
+def figure2_result():
+    return run_figure2(grid_points=400)
+
+
+def test_regenerate_figure2(figure2_result, benchmark):
+    """Times the full three-plot analytic sweep (9 curves x 400 points)
+    and publishes the paper-comparable readings."""
+    result = benchmark.pedantic(
+        lambda: run_figure2(grid_points=400), rounds=3, iterations=1
+    )
+    publish("figure2", result.render())
+    # Shape assertions mirroring the paper's readings:
+    assert result.optima[(1, 5)][1] == pytest.approx(0.75, abs=0.03)
+    assert result.optima[(10, 5)][1] > result.optima[(1, 5)][1]
+    assert result.optima[(50, 5)][1] > result.optima[(1, 5)][1]
+
+
+def test_privacy_curve_point_cost(benchmark):
+    """Single-configuration privacy evaluation cost (used inside
+    optimizers, so it must stay microseconds-fast)."""
+    from repro.privacy.formulas import preserved_privacy
+
+    value = benchmark(
+        preserved_privacy, 10_000, 100_000, 1_000, 32_768, 524_288, 2
+    )
+    assert 0.0 <= float(value) <= 1.0

@@ -1,0 +1,28 @@
+"""Figure 4 bench: the fixed-length baseline's accuracy sweep.
+
+Uses a 50-point sub-grid of the paper's 491-point sweep (same range,
+every 10th point) so the benchmark suite stays fast; the CLI
+(``python -m repro.cli fig4``) runs the full grid.
+
+Run: ``pytest benchmarks/bench_figure4.py --benchmark-only``
+Artifact: ``results/figure4.txt``
+"""
+
+from conftest import publish
+from repro.experiments.figure4 import run_figure4
+from repro.traffic.scenarios import FIG45_SWEEP
+
+SUB_GRID = list(FIG45_SWEEP.n_c_values())[::10]
+
+
+def test_regenerate_figure4(benchmark):
+    """Regenerates the baseline sweep and checks the paper's reading:
+    accurate at n_y = n_x, 'scatters everywhere' at n_y = 50 n_x."""
+    result = benchmark.pedantic(
+        lambda: run_figure4(n_c_values=SUB_GRID, seed=4), rounds=1, iterations=1
+    )
+    publish("figure4", result.render())
+    scatter = {r: result.series[r].scatter_rmse for r in (1, 10, 50)}
+    assert scatter[1] < 0.10
+    assert scatter[1] < scatter[10] < scatter[50]
+    assert scatter[50] > 0.5

@@ -1,0 +1,45 @@
+"""Figure 5 bench: the VLM scheme's accuracy sweep (same workload as
+Figure 4).
+
+Run: ``pytest benchmarks/bench_figure5.py --benchmark-only``
+Artifact: ``results/figure5.txt``
+"""
+
+from conftest import publish
+from repro.experiments.figure5 import run_figure5
+from repro.traffic.scenarios import FIG45_SWEEP
+
+SUB_GRID = list(FIG45_SWEEP.n_c_values())[::10]
+
+
+def test_regenerate_figure5(benchmark):
+    """Regenerates the VLM sweep and checks the paper's reading: the
+    measured volumes closely follow the real values for all three
+    traffic ratios."""
+    result = benchmark.pedantic(
+        lambda: run_figure5(n_c_values=SUB_GRID, seed=5), rounds=1, iterations=1
+    )
+    publish("figure5", result.render())
+    for ratio in (1, 10, 50):
+        assert result.series[ratio].scatter_rmse < 0.10
+
+
+def test_figure4_vs_figure5_headline(benchmark):
+    """The head-to-head: at every skewed ratio the VLM scatter is far
+    below the baseline's (the paper's central claim)."""
+    from repro.experiments.figure4 import run_figure4
+
+    thin = SUB_GRID[::2]
+
+    def both():
+        return (
+            run_figure4(n_c_values=thin, seed=6),
+            run_figure5(n_c_values=thin, seed=6),
+        )
+
+    fig4, fig5 = benchmark.pedantic(both, rounds=1, iterations=1)
+    # Strictly better at 10x; decisively (>= 3x) better at 50x.
+    assert fig5.series[10].scatter_rmse < fig4.series[10].scatter_rmse
+    assert (
+        fig5.series[50].scatter_rmse * 3 < fig4.series[50].scatter_rmse
+    )

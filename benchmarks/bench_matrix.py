@@ -1,0 +1,23 @@
+"""Sioux Falls full-matrix bench: all 276 pairs, both schemes.
+
+Run: ``pytest benchmarks/bench_matrix.py --benchmark-only``
+Artifact: ``results/sioux_falls_matrix.txt``
+"""
+
+from conftest import publish
+from repro.experiments.sioux_falls_matrix import run_sioux_falls_matrix
+
+
+def test_regenerate_matrix(benchmark):
+    """The generalized Table I: the whole network's traffic matrix at
+    the paper's full 360,600 trips/day scale."""
+    result = benchmark.pedantic(
+        lambda: run_sioux_falls_matrix(total_trips=360_600, seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    publish("sioux_falls_matrix", result.render())
+    vlm = result.percentiles("vlm")
+    base = result.percentiles("baseline")
+    assert vlm["median"] < base["median"]
+    assert vlm["p90"] < base["p90"]

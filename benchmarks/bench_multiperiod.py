@@ -1,0 +1,23 @@
+"""Multi-period aggregation bench (extension study).
+
+Run: ``pytest benchmarks/bench_multiperiod.py --benchmark-only``
+Artifact: ``results/multiperiod.txt``
+"""
+
+from conftest import publish
+from repro.experiments.multiperiod import run_multiperiod
+
+
+def test_regenerate_multiperiod(benchmark):
+    """Error vs combined periods; stderr must follow 1/sqrt(P)."""
+    result = benchmark.pedantic(
+        lambda: run_multiperiod(
+            n_x=10_000, n_y=100_000, n_c=2_000,
+            period_counts=(1, 2, 4, 8), trials=5, seed=31,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("multiperiod", result.render())
+    assert result.predicted_stderr[8] < result.predicted_stderr[1] / 2.5
+    assert result.mean_abs_error[8] < result.mean_abs_error[1]

@@ -1,0 +1,102 @@
+"""Section IV-E bench: computation overhead claims.
+
+The paper claims O(1) work per vehicle per RSU, O(1) per RSU per
+vehicle, and O(m_y) per pair at the server.  These benchmarks measure
+each role at multiple scales and publish a scaling table so the claims
+can be eyeballed from the timings.
+
+Run: ``pytest benchmarks/bench_overhead.py --benchmark-only``
+Artifact: ``results/overhead.txt``
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import publish
+from repro.core.bitarray import BitArray
+from repro.core.encoder import encode_passes
+from repro.core.estimator import estimate_intersection
+from repro.core.parameters import SchemeParameters
+from repro.core.reports import RsuReport
+from repro.core.unfolding import unfold
+from repro.hashing.logical_bitarray import LogicalBitArray
+from repro.utils.tables import AsciiTable
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SchemeParameters(s=2, load_factor=3.0, m_o=1 << 23, hash_seed=5)
+
+
+def test_vehicle_side_cost_is_constant_in_m(params, benchmark):
+    """O(1) per vehicle per RSU: two hashes, independent of m_x."""
+    lb = LogicalBitArray(7, 11, params.salts, params.m_o, seed=5)
+    benchmark(lb.bit_for_rsu, 3, 1 << 20)
+
+
+def test_rsu_side_cost_is_one_bit_set(benchmark):
+    """O(1) per RSU per vehicle: counter increment + one bit set."""
+    from repro.core.encoder import RsuState
+
+    state = RsuState(rsu_id=1, array_size=1 << 20)
+    benchmark(state.record, 12345)
+
+
+def test_bulk_encode_throughput(params, benchmark):
+    """Vectorized online coding: reports per second at fleet scale."""
+    n = 500_000
+    ids = np.arange(n, dtype=np.uint64)
+    keys = ids * np.uint64(2654435761) + np.uint64(7)
+    report = benchmark.pedantic(
+        lambda: encode_passes(ids, keys, 1, 1 << 21, params),
+        rounds=5,
+        iterations=1,
+    )
+    assert report.counter == n
+
+
+def test_server_decode_cost_scales_linearly(params, benchmark):
+    """O(m_y) at the server: decode time across m_y spanning 64x must
+    grow roughly linearly (within a generous factor for overheads).
+
+    The benchmark fixture times the largest size; the smaller sizes
+    are timed inline to build the scaling table.
+    """
+    timings = {}
+    rng = np.random.default_rng(3)
+    table = AsciiTable(
+        ["m_y (bits)", "decode ms", "ns per bit"],
+        title="Server decode cost (unfold + OR + count + MLE), Section IV-E",
+    )
+    reports = {}
+    for log_m in (17, 20, 23):
+        m_y = 1 << log_m
+        m_x = m_y >> 4
+        rx = RsuReport(1, m_x // 3, BitArray.from_bits(rng.random(m_x) < 0.3))
+        ry = RsuReport(2, m_y // 3, BitArray.from_bits(rng.random(m_y) < 0.3))
+        reports[m_y] = (rx, ry)
+        start = time.perf_counter()
+        rounds = 5
+        for _ in range(rounds):
+            estimate_intersection(rx, ry, 2)
+        timings[m_y] = (time.perf_counter() - start) / rounds
+        table.add_row([m_y, timings[m_y] * 1e3, timings[m_y] / m_y * 1e9])
+    publish("overhead", table.render())
+    benchmark.pedantic(
+        estimate_intersection,
+        args=(*reports[1 << 23], 2),
+        rounds=5,
+        iterations=1,
+    )
+    ratio = timings[1 << 23] / timings[1 << 17]
+    assert ratio < 64 * 4  # linear-ish: 64x data within 4x of 64x time
+    assert ratio > 8  # and definitely not constant
+
+
+def test_unfold_cost(params, benchmark):
+    """The unfolding step alone at the paper's largest expansion."""
+    array = BitArray.from_indices(1 << 15, [1, 100, 200])
+    out = benchmark(unfold, array, 1 << 23)
+    assert out.size == 1 << 23

@@ -1,0 +1,63 @@
+"""Table I bench: regenerate the Sioux Falls comparison and time one
+full pair measurement at paper scale (451k + 28k vehicles).
+
+Run: ``pytest benchmarks/bench_table1.py --benchmark-only``
+Artifact: ``results/table1.txt``
+"""
+
+import numpy as np
+import pytest
+
+from conftest import publish
+from repro.core.estimator import ZeroFractionPolicy
+from repro.core.scheme import VlmScheme
+from repro.experiments.table1 import run_table1
+from repro.traffic.population import VehicleFleet
+from repro.traffic.scenarios import TABLE1_PAIRS
+
+
+def test_regenerate_table1(benchmark):
+    """Regenerates Table I (3 repetitions per pair) and checks the
+    paper's shape: VLM stays accurate while the baseline degrades."""
+    result = benchmark.pedantic(
+        lambda: run_table1(repetitions=3, seed=1), rounds=1, iterations=1
+    )
+    publish("table1", result.render())
+    vlm_total = sum(row.vlm_mean_run_error for row in result.rows)
+    base_total = sum(row.baseline_mean_run_error for row in result.rows)
+    assert vlm_total < base_total
+    # Comparable-traffic pair stays sub-1% for VLM, as in the paper.
+    assert result.rows[0].vlm_mean_run_error < 0.02
+
+
+@pytest.fixture(scope="module")
+def paper_scale_pair():
+    """The d = 16.1 pair (node 3 vs node 10) fully materialized."""
+    pair = TABLE1_PAIRS[-1]
+    n_x, n_y, n_c = pair.n_x, 451_000, pair.n_c
+    fleet = VehicleFleet.random(n_x + n_y, seed=2)
+    ids_x, keys_x = fleet.ids[:n_x], fleet.keys[:n_x]
+    ids_y = np.concatenate([fleet.ids[:n_c], fleet.ids[n_x : n_x + n_y - n_c]])
+    keys_y = np.concatenate([fleet.keys[:n_c], fleet.keys[n_x : n_x + n_y - n_c]])
+    scheme = VlmScheme(
+        {3: n_x, 10: n_y},
+        s=2,
+        load_factor=13.0,
+        hash_seed=3,
+        policy=ZeroFractionPolicy.CLAMP,
+    )
+    return scheme, (ids_x, keys_x), (ids_y, keys_y)
+
+
+def test_pair_measurement_cost(paper_scale_pair, benchmark):
+    """End-to-end cost of measuring one Table I pair: encode 479k
+    vehicle reports at two RSUs, then unfold + OR + count + MLE."""
+    scheme, (ids_x, keys_x), (ids_y, keys_y) = paper_scale_pair
+
+    def measure():
+        rx = scheme.encode_rsu(3, ids_x, keys_x)
+        ry = scheme.encode_rsu(10, ids_y, keys_y)
+        return scheme.measure(rx, ry)
+
+    estimate = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert estimate.n_c_hat > 0

@@ -1,0 +1,17 @@
+"""Privacy-accuracy tradeoff bench (synthesis of Figs. 2 and 4-5).
+
+Run: ``pytest benchmarks/bench_tradeoff.py --benchmark-only``
+Artifact: ``results/tradeoff.txt``
+"""
+
+from conftest import publish
+from repro.experiments.tradeoff import run_tradeoff
+
+
+def test_regenerate_tradeoff(benchmark):
+    result = benchmark.pedantic(run_tradeoff, rounds=3, iterations=1)
+    publish("tradeoff", result.render())
+    for floor in (0.5, 0.7, 0.8):
+        assert result.best_accuracy_at_privacy(
+            "vlm", floor
+        ) < result.best_accuracy_at_privacy("baseline", floor)

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one of the paper's evaluation
+artifacts (a table or a figure), times its core computation with
+pytest-benchmark, and writes the rendered rows/series to
+``results/<artifact>.txt`` so the numbers in EXPERIMENTS.md can be
+re-derived with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print an artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

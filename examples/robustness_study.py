@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Robustness extensions: lossy radios and multi-period averaging.
+
+Two questions a deployment engineer asks that the paper leaves open:
+
+1. What does DSRC frame loss do to the measurements?  (Answer: query
+   loss is absorbed by re-broadcast; response loss shrinks the observed
+   population but never desynchronizes counter and bit array.)
+2. How fast does accuracy improve when several measurement periods of
+   a stable flow are combined?  (Answer: the classic 1/sqrt(P).)
+
+Run:  python examples/robustness_study.py
+"""
+
+from repro.experiments.multiperiod import run_multiperiod
+from repro.utils.tables import AsciiTable
+from repro.vcps import LossyChannel, VcpsSimulation
+
+# --- 1. channel loss sensitivity ---------------------------------------
+print("Channel-loss sensitivity (600 vehicles passing both RSUs)\n")
+table = AsciiTable(
+    ["query loss", "response loss", "observed n_x", "measured n_c^"],
+)
+for query_loss, response_loss in [(0.0, 0.0), (0.3, 0.0), (0.0, 0.2), (0.3, 0.2)]:
+    channel = LossyChannel(
+        query_loss=query_loss, response_loss=response_loss, seed=11
+    )
+    sim = VcpsSimulation(
+        {1: 600, 2: 600}, s=2, load_factor=8.0, seed=4,
+        channel=channel, query_attempts=3,
+    )
+    for vid in range(600):
+        sim.drive(vid, [1, 2])
+    sim.close_period()
+    estimate = sim.server.point_to_point(1, 2)
+    table.add_row(
+        [
+            f"{query_loss:.0%}",
+            f"{response_loss:.0%}",
+            estimate.n_x,
+            round(estimate.n_c_hat, 1),
+        ]
+    )
+print(table.render())
+print(
+    "-> with 3 query attempts, 30% query loss costs <3% of vehicles;\n"
+    "   response loss removes vehicles but the estimate tracks the\n"
+    "   observed (reduced) overlap consistently.\n"
+)
+
+# --- 2. multi-period aggregation ----------------------------------------
+result = run_multiperiod(
+    n_x=10_000, n_y=100_000, n_c=2_000,
+    period_counts=(1, 2, 4, 8), trials=6, seed=31,
+)
+print(result.render())
+print("-> combining a week of periods cuts the error roughly as 1/sqrt(P).")

@@ -1,0 +1,51 @@
+"""Measurement-accuracy analysis (paper Section V).
+
+* :mod:`repro.accuracy.moments` — mean/variance of the zero-bit
+  fractions ``V_x``, ``V_y``, ``V_c`` under the paper's binomial
+  approximation (Eqs. 12-13, 19-22);
+* :mod:`repro.accuracy.taylor` — the Taylor moments of ``ln V``
+  (Eqs. 24-31);
+* :mod:`repro.accuracy.occupancy` — *exact* second moments (variances
+  and all three covariances) from the joint occupancy model, which the
+  paper only sketches via Eq. (35);
+* :mod:`repro.accuracy.bias` — ``E[n̂_c]`` and the bias of
+  ``n̂_c / n_c`` (Eqs. 32-33);
+* :mod:`repro.accuracy.variance` — ``Var(n̂_c)`` and the standard
+  deviation of ``n̂_c / n_c`` (Eqs. 34-36) via the delta method over
+  the exact moments;
+* :mod:`repro.accuracy.montecarlo` — empirical bias/stddev by direct
+  simulation, the ground truth the closed forms are tested against.
+"""
+
+from repro.accuracy.moments import mean_v, var_v_binomial
+from repro.accuracy.taylor import mean_ln_v, var_ln_v
+from repro.accuracy.occupancy import PairMoments, exact_pair_moments
+from repro.accuracy.bias import expected_estimate, relative_bias
+from repro.accuracy.variance import estimator_stddev, estimator_variance
+from repro.accuracy.confidence import EstimateInterval, confidence_interval
+from repro.accuracy.fisher import (
+    cramer_rao_bound_binomial,
+    fisher_information_binomial,
+    super_efficiency,
+)
+from repro.accuracy.montecarlo import MonteCarloAccuracy, simulate_accuracy
+
+__all__ = [
+    "EstimateInterval",
+    "confidence_interval",
+    "fisher_information_binomial",
+    "cramer_rao_bound_binomial",
+    "super_efficiency",
+    "mean_v",
+    "var_v_binomial",
+    "mean_ln_v",
+    "var_ln_v",
+    "PairMoments",
+    "exact_pair_moments",
+    "expected_estimate",
+    "relative_bias",
+    "estimator_variance",
+    "estimator_stddev",
+    "MonteCarloAccuracy",
+    "simulate_accuracy",
+]

@@ -1,0 +1,68 @@
+"""Expected value and bias of the estimator (Section V-C, Eqs. 32-33).
+
+``E[n̂_c] = (E[ln V_c] - E[ln V_x] - E[ln V_y]) / ln(rho)`` where the
+``E[ln V]`` terms come from the Taylor expansion (Eqs. 25-27) and
+``ln(rho)`` is the estimator denominator.  The relative bias is
+``E[n̂_c]/n_c - 1`` (Eq. 33).
+
+Two moment sources are supported: the paper's binomial approximation
+(``exact=False``, matching Eqs. 25-27 verbatim) and the exact occupancy
+moments of :mod:`repro.accuracy.occupancy` (``exact=True``).
+"""
+
+from __future__ import annotations
+
+from repro.accuracy.moments import var_v_binomial
+from repro.accuracy.occupancy import exact_pair_moments
+from repro.accuracy.taylor import mean_ln_v
+from repro.core.estimator import log_collision_ratio, q_intersection, q_point
+from repro.errors import ConfigurationError
+
+__all__ = ["expected_estimate", "relative_bias"]
+
+
+def expected_estimate(
+    n_x: int,
+    n_y: int,
+    n_c: int,
+    m_x: int,
+    m_y: int,
+    s: int,
+    *,
+    exact: bool = False,
+) -> float:
+    """``E[n̂_c]`` (Eq. 32).
+
+    With ``exact=False`` this reproduces the paper's formula exactly
+    (binomial variances inside the Taylor means); with ``exact=True``
+    the occupancy-model moments are used instead.
+    """
+    denom = log_collision_ratio(s, m_y)
+    if exact:
+        mom = exact_pair_moments(n_x, n_y, n_c, m_x, m_y, s)
+        e_ln_c = mean_ln_v(mom.mean_v_c, mom.var_v_c)
+        e_ln_x = mean_ln_v(mom.mean_v_x, mom.var_v_x)
+        e_ln_y = mean_ln_v(mom.mean_v_y, mom.var_v_y)
+    else:
+        q_x, q_y = q_point(n_x, m_x), q_point(n_y, m_y)
+        q_c = float(q_intersection(n_x, n_y, n_c, m_x, m_y, s))
+        e_ln_x = mean_ln_v(q_x, var_v_binomial(n_x, m_x))
+        e_ln_y = mean_ln_v(q_y, var_v_binomial(n_y, m_y))
+        e_ln_c = mean_ln_v(q_c, q_c * (1.0 - q_c) / m_y)
+    return float(e_ln_c - e_ln_x - e_ln_y) / denom
+
+
+def relative_bias(
+    n_x: int,
+    n_y: int,
+    n_c: int,
+    m_x: int,
+    m_y: int,
+    s: int,
+    *,
+    exact: bool = False,
+) -> float:
+    """``Bias(n̂_c / n_c) = E[n̂_c]/n_c - 1`` (Eq. 33)."""
+    if n_c <= 0:
+        raise ConfigurationError("relative bias requires n_c > 0")
+    return expected_estimate(n_x, n_y, n_c, m_x, m_y, s, exact=exact) / n_c - 1.0

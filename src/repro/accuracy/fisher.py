@@ -1,0 +1,75 @@
+"""Information analysis of the binomial model (analysis extension).
+
+The paper derives its MLE from the binomial likelihood of ``U_c``
+(Eq. 15).  This module computes that model's Fisher information and
+Cramér–Rao bound — and documents a genuinely instructive finding: the
+estimator's *actual* variance sits well **below** the binomial-model
+CRB.
+
+That is not a violation of Cramér–Rao.  The binomial likelihood is a
+*misspecified* model of the data: real bits are negatively correlated
+(every vehicle occupies exactly one cell per array — the occupancy
+constraint), so the true distribution of ``U_c`` is far less noisy
+than ``B(m_y, q)`` (see :mod:`repro.accuracy.occupancy`, where the
+exact variance is a small fraction of the binomial one at realistic
+load factors), and the plug-in terms ``ln V_x + ln V_y`` cancel most
+of the shared fluctuation.  The ratio
+
+    ``super_efficiency = CRB_binomial / Var_exact(n̂_c)``
+
+therefore lands *above* 1 — typically 3-30x in the paper's operating
+band — quantifying how much of the scheme's practical accuracy comes
+from occupancy structure the binomial story ignores.  Validated in
+``tests/test_fisher.py``.
+"""
+
+from __future__ import annotations
+
+from repro.accuracy.variance import estimator_variance
+from repro.core.estimator import log_collision_ratio, q_intersection
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "fisher_information_binomial",
+    "cramer_rao_bound_binomial",
+    "super_efficiency",
+]
+
+
+def fisher_information_binomial(
+    n_x: int, n_y: int, n_c: int, m_x: int, m_y: int, s: int
+) -> float:
+    """``I(n_c)`` under the paper's binomial model of ``U_c``.
+
+    From the Eq. (15) log-likelihood:
+    ``I = m_y (dq/dn_c)² / (q(1-q))`` with ``dq/dn_c = q·ln(rho)``
+    (paper Eq. 17).
+    """
+    q = float(q_intersection(n_x, n_y, n_c, m_x, m_y, s))
+    if not 0.0 < q < 1.0:
+        raise ConfigurationError(
+            f"degenerate occupancy q={q}; adjust sizes/volumes"
+        )
+    dq = q * log_collision_ratio(s, m_y)
+    return m_y * dq * dq / (q * (1.0 - q))
+
+
+def cramer_rao_bound_binomial(
+    n_x: int, n_y: int, n_c: int, m_x: int, m_y: int, s: int
+) -> float:
+    """The CRB on ``Var(n̂_c)`` *if* ``U_c`` were truly binomial with
+    ``n_x, n_y`` known — the information limit of the paper's own
+    modeling assumptions."""
+    return 1.0 / fisher_information_binomial(n_x, n_y, n_c, m_x, m_y, s)
+
+
+def super_efficiency(
+    n_x: int, n_y: int, n_c: int, m_x: int, m_y: int, s: int
+) -> float:
+    """``CRB_binomial / Var_exact`` — how far the real estimator beats
+    the binomial model's information limit (> 1 in practice; see the
+    module docstring for why that is consistent)."""
+    variance = estimator_variance(n_x, n_y, n_c, m_x, m_y, s)
+    if variance <= 0:
+        raise ConfigurationError("non-positive estimator variance")
+    return cramer_rao_bound_binomial(n_x, n_y, n_c, m_x, m_y, s) / variance

@@ -1,0 +1,47 @@
+"""First and second moments of the zero-bit fractions (Section V-A).
+
+Under the paper's model the zero-bit *counts* are binomial:
+``U_x ~ B(m_x, q(n_x))``, ``U_y ~ B(m_y, q(n_y))`` and
+``U_c ~ B(m_y, q(n_c))``, giving (Eqs. 12-13, 19-22):
+
+* ``E[V] = q``
+* ``Var(V) = q (1 - q) / m``
+
+The binomial form treats bits as independent; the exact (slightly
+smaller) variances that account for inter-bit occupancy correlation
+live in :mod:`repro.accuracy.occupancy`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.core.estimator import q_intersection, q_point
+
+__all__ = ["mean_v", "var_v_binomial", "pair_means"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def mean_v(volume: ArrayLike, array_size: float) -> ArrayLike:
+    """``E[V] = q(n) = (1 - 1/m)**n`` (Eqs. 12-13)."""
+    return q_point(volume, array_size)
+
+
+def var_v_binomial(volume: ArrayLike, array_size: float) -> ArrayLike:
+    """``Var(V) = q(n)(1 - q(n))/m`` (Eqs. 19-20)."""
+    q = q_point(volume, array_size)
+    return q * (1.0 - q) / array_size
+
+
+def pair_means(
+    n_x: ArrayLike, n_y: ArrayLike, n_c: ArrayLike, m_x: float, m_y: float, s: int
+) -> tuple:
+    """``(E[V_x], E[V_y], E[V_c])`` for a pair configuration."""
+    return (
+        q_point(n_x, m_x),
+        q_point(n_y, m_y),
+        q_intersection(n_x, n_y, n_c, m_x, m_y, s),
+    )

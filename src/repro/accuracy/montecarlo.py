@@ -1,0 +1,104 @@
+"""Monte-Carlo measurement of estimator accuracy.
+
+Simulates many independent populations and full encode/decode rounds
+and reports the empirical bias and standard deviation of
+``n̂_c / n_c`` — the ground truth against which Section V's closed
+forms are validated, and the engine behind the accuracy-analysis
+experiment in :mod:`repro.experiments.accuracy_analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.encoder import encode_passes
+from repro.core.estimator import ZeroFractionPolicy, estimate_intersection
+from repro.core.parameters import SchemeParameters
+from repro.errors import ConfigurationError
+from repro.traffic.random_workload import make_pair_population
+from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.validation import check_power_of_two
+
+__all__ = ["MonteCarloAccuracy", "simulate_accuracy"]
+
+
+@dataclass(frozen=True)
+class MonteCarloAccuracy:
+    """Empirical accuracy of the estimator over repeated simulations.
+
+    Attributes
+    ----------
+    estimates:
+        The raw ``n̂_c`` values, one per repetition.
+    bias:
+        Empirical ``mean(n̂_c)/n_c - 1``.
+    stddev:
+        Empirical ``std(n̂_c)/n_c`` (the paper's Eq. 36 metric).
+    mean_abs_error:
+        Mean of ``|n̂_c - n_c|/n_c`` (the paper's Table I error ratio,
+        averaged over repetitions).
+    """
+
+    estimates: np.ndarray
+    n_c: int
+    repetitions: int
+
+    @property
+    def bias(self) -> float:
+        return float(self.estimates.mean() / self.n_c - 1.0)
+
+    @property
+    def stddev(self) -> float:
+        return float(self.estimates.std(ddof=1) / self.n_c)
+
+    @property
+    def mean_abs_error(self) -> float:
+        return float(np.abs(self.estimates - self.n_c).mean() / self.n_c)
+
+
+def simulate_accuracy(
+    n_x: int,
+    n_y: int,
+    n_c: int,
+    m_x: int,
+    m_y: int,
+    s: int,
+    *,
+    repetitions: int = 50,
+    seed: SeedLike = None,
+    policy: ZeroFractionPolicy = ZeroFractionPolicy.CLAMP,
+) -> MonteCarloAccuracy:
+    """Run *repetitions* independent encode/decode rounds.
+
+    Each repetition draws a fresh population and a fresh hash seed so
+    both identity randomness and hash randomness are integrated over,
+    matching the expectations the closed forms take.
+    """
+    m_x = check_power_of_two(m_x, "m_x")
+    m_y = check_power_of_two(m_y, "m_y")
+    if m_x > m_y:
+        raise ConfigurationError("m_x must be <= m_y (swap the pair)")
+    if n_c <= 0:
+        raise ConfigurationError("simulate_accuracy requires n_c > 0")
+    rngs = spawn_generators(seed, repetitions)
+    estimates: List[float] = []
+    rsu_x, rsu_y = 1, 2
+    for rep, rng in enumerate(rngs):
+        params = SchemeParameters(
+            s=s, load_factor=1.0, m_o=m_y, hash_seed=int(rng.integers(2**63))
+        )
+        population = make_pair_population(
+            n_x, n_y, n_c, rsu_x=rsu_x, rsu_y=rsu_y, seed=rng
+        )
+        ids_x, keys_x = population.passes_at_x()
+        ids_y, keys_y = population.passes_at_y()
+        report_x = encode_passes(ids_x, keys_x, rsu_x, m_x, params)
+        report_y = encode_passes(ids_y, keys_y, rsu_y, m_y, params)
+        estimate = estimate_intersection(report_x, report_y, s, policy=policy)
+        estimates.append(estimate.n_c_hat)
+    return MonteCarloAccuracy(
+        estimates=np.asarray(estimates), n_c=n_c, repetitions=repetitions
+    )

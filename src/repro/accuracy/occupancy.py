@@ -1,0 +1,181 @@
+"""Exact second moments of ``(V_x, V_y, V_c)`` from the occupancy model.
+
+The paper's variance analysis (Section V-C) needs the covariances
+``Cov(ln V_c, ln V_x)``, ``Cov(ln V_c, ln V_y)`` and
+``Cov(ln V_x, ln V_y)`` but only sketches their derivation (Eq. 35).
+This module derives them *exactly* under the scheme's probabilistic
+model (each vehicle sets one uniform bit per RSU; a common vehicle
+reuses its logical bit at both RSUs with probability ``1/s``).
+
+Method
+------
+Every ``V`` is an average of per-position zero indicators, so each
+second moment reduces to joint zero probabilities of one or two bit
+positions.  With ``L1x = log1p(-1/m_x)``, ``L2x = log1p(-2/m_x)``
+(similarly for ``y``) and per-common-vehicle avoidance factors
+``a = 1 + delta`` (each ``delta`` is an exact rational in ``1/m_x``,
+``1/m_y``, ``1/s`` — see the inline derivations), the joint
+probabilities are products of per-vehicle avoidance probabilities
+raised to the population sizes.  All pairwise differences are computed
+as ``P_b * expm1(ln P_a - ln P_b)`` to avoid catastrophic cancellation,
+so the results stay accurate even when covariances are ``~1e-12``
+against means of order 1.
+
+The derivation treats bit positions within one array as exchangeable
+and uses the nesting ``m_x | m_y | m_o`` guaranteed by power-of-two
+sizing (a logical bit collides on position ``b`` of ``B_x`` iff it is
+congruent to ``b`` mod ``m_x``; congruence classes of ``m_y`` refine
+those of ``m_x``).
+
+Validated against Monte-Carlo simulation in
+``tests/test_occupancy_moments.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PairMoments", "exact_pair_moments"]
+
+
+@dataclass(frozen=True)
+class PairMoments:
+    """Exact first and second moments of the three zero fractions.
+
+    All quantities refer to the canonical ordering ``m_x <= m_y``.
+    """
+
+    mean_v_x: float
+    mean_v_y: float
+    mean_v_c: float
+    var_v_x: float
+    var_v_y: float
+    var_v_c: float
+    cov_cx: float
+    cov_cy: float
+    cov_xy: float
+
+    def correlation_cx(self) -> float:
+        """Correlation coefficient between ``V_c`` and ``V_x``."""
+        return self.cov_cx / math.sqrt(self.var_v_c * self.var_v_x)
+
+
+def _diff(log_a: float, log_b: float) -> float:
+    """``exp(log_a) - exp(log_b)`` computed without cancellation."""
+    return math.exp(log_b) * math.expm1(log_a - log_b)
+
+
+def exact_pair_moments(
+    n_x: int, n_y: int, n_c: int, m_x: int, m_y: int, s: int
+) -> PairMoments:
+    """Exact moments of ``(V_x, V_y, V_c)`` for one pair configuration.
+
+    Parameters follow the paper's notation with the canonical ordering
+    ``m_x <= m_y`` and ``m_x | m_y`` (power-of-two sizes).
+    """
+    if m_x > m_y or m_y % m_x != 0:
+        raise ConfigurationError(
+            f"sizes must satisfy m_x <= m_y and m_x | m_y, got {m_x}, {m_y}"
+        )
+    if not 0 <= n_c <= min(n_x, n_y):
+        raise ConfigurationError("n_c must satisfy 0 <= n_c <= min(n_x, n_y)")
+    if s < 1 or s >= m_y:
+        raise ConfigurationError(f"s must satisfy 1 <= s < m_y, got {s}")
+
+    inv_x, inv_y = 1.0 / m_x, 1.0 / m_y
+    n_xo, n_yo = n_x - n_c, n_y - n_c  # only-x / only-y populations
+    l1x, l2x = math.log1p(-inv_x), math.log1p(-2.0 * inv_x)
+    l1y, l2y = math.log1p(-inv_y), math.log1p(-2.0 * inv_y)
+
+    # --- Per-common-vehicle avoidance log-probabilities -----------------
+    # Each is log(1 + delta) with delta derived by conditioning on
+    # whether the vehicle reuses its logical bit (prob 1/s) or draws an
+    # independent one (prob 1 - 1/s).
+    # (1) one position in B_x and its *linked* position in B_y
+    #     (B_y position congruent mod m_x): reuse collides only via the
+    #     mod-m_x class -> avoid (1-1/m_x); independent draws avoid
+    #     both -> (1-1/m_x)(1-1/m_y):
+    a_link = l1x + math.log1p(-(s - 1) / (s * m_y))
+    # (2) one position in B_x and an *unlinked* B_y position: reuse can
+    #     hit either class -> 1 - 1/m_x - 1/m_y:
+    a_unlink = math.log1p(-inv_x - inv_y + (1 - 1.0 / s) * inv_x * inv_y)
+    # (3) two positions of B_x (for the B_c x B_x cross moment) plus the
+    #     linked B_y position: reuse hits either of two mod-m_x classes:
+    a_cx = l2x + math.log1p(-(s - 1) / (s * m_y))
+    # (4) one B_x position, its linked B_y position and a second B_y
+    #     position in the SAME mod-m_x class:
+    a_cy_same = l1x + math.log1p(-2.0 * (s - 1) / (s * m_y))
+    # (5) ... second B_y position in a DIFFERENT mod-m_x class: the
+    #     reused bit can hit the class (1/m_x) or the lone B_y bit:
+    a_cy_diff = math.log1p(
+        -inv_x - (2.0 - 1.0 / s) * inv_y + 2.0 * (1 - 1.0 / s) * inv_x * inv_y
+    )
+    # (6) two B_c positions in the same mod-m_x class: one B_x bit, two
+    #     B_y bits in that class:
+    a_cc_same = a_cy_same
+    # (7) two B_c positions in different classes: two B_x bits, two B_y
+    #     bits:
+    a_cc_diff = l2x + math.log1p(-2.0 * (s - 1) / (s * m_y))
+
+    # --- Single-position zero probabilities (Eqs. 9-11) ------------------
+    log_qx = n_x * l1x
+    log_qy = n_y * l1y
+    log_qc = n_c * a_link + n_xo * l1x + n_yo * l1y
+    q_x, q_y, q_c = math.exp(log_qx), math.exp(log_qy), math.exp(log_qc)
+
+    # --- Joint zero probabilities over position pairs --------------------
+    # Two distinct positions within one array: every visitor avoids two
+    # bits of the same array.
+    log_p_xx = n_x * l2x
+    log_p_yy = n_y * l2y
+    # B_x position j, B_y position i linked / unlinked:
+    log_p_xy_link = n_c * a_link + n_xo * l1x + n_yo * l1y  # == log_qc
+    log_p_xy_unlink = n_c * a_unlink + n_xo * l1x + n_yo * l1y
+    # B_c position i with B_x position j != (i mod m_x):
+    log_p_cx = n_c * a_cx + n_xo * l2x + n_yo * l1y
+    # B_c position i with B_y position i2 != i, same / different class:
+    log_p_cy_same = n_c * a_cy_same + n_xo * l1x + n_yo * l2y
+    log_p_cy_diff = n_c * a_cy_diff + n_xo * l1x + n_yo * l2y
+    # Two distinct B_c positions, same / different class:
+    log_p_cc_same = n_c * a_cc_same + n_xo * l1x + n_yo * l2y
+    log_p_cc_diff = n_c * a_cc_diff + n_xo * l2x + n_yo * l2y
+
+    # --- Assemble variances and covariances ------------------------------
+    # Var(V_x) = (1/m_x)(q_x - P_xx) + (P_xx - q_x^2)
+    var_v_x = inv_x * _diff(log_qx, log_p_xx) + _diff(log_p_xx, 2 * log_qx)
+    var_v_y = inv_y * _diff(log_qy, log_p_yy) + _diff(log_p_yy, 2 * log_qy)
+    # Var(V_c): positions split 1 : (1/m_x - 1/m_y) : (1 - 1/m_x) into
+    # identical / same-class / different-class pairs.
+    var_v_c = (
+        inv_y * _diff(log_qc, log_p_cc_diff)
+        + (inv_x - inv_y) * _diff(log_p_cc_same, log_p_cc_diff)
+        + _diff(log_p_cc_diff, 2 * log_qc)
+    )
+    # Cov(V_x, V_y): fraction 1/m_x of pairs are linked.
+    cov_xy = inv_x * _diff(log_p_xy_link, log_p_xy_unlink) + _diff(
+        log_p_xy_unlink, log_qx + log_qy
+    )
+    # Cov(V_c, V_x): matched pair (j = i mod m_x) occurs w.p. 1/m_x and
+    # has joint probability q_c (B_c zero implies B_x zero).
+    cov_cx = inv_x * _diff(log_qc, log_p_cx) + _diff(log_p_cx, log_qc + log_qx)
+    # Cov(V_c, V_y): matched (i2 = i, w.p. 1/m_y), same-class, diff-class.
+    cov_cy = (
+        inv_y * _diff(log_qc, log_p_cy_diff)
+        + (inv_x - inv_y) * _diff(log_p_cy_same, log_p_cy_diff)
+        + _diff(log_p_cy_diff, log_qc + log_qy)
+    )
+
+    return PairMoments(
+        mean_v_x=q_x,
+        mean_v_y=q_y,
+        mean_v_c=q_c,
+        var_v_x=var_v_x,
+        var_v_y=var_v_y,
+        var_v_c=var_v_c,
+        cov_cx=cov_cx,
+        cov_cy=cov_cy,
+        cov_xy=cov_xy,
+    )

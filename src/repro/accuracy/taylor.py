@@ -1,0 +1,51 @@
+"""Taylor moments of ``ln V`` (paper Section V-B, Eqs. 23-31).
+
+Expanding ``f(V) = ln V`` about ``w = E[V]``:
+
+* ``E[ln V] ≈ ln w - Var(V) / (2 w²)``   (Eq. 24)
+* ``Var(ln V) ≈ Var(V) / w²``            (Eq. 28)
+
+These are the building blocks of the closed-form bias (Eq. 32) and
+variance (Eq. 34) of the estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.utils.mathx import safe_log
+
+__all__ = ["mean_ln_v", "var_ln_v", "cov_ln"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def mean_ln_v(mean: ArrayLike, variance: ArrayLike) -> ArrayLike:
+    """``E[ln V] = ln E[V] - Var(V)/(2 E[V]²)`` (Eq. 24).
+
+    Specialized by the paper to Eqs. (25)-(27) for ``V_x``, ``V_y``,
+    ``V_c``; pass the matching mean/variance pair.
+    """
+    mean = np.asarray(mean, dtype=float)
+    return safe_log(mean) - np.asarray(variance, dtype=float) / (2.0 * mean**2)
+
+
+def var_ln_v(mean: ArrayLike, variance: ArrayLike) -> ArrayLike:
+    """``Var(ln V) = Var(V)/E[V]²`` (Eq. 28; specialized in 29-31)."""
+    mean = np.asarray(mean, dtype=float)
+    return np.asarray(variance, dtype=float) / mean**2
+
+
+def cov_ln(mean_a: ArrayLike, mean_b: ArrayLike, covariance: ArrayLike) -> ArrayLike:
+    """First-order Taylor covariance
+    ``Cov(ln V_a, ln V_b) ≈ Cov(V_a, V_b) / (E[V_a] E[V_b])``.
+
+    This is the reduction the paper's Eq. (35) gestures at; the exact
+    bit-level ``Cov(V_a, V_b)`` inputs come from
+    :func:`repro.accuracy.occupancy.exact_pair_moments`.
+    """
+    return np.asarray(covariance, dtype=float) / (
+        np.asarray(mean_a, dtype=float) * np.asarray(mean_b, dtype=float)
+    )

@@ -1,0 +1,84 @@
+"""Variance and standard deviation of the estimator (Eqs. 34-36).
+
+The estimator is the linear combination
+``n̂_c = (ln V_c - ln V_x - ln V_y) / ln(rho)``, so
+
+    ``Var(n̂_c) = [Var(ln V_c) + Var(ln V_x) + Var(ln V_y)
+                  - 2 Cov(ln V_c, ln V_x) - 2 Cov(ln V_c, ln V_y)
+                  + 2 Cov(ln V_x, ln V_y)] / ln(rho)²``.
+
+The paper's Eq. (34) writes the cross terms as ``C = -C1 - C2 + C3``
+without the factor 2 — an apparent typo, since the square of a
+three-term sum carries ``2`` on every cross term; we implement the
+algebraically correct version (and expose ``paper_form=True`` to
+reproduce the printed formula for comparison).  The covariance inputs
+are exact occupancy moments (the paper's Eq. 35 sketch), pushed through
+the first-order Taylor map ``Cov(ln a, ln b) = Cov(a, b)/(E a E b)``.
+
+The headline accuracy metric is ``StdDev(n̂_c / n_c)`` (Eq. 36),
+validated against Monte-Carlo in ``tests/test_accuracy_closed_forms.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.accuracy.occupancy import exact_pair_moments
+from repro.accuracy.taylor import cov_ln, var_ln_v
+from repro.core.estimator import log_collision_ratio
+from repro.errors import ConfigurationError
+
+__all__ = ["estimator_variance", "estimator_stddev"]
+
+
+def estimator_variance(
+    n_x: int,
+    n_y: int,
+    n_c: int,
+    m_x: int,
+    m_y: int,
+    s: int,
+    *,
+    paper_form: bool = False,
+) -> float:
+    """``Var(n̂_c)`` (Eq. 34, corrected cross-term coefficients).
+
+    Parameters
+    ----------
+    paper_form:
+        If ``True``, use the paper's printed ``C = -C1 - C2 + C3``
+        (cross terms without the factor 2) instead of the correct
+        ``2C``; provided so EXPERIMENTS.md can quantify the difference.
+    """
+    mom = exact_pair_moments(n_x, n_y, n_c, m_x, m_y, s)
+    d_term = (
+        var_ln_v(mom.mean_v_c, mom.var_v_c)
+        + var_ln_v(mom.mean_v_x, mom.var_v_x)
+        + var_ln_v(mom.mean_v_y, mom.var_v_y)
+    )
+    c1 = cov_ln(mom.mean_v_c, mom.mean_v_x, mom.cov_cx)
+    c2 = cov_ln(mom.mean_v_c, mom.mean_v_y, mom.cov_cy)
+    c3 = cov_ln(mom.mean_v_x, mom.mean_v_y, mom.cov_xy)
+    factor = 1.0 if paper_form else 2.0
+    c_term = factor * (-c1 - c2 + c3)
+    denom = log_collision_ratio(s, m_y)
+    return float(c_term + d_term) / denom**2
+
+
+def estimator_stddev(
+    n_x: int,
+    n_y: int,
+    n_c: int,
+    m_x: int,
+    m_y: int,
+    s: int,
+    *,
+    paper_form: bool = False,
+) -> float:
+    """``StdDev(n̂_c / n_c) = sqrt(Var(n̂_c)) / n_c`` (Eq. 36)."""
+    if n_c <= 0:
+        raise ConfigurationError("relative stddev requires n_c > 0")
+    variance = estimator_variance(
+        n_x, n_y, n_c, m_x, m_y, s, paper_form=paper_form
+    )
+    return math.sqrt(max(variance, 0.0)) / n_c

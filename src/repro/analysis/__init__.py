@@ -1,0 +1,11 @@
+"""Deployment analysis tooling.
+
+* :mod:`repro.analysis.planner` — a deployment planning report: given
+  the RSU volumes a rollout will face, derive the recommended
+  parameters and forecast privacy, accuracy, memory and uplink cost
+  for every RSU and pair class, before any hardware is installed.
+"""
+
+from repro.analysis.planner import DeploymentPlan, plan_deployment
+
+__all__ = ["DeploymentPlan", "plan_deployment"]

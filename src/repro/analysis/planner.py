@@ -1,0 +1,226 @@
+"""Deployment planning: parameters, forecasts and costs from volumes.
+
+The operational question a transportation authority asks before a
+rollout: *given our intersections' daily volumes, what parameters do we
+deploy, what privacy and accuracy will we get, and what does it cost in
+memory and uplink?*  :func:`plan_deployment` answers all four from the
+closed forms, with no simulation:
+
+1. choose the global load factor — the privacy optimum ``f*`` or the
+   largest factor meeting a requested privacy floor, per Section VI;
+2. size every RSU's array (Section IV-B) and cost it (RAM, raw and
+   compressed uplink);
+3. forecast the preserved privacy of every RSU class pair (Eq. 43);
+4. forecast the estimator's relative stddev (Section V machinery) for
+   representative pair classes at an assumed common-traffic fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.accuracy.variance import estimator_stddev
+from repro.core.sizing import array_size_for_volume
+from repro.errors import ConfigurationError
+from repro.privacy.formulas import preserved_privacy
+from repro.privacy.optimizer import (
+    DEFAULT_COMMON_FRACTION,
+    max_load_factor_for_privacy,
+    optimal_load_factor,
+)
+from repro.utils.tables import AsciiTable
+
+__all__ = ["RsuPlan", "PairForecast", "DeploymentPlan", "plan_deployment"]
+
+
+@dataclass(frozen=True)
+class RsuPlan:
+    """Per-RSU sizing and cost."""
+
+    name: str
+    daily_volume: float
+    array_size: int
+    realized_load_factor: float
+    memory_kib: float
+    expected_fill: float
+
+    @property
+    def raw_uplink_kib(self) -> float:
+        """Per-period uplink for the raw bitmap."""
+        return self.memory_kib
+
+
+@dataclass(frozen=True)
+class PairForecast:
+    """Privacy/accuracy forecast for one pair of RSU classes."""
+
+    pair: Tuple[str, str]
+    privacy: float
+    relative_stddev: float
+    assumed_n_c: int
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """The full pre-rollout report."""
+
+    s: int
+    load_factor: float
+    privacy_floor: Optional[float]
+    rsus: List[RsuPlan]
+    pairs: List[PairForecast]
+    common_fraction: float
+
+    def rsu(self, name: str) -> RsuPlan:
+        """Look one RSU class up by name."""
+        for plan in self.rsus:
+            if plan.name == name:
+                return plan
+        raise ConfigurationError(f"no RSU class named {name!r} in the plan")
+
+    def total_memory_kib(self) -> float:
+        """Total bit array memory across the deployment."""
+        return sum(plan.memory_kib for plan in self.rsus)
+
+    def worst_pair_privacy(self) -> float:
+        """The binding privacy across all forecast pairs."""
+        return min(forecast.privacy for forecast in self.pairs)
+
+    def render(self) -> str:
+        head = (
+            f"Deployment plan — s = {self.s}, global load factor f̄ = "
+            f"{self.load_factor:.2f}"
+        )
+        if self.privacy_floor is not None:
+            head += f" (largest f with privacy >= {self.privacy_floor})"
+        else:
+            head += " (privacy-optimal f*)"
+        sizing = AsciiTable(
+            [
+                "RSU class",
+                "veh/day",
+                "m (bits)",
+                "realized f",
+                "RAM/uplink KiB",
+                "E[fill] %",
+            ],
+            title="Sizing (Section IV-B rule)",
+        )
+        for plan in self.rsus:
+            sizing.add_row(
+                [
+                    plan.name,
+                    plan.daily_volume,
+                    plan.array_size,
+                    plan.realized_load_factor,
+                    plan.memory_kib,
+                    100 * plan.expected_fill,
+                ]
+            )
+        forecast = AsciiTable(
+            ["pair", "privacy p", "rel. stddev %", "assumed n_c"],
+            title=(
+                "Forecast per pair class "
+                f"(n_c = {self.common_fraction:g} x smaller volume)"
+            ),
+        )
+        for pair in self.pairs:
+            forecast.add_row(
+                [
+                    f"{pair.pair[0]} x {pair.pair[1]}",
+                    pair.privacy,
+                    100 * pair.relative_stddev,
+                    pair.assumed_n_c,
+                ]
+            )
+        summary = (
+            f"total bit-array memory: {self.total_memory_kib():,.0f} KiB; "
+            f"binding pair privacy: {self.worst_pair_privacy():.3f}"
+        )
+        return "\n\n".join([head, sizing.render(), forecast.render(), summary])
+
+
+def plan_deployment(
+    volumes: Mapping[str, float],
+    *,
+    s: int = 2,
+    privacy_floor: Optional[float] = 0.5,
+    common_fraction: float = DEFAULT_COMMON_FRACTION,
+) -> DeploymentPlan:
+    """Produce the pre-rollout report for named RSU classes.
+
+    Parameters
+    ----------
+    volumes:
+        ``class name -> expected daily volume`` (e.g. hub, arterial,
+        collector, local).
+    privacy_floor:
+        Pick the largest ``f̄`` whose privacy meets this floor at the
+        *smallest* class (the binding constraint); ``None`` uses the
+        privacy-optimal ``f*`` instead.
+    """
+    if not volumes:
+        raise ConfigurationError("volumes must not be empty")
+    if any(v <= 0 for v in volumes.values()):
+        raise ConfigurationError("all volumes must be positive")
+    n_min = min(volumes.values())
+    if privacy_floor is not None:
+        load_factor = max_load_factor_for_privacy(
+            privacy_floor, s, n_x=n_min, n_y=n_min,
+            common_fraction=common_fraction,
+        )
+    else:
+        load_factor, _ = optimal_load_factor(
+            s, n_x=n_min, n_y=n_min, common_fraction=common_fraction
+        )
+
+    import math
+
+    rsus: List[RsuPlan] = []
+    for name, volume in sorted(volumes.items(), key=lambda kv: -kv[1]):
+        m = array_size_for_volume(volume, load_factor)
+        fill = -math.expm1(volume * math.log1p(-1.0 / m))
+        rsus.append(
+            RsuPlan(
+                name=name,
+                daily_volume=float(volume),
+                array_size=m,
+                realized_load_factor=m / volume,
+                memory_kib=m / 8 / 1024,
+                expected_fill=fill,
+            )
+        )
+
+    pairs: List[PairForecast] = []
+    ordered = sorted(volumes.items(), key=lambda kv: kv[1])
+    for i, (name_a, vol_a) in enumerate(ordered):
+        for name_b, vol_b in ordered[i:]:
+            if name_a == name_b and len(ordered) > 1:
+                continue
+            n_x, n_y = min(vol_a, vol_b), max(vol_a, vol_b)
+            m_x = array_size_for_volume(n_x, load_factor)
+            m_y = array_size_for_volume(n_y, load_factor)
+            n_c = max(1, int(common_fraction * n_x))
+            privacy = float(
+                preserved_privacy(n_x, n_y, n_c, m_x, m_y, s)
+            )
+            stddev = estimator_stddev(
+                int(n_x), int(n_y), n_c, m_x, m_y, s
+            )
+            pairs.append(
+                PairForecast(
+                    pair=(name_a, name_b),
+                    privacy=privacy,
+                    relative_stddev=stddev,
+                    assumed_n_c=n_c,
+                )
+            )
+    return DeploymentPlan(
+        s=s,
+        load_factor=load_factor,
+        privacy_floor=privacy_floor,
+        rsus=rsus,
+        pairs=pairs,
+        common_fraction=common_fraction,
+    )

@@ -1,0 +1,37 @@
+"""Transportation-engineering applications of the measurement scheme.
+
+The paper's introduction motivates point-to-point volumes as "essential
+input to a variety of transportation studies such as estimating traffic
+link flow distribution for investment plan, calculating road exposure
+rates for safety analysis, and characterizing turning movements at
+intersections for signal timing determination".  This package
+implements those three downstream studies on top of the measured
+point/point-to-point volumes, so the library delivers the inputs *and*
+the studies:
+
+* :mod:`repro.apps.link_flows` — link flow distribution over a road
+  network from measured adjacent-pair volumes;
+* :mod:`repro.apps.exposure` — road exposure (vehicle-kilometres
+  travelled) per segment and network-wide, for safety analysis;
+* :mod:`repro.apps.turning_movements` — through/turning volume shares
+  at an intersection from the measured volumes of its approaches.
+"""
+
+from repro.apps.link_flows import LinkFlowStudy, measure_link_flows
+from repro.apps.exposure import ExposureStudy, measure_exposure
+from repro.apps.screenline import ScreenlineStudy, measure_screenline
+from repro.apps.turning_movements import (
+    TurningMovementStudy,
+    measure_turning_movements,
+)
+
+__all__ = [
+    "LinkFlowStudy",
+    "measure_link_flows",
+    "ExposureStudy",
+    "measure_exposure",
+    "ScreenlineStudy",
+    "measure_screenline",
+    "TurningMovementStudy",
+    "measure_turning_movements",
+]

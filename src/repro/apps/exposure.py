@@ -1,0 +1,107 @@
+"""Road exposure rates for safety analysis.
+
+Exposure — how much travel a road segment carries — is the denominator
+of every crash-rate statistic (crashes per million vehicle-kilometres).
+Given measured link flows (from :mod:`repro.apps.link_flows`) and
+segment lengths, this study computes per-segment and network-wide
+vehicle-kilometres travelled (VKT) and normalizes observed incident
+counts into comparable rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.apps.link_flows import LinkFlowStudy
+from repro.errors import ConfigurationError, NetworkDataError
+from repro.utils.tables import AsciiTable
+
+__all__ = ["ExposureStudy", "measure_exposure"]
+
+LinkKey = Tuple[int, int]
+
+#: Crash rates are conventionally quoted per million vehicle-km.
+PER_MILLION_VKT = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class ExposureStudy:
+    """Vehicle-kilometres travelled per street and derived rates.
+
+    Attributes
+    ----------
+    vkt:
+        ``(u, v) -> vehicle-kilometres`` for the measurement period.
+    incident_rates:
+        ``(u, v) -> incidents per million VKT`` for streets with
+        reported incidents (empty when no incident data given).
+    """
+
+    vkt: Dict[LinkKey, float]
+    incident_rates: Dict[LinkKey, float]
+
+    def total_vkt(self) -> float:
+        """Network-wide vehicle-kilometres for the period."""
+        return float(sum(self.vkt.values()))
+
+    def highest_exposure(self, count: int = 10) -> List[Tuple[LinkKey, float]]:
+        """The *count* segments carrying the most travel."""
+        return sorted(self.vkt.items(), key=lambda kv: -kv[1])[:count]
+
+    def render(self, count: int = 10) -> str:
+        table = AsciiTable(
+            ["street", "VKT", "incidents / M VKT"],
+            title=(
+                "Road exposure for safety analysis "
+                f"(total {self.total_vkt():,.0f} vehicle-km)"
+            ),
+        )
+        for link, vkt in self.highest_exposure(count):
+            table.add_row(
+                [
+                    f"{link[0]}-{link[1]}",
+                    vkt,
+                    self.incident_rates.get(link),
+                ]
+            )
+        return table.render()
+
+
+def measure_exposure(
+    link_flows: LinkFlowStudy,
+    lengths_km: Mapping[LinkKey, float],
+    *,
+    incidents: Optional[Mapping[LinkKey, int]] = None,
+) -> ExposureStudy:
+    """Turn measured link flows into exposure statistics.
+
+    Parameters
+    ----------
+    link_flows:
+        Output of :func:`repro.apps.link_flows.measure_link_flows`.
+    lengths_km:
+        Physical length of each street; every measured street needs a
+        length (unordered ``(min, max)`` node keys).
+    incidents:
+        Optional per-street incident counts for the same period;
+        converted into rates per million VKT.
+    """
+    vkt: Dict[LinkKey, float] = {}
+    for link, flow in link_flows.flows.items():
+        if link not in lengths_km:
+            raise NetworkDataError(f"no length given for street {link}")
+        length = float(lengths_km[link])
+        if length <= 0:
+            raise ConfigurationError(f"street {link} has non-positive length")
+        vkt[link] = flow * length
+
+    rates: Dict[LinkKey, float] = {}
+    for link, count in (incidents or {}).items():
+        if count < 0:
+            raise ConfigurationError(f"negative incident count for {link}")
+        if link not in vkt:
+            raise NetworkDataError(f"incidents reported for unmeasured street {link}")
+        if vkt[link] > 0:
+            rates[link] = count / vkt[link] * PER_MILLION_VKT
+    return ExposureStudy(vkt=vkt, incident_rates=rates)

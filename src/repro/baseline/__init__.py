@@ -1,0 +1,18 @@
+"""The fixed-length bit array scheme of reference [9] (Zhou et al.,
+CPSCom 2013) — the paper's comparison baseline.
+
+The baseline is structurally the VLM scheme with every RSU forced to
+the *same* array length ``m`` (so the unfolding step is the identity).
+Its weakness, which the paper's evaluation quantifies, is the
+"unbalanced load factor" problem: a single ``m`` cannot suit both a
+500k-vehicle intersection and a 10k-vehicle one.
+
+* :mod:`repro.baseline.scheme` — :class:`FixedLengthScheme`;
+* :mod:`repro.baseline.sizing` — the privacy-constrained choice of the
+  common ``m`` from the least-traffic RSU.
+"""
+
+from repro.baseline.scheme import FixedLengthScheme
+from repro.baseline.sizing import fixed_array_size_for_privacy
+
+__all__ = ["FixedLengthScheme", "fixed_array_size_for_privacy"]

@@ -1,0 +1,132 @@
+"""The exact-but-linkable pseudonym strawman.
+
+Before masking schemes, the obvious design is: each vehicle derives a
+per-period pseudonym ``P_v = H(v XOR K_v XOR period_salt)`` and reports
+it verbatim; the server intersects pseudonym sets to get the *exact*
+point-to-point volume.  This module implements that strawman because it
+is the right reference point on both axes the paper optimizes:
+
+* **accuracy** — exact (the ceiling the MLE schemes approach);
+* **privacy** — none *within a period*: the same pseudonym appears at
+  every RSU the vehicle passes, so the authority can reconstruct the
+  full per-period trajectory of every vehicle (the paper's Section I
+  explains why "other permanently or temporarily fixed numbers also
+  bare the potential of giving away the vehicles' moving trajectory").
+
+:func:`trajectory_linkability` quantifies that failure: the fraction
+of multi-RSU vehicles whose full trace is recoverable — 1.0 here,
+versus the masked schemes where a report is a single uniform bit index.
+Used by the privacy-accuracy tradeoff experiment as the "no privacy"
+corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Set, Tuple
+
+import numpy as np
+
+from repro.core.scheme import Passes
+from repro.errors import EstimationError
+from repro.hashing.hashfn import hash_u64
+
+__all__ = ["PseudonymScheme", "trajectory_linkability"]
+
+
+@dataclass
+class PseudonymReport:
+    """One RSU's period report: the raw pseudonym multiset."""
+
+    rsu_id: int
+    pseudonyms: np.ndarray
+    period: int = 0
+
+    @property
+    def counter(self) -> int:
+        """Point volume (one pseudonym per pass)."""
+        return int(self.pseudonyms.size)
+
+
+class PseudonymScheme:
+    """Exact intersection via per-period pseudonyms (no masking).
+
+    Parameters
+    ----------
+    hash_seed:
+        Seed of the pseudonym derivation (plays the period salt).
+    """
+
+    def __init__(self, *, hash_seed: int = 0) -> None:
+        self.hash_seed = int(hash_seed)
+        self._reports: Dict[Tuple[int, int], PseudonymReport] = {}
+
+    def _pseudonyms(self, ids: np.ndarray, keys: np.ndarray, period: int) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            material = (
+                np.asarray(ids, dtype=np.uint64)
+                ^ np.asarray(keys, dtype=np.uint64)
+                ^ np.uint64(period * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF)
+            )
+        return hash_u64(material, seed=self.hash_seed)
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+    def encode_rsu(
+        self,
+        rsu_id: int,
+        vehicle_ids: np.ndarray,
+        vehicle_keys: np.ndarray,
+        *,
+        period: int = 0,
+    ) -> PseudonymReport:
+        """Collect every passing vehicle's period pseudonym."""
+        report = PseudonymReport(
+            rsu_id=int(rsu_id),
+            pseudonyms=self._pseudonyms(vehicle_ids, vehicle_keys, period),
+            period=period,
+        )
+        self._reports[(period, int(rsu_id))] = report
+        return report
+
+    def encode(
+        self, passes: Mapping[int, Passes], *, period: int = 0
+    ) -> Dict[int, PseudonymReport]:
+        """Encode every RSU's traffic."""
+        return {
+            int(rsu_id): self.encode_rsu(rsu_id, ids, keys, period=period)
+            for rsu_id, (ids, keys) in passes.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def measure(self, rsu_x: int, rsu_y: int, *, period: int = 0) -> int:
+        """*Exact* point-to-point volume by set intersection."""
+        try:
+            a = self._reports[(period, int(rsu_x))]
+            b = self._reports[(period, int(rsu_y))]
+        except KeyError as exc:
+            raise EstimationError(f"missing pseudonym report: {exc}") from None
+        return int(np.intersect1d(a.pseudonyms, b.pseudonyms).size)
+
+
+def trajectory_linkability(
+    reports: Mapping[int, PseudonymReport]
+) -> float:
+    """Fraction of multi-RSU vehicles whose full trace is recoverable.
+
+    For the pseudonym strawman every repeated pseudonym links, so this
+    returns 1.0 whenever any vehicle passed two or more RSUs — the
+    quantified privacy failure that motivates bit array masking.
+    """
+    seen: Dict[int, Set[int]] = {}
+    for rsu_id, report in reports.items():
+        for pseudonym in report.pseudonyms:
+            seen.setdefault(int(pseudonym), set()).add(rsu_id)
+    multi = [rsus for rsus in seen.values() if len(rsus) >= 2]
+    if not multi:
+        return 0.0
+    # Each pseudonym observed at k RSUs exposes its full k-stop trace.
+    return 1.0

@@ -1,0 +1,177 @@
+"""The physical bit array ``B_x`` maintained by each RSU.
+
+A thin, explicit wrapper around a numpy boolean vector with exactly the
+operations the scheme needs: set bits by index (online coding), count
+zeros / fraction of zeros (the ``U``/``V`` statistics of Section IV-C),
+bitwise OR, and compact byte (de)serialization for the RSU-to-server
+report.  Lengths are *not* restricted to powers of two here — that
+constraint belongs to the scheme's sizing rule — so the ablation
+experiments can also exercise arbitrary lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BitArray"]
+
+IndexLike = Union[int, Iterable[int], np.ndarray]
+
+
+class BitArray:
+    """A fixed-length array of bits with vectorized operations.
+
+    Parameters
+    ----------
+    size:
+        Number of bits ``m``.
+    bits:
+        Optional initial contents (boolean array of length *size*); the
+        array is copied.
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, size: int, bits: np.ndarray = None) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"bit array size must be positive, got {size}")
+        if bits is None:
+            self._bits = np.zeros(int(size), dtype=bool)
+        else:
+            bits = np.asarray(bits, dtype=bool)
+            if bits.shape != (int(size),):
+                raise ConfigurationError(
+                    f"bits shape {bits.shape} does not match size {size}"
+                )
+            self._bits = bits.copy()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "BitArray":
+        """Wrap (a copy of) a boolean vector."""
+        bits = np.asarray(bits, dtype=bool)
+        return cls(bits.size, bits)
+
+    @classmethod
+    def from_indices(cls, size: int, indices: IndexLike) -> "BitArray":
+        """Create an array of *size* bits with *indices* set to 1."""
+        array = cls(size)
+        array.set_bits(indices)
+        return array
+
+    @classmethod
+    def from_bytes(cls, data: bytes, size: int) -> "BitArray":
+        """Inverse of :meth:`to_bytes`."""
+        unpacked = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=size)
+        return cls(size, unpacked.astype(bool))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of bits ``m``."""
+        return int(self._bits.size)
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The underlying boolean vector (read-only view)."""
+        view = self._bits.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._bits[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self.size == other.size and bool(np.array_equal(self._bits, other._bits))
+
+    def __hash__(self) -> int:  # BitArrays are mutable; identity hash only
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Mutation (online coding phase)
+    # ------------------------------------------------------------------
+    def set_bit(self, index: int) -> None:
+        """Set a single bit (one vehicle report, paper Eq. 2)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit index {index} out of range [0, {self.size})")
+        self._bits[index] = True
+
+    def set_bits(self, indices: IndexLike) -> None:
+        """Set many bits at once (vectorized online coding).
+
+        Duplicate indices are idempotent, exactly as repeated vehicle
+        reports to the same position are in the real protocol.
+        """
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.size:
+            raise IndexError(
+                f"bit indices must lie in [0, {self.size}); got range "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        self._bits[idx] = True
+
+    def clear(self) -> None:
+        """Reset all bits to zero (start of a measurement period)."""
+        self._bits[:] = False
+
+    # ------------------------------------------------------------------
+    # Statistics (offline decoding phase)
+    # ------------------------------------------------------------------
+    def count_ones(self) -> int:
+        """Number of set bits."""
+        return int(self._bits.sum())
+
+    def count_zeros(self) -> int:
+        """The ``U`` statistic: number of zero bits."""
+        return self.size - self.count_ones()
+
+    def zero_fraction(self) -> float:
+        """The ``V`` statistic: fraction of zero bits (``U / m``)."""
+        return self.count_zeros() / self.size
+
+    def is_saturated(self) -> bool:
+        """``True`` iff every bit is set (``V = 0``; estimator undefined)."""
+        return self.count_zeros() == 0
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def __or__(self, other: "BitArray") -> "BitArray":
+        """Bitwise OR of two equal-length arrays (paper Eq. 4)."""
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        if other.size != self.size:
+            raise ConfigurationError(
+                f"cannot OR bit arrays of different sizes "
+                f"({self.size} vs {other.size}); unfold the smaller one first"
+            )
+        return BitArray(self.size, self._bits | other._bits)
+
+    def copy(self) -> "BitArray":
+        """An independent copy."""
+        return BitArray(self.size, self._bits)
+
+    # ------------------------------------------------------------------
+    # Serialization (RSU -> server report)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Pack into ``ceil(m / 8)`` bytes (big-endian bit order)."""
+        return np.packbits(self._bits.astype(np.uint8)).tobytes()
+
+    def __repr__(self) -> str:
+        return f"BitArray(size={self.size}, ones={self.count_ones()})"

@@ -1,0 +1,161 @@
+"""Offline decoding pipeline at the central server (paper Section IV-C).
+
+The :class:`CentralDecoder` collects per-period RSU reports and answers
+point-to-point queries between arbitrary RSU pairs.  It is the
+measurement back end used by :class:`repro.vcps.server.CentralServer`;
+it has no networking concerns of its own so the experiment harness can
+drive it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.bitarray import BitArray
+from repro.core.estimator import (
+    PairEstimate,
+    ZeroFractionPolicy,
+    estimate_intersection,
+)
+from repro.core.reports import RsuReport
+from repro.core.unfolding import unfold
+from repro.errors import EstimationError
+
+__all__ = ["CentralDecoder"]
+
+
+class CentralDecoder:
+    """Stores RSU reports and computes pairwise intersection estimates.
+
+    All-pairs decoding re-unfolds each array once per *target size*
+    rather than once per pair: unfolded arrays are memoized per
+    ``(period, rsu_id, size)``, which turns the ``O(k² · m)`` matrix
+    pass into ``O(k² · m)`` ORs plus only ``O(k · log(sizes) · m)``
+    unfolds (``benchmarks/bench_overhead.py`` covers the decode path).
+
+    Parameters
+    ----------
+    s:
+        The logical bit array size the vehicle fleet uses.
+    policy:
+        Saturation handling passed through to the estimator.
+    """
+
+    def __init__(
+        self, s: int, *, policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE
+    ) -> None:
+        self.s = int(s)
+        self.policy = policy
+        # (period, rsu_id) -> report
+        self._reports: Dict[Tuple[int, int], RsuReport] = {}
+        # (period, rsu_id, target_size) -> unfolded bit array
+        self._unfold_cache: Dict[Tuple[int, int, int], BitArray] = {}
+
+    # ------------------------------------------------------------------
+    # Report ingestion
+    # ------------------------------------------------------------------
+    def submit(self, report: RsuReport) -> None:
+        """Store one RSU's report for its period (latest wins)."""
+        self._reports[(report.period, report.rsu_id)] = report
+        # A replaced report invalidates its cached unfoldings.
+        stale = [
+            key
+            for key in self._unfold_cache
+            if key[0] == report.period and key[1] == report.rsu_id
+        ]
+        for key in stale:
+            del self._unfold_cache[key]
+
+    def _unfolded(self, report: RsuReport, target_size: int) -> BitArray:
+        """Memoized ``unfold(report.bits, target_size)``."""
+        if target_size == report.array_size:
+            return report.bits
+        key = (report.period, report.rsu_id, target_size)
+        cached = self._unfold_cache.get(key)
+        if cached is None:
+            cached = unfold(report.bits, target_size)
+            self._unfold_cache[key] = cached
+        return cached
+
+    def submit_many(self, reports: Iterable[RsuReport]) -> None:
+        """Store a batch of reports."""
+        for report in reports:
+            self.submit(report)
+
+    def report_for(self, rsu_id: int, period: int = 0) -> RsuReport:
+        """Fetch a stored report or raise :class:`EstimationError`."""
+        try:
+            return self._reports[(period, rsu_id)]
+        except KeyError:
+            raise EstimationError(
+                f"no report stored for RSU {rsu_id} in period {period}"
+            ) from None
+
+    def rsu_ids(self, period: int = 0) -> List[int]:
+        """All RSUs that reported in *period*, sorted."""
+        return sorted(rid for (p, rid) in self._reports if p == period)
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def point_volume(self, rsu_id: int, period: int = 0) -> int:
+        """The exact point volume ``n_x`` from the RSU counter."""
+        return self.report_for(rsu_id, period).counter
+
+    def pair_estimate(
+        self, rsu_x: int, rsu_y: int, period: int = 0
+    ) -> PairEstimate:
+        """Estimate the point-to-point volume between two RSUs (Eq. 5)."""
+        if rsu_x == rsu_y:
+            raise EstimationError(
+                "point-to-point volume requires two distinct RSUs; the point "
+                "volume of a single RSU is its counter"
+            )
+        report_x = self.report_for(rsu_x, period)
+        report_y = self.report_for(rsu_y, period)
+        if report_x.array_size > report_y.array_size:
+            report_x, report_y = report_y, report_x
+        # Same computation as estimate_intersection, but the unfolding
+        # of the smaller array is memoized across queries.
+        from repro.core.estimator import (
+            _observed_fraction,
+            estimate_from_fractions,
+        )
+
+        unfolded = self._unfolded(report_x, report_y.array_size)
+        joint = unfolded | report_y.bits
+        v_c = _observed_fraction(joint, self.policy)
+        v_x = _observed_fraction(report_x.bits, self.policy)
+        v_y = _observed_fraction(report_y.bits, self.policy)
+        n_c_hat = estimate_from_fractions(
+            v_c, v_x, v_y, report_y.array_size, self.s
+        )
+        return PairEstimate(
+            n_c_hat=n_c_hat,
+            v_c=v_c,
+            v_x=v_x,
+            v_y=v_y,
+            m_x=report_x.array_size,
+            m_y=report_y.array_size,
+            n_x=report_x.counter,
+            n_y=report_y.counter,
+            s=self.s,
+        )
+
+    def all_pairs(
+        self, period: int = 0, *, rsu_ids: Optional[List[int]] = None
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """Estimates for every unordered RSU pair in *period*.
+
+        The full matrix a transportation study consumes; ``O(m_y)`` per
+        pair as analyzed in paper Section IV-E.
+        """
+        ids = self.rsu_ids(period) if rsu_ids is None else sorted(rsu_ids)
+        results: Dict[Tuple[int, int], PairEstimate] = {}
+        for i, rsu_x in enumerate(ids):
+            for rsu_y in ids[i + 1 :]:
+                results[(rsu_x, rsu_y)] = self.pair_estimate(rsu_x, rsu_y, period)
+        return results

@@ -1,0 +1,252 @@
+"""Zero-bit occupancy model and the MLE estimator (paper Section IV-C/D).
+
+The central quantities are the fractions of zero bits
+
+* ``V_x`` in ``B_x``, ``V_y`` in ``B_y`` and ``V_c`` in
+  ``B_c = unfold(B_x) OR B_y``,
+
+whose expectations under the occupancy model are (Eqs. 9-11):
+
+* ``q(n_x) = (1 - 1/m_x)**n_x``
+* ``q(n_y) = (1 - 1/m_y)**n_y``
+* ``q(n_c) = q(n_x) * q(n_y) * rho**n_c`` with
+  ``rho = (1 - (s-1)/(s m_y)) / (1 - 1/m_y)``.
+
+Maximizing the binomial likelihood of observing ``U_c`` zero bits in
+``B_c`` yields the closed-form MLE (Eq. 5):
+
+    ``n̂_c = [ln V_c - ln V_x - ln V_y] / ln(rho)``.
+
+All computations run in log space so they remain exact at the paper's
+largest scales (``n = 5*10**5``, ``m = 2**21``).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.bitarray import BitArray
+from repro.core.reports import RsuReport
+from repro.core.unfolding import unfolded_or
+from repro.errors import ConfigurationError, EstimationError, SaturatedArrayError
+from repro.utils.mathx import log_pow_one_minus
+
+__all__ = [
+    "ZeroFractionPolicy",
+    "PairEstimate",
+    "q_point",
+    "q_intersection",
+    "log_collision_ratio",
+    "estimate_from_fractions",
+    "estimate_intersection",
+    "estimate_point_volume",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class ZeroFractionPolicy(enum.Enum):
+    """What to do when a bit array is saturated (no zero bits).
+
+    ``RAISE``
+        Raise :class:`~repro.errors.SaturatedArrayError` — the honest
+        choice for analysis code.
+    ``CLAMP``
+        Substitute half a zero bit (``V = 0.5/m``), the standard
+        bitmap-estimator continuity correction, so sweeps over extreme
+        load factors still return finite numbers.
+    """
+
+    RAISE = "raise"
+    CLAMP = "clamp"
+
+
+def q_point(volume: ArrayLike, array_size: float) -> ArrayLike:
+    """Expected zero-bit fraction after *volume* single-bit inserts.
+
+    Paper Eqs. (10)/(11): ``q(n) = (1 - 1/m)**n``.
+    """
+    if np.any(np.asarray(array_size) <= 1):
+        raise ConfigurationError(f"array_size must be > 1, got {array_size}")
+    return np.exp(log_pow_one_minus(1.0 / np.asarray(array_size, float), volume))
+
+
+def log_collision_ratio(s: int, m_y: float) -> float:
+    """Return ``ln(rho)`` with ``rho = (1 - (s-1)/(s m_y))/(1 - 1/m_y)``.
+
+    This is the (positive) denominator of Eq. (5): the per-common-car
+    log-odds by which the joint array ``B_c`` keeps more zeros than two
+    independent populations would.
+    """
+    if s < 1:
+        raise ConfigurationError(f"s must be >= 1, got {s}")
+    if m_y <= 1:
+        raise ConfigurationError(f"m_y must be > 1, got {m_y}")
+    if s >= m_y:
+        raise ConfigurationError(
+            f"s ({s}) must be < m_y ({m_y}); the MLE derivative degenerates"
+        )
+    return math.log1p(-(s - 1) / (s * m_y)) - math.log1p(-1.0 / m_y)
+
+
+def q_intersection(
+    n_x: ArrayLike,
+    n_y: ArrayLike,
+    n_c: ArrayLike,
+    m_x: float,
+    m_y: float,
+    s: int,
+) -> ArrayLike:
+    """Expected zero-bit fraction of the joint array ``B_c`` (Eq. 9)."""
+    log_q = (
+        log_pow_one_minus(1.0 / m_x, n_x)
+        + log_pow_one_minus(1.0 / m_y, n_y)
+        + np.asarray(n_c, float) * log_collision_ratio(s, m_y)
+    )
+    return np.exp(log_q)
+
+
+def estimate_from_fractions(
+    v_c: float, v_x: float, v_y: float, m_y: float, s: int
+) -> float:
+    """Apply Eq. (5) to observed zero-bit fractions.
+
+    ``n̂_c = [ln V_c - ln V_x - ln V_y] / ln(rho)``.
+
+    Raises :class:`SaturatedArrayError` if any fraction is zero.
+    """
+    for name, value in (("V_c", v_c), ("V_x", v_x), ("V_y", v_y)):
+        if value <= 0.0:
+            raise SaturatedArrayError(
+                f"{name} = 0: a bit array is saturated, the MLE of Eq. (5) "
+                "is undefined; increase the load factor or use CLAMP"
+            )
+        if value > 1.0:
+            raise EstimationError(f"{name} = {value} is not a fraction in (0, 1]")
+    return (math.log(v_c) - math.log(v_x) - math.log(v_y)) / log_collision_ratio(
+        s, m_y
+    )
+
+
+def _observed_fraction(bits: BitArray, policy: ZeroFractionPolicy) -> float:
+    """Zero fraction of *bits*, applying the saturation *policy*."""
+    zeros = bits.count_zeros()
+    if zeros == 0:
+        if policy is ZeroFractionPolicy.RAISE:
+            raise SaturatedArrayError(
+                f"bit array of size {bits.size} is saturated (no zero bits)"
+            )
+        return 0.5 / bits.size
+    return zeros / bits.size
+
+
+@dataclass(frozen=True)
+class PairEstimate:
+    """Result of decoding one RSU pair.
+
+    Attributes
+    ----------
+    n_c_hat:
+        The point-to-point traffic volume estimate ``n̂_c`` (Eq. 5).
+    v_c, v_x, v_y:
+        Observed zero-bit fractions that produced the estimate
+        (``v_x`` always refers to the *smaller* array).
+    m_x, m_y:
+        Array sizes after the canonical ordering ``m_x <= m_y``.
+    n_x, n_y:
+        Reported counters under the same ordering.
+    s:
+        Logical bit array size used.
+    """
+
+    n_c_hat: float
+    v_c: float
+    v_x: float
+    v_y: float
+    m_x: int
+    m_y: int
+    n_x: int
+    n_y: int
+    s: int
+
+    @property
+    def clamped_nonnegative(self) -> float:
+        """``max(n̂_c, 0)`` — a convenience for reporting, since sampling
+        noise can push the raw MLE slightly below zero when ``n_c`` is
+        tiny."""
+        return max(self.n_c_hat, 0.0)
+
+    def error_ratio(self, true_n_c: float) -> float:
+        """The paper's Table I metric ``r = |n̂_c - n_c| / n_c``."""
+        if true_n_c <= 0:
+            raise EstimationError("error_ratio requires a positive true n_c")
+        return abs(self.n_c_hat - true_n_c) / true_n_c
+
+
+def estimate_intersection(
+    report_x: RsuReport,
+    report_y: RsuReport,
+    s: int,
+    *,
+    policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE,
+) -> PairEstimate:
+    """Decode a pair of RSU reports into ``n̂_c`` (paper Eqs. 3-5).
+
+    Orders the reports so the first has the smaller array, unfolds it
+    to the larger size, ORs, counts zeros, and applies the MLE.
+
+    Parameters
+    ----------
+    report_x, report_y:
+        The two per-period RSU reports (any order, any power-of-two
+        sizes).
+    s:
+        The logical bit array size the vehicles used.
+    policy:
+        Saturation handling; see :class:`ZeroFractionPolicy`.
+    """
+    if report_x.period != report_y.period:
+        raise EstimationError(
+            f"reports cover different periods ({report_x.period} vs "
+            f"{report_y.period}); point-to-point volume is per-period"
+        )
+    if report_x.array_size > report_y.array_size:
+        report_x, report_y = report_y, report_x
+    joint = unfolded_or(report_x.bits, report_y.bits)
+    v_c = _observed_fraction(joint, policy)
+    v_x = _observed_fraction(report_x.bits, policy)
+    v_y = _observed_fraction(report_y.bits, policy)
+    n_c_hat = estimate_from_fractions(v_c, v_x, v_y, report_y.array_size, s)
+    return PairEstimate(
+        n_c_hat=n_c_hat,
+        v_c=v_c,
+        v_x=v_x,
+        v_y=v_y,
+        m_x=report_x.array_size,
+        m_y=report_y.array_size,
+        n_x=report_x.counter,
+        n_y=report_y.counter,
+        s=s,
+    )
+
+
+def estimate_point_volume(
+    report: RsuReport,
+    *,
+    policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE,
+) -> float:
+    """Bitmap ("linear counting") estimate of a single RSU's volume.
+
+    Inverts Eq. (10): ``n̂ = ln(V) / ln(1 - 1/m)``.  The scheme itself
+    carries the exact counter ``n_x``, but this estimator lets the
+    server cross-check counters against bit arrays (e.g. to detect a
+    faulty RSU whose counter drifted from its array) and is used by the
+    consistency checks in :mod:`repro.vcps.server`.
+    """
+    v = _observed_fraction(report.bits, policy)
+    return math.log(v) / math.log1p(-1.0 / report.array_size)

@@ -1,0 +1,64 @@
+"""Bit array sizing (paper Section IV-B).
+
+Each RSU's array length is ``m_x = 2**ceil(log2(n̄_x * f̄))`` — the
+smallest power of two no smaller than its historical average point
+traffic volume ``n̄_x`` times a global *load factor* ``f̄``.  Keeping
+every RSU at (roughly) the same load factor is the paper's central
+idea: it equalizes both privacy and estimator noise across
+heavy-traffic and light-traffic RSUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive, next_power_of_two
+
+__all__ = ["array_size_for_volume", "LoadFactorSizing"]
+
+
+def array_size_for_volume(average_volume: float, load_factor: float) -> int:
+    """Return ``2**ceil(log2(average_volume * load_factor))``.
+
+    This is the paper's sizing rule for ``m_x``.  The result is always
+    at least 2 (a 1-bit array cannot carry any information and the
+    estimator's denominator requires ``m_x > 1``).
+    """
+    check_positive(average_volume, "average_volume")
+    check_positive(load_factor, "load_factor")
+    return max(2, next_power_of_two(average_volume * load_factor))
+
+
+@dataclass(frozen=True)
+class LoadFactorSizing:
+    """Sizing policy with a fixed global load factor ``f̄``.
+
+    Parameters
+    ----------
+    load_factor:
+        The global load factor ``f̄``, identical for all RSUs.  The
+        paper picks it from history so the preserved privacy sits at
+        the optimum ``f*`` (approximately 2–4; see Fig. 2 and
+        :func:`repro.privacy.optimizer.optimal_load_factor`).
+    """
+
+    load_factor: float
+
+    def __post_init__(self) -> None:
+        if self.load_factor <= 0:
+            raise ConfigurationError(
+                f"load_factor must be > 0, got {self.load_factor}"
+            )
+
+    def size_for(self, average_volume: float) -> int:
+        """Array size for an RSU with historical volume *average_volume*."""
+        return array_size_for_volume(average_volume, self.load_factor)
+
+    def effective_load_factor(self, average_volume: float) -> float:
+        """The realized ``m_x / n̄_x`` after power-of-two rounding.
+
+        Always in ``[f̄, 2·f̄)`` (up to the ``m >= 2`` floor), since
+        rounding up to a power of two at most doubles the target.
+        """
+        return self.size_for(average_volume) / average_volume

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while still letting programming errors
+(``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "EstimationError",
+    "SaturatedArrayError",
+    "ProtocolError",
+    "AuthenticationError",
+    "NetworkDataError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A scheme, experiment, or substrate was configured with invalid
+    parameters (e.g. a bit array length that is not a power of two, a
+    logical bit array larger than the physical array, a non-positive
+    load factor)."""
+
+
+class EstimationError(ReproError):
+    """The offline decoder could not produce an estimate from the given
+    reports (e.g. mismatched measurement periods or incompatible array
+    sizes)."""
+
+
+class SaturatedArrayError(EstimationError):
+    """A bit array contains no zero bits, so the fraction-of-zeros
+    statistic is degenerate and the MLE estimator of paper Eq. (5) is
+    undefined.  Callers can either enlarge the array (raise the load
+    factor) or use :class:`~repro.core.estimator.ZeroFractionPolicy`
+    clamping."""
+
+
+class ProtocolError(ReproError):
+    """A DSRC message violated the query/response protocol (wrong type,
+    out-of-range bit index, malformed wire encoding)."""
+
+
+class AuthenticationError(ProtocolError):
+    """An RSU certificate failed verification against the trusted
+    certificate authority, so the vehicle refuses to respond."""
+
+
+class NetworkDataError(ReproError):
+    """Road network data is inconsistent (unknown node, disconnected OD
+    pair, negative demand)."""
+
+
+class CalibrationError(ReproError):
+    """A calibration routine (gravity model scaling, load factor
+    optimizer) failed to converge to the requested targets."""

@@ -1,0 +1,65 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each experiment module exposes a ``run_*`` function returning a typed
+result object with a ``render()`` method that prints the same
+rows/series the paper reports:
+
+* :mod:`repro.experiments.figure2` — privacy vs load factor (Fig. 2);
+* :mod:`repro.experiments.table1` — Sioux Falls error ratios (Table I);
+* :mod:`repro.experiments.figure4` — baseline accuracy sweep (Fig. 4);
+* :mod:`repro.experiments.figure5` — VLM accuracy sweep (Fig. 5);
+* :mod:`repro.experiments.accuracy_analysis` — Section V closed forms
+  vs Monte-Carlo;
+* :mod:`repro.experiments.ablations` — design-choice ablations.
+
+``python -m repro.cli <experiment>`` drives them from the shell.
+"""
+
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.sweep import SweepResult
+from repro.experiments.accuracy_analysis import (
+    AccuracyAnalysisResult,
+    run_accuracy_analysis,
+)
+from repro.experiments.ablations import AblationResult, run_ablations
+from repro.experiments.multiperiod import MultiPeriodResult, run_multiperiod
+from repro.experiments.tradeoff import TradeoffResult, run_tradeoff
+from repro.experiments.sioux_falls_matrix import MatrixResult, run_sioux_falls_matrix
+from repro.experiments.attack_resilience import (
+    AttackResilienceResult,
+    run_attack_resilience,
+)
+from repro.experiments.calibration import CalibrationResult, run_calibration
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.scaling import ScalingResult, run_scaling
+
+__all__ = [
+    "CalibrationResult",
+    "run_calibration",
+    "Figure1Result",
+    "run_figure1",
+    "ScalingResult",
+    "run_scaling",
+    "MatrixResult",
+    "run_sioux_falls_matrix",
+    "AttackResilienceResult",
+    "run_attack_resilience",
+    "MultiPeriodResult",
+    "run_multiperiod",
+    "TradeoffResult",
+    "run_tradeoff",
+    "Figure2Result",
+    "run_figure2",
+    "Table1Result",
+    "run_table1",
+    "SweepResult",
+    "run_figure4",
+    "run_figure5",
+    "AccuracyAnalysisResult",
+    "run_accuracy_analysis",
+    "AblationResult",
+    "run_ablations",
+]

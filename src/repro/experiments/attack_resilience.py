@@ -1,0 +1,199 @@
+"""Attack-resilience study: response stuffing vs the integrity check.
+
+The scheme's anonymity invites a cheap attack the paper does not
+evaluate: a misbehaving on-board unit can answer queries *many times*
+under fresh one-time MACs, inflating the RSU's counter ``n_x``.  Two
+variants differ sharply:
+
+* **Replay** — the unit resends its own (deterministic) response: the
+  counter inflates but the duplicates keep hitting the *same* bit, so
+  the bitmap-implied volume stays at the honest level.  The server's
+  counter-vs-bitmap cross-check
+  (:class:`repro.vcps.server.CentralServer`) flags this reliably.
+* **Forgery** — the unit invents fresh uniform indices: each forged
+  response is statistically indistinguishable from an honest vehicle,
+  so the cross-check *cannot* see it.  This is the honest negative
+  result: anonymity buys unlinkability at the price of unauthenticated
+  counting, and defending against forgery needs rate limiting or
+  anonymous credentials, out of the paper's scope.
+
+The study quantifies both: inflation of the counter and of the
+bitmap-implied volume, and whether the cross-check fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.encoder import encode_passes
+from repro.core.estimator import ZeroFractionPolicy, estimate_point_volume
+from repro.core.parameters import SchemeParameters
+from repro.core.reports import RsuReport
+from repro.core.sizing import LoadFactorSizing, array_size_for_volume
+from repro.errors import ConfigurationError
+from repro.hashing.logical_bitarray import select_indices
+from repro.traffic.population import VehicleFleet
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.tables import AsciiTable
+from repro.vcps.history import VolumeHistory
+from repro.vcps.server import CentralServer
+
+__all__ = ["AttackOutcome", "AttackResilienceResult", "run_attack_resilience"]
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Effect of one attack configuration."""
+
+    variant: str
+    duplicates_per_attacker: int
+    counter_inflation: float
+    bitmap_estimate_inflation: float
+    flagged: bool
+    anomaly_deviations: float
+
+
+@dataclass(frozen=True)
+class AttackResilienceResult:
+    """Outcomes across variants and stuffing intensities."""
+
+    outcomes: List[AttackOutcome]
+    n_honest: int
+    attacker_count: int
+    array_size: int
+
+    def detection_threshold(self, variant: str) -> int:
+        """Smallest duplicates-per-attacker flagged for *variant*
+        (-1 if never flagged)."""
+        flagged = [
+            o.duplicates_per_attacker
+            for o in self.outcomes
+            if o.variant == variant and o.flagged
+        ]
+        return min(flagged) if flagged else -1
+
+    def render(self) -> str:
+        table = AsciiTable(
+            [
+                "variant",
+                "dups/attacker",
+                "counter +%",
+                "bitmap est +%",
+                "deviations",
+                "flagged",
+            ],
+            title=(
+                "Response-stuffing attack vs counter/bitmap cross-check "
+                f"({self.n_honest:,} honest vehicles, "
+                f"{self.attacker_count} attackers, m = {self.array_size:,})"
+            ),
+        )
+        for o in self.outcomes:
+            table.add_row(
+                [
+                    o.variant,
+                    o.duplicates_per_attacker,
+                    100 * o.counter_inflation,
+                    100 * o.bitmap_estimate_inflation,
+                    o.anomaly_deviations,
+                    "YES" if o.flagged else "no",
+                ]
+            )
+        lines = [table.render()]
+        replay = self.detection_threshold("replay")
+        if replay > 0:
+            lines.append(
+                f"replay stuffing flagged from {replay} duplicates per "
+                "attacker upward"
+            )
+        if self.detection_threshold("forgery") < 0:
+            lines.append(
+                "forgery stuffing is never flagged — forged indices are "
+                "statistically honest; mitigation needs rate limiting or "
+                "anonymous credentials (outside the paper's scope)"
+            )
+        return "\n".join(lines)
+
+
+def run_attack_resilience(
+    *,
+    n_honest: int = 20_000,
+    attacker_fraction: float = 0.01,
+    duplicates_grid: Sequence[int] = (0, 5, 20, 50, 200),
+    load_factor: float = 8.0,
+    s: int = 2,
+    anomaly_threshold: float = 6.0,
+    seed: SeedLike = 23,
+) -> AttackResilienceResult:
+    """Sweep both attack variants and record inflation + detection."""
+    if not 0.0 <= attacker_fraction <= 1.0:
+        raise ConfigurationError(
+            f"attacker_fraction must be in [0, 1], got {attacker_fraction}"
+        )
+    rng = as_generator(seed)
+    m = array_size_for_volume(n_honest, load_factor)
+    params = SchemeParameters(s=s, load_factor=load_factor, m_o=m, hash_seed=11)
+    fleet = VehicleFleet.random(n_honest, seed=rng)
+    attacker_count = int(round(attacker_fraction * n_honest))
+    # Attackers are the first `attacker_count` honest vehicles: their
+    # deterministic replay index is their genuine Eq. (2) index.
+    replay_indices = (
+        select_indices(
+            fleet.ids[:attacker_count],
+            fleet.keys[:attacker_count],
+            1,
+            params.salts,
+            params.m_o,
+            seed=params.hash_seed,
+        )
+        & (m - 1)
+    )
+
+    outcomes: List[AttackOutcome] = []
+    for variant in ("replay", "forgery"):
+        for duplicates in duplicates_grid:
+            honest = encode_passes(fleet.ids, fleet.keys, 1, m, params)
+            bits = honest.bits.copy()
+            extra = attacker_count * int(duplicates)
+            if extra:
+                if variant == "replay":
+                    stuffed = np.repeat(replay_indices, int(duplicates))
+                else:
+                    stuffed = rng.integers(0, m, size=extra)
+                bits.set_bits(stuffed)
+            report = RsuReport(
+                rsu_id=1, counter=honest.counter + extra, bits=bits
+            )
+            server = CentralServer(
+                s,
+                LoadFactorSizing(load_factor),
+                history=VolumeHistory({1: n_honest}),
+                anomaly_threshold=anomaly_threshold,
+            )
+            server.receive_report(report)
+            anomalies = server.anomalies
+            bitmap_estimate = estimate_point_volume(
+                report, policy=ZeroFractionPolicy.CLAMP
+            )
+            outcomes.append(
+                AttackOutcome(
+                    variant=variant,
+                    duplicates_per_attacker=int(duplicates),
+                    counter_inflation=extra / n_honest,
+                    bitmap_estimate_inflation=(bitmap_estimate - n_honest)
+                    / n_honest,
+                    flagged=bool(anomalies),
+                    anomaly_deviations=(
+                        anomalies[0].deviations if anomalies else 0.0
+                    ),
+                )
+            )
+    return AttackResilienceResult(
+        outcomes=outcomes,
+        n_honest=n_honest,
+        attacker_count=attacker_count,
+        array_size=m,
+    )

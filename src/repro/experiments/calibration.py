@@ -1,0 +1,133 @@
+"""Calibration of the Fig. 2 common-traffic fraction (substitution #5).
+
+The privacy formula (Eq. 43) needs ``n_c``, but Fig. 2 never states
+the value used.  DESIGN.md substitution #5 fixes
+``n_c = 0.1 · min(n_x, n_y)``; this experiment makes that choice
+auditable: it sweeps the fraction and scores each candidate against
+every quantitative reading the paper's text quotes, showing 0.1 is the
+(essentially unique) simultaneous fit.
+
+Paper readings scored (Section VI-B):
+
+1. optimal privacy ≈ 0.75 at ``s = 5``, equal traffic;
+2. privacy ≈ 0.89 at ``f̄ = 3, s = 5, n_y = 10 n_x``;
+3. privacy ≈ 0.91 at ``f̄ = 3, s = 5, n_y = 50 n_x``;
+4. privacy ≈ 0.2 at ``f = 50, s = 2``, equal traffic;
+5. "m should be no larger than 15·n_min" for privacy ≥ 0.5 at s = 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.privacy.optimizer import (
+    max_load_factor_for_privacy,
+    optimal_load_factor,
+    privacy_curve,
+)
+from repro.utils.tables import AsciiTable
+
+__all__ = ["CalibrationResult", "run_calibration"]
+
+#: (label, paper value) for each scored reading.
+PAPER_READINGS: Tuple[Tuple[str, float], ...] = (
+    ("p* (s=5, equal)", 0.75),
+    ("p(f=3, s=5, 10x)", 0.89),
+    ("p(f=3, s=5, 50x)", 0.91),
+    ("p(f=50, s=2, equal)", 0.20),
+    ("max f for p>=0.5 (s=2)", 15.0),
+)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fit of each candidate fraction against the paper's readings."""
+
+    fractions: Sequence[float]
+    readings: Dict[float, Tuple[float, ...]]
+    scores: Dict[float, float]
+
+    @property
+    def best_fraction(self) -> float:
+        """The fraction minimizing the total relative misfit."""
+        return min(self.scores, key=self.scores.get)
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["n_c fraction"]
+            + [label for label, _ in PAPER_READINGS]
+            + ["total misfit"],
+            title=(
+                "Calibration of Fig. 2's unstated n_c "
+                "(paper readings in header parentheses below)"
+            ),
+        )
+        table.add_row(
+            ["(paper)"] + [value for _, value in PAPER_READINGS] + [None]
+        )
+        for fraction in self.fractions:
+            table.add_row(
+                [fraction]
+                + list(self.readings[fraction])
+                + [self.scores[fraction]]
+            )
+        return "\n".join(
+            [
+                table.render(),
+                f"best simultaneous fit: n_c = {self.best_fraction:g} "
+                "x min(n_x, n_y)  (the library default)",
+            ]
+        )
+
+
+def _readings_for(fraction: float, n_x: float) -> Tuple[float, ...]:
+    _, p_star = optimal_load_factor(5, n_x=n_x, n_y=n_x, common_fraction=fraction)
+    p3_10 = float(
+        privacy_curve(
+            np.array([3.0]), 5, n_x=n_x, n_y=10 * n_x, common_fraction=fraction
+        )[0]
+    )
+    p3_50 = float(
+        privacy_curve(
+            np.array([3.0]), 5, n_x=n_x, n_y=50 * n_x, common_fraction=fraction
+        )[0]
+    )
+    p50 = float(
+        privacy_curve(
+            np.array([50.0]), 2, n_x=n_x, n_y=n_x, common_fraction=fraction
+        )[0]
+    )
+    try:
+        f_max = max_load_factor_for_privacy(
+            0.5, 2, n_x=n_x, n_y=n_x, common_fraction=fraction
+        )
+    except Exception:
+        f_max = float("nan")
+    return (p_star, p3_10, p3_50, p50, f_max)
+
+
+def run_calibration(
+    *,
+    fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.3),
+    n_x: float = 10_000.0,
+) -> CalibrationResult:
+    """Score each candidate fraction against the paper's readings."""
+    readings: Dict[float, Tuple[float, ...]] = {}
+    scores: Dict[float, float] = {}
+    targets = [value for _, value in PAPER_READINGS]
+    for fraction in fractions:
+        values = _readings_for(fraction, n_x)
+        readings[fraction] = values
+        misfit = 0.0
+        for value, target in zip(values, targets):
+            if value != value:  # NaN: unreachable reading
+                misfit += 10.0
+            else:
+                misfit += abs(value - target) / target
+        scores[fraction] = misfit
+    return CalibrationResult(
+        fractions=tuple(fractions), readings=readings, scores=scores
+    )

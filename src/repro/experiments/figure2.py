@@ -1,0 +1,177 @@
+"""Figure 2: preserved privacy vs load factor.
+
+Three plots, each showing privacy ``p`` against the load factor
+``f ∈ [0.1, 50]`` for ``s ∈ {2, 5, 10}``:
+
+1. ``n_y = n_x`` — identical for both schemes (equal sizes);
+2. ``n_y = 10 n_x`` — the VLM scheme with variable-length arrays;
+3. ``n_y = 50 n_x`` — same, wider gap.
+
+The paper's headline readings, all reproduced by this runner (see
+EXPERIMENTS.md): the optimum sits at ``f* ≈ 2-4``; at ``s=5`` the
+optimal privacy is ≈0.75 (equal), ≈0.89 (10x), ≈0.91 (50x); a fixed-m
+deployment that pushes a light RSU to ``f = 50`` at ``s=2`` drops its
+privacy to ≈0.2; and ``m <= ~15 n_min`` keeps privacy ≥ 0.5 at
+``s=2``.
+
+Fig. 2 does not state its common-traffic fraction ``n_c``; we default
+to ``n_c = 0.1 min(n_x, n_y)``, which calibrates all quoted readings
+simultaneously (DESIGN.md substitution #5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.privacy.optimizer import (
+    DEFAULT_COMMON_FRACTION,
+    max_load_factor_for_privacy,
+    optimal_load_factor,
+    privacy_curve,
+)
+from repro.traffic.scenarios import S_VALUES, TRAFFIC_RATIOS
+from repro.utils.tables import AsciiTable
+
+__all__ = ["Figure2Result", "run_figure2"]
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """All three privacy plots plus the derived headline readings.
+
+    ``curves[(ratio, s)]`` is the privacy series over ``load_factors``
+    for the plot with ``n_y = ratio * n_x``; ``empirical`` holds
+    simulated cross-check points ``(ratio, s, f) -> measured p`` when
+    the runner was asked for them.
+    """
+
+    load_factors: np.ndarray
+    curves: Dict[Tuple[int, int], np.ndarray]
+    optima: Dict[Tuple[int, int], Tuple[float, float]]
+    n_x: float
+    common_fraction: float
+    max_f_privacy_half_s2: float
+    empirical: Dict[Tuple[int, int, float], float] = None
+
+    def series(self, ratio: int, s: int) -> np.ndarray:
+        """One plotted curve: privacy over the load-factor grid."""
+        return self.curves[(ratio, s)]
+
+    def render(self) -> str:
+        """Text rendering of the three plots' key points."""
+        parts: List[str] = []
+        probe_points = (0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 25.0, 50.0)
+        for ratio in sorted({r for r, _ in self.curves}):
+            table = AsciiTable(
+                ["f"] + [f"p (s={s})" for s in S_VALUES],
+                title=(
+                    f"Figure 2 — preserved privacy, n_y = {ratio} n_x "
+                    f"(n_x = {self.n_x:g}, n_c = "
+                    f"{self.common_fraction:g} min(n_x, n_y))"
+                ),
+            )
+            for f in probe_points:
+                idx = int(np.argmin(np.abs(self.load_factors - f)))
+                table.add_row(
+                    [self.load_factors[idx]]
+                    + [float(self.curves[(ratio, s)][idx]) for s in S_VALUES]
+                )
+            parts.append(table.render())
+            optima = ", ".join(
+                f"s={s}: f*={self.optima[(ratio, s)][0]:.2f} "
+                f"p*={self.optima[(ratio, s)][1]:.3f}"
+                for s in S_VALUES
+            )
+            parts.append(f"optima: {optima}")
+        parts.append(
+            "largest f with p >= 0.5 at s=2 (equal traffic): "
+            f"{self.max_f_privacy_half_s2:.1f}  "
+            "(paper: m should be no larger than ~15 n_min)"
+        )
+        if self.empirical:
+            check = AsciiTable(
+                ["n_y/n_x", "s", "f", "p analytic", "p simulated"],
+                title="Empirical cross-check (bit-level tracker)",
+            )
+            for (ratio, s, f), measured in sorted(self.empirical.items()):
+                idx = int(np.argmin(np.abs(self.load_factors - f)))
+                check.add_row(
+                    [ratio, s, f, float(self.curves[(ratio, s)][idx]), measured]
+                )
+            parts.append(check.render())
+        return "\n\n".join(parts)
+
+
+def run_figure2(
+    *,
+    n_x: float = 10_000.0,
+    ratios: Sequence[int] = TRAFFIC_RATIOS,
+    s_values: Sequence[int] = S_VALUES,
+    common_fraction: float = DEFAULT_COMMON_FRACTION,
+    grid_points: int = 400,
+    empirical_checks: bool = False,
+    empirical_trials: int = 8,
+) -> Figure2Result:
+    """Compute all Fig. 2 curves and headline readings.
+
+    With ``empirical_checks`` the analytic curves are additionally
+    validated by the bit-level tracker of
+    :mod:`repro.privacy.attacker` at ``f = 3`` for each plot (a scaled
+    population keeps the simulation fast; privacy depends on the load
+    factor, not the absolute volume).
+    """
+    load_factors = np.geomspace(0.1, 50.0, int(grid_points))
+    curves: Dict[Tuple[int, int], np.ndarray] = {}
+    optima: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    for ratio in ratios:
+        n_y = n_x * ratio
+        for s in s_values:
+            curves[(ratio, s)] = privacy_curve(
+                load_factors,
+                s,
+                n_x=n_x,
+                n_y=n_y,
+                common_fraction=common_fraction,
+            )
+            optima[(ratio, s)] = optimal_load_factor(
+                s, n_x=n_x, n_y=n_y, common_fraction=common_fraction
+            )
+    max_f = max_load_factor_for_privacy(
+        0.5, 2, n_x=n_x, n_y=n_x, common_fraction=common_fraction
+    )
+    empirical: Dict[Tuple[int, int, float], float] = {}
+    if empirical_checks:
+        from repro.privacy.attacker import empirical_privacy
+        from repro.utils.validation import next_power_of_two
+
+        check_n_x = 2_000  # scaled population, same load factors
+        for ratio in ratios:
+            for s in (2, 5):
+                f = 3.0
+                m_x = next_power_of_two(f * check_n_x)
+                m_y = next_power_of_two(f * check_n_x * ratio)
+                measured = empirical_privacy(
+                    check_n_x,
+                    check_n_x * ratio,
+                    int(common_fraction * check_n_x),
+                    m_x,
+                    m_y,
+                    s,
+                    trials=empirical_trials,
+                    seed=ratio * 100 + s,
+                )
+                # Realized load factor after power-of-two rounding.
+                realized_f = m_x / check_n_x
+                empirical[(ratio, s, realized_f)] = measured.privacy
+    return Figure2Result(
+        load_factors=load_factors,
+        curves=curves,
+        optima=optima,
+        n_x=n_x,
+        common_fraction=common_fraction,
+        max_f_privacy_half_s2=max_f,
+        empirical=empirical,
+    )

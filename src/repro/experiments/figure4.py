@@ -1,0 +1,26 @@
+"""Figure 4: accuracy of the fixed-length baseline [9].
+
+The paper's reading: the baseline is accurate at ``n_y = n_x``, loses
+accuracy at ``n_y = 10 n_x``, and "the measured results almost scatter
+everywhere" at ``n_y = 50 n_x`` — the unbalanced-load-factor failure
+mode.  Reproduced by sweeping the same grid with the baseline decoder;
+compare against :mod:`repro.experiments.figure5`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.sweep import SweepResult, run_accuracy_sweep
+from repro.utils.rng import SeedLike
+
+__all__ = ["run_figure4"]
+
+
+def run_figure4(
+    *,
+    n_c_values: Optional[Sequence[int]] = None,
+    seed: SeedLike = 4,
+) -> SweepResult:
+    """Run the Fig. 4 sweep (baseline scheme, ``s = 2``)."""
+    return run_accuracy_sweep("baseline", n_c_values=n_c_values, seed=seed)

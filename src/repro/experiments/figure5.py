@@ -1,0 +1,26 @@
+"""Figure 5: accuracy of the VLM scheme under the Fig. 4 workload.
+
+The paper's reading: "our novel scheme stays accurate (the measured
+traffic volume closely follow their real values)" for all three
+traffic ratios — variable-length arrays plus unfolding eliminate the
+unbalanced-load-factor problem.  Run side by side with
+:mod:`repro.experiments.figure4` to reproduce the headline comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.sweep import SweepResult, run_accuracy_sweep
+from repro.utils.rng import SeedLike
+
+__all__ = ["run_figure5"]
+
+
+def run_figure5(
+    *,
+    n_c_values: Optional[Sequence[int]] = None,
+    seed: SeedLike = 5,
+) -> SweepResult:
+    """Run the Fig. 5 sweep (VLM scheme, ``s = 2``)."""
+    return run_accuracy_sweep("vlm", n_c_values=n_c_values, seed=seed)

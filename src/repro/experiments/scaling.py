@@ -1,0 +1,135 @@
+"""City-scale scaling study (extension).
+
+Section IV-E analyzes per-pair cost; a deployment cares about the whole
+city: how do encode time, decode time, memory, and accuracy behave as
+the instrumented network grows from a town to a metro?  This study
+sweeps synthetic ring-radial cities of increasing size through the
+complete pipeline — gravity demand, routing, online coding at every
+RSU, the full all-pairs traffic matrix — and reports wall-clock and
+accuracy per scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import ZeroFractionPolicy
+from repro.core.scheme import VlmScheme
+from repro.roadnet.generators import ring_radial_network
+from repro.roadnet.gravity import gravity_trip_table
+from repro.traffic.network_workload import NetworkWorkload
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.tables import AsciiTable
+
+__all__ = ["ScalePoint", "ScalingResult", "run_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Measurements at one city size."""
+
+    rsus: int
+    vehicles: int
+    pairs_measured: int
+    encode_seconds: float
+    matrix_seconds: float
+    total_memory_mib: float
+    median_error: float
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """The whole sweep."""
+
+    points: List[ScalePoint]
+
+    def render(self) -> str:
+        table = AsciiTable(
+            [
+                "RSUs",
+                "vehicles/day",
+                "pairs",
+                "encode s",
+                "matrix s",
+                "memory MiB",
+                "median |err| %",
+            ],
+            title="City-scale pipeline scaling (ring-radial networks)",
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    p.rsus,
+                    p.vehicles,
+                    p.pairs_measured,
+                    round(p.encode_seconds, 3),
+                    round(p.matrix_seconds, 3),
+                    round(p.total_memory_mib, 2),
+                    100 * p.median_error,
+                ]
+            )
+        return table.render()
+
+
+def run_scaling(
+    *,
+    city_sizes: Sequence[Tuple[int, int]] = ((2, 6), (3, 8), (4, 10)),
+    trips_per_rsu: int = 4_000,
+    load_factor: float = 8.0,
+    min_truth: int = 300,
+    seed: SeedLike = 41,
+) -> ScalingResult:
+    """Sweep ring-radial cities of the given ``(rings, spokes)`` sizes."""
+    rng = as_generator(seed)
+    points: List[ScalePoint] = []
+    for rings, spokes in city_sizes:
+        network = ring_radial_network(rings, spokes)
+        weights = {node: 1.0 for node in network.nodes}
+        trips = gravity_trip_table(
+            network,
+            total_trips=trips_per_rsu * network.num_nodes,
+            gamma=0.5,
+            weights=weights,
+        )
+        workload = NetworkWorkload.build(network, trips, seed=rng)
+        volumes = workload.volumes()
+        scheme = VlmScheme(
+            volumes,
+            s=2,
+            load_factor=load_factor,
+            hash_seed=int(rng.integers(2**63)),
+            policy=ZeroFractionPolicy.CLAMP,
+        )
+        start = time.perf_counter()
+        scheme.run_period(workload.passes())
+        encode_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        matrix = scheme.decoder.all_pairs()
+        matrix_seconds = time.perf_counter() - start
+
+        truth = workload.common_volumes()
+        errors = [
+            abs(matrix[pair].n_c_hat - true) / true
+            for pair, true in truth.items()
+            if true >= min_truth and pair in matrix
+        ]
+        memory_bits = sum(
+            scheme.array_size(rsu) for rsu in scheme.rsu_ids
+        )
+        points.append(
+            ScalePoint(
+                rsus=network.num_nodes,
+                vehicles=workload.plan.trips.total_trips,
+                pairs_measured=len(matrix),
+                encode_seconds=encode_seconds,
+                matrix_seconds=matrix_seconds,
+                total_memory_mib=memory_bits / 8 / 1024 / 1024,
+                median_error=float(np.median(errors)) if errors else float("nan"),
+            )
+        )
+    return ScalingResult(points=points)

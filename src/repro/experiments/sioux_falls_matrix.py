@@ -1,0 +1,161 @@
+"""Full Sioux Falls traffic matrix: every pair, both schemes.
+
+Table I samples eight RSU pairs; a transportation study consumes the
+*whole* 24x24 matrix.  This experiment routes a calibrated gravity
+workload over the Sioux Falls network, measures all 276 unordered
+pairs with both schemes, and reports the error distribution
+(percentiles) against the routed ground truth, stratified by the
+traffic difference ratio ``d`` — the full-population version of the
+paper's Table I comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.baseline.scheme import FixedLengthScheme
+from repro.baseline.sizing import fixed_array_size_for_privacy
+from repro.core.estimator import ZeroFractionPolicy
+from repro.core.scheme import VlmScheme
+from repro.privacy.optimizer import max_load_factor_for_privacy
+from repro.traffic.network_workload import sioux_falls_workload
+from repro.utils.rng import SeedLike
+from repro.utils.tables import AsciiTable
+
+__all__ = ["MatrixResult", "run_sioux_falls_matrix"]
+
+PairKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """One measured pair."""
+
+    pair: PairKey
+    truth: int
+    d: float
+    vlm_error: float
+    baseline_error: float
+
+
+@dataclass(frozen=True)
+class MatrixResult:
+    """All-pairs measurement outcomes."""
+
+    outcomes: List[PairOutcome]
+    total_trips: int
+    min_truth: int
+    load_factor: float
+    baseline_m: int
+
+    def _errors(self, scheme: str) -> np.ndarray:
+        attribute = "vlm_error" if scheme == "vlm" else "baseline_error"
+        return np.array([getattr(o, attribute) for o in self.outcomes])
+
+    def percentiles(self, scheme: str) -> Dict[str, float]:
+        """Median / p90 / worst relative error of one scheme."""
+        errors = self._errors(scheme)
+        return {
+            "median": float(np.percentile(errors, 50)),
+            "p90": float(np.percentile(errors, 90)),
+            "max": float(errors.max()),
+        }
+
+    def stratified_by_d(self, edges=(1, 2, 5, 10, 1e9)) -> List[Tuple[str, int, float, float]]:
+        """Mean error per traffic-difference-ratio band."""
+        rows = []
+        for low, high in zip(edges, edges[1:]):
+            band = [o for o in self.outcomes if low <= o.d < high]
+            if not band:
+                continue
+            rows.append(
+                (
+                    f"{low:g} <= d < {high:g}",
+                    len(band),
+                    float(np.mean([o.vlm_error for o in band])),
+                    float(np.mean([o.baseline_error for o in band])),
+                )
+            )
+        return rows
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["d band", "pairs", "VLM mean |err| %", "[9] mean |err| %"],
+            title=(
+                "Sioux Falls full traffic matrix "
+                f"({len(self.outcomes)} pairs with n_c >= {self.min_truth}, "
+                f"{self.total_trips:,} trips/day, f̄ = {self.load_factor:.1f}, "
+                f"baseline m = {self.baseline_m:,})"
+            ),
+        )
+        for label, count, vlm, base in self.stratified_by_d():
+            table.add_row([label, count, 100 * vlm, 100 * base])
+        lines = [table.render()]
+        for scheme in ("vlm", "baseline"):
+            p = self.percentiles(scheme)
+            lines.append(
+                f"{scheme:>8}: median {100 * p['median']:.2f}%  "
+                f"p90 {100 * p['p90']:.2f}%  worst {100 * p['max']:.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_sioux_falls_matrix(
+    *,
+    total_trips: int = 360_600,
+    min_truth: int = 500,
+    s: int = 2,
+    min_privacy: float = 0.5,
+    seed: SeedLike = 13,
+) -> MatrixResult:
+    """Measure the full Sioux Falls matrix with both schemes.
+
+    Pairs whose true common volume is below *min_truth* are excluded
+    from error statistics (relative error is not meaningful against a
+    near-zero denominator).
+    """
+    workload = sioux_falls_workload(total_trips=total_trips, seed=seed)
+    volumes = workload.volumes()
+    truth = workload.common_volumes()
+    n_min = min(volumes.values())
+    load_factor = max_load_factor_for_privacy(
+        min_privacy, s, n_x=n_min, n_y=n_min
+    )
+    baseline_m = fixed_array_size_for_privacy(
+        volumes.values(), s, min_privacy=min_privacy
+    )
+    vlm = VlmScheme(
+        volumes, s=s, load_factor=load_factor, hash_seed=7,
+        policy=ZeroFractionPolicy.CLAMP,
+    )
+    baseline = FixedLengthScheme(baseline_m, s=s, hash_seed=7)
+    passes = workload.passes()
+    vlm.run_period(passes)
+    baseline.run_period(passes)
+
+    outcomes: List[PairOutcome] = []
+    for (a, b), true_nc in sorted(truth.items()):
+        if true_nc < min_truth:
+            continue
+        d = max(volumes[a], volumes[b]) / min(volumes[a], volumes[b])
+        vlm_est = vlm.decoder.pair_estimate(a, b)
+        base_est = baseline.decoder.pair_estimate(a, b)
+        outcomes.append(
+            PairOutcome(
+                pair=(a, b),
+                truth=true_nc,
+                d=d,
+                vlm_error=abs(vlm_est.n_c_hat - true_nc) / true_nc,
+                baseline_error=abs(base_est.n_c_hat - true_nc) / true_nc,
+            )
+        )
+    return MatrixResult(
+        outcomes=outcomes,
+        total_trips=workload.plan.trips.total_trips,
+        min_truth=min_truth,
+        load_factor=load_factor,
+        baseline_m=baseline_m,
+    )

@@ -1,0 +1,70 @@
+"""Deterministic, vectorized 64-bit hash function ``H``.
+
+The paper only requires ``H`` to map its input uniformly onto
+``[0, m_o)``.  We use the splitmix64 finalization function — a
+well-studied bijective mixer with excellent avalanche behaviour — and
+reduce modulo a power of two.  All operations are numpy ``uint64``
+arithmetic so millions of vehicle reports hash in a single call.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["splitmix64", "hash_u64", "hash_to_range"]
+
+U64 = np.uint64
+_GOLDEN = U64(0x9E3779B97F4A7C15)
+_MIX1 = U64(0xBF58476D1CE4E5B9)
+_MIX2 = U64(0x94D049BB133111EB)
+
+IntOrArray = Union[int, np.ndarray]
+
+
+def _as_u64(value: IntOrArray) -> np.ndarray:
+    """Coerce *value* (scalar or array of Python ints) to ``uint64``."""
+    return np.asarray(value, dtype=np.uint64)
+
+
+def splitmix64(value: IntOrArray) -> np.ndarray:
+    """Apply the splitmix64 finalization mix to *value* elementwise.
+
+    This is a bijection on 64-bit words, so distinct inputs never
+    collide before the final range reduction.
+    """
+    with np.errstate(over="ignore"):
+        z = _as_u64(value) + _GOLDEN
+        z = (z ^ (z >> U64(30))) * _MIX1
+        z = (z ^ (z >> U64(27))) * _MIX2
+        z = z ^ (z >> U64(31))
+    return z
+
+
+def hash_u64(value: IntOrArray, *, seed: int = 0) -> np.ndarray:
+    """Hash *value* to a full 64-bit word, keyed by *seed*.
+
+    The seed models the global choice of hash function made once by the
+    system operator; all entities (vehicles, RSUs, server) share it.
+    """
+    with np.errstate(over="ignore"):
+        mixed = _as_u64(value) ^ splitmix64(U64(seed & 0xFFFFFFFFFFFFFFFF))
+    return splitmix64(mixed)
+
+
+def hash_to_range(value: IntOrArray, modulus: int, *, seed: int = 0) -> np.ndarray:
+    """Hash *value* into ``[0, modulus)``.
+
+    For power-of-two moduli (the only case the scheme uses — array
+    lengths are ``2**k``) this is an exact uniform reduction via
+    masking; other moduli fall back to ``%`` whose bias is negligible
+    for ``modulus << 2**64``.
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    words = hash_u64(value, seed=seed)
+    m = np.uint64(modulus)
+    if modulus & (modulus - 1) == 0:
+        return (words & (m - np.uint64(1))).astype(np.int64)
+    return (words % m).astype(np.int64)

@@ -1,0 +1,77 @@
+"""The global salt array ``X`` of paper Section IV-B.
+
+``X`` is "an integer array of randomly chosen constants to arbitrarily
+alter the hash result".  It is public system-wide configuration: every
+vehicle uses the same ``X`` so that the *position* of the logical bit a
+vehicle selects at an RSU depends only on ``H(R_x) mod s``, which is
+what makes two visits by the same vehicle collide on the same logical
+bit with probability exactly ``1/s``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.hashfn import hash_u64
+
+__all__ = ["SaltArray"]
+
+
+class SaltArray:
+    """Immutable array of ``s`` 64-bit salt constants.
+
+    Parameters
+    ----------
+    size:
+        The number of salts, equal to the logical bit array size ``s``.
+    seed:
+        Deterministic seed from which the constants are derived; the
+        same ``(size, seed)`` always yields the same constants, which is
+        how vehicles, RSUs and the server agree on ``X`` without
+        communication.
+    """
+
+    def __init__(self, size: int, *, seed: int = 0) -> None:
+        if size < 1:
+            raise ConfigurationError(f"salt array size must be >= 1, got {size}")
+        self._size = int(size)
+        self._seed = int(seed)
+        indices = np.arange(size, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            self._values = hash_u64(indices ^ np.uint64(0xA5A5_5A5A_0F0F_F0F0), seed=seed)
+        self._values.flags.writeable = False
+
+    @property
+    def size(self) -> int:
+        """Number of constants ``s``."""
+        return self._size
+
+    @property
+    def seed(self) -> int:
+        """Seed used to derive the constants."""
+        return self._seed
+
+    @property
+    def values(self) -> np.ndarray:
+        """The constants as a read-only ``uint64`` array."""
+        return self._values
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._values[int(index) % self._size])
+
+    def __iter__(self) -> Iterator[int]:
+        return (int(v) for v in self._values)
+
+    def gather(self, positions: Sequence[int]) -> np.ndarray:
+        """Return ``X[positions]`` as ``uint64`` (vectorized lookup)."""
+        pos = np.asarray(positions, dtype=np.int64) % self._size
+        return self._values[pos]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SaltArray(size={self._size}, seed={self._seed})"

@@ -1,0 +1,48 @@
+"""Preserved-privacy analysis (paper Section VI).
+
+* :mod:`repro.privacy.formulas` — closed forms for ``P(A)`` and the
+  preserved privacy ``p = P(E|A)`` (Eqs. 37-43);
+* :mod:`repro.privacy.optimizer` — numerical search for the optimal
+  load factor ``f*`` and for privacy-constrained parameter choices;
+* :mod:`repro.privacy.attacker` — an empirical tracker that measures
+  privacy on simulated bit arrays, validating the closed forms.
+"""
+
+from repro.privacy.formulas import (
+    preserved_privacy,
+    preserved_privacy_exact,
+    prob_both_set,
+    prob_both_set_exact,
+    prob_e_x,
+    prob_e_y,
+)
+from repro.privacy.optimizer import (
+    max_load_factor_for_privacy,
+    optimal_load_factor,
+    privacy_curve,
+)
+from repro.privacy.attacker import empirical_privacy
+from repro.privacy.trajectory import TrajectoryPrivacy, route_privacy
+from repro.privacy.metrics import (
+    expected_anonymity_set,
+    expected_coincidence_anonymity,
+    report_index_entropy,
+)
+
+__all__ = [
+    "preserved_privacy",
+    "preserved_privacy_exact",
+    "prob_both_set",
+    "prob_both_set_exact",
+    "prob_e_x",
+    "prob_e_y",
+    "optimal_load_factor",
+    "max_load_factor_for_privacy",
+    "privacy_curve",
+    "empirical_privacy",
+    "TrajectoryPrivacy",
+    "route_privacy",
+    "report_index_entropy",
+    "expected_anonymity_set",
+    "expected_coincidence_anonymity",
+]

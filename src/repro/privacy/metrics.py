@@ -1,0 +1,97 @@
+"""Complementary privacy metrics (extension beyond the paper).
+
+The paper's metric ``p = P(E|A)`` quantifies *trace* privacy at the
+bit level.  Two complementary views round out the privacy story and
+give the tests additional handles:
+
+* **Report unlinkability** — for an observer of a single report, the
+  *anonymity set* is the expected number of plausible vehicles behind
+  a given bit index: every vehicle maps to any index with probability
+  ``1/m_x``, so a set bit hides ``~n_x/m_x`` candidates on average,
+  and the index distribution itself is uniform
+  (:func:`report_index_entropy` measures how close the realized
+  distribution is to the uniform maximum).
+* **Expected anonymity set of a coincidence** — given a double-set bit
+  (the tracker's event ``A``), how many *innocent* explanations it has
+  on average (:func:`expected_coincidence_anonymity`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.mathx import pow_one_minus
+
+__all__ = [
+    "report_index_entropy",
+    "expected_anonymity_set",
+    "expected_coincidence_anonymity",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def report_index_entropy(counts: np.ndarray) -> float:
+    """Normalized Shannon entropy of observed report indices.
+
+    *counts* is a histogram of reported bit indices over ``m`` cells.
+    Returns ``H / log2(m) ∈ [0, 1]``; a healthy masking scheme sits
+    near 1 (uniform — nothing learnable from the index distribution).
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 1 or counts.size < 2:
+        raise ConfigurationError("counts must be a 1-D histogram with >= 2 cells")
+    if np.any(counts < 0):
+        raise ConfigurationError("counts must be non-negative")
+    total = counts.sum()
+    if total == 0:
+        raise ConfigurationError("counts must contain at least one observation")
+    p = counts[counts > 0] / total
+    entropy = float(-(p * np.log2(p)).sum())
+    return entropy / math.log2(counts.size)
+
+
+def expected_anonymity_set(n_x: float, m_x: float) -> float:
+    """Expected number of vehicles mapping to one *set* bit of ``B_x``.
+
+    Each of the ``n_x`` vehicles lands on a given bit with probability
+    ``1/m_x``; conditioned on the bit being set (at least one landed),
+    the expected occupant count is ``(n_x/m_x) / (1 - (1-1/m_x)^n_x)``.
+    Values well above 1 mean even the RSU itself cannot resolve a bit
+    to a vehicle.
+    """
+    if n_x <= 0 or m_x <= 1:
+        raise ConfigurationError("need n_x > 0 and m_x > 1")
+    hit_probability = 1.0 - float(pow_one_minus(1.0 / m_x, n_x))
+    return (n_x / m_x) / hit_probability
+
+
+def expected_coincidence_anonymity(
+    n_x: float, n_y: float, n_c: float, m_x: float, m_y: float, s: int
+) -> float:
+    """Expected number of *innocent* vehicle pairs explaining a
+    double-set bit.
+
+    For a bit ``b`` set in both ``B_x^u`` and ``B_y``, a tracker sees a
+    candidate trace; but any (only-x vehicle on ``b mod m_x``,
+    only-y vehicle on ``b``) pair explains it innocently.  The expected
+    count of such pairs, ``(n_x - n_c)/m_x * (n_y - n_c)/m_y`` divided
+    by the per-common-vehicle trace probability ``1/(s·m_y)`` scaled by
+    ``n_c``, is the odds ratio of innocent-to-guilty explanations —
+    large values mean each coincidence is buried in noise.
+    """
+    if s < 1:
+        raise ConfigurationError(f"s must be >= 1, got {s}")
+    if not 0 <= n_c <= min(n_x, n_y):
+        raise ConfigurationError("n_c must satisfy 0 <= n_c <= min(n_x, n_y)")
+    if m_x <= 1 or m_y <= 1:
+        raise ConfigurationError("array sizes must be > 1")
+    innocent = ((n_x - n_c) / m_x) * ((n_y - n_c) / m_y)
+    guilty = n_c / (s * m_y)
+    if guilty == 0:
+        return float("inf")
+    return innocent / guilty

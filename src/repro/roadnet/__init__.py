@@ -1,0 +1,37 @@
+"""Road network substrate (the Sioux Falls workload of Section VII-A).
+
+* :mod:`repro.roadnet.graph` — directed road networks with link
+  attributes;
+* :mod:`repro.roadnet.sioux_falls` — the classic 24-node / 76-arc
+  Sioux Falls network (LeBlanc et al., 1975);
+* :mod:`repro.roadnet.trips` — origin-destination trip tables;
+* :mod:`repro.roadnet.routing` — shortest-path route assignment;
+* :mod:`repro.roadnet.gravity` — gravity-model trip synthesis;
+* :mod:`repro.roadnet.volumes` — node transit volumes and pairwise
+  common volumes induced by routed trips, plus calibration to the
+  paper's Table I targets.
+"""
+
+from repro.roadnet.graph import Arc, RoadNetwork
+from repro.roadnet.sioux_falls import sioux_falls_network
+from repro.roadnet.trips import TripTable
+from repro.roadnet.routing import RoutePlan, assign_routes
+from repro.roadnet.gravity import gravity_trip_table
+from repro.roadnet.volumes import (
+    TrafficAssignment,
+    node_volumes,
+    pair_common_volumes,
+)
+
+__all__ = [
+    "Arc",
+    "RoadNetwork",
+    "sioux_falls_network",
+    "TripTable",
+    "RoutePlan",
+    "assign_routes",
+    "gravity_trip_table",
+    "TrafficAssignment",
+    "node_volumes",
+    "pair_common_volumes",
+]

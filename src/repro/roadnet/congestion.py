@@ -1,0 +1,167 @@
+"""Congestion-aware traffic assignment (substrate extension).
+
+The paper's Sioux Falls experiments only need *routes*; its source
+network (LeBlanc et al. 1975) is however the canonical benchmark for
+*equilibrium* assignment, where link travel times grow with flow.  This
+module implements the classic pipeline so the workload generator can
+produce congestion-consistent routes instead of free-flow shortest
+paths:
+
+* the **BPR latency function**
+  ``t(v) = t0 * (1 + alpha (v / c)**beta)`` (Bureau of Public Roads);
+* **iterative assignment by the method of successive averages (MSA)**:
+  repeatedly assign all-or-nothing on current travel times and average
+  the link flows with step ``1/k``, which converges to the user
+  equilibrium for BPR-type latencies.
+
+The measurement scheme is agnostic to how routes are chosen; what this
+changes is which node pairs share traffic — exercised by
+``tests/test_congestion.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from repro.errors import CalibrationError, NetworkDataError
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.routing import RoutePlan
+from repro.roadnet.trips import TripTable
+
+__all__ = ["bpr_travel_time", "EquilibriumAssignment", "assign_equilibrium"]
+
+ArcKey = Tuple[int, int]
+
+
+def bpr_travel_time(
+    free_flow_time: float,
+    flow: float,
+    capacity: float,
+    *,
+    alpha: float = 0.15,
+    beta: float = 4.0,
+) -> float:
+    """The BPR volume-delay function ``t0 (1 + alpha (v/c)^beta)``."""
+    if free_flow_time <= 0 or capacity <= 0:
+        raise NetworkDataError("free_flow_time and capacity must be positive")
+    if flow < 0:
+        raise NetworkDataError(f"flow must be >= 0, got {flow}")
+    return free_flow_time * (1.0 + alpha * (flow / capacity) ** beta)
+
+
+@dataclass(frozen=True)
+class EquilibriumAssignment:
+    """Result of an MSA equilibrium run.
+
+    Attributes
+    ----------
+    plan:
+        Routes at the final travel times (all-or-nothing on the
+        converged times), usable anywhere a
+        :class:`~repro.roadnet.routing.RoutePlan` is.
+    link_flows:
+        Converged flow per directed arc.
+    link_times:
+        Converged BPR travel time per directed arc.
+    iterations:
+        MSA iterations executed.
+    relative_gap:
+        Final relative change of total system travel time.
+    """
+
+    plan: RoutePlan
+    link_flows: Dict[ArcKey, float]
+    link_times: Dict[ArcKey, float]
+    iterations: int
+    relative_gap: float
+
+    def total_travel_time(self) -> float:
+        """System-wide vehicle-time at equilibrium."""
+        return sum(
+            self.link_flows[arc] * self.link_times[arc] for arc in self.link_flows
+        )
+
+
+def _all_or_nothing(
+    graph: nx.DiGraph, trips: TripTable, weight: str
+) -> Tuple[Dict[ArcKey, float], Dict[Tuple[int, int], list]]:
+    """One shortest-path assignment; returns link flows and routes."""
+    flows: Dict[ArcKey, float] = {}
+    routes: Dict[Tuple[int, int], list] = {}
+    for (origin, destination), demand in trips.pairs():
+        try:
+            path = nx.shortest_path(graph, origin, destination, weight=weight)
+        except nx.NetworkXNoPath:
+            raise NetworkDataError(
+                f"no path from {origin} to {destination}"
+            ) from None
+        routes[(origin, destination)] = path
+        for arc in zip(path, path[1:]):
+            flows[arc] = flows.get(arc, 0.0) + demand
+    return flows, routes
+
+
+def assign_equilibrium(
+    network: RoadNetwork,
+    trips: TripTable,
+    *,
+    alpha: float = 0.15,
+    beta: float = 4.0,
+    max_iterations: int = 50,
+    tolerance: float = 1e-3,
+) -> EquilibriumAssignment:
+    """MSA user-equilibrium assignment of *trips* on *network*.
+
+    Stops when the relative change of total system travel time between
+    iterations falls below *tolerance*, or after *max_iterations*.
+    """
+    if max_iterations < 1:
+        raise CalibrationError(f"max_iterations must be >= 1, got {max_iterations}")
+    graph = network.graph.copy()
+    for u, v, data in graph.edges(data=True):
+        data["congested_time"] = data["free_flow_time"]
+
+    flows: Dict[ArcKey, float] = {arc: 0.0 for arc in graph.edges}
+    previous_cost = None
+    gap = float("inf")
+    iterations = 0
+    for k in range(1, max_iterations + 1):
+        iterations = k
+        aon_flows, _ = _all_or_nothing(graph, trips, "congested_time")
+        step = 1.0 / k
+        for arc in flows:
+            target = aon_flows.get(arc, 0.0)
+            flows[arc] = (1.0 - step) * flows[arc] + step * target
+        total_cost = 0.0
+        for (u, v), flow in flows.items():
+            data = graph.edges[u, v]
+            data["congested_time"] = bpr_travel_time(
+                data["free_flow_time"],
+                flow,
+                data["capacity"],
+                alpha=alpha,
+                beta=beta,
+            )
+            total_cost += flow * data["congested_time"]
+        if previous_cost is not None and previous_cost > 0:
+            gap = abs(total_cost - previous_cost) / previous_cost
+            if gap < tolerance:
+                previous_cost = total_cost
+                break
+        previous_cost = total_cost
+
+    _, final_routes = _all_or_nothing(graph, trips, "congested_time")
+    plan = RoutePlan(routes=final_routes, trips=trips)
+    link_times = {
+        (u, v): graph.edges[u, v]["congested_time"] for u, v in graph.edges
+    }
+    return EquilibriumAssignment(
+        plan=plan,
+        link_flows=dict(flows),
+        link_times=link_times,
+        iterations=iterations,
+        relative_gap=gap,
+    )

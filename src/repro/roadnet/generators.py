@@ -1,0 +1,114 @@
+"""Synthetic road network generators.
+
+Section VII-B evaluates on "a larger network where the traffic is
+randomly generated".  These generators produce parametric city-like
+topologies so the full pipeline can be exercised at arbitrary scale:
+
+* :func:`grid_network` — an ``R x C`` Manhattan grid (two-way streets);
+* :func:`ring_radial_network` — a ring-and-radial city (one centre,
+  concentric rings, radial spokes), whose centre naturally becomes the
+  heavy-traffic hub the paper's motivation describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NetworkDataError
+from repro.roadnet.graph import Arc, RoadNetwork
+
+__all__ = [
+    "grid_network",
+    "ring_radial_network",
+    "expected_nodes_grid",
+    "expected_nodes_ring_radial",
+]
+
+
+def _two_way(arcs: List[Arc], a: int, b: int, time: float, capacity: float) -> None:
+    arcs.append(Arc(a, b, free_flow_time=time, capacity=capacity))
+    arcs.append(Arc(b, a, free_flow_time=time, capacity=capacity))
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    *,
+    block_time: float = 1.0,
+    capacity: float = 20_000.0,
+) -> RoadNetwork:
+    """An ``rows x cols`` Manhattan grid.
+
+    Nodes are numbered row-major starting at 1 (node ``(r, c)`` is
+    ``r * cols + c + 1``); every adjacent pair is a two-way street.
+    """
+    if rows < 2 or cols < 2:
+        raise NetworkDataError("grid needs at least 2 rows and 2 columns")
+    arcs: List[Arc] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c + 1
+            if c + 1 < cols:
+                _two_way(arcs, node, node + 1, block_time, capacity)
+            if r + 1 < rows:
+                _two_way(arcs, node, node + cols, block_time, capacity)
+    return RoadNetwork(f"grid-{rows}x{cols}", arcs)
+
+
+def ring_radial_network(
+    rings: int,
+    spokes: int,
+    *,
+    radial_time: float = 1.0,
+    ring_time: float = 1.5,
+    capacity: float = 20_000.0,
+) -> RoadNetwork:
+    """A ring-and-radial city.
+
+    Node 1 is the centre; ring ``k`` (1-based) holds *spokes* nodes
+    ``1 + (k-1)*spokes + j`` for ``j in [1, spokes]``.  Spokes connect
+    consecutive rings radially; each ring is a cycle.  Every street is
+    two-way.  Shortest paths between opposite sectors cross the centre,
+    which therefore carries the largest transit volume — the hub/
+    collector asymmetry the VLM scheme is designed for.
+    """
+    if rings < 1 or spokes < 3:
+        raise NetworkDataError("need >= 1 ring and >= 3 spokes")
+    arcs: List[Arc] = []
+
+    def ring_node(ring: int, spoke: int) -> int:
+        return 1 + (ring - 1) * spokes + (spoke % spokes) + 1
+
+    # centre to first ring
+    for j in range(spokes):
+        _two_way(arcs, 1, ring_node(1, j), radial_time, capacity)
+    for k in range(1, rings + 1):
+        for j in range(spokes):
+            # around the ring; time grows with circumference
+            _two_way(
+                arcs,
+                ring_node(k, j),
+                ring_node(k, j + 1),
+                ring_time * k,
+                capacity,
+            )
+            # radial to the next ring out
+            if k < rings:
+                _two_way(
+                    arcs,
+                    ring_node(k, j),
+                    ring_node(k + 1, j),
+                    radial_time,
+                    capacity,
+                )
+    return RoadNetwork(f"ring-radial-{rings}x{spokes}", arcs)
+
+
+def expected_nodes_grid(rows: int, cols: int) -> int:
+    """Node count of :func:`grid_network` (for sizing tests)."""
+    return rows * cols
+
+
+def expected_nodes_ring_radial(rings: int, spokes: int) -> int:
+    """Node count of :func:`ring_radial_network`."""
+    return 1 + rings * spokes

@@ -1,0 +1,76 @@
+"""Route assignment: turning OD trips into node sequences.
+
+The paper "generates traffic according to the known vehicle trip
+table" — each trip becomes a vehicle driving a route through the
+network, passing the RSU at every node en route.  We assign each OD
+pair its free-flow shortest path (all-or-nothing assignment), the
+standard baseline assignment for uncongested studies; congestion-aware
+assignment would only change *which* nodes a vehicle passes, not how
+the measurement scheme behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import NetworkDataError
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.trips import TripTable
+
+__all__ = ["RoutePlan", "assign_routes"]
+
+OdPair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """Shortest-path routes for every OD pair of a trip table.
+
+    Attributes
+    ----------
+    routes:
+        ``(origin, destination) -> node sequence`` (inclusive of both
+        endpoints).
+    trips:
+        The trip table the plan was built for.
+    """
+
+    routes: Dict[OdPair, List[int]]
+    trips: TripTable
+
+    def route(self, origin: int, destination: int) -> List[int]:
+        """The assigned route for one OD pair."""
+        try:
+            return list(self.routes[(origin, destination)])
+        except KeyError:
+            raise NetworkDataError(
+                f"no route assigned for OD pair {(origin, destination)}"
+            ) from None
+
+    def vehicles_through(self, node: int) -> int:
+        """Total vehicles whose route passes *node* (transit volume)."""
+        total = 0
+        for pair, trips in self.trips.pairs():
+            if node in self.routes[pair]:
+                total += trips
+        return total
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+
+def assign_routes(network: RoadNetwork, trips: TripTable) -> RoutePlan:
+    """All-or-nothing shortest-path assignment of *trips* on *network*.
+
+    Every OD pair with nonzero demand gets the minimum free-flow-time
+    path; raises :class:`NetworkDataError` for disconnected pairs.
+    Paths are computed once per pair (memoized by the plan).
+    """
+    routes: Dict[OdPair, List[int]] = {}
+    for (origin, destination), _ in trips.pairs():
+        if (origin, destination) not in routes:
+            routes[(origin, destination)] = network.shortest_path(
+                origin, destination
+            )
+    return RoutePlan(routes=routes, trips=trips)

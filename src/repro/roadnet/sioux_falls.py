@@ -1,0 +1,80 @@
+"""The Sioux Falls test network (LeBlanc, Morlok & Pierskalla 1975).
+
+The paper's first simulation set runs on this classic 24-node,
+76-arc network (paper Fig. 3).  The topology below is the standard
+one used across the transportation literature: 38 two-way streets,
+each modelled as a pair of directed arcs.  Free-flow times are the
+standard values (in units of 0.01 hours); capacities are round
+approximations of the standard dataset — the measurement experiments
+depend only on the topology and relative travel times (routes), not on
+capacities (see DESIGN.md substitution #1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.roadnet.graph import Arc, RoadNetwork
+
+__all__ = ["sioux_falls_network", "SIOUX_FALLS_STREETS", "NUM_NODES"]
+
+NUM_NODES = 24
+
+#: The 38 two-way streets as (node_a, node_b, free_flow_time).
+#: Times follow the standard dataset's symmetric values.
+SIOUX_FALLS_STREETS: List[Tuple[int, int, float]] = [
+    (1, 2, 6.0),
+    (1, 3, 4.0),
+    (2, 6, 5.0),
+    (3, 4, 4.0),
+    (3, 12, 4.0),
+    (4, 5, 2.0),
+    (4, 11, 6.0),
+    (5, 6, 4.0),
+    (5, 9, 5.0),
+    (6, 8, 2.0),
+    (7, 8, 3.0),
+    (7, 18, 2.0),
+    (8, 9, 10.0),
+    (8, 16, 5.0),
+    (9, 10, 3.0),
+    (10, 11, 5.0),
+    (10, 15, 6.0),
+    (10, 16, 4.0),
+    (10, 17, 8.0),
+    (11, 12, 6.0),
+    (11, 14, 4.0),
+    (12, 13, 3.0),
+    (13, 24, 4.0),
+    (14, 15, 5.0),
+    (14, 23, 4.0),
+    (15, 19, 3.0),
+    (15, 22, 3.0),
+    (16, 17, 2.0),
+    (16, 18, 3.0),
+    (17, 19, 2.0),
+    (18, 20, 4.0),
+    (19, 20, 4.0),
+    (20, 21, 6.0),
+    (20, 22, 5.0),
+    (21, 22, 2.0),
+    (21, 24, 3.0),
+    (22, 23, 4.0),
+    (23, 24, 2.0),
+]
+
+
+def sioux_falls_network(*, capacity: float = 25_000.0) -> RoadNetwork:
+    """Build the Sioux Falls :class:`RoadNetwork` (76 directed arcs).
+
+    Parameters
+    ----------
+    capacity:
+        Uniform arc capacity placeholder (vehicles/day); the paper's
+        experiments never load arcs against capacity.
+    """
+    arcs = []
+    for a, b, time in SIOUX_FALLS_STREETS:
+        arcs.append(Arc(tail=a, head=b, free_flow_time=time, capacity=capacity))
+        arcs.append(Arc(tail=b, head=a, free_flow_time=time, capacity=capacity))
+    return RoadNetwork("sioux-falls", arcs)

@@ -1,0 +1,191 @@
+"""TNTP format support (TransportationNetworks interchange files).
+
+The Sioux Falls dataset of LeBlanc et al. circulates in the community
+as ``.tntp`` files (the format of the TransportationNetworks
+repository): a network file of directed links with metadata headers,
+and a trips file of origin-destination demand blocks.  This module
+reads and writes both, so users with the real dataset files can run
+this library's pipeline on them verbatim, and our synthetic tables can
+be exported for other tools.
+
+Network format::
+
+    <NUMBER OF NODES> 24
+    <NUMBER OF LINKS> 76
+    <END OF METADATA>
+    ~ init node  term node  capacity  length  free flow time  b  power  speed  toll  type ;
+      1  2  25900.2  6  6  0.15  4  0  0  1 ;
+
+Trips format::
+
+    <NUMBER OF ZONES> 24
+    <TOTAL OD FLOW> 360600.0
+    <END OF METADATA>
+    Origin  1
+        2 :    100.0;    3 :    100.0;
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import NetworkDataError
+from repro.roadnet.graph import Arc, RoadNetwork
+from repro.roadnet.trips import TripTable
+
+__all__ = [
+    "parse_network",
+    "parse_trips",
+    "write_network",
+    "write_trips",
+    "load_network",
+    "load_trips",
+]
+
+PathLike = Union[str, Path]
+
+
+def _strip_metadata(text: str) -> str:
+    """Drop everything up to and including ``<END OF METADATA>``."""
+    marker = "<END OF METADATA>"
+    position = text.find(marker)
+    return text[position + len(marker):] if position >= 0 else text
+
+
+# ----------------------------------------------------------------------
+# Network files
+# ----------------------------------------------------------------------
+def parse_network(text: str, *, name: str = "tntp-network") -> RoadNetwork:
+    """Parse a ``*_net.tntp`` document into a :class:`RoadNetwork`.
+
+    Only the first five columns (tail, head, capacity, length,
+    free-flow time) are consumed; the remaining BPR columns are
+    accepted and ignored (capacities/times feed
+    :mod:`repro.roadnet.congestion`).
+    """
+    body = _strip_metadata(text)
+    arcs: List[Arc] = []
+    for raw_line in body.splitlines():
+        line = raw_line.split("~")[0].strip().rstrip(";").strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) < 5:
+            raise NetworkDataError(
+                f"malformed TNTP link line (need >= 5 fields): {raw_line!r}"
+            )
+        try:
+            tail, head = int(fields[0]), int(fields[1])
+            capacity = float(fields[2])
+            free_flow_time = float(fields[4])
+        except ValueError as exc:
+            raise NetworkDataError(
+                f"non-numeric TNTP link line: {raw_line!r}"
+            ) from exc
+        # Degenerate entries (zero time) occur in some datasets; give
+        # them a tiny positive time instead of rejecting the file.
+        arcs.append(
+            Arc(
+                tail=tail,
+                head=head,
+                free_flow_time=max(free_flow_time, 1e-6),
+                capacity=max(capacity, 1e-6),
+            )
+        )
+    if not arcs:
+        raise NetworkDataError("TNTP network file contains no links")
+    return RoadNetwork(name, arcs)
+
+
+def write_network(network: RoadNetwork) -> str:
+    """Serialize a network as a ``*_net.tntp`` document."""
+    lines = [
+        f"<NUMBER OF NODES> {network.num_nodes}",
+        f"<NUMBER OF LINKS> {network.num_arcs}",
+        "<END OF METADATA>",
+        "~ init_node term_node capacity length free_flow_time b power speed toll type ;",
+    ]
+    for arc in network.arcs():
+        lines.append(
+            f"{arc.tail}\t{arc.head}\t{arc.capacity:.4f}\t"
+            f"{arc.free_flow_time:.4f}\t{arc.free_flow_time:.4f}\t"
+            "0.15\t4\t0\t0\t1\t;"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Trips files
+# ----------------------------------------------------------------------
+_ORIGIN_RE = re.compile(r"^\s*Origin\s+(\d+)", re.IGNORECASE)
+_PAIR_RE = re.compile(r"(\d+)\s*:\s*([0-9.eE+-]+)\s*;")
+
+
+def parse_trips(text: str) -> TripTable:
+    """Parse a ``*_trips.tntp`` document into a :class:`TripTable`.
+
+    Fractional demands are rounded to the nearest vehicle.
+    """
+    body = _strip_metadata(text)
+    demand: Dict[Tuple[int, int], int] = {}
+    origin = None
+    for raw_line in body.splitlines():
+        match = _ORIGIN_RE.match(raw_line)
+        if match:
+            origin = int(match.group(1))
+            continue
+        if origin is None:
+            continue
+        for destination, value in _PAIR_RE.findall(raw_line):
+            destination = int(destination)
+            if destination == origin:
+                continue  # some files carry explicit zero diagonals
+            trips = int(round(float(value)))
+            if trips:
+                demand[(origin, destination)] = (
+                    demand.get((origin, destination), 0) + trips
+                )
+    if not demand:
+        raise NetworkDataError("TNTP trips file contains no demand")
+    return TripTable(demand)
+
+
+def write_trips(trips: TripTable) -> str:
+    """Serialize a trip table as a ``*_trips.tntp`` document."""
+    nodes = trips.nodes()
+    lines = [
+        f"<NUMBER OF ZONES> {len(nodes)}",
+        f"<TOTAL OD FLOW> {float(trips.total_trips):.1f}",
+        "<END OF METADATA>",
+        "",
+    ]
+    for origin in trips.origins():
+        lines.append(f"Origin {origin}")
+        row: List[str] = []
+        for destination in nodes:
+            value = trips.trips(origin, destination)
+            if value:
+                row.append(f"    {destination} : {float(value):10.1f};")
+            if len(row) == 5:
+                lines.append("".join(row))
+                row = []
+        if row:
+            lines.append("".join(row))
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+def load_network(path: PathLike, *, name: str = None) -> RoadNetwork:
+    """Read a ``*_net.tntp`` file."""
+    path = Path(path)
+    return parse_network(path.read_text(), name=name or path.stem)
+
+
+def load_trips(path: PathLike) -> TripTable:
+    """Read a ``*_trips.tntp`` file."""
+    return parse_trips(Path(path).read_text())

@@ -1,0 +1,123 @@
+"""Origin-destination trip tables.
+
+A :class:`TripTable` records how many vehicles travel from each origin
+node to each destination node per measurement period (the "known
+vehicle trip tables" of paper Section VII-A).  It supports the
+operations the workload pipeline needs: totals, scaling, symmetry
+checks, and iteration in a deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import NetworkDataError
+
+__all__ = ["TripTable"]
+
+OdPair = Tuple[int, int]
+
+
+class TripTable:
+    """Integer vehicle demand between ordered node pairs.
+
+    Parameters
+    ----------
+    demand:
+        ``(origin, destination) -> trips`` mapping; zero entries may be
+        omitted.  Origin == destination entries are rejected (a trip
+        must move between two distinct points).
+    """
+
+    def __init__(self, demand: Mapping[OdPair, int]) -> None:
+        self._demand: Dict[OdPair, int] = {}
+        for (origin, destination), trips in demand.items():
+            if origin == destination:
+                raise NetworkDataError(
+                    f"trip table has intra-node demand at node {origin}"
+                )
+            trips = int(trips)
+            if trips < 0:
+                raise NetworkDataError(
+                    f"negative demand {trips} for OD pair {(origin, destination)}"
+                )
+            if trips:
+                self._demand[(int(origin), int(destination))] = trips
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def trips(self, origin: int, destination: int) -> int:
+        """Demand for one OD pair (0 if absent)."""
+        return self._demand.get((origin, destination), 0)
+
+    def pairs(self) -> Iterator[Tuple[OdPair, int]]:
+        """All nonzero entries in deterministic (sorted) order."""
+        for key in sorted(self._demand):
+            yield key, self._demand[key]
+
+    @property
+    def total_trips(self) -> int:
+        """Total vehicles per period."""
+        return sum(self._demand.values())
+
+    def origins(self) -> List[int]:
+        """All origin nodes with nonzero demand, sorted."""
+        return sorted({o for o, _ in self._demand})
+
+    def nodes(self) -> List[int]:
+        """All nodes appearing as origin or destination, sorted."""
+        nodes = {o for o, _ in self._demand} | {d for _, d in self._demand}
+        return sorted(nodes)
+
+    def production(self, node: int) -> int:
+        """Total trips originating at *node*."""
+        return sum(t for (o, _), t in self._demand.items() if o == node)
+
+    def attraction(self, node: int) -> int:
+        """Total trips ending at *node*."""
+        return sum(t for (_, d), t in self._demand.items() if d == node)
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "TripTable":
+        """A new table with every demand multiplied by *factor* and
+        rounded to the nearest integer."""
+        if factor <= 0:
+            raise NetworkDataError(f"scale factor must be positive, got {factor}")
+        return TripTable(
+            {pair: int(round(t * factor)) for pair, t in self._demand.items()}
+        )
+
+    def symmetrized(self) -> "TripTable":
+        """A new table with ``d(a,b) = d(b,a) = (old(a,b)+old(b,a))/2``
+        (rounded); useful for building balanced daily flows."""
+        merged: Dict[OdPair, float] = {}
+        for (o, d), t in self._demand.items():
+            key = (min(o, d), max(o, d))
+            merged[key] = merged.get(key, 0.0) + t / 2.0
+        out: Dict[OdPair, int] = {}
+        for (a, b), t in merged.items():
+            out[(a, b)] = int(round(t))
+            out[(b, a)] = int(round(t))
+        return TripTable(out)
+
+    def to_matrix(self, nodes: List[int] = None) -> np.ndarray:
+        """Dense demand matrix over *nodes* (default: all table nodes)."""
+        if nodes is None:
+            nodes = self.nodes()
+        index = {node: i for i, node in enumerate(nodes)}
+        matrix = np.zeros((len(nodes), len(nodes)), dtype=np.int64)
+        for (o, d), t in self._demand.items():
+            if o in index and d in index:
+                matrix[index[o], index[d]] = t
+        return matrix
+
+    def __len__(self) -> int:
+        return len(self._demand)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"TripTable(pairs={len(self)}, total={self.total_trips})"

@@ -1,0 +1,146 @@
+"""Node transit volumes and vehicle materialization from routed trips.
+
+Given a :class:`~repro.roadnet.routing.RoutePlan`, this module answers
+the two questions the measurement experiments need:
+
+* ground truth — how many vehicles pass each node (*point* volume) and
+  each node pair (*point-to-point* volume ``n_c``);
+* materialization — concrete vehicle identities per node, so the
+  encoders can be driven by network traffic
+  (:class:`TrafficAssignment`).
+
+It also provides :func:`calibrate_to_node_volumes`, the scaling helper
+that matches synthesized traffic to the paper's Table I node volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError, NetworkDataError
+from repro.roadnet.routing import RoutePlan
+from repro.traffic.population import VehicleFleet
+from repro.utils.rng import SeedLike
+
+__all__ = [
+    "node_volumes",
+    "pair_common_volumes",
+    "TrafficAssignment",
+    "calibrate_to_node_volumes",
+]
+
+OdPair = Tuple[int, int]
+
+
+def node_volumes(plan: RoutePlan) -> Dict[int, int]:
+    """Transit volume per node: vehicles whose route passes it."""
+    volumes: Dict[int, int] = {}
+    for pair, trips in plan.trips.pairs():
+        for node in plan.routes[pair]:
+            volumes[node] = volumes.get(node, 0) + trips
+    return volumes
+
+
+def pair_common_volumes(plan: RoutePlan) -> Dict[OdPair, int]:
+    """Point-to-point ground truth for every unordered node pair.
+
+    ``result[(a, b)]`` (with ``a < b``) counts vehicles whose route
+    passes both ``a`` and ``b`` — the quantity ``n_c`` the schemes
+    estimate.
+    """
+    common: Dict[OdPair, int] = {}
+    for pair, trips in plan.trips.pairs():
+        route = plan.routes[pair]
+        for i, a in enumerate(route):
+            for b in route[i + 1 :]:
+                key = (a, b) if a < b else (b, a)
+                common[key] = common.get(key, 0) + trips
+    return common
+
+
+@dataclass(frozen=True)
+class TrafficAssignment:
+    """Concrete vehicles realizing a route plan.
+
+    Vehicles are materialized once (one fleet for the whole period) and
+    partitioned contiguously by OD pair; per-node pass lists are then
+    zero-copy concatenations of the slices whose route touches the
+    node.
+    """
+
+    plan: RoutePlan
+    fleet: VehicleFleet
+    spans: Dict[OdPair, Tuple[int, int]]
+
+    @classmethod
+    def materialize(cls, plan: RoutePlan, *, seed: SeedLike = None) -> "TrafficAssignment":
+        """Create one vehicle per trip, in deterministic OD order."""
+        total = plan.trips.total_trips
+        fleet = VehicleFleet.random(total, seed=seed)
+        spans: Dict[OdPair, Tuple[int, int]] = {}
+        cursor = 0
+        for pair, trips in plan.trips.pairs():
+            spans[pair] = (cursor, cursor + trips)
+            cursor += trips
+        return cls(plan=plan, fleet=fleet, spans=spans)
+
+    @property
+    def total_vehicles(self) -> int:
+        return len(self.fleet)
+
+    def passes_at(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ids, keys)`` of every vehicle passing *node*."""
+        id_chunks: List[np.ndarray] = []
+        key_chunks: List[np.ndarray] = []
+        for pair, (start, stop) in self.spans.items():
+            if node in self.plan.routes[pair]:
+                id_chunks.append(self.fleet.ids[start:stop])
+                key_chunks.append(self.fleet.keys[start:stop])
+        if not id_chunks:
+            empty = np.empty(0, dtype=np.uint64)
+            return empty, empty.copy()
+        return np.concatenate(id_chunks), np.concatenate(key_chunks)
+
+    def passes(self, nodes: List[int]) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Per-node pass arrays for ``Scheme.encode``."""
+        return {node: self.passes_at(node) for node in nodes}
+
+    def routes_by_vehicle(self) -> Dict[int, List[int]]:
+        """``vehicle_id -> route`` for the agent-level simulation.
+
+        Intended for *small* assignments (the agent simulation is
+        per-message); experiment-scale traffic uses the vectorized
+        per-node arrays instead.
+        """
+        routes: Dict[int, List[int]] = {}
+        for pair, (start, stop) in self.spans.items():
+            route = self.plan.routes[pair]
+            for vid in self.fleet.ids[start:stop]:
+                routes[int(vid)] = list(route)
+        return routes
+
+
+def calibrate_to_node_volumes(
+    plan: RoutePlan, targets: Dict[int, int], *, anchor: int
+) -> RoutePlan:
+    """Scale a plan's trip table so node *anchor* hits its target volume.
+
+    Returns a new plan over the scaled table (routes unchanged).  Used
+    to pin the synthesized Sioux Falls workload to the paper's
+    ``n_y = 451,000`` at node 10; the remaining targets are then
+    reported (not forced) so EXPERIMENTS.md can show how close the
+    gravity profile lands.
+    """
+    volumes = node_volumes(plan)
+    if anchor not in volumes or volumes[anchor] == 0:
+        raise CalibrationError(f"anchor node {anchor} carries no traffic")
+    if anchor not in targets:
+        raise CalibrationError(f"no target volume for anchor node {anchor}")
+    factor = targets[anchor] / volumes[anchor]
+    scaled = plan.trips.scaled(factor)
+    if scaled.total_trips == 0:
+        raise CalibrationError("calibration scaled the trip table to zero")
+    return RoutePlan(routes=dict(plan.routes), trips=scaled)

@@ -1,0 +1,30 @@
+"""Vehicle population and workload generation.
+
+* :mod:`repro.traffic.population` — a concrete set of vehicles with
+  identities, private keys, and the RSUs each passed;
+* :mod:`repro.traffic.random_workload` — controlled ``(n_x, n_y, n_c)``
+  pair populations, the workload of the paper's Fig. 4/5 sweeps;
+* :mod:`repro.traffic.network_workload` — populations routed over a
+  road network from a trip table (the Sioux Falls workload);
+* :mod:`repro.traffic.scenarios` — the named parameter sets the paper
+  evaluates (equal traffic, 10x, 50x, Table I pairs).
+"""
+
+from repro.traffic.population import PairPopulation, VehicleFleet
+from repro.traffic.random_workload import make_pair_population
+from repro.traffic.scenarios import (
+    FIG45_SWEEP,
+    TABLE1_PAIRS,
+    TRAFFIC_RATIOS,
+    Table1Pair,
+)
+
+__all__ = [
+    "VehicleFleet",
+    "PairPopulation",
+    "make_pair_population",
+    "TRAFFIC_RATIOS",
+    "FIG45_SWEEP",
+    "TABLE1_PAIRS",
+    "Table1Pair",
+]

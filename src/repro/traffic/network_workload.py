@@ -1,0 +1,91 @@
+"""Network-driven workloads: from a road network to encoder inputs.
+
+Glues the roadnet substrate to the schemes: synthesize (or accept) a
+trip table, route it, materialize vehicles, and expose per-RSU pass
+arrays plus the ground-truth volumes the experiments compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.gravity import gravity_trip_table
+from repro.roadnet.routing import RoutePlan, assign_routes
+from repro.roadnet.trips import TripTable
+from repro.roadnet.volumes import (
+    TrafficAssignment,
+    node_volumes,
+    pair_common_volumes,
+)
+from repro.utils.rng import SeedLike
+
+__all__ = ["NetworkWorkload", "sioux_falls_workload"]
+
+OdPair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class NetworkWorkload:
+    """A fully materialized network traffic workload.
+
+    Bundles the route plan, the concrete vehicles, and the ground
+    truth; ready to drive either scheme's ``encode`` and to check its
+    estimates.
+    """
+
+    network: RoadNetwork
+    plan: RoutePlan
+    assignment: TrafficAssignment
+
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        trips: TripTable,
+        *,
+        seed: SeedLike = None,
+    ) -> "NetworkWorkload":
+        """Route *trips* on *network* and materialize the fleet."""
+        plan = assign_routes(network, trips)
+        assignment = TrafficAssignment.materialize(plan, seed=seed)
+        return cls(network=network, plan=plan, assignment=assignment)
+
+    def volumes(self) -> Dict[int, int]:
+        """Ground-truth point volume per node."""
+        return node_volumes(self.plan)
+
+    def common_volumes(self) -> Dict[OdPair, int]:
+        """Ground-truth point-to-point volume per unordered node pair."""
+        return pair_common_volumes(self.plan)
+
+    def passes(
+        self, nodes: Optional[List[int]] = None
+    ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Per-node encoder inputs (default: every network node)."""
+        if nodes is None:
+            nodes = self.network.nodes
+        return self.assignment.passes(nodes)
+
+
+def sioux_falls_workload(
+    *,
+    total_trips: int = 360_600,
+    gamma: float = 1.0,
+    seed: SeedLike = None,
+) -> NetworkWorkload:
+    """The default Sioux Falls workload: gravity trips, routed.
+
+    See DESIGN.md substitution #1 — the Table I experiment additionally
+    pins the per-pair ``(n_x, n_y, n_c)`` to the paper's exact values;
+    this workload provides the realistic full-network context for the
+    examples and the all-pairs study.
+    """
+    from repro.roadnet.sioux_falls import sioux_falls_network
+
+    network = sioux_falls_network()
+    trips = gravity_trip_table(network, total_trips=total_trips, gamma=gamma)
+    return NetworkWorkload.build(network, trips, seed=seed)

@@ -1,0 +1,89 @@
+"""Named evaluation scenarios from the paper's Section VII.
+
+Centralizes the exact parameter sets of the evaluation so the
+experiment runners, the benchmarks, and the tests all reference one
+source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "TRAFFIC_RATIOS",
+    "FIG45_SWEEP",
+    "Table1Pair",
+    "TABLE1_PAIRS",
+    "TABLE1_RSU_Y",
+    "TABLE1_N_Y",
+    "S_VALUES",
+]
+
+#: The three traffic-volume ratios of Figs. 4 and 5: n_y / n_x.
+TRAFFIC_RATIOS: Tuple[int, ...] = (1, 10, 50)
+
+#: Logical bit array sizes the paper evaluates.
+S_VALUES: Tuple[int, ...] = (2, 5, 10)
+
+
+@dataclass(frozen=True)
+class Fig45Sweep:
+    """The Fig. 4/5 sweep: ``n_x = 10,000``, ``n_c`` from ``0.01 n_x``
+    to ``0.5 n_x`` with step ``0.001 n_x`` (491 points), ``s = 2``."""
+
+    n_x: int = 10_000
+    n_c_low_fraction: float = 0.01
+    n_c_high_fraction: float = 0.5
+    n_c_step_fraction: float = 0.001
+    s: int = 2
+
+    def n_c_values(self) -> Tuple[int, ...]:
+        """The swept true common volumes, as exact integers."""
+        start = round(self.n_c_low_fraction * self.n_x)
+        stop = round(self.n_c_high_fraction * self.n_x)
+        step = max(1, round(self.n_c_step_fraction * self.n_x))
+        return tuple(range(start, stop + 1, step))
+
+
+FIG45_SWEEP = Fig45Sweep()
+
+
+@dataclass(frozen=True)
+class Table1Pair:
+    """One row of the paper's Table I (volumes in *vehicles/day*;
+    the paper quotes them in thousands)."""
+
+    rsu_x: int
+    n_x: int
+    n_c: int
+
+    @property
+    def traffic_difference_ratio(self) -> float:
+        """``d = n_y / n_x`` against the fixed ``n_y`` of node 10."""
+        return TABLE1_N_Y / self.n_x
+
+
+#: Node 10 is the heaviest-traffic RSU: R_y with n_y = 451k vehicles/day.
+TABLE1_RSU_Y: int = 10
+TABLE1_N_Y: int = 451_000
+
+#: The eight (R_x, n_x, n_c) rows of Table I, sorted by d = n_y / n_x.
+TABLE1_PAIRS: Tuple[Table1Pair, ...] = (
+    Table1Pair(rsu_x=15, n_x=213_000, n_c=40_000),
+    Table1Pair(rsu_x=12, n_x=140_000, n_c=20_000),
+    Table1Pair(rsu_x=7, n_x=121_000, n_c=19_000),
+    Table1Pair(rsu_x=24, n_x=78_000, n_c=8_000),
+    Table1Pair(rsu_x=6, n_x=76_000, n_c=8_000),
+    Table1Pair(rsu_x=18, n_x=47_000, n_c=7_000),
+    Table1Pair(rsu_x=2, n_x=40_000, n_c=6_000),
+    Table1Pair(rsu_x=3, n_x=28_000, n_c=3_000),
+)
+
+
+def table1_volumes() -> Dict[int, int]:
+    """Node -> daily volume map covering every RSU Table I touches."""
+    volumes = {TABLE1_RSU_Y: TABLE1_N_Y}
+    for pair in TABLE1_PAIRS:
+        volumes[pair.rsu_x] = pair.n_x
+    return volumes

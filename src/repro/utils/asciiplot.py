@@ -1,0 +1,102 @@
+"""ASCII scatter plots for terminal-only environments.
+
+The paper's Figs. 4-5 are scatter plots of measured vs true volume; in
+a no-matplotlib environment the harness renders the same picture as a
+character grid so the "scatters everywhere" vs "on the line" contrast
+is visible directly in CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["scatter_plot"]
+
+
+def scatter_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    width: int = 64,
+    height: int = 20,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    diagonal: bool = True,
+    clip_factor: float = 2.0,
+) -> str:
+    """Render points as an ASCII grid.
+
+    Parameters
+    ----------
+    x, y:
+        Point coordinates (equal length).
+    width, height:
+        Grid size in characters.
+    diagonal:
+        Draw the ``y = x`` reference line (the paper's equality line).
+    clip_factor:
+        Y values are clipped to ``clip_factor * max(x)`` so a handful
+        of wild outliers cannot flatten the whole plot; clipped points
+        render as ``^`` on the top row.
+
+    Returns the multi-line string; ``*`` marks data points, ``.`` the
+    reference line, ``#`` a point sitting on the line cell.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if xs.size == 0:
+        raise ValueError("cannot plot zero points")
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4 characters")
+
+    x_max = float(xs.max())
+    x_min = min(0.0, float(xs.min()))
+    y_cap = clip_factor * max(x_max, 1e-12)
+    y_min = min(0.0, float(ys.min()), x_min)
+    y_max = max(y_cap, 1e-12)
+
+    def col(value: float) -> int:
+        span = max(x_max - x_min, 1e-12)
+        return min(width - 1, max(0, int((value - x_min) / span * (width - 1))))
+
+    def row(value: float) -> int:
+        span = max(y_max - y_min, 1e-12)
+        r = int((value - y_min) / span * (height - 1))
+        return min(height - 1, max(0, r))
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    if diagonal:
+        for c in range(width):
+            value = x_min + c / max(width - 1, 1) * (x_max - x_min)
+            grid[row(value)][c] = "."
+    clipped = 0
+    for xv, yv in zip(xs, ys):
+        c = col(xv)
+        if yv > y_max:
+            clipped += 1
+            grid[height - 1][c] = "^"
+            continue
+        r = row(yv)
+        grid[r][c] = "#" if grid[r][c] == "." else "*"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r in range(height - 1, -1, -1):
+        prefix = f"{y_min + r / (height - 1) * (y_max - y_min):>10.0f} |"
+        lines.append(prefix + "".join(grid[r]))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12
+        + f"{x_min:.0f}".ljust(width // 2)
+        + f"{x_max:.0f}".rjust(width // 2)
+    )
+    lines.append(f"    x: {x_label}, y: {y_label}" + (
+        f"  ({clipped} points clipped above {y_max:.0f})" if clipped else ""
+    ))
+    return "\n".join(lines)

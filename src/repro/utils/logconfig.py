@@ -1,0 +1,57 @@
+"""Logging configuration.
+
+The library logs under the ``repro`` namespace hierarchy and stays
+silent by default (a null handler on the root package logger, per
+library convention).  Applications opt in with
+:func:`configure_logging`; the CLI exposes it as ``--verbose``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the library namespace (``repro.<name>``)."""
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(
+    *, verbose: bool = False, stream=None, fmt: Optional[str] = None
+) -> logging.Logger:
+    """Attach a stream handler to the library's root logger.
+
+    Parameters
+    ----------
+    verbose:
+        ``True`` logs at DEBUG, otherwise INFO.
+    stream:
+        Target stream (default stderr).
+    fmt:
+        Log format (a sensible timestamped default otherwise).
+
+    Calling again replaces the previously attached handler, so repeated
+    configuration (e.g. in tests) does not duplicate output.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_configured", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_configured = True  # type: ignore[attr-defined]
+    handler.setFormatter(
+        logging.Formatter(fmt or "%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(logging.DEBUG if verbose else logging.INFO)
+    return root

@@ -1,0 +1,84 @@
+"""Numerically stable math primitives used by the analysis modules.
+
+The paper's formulas repeatedly evaluate expressions of the form
+``(1 - 1/m)**n`` with ``m`` up to ``2**21`` and ``n`` up to ``5*10**5``.
+Evaluated naively these underflow or lose precision; everything here
+goes through ``log1p`` so the closed-form analysis matches simulation
+at full scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "log_pow_one_minus",
+    "pow_one_minus",
+    "safe_log",
+    "stable_ratio_power",
+    "log1m_exp",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Smallest fraction-of-zeros value substituted for an exactly-zero
+#: observation when a clamping policy is in effect (see
+#: :class:`repro.core.estimator.ZeroFractionPolicy`).
+TINY = 1e-300
+
+
+def log_pow_one_minus(inverse_scale: ArrayLike, exponent: ArrayLike) -> ArrayLike:
+    """Return ``log((1 - inverse_scale) ** exponent)`` stably.
+
+    Computes ``exponent * log1p(-inverse_scale)``; *inverse_scale* is a
+    probability-like quantity such as ``1/m`` in paper Eqs. (6)-(11).
+    """
+    return np.asarray(exponent, dtype=float) * np.log1p(
+        -np.asarray(inverse_scale, dtype=float)
+    )
+
+
+def pow_one_minus(inverse_scale: ArrayLike, exponent: ArrayLike) -> ArrayLike:
+    """Return ``(1 - inverse_scale) ** exponent`` via the log-space form."""
+    return np.exp(log_pow_one_minus(inverse_scale, exponent))
+
+
+def safe_log(value: ArrayLike, *, floor: float = TINY) -> ArrayLike:
+    """Return ``log(max(value, floor))`` elementwise.
+
+    The floor guards against taking ``log(0)`` for saturated bit
+    arrays; callers that prefer a hard failure should check for zeros
+    first (see :class:`~repro.errors.SaturatedArrayError`).
+    """
+    return np.log(np.maximum(np.asarray(value, dtype=float), floor))
+
+
+def stable_ratio_power(
+    numerator_inverse: float, denominator_inverse: float, exponent: ArrayLike
+) -> ArrayLike:
+    """Return ``((1 - a) / (1 - b)) ** exponent`` stably.
+
+    Used for the ``((1 - (s-1)/(s m_y)) / (1 - 1/m_y)) ** n_c`` factor
+    of paper Eq. (9)/(14).
+    """
+    log_ratio = math.log1p(-numerator_inverse) - math.log1p(-denominator_inverse)
+    return np.exp(np.asarray(exponent, dtype=float) * log_ratio)
+
+
+def log1m_exp(log_value: ArrayLike) -> ArrayLike:
+    """Return ``log(1 - exp(log_value))`` for ``log_value <= 0`` stably.
+
+    Splits at ``log(1/2)`` per Maechler's classic note: use ``log(-expm1)``
+    for arguments close to zero and ``log1p(-exp)`` otherwise.
+    """
+    value = np.asarray(log_value, dtype=float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(
+            value > -math.log(2.0),
+            np.log(-np.expm1(value)),
+            np.log1p(-np.exp(value)),
+        )
+    return out

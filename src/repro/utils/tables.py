@@ -1,0 +1,101 @@
+"""Plain-text table rendering for experiment harness output.
+
+Every experiment runner produces rows that mirror a table or figure in
+the paper; :class:`AsciiTable` renders them in a monospace grid so the
+CLI/benchmark output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["AsciiTable", "format_number"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_number(value: Cell, *, precision: int = 3) -> str:
+    """Format a numeric cell compactly.
+
+    Integers render without a decimal point; floats round to
+    *precision* significant-looking digits; ``None`` renders as ``-``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if abs(value) >= 1000:
+        return f"{value:,.{precision}f}"
+    return f"{value:.{precision}f}"
+
+
+class AsciiTable:
+    """Accumulate rows and render them as an aligned text table.
+
+    Example
+    -------
+    >>> table = AsciiTable(["pair", "error %"], title="Table I")
+    >>> table.add_row(["(15, 10)", 0.125])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: Optional[str] = None) -> None:
+        self.columns: List[str] = [str(c) for c in columns]
+        self.title = title
+        self._rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell], *, precision: int = 3) -> None:
+        """Append a row; cells are formatted with :func:`format_number`."""
+        row = [format_number(cell, precision=precision) for cell in cells]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """Formatted rows added so far (copies; mutation-safe)."""
+        return [list(row) for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as a string with a header rule."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+        parts: List[str] = []
+        if self.title:
+            parts.append(self.title)
+        header = line(self.columns)
+        parts.append(header)
+        parts.append("-" * len(header))
+        parts.extend(line(row) for row in self._rows)
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        parts = []
+        if self.title:
+            parts.append(f"**{self.title}**")
+            parts.append("")
+        parts.append("| " + " | ".join(self.columns) + " |")
+        parts.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self._rows:
+            parts.append("| " + " | ".join(row) + " |")
+        return "\n".join(parts)

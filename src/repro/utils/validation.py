@@ -1,0 +1,88 @@
+"""Argument validation helpers.
+
+The scheme configuration space has several hard constraints (array
+lengths must be powers of two, probabilities in [0, 1], counts
+non-negative).  Centralizing the checks keeps error messages uniform
+and the call sites terse.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "is_power_of_two",
+    "next_power_of_two",
+    "check_power_of_two",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+]
+
+Number = Union[int, float]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` iff *value* is a positive integral power of two."""
+    return isinstance(value, (int,)) and value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: Number) -> int:
+    """Smallest power of two ``>= value`` (paper Section IV-B sizing rule).
+
+    ``next_power_of_two(x)`` equals ``2**ceil(log2(x))`` for ``x > 0``;
+    values below 1 map to 1.
+    """
+    if value <= 1:
+        return 1
+    result = 1 << (int(value) - 1).bit_length()
+    # Handle non-integral values just above a power of two, e.g. 8.5 -> 16.
+    if float(result) < float(value):
+        result <<= 1
+    return result
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that *value* is a power of two; return it as ``int``."""
+    if not is_power_of_two(int(value)) or int(value) != value:
+        raise ConfigurationError(f"{name} must be a positive power of two, got {value!r}")
+    return int(value)
+
+
+def check_positive(value: Number, name: str) -> Number:
+    """Validate ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer."""
+    if int(value) != value or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    value: Number, low: Number, high: Number, name: str, *, inclusive: bool = True
+) -> Number:
+    """Validate that *value* lies in ``[low, high]`` (or ``(low, high)``)."""
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ConfigurationError(f"{name} must be in {bounds}, got {value!r}")
+    return value

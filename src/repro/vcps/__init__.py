@@ -1,0 +1,59 @@
+"""Vehicular cyber-physical system substrate (paper Section II-A).
+
+An agent-level simulation of the three entity groups and their
+interactions:
+
+* :mod:`repro.vcps.ids` — vehicle/RSU identifiers and one-time random
+  MAC addresses;
+* :mod:`repro.vcps.keys` — vehicle private keys;
+* :mod:`repro.vcps.pki` — a simulated certificate authority and RSU
+  certificates (vehicles verify before responding);
+* :mod:`repro.vcps.messages` — DSRC query/response message formats and
+  wire encoding;
+* :mod:`repro.vcps.vehicle` — the vehicle agent (verify, select bit,
+  respond; never transmits an identifier);
+* :mod:`repro.vcps.rsu` — the RSU agent (broadcast queries, collect
+  responses, maintain counter + bit array, report per period);
+* :mod:`repro.vcps.history` — historical average volumes ``n̄_x``;
+* :mod:`repro.vcps.server` — the central server (report collection,
+  history update, measurement queries);
+* :mod:`repro.vcps.clock` — discrete simulation clock;
+* :mod:`repro.vcps.simulation` — drives vehicles over routes through
+  RSUs for whole measurement periods.
+
+The DSRC radio itself is simulated as in-process message passing (see
+DESIGN.md substitution #2); everything the measurement scheme observes
+— queries, responses, reports — flows through the same interfaces a
+deployment would use.
+"""
+
+from repro.vcps.channel import LossyChannel, PerfectChannel
+from repro.vcps.ids import random_mac, format_mac
+from repro.vcps.keys import KeyStore, generate_private_key
+from repro.vcps.pki import Certificate, CertificateAuthority
+from repro.vcps.messages import Query, Response
+from repro.vcps.vehicle import Vehicle
+from repro.vcps.rsu import RoadsideUnit
+from repro.vcps.history import VolumeHistory
+from repro.vcps.server import CentralServer
+from repro.vcps.clock import SimulationClock
+from repro.vcps.simulation import VcpsSimulation
+
+__all__ = [
+    "LossyChannel",
+    "PerfectChannel",
+    "random_mac",
+    "format_mac",
+    "KeyStore",
+    "generate_private_key",
+    "Certificate",
+    "CertificateAuthority",
+    "Query",
+    "Response",
+    "Vehicle",
+    "RoadsideUnit",
+    "VolumeHistory",
+    "CentralServer",
+    "SimulationClock",
+    "VcpsSimulation",
+]

@@ -1,0 +1,85 @@
+"""A lossy DSRC channel model (robustness extension).
+
+The paper assumes every vehicle receives at least one query ("RSUs
+broadcast queries in pre-set intervals ... ensuring that each passing
+vehicle receives at least one query").  Real 802.11p links drop frames;
+this module models independent loss on the downlink (query) and uplink
+(response) so the sensitivity of the measurement to channel loss can be
+studied (:mod:`repro.experiments` drives it through the agent
+simulation, and ``tests/test_channel.py`` pins the semantics).
+
+Loss semantics match the protocol: a lost *query* means the vehicle
+never responds this attempt (RSU re-broadcasts next interval); a lost
+*response* means the RSU misses the vehicle entirely for the period —
+its counter and its bit array stay consistent with each other (both
+reflect only received responses), so the estimator remains unbiased
+*for the observed population*; what loss changes is which population
+is observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["LossyChannel", "PerfectChannel"]
+
+
+class PerfectChannel:
+    """The paper's implicit channel: nothing is ever lost."""
+
+    def deliver_query(self) -> bool:
+        """Whether a broadcast query reaches the vehicle."""
+        return True
+
+    def deliver_response(self) -> bool:
+        """Whether a vehicle response reaches the RSU."""
+        return True
+
+
+@dataclass
+class LossyChannel:
+    """Independent Bernoulli loss on each direction.
+
+    Parameters
+    ----------
+    query_loss:
+        Probability a broadcast query is not received by a vehicle.
+    response_loss:
+        Probability a response is not received by the RSU.
+    seed:
+        Randomness source.
+    """
+
+    query_loss: float = 0.0
+    response_loss: float = 0.0
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("query_loss", self.query_loss),
+            ("response_loss", self.response_loss),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1), got {value}"
+                )
+        self._rng = as_generator(self.seed)
+        self.queries_dropped = 0
+        self.responses_dropped = 0
+
+    def deliver_query(self) -> bool:
+        """Sample one downlink delivery."""
+        if self._rng.random() < self.query_loss:
+            self.queries_dropped += 1
+            return False
+        return True
+
+    def deliver_response(self) -> bool:
+        """Sample one uplink delivery."""
+        if self._rng.random() < self.response_loss:
+            self.responses_dropped += 1
+            return False
+        return True

@@ -1,0 +1,56 @@
+"""Discrete simulation clock.
+
+Measurement periods (paper: e.g. one day) are divided into integer
+ticks (paper: queries go out "once a second").  The clock is the only
+time source agents see, keeping the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SimulationClock"]
+
+
+class SimulationClock:
+    """Tick counter with period bookkeeping.
+
+    Parameters
+    ----------
+    ticks_per_period:
+        Length of one measurement period in ticks.
+    """
+
+    def __init__(self, ticks_per_period: int = 86_400) -> None:
+        if ticks_per_period < 1:
+            raise ConfigurationError(
+                f"ticks_per_period must be >= 1, got {ticks_per_period}"
+            )
+        self.ticks_per_period = int(ticks_per_period)
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Absolute tick count since simulation start."""
+        return self._now
+
+    @property
+    def period(self) -> int:
+        """Index of the current measurement period."""
+        return self._now // self.ticks_per_period
+
+    @property
+    def tick_in_period(self) -> int:
+        """Offset of the current tick within its period."""
+        return self._now % self.ticks_per_period
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move time forward; returns the new absolute tick."""
+        if ticks < 0:
+            raise ConfigurationError(f"cannot advance by {ticks} ticks")
+        self._now += int(ticks)
+        return self._now
+
+    def at_period_boundary(self) -> bool:
+        """``True`` exactly at the first tick of a period."""
+        return self.tick_in_period == 0

@@ -1,0 +1,172 @@
+"""Longitudinal deployment driver: many periods over a road network.
+
+Orchestrates the pieces a real rollout combines — network workload,
+day-to-day demand variation, the vectorized encoders, the central
+server with history updates and array resizing — across a sequence of
+measurement periods, producing a longitudinal record of measurements.
+This is the vectorized (experiment-scale) sibling of the per-message
+:class:`~repro.vcps.simulation.VcpsSimulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.encoder import encode_passes
+from repro.core.estimator import PairEstimate, ZeroFractionPolicy
+from repro.core.parameters import SchemeParameters
+from repro.core.sizing import LoadFactorSizing
+from repro.errors import ConfigurationError
+from repro.traffic.network_workload import NetworkWorkload
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import next_power_of_two
+from repro.vcps.history import VolumeHistory
+from repro.vcps.server import CentralServer
+
+__all__ = ["PeriodRecord", "Deployment"]
+
+
+@dataclass(frozen=True)
+class PeriodRecord:
+    """What one measurement period produced."""
+
+    period: int
+    demand_factor: float
+    volumes: Dict[int, int]
+    array_sizes: Dict[int, int]
+
+
+class Deployment:
+    """A measurement deployment run period by period.
+
+    Parameters
+    ----------
+    workload:
+        The base network workload (routes + fleet); per-period demand
+        is the base scaled by a demand factor (e.g. weekday/weekend).
+    s, load_factor, hash_seed:
+        Scheme parameters.
+    seed:
+        Randomness for per-period subsampling.
+    headroom:
+        Factor applied to the historical maximum volume when fixing
+        ``m_o`` (logical arrays must cover the largest array any RSU
+        will ever use; give growth room).
+    """
+
+    def __init__(
+        self,
+        workload: NetworkWorkload,
+        *,
+        s: int = 2,
+        load_factor: float = 8.0,
+        hash_seed: int = 0,
+        seed: SeedLike = None,
+        headroom: float = 4.0,
+    ) -> None:
+        if headroom < 1.0:
+            raise ConfigurationError(f"headroom must be >= 1, got {headroom}")
+        self.workload = workload
+        self.sizing = LoadFactorSizing(load_factor)
+        base_volumes = workload.volumes()
+        if not base_volumes:
+            raise ConfigurationError("workload produces no traffic")
+        m_o = next_power_of_two(
+            max(base_volumes.values()) * load_factor * headroom
+        )
+        self.params = SchemeParameters(
+            s=s, load_factor=load_factor, m_o=m_o, hash_seed=hash_seed
+        )
+        self.server = CentralServer(
+            s,
+            self.sizing,
+            history=VolumeHistory(dict(base_volumes)),
+            policy=ZeroFractionPolicy.CLAMP,
+        )
+        self._rng = as_generator(seed)
+        self._period = 0
+        self.records: List[PeriodRecord] = []
+
+    # ------------------------------------------------------------------
+    # Period execution
+    # ------------------------------------------------------------------
+    def run_period(self, *, demand_factor: float = 1.0) -> PeriodRecord:
+        """Execute one measurement period.
+
+        Each vehicle of the base workload participates independently
+        with probability *demand_factor* (factors > 1 are clamped to
+        1 — the base fleet is the population ceiling).
+        """
+        if demand_factor <= 0:
+            raise ConfigurationError(
+                f"demand_factor must be > 0, got {demand_factor}"
+            )
+        probability = min(demand_factor, 1.0)
+        total = self.workload.assignment.total_vehicles
+        participating = self._rng.random(total) < probability
+        sizes = {
+            rsu_id: min(size, self.params.m_o)
+            for rsu_id, size in self.server.next_period_sizes().items()
+        }
+
+        volumes: Dict[int, int] = {}
+        reports = []
+        for node in self.workload.network.nodes:
+            ids, keys = self.workload.assignment.passes_at(node)
+            if ids.size:
+                # Subsample by participation: a vehicle either drives
+                # its whole route today or stays home.
+                index = np.searchsorted(
+                    np.sort(self.workload.assignment.fleet.ids), ids
+                )
+                mask = participating[
+                    np.clip(index, 0, total - 1)
+                ]
+                ids, keys = ids[mask], keys[mask]
+            report = encode_passes(
+                ids,
+                keys,
+                node,
+                sizes[node],
+                self.params.with_m_o(self.params.m_o),
+                period=self._period,
+            )
+            reports.append(report)
+            volumes[node] = report.counter
+        self.server.receive_reports(reports)
+        record = PeriodRecord(
+            period=self._period,
+            demand_factor=demand_factor,
+            volumes=volumes,
+            array_sizes=sizes,
+        )
+        self.records.append(record)
+        self._period += 1
+        return record
+
+    def run_week(
+        self, *, weekday_factor: float = 1.0, weekend_factor: float = 0.6
+    ) -> List[PeriodRecord]:
+        """Five weekday periods followed by two weekend periods."""
+        records = [self.run_period(demand_factor=weekday_factor) for _ in range(5)]
+        records += [self.run_period(demand_factor=weekend_factor) for _ in range(2)]
+        return records
+
+    # ------------------------------------------------------------------
+    # Longitudinal queries
+    # ------------------------------------------------------------------
+    def measurements(
+        self, rsu_x: int, rsu_y: int
+    ) -> List[Tuple[int, PairEstimate]]:
+        """Every period's estimate for one pair, in period order."""
+        return [
+            (record.period, self.server.point_to_point(rsu_x, rsu_y, record.period))
+            for record in self.records
+        ]
+
+    @property
+    def periods_run(self) -> int:
+        return self._period

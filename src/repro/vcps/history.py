@@ -1,0 +1,96 @@
+"""Historical average point traffic volumes ``n̄_x``.
+
+The sizing rule of Section IV-B uses "the history average 'point'
+traffic volume in ``R_x``"; Section IV-C has the server "first update
+the history average ... to take into account the traffic data in the
+current measurement period".  :class:`VolumeHistory` implements that
+bookkeeping with an exponentially weighted moving average (a plain
+cumulative mean is the ``smoothing=None`` special case).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["VolumeHistory"]
+
+
+class VolumeHistory:
+    """Per-RSU running average of point traffic volumes.
+
+    Parameters
+    ----------
+    initial:
+        Seed averages (e.g. from legacy automatic traffic recorders) —
+        required before the first period for any RSU whose array must
+        be sized.
+    smoothing:
+        EWMA coefficient ``alpha`` in ``(0, 1]``; ``None`` means a
+        cumulative (equal-weight) mean over all observed periods.
+    """
+
+    def __init__(
+        self,
+        initial: Optional[Mapping[int, float]] = None,
+        *,
+        smoothing: Optional[float] = None,
+    ) -> None:
+        if smoothing is not None and not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self._smoothing = smoothing
+        self._averages: Dict[int, float] = {}
+        self._periods: Dict[int, int] = {}
+        for rsu_id, volume in (initial or {}).items():
+            if volume <= 0:
+                raise ConfigurationError(
+                    f"initial volume for RSU {rsu_id} must be positive"
+                )
+            self._averages[int(rsu_id)] = float(volume)
+            self._periods[int(rsu_id)] = 0
+
+    def average(self, rsu_id: int) -> float:
+        """The current ``n̄_x``; raises for an unknown RSU."""
+        try:
+            return self._averages[int(rsu_id)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no history for RSU {rsu_id}; seed it via `initial` or "
+                "observe at least one period"
+            ) from None
+
+    def known_rsus(self) -> Dict[int, float]:
+        """Snapshot of all per-RSU averages."""
+        return dict(self._averages)
+
+    def observe(self, rsu_id: int, volume: int) -> float:
+        """Fold one period's observed counter into the average.
+
+        Returns the updated ``n̄_x``.
+        """
+        if volume < 0:
+            raise ConfigurationError(f"observed volume must be >= 0, got {volume}")
+        rid = int(rsu_id)
+        periods = self._periods.get(rid, 0)
+        if rid not in self._averages:
+            updated = float(volume)
+        elif self._smoothing is not None:
+            updated = (
+                self._smoothing * float(volume)
+                + (1.0 - self._smoothing) * self._averages[rid]
+            )
+        else:
+            updated = (self._averages[rid] * (periods + 1) + float(volume)) / (
+                periods + 2
+            )
+        self._averages[rid] = updated
+        self._periods[rid] = periods + 1
+        return updated
+
+    def observe_all(self, volumes: Mapping[int, int]) -> None:
+        """Fold a whole period of counters (``rsu_id -> n_x``)."""
+        for rsu_id, volume in volumes.items():
+            self.observe(rsu_id, volume)

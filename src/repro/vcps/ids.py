@@ -1,0 +1,42 @@
+"""Identifiers and one-time MAC addresses.
+
+The paper assumes "a special MAC protocol ... such that the MAC address
+of a vehicle is not fixed.  Vehicles may pick an MAC address randomly
+from a large space for one-time use when needed."  We model exactly
+that: every response a vehicle sends carries a fresh 48-bit
+locally-administered unicast MAC drawn uniformly at random, so link
+layer addresses carry no linkable identity.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["random_mac", "format_mac", "is_locally_administered"]
+
+#: Bit 1 of the first octet: locally administered (not vendor-assigned).
+_LOCAL_BIT = 0x02_00_00_00_00_00
+#: Bit 0 of the first octet: multicast; must be 0 for a unicast source.
+_MULTICAST_BIT = 0x01_00_00_00_00_00
+
+
+def random_mac(seed: SeedLike = None) -> int:
+    """A fresh one-time 48-bit MAC address (locally administered,
+    unicast), as an integer."""
+    rng = as_generator(seed)
+    raw = int(rng.integers(0, 1 << 48))
+    return (raw | _LOCAL_BIT) & ~_MULTICAST_BIT
+
+
+def is_locally_administered(mac: int) -> bool:
+    """``True`` iff *mac* has the locally-administered bit set and the
+    multicast bit clear — the shape every one-time MAC must have."""
+    return bool(mac & _LOCAL_BIT) and not bool(mac & _MULTICAST_BIT)
+
+
+def format_mac(mac: int) -> str:
+    """Render an integer MAC in the usual colon-separated hex form."""
+    if not 0 <= mac < 1 << 48:
+        raise ValueError(f"MAC must be a 48-bit integer, got {mac!r}")
+    raw = f"{mac:012x}"
+    return ":".join(raw[i : i + 2] for i in range(0, 12, 2))

@@ -1,0 +1,48 @@
+"""Vehicle private keys ``K_v``.
+
+Each vehicle generates one private key for itself (paper Section IV-B:
+"K_v is the private key of v whose purpose is to protect its privacy").
+The key never leaves the vehicle; it only enters the hash that derives
+the reported bit index, which is what makes the index non-invertible by
+the authority even though ``H`` and ``X`` are public.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["generate_private_key", "KeyStore"]
+
+
+def generate_private_key(seed: SeedLike = None) -> int:
+    """A uniform 63-bit private key."""
+    rng = as_generator(seed)
+    return int(rng.integers(0, 2**63 - 1))
+
+
+class KeyStore:
+    """On-board key storage for a simulation's vehicle fleet.
+
+    Purely a simulation convenience — in a deployment every vehicle
+    holds its own key; here the store hands each vehicle agent its key
+    at construction and supports deterministic re-creation from a seed.
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = as_generator(seed)
+        self._keys: Dict[int, int] = {}
+
+    def key_for(self, vehicle_id: int) -> int:
+        """The private key of *vehicle_id* (generated on first use)."""
+        vid = int(vehicle_id)
+        if vid not in self._keys:
+            self._keys[vid] = generate_private_key(self._rng)
+        return self._keys[vid]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, vehicle_id: int) -> bool:
+        return int(vehicle_id) in self._keys

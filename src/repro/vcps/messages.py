@@ -1,0 +1,78 @@
+"""DSRC query/response messages (paper Section IV-B).
+
+"Every query that an RSU sends out includes the RSU's RID, its
+public-key certificate, and the size of its bit array"; the vehicle's
+response carries nothing but a bit index (and, at the link layer, a
+one-time MAC).  Wire encoding is a compact key=value text form — the
+content, not the framing, is what the scheme depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.utils.validation import is_power_of_two
+from repro.vcps.ids import is_locally_administered
+from repro.vcps.pki import Certificate
+
+__all__ = ["Query", "Response"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """An RSU's broadcast query.
+
+    Attributes
+    ----------
+    rsu_id:
+        The RSU's RID.
+    certificate:
+        The RSU's public-key certificate (verified by vehicles).
+    array_size:
+        The RSU's bit array size ``m_x`` — the vehicle needs it to
+        reduce its logical bit index into ``[0, m_x)``.
+    timestamp:
+        Broadcast time (simulation ticks).
+    """
+
+    rsu_id: int
+    certificate: Certificate
+    array_size: int
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.array_size):
+            raise ProtocolError(
+                f"query advertises non-power-of-two array size {self.array_size}"
+            )
+        if self.certificate.rsu_id != self.rsu_id:
+            raise ProtocolError(
+                f"query rsu_id {self.rsu_id} does not match certificate "
+                f"subject {self.certificate.rsu_id}"
+            )
+
+
+@dataclass(frozen=True)
+class Response:
+    """A vehicle's reply: one bit index under a one-time MAC.
+
+    This is the entire information a vehicle ever reveals — by design
+    it contains no identifier and is indistinguishable from a uniform
+    random draw without the vehicle's private key.
+    """
+
+    mac: int
+    bit_index: int
+
+    def validate_for(self, array_size: int) -> None:
+        """RSU-side admission check; raises :class:`ProtocolError`."""
+        if not 0 <= self.bit_index < array_size:
+            raise ProtocolError(
+                f"response bit index {self.bit_index} outside [0, {array_size})"
+            )
+        if not is_locally_administered(self.mac):
+            raise ProtocolError(
+                "response MAC is not a locally-administered unicast address; "
+                "a fixed vendor MAC would be linkable"
+            )

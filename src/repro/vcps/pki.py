@@ -1,0 +1,118 @@
+"""Simulated public-key infrastructure for RSU authentication.
+
+The paper assumes RSUs are "from trustworthy authorities, which can be
+enforced by authentication based on PKI": every query carries the
+RSU's public-key certificate, and vehicles verify it (against material
+obtained from the trusted third party) before answering.
+
+We reproduce the *protocol-visible* behaviour with an offline-friendly
+primitive: the certificate authority holds a secret, and a certificate
+is an HMAC-SHA256 tag over the certified fields.  Vehicles verify
+through a :class:`TrustAnchor` — a verification-only handle the CA
+issues, standing in for the CA's public key.  The cryptographic
+strength of the primitive is irrelevant to the measurements (DESIGN.md
+substitution #3); what matters — and is tested — is that vehicles
+refuse to respond to queries whose certificate does not verify, is
+expired, or was not issued by the trusted CA.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AuthenticationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Certificate", "CertificateAuthority", "TrustAnchor"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An RSU certificate: certified fields plus the issuer's tag."""
+
+    rsu_id: int
+    issuer: str
+    not_after: int
+    tag: bytes
+
+    def message(self) -> bytes:
+        """The byte string the tag authenticates."""
+        return _certificate_message(self.rsu_id, self.issuer, self.not_after)
+
+
+def _certificate_message(rsu_id: int, issuer: str, not_after: int) -> bytes:
+    return f"rsu={rsu_id}|issuer={issuer}|not_after={not_after}".encode()
+
+
+class TrustAnchor:
+    """Verification-only handle vehicles hold (models the CA public key)."""
+
+    def __init__(self, issuer: str, secret: bytes) -> None:
+        self._issuer = issuer
+        self._secret = secret
+
+    @property
+    def issuer(self) -> str:
+        """Name of the authority this anchor trusts."""
+        return self._issuer
+
+    def verify(self, certificate: Certificate, *, now: int = 0) -> None:
+        """Validate *certificate*; raise :class:`AuthenticationError`
+        on any failure (wrong issuer, expiry, bad tag)."""
+        if certificate.issuer != self._issuer:
+            raise AuthenticationError(
+                f"certificate issued by {certificate.issuer!r}, vehicle "
+                f"trusts {self._issuer!r}"
+            )
+        if certificate.not_after < now:
+            raise AuthenticationError(
+                f"certificate for RSU {certificate.rsu_id} expired at "
+                f"{certificate.not_after} (now {now})"
+            )
+        expected = hmac.new(
+            self._secret, certificate.message(), hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(expected, certificate.tag):
+            raise AuthenticationError(
+                f"certificate tag for RSU {certificate.rsu_id} does not verify"
+            )
+
+
+class CertificateAuthority:
+    """The trusted third party that certifies RSUs.
+
+    Parameters
+    ----------
+    issuer:
+        Authority name embedded in certificates.
+    seed:
+        Deterministic seed for the authority secret (simulation
+        reproducibility).
+    """
+
+    def __init__(self, issuer: str = "transport-authority", *, seed: SeedLike = None) -> None:
+        rng = as_generator(seed)
+        self.issuer = issuer
+        self._secret = bytes(rng.integers(0, 256, size=32, dtype="uint8"))
+
+    def issue(self, rsu_id: int, *, not_after: int = 2**31) -> Certificate:
+        """Issue a certificate for *rsu_id* valid until *not_after*."""
+        message = _certificate_message(int(rsu_id), self.issuer, int(not_after))
+        tag = hmac.new(self._secret, message, hashlib.sha256).digest()
+        return Certificate(
+            rsu_id=int(rsu_id), issuer=self.issuer, not_after=int(not_after), tag=tag
+        )
+
+    def trust_anchor(self) -> TrustAnchor:
+        """The verification handle distributed to vehicles."""
+        return TrustAnchor(self.issuer, self._secret)
+
+    def forge_foreign(self, rsu_id: int, *, issuer: Optional[str] = None) -> Certificate:
+        """A certificate from a *different* (untrusted) authority — used
+        by tests and failure-injection experiments to check vehicles
+        reject impostor RSUs."""
+        rogue = CertificateAuthority(issuer or f"rogue-{self.issuer}", seed=1)
+        return rogue.issue(rsu_id)

@@ -1,0 +1,119 @@
+"""The roadside unit agent (paper Sections II-A and IV-B).
+
+An RSU broadcasts queries on a fixed interval, admits vehicle
+responses (bounds-checking the reported index and the one-time MAC
+shape), maintains the period counter ``n_x`` and bit array ``B_x``,
+and ships an :class:`~repro.core.reports.RsuReport` to the central
+server at the end of each measurement period.
+"""
+
+from __future__ import annotations
+
+from repro.core.encoder import RsuState
+from repro.core.reports import RsuReport
+from repro.errors import ProtocolError
+from repro.vcps.messages import Query, Response
+from repro.vcps.pki import Certificate
+
+__all__ = ["RoadsideUnit"]
+
+
+class RoadsideUnit:
+    """One RSU with its certificate and measurement state.
+
+    Parameters
+    ----------
+    rsu_id:
+        The RID.
+    array_size:
+        Bit array length ``m_x`` from the sizing rule.
+    certificate:
+        Certificate issued by the trusted authority, included in every
+        query broadcast.
+    query_interval:
+        Ticks between broadcasts (paper: "pre-set intervals (e.g.,
+        once a second)").
+    """
+
+    def __init__(
+        self,
+        rsu_id: int,
+        array_size: int,
+        certificate: Certificate,
+        *,
+        query_interval: int = 1,
+    ) -> None:
+        if certificate.rsu_id != int(rsu_id):
+            raise ProtocolError(
+                f"certificate subject {certificate.rsu_id} does not match "
+                f"RSU id {rsu_id}"
+            )
+        if query_interval < 1:
+            raise ProtocolError(f"query_interval must be >= 1, got {query_interval}")
+        self.rsu_id = int(rsu_id)
+        self.certificate = certificate
+        self.query_interval = int(query_interval)
+        self._state = RsuState(rsu_id=self.rsu_id, array_size=int(array_size))
+        self._rejected = 0
+
+    # ------------------------------------------------------------------
+    # Broadcast side
+    # ------------------------------------------------------------------
+    def should_broadcast(self, now: int) -> bool:
+        """Whether a query goes out at tick *now*."""
+        return now % self.query_interval == 0
+
+    def make_query(self, now: int = 0) -> Query:
+        """The broadcast query: RID, certificate, array size."""
+        return Query(
+            rsu_id=self.rsu_id,
+            certificate=self.certificate,
+            array_size=self._state.array_size,
+            timestamp=int(now),
+        )
+
+    # ------------------------------------------------------------------
+    # Collection side
+    # ------------------------------------------------------------------
+    def handle_response(self, response: Response) -> None:
+        """Admit one vehicle response (paper Eqs. 1-2).
+
+        Malformed responses are rejected (counted, not recorded) — the
+        RSU never lets an out-of-range index corrupt its array.
+        """
+        try:
+            response.validate_for(self._state.array_size)
+        except ProtocolError:
+            self._rejected += 1
+            raise
+        self._state.record(response.bit_index)
+
+    @property
+    def counter(self) -> int:
+        """Current period's vehicle count ``n_x``."""
+        return self._state.counter
+
+    @property
+    def array_size(self) -> int:
+        """Bit array length ``m_x``."""
+        return self._state.array_size
+
+    @property
+    def rejected_responses(self) -> int:
+        """Number of malformed responses dropped this lifetime."""
+        return self._rejected
+
+    # ------------------------------------------------------------------
+    # Reporting side
+    # ------------------------------------------------------------------
+    def end_period(self) -> RsuReport:
+        """Snapshot this period's report and reset for the next one."""
+        report = self._state.report()
+        self._state.reset(period=self._state.period + 1)
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"RoadsideUnit(id={self.rsu_id}, m={self.array_size}, "
+            f"n={self.counter})"
+        )

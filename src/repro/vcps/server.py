@@ -1,0 +1,175 @@
+"""The central server (paper Sections II-A and IV-C).
+
+Collects per-period reports from all RSUs, updates the historical
+average volumes (which drive next period's array sizing), and answers
+point and point-to-point measurement queries through the offline
+decoder.  Also cross-checks each report's counter against the bitmap
+estimate of its array — a cheap integrity check that flags RSUs whose
+counter and array have drifted apart (e.g. a fault or tampering).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.decoder import CentralDecoder
+from repro.core.estimator import (
+    PairEstimate,
+    ZeroFractionPolicy,
+    estimate_point_volume,
+)
+from repro.core.reports import RsuReport
+from repro.core.sizing import LoadFactorSizing
+from repro.errors import EstimationError
+from repro.utils.logconfig import get_logger
+from repro.vcps.history import VolumeHistory
+
+__all__ = ["CentralServer", "ReportAnomaly"]
+
+logger = get_logger("vcps.server")
+
+
+@dataclass(frozen=True)
+class ReportAnomaly:
+    """A report whose counter disagrees with its bit array.
+
+    ``counter`` is the RSU's claimed ``n_x``; ``bitmap_estimate`` is the
+    volume implied by the array's zero fraction (Eq. 10 inverted).  A
+    healthy report keeps them within a few estimator standard
+    deviations of each other.
+    """
+
+    rsu_id: int
+    period: int
+    counter: int
+    bitmap_estimate: float
+    deviations: float
+
+
+class CentralServer:
+    """Report collection, history maintenance, and measurement queries.
+
+    Parameters
+    ----------
+    s:
+        Logical bit array size the fleet uses.
+    sizing:
+        Sizing policy, used to publish next period's array sizes.
+    history:
+        Historical volume store (may be pre-seeded).
+    policy:
+        Saturation policy for the decoder.
+    anomaly_threshold:
+        How many standard deviations of counter/bitmap disagreement to
+        tolerate before flagging (see :meth:`anomalies`).
+    """
+
+    def __init__(
+        self,
+        s: int,
+        sizing: LoadFactorSizing,
+        *,
+        history: Optional[VolumeHistory] = None,
+        policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE,
+        anomaly_threshold: float = 6.0,
+    ) -> None:
+        self.s = int(s)
+        self.sizing = sizing
+        self.history = history if history is not None else VolumeHistory()
+        self.decoder = CentralDecoder(s, policy=policy)
+        self.anomaly_threshold = float(anomaly_threshold)
+        self._anomalies: List[ReportAnomaly] = []
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def receive_report(self, report: RsuReport) -> None:
+        """Ingest one report: store it, update history, run checks."""
+        self.decoder.submit(report)
+        self.history.observe(report.rsu_id, report.counter)
+        logger.debug(
+            "report: rsu=%s period=%s n=%s m=%s zeros=%.4f",
+            report.rsu_id,
+            report.period,
+            report.counter,
+            report.array_size,
+            report.zero_fraction,
+        )
+        anomaly = self._check_report(report)
+        if anomaly is not None:
+            logger.warning(
+                "integrity anomaly: rsu=%s period=%s counter=%s "
+                "bitmap-implied=%.0f (%.1f deviations)",
+                anomaly.rsu_id,
+                anomaly.period,
+                anomaly.counter,
+                anomaly.bitmap_estimate,
+                anomaly.deviations,
+            )
+            self._anomalies.append(anomaly)
+
+    def receive_reports(self, reports: Iterable[RsuReport]) -> None:
+        """Ingest a whole period of reports."""
+        for report in reports:
+            self.receive_report(report)
+
+    def _check_report(self, report: RsuReport) -> Optional[ReportAnomaly]:
+        """Counter-vs-bitmap consistency check (non-fatal)."""
+        if report.counter == 0:
+            return None
+        try:
+            implied = estimate_point_volume(
+                report, policy=ZeroFractionPolicy.CLAMP
+            )
+        except EstimationError:  # pragma: no cover - CLAMP avoids this
+            return None
+        m = report.array_size
+        q = max(report.zero_fraction, 0.5 / m)
+        # Delta-method stddev of the bitmap estimate around the counter.
+        stddev = math.sqrt(max((1.0 - q) / (q * m), 1e-30)) / abs(
+            math.log1p(-1.0 / m)
+        )
+        deviations = abs(implied - report.counter) / max(stddev, 1e-12)
+        if deviations > self.anomaly_threshold:
+            return ReportAnomaly(
+                rsu_id=report.rsu_id,
+                period=report.period,
+                counter=report.counter,
+                bitmap_estimate=implied,
+                deviations=deviations,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection and queries
+    # ------------------------------------------------------------------
+    @property
+    def anomalies(self) -> List[ReportAnomaly]:
+        """All integrity flags raised so far."""
+        return list(self._anomalies)
+
+    def next_period_sizes(self) -> Dict[int, int]:
+        """Array sizes each RSU should use next period, from the
+        updated history (the server publishes these; paper IV-B)."""
+        return {
+            rsu_id: self.sizing.size_for(volume)
+            for rsu_id, volume in self.history.known_rsus().items()
+        }
+
+    def point_volume(self, rsu_id: int, period: int = 0) -> int:
+        """Exact point volume from the stored counter."""
+        return self.decoder.point_volume(rsu_id, period)
+
+    def point_to_point(
+        self, rsu_x: int, rsu_y: int, period: int = 0
+    ) -> PairEstimate:
+        """Point-to-point estimate between two RSUs (Eq. 5)."""
+        return self.decoder.pair_estimate(rsu_x, rsu_y, period)
+
+    def traffic_matrix(
+        self, period: int = 0
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """All-pairs point-to-point estimates for *period*."""
+        return self.decoder.all_pairs(period)

@@ -1,0 +1,101 @@
+"""The vehicle agent (paper Section IV-B).
+
+On receiving a query the vehicle:
+
+1. verifies the RSU's certificate against its trust anchor (refusing
+   impostors);
+2. selects one bit from its logical bit array for this RSU;
+3. replies with the index reduced to the RSU's array size, under a
+   fresh one-time MAC.
+
+The vehicle answers each distinct RSU at most once per measurement
+period (RSUs re-broadcast queries every second; responding to every
+repeat would double-count the vehicle in ``n_x``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.parameters import SchemeParameters
+from repro.errors import AuthenticationError
+from repro.hashing.logical_bitarray import LogicalBitArray
+from repro.utils.rng import SeedLike, as_generator
+from repro.vcps.ids import random_mac
+from repro.vcps.messages import Query, Response
+from repro.vcps.pki import TrustAnchor
+
+__all__ = ["Vehicle"]
+
+
+class Vehicle:
+    """One vehicle with its identity, key, and logical bit array.
+
+    Parameters
+    ----------
+    vehicle_id:
+        The identity ``v`` (e.g. derived from the VIN) — never
+        transmitted.
+    private_key:
+        The on-board private key ``K_v``.
+    params:
+        Global scheme parameters (``s``, salts, ``m_o``, hash seed).
+    trust_anchor:
+        Verification handle for RSU certificates; ``None`` disables
+        verification (used by unit tests of the happy path only).
+    seed:
+        Randomness for one-time MAC generation.
+    """
+
+    def __init__(
+        self,
+        vehicle_id: int,
+        private_key: int,
+        params: SchemeParameters,
+        *,
+        trust_anchor: Optional[TrustAnchor] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.vehicle_id = int(vehicle_id)
+        self._logical = LogicalBitArray(
+            vehicle_id,
+            private_key,
+            params.salts,
+            params.m_o,
+            seed=params.hash_seed,
+        )
+        self._trust_anchor = trust_anchor
+        self._rng = as_generator(seed)
+        self._answered: Set[int] = set()
+
+    @property
+    def logical_bits(self) -> LogicalBitArray:
+        """The vehicle's logical bit array ``LB_v``."""
+        return self._logical
+
+    def start_period(self) -> None:
+        """Forget which RSUs were answered (new measurement period)."""
+        self._answered.clear()
+
+    def handle_query(self, query: Query, *, now: int = 0) -> Optional[Response]:
+        """Process one broadcast query.
+
+        Returns the response, or ``None`` if this RSU was already
+        answered this period.  Raises
+        :class:`~repro.errors.AuthenticationError` if the certificate
+        does not verify — the vehicle stays silent towards impostors
+        (callers treat the exception as "no response sent").
+        """
+        if self._trust_anchor is not None:
+            try:
+                self._trust_anchor.verify(query.certificate, now=now)
+            except AuthenticationError:
+                raise
+        if query.rsu_id in self._answered:
+            return None
+        self._answered.add(query.rsu_id)
+        bit_index = self._logical.bit_for_rsu(query.rsu_id, query.array_size)
+        return Response(mac=random_mac(self._rng), bit_index=bit_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Vehicle(id={self.vehicle_id})"

@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SchemeParameters
+from repro.traffic.population import VehicleFleet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_params() -> SchemeParameters:
+    """Scheme parameters sized for fast unit tests."""
+    return SchemeParameters(s=2, load_factor=2.0, m_o=1 << 12, hash_seed=99)
+
+
+@pytest.fixture
+def small_fleet() -> VehicleFleet:
+    """A 500-vehicle fleet."""
+    return VehicleFleet.random(500, seed=7)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / truth, for readability in assertions."""
+    return abs(estimate - truth) / truth

@@ -1,0 +1,100 @@
+"""Validation of the Section V bias/variance closed forms against MC."""
+
+import pytest
+
+from repro.accuracy.bias import expected_estimate, relative_bias
+from repro.accuracy.montecarlo import simulate_accuracy
+from repro.accuracy.variance import estimator_stddev, estimator_variance
+from repro.errors import ConfigurationError
+
+
+class TestBias:
+    def test_expected_estimate_near_truth(self):
+        value = expected_estimate(2_000, 8_000, 500, 8_192, 32_768, 2)
+        assert value == pytest.approx(500, rel=0.02)
+
+    def test_exact_and_binomial_close(self):
+        a = expected_estimate(2_000, 8_000, 500, 8_192, 32_768, 2, exact=False)
+        b = expected_estimate(2_000, 8_000, 500, 8_192, 32_768, 2, exact=True)
+        assert a == pytest.approx(b, rel=0.05)
+
+    def test_relative_bias_small(self):
+        bias = relative_bias(2_000, 8_000, 500, 8_192, 32_768, 2, exact=True)
+        assert abs(bias) < 0.02
+
+    def test_relative_bias_requires_positive_nc(self):
+        with pytest.raises(ConfigurationError):
+            relative_bias(100, 100, 0, 256, 256, 2)
+
+
+class TestVariance:
+    def test_positive(self):
+        assert estimator_variance(2_000, 8_000, 500, 8_192, 32_768, 2) > 0
+
+    def test_paper_form_differs(self):
+        """The paper's printed C (no factor 2 on cross terms) gives a
+        different — larger — variance; we expose both."""
+        corrected = estimator_variance(2_000, 8_000, 500, 8_192, 32_768, 2)
+        paper = estimator_variance(
+            2_000, 8_000, 500, 8_192, 32_768, 2, paper_form=True
+        )
+        assert paper != pytest.approx(corrected, rel=1e-6)
+        assert paper > corrected  # cross terms are net negative here
+
+    def test_stddev_grows_with_traffic_ratio(self):
+        """The quantitative core of Figs. 4/5: at a fixed m (baseline
+        setting), relative noise explodes with n_y; with scaled m_y
+        (VLM setting) it grows far more slowly."""
+        fixed = [
+            estimator_stddev(10_000, 10_000 * r, 1_000, 65_536, 65_536, 2)
+            for r in (1, 10, 50)
+        ]
+        scaled = [
+            estimator_stddev(
+                10_000, 10_000 * r, 1_000, 65_536, 65_536 * r, 2
+            )
+            for r in (1, 10, 50)
+        ]
+        assert fixed[0] < fixed[1] < fixed[2]
+        assert fixed[2] > 5 * scaled[2]
+
+    def test_stddev_requires_positive_nc(self):
+        with pytest.raises(ConfigurationError):
+            estimator_stddev(100, 100, 0, 256, 256, 2)
+
+
+class TestAgainstMonteCarlo:
+    @pytest.mark.parametrize(
+        "n_x,n_y,n_c,m_x,m_y",
+        [
+            (2_000, 2_000, 600, 8_192, 8_192),
+            (2_000, 8_000, 600, 8_192, 32_768),
+        ],
+    )
+    def test_stddev_matches_simulation(self, n_x, n_y, n_c, m_x, m_y):
+        closed = estimator_stddev(n_x, n_y, n_c, m_x, m_y, 2)
+        mc = simulate_accuracy(
+            n_x, n_y, n_c, m_x, m_y, 2, repetitions=60, seed=17
+        )
+        # Sample stddev of stddev ~ closed/sqrt(2*59) ~ 9%; allow 35%.
+        assert mc.stddev == pytest.approx(closed, rel=0.35)
+
+    def test_bias_within_noise(self):
+        closed = relative_bias(2_000, 8_000, 600, 8_192, 32_768, 2, exact=True)
+        mc = simulate_accuracy(
+            2_000, 8_000, 600, 8_192, 32_768, 2, repetitions=60, seed=23
+        )
+        noise = mc.stddev / (60**0.5)
+        assert abs(mc.bias - closed) < 5 * noise
+
+    def test_montecarlo_result_fields(self):
+        mc = simulate_accuracy(500, 500, 100, 2_048, 2_048, 2, repetitions=10, seed=3)
+        assert mc.estimates.shape == (10,)
+        assert mc.repetitions == 10
+        assert mc.mean_abs_error >= 0
+
+    def test_montecarlo_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_accuracy(100, 100, 0, 256, 256, 2)
+        with pytest.raises(ConfigurationError):
+            simulate_accuracy(100, 100, 10, 512, 256, 2)

@@ -1,0 +1,146 @@
+"""Tests for the transportation-study applications."""
+
+import pytest
+
+from repro.apps.exposure import measure_exposure
+from repro.apps.link_flows import LinkFlowStudy, measure_link_flows
+from repro.apps.turning_movements import (
+    measure_turning_movements,
+    true_turning_movements,
+)
+from repro.core.estimator import ZeroFractionPolicy
+from repro.core.scheme import VlmScheme
+from repro.errors import ConfigurationError, EstimationError, NetworkDataError
+from repro.roadnet.graph import Arc, RoadNetwork
+from repro.roadnet.routing import assign_routes
+from repro.roadnet.trips import TripTable
+from repro.roadnet.volumes import pair_common_volumes
+from repro.traffic.network_workload import NetworkWorkload
+
+
+@pytest.fixture(scope="module")
+def measured_line():
+    """A 4-node line network with measured traffic and ground truth."""
+    arcs = []
+    for a, b in [(1, 2), (2, 3), (3, 4)]:
+        arcs.append(Arc(a, b, free_flow_time=1.0))
+        arcs.append(Arc(b, a, free_flow_time=1.0))
+    network = RoadNetwork("line", arcs)
+    trips = TripTable({(1, 4): 4_000, (4, 1): 4_000, (2, 3): 2_000, (1, 2): 1_000})
+    workload = NetworkWorkload.build(network, trips, seed=1)
+    scheme = VlmScheme(
+        workload.volumes(), s=2, load_factor=10.0, hash_seed=5,
+        policy=ZeroFractionPolicy.CLAMP,
+    )
+    scheme.run_period(workload.passes())
+    return network, workload, scheme
+
+
+class TestLinkFlows:
+    def test_flows_match_ground_truth(self, measured_line):
+        network, workload, scheme = measured_line
+        truth = pair_common_volumes(workload.plan)
+        study = measure_link_flows(
+            scheme.decoder, network, truth=truth
+        )
+        assert set(study.flows) == {(1, 2), (2, 3), (3, 4)}
+        assert study.mean_abs_error() < 0.10
+
+    def test_heaviest_ranks_middle_link_first(self, measured_line):
+        network, workload, scheme = measured_line
+        study = measure_link_flows(scheme.decoder, network)
+        heaviest_link, _ = study.heaviest(1)[0]
+        assert heaviest_link == (2, 3)  # carries 10,000 of the 11,000
+
+    def test_total_flow_positive(self, measured_line):
+        network, _, scheme = measured_line
+        study = measure_link_flows(scheme.decoder, network)
+        assert study.total_flow() > 0
+
+    def test_error_requires_truth(self, measured_line):
+        network, _, scheme = measured_line
+        study = measure_link_flows(scheme.decoder, network)
+        with pytest.raises(EstimationError):
+            study.mean_abs_error()
+
+    def test_render(self, measured_line):
+        network, workload, scheme = measured_line
+        truth = pair_common_volumes(workload.plan)
+        text = measure_link_flows(scheme.decoder, network, truth=truth).render()
+        assert "Link flow distribution" in text
+        assert "2-3" in text
+
+
+class TestExposure:
+    def test_vkt_and_rates(self, measured_line):
+        network, _, scheme = measured_line
+        flows = measure_link_flows(scheme.decoder, network)
+        lengths = {(1, 2): 1.5, (2, 3): 2.0, (3, 4): 0.5}
+        incidents = {(2, 3): 4}
+        study = measure_exposure(flows, lengths, incidents=incidents)
+        assert study.total_vkt() == pytest.approx(
+            sum(flows.flows[l] * lengths[l] for l in lengths), rel=1e-9
+        )
+        expected_rate = 4 / study.vkt[(2, 3)] * 1e6
+        assert study.incident_rates[(2, 3)] == pytest.approx(expected_rate)
+
+    def test_missing_length_rejected(self, measured_line):
+        network, _, scheme = measured_line
+        flows = measure_link_flows(scheme.decoder, network)
+        with pytest.raises(NetworkDataError):
+            measure_exposure(flows, {(1, 2): 1.0})
+
+    def test_invalid_inputs(self):
+        flows = LinkFlowStudy(flows={(1, 2): 100.0})
+        with pytest.raises(ConfigurationError):
+            measure_exposure(flows, {(1, 2): 0.0})
+        with pytest.raises(ConfigurationError):
+            measure_exposure(flows, {(1, 2): 1.0}, incidents={(1, 2): -1})
+        with pytest.raises(NetworkDataError):
+            measure_exposure(flows, {(1, 2): 1.0}, incidents={(3, 4): 1})
+
+    def test_render(self, measured_line):
+        network, _, scheme = measured_line
+        flows = measure_link_flows(scheme.decoder, network)
+        lengths = {(1, 2): 1.5, (2, 3): 2.0, (3, 4): 0.5}
+        text = measure_exposure(flows, lengths).render()
+        assert "Road exposure" in text
+
+
+class TestTurningMovements:
+    def test_true_movements_from_routes(self, measured_line):
+        _, workload, _ = measured_line
+        truth = true_turning_movements(workload.plan, 2)
+        # Through movement 1-2-3 carries the 8,000 (1<->4) trips.
+        assert truth[(1, 3)] == 8_000
+
+    def test_measured_shares_track_truth(self, measured_line):
+        network, workload, scheme = measured_line
+        study = measure_turning_movements(
+            scheme.decoder, network, 2, truth_plan=workload.plan
+        )
+        assert study.dominant_movement() == (1, 3)
+        shares = study.shares()
+        true_total = sum(study.truth.values())
+        for key, true in study.truth.items():
+            assert shares.get(key, 0.0) == pytest.approx(
+                true / true_total, abs=0.12
+            )
+
+    def test_requires_two_approaches(self, measured_line):
+        network, _, scheme = measured_line
+        with pytest.raises(NetworkDataError):
+            measure_turning_movements(scheme.decoder, network, 1)
+
+    def test_unknown_node(self, measured_line):
+        network, _, scheme = measured_line
+        with pytest.raises(NetworkDataError):
+            measure_turning_movements(scheme.decoder, network, 42)
+
+    def test_render(self, measured_line):
+        network, workload, scheme = measured_line
+        text = measure_turning_movements(
+            scheme.decoder, network, 2, truth_plan=workload.plan
+        ).render()
+        assert "Turning movements at intersection 2" in text
+        assert "1 - 2 - 3" in text

@@ -1,0 +1,52 @@
+"""Tests for the ASCII scatter plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.utils.asciiplot import scatter_plot
+
+
+class TestScatterPlot:
+    def test_points_on_diagonal_render_as_hash(self):
+        x = np.linspace(100, 1000, 20)
+        text = scatter_plot(x, x, width=40, height=12)
+        assert "#" in text  # points overlay the reference line
+
+    def test_off_diagonal_points_render_as_star(self):
+        x = np.linspace(100, 1000, 20)
+        text = scatter_plot(x, x * 0.2, width=40, height=12)
+        assert "*" in text
+
+    def test_title_and_labels(self):
+        text = scatter_plot([1, 2], [1, 2], title="T", x_label="a", y_label="b")
+        assert text.splitlines()[0] == "T"
+        assert "x: a, y: b" in text
+
+    def test_clipping_marks_outliers(self):
+        x = [100.0, 200.0, 300.0]
+        y = [100.0, 200.0, 10_000.0]
+        text = scatter_plot(x, y, clip_factor=2.0)
+        assert "^" in text
+        assert "clipped" in text
+
+    def test_dimensions(self):
+        text = scatter_plot([1, 2], [1, 2], width=30, height=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 10
+        assert all(len(line.split("|", 1)[1]) == 30 for line in rows)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            scatter_plot([1, 2], [1])
+        with pytest.raises(ValueError):
+            scatter_plot([], [])
+        with pytest.raises(ValueError):
+            scatter_plot([1], [1], width=4)
+
+    def test_no_diagonal(self):
+        text = scatter_plot([1.0], [1.0], diagonal=False)
+        assert "." not in text.split("\n")[1]
+
+    def test_negative_values_supported(self):
+        text = scatter_plot([100, 200], [-50, 150])
+        assert "*" in text

@@ -1,0 +1,63 @@
+"""Tests for the response-stuffing attack study."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.attack_resilience import run_attack_resilience
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_attack_resilience(
+        n_honest=8_000,
+        attacker_fraction=0.01,
+        duplicates_grid=(0, 5, 50),
+        seed=23,
+    )
+
+
+class TestAttackResilience:
+    def test_both_variants_present(self, result):
+        variants = {o.variant for o in result.outcomes}
+        assert variants == {"replay", "forgery"}
+
+    def test_clean_reports_not_flagged(self, result):
+        clean = [o for o in result.outcomes if o.duplicates_per_attacker == 0]
+        assert all(not o.flagged for o in clean)
+
+    def test_replay_detected(self, result):
+        """Replay duplicates leave the bitmap near the honest level, so
+        the counter runs away from the bitmap estimate and is flagged."""
+        # At this scale 5 dups/attacker (~5% inflation) sits below the
+        # 6-sigma threshold; 50 is flagged decisively.
+        threshold = result.detection_threshold("replay")
+        assert 0 < threshold <= 50
+        heavy = [
+            o for o in result.outcomes
+            if o.variant == "replay" and o.duplicates_per_attacker == 50
+        ]
+        assert heavy[0].flagged
+        assert heavy[0].bitmap_estimate_inflation < 0.05
+        assert heavy[0].counter_inflation == pytest.approx(0.5)
+
+    def test_forgery_not_detected(self, result):
+        """Forged uniform indices are statistically honest: bitmap
+        inflation tracks counter inflation and nothing is flagged —
+        the documented limit of the cross-check."""
+        assert result.detection_threshold("forgery") == -1
+        heavy = [
+            o for o in result.outcomes
+            if o.variant == "forgery" and o.duplicates_per_attacker == 50
+        ]
+        assert heavy[0].bitmap_estimate_inflation == pytest.approx(
+            heavy[0].counter_inflation, rel=0.1
+        )
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            run_attack_resilience(attacker_fraction=1.5)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Response-stuffing attack" in text
+        assert "forgery" in text

@@ -1,0 +1,102 @@
+"""Tests for the fixed-length baseline scheme of [9]."""
+
+import pytest
+
+from repro.baseline.scheme import FixedLengthScheme
+from repro.baseline.sizing import fixed_array_size_for_privacy, prev_power_of_two
+from repro.core.scheme import VlmScheme
+from repro.errors import ConfigurationError
+from repro.privacy.formulas import preserved_privacy
+from repro.traffic.random_workload import make_pair_population
+
+
+class TestPrevPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1, 2), (2, 2), (3, 2), (4, 4), (1023, 512), (1024, 1024), (420_000, 262_144)],
+    )
+    def test_values(self, value, expected):
+        assert prev_power_of_two(value) == expected
+
+
+class TestFixedArraySizeForPrivacy:
+    def test_scales_with_n_min(self):
+        small = fixed_array_size_for_privacy([10_000, 500_000], 2)
+        large = fixed_array_size_for_privacy([40_000, 500_000], 2)
+        assert small <= large
+
+    def test_privacy_floor_respected(self):
+        volumes = [20_000, 100_000]
+        m = fixed_array_size_for_privacy(volumes, 2, min_privacy=0.5)
+        n_min = min(volumes)
+        p = float(preserved_privacy(n_min, n_min, 0.1 * n_min, m, m, 2))
+        assert p >= 0.5
+
+    def test_non_power_of_two_option(self):
+        m = fixed_array_size_for_privacy([10_000], 2, power_of_two=False)
+        assert m > 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fixed_array_size_for_privacy([], 2)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fixed_array_size_for_privacy([0], 2)
+
+
+class TestFixedLengthScheme:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedLengthScheme(1000)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            FixedLengthScheme(16, s=16)
+
+    def test_equal_traffic_accuracy_matches_vlm(self):
+        """With n_y = n_x the two schemes are nearly the same system;
+        both should land near the truth."""
+        pop = make_pair_population(10_000, 10_000, 2_000, seed=6)
+        baseline = FixedLengthScheme(65_536, s=2, hash_seed=3)
+        baseline.run_period(pop.passes())
+        base_est = baseline.decoder.pair_estimate(pop.rsu_x, pop.rsu_y)
+        vlm = VlmScheme(pop.volumes(), s=2, load_factor=6.0, hash_seed=3)
+        vlm.run_period(pop.passes())
+        vlm_est = vlm.decoder.pair_estimate(pop.rsu_x, pop.rsu_y)
+        assert base_est.error_ratio(pop.n_c) < 0.15
+        assert vlm_est.error_ratio(pop.n_c) < 0.15
+
+    def test_unbalanced_traffic_degrades_baseline(self):
+        """The paper's headline failure mode: with n_y = 50 n_x and m
+        sized for n_x's privacy, the baseline's error is much larger
+        than VLM's (averaged over a few seeds to avoid flakiness)."""
+        base_errors, vlm_errors = [], []
+        for seed in range(5):
+            pop = make_pair_population(4_000, 200_000, 1_000, seed=seed)
+            m = fixed_array_size_for_privacy([pop.n_x, pop.n_y], 2)
+            baseline = FixedLengthScheme(m, s=2, hash_seed=seed + 50)
+            reports = baseline.encode(pop.passes())
+            base_errors.append(
+                baseline.measure(
+                    reports[pop.rsu_x], reports[pop.rsu_y]
+                ).error_ratio(pop.n_c)
+            )
+            vlm = VlmScheme(
+                pop.volumes(), s=2, load_factor=13.0, hash_seed=seed + 50
+            )
+            vreports = vlm.encode(pop.passes())
+            vlm_errors.append(
+                vlm.measure(
+                    vreports[pop.rsu_x], vreports[pop.rsu_y]
+                ).error_ratio(pop.n_c)
+            )
+        assert sum(vlm_errors) < sum(base_errors)
+
+    def test_counter_exact(self):
+        pop = make_pair_population(500, 700, 100, seed=7)
+        baseline = FixedLengthScheme(4_096, s=2)
+        reports = baseline.encode(pop.passes())
+        assert reports[pop.rsu_x].counter == 500
+        assert reports[pop.rsu_y].counter == 700
+
+    def test_repr(self):
+        assert "m=64" in repr(FixedLengthScheme(64))

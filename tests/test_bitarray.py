@@ -1,0 +1,143 @@
+"""Unit and property tests for repro.core.bitarray."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitarray import BitArray
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_starts_all_zero(self):
+        array = BitArray(16)
+        assert array.count_zeros() == 16
+        assert array.count_ones() == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            BitArray(0)
+
+    def test_from_bits_copies(self):
+        bits = np.zeros(8, dtype=bool)
+        array = BitArray.from_bits(bits)
+        bits[0] = True
+        assert array[0] == 0
+
+    def test_from_indices(self):
+        array = BitArray.from_indices(8, [1, 3, 3])
+        assert array.count_ones() == 2
+        assert array[1] == 1 and array[3] == 1
+
+    def test_bits_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            BitArray(8, np.zeros(4, dtype=bool))
+
+
+class TestMutation:
+    def test_set_bit(self):
+        array = BitArray(8)
+        array.set_bit(3)
+        assert array[3] == 1
+
+    def test_set_bit_out_of_range(self):
+        array = BitArray(8)
+        with pytest.raises(IndexError):
+            array.set_bit(8)
+        with pytest.raises(IndexError):
+            array.set_bit(-1)
+
+    def test_set_bits_vectorized_and_idempotent(self):
+        array = BitArray(32)
+        array.set_bits(np.array([0, 5, 5, 31]))
+        assert array.count_ones() == 3
+        array.set_bits(np.array([5]))
+        assert array.count_ones() == 3
+
+    def test_set_bits_empty(self):
+        array = BitArray(8)
+        array.set_bits(np.array([], dtype=np.int64))
+        assert array.count_ones() == 0
+
+    def test_set_bits_bounds(self):
+        array = BitArray(8)
+        with pytest.raises(IndexError):
+            array.set_bits([7, 8])
+
+    def test_clear(self):
+        array = BitArray.from_indices(8, [0, 1])
+        array.clear()
+        assert array.count_ones() == 0
+
+
+class TestStatistics:
+    def test_zero_fraction(self):
+        array = BitArray.from_indices(10, [0, 1, 2])
+        assert array.zero_fraction() == pytest.approx(0.7)
+
+    def test_saturated(self):
+        array = BitArray.from_indices(4, [0, 1, 2, 3])
+        assert array.is_saturated()
+        assert not BitArray(4).is_saturated()
+
+
+class TestCombination:
+    def test_or(self):
+        a = BitArray.from_indices(8, [0, 1])
+        b = BitArray.from_indices(8, [1, 2])
+        c = a | b
+        assert c.count_ones() == 3
+        # operands untouched
+        assert a.count_ones() == 2 and b.count_ones() == 2
+
+    def test_or_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            BitArray(8) | BitArray(16)
+
+    def test_eq(self):
+        assert BitArray.from_indices(8, [1]) == BitArray.from_indices(8, [1])
+        assert BitArray.from_indices(8, [1]) != BitArray.from_indices(8, [2])
+        assert BitArray(8) != BitArray(16)
+        assert BitArray(8).__eq__(42) is NotImplemented
+
+    def test_copy_independent(self):
+        a = BitArray(8)
+        b = a.copy()
+        b.set_bit(0)
+        assert a[0] == 0
+
+
+class TestSerialization:
+    @given(st.integers(min_value=1, max_value=200), st.data())
+    def test_bytes_round_trip(self, size, data):
+        indices = data.draw(
+            st.lists(st.integers(min_value=0, max_value=size - 1), max_size=size)
+        )
+        array = BitArray.from_indices(size, indices) if indices else BitArray(size)
+        restored = BitArray.from_bytes(array.to_bytes(), size)
+        assert restored == array
+
+    def test_byte_length(self):
+        assert len(BitArray(12).to_bytes()) == 2
+        assert len(BitArray(16).to_bytes()) == 2
+        assert len(BitArray(17).to_bytes()) == 3
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=1, max_value=512),
+        st.lists(st.integers(min_value=0, max_value=10_000), max_size=300),
+    )
+    def test_ones_plus_zeros_is_size(self, size, raw_indices):
+        indices = [i % size for i in raw_indices]
+        array = BitArray.from_indices(size, indices) if indices else BitArray(size)
+        assert array.count_ones() + array.count_zeros() == array.size
+        assert array.count_ones() == len(set(indices))
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_or_identity_and_idempotence(self, size):
+        zero = BitArray(size)
+        full = BitArray.from_indices(size, list(range(size)))
+        assert (zero | zero) == zero
+        assert (full | zero) == full
+        assert (full | full) == full

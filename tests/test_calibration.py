@@ -1,0 +1,44 @@
+"""Tests for the Fig. 2 n_c-fraction calibration experiment."""
+
+import pytest
+
+from repro.experiments.calibration import PAPER_READINGS, run_calibration
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_calibration(fractions=(0.05, 0.1, 0.2))
+
+
+class TestRunCalibration:
+    def test_default_fraction_wins(self, result):
+        """0.1 must be the simultaneous best fit — it is the library
+        default (DESIGN.md substitution #5)."""
+        assert result.best_fraction == pytest.approx(0.1)
+
+    def test_scores_cover_all_fractions(self, result):
+        assert set(result.scores) == {0.05, 0.1, 0.2}
+        assert all(score >= 0 for score in result.scores.values())
+
+    def test_best_fit_is_decisive(self, result):
+        best = result.scores[result.best_fraction]
+        others = [
+            score for fraction, score in result.scores.items()
+            if fraction != result.best_fraction
+        ]
+        assert all(best < other / 2 for other in others)
+
+    def test_readings_shape(self, result):
+        for values in result.readings.values():
+            assert len(values) == len(PAPER_READINGS)
+
+    def test_best_fraction_matches_paper_readings(self, result):
+        values = result.readings[0.1]
+        targets = [target for _, target in PAPER_READINGS]
+        for value, target in zip(values[:4], targets[:4]):
+            assert value == pytest.approx(target, rel=0.20)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Calibration" in text
+        assert "best simultaneous fit" in text

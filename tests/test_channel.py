@@ -1,0 +1,80 @@
+"""Tests for the lossy DSRC channel and its simulation semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vcps.channel import LossyChannel, PerfectChannel
+from repro.vcps.simulation import VcpsSimulation
+
+
+class TestChannels:
+    def test_perfect_channel(self):
+        channel = PerfectChannel()
+        assert all(channel.deliver_query() for _ in range(100))
+        assert all(channel.deliver_response() for _ in range(100))
+
+    def test_lossy_rates(self):
+        channel = LossyChannel(query_loss=0.3, response_loss=0.1, seed=1)
+        queries = sum(channel.deliver_query() for _ in range(10_000))
+        responses = sum(channel.deliver_response() for _ in range(10_000))
+        assert queries == pytest.approx(7_000, abs=250)
+        assert responses == pytest.approx(9_000, abs=250)
+        assert channel.queries_dropped + queries == 10_000
+        assert channel.responses_dropped + responses == 10_000
+
+    def test_invalid_rates(self):
+        with pytest.raises(ConfigurationError):
+            LossyChannel(query_loss=1.0)
+        with pytest.raises(ConfigurationError):
+            LossyChannel(response_loss=-0.1)
+
+
+class TestSimulationWithLoss:
+    def _run(self, channel, attempts=3, vehicles=400):
+        sim = VcpsSimulation(
+            {1: vehicles}, s=2, load_factor=4.0, seed=2,
+            channel=channel, query_attempts=attempts,
+        )
+        for vid in range(vehicles):
+            sim.drive(vid, [1])
+        return sim
+
+    def test_no_loss_counts_everyone(self):
+        sim = self._run(PerfectChannel())
+        assert sim.rsus[1].counter == 400
+
+    def test_query_loss_mitigated_by_rebroadcast(self):
+        """With 3 attempts at 30% query loss, the miss probability per
+        vehicle is 0.3^3 = 2.7%."""
+        sim = self._run(LossyChannel(query_loss=0.3, seed=3), attempts=3)
+        assert sim.rsus[1].counter >= 400 * 0.93
+
+    def test_single_attempt_loses_proportionally(self):
+        sim = self._run(LossyChannel(query_loss=0.3, seed=4), attempts=1)
+        assert sim.rsus[1].counter == pytest.approx(280, abs=40)
+
+    def test_response_loss_keeps_report_consistent(self):
+        """Counter and bit array must agree: both reflect only the
+        responses that actually arrived."""
+        sim = self._run(LossyChannel(response_loss=0.4, seed=5))
+        report = sim.rsus[1].end_period()
+        assert report.counter < 400
+        assert report.bits.count_ones() <= report.counter
+
+    def test_invalid_attempts(self):
+        with pytest.raises(ConfigurationError):
+            VcpsSimulation({1: 10}, query_attempts=0)
+
+    def test_estimation_unbiased_for_observed_population(self):
+        """Loss shrinks the observed populations but the pairwise
+        estimate still tracks the observed overlap."""
+        channel = LossyChannel(response_loss=0.2, seed=6)
+        sim = VcpsSimulation(
+            {1: 400, 2: 400}, s=2, load_factor=6.0, seed=7, channel=channel
+        )
+        for vid in range(400):
+            sim.drive(vid, [1, 2])
+        sim.close_period()
+        estimate = sim.server.point_to_point(1, 2)
+        # Observed overlap is ~400 * 0.8 * 0.8 = 256; generous bounds.
+        assert 150 < estimate.n_c_hat < 380

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert not args.quick
+
+    def test_all_registered_experiments_parse(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            assert parser.parse_args([name]).experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bogus"])
+
+    def test_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig2", "--quick", "--json", str(tmp_path / "out.json")]
+        )
+        assert args.quick
+        assert args.json.name == "out.json"
+
+
+class TestMain:
+    def test_fig2_quick(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "finished in" in out
+
+    def test_ablations_quick_with_json(self, capsys, tmp_path):
+        path = tmp_path / "results.json"
+        assert main(["ablations", "--quick", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert "ablations" in payload
+        assert payload["ablations"]["rows"]

@@ -1,0 +1,39 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vcps.clock import SimulationClock
+
+
+class TestSimulationClock:
+    def test_initial_state(self):
+        clock = SimulationClock(ticks_per_period=10)
+        assert clock.now == 0
+        assert clock.period == 0
+        assert clock.at_period_boundary()
+
+    def test_advance(self):
+        clock = SimulationClock(ticks_per_period=10)
+        assert clock.advance(3) == 3
+        assert clock.tick_in_period == 3
+        assert not clock.at_period_boundary()
+
+    def test_period_rollover(self):
+        clock = SimulationClock(ticks_per_period=10)
+        clock.advance(25)
+        assert clock.period == 2
+        assert clock.tick_in_period == 5
+
+    def test_boundary_detection(self):
+        clock = SimulationClock(ticks_per_period=10)
+        clock.advance(10)
+        assert clock.at_period_boundary()
+        assert clock.period == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            SimulationClock(0)
+        clock = SimulationClock(10)
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1)

@@ -1,0 +1,114 @@
+"""Tests for the compressed report wire encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitarray import BitArray
+from repro.core.compression import (
+    Encoding,
+    decode_bits,
+    decode_report,
+    encode_bits,
+    encode_report,
+)
+from repro.core.reports import RsuReport
+from repro.errors import ProtocolError
+
+
+def random_bits(size, density, seed):
+    rng = np.random.default_rng(seed)
+    return BitArray.from_bits(rng.random(size) < density)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("density", [0.0, 0.01, 0.1, 0.5, 0.9, 1.0])
+    @pytest.mark.parametrize("size", [8, 64, 1024, 4096])
+    def test_all_densities(self, density, size):
+        bits = random_bits(size, density, seed=size)
+        assert decode_bits(encode_bits(bits), size) == bits
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60)
+    def test_round_trip_property(self, size, density, seed):
+        bits = random_bits(size, density, seed)
+        assert decode_bits(encode_bits(bits), size) == bits
+
+    def test_report_round_trip(self):
+        report = RsuReport(
+            rsu_id=42, counter=17, bits=random_bits(256, 0.1, 3), period=5
+        )
+        restored = decode_report(encode_report(report))
+        assert restored.rsu_id == 42
+        assert restored.counter == 17
+        assert restored.period == 5
+        assert restored.bits == report.bits
+
+
+class TestCompressionEffectiveness:
+    def test_sparse_beats_raw(self):
+        """A sparse array (load 1%) compresses well below the bitmap."""
+        bits = random_bits(1 << 16, 0.01, 7)
+        encoded = encode_bits(bits)
+        raw_size = 1 + (1 << 16) // 8
+        assert len(encoded) < raw_size / 2
+
+    def test_selector_never_worse_than_raw(self):
+        for density in (0.0, 0.2, 0.5, 0.8, 1.0):
+            bits = random_bits(2048, density, seed=int(density * 10))
+            assert len(encode_bits(bits)) <= 1 + 2048 // 8
+
+    def test_clustered_uses_runs(self):
+        bits = BitArray(1024)
+        bits.set_bits(np.arange(100, 612))  # one long run
+        encoded = encode_bits(bits)
+        assert encoded[0] == Encoding.RUNS
+        assert len(encoded) < 20
+
+    def test_dense_random_uses_raw(self):
+        bits = random_bits(2048, 0.5, 11)
+        assert encode_bits(bits)[0] == Encoding.RAW
+
+
+class TestMalformedPayloads:
+    def test_empty(self):
+        with pytest.raises(ProtocolError):
+            decode_bits(b"", 8)
+
+    def test_unknown_tag(self):
+        with pytest.raises(ProtocolError):
+            decode_bits(bytes([9, 0]), 8)
+
+    def test_truncated_varint(self):
+        with pytest.raises(ProtocolError):
+            decode_bits(bytes([Encoding.INDICES, 0x80]), 8)
+
+    def test_raw_length_mismatch(self):
+        with pytest.raises(ProtocolError):
+            decode_bits(bytes([Encoding.RAW, 0, 0, 0]), 8)
+
+    def test_indices_out_of_range(self):
+        payload = bytearray([Encoding.INDICES])
+        payload += bytes([1])  # one index
+        payload += bytes([200])  # gap 200 -> position 200 >= size 8
+        with pytest.raises(ProtocolError):
+            decode_bits(bytes(payload), 8)
+
+    def test_runs_wrong_total(self):
+        payload = bytearray([Encoding.RUNS, 0, 1, 4])  # covers 4 of 8 bits
+        with pytest.raises(ProtocolError):
+            decode_bits(bytes(payload), 8)
+
+    def test_runs_overflow(self):
+        payload = bytearray([Encoding.RUNS, 0, 1, 200])
+        with pytest.raises(ProtocolError):
+            decode_bits(bytes(payload), 8)
+
+    def test_bad_first_run_value(self):
+        payload = bytearray([Encoding.RUNS, 7, 1, 8])
+        with pytest.raises(ProtocolError):
+            decode_bits(bytes(payload), 8)

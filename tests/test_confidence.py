@@ -1,0 +1,69 @@
+"""Tests for plug-in confidence intervals."""
+
+import pytest
+
+from repro.accuracy.confidence import confidence_interval
+from repro.accuracy.montecarlo import simulate_accuracy
+from repro.core.encoder import encode_passes
+from repro.core.estimator import estimate_intersection
+from repro.core.parameters import SchemeParameters
+from repro.errors import ConfigurationError
+from repro.traffic.random_workload import make_pair_population
+
+
+def make_estimate(n_x=2_000, n_y=8_000, n_c=500, m_x=8_192, m_y=32_768, seed=1):
+    params = SchemeParameters(s=2, load_factor=1.0, m_o=m_y, hash_seed=seed)
+    pop = make_pair_population(n_x, n_y, n_c, seed=seed)
+    rx = encode_passes(*pop.passes_at_x(), 1, m_x, params)
+    ry = encode_passes(*pop.passes_at_y(), 2, m_y, params)
+    return estimate_intersection(rx, ry, 2)
+
+
+class TestConfidenceInterval:
+    def test_basic_shape(self):
+        interval = confidence_interval(make_estimate())
+        assert interval.low <= interval.estimate <= interval.high
+        assert interval.width > 0
+        assert interval.low >= 0.0
+
+    def test_level_controls_width(self):
+        estimate = make_estimate()
+        narrow = confidence_interval(estimate, level=0.80)
+        wide = confidence_interval(estimate, level=0.99)
+        assert wide.width > narrow.width
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            confidence_interval(make_estimate(), level=0.5)
+
+    def test_str_rendering(self):
+        text = str(confidence_interval(make_estimate()))
+        assert "@ 95%" in text
+
+    def test_contains(self):
+        interval = confidence_interval(make_estimate())
+        assert interval.contains(interval.estimate)
+        assert not interval.contains(interval.high + 1)
+
+    def test_coverage_close_to_nominal(self):
+        """Over repeated simulations, the 95% interval should cover
+        the truth most of the time (allow slack for plug-in error)."""
+        n_x, n_y, n_c, m_x, m_y = 2_000, 8_000, 500, 8_192, 32_768
+        covered = 0
+        runs = 40
+        for seed in range(runs):
+            estimate = make_estimate(n_x, n_y, n_c, m_x, m_y, seed=seed)
+            if confidence_interval(estimate).contains(n_c):
+                covered += 1
+        assert covered >= int(0.85 * runs)
+
+    def test_stddev_matches_montecarlo_scale(self):
+        """The interval's stddev is the closed-form one, which matches
+        empirical spread."""
+        estimate = make_estimate()
+        interval = confidence_interval(estimate)
+        mc = simulate_accuracy(
+            2_000, 8_000, 500, 8_192, 32_768, 2, repetitions=40, seed=5
+        )
+        empirical_std = mc.stddev * 500
+        assert interval.stddev == pytest.approx(empirical_std, rel=0.5)

@@ -1,0 +1,91 @@
+"""Tests for BPR latency and MSA equilibrium assignment."""
+
+import pytest
+
+from repro.errors import CalibrationError, NetworkDataError
+from repro.roadnet.congestion import (
+    assign_equilibrium,
+    bpr_travel_time,
+)
+from repro.roadnet.graph import Arc, RoadNetwork
+from repro.roadnet.sioux_falls import sioux_falls_network
+from repro.roadnet.trips import TripTable
+from repro.roadnet.volumes import node_volumes
+
+
+class TestBprTravelTime:
+    def test_free_flow_at_zero(self):
+        assert bpr_travel_time(10.0, 0.0, 1_000.0) == pytest.approx(10.0)
+
+    def test_at_capacity(self):
+        # t = t0 (1 + 0.15) at v = c with defaults.
+        assert bpr_travel_time(10.0, 1_000.0, 1_000.0) == pytest.approx(11.5)
+
+    def test_monotone_in_flow(self):
+        times = [bpr_travel_time(10.0, v, 1_000.0) for v in (0, 500, 1_000, 2_000)]
+        assert times == sorted(times)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(NetworkDataError):
+            bpr_travel_time(0, 1, 1)
+        with pytest.raises(NetworkDataError):
+            bpr_travel_time(1, -1, 1)
+
+
+@pytest.fixture
+def braess_like():
+    """Two parallel routes 1->4: fast-but-tight via 2, slow-but-wide
+    via 3.  Congestion must split traffic across both."""
+    arcs = [
+        Arc(1, 2, free_flow_time=1.0, capacity=300.0),
+        Arc(2, 4, free_flow_time=1.0, capacity=300.0),
+        Arc(1, 3, free_flow_time=1.6, capacity=10_000.0),
+        Arc(3, 4, free_flow_time=1.6, capacity=10_000.0),
+    ]
+    return RoadNetwork("parallel", arcs)
+
+
+class TestAssignEquilibrium:
+    def test_uncongested_matches_shortest_path(self, braess_like):
+        trips = TripTable({(1, 4): 10})
+        result = assign_equilibrium(braess_like, trips)
+        assert result.plan.route(1, 4) == [1, 2, 4]
+
+    def test_congestion_diverts_flow(self, braess_like):
+        """With demand far above the fast route's capacity, flow
+        spills onto the wide route."""
+        trips = TripTable({(1, 4): 3_000})
+        result = assign_equilibrium(braess_like, trips, max_iterations=100)
+        flow_fast = result.link_flows[(1, 2)]
+        flow_wide = result.link_flows[(1, 3)]
+        assert flow_wide > 0
+        assert flow_fast + flow_wide == pytest.approx(3_000, rel=1e-6)
+        # Travel times roughly equalize at user equilibrium.
+        t_fast = result.link_times[(1, 2)] + result.link_times[(2, 4)]
+        t_wide = result.link_times[(1, 3)] + result.link_times[(3, 4)]
+        assert t_fast == pytest.approx(t_wide, rel=0.35)
+
+    def test_converges_and_reports_gap(self, braess_like):
+        trips = TripTable({(1, 4): 3_000})
+        result = assign_equilibrium(
+            braess_like, trips, max_iterations=200, tolerance=1e-4
+        )
+        # MSA's 1/k steps converge slowly; 200 iterations lands in the
+        # few-per-mille band.
+        assert result.relative_gap < 5e-3
+        assert result.iterations <= 200
+        assert result.total_travel_time() > 0
+
+    def test_invalid_iterations(self, braess_like):
+        with pytest.raises(CalibrationError):
+            assign_equilibrium(braess_like, TripTable({(1, 4): 1}), max_iterations=0)
+
+    def test_sioux_falls_congested_volumes_still_center_heavy(self):
+        """On the real network with tight capacities, the equilibrium
+        plan remains usable by the measurement pipeline."""
+        network = sioux_falls_network(capacity=6_000.0)
+        trips = TripTable({(1, 20): 4_000, (20, 1): 4_000, (13, 8): 3_000})
+        result = assign_equilibrium(network, trips, max_iterations=30)
+        volumes = node_volumes(result.plan)
+        assert volumes[1] >= 8_000  # origin/destination traffic counted
+        assert sum(volumes.values()) > 0

@@ -1,0 +1,81 @@
+"""Tests for the central decoder pipeline."""
+
+import pytest
+
+from repro.core.decoder import CentralDecoder
+from repro.core.encoder import encode_passes
+from repro.core.parameters import SchemeParameters
+from repro.errors import EstimationError
+from repro.traffic.population import VehicleFleet
+
+
+@pytest.fixture
+def loaded_decoder():
+    """Decoder with three RSUs' reports from overlapping populations."""
+    params = SchemeParameters(s=2, load_factor=1.0, m_o=1 << 12, hash_seed=8)
+    fleet = VehicleFleet.random(3_000, seed=1)
+    decoder = CentralDecoder(2)
+    # RSU 1 sees vehicles [0, 1500); RSU 2 sees [500, 2500);
+    # RSU 3 sees [1000, 3000).
+    spans = {1: (0, 1500), 2: (500, 2500), 3: (1000, 3000)}
+    for rsu_id, (lo, hi) in spans.items():
+        report = encode_passes(
+            fleet.ids[lo:hi], fleet.keys[lo:hi], rsu_id, 1 << 12, params
+        )
+        decoder.submit(report)
+    return decoder, spans
+
+
+class TestIngestion:
+    def test_rsu_ids_sorted(self, loaded_decoder):
+        decoder, _ = loaded_decoder
+        assert decoder.rsu_ids() == [1, 2, 3]
+
+    def test_missing_report(self, loaded_decoder):
+        decoder, _ = loaded_decoder
+        with pytest.raises(EstimationError, match="no report"):
+            decoder.report_for(99)
+        with pytest.raises(EstimationError):
+            decoder.report_for(1, period=5)
+
+    def test_latest_report_wins(self, loaded_decoder):
+        decoder, _ = loaded_decoder
+        original = decoder.report_for(1)
+        replacement = type(original)(
+            rsu_id=1, counter=7, bits=original.bits.copy(), period=0
+        )
+        decoder.submit(replacement)
+        assert decoder.point_volume(1) == 7
+
+    def test_len(self, loaded_decoder):
+        decoder, _ = loaded_decoder
+        assert len(decoder) == 3
+
+
+class TestQueries:
+    def test_point_volume(self, loaded_decoder):
+        decoder, spans = loaded_decoder
+        for rsu_id, (lo, hi) in spans.items():
+            assert decoder.point_volume(rsu_id) == hi - lo
+
+    def test_pair_estimate_accuracy(self, loaded_decoder):
+        decoder, _ = loaded_decoder
+        # True overlaps: (1,2) -> 1000, (2,3) -> 1500, (1,3) -> 500.
+        for pair, truth in {(1, 2): 1000, (2, 3): 1500, (1, 3): 500}.items():
+            estimate = decoder.pair_estimate(*pair)
+            assert estimate.error_ratio(truth) < 0.35
+
+    def test_same_rsu_rejected(self, loaded_decoder):
+        decoder, _ = loaded_decoder
+        with pytest.raises(EstimationError, match="distinct"):
+            decoder.pair_estimate(1, 1)
+
+    def test_all_pairs(self, loaded_decoder):
+        decoder, _ = loaded_decoder
+        matrix = decoder.all_pairs()
+        assert set(matrix) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_all_pairs_subset(self, loaded_decoder):
+        decoder, _ = loaded_decoder
+        matrix = decoder.all_pairs(rsu_ids=[1, 3])
+        assert set(matrix) == {(1, 3)}

@@ -1,0 +1,73 @@
+"""Tests for the decoder's unfold memoization."""
+
+import pytest
+
+from repro.core.decoder import CentralDecoder
+from repro.core.encoder import encode_passes
+from repro.core.estimator import estimate_intersection
+from repro.core.parameters import SchemeParameters
+from repro.traffic.population import VehicleFleet
+
+
+@pytest.fixture
+def decoder_with_reports():
+    params = SchemeParameters(s=2, load_factor=1.0, m_o=1 << 12, hash_seed=4)
+    fleet = VehicleFleet.random(1_500, seed=2)
+    decoder = CentralDecoder(2)
+    sizes = {1: 1 << 8, 2: 1 << 10, 3: 1 << 12}
+    spans = {1: (0, 400), 2: (200, 1_000), 3: (600, 1_500)}
+    reports = {}
+    for rsu_id, (lo, hi) in spans.items():
+        report = encode_passes(
+            fleet.ids[lo:hi], fleet.keys[lo:hi], rsu_id, sizes[rsu_id], params
+        )
+        decoder.submit(report)
+        reports[rsu_id] = report
+    return decoder, reports
+
+
+class TestUnfoldCache:
+    def test_cached_path_matches_reference(self, decoder_with_reports):
+        """The memoized pair_estimate must equal the stateless
+        estimate_intersection for every pair."""
+        decoder, reports = decoder_with_reports
+        for a, b in [(1, 2), (1, 3), (2, 3)]:
+            cached = decoder.pair_estimate(a, b)
+            reference = estimate_intersection(reports[a], reports[b], 2)
+            assert cached.n_c_hat == pytest.approx(reference.n_c_hat)
+            assert (cached.m_x, cached.m_y) == (reference.m_x, reference.m_y)
+
+    def test_cache_populated_and_reused(self, decoder_with_reports):
+        decoder, _ = decoder_with_reports
+        decoder.pair_estimate(1, 3)
+        key = (0, 1, 1 << 12)
+        assert key in decoder._unfold_cache
+        first = decoder._unfold_cache[key]
+        decoder.pair_estimate(1, 3)
+        assert decoder._unfold_cache[key] is first  # reused, not rebuilt
+
+    def test_resubmission_invalidates(self, decoder_with_reports):
+        decoder, reports = decoder_with_reports
+        decoder.pair_estimate(1, 3)
+        assert (0, 1, 1 << 12) in decoder._unfold_cache
+        decoder.submit(reports[1])
+        assert (0, 1, 1 << 12) not in decoder._unfold_cache
+
+    def test_equal_sizes_bypass_cache(self, decoder_with_reports):
+        decoder, reports = decoder_with_reports
+        decoder.submit(
+            type(reports[3])(
+                rsu_id=4, counter=reports[3].counter,
+                bits=reports[3].bits.copy(), period=0,
+            )
+        )
+        decoder.pair_estimate(3, 4)
+        assert all(key[2] != (1 << 12) or key[1] in (1, 2)
+                   for key in decoder._unfold_cache)
+
+    def test_all_pairs_uses_cache(self, decoder_with_reports):
+        decoder, _ = decoder_with_reports
+        matrix = decoder.all_pairs()
+        assert len(matrix) == 3
+        # Two distinct smaller arrays each unfolded to their partners.
+        assert len(decoder._unfold_cache) >= 2

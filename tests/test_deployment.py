@@ -1,0 +1,86 @@
+"""Tests for the longitudinal deployment driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.roadnet.generators import grid_network
+from repro.roadnet.gravity import gravity_trip_table
+from repro.traffic.network_workload import NetworkWorkload
+from repro.vcps.deployment import Deployment
+
+
+@pytest.fixture(scope="module")
+def workload():
+    network = grid_network(3, 4)
+    weights = {node: 1.0 for node in network.nodes}
+    trips = gravity_trip_table(
+        network, total_trips=30_000, gamma=0.5, weights=weights
+    )
+    return NetworkWorkload.build(network, trips, seed=2)
+
+
+@pytest.fixture
+def deployment(workload):
+    return Deployment(workload, s=2, load_factor=8.0, hash_seed=7, seed=3)
+
+
+class TestPeriodExecution:
+    def test_full_demand_counts_everyone(self, deployment, workload):
+        record = deployment.run_period(demand_factor=1.0)
+        assert record.volumes == workload.volumes()
+
+    def test_reduced_demand_scales_volumes(self, deployment, workload):
+        record = deployment.run_period(demand_factor=0.5)
+        base = workload.volumes()
+        for node, volume in record.volumes.items():
+            assert volume == pytest.approx(base[node] * 0.5, rel=0.15)
+
+    def test_invalid_demand(self, deployment):
+        with pytest.raises(ConfigurationError):
+            deployment.run_period(demand_factor=0)
+
+    def test_subsampling_is_per_vehicle_consistent(self, deployment, workload):
+        """A participating vehicle appears at every node of its route:
+        pairwise estimates stay in proportion under subsampling."""
+        deployment.run_period(demand_factor=0.6)
+        truth = workload.common_volumes()
+        heavy = max(truth, key=truth.get)
+        estimate = deployment.server.point_to_point(*heavy, period=0)
+        assert estimate.n_c_hat == pytest.approx(0.6 * truth[heavy], rel=0.30)
+
+    def test_week_structure(self, deployment):
+        records = deployment.run_week()
+        assert len(records) == 7
+        assert deployment.periods_run == 7
+        weekday = records[0].volumes
+        weekend = records[6].volumes
+        assert sum(weekend.values()) < sum(weekday.values())
+
+
+class TestLongitudinal:
+    def test_measurements_across_periods(self, deployment, workload):
+        deployment.run_period()
+        deployment.run_period(demand_factor=0.7)
+        truth = workload.common_volumes()
+        pair = max(truth, key=truth.get)
+        series = deployment.measurements(*pair)
+        assert [period for period, _ in series] == [0, 1]
+        assert series[0][1].n_c_hat > series[1][1].n_c_hat * 0.9
+
+    def test_history_tracks_demand(self, deployment, workload):
+        base_total = sum(workload.volumes().values())
+        deployment.run_period(demand_factor=0.5)
+        averages = deployment.server.history.known_rsus()
+        assert sum(averages.values()) < base_total
+
+    def test_headroom_validation(self, workload):
+        with pytest.raises(ConfigurationError):
+            Deployment(workload, headroom=0.5)
+
+    def test_sizes_never_exceed_m_o(self, deployment):
+        for _ in range(3):
+            record = deployment.run_period(demand_factor=0.3)
+            assert all(
+                size <= deployment.params.m_o
+                for size in record.array_sizes.values()
+            )

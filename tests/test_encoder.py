@@ -1,0 +1,133 @@
+"""Tests for the online coding phase (Eqs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import RsuState, encode_passes
+from repro.core.parameters import SchemeParameters
+from repro.errors import ConfigurationError
+from repro.hashing.logical_bitarray import LogicalBitArray
+
+
+class TestRsuState:
+    def test_record_sets_bit_and_counter(self):
+        state = RsuState(rsu_id=1, array_size=16)
+        state.record(5)
+        assert state.counter == 1
+        assert state.bits[5] == 1
+
+    def test_record_bounds(self):
+        state = RsuState(rsu_id=1, array_size=16)
+        with pytest.raises(ConfigurationError):
+            state.record(16)
+        with pytest.raises(ConfigurationError):
+            state.record(-1)
+
+    def test_record_many(self):
+        state = RsuState(rsu_id=1, array_size=16)
+        state.record_many(np.array([1, 1, 3]))
+        assert state.counter == 3
+        assert state.bits.count_ones() == 2
+
+    def test_record_many_bounds(self):
+        state = RsuState(rsu_id=1, array_size=16)
+        with pytest.raises(ConfigurationError):
+            state.record_many(np.array([15, 16]))
+
+    def test_array_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            RsuState(rsu_id=1, array_size=12)
+
+    def test_reset_new_period(self):
+        state = RsuState(rsu_id=1, array_size=16)
+        state.record(2)
+        state.reset(period=3)
+        assert state.counter == 0
+        assert state.bits.count_ones() == 0
+        assert state.period == 3
+
+    def test_report_snapshots(self):
+        state = RsuState(rsu_id=9, array_size=16, period=2)
+        state.record(1)
+        report = state.report()
+        state.record(2)
+        assert report.rsu_id == 9
+        assert report.period == 2
+        assert report.counter == 1
+        assert report.bits.count_ones() == 1  # unaffected by later records
+
+
+class TestEncodePasses:
+    def test_counter_counts_all_passes(self, small_params, small_fleet):
+        report = encode_passes(
+            small_fleet.ids, small_fleet.keys, 4, 256, small_params
+        )
+        assert report.counter == len(small_fleet)
+        # duplicates collapse: ones <= vehicles
+        assert 0 < report.bits.count_ones() <= len(small_fleet)
+
+    def test_matches_agent_level_indices(self, small_params, small_fleet):
+        """Vectorized encoder must agree bit-for-bit with the
+        per-vehicle LogicalBitArray path."""
+        rsu_id, m_x = 6, 128
+        report = encode_passes(
+            small_fleet.ids, small_fleet.keys, rsu_id, m_x, small_params
+        )
+        reference = RsuState(rsu_id=rsu_id, array_size=m_x)
+        for vid, key in zip(small_fleet.ids, small_fleet.keys):
+            lb = LogicalBitArray(
+                int(vid),
+                int(key),
+                small_params.salts,
+                small_params.m_o,
+                seed=small_params.hash_seed,
+            )
+            reference.record(lb.bit_for_rsu(rsu_id, m_x))
+        assert reference.report().bits == report.bits
+        assert reference.counter == report.counter
+
+    def test_rejects_array_larger_than_m_o(self, small_params, small_fleet):
+        with pytest.raises(ConfigurationError):
+            encode_passes(
+                small_fleet.ids,
+                small_fleet.keys,
+                1,
+                small_params.m_o * 2,
+                small_params,
+            )
+
+    def test_rejects_shape_mismatch(self, small_params):
+        with pytest.raises(ConfigurationError):
+            encode_passes(
+                np.arange(3, dtype=np.uint64),
+                np.arange(4, dtype=np.uint64),
+                1,
+                64,
+                small_params,
+            )
+
+    def test_empty_population(self, small_params):
+        report = encode_passes(
+            np.array([], dtype=np.uint64),
+            np.array([], dtype=np.uint64),
+            1,
+            64,
+            small_params,
+        )
+        assert report.counter == 0
+        assert report.bits.count_zeros() == 64
+
+    def test_period_tag(self, small_params, small_fleet):
+        report = encode_passes(
+            small_fleet.ids, small_fleet.keys, 1, 64, small_params, period=7
+        )
+        assert report.period == 7
+
+    def test_fill_matches_occupancy_expectation(self, small_params):
+        """With n inserts into m bits, zeros ~ m(1-1/m)^n."""
+        n, m = 2000, 1024
+        ids = np.arange(n, dtype=np.uint64)
+        keys = ids * np.uint64(7919) + np.uint64(13)
+        report = encode_passes(ids, keys, 3, m, small_params)
+        expected = m * (1 - 1 / m) ** n
+        assert report.bits.count_zeros() == pytest.approx(expected, rel=0.15)

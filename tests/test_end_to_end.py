@@ -1,0 +1,103 @@
+"""Whole-system integration scenarios spanning many subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import ZeroFractionPolicy
+from repro.core.multiway import estimate_multiway
+from repro.core.scheme import VlmScheme
+from repro.roadnet.generators import grid_network
+from repro.roadnet.gravity import gravity_trip_table
+from repro.traffic.network_workload import NetworkWorkload
+from repro.vcps.deployment import Deployment
+from repro.vcps.persistence import load_server, save_server
+
+
+@pytest.fixture(scope="module")
+def city():
+    network = grid_network(3, 3)
+    weights = {node: 1.0 for node in network.nodes}
+    trips = gravity_trip_table(
+        network, total_trips=27_000, gamma=0.5, weights=weights
+    )
+    return NetworkWorkload.build(network, trips, seed=8)
+
+
+class TestDeploymentRestartCycle:
+    def test_measure_persist_restore_measure(self, city, tmp_path):
+        """A deployment runs two periods, persists, restarts, and the
+        restored server answers historical queries identically while
+        new periods keep flowing."""
+        deployment = Deployment(city, s=2, load_factor=8.0, hash_seed=3, seed=4)
+        deployment.run_period()
+        deployment.run_period(demand_factor=0.7)
+        truth = city.common_volumes()
+        pair = max(truth, key=truth.get)
+        before = deployment.server.point_to_point(*pair, period=0)
+
+        save_server(deployment.server, tmp_path / "state")
+        restored = load_server(tmp_path / "state")
+        after = restored.point_to_point(*pair, period=0)
+        assert after.n_c_hat == pytest.approx(before.n_c_hat)
+        # The restored server still supports next-period sizing.
+        assert restored.next_period_sizes().keys() == set(city.network.nodes)
+
+
+class TestCrossEstimatorConsistency:
+    def test_pairwise_triple_and_matrix_agree(self, city):
+        """The decoder's pairwise estimate, the k-way estimator's
+        pairwise level, and the all-pairs matrix agree on the same
+        data."""
+        volumes = city.volumes()
+        scheme = VlmScheme(
+            volumes, s=2, load_factor=10.0, hash_seed=5,
+            policy=ZeroFractionPolicy.CLAMP,
+        )
+        scheme.run_period(city.passes())
+        truth = city.common_volumes()
+        # Central 3x3 grid nodes 2, 5, 8 form a realistic triple.
+        reports = [scheme.decoder.report_for(node) for node in (2, 5, 8)]
+        multi = estimate_multiway(tuple(reports), 2)
+        matrix = scheme.decoder.all_pairs()
+        for key, value in multi.subset_estimates.items():
+            if len(key) != 2:
+                continue
+            pair = tuple(sorted(key))
+            assert matrix[pair].n_c_hat == pytest.approx(
+                value, rel=0.30, abs=150
+            )
+        # The triple is bounded by its tightest pair.
+        tightest = min(
+            v for k, v in multi.subset_estimates.items() if len(k) == 2
+        )
+        assert multi.n_hat <= tightest * 1.3 + 150
+
+    def test_scheme_estimates_track_network_truth(self, city):
+        volumes = city.volumes()
+        scheme = VlmScheme(
+            volumes, s=2, load_factor=10.0, hash_seed=6,
+            policy=ZeroFractionPolicy.CLAMP,
+        )
+        scheme.run_period(city.passes())
+        truth = city.common_volumes()
+        heavy = sorted(truth, key=truth.get, reverse=True)[:5]
+        for pair in heavy:
+            estimate = scheme.decoder.pair_estimate(*pair)
+            assert estimate.error_ratio(truth[pair]) < 0.20
+
+
+class TestFleetScaleSmoke:
+    def test_half_million_vehicle_period(self):
+        """Paper-scale smoke: one 550k-vehicle pair encodes and decodes
+        in-process without drama."""
+        from repro.traffic.random_workload import make_pair_population
+
+        pop = make_pair_population(50_000, 500_000, 10_000, seed=9)
+        scheme = VlmScheme(
+            pop.volumes(), s=2, load_factor=13.0, hash_seed=9,
+            policy=ZeroFractionPolicy.CLAMP,
+        )
+        reports = scheme.run_period(pop.passes())
+        assert reports[pop.rsu_y].counter == 500_000
+        estimate = scheme.decoder.pair_estimate(pop.rsu_x, pop.rsu_y)
+        assert estimate.error_ratio(10_000) < 0.20

@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.SaturatedArrayError, errors.EstimationError)
+        assert issubclass(errors.AuthenticationError, errors.ProtocolError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CalibrationError("x")
+
+    def test_library_raises_only_repro_errors_for_config(self):
+        """A representative misuse from each package lands under
+        ReproError, so callers have one catch point."""
+        from repro.core.bitarray import BitArray
+        from repro.core.scheme import VlmScheme
+        from repro.roadnet.trips import TripTable
+        from repro.vcps.history import VolumeHistory
+
+        for action in (
+            lambda: BitArray(0),
+            lambda: VlmScheme({}),
+            lambda: TripTable({(1, 1): 5}),
+            lambda: VolumeHistory({1: -5}),
+        ):
+            with pytest.raises(errors.ReproError):
+                action()

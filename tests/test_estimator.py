@@ -1,0 +1,191 @@
+"""Tests for the occupancy model and MLE estimator (Eqs. 5-18)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitarray import BitArray
+from repro.core.encoder import encode_passes
+from repro.core.estimator import (
+    ZeroFractionPolicy,
+    estimate_from_fractions,
+    estimate_intersection,
+    estimate_point_volume,
+    log_collision_ratio,
+    q_intersection,
+    q_point,
+)
+from repro.core.parameters import SchemeParameters
+from repro.core.reports import RsuReport
+from repro.errors import ConfigurationError, EstimationError, SaturatedArrayError
+from repro.traffic.random_workload import make_pair_population
+
+
+class TestQPoint:
+    def test_matches_definition(self):
+        assert float(q_point(10, 100)) == pytest.approx((1 - 1 / 100) ** 10)
+
+    def test_zero_volume(self):
+        assert float(q_point(0, 64)) == 1.0
+
+    def test_monotone_decreasing_in_volume(self):
+        values = q_point(np.array([0, 10, 100, 1000]), 256)
+        assert np.all(np.diff(values) < 0)
+
+    def test_rejects_tiny_array(self):
+        with pytest.raises(ConfigurationError):
+            q_point(5, 1)
+
+
+class TestLogCollisionRatio:
+    def test_positive(self):
+        assert log_collision_ratio(2, 1024) > 0
+
+    def test_approximation_one_over_s_m(self):
+        # ln(rho) ~ 1/(s m_y) for large m_y.
+        for s in (2, 5, 10):
+            value = log_collision_ratio(s, 2**20)
+            assert value == pytest.approx(1 / (s * 2**20), rel=1e-3)
+
+    def test_s_one_maximal_signal(self):
+        # s=1: every common car collides; signal is -ln(1 - 1/m_y).
+        assert log_collision_ratio(1, 256) == pytest.approx(
+            -math.log1p(-1 / 256)
+        )
+
+    @pytest.mark.parametrize("bad", [(0, 16), (2, 1), (16, 16)])
+    def test_invalid_arguments(self, bad):
+        s, m = bad
+        with pytest.raises(ConfigurationError):
+            log_collision_ratio(s, m)
+
+
+class TestQIntersection:
+    def test_reduces_to_product_when_no_common(self):
+        q = float(q_intersection(50, 80, 0, 64, 256, 2))
+        assert q == pytest.approx(float(q_point(50, 64) * q_point(80, 256)))
+
+    def test_common_vehicles_increase_zero_fraction(self):
+        base = float(q_intersection(50, 80, 0, 64, 256, 2))
+        more = float(q_intersection(50, 80, 40, 64, 256, 2))
+        assert more > base
+
+    def test_equation9_closed_form(self):
+        n_x, n_y, n_c, m_x, m_y, s = 100, 200, 30, 64, 256, 2
+        rho = (1 - (s - 1) / (s * m_y)) / (1 - 1 / m_y)
+        expected = (
+            (1 - 1 / m_x) ** n_x * (1 - 1 / m_y) ** n_y * rho**n_c
+        )
+        assert float(q_intersection(n_x, n_y, n_c, m_x, m_y, s)) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+
+class TestEstimateFromFractions:
+    def test_inverts_the_model_exactly(self):
+        """Feeding the model's own expected fractions returns n_c."""
+        n_x, n_y, n_c, m_x, m_y, s = 1000, 5000, 300, 4096, 16384, 2
+        v_x = float(q_point(n_x, m_x))
+        v_y = float(q_point(n_y, m_y))
+        v_c = float(q_intersection(n_x, n_y, n_c, m_x, m_y, s))
+        assert estimate_from_fractions(v_c, v_x, v_y, m_y, s) == pytest.approx(
+            n_c, rel=1e-9
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=2000),
+        st.sampled_from([2, 5, 10]),
+    )
+    @settings(max_examples=40)
+    def test_round_trip_property(self, n_c, s):
+        n_x, n_y, m_x, m_y = 4000, 20_000, 16_384, 65_536
+        v_x = float(q_point(n_x, m_x))
+        v_y = float(q_point(n_y, m_y))
+        v_c = float(q_intersection(n_x, n_y, n_c, m_x, m_y, s))
+        estimate = estimate_from_fractions(v_c, v_x, v_y, m_y, s)
+        assert estimate == pytest.approx(n_c, abs=1e-6)
+
+    def test_saturation_raises(self):
+        with pytest.raises(SaturatedArrayError):
+            estimate_from_fractions(0.0, 0.5, 0.5, 64, 2)
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_from_fractions(0.5, 1.5, 0.5, 64, 2)
+
+
+class TestEstimateIntersection:
+    def _reports(self, n_x, n_y, n_c, m_x, m_y, s, seed=0):
+        params = SchemeParameters(s=s, load_factor=1.0, m_o=max(m_x, m_y),
+                                  hash_seed=seed)
+        pop = make_pair_population(n_x, n_y, n_c, seed=seed)
+        ids_x, keys_x = pop.passes_at_x()
+        ids_y, keys_y = pop.passes_at_y()
+        rx = encode_passes(ids_x, keys_x, 1, m_x, params)
+        ry = encode_passes(ids_y, keys_y, 2, m_y, params)
+        return rx, ry
+
+    def test_estimates_close_to_truth(self):
+        rx, ry = self._reports(5_000, 20_000, 1_000, 16_384, 65_536, 2, seed=3)
+        estimate = estimate_intersection(rx, ry, 2)
+        assert estimate.error_ratio(1_000) < 0.30
+
+    def test_order_insensitive(self):
+        rx, ry = self._reports(2_000, 8_000, 500, 8_192, 32_768, 2, seed=4)
+        a = estimate_intersection(rx, ry, 2)
+        b = estimate_intersection(ry, rx, 2)
+        assert a.n_c_hat == pytest.approx(b.n_c_hat)
+        assert a.m_x <= a.m_y and b.m_x <= b.m_y
+
+    def test_period_mismatch_rejected(self):
+        rx, ry = self._reports(100, 100, 10, 256, 256, 2)
+        ry = RsuReport(rsu_id=ry.rsu_id, counter=ry.counter, bits=ry.bits, period=5)
+        with pytest.raises(EstimationError):
+            estimate_intersection(rx, ry, 2)
+
+    def test_saturated_policy_raise(self):
+        full = RsuReport(1, 10, BitArray.from_indices(4, [0, 1, 2, 3]))
+        other = RsuReport(2, 10, BitArray(4))
+        with pytest.raises(SaturatedArrayError):
+            estimate_intersection(full, other, 2)
+
+    def test_saturated_policy_clamp_returns_finite(self):
+        full = RsuReport(1, 10, BitArray.from_indices(4, [0, 1, 2, 3]))
+        other = RsuReport(2, 10, BitArray.from_indices(4, [1]))
+        estimate = estimate_intersection(
+            full, other, 2, policy=ZeroFractionPolicy.CLAMP
+        )
+        assert math.isfinite(estimate.n_c_hat)
+
+    def test_pair_estimate_metadata(self):
+        rx, ry = self._reports(1_000, 4_000, 200, 4_096, 16_384, 2, seed=9)
+        estimate = estimate_intersection(rx, ry, 2)
+        assert (estimate.m_x, estimate.m_y) == (4_096, 16_384)
+        assert (estimate.n_x, estimate.n_y) == (1_000, 4_000)
+        assert estimate.s == 2
+        assert estimate.clamped_nonnegative >= 0.0
+
+    def test_error_ratio_requires_positive_truth(self):
+        rx, ry = self._reports(100, 100, 10, 256, 256, 2)
+        estimate = estimate_intersection(rx, ry, 2)
+        with pytest.raises(EstimationError):
+            estimate.error_ratio(0)
+
+
+class TestEstimatePointVolume:
+    def test_recovers_counter(self):
+        params = SchemeParameters(s=2, load_factor=1.0, m_o=1 << 14, hash_seed=2)
+        ids = np.arange(3_000, dtype=np.uint64)
+        keys = ids * np.uint64(31) + np.uint64(5)
+        report = encode_passes(ids, keys, 1, 1 << 14, params)
+        implied = estimate_point_volume(report)
+        assert implied == pytest.approx(3_000, rel=0.1)
+
+    def test_saturated(self):
+        report = RsuReport(1, 100, BitArray.from_indices(4, [0, 1, 2, 3]))
+        with pytest.raises(SaturatedArrayError):
+            estimate_point_volume(report)
+        clamped = estimate_point_volume(report, policy=ZeroFractionPolicy.CLAMP)
+        assert math.isfinite(clamped)

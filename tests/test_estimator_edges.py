@@ -1,0 +1,116 @@
+"""Estimator behavior at the edges of its parameter space."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import encode_passes
+from repro.core.estimator import (
+    ZeroFractionPolicy,
+    estimate_intersection,
+    q_intersection,
+)
+from repro.core.parameters import SchemeParameters
+from repro.core.reports import RsuReport
+from repro.core.bitarray import BitArray
+from repro.traffic.random_workload import make_pair_population
+
+
+class TestEmptyTraffic:
+    def test_both_rsus_idle(self):
+        """Two idle RSUs: estimate is exactly zero (all arrays empty)."""
+        rx = RsuReport(1, 0, BitArray(64))
+        ry = RsuReport(2, 0, BitArray(256))
+        estimate = estimate_intersection(rx, ry, 2)
+        assert estimate.n_c_hat == pytest.approx(0.0, abs=1e-9)
+
+    def test_one_rsu_idle(self):
+        params = SchemeParameters(s=2, load_factor=1.0, m_o=256, hash_seed=1)
+        pop = make_pair_population(50, 0, 0, seed=1)
+        ids, keys = pop.passes_at_x()
+        rx = encode_passes(ids, keys, 1, 64, params)
+        ry = RsuReport(2, 0, BitArray(256))
+        estimate = estimate_intersection(rx, ry, 2)
+        # No traffic at y: V_c = V_x^u-fraction exactly, so n_c = 0.
+        assert estimate.n_c_hat == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDisjointPopulations:
+    def test_unbiased_around_zero(self):
+        """Disjoint populations: mean estimate near zero (can be
+        slightly negative per run)."""
+        values = []
+        for seed in range(10):
+            params = SchemeParameters(
+                s=2, load_factor=1.0, m_o=1 << 14, hash_seed=seed
+            )
+            pop = make_pair_population(2_000, 8_000, 0, seed=seed)
+            rx = encode_passes(*pop.passes_at_x(), 1, 1 << 12, params)
+            ry = encode_passes(*pop.passes_at_y(), 2, 1 << 14, params)
+            values.append(estimate_intersection(rx, ry, 2).n_c_hat)
+        mean = float(np.mean(values))
+        spread = float(np.std(values))
+        assert abs(mean) < max(3 * spread / math.sqrt(10), 30)
+
+
+class TestFullOverlap:
+    def test_identical_populations(self):
+        params = SchemeParameters(s=2, load_factor=1.0, m_o=1 << 14, hash_seed=3)
+        pop = make_pair_population(3_000, 3_000, 3_000, seed=3)
+        rx = encode_passes(*pop.passes_at_x(), 1, 1 << 13, params)
+        ry = encode_passes(*pop.passes_at_y(), 2, 1 << 14, params)
+        estimate = estimate_intersection(rx, ry, 2)
+        assert estimate.error_ratio(3_000) < 0.20
+
+
+class TestExtremeShapes:
+    def test_minimum_viable_arrays(self):
+        """m = 4 with a couple of vehicles still produces a finite
+        estimate under CLAMP."""
+        params = SchemeParameters(s=2, load_factor=1.0, m_o=4, hash_seed=5)
+        ids = np.arange(2, dtype=np.uint64)
+        keys = ids + np.uint64(9)
+        rx = encode_passes(ids, keys, 1, 4, params)
+        ry = encode_passes(ids, keys, 2, 4, params)
+        estimate = estimate_intersection(
+            rx, ry, 2, policy=ZeroFractionPolicy.CLAMP
+        )
+        assert math.isfinite(estimate.n_c_hat)
+
+    def test_extreme_size_ratio(self):
+        """m_y / m_x = 4096: unfolding still exact, estimate finite and
+        sane."""
+        params = SchemeParameters(s=2, load_factor=1.0, m_o=1 << 18, hash_seed=6)
+        pop = make_pair_population(20, 80_000, 10, seed=6)
+        rx = encode_passes(*pop.passes_at_x(), 1, 1 << 6, params)
+        ry = encode_passes(*pop.passes_at_y(), 2, 1 << 18, params)
+        estimate = estimate_intersection(
+            rx, ry, 2, policy=ZeroFractionPolicy.CLAMP
+        )
+        assert math.isfinite(estimate.n_c_hat)
+        assert estimate.m_x == 1 << 6
+
+    def test_large_s(self):
+        """s close to m_x: still defined as long as s < m_y."""
+        params = SchemeParameters(s=50, load_factor=1.0, m_o=1 << 12, hash_seed=7)
+        pop = make_pair_population(500, 500, 100, seed=7)
+        rx = encode_passes(*pop.passes_at_x(), 1, 1 << 10, params)
+        ry = encode_passes(*pop.passes_at_y(), 2, 1 << 12, params)
+        estimate = estimate_intersection(
+            rx, ry, 50, policy=ZeroFractionPolicy.CLAMP
+        )
+        assert math.isfinite(estimate.n_c_hat)
+
+
+class TestModelEdgeValues:
+    def test_q_at_full_overlap_monotone_in_s(self):
+        """More logical bits -> fewer collisions -> q closer to the
+        independent product."""
+        qs = [
+            float(q_intersection(1_000, 1_000, 1_000, 4_096, 4_096, s))
+            for s in (2, 5, 10, 100)
+        ]
+        independent = float(q_intersection(1_000, 1_000, 0, 4_096, 4_096, 2))
+        assert all(a > b for a, b in zip(qs, qs[1:]))
+        assert qs[-1] > independent  # still above the no-overlap floor

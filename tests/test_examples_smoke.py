@@ -1,0 +1,31 @@
+"""Smoke test: the quickstart example runs and reports a sane result.
+
+The longer examples are exercised by the harness and benchmarks; the
+quickstart is the documented first touch, so it must keep working
+verbatim.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestQuickstart:
+    def test_runs_and_is_accurate(self, capsys):
+        runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "error ratio" in out
+        # Parse the reported error ratio and require a sane value.
+        line = next(l for l in out.splitlines() if "error ratio" in l)
+        value = float(line.split("=")[-1].strip().rstrip("%"))
+        assert value < 25.0
+
+    def test_all_examples_exist_and_have_docstrings(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 6
+        for script in scripts:
+            text = script.read_text()
+            assert text.lstrip().startswith(('#!/usr/bin/env python', '"""')), script
+            assert '"""' in text

@@ -1,0 +1,72 @@
+"""Tests for the design-choice ablations."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitarray import BitArray
+from repro.experiments.ablations import fold_down, run_ablations
+
+
+class TestFoldDown:
+    def test_or_reduction(self):
+        array = BitArray.from_indices(8, [0, 5])
+        folded = fold_down(array, 4)
+        # bit 5 -> 5 mod 4 = 1; bit 0 -> 0.
+        assert [folded[i] for i in range(4)] == [1, 1, 0, 0]
+
+    def test_identity_at_same_size(self):
+        array = BitArray.from_indices(4, [2])
+        assert fold_down(array, 4) == array
+
+    def test_non_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            fold_down(BitArray(8), 3)
+
+    def test_preserves_ones(self):
+        rng = np.random.default_rng(3)
+        array = BitArray.from_bits(rng.random(64) < 0.2)
+        folded = fold_down(array, 16)
+        assert folded.count_ones() <= array.count_ones()
+        # every source one lands somewhere
+        for i in range(64):
+            if array[i]:
+                assert folded[i % 16] == 1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablations(
+        n_x=4_000, ratio=10, n_c=800, load_factor=6.0, repetitions=4, seed=8
+    )
+
+
+class TestRunAblations:
+    def test_three_studies(self, result):
+        studies = {row.study for row in result.rows}
+        assert studies == {
+            "unfold-up vs fold-down",
+            "load-factor band",
+            "effect of s",
+        }
+
+    def test_unfold_up_beats_fold_down(self, result):
+        rows = {row.label: row for row in result.study("unfold-up vs fold-down")}
+        assert (
+            rows["unfold up (paper)"].mean_abs_error
+            < rows["fold down (alternative)"].mean_abs_error
+        )
+
+    def test_larger_arrays_help(self, result):
+        rows = result.study("load-factor band")
+        floor, ceiling = rows[0], rows[1]
+        # doubling the array size should not make things much worse
+        assert ceiling.mean_abs_error < floor.mean_abs_error * 2.0
+
+    def test_s_rows_present(self, result):
+        labels = [row.label for row in result.study("effect of s")]
+        assert labels == ["s = 2", "s = 5", "s = 10"]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Ablation" in text
+        assert "fold down" in text

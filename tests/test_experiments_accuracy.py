@@ -1,0 +1,38 @@
+"""Tests for the Section V accuracy-analysis experiment."""
+
+import pytest
+
+from repro.experiments.accuracy_analysis import run_accuracy_analysis
+
+
+@pytest.fixture(scope="module")
+def result():
+    configs = (
+        (2_000, 2_000, 600, 2),
+        (2_000, 20_000, 600, 2),
+    )
+    return run_accuracy_analysis(configs=configs, repetitions=25, seed=4)
+
+
+class TestRunAccuracyAnalysis:
+    def test_case_count(self, result):
+        assert len(result.cases) == 2
+
+    def test_sizes_follow_rule(self, result):
+        case = result.cases[1]
+        assert case.m_x == 8_192      # 2^ceil(log2(2000*3))
+        assert case.m_y == 65_536     # 2^ceil(log2(20000*3))
+
+    def test_closed_forms_match_mc(self, result):
+        for case in result.cases:
+            assert case.mc_stddev == pytest.approx(case.closed_stddev, rel=0.5)
+            noise = case.mc_stddev / (result.repetitions**0.5)
+            assert abs(case.mc_bias - case.closed_bias) < 5 * noise
+
+    def test_unequal_pair_noisier(self, result):
+        assert result.cases[1].closed_stddev > result.cases[0].closed_stddev
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Section V" in text
+        assert "std % (MC)" in text

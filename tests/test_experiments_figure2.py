@@ -1,0 +1,53 @@
+"""Tests for the Figure 2 experiment (privacy curves)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure2(grid_points=150)
+
+
+class TestRunFigure2:
+    def test_all_curves_present(self, result):
+        assert set(result.curves) == {
+            (r, s) for r in (1, 10, 50) for s in (2, 5, 10)
+        }
+
+    def test_curves_are_probabilities(self, result):
+        for curve in result.curves.values():
+            assert np.all((curve >= 0) & (curve <= 1))
+
+    def test_paper_reading_optimum_band(self, result):
+        for s in (2, 5, 10):
+            f_star, p_star = result.optima[(1, s)]
+            assert 1.0 < f_star < 5.0
+            assert p_star > 0.7
+
+    def test_paper_reading_s5_values(self, result):
+        assert result.optima[(1, 5)][1] == pytest.approx(0.75, abs=0.03)
+        # f̄=3 readings from the paper: 0.89 (10x) and 0.91 (50x).
+        idx = int(np.argmin(np.abs(result.load_factors - 3.0)))
+        assert float(result.series(10, 5)[idx]) == pytest.approx(0.89, abs=0.02)
+        assert float(result.series(50, 5)[idx]) == pytest.approx(0.91, abs=0.03)
+
+    def test_paper_reading_overload_collapse(self, result):
+        idx = int(np.argmin(np.abs(result.load_factors - 50.0)))
+        assert float(result.series(1, 2)[idx]) == pytest.approx(0.2, abs=0.05)
+
+    def test_skewed_traffic_improves_optimum(self, result):
+        assert result.optima[(10, 5)][1] > result.optima[(1, 5)][1]
+        assert result.optima[(50, 5)][1] > result.optima[(1, 5)][1]
+
+    def test_privacy_half_bound(self, result):
+        assert 10.0 < result.max_f_privacy_half_s2 < 17.0
+
+    def test_render_mentions_all_plots(self, result):
+        text = result.render()
+        assert "n_y = 1 n_x" in text
+        assert "n_y = 10 n_x" in text
+        assert "n_y = 50 n_x" in text
+        assert "optima" in text

@@ -1,0 +1,77 @@
+"""Tests for the Fig. 4/5 sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.sweep import run_accuracy_sweep, sweep_parameters
+
+#: A thin 12-point grid spanning the paper's range, for fast tests.
+QUICK_GRID = list(range(500, 5_001, 400))
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_figure4(n_c_values=QUICK_GRID, seed=40)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_figure5(n_c_values=QUICK_GRID, seed=40)
+
+
+class TestSweepParameters:
+    def test_privacy_constrained(self):
+        params = sweep_parameters(10_000, (1, 10, 50), 2)
+        assert 10.0 < params["load_factor"] < 17.0
+        m = int(params["baseline_m"])
+        assert m & (m - 1) == 0
+        assert m <= params["load_factor"] * 10_000
+
+
+class TestRunAccuracySweep:
+    def test_invalid_scheme(self):
+        with pytest.raises(ConfigurationError):
+            run_accuracy_sweep("magic")
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            run_accuracy_sweep("vlm", n_c_values=[0])
+        with pytest.raises(ConfigurationError):
+            run_accuracy_sweep("vlm", n_c_values=[20_000])
+
+    def test_series_structure(self, fig5):
+        assert set(fig5.series) == {1, 10, 50}
+        series = fig5.series[10]
+        assert series.n_y == 100_000
+        assert series.true_n_c.size == len(QUICK_GRID)
+        assert np.all(np.isfinite(series.estimated_n_c))
+
+
+class TestPaperShape:
+    def test_baseline_equal_traffic_accurate(self, fig4):
+        assert fig4.series[1].mean_abs_error < 0.10
+
+    def test_baseline_degrades_with_ratio(self, fig4):
+        errors = [fig4.series[r].scatter_rmse for r in (1, 10, 50)]
+        assert errors[0] < errors[1] < errors[2]
+        # "scatter everywhere": RMS deviation at ratio 50 is a large
+        # fraction of the plot scale.
+        assert errors[2] > 0.5
+
+    def test_vlm_stays_on_the_line(self, fig5):
+        for ratio in (1, 10, 50):
+            assert fig5.series[ratio].scatter_rmse < 0.10
+
+    def test_vlm_beats_baseline_at_every_ratio(self, fig4, fig5):
+        for ratio in (10, 50):
+            assert (
+                fig5.series[ratio].scatter_rmse
+                < fig4.series[ratio].scatter_rmse
+            )
+
+    def test_render(self, fig4, fig5):
+        assert "scheme of [9]" in fig4.render()
+        assert "VLM scheme" in fig5.render()

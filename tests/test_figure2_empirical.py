@@ -1,0 +1,49 @@
+"""Tests for the Figure 2 empirical cross-check option."""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure2(
+        grid_points=60,
+        ratios=(1, 10),
+        empirical_checks=True,
+        empirical_trials=4,
+    )
+
+
+class TestEmpiricalChecks:
+    def test_points_present(self, result):
+        assert result.empirical
+        ratios = {ratio for ratio, _, _ in result.empirical}
+        assert ratios == {1, 10}
+
+    def test_measured_values_are_probabilities(self, result):
+        assert all(0.0 <= p <= 1.0 for p in result.empirical.values())
+
+    def test_measured_close_to_analytic(self, result):
+        """The simulated tracker lands within the documented
+        approximation band of the paper's formula."""
+        from repro.privacy.formulas import preserved_privacy
+        from repro.utils.validation import next_power_of_two
+
+        for (ratio, s, f), measured in result.empirical.items():
+            n_x = 2_000
+            m_x = next_power_of_two(3.0 * n_x)
+            m_y = next_power_of_two(3.0 * n_x * ratio)
+            analytic = float(
+                preserved_privacy(
+                    n_x, n_x * ratio, 0.1 * n_x, m_x, m_y, s
+                )
+            )
+            assert measured == pytest.approx(analytic, abs=0.07)
+
+    def test_render_includes_cross_check(self, result):
+        assert "Empirical cross-check" in result.render()
+
+    def test_disabled_by_default(self):
+        result = run_figure2(grid_points=30, ratios=(1,), s_values=(2,))
+        assert not result.empirical

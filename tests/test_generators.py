@@ -1,0 +1,80 @@
+"""Tests for synthetic road network generators."""
+
+import pytest
+
+from repro.errors import NetworkDataError
+from repro.roadnet.generators import (
+    expected_nodes_grid,
+    expected_nodes_ring_radial,
+    grid_network,
+    ring_radial_network,
+)
+from repro.roadnet.gravity import gravity_trip_table
+from repro.roadnet.routing import assign_routes
+from repro.roadnet.volumes import node_volumes
+
+
+class TestGridNetwork:
+    def test_dimensions(self):
+        network = grid_network(4, 5)
+        assert network.num_nodes == expected_nodes_grid(4, 5) == 20
+        # streets: 4*(5-1) horizontal + 5*(4-1) vertical = 31 -> 62 arcs
+        assert network.num_arcs == 62
+
+    def test_strongly_connected(self):
+        assert grid_network(3, 3).is_strongly_connected()
+
+    def test_manhattan_shortest_paths(self):
+        network = grid_network(4, 4)
+        # corner (node 1) to opposite corner (node 16): 6 blocks.
+        path = network.shortest_path(1, 16)
+        assert network.path_time(path) == pytest.approx(6.0)
+
+    def test_minimum_size(self):
+        with pytest.raises(NetworkDataError):
+            grid_network(1, 5)
+
+    def test_custom_attributes(self):
+        network = grid_network(2, 2, block_time=2.5, capacity=123.0)
+        arc = network.arcs()[0]
+        assert arc.free_flow_time == 2.5
+        assert arc.capacity == 123.0
+
+
+class TestRingRadialNetwork:
+    def test_dimensions(self):
+        network = ring_radial_network(3, 6)
+        assert network.num_nodes == expected_nodes_ring_radial(3, 6) == 19
+
+    def test_strongly_connected(self):
+        assert ring_radial_network(2, 5).is_strongly_connected()
+
+    def test_minimum_size(self):
+        with pytest.raises(NetworkDataError):
+            ring_radial_network(0, 6)
+        with pytest.raises(NetworkDataError):
+            ring_radial_network(1, 2)
+
+    def test_centre_is_the_hub(self):
+        """Uniform gravity demand routes through the centre: node 1
+        carries the largest transit volume — the hub/collector skew
+        that motivates variable-length arrays."""
+        network = ring_radial_network(3, 8)
+        weights = {node: 1.0 for node in network.nodes}
+        trips = gravity_trip_table(
+            network, total_trips=50_000, gamma=0.5, weights=weights
+        )
+        volumes = node_volumes(assign_routes(network, trips))
+        assert max(volumes, key=volumes.get) == 1
+        # The skew is substantial: centre sees several times the median.
+        ordered = sorted(volumes.values())
+        median = ordered[len(ordered) // 2]
+        assert volumes[1] > 2 * median
+
+    def test_cross_city_goes_through_centre(self):
+        network = ring_radial_network(2, 8)
+        # Opposite outer-ring nodes: spoke 0 and spoke 4 on ring 2.
+        a = 1 + 1 * 8 + 0 + 1
+        b = 1 + 1 * 8 + 4 + 1
+        path = network.shortest_path(a, b)
+        assert 1 in path

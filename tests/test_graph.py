@@ -1,0 +1,85 @@
+"""Tests for the road network graph wrapper."""
+
+import pytest
+
+from repro.errors import NetworkDataError
+from repro.roadnet.graph import Arc, RoadNetwork
+
+
+@pytest.fixture
+def triangle():
+    """1 <-> 2 <-> 3, plus a direct slow 1 -> 3."""
+    arcs = [
+        Arc(1, 2, free_flow_time=1.0),
+        Arc(2, 1, free_flow_time=1.0),
+        Arc(2, 3, free_flow_time=1.0),
+        Arc(3, 2, free_flow_time=1.0),
+        Arc(1, 3, free_flow_time=5.0),
+        Arc(3, 1, free_flow_time=5.0),
+    ]
+    return RoadNetwork("triangle", arcs)
+
+
+class TestArc:
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetworkDataError):
+            Arc(1, 1)
+
+    def test_invalid_attributes(self):
+        with pytest.raises(NetworkDataError):
+            Arc(1, 2, free_flow_time=0)
+        with pytest.raises(NetworkDataError):
+            Arc(1, 2, capacity=0)
+
+
+class TestRoadNetwork:
+    def test_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_arcs == 6
+        assert triangle.nodes == [1, 2, 3]
+
+    def test_duplicate_arc_rejected(self):
+        with pytest.raises(NetworkDataError, match="duplicate"):
+            RoadNetwork("bad", [Arc(1, 2), Arc(1, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetworkDataError):
+            RoadNetwork("empty", [])
+
+    def test_arcs_round_trip(self, triangle):
+        arcs = triangle.arcs()
+        assert len(arcs) == 6
+        assert all(isinstance(a, Arc) for a in arcs)
+
+    def test_successors(self, triangle):
+        assert triangle.successors(1) == [2, 3]
+        with pytest.raises(NetworkDataError):
+            triangle.successors(9)
+
+    def test_strongly_connected(self, triangle):
+        assert triangle.is_strongly_connected()
+        one_way = RoadNetwork("oneway", [Arc(1, 2)])
+        assert not one_way.is_strongly_connected()
+
+
+class TestShortestPath:
+    def test_prefers_fast_two_hop(self, triangle):
+        # 1 -> 2 -> 3 costs 2 < direct arc's 5.
+        assert triangle.shortest_path(1, 3) == [1, 2, 3]
+
+    def test_path_time(self, triangle):
+        assert triangle.path_time([1, 2, 3]) == pytest.approx(2.0)
+        assert triangle.path_time([1, 3]) == pytest.approx(5.0)
+
+    def test_path_time_missing_arc(self, triangle):
+        with pytest.raises(NetworkDataError):
+            triangle.path_time([2, 2])
+
+    def test_unknown_endpoint(self, triangle):
+        with pytest.raises(NetworkDataError):
+            triangle.shortest_path(1, 99)
+
+    def test_no_path(self):
+        net = RoadNetwork("disc", [Arc(1, 2), Arc(3, 4)])
+        with pytest.raises(NetworkDataError, match="no path"):
+            net.shortest_path(1, 4)

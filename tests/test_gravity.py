@@ -1,0 +1,56 @@
+"""Tests for the gravity-model trip synthesis."""
+
+import pytest
+
+from repro.errors import CalibrationError, NetworkDataError
+from repro.roadnet.gravity import DEFAULT_NODE_WEIGHTS, gravity_trip_table
+from repro.roadnet.routing import assign_routes
+from repro.roadnet.sioux_falls import sioux_falls_network
+from repro.roadnet.volumes import node_volumes
+
+
+@pytest.fixture(scope="module")
+def network():
+    return sioux_falls_network()
+
+
+class TestGravityTripTable:
+    def test_total_close_to_target(self, network):
+        table = gravity_trip_table(network, total_trips=100_000)
+        assert table.total_trips == pytest.approx(100_000, rel=0.01)
+
+    def test_every_od_pair_possible(self, network):
+        table = gravity_trip_table(network, total_trips=500_000)
+        # At this scale all 24*23 pairs get nonzero demand.
+        assert len(table) == 24 * 23
+
+    def test_friction_shifts_demand_to_near_pairs(self, network):
+        flat = gravity_trip_table(network, total_trips=100_000, gamma=0.0)
+        steep = gravity_trip_table(network, total_trips=100_000, gamma=2.0)
+        # 9-10 are adjacent; 1-20 are far apart.
+        near_share_flat = flat.trips(9, 10) / flat.total_trips
+        near_share_steep = steep.trips(9, 10) / steep.total_trips
+        assert near_share_steep > near_share_flat
+        far_share_flat = flat.trips(1, 20) / flat.total_trips
+        far_share_steep = steep.trips(1, 20) / steep.total_trips
+        assert far_share_steep < far_share_flat
+
+    def test_node_10_heaviest_by_default(self, network):
+        """The paper's anchor: node 10 carries the largest transit
+        volume in the Sioux Falls workload."""
+        table = gravity_trip_table(network, total_trips=100_000)
+        volumes = node_volumes(assign_routes(network, table))
+        assert max(volumes, key=volumes.get) == 10
+
+    def test_missing_weights_rejected(self, network):
+        with pytest.raises(NetworkDataError):
+            gravity_trip_table(network, weights={1: 1.0})
+
+    def test_invalid_parameters(self, network):
+        with pytest.raises(CalibrationError):
+            gravity_trip_table(network, total_trips=0)
+        with pytest.raises(CalibrationError):
+            gravity_trip_table(network, gamma=-1)
+
+    def test_default_weights_cover_all_nodes(self):
+        assert set(DEFAULT_NODE_WEIGHTS) == set(range(1, 25))

@@ -1,0 +1,68 @@
+"""Unit and statistical tests for repro.hashing.hashfn."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.hashfn import hash_to_range, hash_u64, splitmix64
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert int(splitmix64(12345)) == int(splitmix64(12345))
+
+    def test_vectorized_matches_scalar(self):
+        values = np.arange(100, dtype=np.uint64)
+        vector = splitmix64(values)
+        for i in (0, 17, 99):
+            assert int(vector[i]) == int(splitmix64(int(values[i])))
+
+    def test_no_collisions_on_small_range(self):
+        # splitmix64 finalization is a bijection on 64-bit words.
+        out = splitmix64(np.arange(100_000, dtype=np.uint64))
+        assert np.unique(out).size == 100_000
+
+
+class TestHashU64:
+    def test_seed_changes_output(self):
+        assert int(hash_u64(7, seed=1)) != int(hash_u64(7, seed=2))
+
+    def test_same_seed_same_output(self):
+        assert int(hash_u64(7, seed=9)) == int(hash_u64(7, seed=9))
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_accepts_full_u64_domain(self, value):
+        out = int(hash_u64(np.uint64(value)))
+        assert 0 <= out < 2**64
+
+
+class TestHashToRange:
+    def test_range_respected(self):
+        out = hash_to_range(np.arange(10_000, dtype=np.uint64), 1024)
+        assert out.min() >= 0
+        assert out.max() < 1024
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            hash_to_range(1, 0)
+
+    def test_uniformity_chi_square(self):
+        """Power-of-two reduction should be uniform: chi-square over 64
+        buckets with 64k samples stays within a generous bound."""
+        buckets = 64
+        samples = 65_536
+        out = hash_to_range(np.arange(samples, dtype=np.uint64), buckets, seed=5)
+        counts = np.bincount(out, minlength=buckets)
+        expected = samples / buckets
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        # 63 dof; mean 63, std ~11.2; 5 sigma ~ 120.
+        assert chi2 < 120.0
+
+    def test_non_power_of_two_modulus_supported(self):
+        out = hash_to_range(np.arange(1000, dtype=np.uint64), 997)
+        assert out.max() < 997
+
+    def test_distinct_inputs_spread(self):
+        out = hash_to_range(np.arange(4096, dtype=np.uint64), 1 << 20)
+        # Essentially no collisions expected at this density.
+        assert np.unique(out).size > 4080

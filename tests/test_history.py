@@ -1,0 +1,56 @@
+"""Tests for historical volume tracking."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vcps.history import VolumeHistory
+
+
+class TestSeeding:
+    def test_initial_averages(self):
+        history = VolumeHistory({1: 100.0, 2: 250.0})
+        assert history.average(1) == 100.0
+        assert history.known_rsus() == {1: 100.0, 2: 250.0}
+
+    def test_unknown_rsu(self):
+        with pytest.raises(ConfigurationError, match="no history"):
+            VolumeHistory().average(9)
+
+    def test_invalid_seed_volume(self):
+        with pytest.raises(ConfigurationError):
+            VolumeHistory({1: 0})
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ConfigurationError):
+            VolumeHistory(smoothing=0.0)
+        with pytest.raises(ConfigurationError):
+            VolumeHistory(smoothing=1.5)
+
+
+class TestCumulativeMean:
+    def test_first_observation_without_seed(self):
+        history = VolumeHistory()
+        assert history.observe(1, 40) == 40.0
+
+    def test_seeded_mean(self):
+        history = VolumeHistory({1: 100.0})
+        # (100 * 1 + 50) / 2 — the seed counts as one period.
+        assert history.observe(1, 50) == pytest.approx(75.0)
+        assert history.observe(1, 75) == pytest.approx((75 * 2 + 75) / 3)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VolumeHistory().observe(1, -1)
+
+
+class TestEwma:
+    def test_smoothing(self):
+        history = VolumeHistory({1: 100.0}, smoothing=0.5)
+        assert history.observe(1, 200) == pytest.approx(150.0)
+        assert history.observe(1, 150) == pytest.approx(150.0)
+
+    def test_observe_all(self):
+        history = VolumeHistory({1: 100.0, 2: 100.0}, smoothing=1.0)
+        history.observe_all({1: 10, 2: 20})
+        assert history.average(1) == 10.0
+        assert history.average(2) == 20.0

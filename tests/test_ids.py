@@ -1,0 +1,46 @@
+"""Tests for one-time MAC addresses."""
+
+import numpy as np
+import pytest
+
+from repro.vcps.ids import format_mac, is_locally_administered, random_mac
+
+
+class TestRandomMac:
+    def test_in_48_bit_range(self):
+        for seed in range(20):
+            mac = random_mac(seed)
+            assert 0 <= mac < 1 << 48
+
+    def test_locally_administered_unicast(self):
+        for seed in range(50):
+            assert is_locally_administered(random_mac(seed))
+
+    def test_one_time_use_distribution(self):
+        rng = np.random.default_rng(1)
+        macs = {random_mac(rng) for _ in range(5_000)}
+        # Collisions in 5k draws from ~2^46 space are essentially
+        # impossible; near-uniqueness is what makes MACs unlinkable.
+        assert len(macs) == 5_000
+
+
+class TestIsLocallyAdministered:
+    def test_vendor_mac_rejected(self):
+        assert not is_locally_administered(0x00_1A_2B_3C_4D_5E)
+
+    def test_multicast_rejected(self):
+        assert not is_locally_administered(0x03_00_00_00_00_01)
+
+
+class TestFormatMac:
+    def test_format(self):
+        assert format_mac(0x0A1B2C3D4E5F) == "0a:1b:2c:3d:4e:5f"
+
+    def test_zero_padded(self):
+        assert format_mac(1) == "00:00:00:00:00:01"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_mac(1 << 48)
+        with pytest.raises(ValueError):
+            format_mac(-1)

@@ -1,0 +1,125 @@
+"""Cross-cutting property tests of the scheme's core invariants.
+
+Each property here is a statement the analysis of the paper rests on,
+checked over randomized configurations with hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoder import encode_passes
+from repro.core.estimator import q_intersection, q_point
+from repro.core.parameters import SchemeParameters
+from repro.core.unfolding import unfold, unfolded_or
+from repro.privacy.formulas import preserved_privacy, preserved_privacy_exact
+from repro.traffic.population import VehicleFleet
+
+sizes = st.integers(min_value=3, max_value=10).map(lambda k: 1 << k)
+small_counts = st.integers(min_value=0, max_value=300)
+
+
+class TestEncodingInvariants:
+    @given(sizes, small_counts, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_ones_bounded_by_population(self, m, n, seed):
+        params = SchemeParameters(s=2, load_factor=1.0, m_o=1 << 10, hash_seed=seed)
+        fleet = VehicleFleet.random(n, seed=seed) if n else VehicleFleet(
+            np.empty(0, np.uint64), np.empty(0, np.uint64)
+        )
+        report = encode_passes(fleet.ids, fleet.keys, 1, m, params)
+        assert report.counter == n
+        assert report.bits.count_ones() <= min(n, m)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_encoding_deterministic(self, seed):
+        params = SchemeParameters(s=2, load_factor=1.0, m_o=1 << 10, hash_seed=seed)
+        fleet = VehicleFleet.random(50, seed=1)
+        a = encode_passes(fleet.ids, fleet.keys, 1, 256, params)
+        b = encode_passes(fleet.ids, fleet.keys, 1, 256, params)
+        assert a.bits == b.bits
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_rsu_identity_separates_arrays(self, seed):
+        """Different RSUs see (statistically) different bit patterns
+        from the same fleet — no cross-RSU linkability by equality."""
+        params = SchemeParameters(s=2, load_factor=1.0, m_o=1 << 10, hash_seed=seed)
+        fleet = VehicleFleet.random(100, seed=2)
+        a = encode_passes(fleet.ids, fleet.keys, 1, 1 << 10, params)
+        b = encode_passes(fleet.ids, fleet.keys, 2, 1 << 10, params)
+        assert a.bits != b.bits
+
+
+class TestUnfoldingInvariants:
+    @given(sizes, st.integers(min_value=0, max_value=3), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_unfold_then_or_is_commutative_on_zero_fraction(
+        self, m, factor_log, data
+    ):
+        from repro.core.bitarray import BitArray
+
+        m_y = m << factor_log
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        small = BitArray.from_bits(rng.random(m) < 0.4)
+        large = BitArray.from_bits(rng.random(m_y) < 0.4)
+        joint_a = unfolded_or(small, large)
+        joint_b = unfolded_or(large, small)
+        assert joint_a == joint_b
+        assert unfold(small, m_y).zero_fraction() == pytest.approx(
+            small.zero_fraction()
+        )
+
+
+class TestModelInvariants:
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=5_000),
+        st.sampled_from([2, 5, 10]),
+    )
+    @settings(max_examples=40)
+    def test_q_intersection_bounds(self, n_x, n_y, s):
+        """q(n_c) is increasing in n_c and bounded by q(n_c=0) * rho^n_c."""
+        m_x, m_y = 1 << 13, 1 << 16
+        n_c_max = min(n_x, n_y)
+        q0 = float(q_intersection(n_x, n_y, 0, m_x, m_y, s))
+        q_full = float(q_intersection(n_x, n_y, n_c_max, m_x, m_y, s))
+        assert q_full >= q0 - 1e-15
+        assert q0 == pytest.approx(
+            float(q_point(n_x, m_x) * q_point(n_y, m_y)), rel=1e-12
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=3_000),
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.sampled_from([2, 5]),
+    )
+    @settings(max_examples=40)
+    def test_exact_and_paper_privacy_stay_close(self, n_x, ratio, frac, s):
+        """Eq. (43) is a good approximation of the exact conditional
+        everywhere in the evaluated domain (within 0.15 absolute; the
+        sign of the gap depends on the load regime)."""
+        n_y = n_x * ratio
+        n_c = int(frac * n_x)
+        m_x, m_y = 1 << 12, 1 << 16
+        paper = float(preserved_privacy(n_x, n_y, n_c, m_x, m_y, s))
+        exact = float(preserved_privacy_exact(n_x, n_y, n_c, m_x, m_y, s))
+        assert 0.0 <= paper <= 1.0 and 0.0 <= exact <= 1.0
+        assert abs(exact - paper) < 0.15
+
+    def test_paper_within_two_percent_at_fig2_operating_points(self):
+        """At the paper's own operating points (f near f*, n_c = 0.1 n)
+        the printed formula sits within ~2% of the exact conditional
+        (the sign of the small gap varies with the configuration)."""
+        for n_x, ratio, s in ((10_000, 1, 2), (10_000, 10, 5), (10_000, 50, 5)):
+            n_y = n_x * ratio
+            m_x, m_y = 32_768, 32_768 * ratio
+            # round m_y up to a power of two for the exact form
+            m_y = 1 << (m_y - 1).bit_length()
+            paper = float(preserved_privacy(n_x, n_y, 0.1 * n_x, m_x, m_y, s))
+            exact = float(
+                preserved_privacy_exact(n_x, n_y, 0.1 * n_x, m_x, m_y, s)
+            )
+            assert abs(exact - paper) < 0.02

@@ -1,0 +1,35 @@
+"""Tests for vehicle private keys."""
+
+from repro.vcps.keys import KeyStore, generate_private_key
+
+
+class TestGeneratePrivateKey:
+    def test_range(self):
+        for seed in range(10):
+            key = generate_private_key(seed)
+            assert 0 <= key < 2**63
+
+    def test_deterministic_from_seed(self):
+        assert generate_private_key(5) == generate_private_key(5)
+
+
+class TestKeyStore:
+    def test_key_stable_per_vehicle(self):
+        store = KeyStore(seed=1)
+        assert store.key_for(42) == store.key_for(42)
+
+    def test_keys_differ_across_vehicles(self):
+        store = KeyStore(seed=1)
+        keys = {store.key_for(v) for v in range(200)}
+        assert len(keys) == 200
+
+    def test_len_and_contains(self):
+        store = KeyStore(seed=1)
+        assert 7 not in store
+        store.key_for(7)
+        assert 7 in store
+        assert len(store) == 1
+
+    def test_reproducible_store(self):
+        a, b = KeyStore(seed=9), KeyStore(seed=9)
+        assert [a.key_for(v) for v in range(5)] == [b.key_for(v) for v in range(5)]

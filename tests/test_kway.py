@@ -1,0 +1,168 @@
+"""Validation of the general k-way intersection estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import encode_passes
+from repro.core.estimator import ZeroFractionPolicy, log_collision_ratio
+from repro.core.multiway import (
+    estimate_multiway,
+    estimate_triple,
+    log_avoid_visiting,
+    log_q_triple_coefficients,
+    mobius_coefficient,
+)
+from repro.core.parameters import SchemeParameters
+from repro.errors import ConfigurationError, EstimationError
+from repro.traffic.population import VehicleFleet
+
+
+class TestLogAvoidVisiting:
+    def test_single_rsu(self):
+        assert log_avoid_visiting((1024,), 2) == pytest.approx(
+            math.log1p(-1 / 1024)
+        )
+
+    def test_pair_matches_closed_form(self):
+        m_a, m_b, s = 4096, 16384, 3
+        expected = (1 / s) * (1 - 1 / m_a) + (1 - 1 / s) * (1 - 1 / m_a) * (
+            1 - 1 / m_b
+        )
+        assert log_avoid_visiting((m_a, m_b), s) == pytest.approx(
+            math.log(expected), rel=1e-12
+        )
+
+    def test_triple_matches_dedicated_derivation(self):
+        sizes = (1 << 12, 1 << 13, 1 << 14)
+        # Reconstruct A_3 from the dedicated triple coefficients.
+        d_xy, d_xz, d_yz, d_3 = log_q_triple_coefficients(*sizes, 2)
+        l = [math.log1p(-1 / m) for m in sizes]
+        a3 = d_3 + sum(l) + d_xy + d_xz + d_yz
+        assert log_avoid_visiting(sizes, 2) == pytest.approx(a3, rel=1e-12)
+
+    def test_empty(self):
+        assert log_avoid_visiting((), 2) == 0.0
+
+
+class TestMobiusCoefficient:
+    def test_singleton(self):
+        assert mobius_coefficient((512,), 2) == pytest.approx(
+            math.log1p(-1 / 512)
+        )
+
+    def test_pair_is_eq5_denominator(self):
+        m_a, m_b = 1 << 12, 1 << 15
+        assert mobius_coefficient((m_a, m_b), 2) == pytest.approx(
+            log_collision_ratio(2, m_b), rel=1e-9
+        )
+
+    def test_triple_matches_dedicated(self):
+        sizes = (1 << 12, 1 << 13, 1 << 14)
+        *_, d_3 = log_q_triple_coefficients(*sizes, 2)
+        assert mobius_coefficient(sizes, 2) == pytest.approx(d_3, rel=1e-9)
+
+
+def nested_population(group_counts, memberships, m_sizes, s, hash_seed, seed):
+    """Encode a population given exclusive groups and RSU memberships."""
+    total = sum(group_counts)
+    fleet = VehicleFleet.random(total, seed=seed)
+    params = SchemeParameters(
+        s=s, load_factor=1.0, m_o=m_sizes[-1], hash_seed=hash_seed
+    )
+    spans = []
+    cursor = 0
+    for count in group_counts:
+        spans.append((cursor, cursor + count))
+        cursor += count
+    reports = []
+    for rsu_index, m in enumerate(m_sizes):
+        chunks_ids, chunks_keys = [], []
+        for span, member_of in zip(spans, memberships):
+            if rsu_index in member_of:
+                chunks_ids.append(fleet.ids[span[0]:span[1]])
+                chunks_keys.append(fleet.keys[span[0]:span[1]])
+        ids = np.concatenate(chunks_ids) if chunks_ids else np.empty(0, np.uint64)
+        keys = np.concatenate(chunks_keys) if chunks_keys else np.empty(0, np.uint64)
+        reports.append(encode_passes(ids, keys, rsu_index + 1, m, params))
+    return tuple(reports)
+
+
+class TestEstimateMultiway:
+    def test_pairwise_close_to_eq5(self):
+        """k=2 multiway (counter-based singles) lands near the Eq. (5)
+        estimator and near the truth."""
+        from repro.core.estimator import estimate_intersection
+
+        reports = nested_population(
+            [3_000, 4_000, 1_500],            # x-only, y-only, both
+            [(0,), (1,), (0, 1)],
+            (1 << 15, 1 << 17),
+            2,
+            hash_seed=3,
+            seed=3,
+        )
+        multi = estimate_multiway(reports, 2)
+        pair = estimate_intersection(reports[0], reports[1], 2,
+                                     policy=ZeroFractionPolicy.CLAMP)
+        assert multi.n_hat == pytest.approx(1_500, rel=0.25)
+        assert multi.n_hat == pytest.approx(pair.n_c_hat, rel=0.25)
+
+    def test_triple_agrees_with_dedicated_estimator(self):
+        counts = [2_000, 3_000, 5_000, 800, 700, 900, 1_200]
+        memberships = [(0,), (1,), (2,), (0, 1), (0, 2), (1, 2), (0, 1, 2)]
+        sizes = (1 << 16, 1 << 17, 1 << 18)
+        multi_vals, triple_vals = [], []
+        for trial in range(6):
+            reports = nested_population(
+                counts, memberships, sizes, 2, hash_seed=trial, seed=trial
+            )
+            multi_vals.append(estimate_multiway(reports, 2).n_hat)
+            triple_vals.append(
+                estimate_triple(*reports, 2, policy=ZeroFractionPolicy.CLAMP).n_xyz_hat
+            )
+        assert float(np.mean(multi_vals)) == pytest.approx(1_200, rel=0.35)
+        assert float(np.mean(triple_vals)) == pytest.approx(
+            float(np.mean(multi_vals)), rel=0.30
+        )
+
+    def test_four_way_recovery(self):
+        """k=4: recover the quadruple-intersection volume."""
+        # Groups: 4 singles, the 'chain' pair overlaps, and the
+        # all-four core.
+        counts = [3_000, 3_000, 3_000, 3_000, 2_000]
+        memberships = [(0,), (1,), (2,), (3,), (0, 1, 2, 3)]
+        sizes = (1 << 16, 1 << 16, 1 << 17, 1 << 17)
+        estimates = []
+        for trial in range(6):
+            reports = nested_population(
+                counts, memberships, sizes, 2, hash_seed=50 + trial, seed=trial
+            )
+            estimates.append(estimate_multiway(reports, 2).n_hat)
+        assert float(np.mean(estimates)) == pytest.approx(2_000, rel=0.35)
+
+    def test_subset_estimates_exposed(self):
+        reports = nested_population(
+            [1_000, 1_000, 1_000, 500],
+            [(0,), (1,), (2,), (0, 1, 2)],
+            (1 << 14, 1 << 14, 1 << 15),
+            2,
+            hash_seed=9,
+            seed=9,
+        )
+        result = estimate_multiway(reports, 2)
+        # All three pairs plus the triple.
+        assert len(result.subset_estimates) == 4
+        assert result.clamped_nonnegative >= 0.0
+
+    def test_validation(self):
+        reports = nested_population(
+            [100, 100, 50], [(0,), (1,), (0, 1)], (1 << 10, 1 << 10), 2, 1, 1
+        )
+        with pytest.raises(ConfigurationError):
+            estimate_multiway((reports[0],), 2)
+        with pytest.raises(ConfigurationError):
+            estimate_multiway(reports, 1)
+        with pytest.raises(EstimationError):
+            estimate_multiway((reports[0], reports[0]), 2)

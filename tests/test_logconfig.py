@@ -1,0 +1,63 @@
+"""Tests for logging configuration."""
+
+import io
+import logging
+
+from repro.utils.logconfig import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced(self):
+        assert get_logger("vcps.server").name == "repro.vcps.server"
+
+    def test_already_namespaced(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_silent_by_default(self):
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        )
+
+
+class TestConfigureLogging:
+    def test_verbose_level(self):
+        stream = io.StringIO()
+        root = configure_logging(verbose=True, stream=stream)
+        assert root.level == logging.DEBUG
+        get_logger("test").debug("hello-debug")
+        assert "hello-debug" in stream.getvalue()
+
+    def test_reconfiguration_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging(stream=first)
+        configure_logging(stream=second)
+        get_logger("test").info("only-once")
+        assert "only-once" not in first.getvalue()
+        assert second.getvalue().count("only-once") == 1
+
+    def test_anomaly_warning_is_logged(self):
+        """The server's integrity flag reaches the log stream."""
+        from repro.core.bitarray import BitArray
+        from repro.core.encoder import encode_passes
+        from repro.core.parameters import SchemeParameters
+        from repro.core.reports import RsuReport
+        from repro.core.sizing import LoadFactorSizing
+        from repro.traffic.population import VehicleFleet
+        from repro.vcps.history import VolumeHistory
+        from repro.vcps.server import CentralServer
+
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        params = SchemeParameters(s=2, load_factor=4.0, m_o=4_096, hash_seed=1)
+        fleet = VehicleFleet.random(500, seed=1)
+        honest = encode_passes(fleet.ids, fleet.keys, 1, 4_096, params)
+        tampered = RsuReport(rsu_id=1, counter=5_000, bits=honest.bits)
+        server = CentralServer(
+            2, LoadFactorSizing(4.0), history=VolumeHistory({1: 500})
+        )
+        server.receive_report(tampered)
+        assert "integrity anomaly" in stream.getvalue()
+        # restore silence for other tests
+        configure_logging(stream=io.StringIO())

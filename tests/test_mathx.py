@@ -1,0 +1,87 @@
+"""Unit tests for repro.utils.mathx (numerically stable primitives)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.mathx import (
+    log1m_exp,
+    log_pow_one_minus,
+    pow_one_minus,
+    safe_log,
+    stable_ratio_power,
+)
+
+
+class TestPowOneMinus:
+    def test_matches_naive_at_small_scale(self):
+        assert pow_one_minus(0.1, 3) == pytest.approx(0.9**3, rel=1e-12)
+
+    def test_large_scale_does_not_underflow_to_garbage(self):
+        # (1 - 1/2^21)^500000 = exp(-500000/2^21 * (1 + O(1/m)))
+        value = pow_one_minus(1.0 / 2**21, 500_000)
+        expected = math.exp(500_000 * math.log1p(-1.0 / 2**21))
+        assert value == pytest.approx(expected, rel=1e-14)
+
+    def test_vectorized_exponents(self):
+        out = pow_one_minus(0.01, np.array([0, 1, 2]))
+        assert out == pytest.approx([1.0, 0.99, 0.99**2])
+
+    @given(
+        st.floats(min_value=1e-9, max_value=0.5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_always_in_unit_interval(self, inv, n):
+        value = float(pow_one_minus(inv, n))
+        assert 0.0 <= value <= 1.0
+
+    def test_log_form_consistency(self):
+        assert float(log_pow_one_minus(0.25, 4)) == pytest.approx(
+            math.log(0.75**4), rel=1e-12
+        )
+
+
+class TestSafeLog:
+    def test_positive_values_unchanged(self):
+        assert float(safe_log(math.e)) == pytest.approx(1.0)
+
+    def test_zero_floored(self):
+        assert np.isfinite(safe_log(0.0))
+
+    def test_vector(self):
+        out = safe_log(np.array([1.0, 0.0, math.e]))
+        assert np.isfinite(out).all()
+
+
+class TestStableRatioPower:
+    def test_matches_naive(self):
+        naive = ((1 - 0.001) / (1 - 0.002)) ** 100
+        assert stable_ratio_power(0.001, 0.002, 100) == pytest.approx(
+            naive, rel=1e-12
+        )
+
+    def test_extreme_scale(self):
+        # The estimator's rho^n_c factor at paper scale.
+        m_y, s, n_c = 2**23, 2, 40_000
+        value = stable_ratio_power((s - 1) / (s * m_y), 1.0 / m_y, n_c)
+        expected = math.exp(
+            n_c * (math.log1p(-(s - 1) / (s * m_y)) - math.log1p(-1 / m_y))
+        )
+        assert value == pytest.approx(expected, rel=1e-13)
+
+
+class TestLog1mExp:
+    @pytest.mark.parametrize("x", [-1e-12, -0.1, -0.5, -1.0, -5.0, -50.0])
+    def test_matches_reference(self, x):
+        # expm1-based reference stays accurate for tiny |x| where the
+        # naive 1 - exp(x) cancels catastrophically.
+        expected = math.log(-math.expm1(x))
+        assert float(log1m_exp(x)) == pytest.approx(expected, rel=1e-10)
+
+    def test_vectorized(self):
+        xs = np.array([-0.01, -1.0, -10.0])
+        out = log1m_exp(xs)
+        assert out.shape == xs.shape
+        assert np.all(out < 0)

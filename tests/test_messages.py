@@ -1,0 +1,50 @@
+"""Tests for DSRC message formats."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.vcps.ids import random_mac
+from repro.vcps.messages import Query, Response
+from repro.vcps.pki import CertificateAuthority
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority(seed=1)
+
+
+class TestQuery:
+    def test_valid(self, ca):
+        query = Query(rsu_id=3, certificate=ca.issue(3), array_size=1024)
+        assert query.array_size == 1024
+
+    def test_non_power_of_two_size(self, ca):
+        with pytest.raises(ProtocolError, match="power-of-two"):
+            Query(rsu_id=3, certificate=ca.issue(3), array_size=1000)
+
+    def test_certificate_subject_mismatch(self, ca):
+        with pytest.raises(ProtocolError, match="does not match"):
+            Query(rsu_id=3, certificate=ca.issue(4), array_size=1024)
+
+
+class TestResponse:
+    def test_valid(self):
+        response = Response(mac=random_mac(1), bit_index=5)
+        response.validate_for(64)  # does not raise
+
+    def test_out_of_range_index(self):
+        response = Response(mac=random_mac(1), bit_index=64)
+        with pytest.raises(ProtocolError, match="outside"):
+            response.validate_for(64)
+
+    def test_negative_index(self):
+        response = Response(mac=random_mac(1), bit_index=-1)
+        with pytest.raises(ProtocolError):
+            response.validate_for(64)
+
+    def test_fixed_vendor_mac_rejected(self):
+        """A vendor (globally administered) MAC would be linkable; the
+        RSU refuses it."""
+        response = Response(mac=0x00_1A_2B_3C_4D_5E, bit_index=5)
+        with pytest.raises(ProtocolError, match="locally-administered"):
+            response.validate_for(64)

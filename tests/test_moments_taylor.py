@@ -1,0 +1,61 @@
+"""Tests for the binomial moments and Taylor terms (Eqs. 12-31)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accuracy.moments import mean_v, pair_means, var_v_binomial
+from repro.accuracy.taylor import cov_ln, mean_ln_v, var_ln_v
+
+
+class TestMoments:
+    def test_mean_is_q(self):
+        assert float(mean_v(100, 256)) == pytest.approx((1 - 1 / 256) ** 100)
+
+    def test_variance_binomial_form(self):
+        q = (1 - 1 / 256) ** 100
+        assert float(var_v_binomial(100, 256)) == pytest.approx(
+            q * (1 - q) / 256
+        )
+
+    def test_variance_zero_at_zero_volume(self):
+        assert float(var_v_binomial(0, 64)) == pytest.approx(0.0)
+
+    def test_pair_means_ordering(self):
+        v_x, v_y, v_c = pair_means(100, 400, 50, 256, 1024, 2)
+        # joint array has at least as many ones: V_c <= min(V_x, V_y)...
+        # in expectation V_c <= V_x and V_c <= V_y.
+        assert float(v_c) <= float(v_x) + 1e-12
+        assert float(v_c) <= float(v_y) + 1e-12
+
+    def test_vectorized(self):
+        out = mean_v(np.array([1, 2, 3]), 64)
+        assert out.shape == (3,)
+
+
+class TestTaylor:
+    def test_mean_ln_v_second_order_correction(self):
+        w, var = 0.8, 0.001
+        assert float(mean_ln_v(w, var)) == pytest.approx(
+            math.log(w) - var / (2 * w**2)
+        )
+
+    def test_var_ln_v(self):
+        w, var = 0.8, 0.001
+        assert float(var_ln_v(w, var)) == pytest.approx(var / w**2)
+
+    def test_cov_ln(self):
+        assert float(cov_ln(0.5, 0.25, 0.01)) == pytest.approx(0.01 / 0.125)
+
+    def test_taylor_against_simulation(self, rng):
+        """E[ln V] and Var(ln V) from the Taylor map match sampled
+        binomial fractions."""
+        m, q = 4096, 0.7
+        counts = rng.binomial(m, q, size=20_000)
+        v = counts / m
+        log_v = np.log(v)
+        predicted_mean = float(mean_ln_v(q, q * (1 - q) / m))
+        predicted_var = float(var_ln_v(q, q * (1 - q) / m))
+        assert log_v.mean() == pytest.approx(predicted_mean, abs=3e-4)
+        assert log_v.var() == pytest.approx(predicted_var, rel=0.05)

@@ -1,0 +1,151 @@
+"""Validation of the three-point trajectory estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import encode_passes
+from repro.core.estimator import ZeroFractionPolicy
+from repro.core.multiway import (
+    estimate_triple,
+    log_q_triple_coefficients,
+)
+from repro.core.parameters import SchemeParameters
+from repro.errors import ConfigurationError, EstimationError
+from repro.traffic.population import VehicleFleet
+
+
+def triple_population(counts, m_sizes, s, hash_seed, seed):
+    """Encode a population with the 7 exclusive visit categories.
+
+    counts: dict with keys 'x','y','z','xy','xz','yz','xyz'.
+    Returns the three reports.
+    """
+    order = ["x", "y", "z", "xy", "xz", "yz", "xyz"]
+    total = sum(counts[k] for k in order)
+    fleet = VehicleFleet.random(total, seed=seed)
+    spans = {}
+    cursor = 0
+    for key in order:
+        spans[key] = (cursor, cursor + counts[key])
+        cursor += counts[key]
+
+    def passes(*keys):
+        ids = np.concatenate([fleet.ids[slice(*spans[k])] for k in keys])
+        keys_arr = np.concatenate([fleet.keys[slice(*spans[k])] for k in keys])
+        return ids, keys_arr
+
+    m_x, m_y, m_z = m_sizes
+    params = SchemeParameters(s=s, load_factor=1.0, m_o=m_z, hash_seed=hash_seed)
+    rx = encode_passes(*passes("x", "xy", "xz", "xyz"), 1, m_x, params)
+    ry = encode_passes(*passes("y", "xy", "yz", "xyz"), 2, m_y, params)
+    rz = encode_passes(*passes("z", "xz", "yz", "xyz"), 3, m_z, params)
+    return rx, ry, rz
+
+
+COUNTS = {
+    "x": 2_000, "y": 3_000, "z": 5_000,
+    "xy": 800, "xz": 700, "yz": 900, "xyz": 1_200,
+}
+M_SIZES = (1 << 16, 1 << 17, 1 << 18)
+
+
+class TestCoefficients:
+    def test_pairwise_terms_match_eq5_denominator(self):
+        from repro.core.estimator import log_collision_ratio
+
+        d_xy, d_xz, d_yz, _ = log_q_triple_coefficients(*M_SIZES, 2)
+        assert d_xy == pytest.approx(log_collision_ratio(2, M_SIZES[1]), rel=1e-9)
+        assert d_xz == pytest.approx(log_collision_ratio(2, M_SIZES[2]), rel=1e-9)
+        assert d_yz == pytest.approx(log_collision_ratio(2, M_SIZES[2]), rel=1e-9)
+
+    def test_triple_coefficient_nonzero(self):
+        *_, d_3 = log_q_triple_coefficients(*M_SIZES, 2)
+        assert d_3 != 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            log_q_triple_coefficients(1 << 17, 1 << 16, 1 << 18, 2)
+        with pytest.raises(ConfigurationError):
+            log_q_triple_coefficients(1 << 16, 1 << 17, 1 << 18, 1)
+
+
+class TestModelConsistency:
+    def test_log_linear_model_matches_simulation(self):
+        """E[V_t] from the linear model matches the simulated triple-OR
+        zero fraction (the core derivation check)."""
+        import math
+
+        m_x, m_y, m_z = M_SIZES
+        fractions = []
+        for trial in range(10):
+            rx, ry, rz = triple_population(
+                COUNTS, M_SIZES, 2, hash_seed=trial, seed=trial
+            )
+            from repro.core.unfolding import unfold
+
+            joint = unfold(rx.bits, m_z) | unfold(ry.bits, m_z) | rz.bits
+            fractions.append(joint.zero_fraction())
+        d_xy, d_xz, d_yz, d_3 = log_q_triple_coefficients(m_x, m_y, m_z, 2)
+        n_x = COUNTS["x"] + COUNTS["xy"] + COUNTS["xz"] + COUNTS["xyz"]
+        n_y = COUNTS["y"] + COUNTS["xy"] + COUNTS["yz"] + COUNTS["xyz"]
+        n_z = COUNTS["z"] + COUNTS["xz"] + COUNTS["yz"] + COUNTS["xyz"]
+        n_xy = COUNTS["xy"] + COUNTS["xyz"]
+        n_xz = COUNTS["xz"] + COUNTS["xyz"]
+        n_yz = COUNTS["yz"] + COUNTS["xyz"]
+        log_q = (
+            n_x * math.log1p(-1 / m_x)
+            + n_y * math.log1p(-1 / m_y)
+            + n_z * math.log1p(-1 / m_z)
+            + n_xy * d_xy + n_xz * d_xz + n_yz * d_yz
+            + COUNTS["xyz"] * d_3
+        )
+        assert float(np.mean(fractions)) == pytest.approx(
+            math.exp(log_q), rel=0.002
+        )
+
+
+class TestEstimateTriple:
+    def test_recovers_triple_volume(self):
+        estimates = []
+        for trial in range(8):
+            rx, ry, rz = triple_population(
+                COUNTS, M_SIZES, 2, hash_seed=100 + trial, seed=trial
+            )
+            result = estimate_triple(
+                rx, ry, rz, 2, policy=ZeroFractionPolicy.CLAMP
+            )
+            estimates.append(result.n_xyz_hat)
+        mean = float(np.mean(estimates))
+        assert mean == pytest.approx(COUNTS["xyz"], rel=0.35)
+
+    def test_zero_triple_volume(self):
+        counts = dict(COUNTS, xyz=0)
+        estimates = []
+        for trial in range(8):
+            rx, ry, rz = triple_population(
+                counts, M_SIZES, 2, hash_seed=200 + trial, seed=trial
+            )
+            result = estimate_triple(
+                rx, ry, rz, 2, policy=ZeroFractionPolicy.CLAMP
+            )
+            estimates.append(result.n_xyz_hat)
+        # Unbiased around 0: mean within noise of zero.
+        assert abs(float(np.mean(estimates))) < 400
+
+    def test_order_insensitive(self):
+        rx, ry, rz = triple_population(COUNTS, M_SIZES, 2, hash_seed=5, seed=5)
+        a = estimate_triple(rx, ry, rz, 2)
+        b = estimate_triple(rz, rx, ry, 2)
+        assert a.n_xyz_hat == pytest.approx(b.n_xyz_hat)
+
+    def test_distinct_rsus_required(self):
+        rx, ry, _ = triple_population(COUNTS, M_SIZES, 2, hash_seed=5, seed=5)
+        with pytest.raises(EstimationError):
+            estimate_triple(rx, ry, ry, 2)
+
+    def test_metadata(self):
+        rx, ry, rz = triple_population(COUNTS, M_SIZES, 2, hash_seed=5, seed=5)
+        result = estimate_triple(rx, ry, rz, 2)
+        assert result.m_sizes == M_SIZES
+        assert len(result.pairwise) == 3
+        assert result.clamped_nonnegative >= 0.0

@@ -1,0 +1,117 @@
+"""Validation of the exact occupancy second moments against simulation.
+
+These are the covariances the paper's Eq. (35) sketches; the closed
+forms in repro.accuracy.occupancy must match brute-force Monte-Carlo
+of the actual encoding process.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.occupancy import exact_pair_moments
+from repro.core.encoder import encode_passes
+from repro.core.parameters import SchemeParameters
+from repro.core.unfolding import unfolded_or
+from repro.errors import ConfigurationError
+from repro.traffic.random_workload import make_pair_population
+
+
+def _sample_fractions(n_x, n_y, n_c, m_x, m_y, s, runs, seed):
+    rng = np.random.default_rng(seed)
+    v = np.empty((runs, 3))
+    for i in range(runs):
+        params = SchemeParameters(
+            s=s, load_factor=1.0, m_o=m_y, hash_seed=int(rng.integers(2**63))
+        )
+        pop = make_pair_population(n_x, n_y, n_c, seed=rng)
+        rx = encode_passes(*pop.passes_at_x(), 1, m_x, params)
+        ry = encode_passes(*pop.passes_at_y(), 2, m_y, params)
+        joint = unfolded_or(rx.bits, ry.bits)
+        v[i] = (
+            rx.bits.zero_fraction(),
+            ry.bits.zero_fraction(),
+            joint.zero_fraction(),
+        )
+    return v
+
+
+@pytest.fixture(scope="module")
+def sampled():
+    """600 encode rounds of a moderately sized unequal pair."""
+    config = dict(n_x=400, n_y=1600, n_c=120, m_x=512, m_y=2048, s=2)
+    v = _sample_fractions(runs=600, seed=11, **config)
+    return config, v
+
+
+class TestExactPairMoments:
+    def test_means_match(self, sampled):
+        config, v = sampled
+        mom = exact_pair_moments(**config)
+        assert v[:, 0].mean() == pytest.approx(mom.mean_v_x, abs=4 * v[:, 0].std() / 24)
+        assert v[:, 1].mean() == pytest.approx(mom.mean_v_y, abs=4 * v[:, 1].std() / 24)
+        assert v[:, 2].mean() == pytest.approx(mom.mean_v_c, abs=4 * v[:, 2].std() / 24)
+
+    def test_variances_match(self, sampled):
+        config, v = sampled
+        mom = exact_pair_moments(**config)
+        # Sample variance of a variance estimate: rel tolerance ~25%
+        # at 600 runs (generous 4-sigma-ish bounds).
+        assert v[:, 0].var() == pytest.approx(mom.var_v_x, rel=0.25)
+        assert v[:, 1].var() == pytest.approx(mom.var_v_y, rel=0.25)
+        assert v[:, 2].var() == pytest.approx(mom.var_v_c, rel=0.25)
+
+    def test_covariances_match(self, sampled):
+        config, v = sampled
+        mom = exact_pair_moments(**config)
+        sample_cov = np.cov(v.T)
+        scale = np.sqrt(mom.var_v_x * mom.var_v_c)
+        assert abs(sample_cov[0, 2] - mom.cov_cx) < 0.25 * scale
+        scale = np.sqrt(mom.var_v_y * mom.var_v_c)
+        assert abs(sample_cov[1, 2] - mom.cov_cy) < 0.25 * scale
+        scale = np.sqrt(mom.var_v_x * mom.var_v_y)
+        assert abs(sample_cov[0, 1] - mom.cov_xy) < 0.25 * scale
+
+    def test_binomial_variance_upper_bounds_exact(self, sampled):
+        """The paper's binomial Var (Eq. 19) ignores the negative
+        inter-bit occupancy correlation, so it upper-bounds the exact
+        variance — loosely at high load, tightly for sparse arrays."""
+        config, _ = sampled
+        mom = exact_pair_moments(**config)
+        q = mom.mean_v_x
+        binom = q * (1 - q) / config["m_x"]
+        assert mom.var_v_x <= binom * 1.0001
+
+    def test_single_array_variance_is_classic_occupancy(self):
+        """Var(U) for one array must equal the textbook occupancy
+        formula m*q + m(m-1)(1-2/m)^n - (m*q)^2."""
+        n, m = 400, 512
+        mom = exact_pair_moments(n, 1_000, 0, m, 2_048, 2)
+        q = (1 - 1 / m) ** n
+        var_u = m * q + m * (m - 1) * (1 - 2 / m) ** n - (m * q) ** 2
+        assert mom.var_v_x == pytest.approx(var_u / m**2, rel=1e-9)
+
+    def test_cauchy_schwarz(self):
+        mom = exact_pair_moments(1_000, 5_000, 300, 4_096, 16_384, 2)
+        assert abs(mom.cov_cx) <= np.sqrt(mom.var_v_c * mom.var_v_x) + 1e-18
+        assert abs(mom.cov_cy) <= np.sqrt(mom.var_v_c * mom.var_v_y) + 1e-18
+        assert abs(mom.cov_xy) <= np.sqrt(mom.var_v_x * mom.var_v_y) + 1e-18
+        assert -1.0 <= mom.correlation_cx() <= 1.0
+
+    def test_positive_correlations_with_joint_array(self):
+        """B_c zeros imply B_x/B_y zeros, so both cross covariances are
+        positive."""
+        mom = exact_pair_moments(1_000, 5_000, 300, 4_096, 16_384, 2)
+        assert mom.cov_cx > 0
+        assert mom.cov_cy > 0
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            exact_pair_moments(10, 10, 5, 256, 128, 2)  # m_x > m_y
+        with pytest.raises(ConfigurationError):
+            exact_pair_moments(10, 10, 50, 128, 256, 2)  # n_c too big
+        with pytest.raises(ConfigurationError):
+            exact_pair_moments(10, 10, 5, 128, 256, 0)  # bad s
+
+    def test_equal_sizes_supported(self):
+        mom = exact_pair_moments(500, 700, 100, 1_024, 1_024, 2)
+        assert mom.var_v_c > 0

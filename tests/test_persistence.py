@@ -1,0 +1,83 @@
+"""Tests for server-state persistence."""
+
+import pytest
+
+from repro.core.encoder import encode_passes
+from repro.core.parameters import SchemeParameters
+from repro.core.sizing import LoadFactorSizing
+from repro.errors import ConfigurationError
+from repro.traffic.population import VehicleFleet
+from repro.vcps.history import VolumeHistory
+from repro.vcps.persistence import load_server, save_server
+from repro.vcps.server import CentralServer
+
+
+@pytest.fixture
+def populated_server():
+    server = CentralServer(
+        2, LoadFactorSizing(6.0), history=VolumeHistory({1: 900, 2: 2_100})
+    )
+    params = SchemeParameters(s=2, load_factor=6.0, m_o=1 << 14, hash_seed=5)
+    fleet = VehicleFleet.random(3_000, seed=5)
+    for period in (0, 1):
+        r1 = encode_passes(
+            fleet.ids[:1_000], fleet.keys[:1_000], 1, 1 << 13, params,
+            period=period,
+        )
+        r2 = encode_passes(
+            fleet.ids[500:3_000], fleet.keys[500:3_000], 2, 1 << 14, params,
+            period=period,
+        )
+        server.receive_reports([r1, r2])
+    return server
+
+
+class TestRoundTrip:
+    def test_reports_restored_bit_exact(self, populated_server, tmp_path):
+        save_server(populated_server, tmp_path / "state")
+        restored = load_server(tmp_path / "state")
+        for period in (0, 1):
+            for rsu in (1, 2):
+                original = populated_server.decoder.report_for(rsu, period)
+                loaded = restored.decoder.report_for(rsu, period)
+                assert loaded.bits == original.bits
+                assert loaded.counter == original.counter
+
+    def test_estimates_identical(self, populated_server, tmp_path):
+        save_server(populated_server, tmp_path / "state")
+        restored = load_server(tmp_path / "state")
+        for period in (0, 1):
+            a = populated_server.point_to_point(1, 2, period)
+            b = restored.point_to_point(1, 2, period)
+            assert a.n_c_hat == pytest.approx(b.n_c_hat)
+
+    def test_history_and_config_restored(self, populated_server, tmp_path):
+        save_server(populated_server, tmp_path / "state")
+        restored = load_server(tmp_path / "state")
+        assert restored.s == populated_server.s
+        assert restored.sizing.load_factor == 6.0
+        assert restored.history.known_rsus() == pytest.approx(
+            populated_server.history.known_rsus()
+        )
+        assert restored.next_period_sizes() == (
+            populated_server.next_period_sizes()
+        )
+
+    def test_resaving_overwrites(self, populated_server, tmp_path):
+        root = save_server(populated_server, tmp_path / "state")
+        save_server(populated_server, root)  # idempotent
+        restored = load_server(root)
+        assert len(restored.decoder.rsu_ids(0)) == 2
+
+
+class TestFailureModes:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="manifest"):
+            load_server(tmp_path)
+
+    def test_wrong_version(self, populated_server, tmp_path):
+        root = save_server(populated_server, tmp_path / "state")
+        manifest = root / "manifest.json"
+        manifest.write_text(manifest.read_text().replace('"format_version": 1', '"format_version": 99'))
+        with pytest.raises(ConfigurationError, match="format"):
+            load_server(root)

@@ -1,0 +1,68 @@
+"""Tests for the simulated PKI."""
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.vcps.pki import CertificateAuthority
+
+
+class TestCertificateLifecycle:
+    def test_issue_and_verify(self):
+        ca = CertificateAuthority(seed=1)
+        cert = ca.issue(17)
+        ca.trust_anchor().verify(cert)  # does not raise
+
+    def test_subject_fields(self):
+        ca = CertificateAuthority("city-dot", seed=1)
+        cert = ca.issue(17, not_after=1_000)
+        assert cert.rsu_id == 17
+        assert cert.issuer == "city-dot"
+        assert cert.not_after == 1_000
+
+    def test_expired_rejected(self):
+        ca = CertificateAuthority(seed=1)
+        cert = ca.issue(17, not_after=100)
+        with pytest.raises(AuthenticationError, match="expired"):
+            ca.trust_anchor().verify(cert, now=101)
+        ca.trust_anchor().verify(cert, now=100)  # boundary still valid
+
+    def test_wrong_issuer_rejected(self):
+        trusted = CertificateAuthority("dot", seed=1)
+        rogue = CertificateAuthority("rogue", seed=2)
+        with pytest.raises(AuthenticationError, match="issued by"):
+            trusted.trust_anchor().verify(rogue.issue(17))
+
+    def test_tampered_tag_rejected(self):
+        ca = CertificateAuthority(seed=1)
+        cert = ca.issue(17)
+        forged = type(cert)(
+            rsu_id=cert.rsu_id,
+            issuer=cert.issuer,
+            not_after=cert.not_after,
+            tag=bytes(32),
+        )
+        with pytest.raises(AuthenticationError, match="does not verify"):
+            ca.trust_anchor().verify(forged)
+
+    def test_tampered_subject_rejected(self):
+        ca = CertificateAuthority(seed=1)
+        cert = ca.issue(17)
+        forged = type(cert)(
+            rsu_id=18, issuer=cert.issuer, not_after=cert.not_after, tag=cert.tag
+        )
+        with pytest.raises(AuthenticationError):
+            ca.trust_anchor().verify(forged)
+
+    def test_same_name_different_secret_rejected(self):
+        """An impostor who copies the issuer name but not the secret
+        still fails verification."""
+        trusted = CertificateAuthority("dot", seed=1)
+        impostor = CertificateAuthority("dot", seed=2)
+        with pytest.raises(AuthenticationError, match="does not verify"):
+            trusted.trust_anchor().verify(impostor.issue(17))
+
+    def test_forge_foreign_helper(self):
+        ca = CertificateAuthority(seed=1)
+        foreign = ca.forge_foreign(17)
+        with pytest.raises(AuthenticationError):
+            ca.trust_anchor().verify(foreign)

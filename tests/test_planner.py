@@ -1,0 +1,75 @@
+"""Tests for the deployment planner."""
+
+import pytest
+
+from repro.analysis.planner import plan_deployment
+from repro.errors import ConfigurationError
+
+VOLUMES = {
+    "hub": 500_000.0,
+    "arterial": 120_000.0,
+    "collector": 20_000.0,
+}
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return plan_deployment(VOLUMES, s=2, privacy_floor=0.5)
+
+
+class TestPlanDeployment:
+    def test_load_factor_from_binding_class(self, plan):
+        # Binding class is the collector (smallest volume); f near 13.
+        assert 10.0 < plan.load_factor < 17.0
+
+    def test_sizes_follow_rule(self, plan):
+        hub = plan.rsu("hub")
+        assert hub.array_size & (hub.array_size - 1) == 0
+        assert hub.array_size >= plan.load_factor * 500_000
+
+    def test_realized_factor_band(self, plan):
+        for rsu in plan.rsus:
+            assert plan.load_factor <= rsu.realized_load_factor < 2 * plan.load_factor + 1e-9
+
+    def test_memory_accounting(self, plan):
+        assert plan.total_memory_kib() == pytest.approx(
+            sum(r.array_size for r in plan.rsus) / 8 / 1024
+        )
+
+    def test_expected_fill_reasonable(self, plan):
+        # At load factors >= 13 the fill is below ~8%.
+        for rsu in plan.rsus:
+            assert 0.0 < rsu.expected_fill < 0.10
+
+    def test_privacy_floor_met_on_every_pair(self, plan):
+        assert plan.worst_pair_privacy() >= 0.5 - 0.02
+
+    def test_pair_forecasts_cover_all_class_pairs(self, plan):
+        names = {frozenset(p.pair) for p in plan.pairs}
+        assert frozenset(("collector", "hub")) in names
+        assert frozenset(("arterial", "hub")) in names
+
+    def test_optimal_mode(self):
+        plan = plan_deployment(VOLUMES, s=5, privacy_floor=None)
+        assert 1.0 < plan.load_factor < 6.0  # near f* for s=5
+
+    def test_unknown_rsu_lookup(self, plan):
+        with pytest.raises(ConfigurationError):
+            plan.rsu("bogus")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            plan_deployment({})
+        with pytest.raises(ConfigurationError):
+            plan_deployment({"x": 0})
+
+    def test_render(self, plan):
+        text = plan.render()
+        assert "Deployment plan" in text
+        assert "hub" in text
+        assert "binding pair privacy" in text
+
+    def test_single_class(self):
+        plan = plan_deployment({"only": 10_000.0})
+        assert len(plan.rsus) == 1
+        assert len(plan.pairs) == 1  # the self-pair forecast

@@ -1,0 +1,78 @@
+"""Tests for vehicle fleets and pair populations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.population import PairPopulation, VehicleFleet
+
+
+class TestVehicleFleet:
+    def test_random_size_and_uniqueness(self):
+        fleet = VehicleFleet.random(2_000, seed=1)
+        assert len(fleet) == 2_000
+        assert np.unique(fleet.ids).size == 2_000
+
+    def test_deterministic_from_seed(self):
+        a = VehicleFleet.random(100, seed=5)
+        b = VehicleFleet.random(100, seed=5)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VehicleFleet(np.arange(3, dtype=np.uint64), np.arange(4, dtype=np.uint64))
+
+    def test_slice_and_concat(self):
+        fleet = VehicleFleet.random(10, seed=2)
+        left, right = fleet.slice(0, 4), fleet.slice(4, 10)
+        rejoined = left.concat(right)
+        assert np.array_equal(rejoined.ids, fleet.ids)
+
+    def test_passes_returns_arrays(self):
+        fleet = VehicleFleet.random(5, seed=3)
+        ids, keys = fleet.passes()
+        assert ids.shape == keys.shape == (5,)
+
+
+class TestPairPopulation:
+    def _population(self):
+        fleet = VehicleFleet.random(100, seed=4)
+        return PairPopulation(
+            common=fleet.slice(0, 20),
+            only_x=fleet.slice(20, 50),
+            only_y=fleet.slice(50, 100),
+            rsu_x=1,
+            rsu_y=2,
+        )
+
+    def test_cardinalities(self):
+        pop = self._population()
+        assert pop.n_c == 20
+        assert pop.n_x == 50
+        assert pop.n_y == 70
+
+    def test_same_rsu_rejected(self):
+        fleet = VehicleFleet.random(10, seed=4)
+        with pytest.raises(ConfigurationError):
+            PairPopulation(
+                common=fleet.slice(0, 2),
+                only_x=fleet.slice(2, 5),
+                only_y=fleet.slice(5, 10),
+                rsu_x=1,
+                rsu_y=1,
+            )
+
+    def test_passes_partition(self):
+        pop = self._population()
+        ids_x, _ = pop.passes_at_x()
+        ids_y, _ = pop.passes_at_y()
+        assert ids_x.size == 50
+        assert ids_y.size == 70
+        assert np.intersect1d(ids_x, ids_y).size == 20
+
+    def test_passes_dict_and_volumes(self):
+        pop = self._population()
+        passes = pop.passes()
+        assert set(passes) == {1, 2}
+        assert pop.volumes() == {1: 50, 2: 70}

@@ -1,0 +1,58 @@
+"""Validation of the closed-form privacy against the empirical tracker."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy.attacker import empirical_privacy
+from repro.privacy.formulas import preserved_privacy, preserved_privacy_exact
+
+CASES = [
+    (2_000, 2_000, 400, 4_096, 4_096, 2),
+    (2_000, 20_000, 400, 4_096, 65_536, 2),
+    (1_000, 10_000, 200, 2_048, 32_768, 5),
+]
+
+
+class TestEmpiricalPrivacy:
+    @pytest.mark.parametrize("n_x,n_y,n_c,m_x,m_y,s", CASES)
+    def test_matches_exact_closed_form(self, n_x, n_y, n_c, m_x, m_y, s):
+        closed = float(preserved_privacy_exact(n_x, n_y, n_c, m_x, m_y, s))
+        measured = empirical_privacy(
+            n_x, n_y, n_c, m_x, m_y, s, trials=30, seed=5
+        )
+        assert measured.double_set_positions > 200
+        # Binomial sampling tolerance ~5 sigma (positions are weakly
+        # correlated, so pad the pure-binomial sigma).
+        sigma = math.sqrt(
+            closed * (1 - closed) / measured.double_set_positions
+        )
+        assert abs(measured.privacy - closed) < max(5 * sigma, 0.02)
+
+    @pytest.mark.parametrize("n_x,n_y,n_c,m_x,m_y,s", CASES)
+    def test_paper_form_is_a_close_approximation(self, n_x, n_y, n_c, m_x, m_y, s):
+        """Eq. (43) as printed sits within a few percent of exact at
+        the paper's operating points (see module docstring of
+        repro.privacy.formulas), and coincides for equal sizes."""
+        paper = float(preserved_privacy(n_x, n_y, n_c, m_x, m_y, s))
+        exact = float(preserved_privacy_exact(n_x, n_y, n_c, m_x, m_y, s))
+        assert abs(paper - exact) < 0.08
+
+    def test_counts_consistent(self):
+        result = empirical_privacy(500, 500, 100, 1_024, 1_024, 2, trials=5, seed=3)
+        assert 0 <= result.innocent_positions <= result.double_set_positions
+        assert result.trials == 5
+
+    def test_no_common_traffic_is_fully_private(self):
+        result = empirical_privacy(500, 500, 0, 1_024, 1_024, 2, trials=5, seed=4)
+        # Every double-set bit is innocent by construction.
+        assert result.privacy == pytest.approx(1.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            empirical_privacy(10, 10, 5, 128, 64, 2)  # m_x > m_y
+        with pytest.raises(ConfigurationError):
+            empirical_privacy(10, 10, 5, 100, 128, 2)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            empirical_privacy(10, 10, 50, 64, 128, 2)  # n_c too large

@@ -1,0 +1,123 @@
+"""Tests for the closed-form privacy analysis (Eqs. 37-43)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.privacy.formulas import (
+    preserved_privacy,
+    prob_both_set,
+    prob_e_x,
+    prob_e_y,
+)
+
+
+class TestProbBothSet:
+    def test_in_unit_interval(self):
+        p = float(prob_both_set(1000, 5000, 100, 2048, 8192, 2))
+        assert 0.0 <= p <= 1.0
+
+    def test_empty_arrays_never_coincide(self):
+        assert float(prob_both_set(0, 0, 0, 64, 64, 2)) == pytest.approx(0.0)
+
+    def test_more_common_cars_more_coincidences(self):
+        low = float(prob_both_set(1000, 1000, 0, 4096, 4096, 2))
+        high = float(prob_both_set(1000, 1000, 800, 4096, 4096, 2))
+        assert high > low
+
+    def test_matches_direct_sum_over_ns(self):
+        """The closed form (Eq. 40) equals the explicit binomial sum
+        over n_s (Eqs. 37-39)."""
+        from scipy.stats import binom
+
+        n_x, n_y, n_c, m_x, m_y, s = 60, 90, 20, 64, 256, 3
+        total = 0.0
+        for z in range(n_c + 1):
+            q4 = (1 - 1 / m_y) ** z
+            q5 = 1 - (1 - (1 - 1 / m_x) ** (n_x - z)) * (
+                1 - (1 - 1 / m_y) ** (n_y - z)
+            )
+            total += q4 * q5 * binom.pmf(z, n_c, 1 / s)
+        closed = 1.0 - float(prob_both_set(n_x, n_y, n_c, m_x, m_y, s))
+        assert closed == pytest.approx(total, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            prob_both_set(10, 10, 20, 64, 64, 2)  # n_c > n_x
+        with pytest.raises(ConfigurationError):
+            prob_both_set(10, 10, 5, 1, 64, 2)  # m_x <= 1
+        with pytest.raises(ConfigurationError):
+            prob_both_set(10, 10, 5, 64, 64, 0)  # s < 1
+
+
+class TestEventProbabilities:
+    def test_e_x_closed_form(self):
+        n_x, n_c, m_x = 100, 30, 256
+        expected = (1 - 1 / m_x) ** n_c - (1 - 1 / m_x) ** n_x
+        assert float(prob_e_x(n_x, n_c, m_x)) == pytest.approx(expected, rel=1e-10)
+
+    def test_e_y_symmetric(self):
+        assert float(prob_e_y(100, 30, 256)) == pytest.approx(
+            float(prob_e_x(100, 30, 256))
+        )
+
+    def test_nonnegative(self):
+        assert float(prob_e_x(100, 100, 64)) == pytest.approx(0.0)
+
+
+class TestPreservedPrivacy:
+    @given(
+        st.integers(min_value=1, max_value=5_000),
+        st.integers(min_value=1, max_value=5_000),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.sampled_from([2, 5, 10]),
+        st.sampled_from([256, 1024, 8192]),
+        st.sampled_from([1, 4, 16]),
+    )
+    @settings(max_examples=60)
+    def test_always_a_probability(self, n_x, n_y, frac, s, m_x, ratio):
+        n_c = int(frac * min(n_x, n_y))
+        p = float(preserved_privacy(n_x, n_y, n_c, m_x, m_x * ratio, s))
+        assert 0.0 <= p <= 1.0
+
+    def test_equal_sizes_reduce_to_baseline_formula(self):
+        """With m_x = m_y the paper says Eq. 43 collapses to [9]'s
+        formula; verify against the directly coded special case."""
+        n_x, n_y, n_c, m, s = 2000, 3000, 400, 8192, 2
+        p = float(preserved_privacy(n_x, n_y, n_c, m, m, s))
+        # [9]'s formula: same expression with a single m.
+        q = 1 - 1 / m
+        c4 = (1 / s) + (1 - 1 / s)
+        c5 = (1 / s) / q + (1 - 1 / s)
+        p_not_a = q**n_x * c4**n_c + q**n_y - q ** (n_x + n_y) * c5**n_c
+        expected = ((q**n_c - q**n_x) * (q**n_c - q**n_y)) / (1 - p_not_a)
+        assert p == pytest.approx(expected, rel=1e-9)
+
+    def test_larger_s_improves_privacy_at_high_load(self):
+        # At f = 50 (the overloaded regime) privacy grows with s
+        # (paper Fig. 2: "privacy suffers most for small values of s").
+        n, m = 10_000, 500_000
+        ps = [
+            float(preserved_privacy(n, n, 0.1 * n, m, m, s)) for s in (2, 5, 10)
+        ]
+        assert ps[0] < ps[1] < ps[2]
+
+    def test_unfolding_improves_privacy_for_unequal_traffic(self):
+        """Paper Section VI-B: at f̄ = 3 the optimal privacy for
+        n_y = 10 n_x exceeds the equal-traffic one."""
+        n_x = 10_000
+        f = 3.0
+        equal = float(
+            preserved_privacy(n_x, n_x, 0.1 * n_x, f * n_x, f * n_x, 5)
+        )
+        skewed = float(
+            preserved_privacy(n_x, 10 * n_x, 0.1 * n_x, f * n_x, f * 10 * n_x, 5)
+        )
+        assert skewed > equal
+
+    def test_vectorized_over_m(self):
+        out = preserved_privacy(
+            1000, 1000, 100, np.array([512.0, 1024.0]), np.array([512.0, 1024.0]), 2
+        )
+        assert out.shape == (2,)

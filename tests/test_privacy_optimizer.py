@@ -1,0 +1,92 @@
+"""Tests for load-factor optimization (the Fig. 2 readings)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.privacy.optimizer import (
+    max_load_factor_for_privacy,
+    optimal_load_factor,
+    privacy_curve,
+)
+
+
+class TestPrivacyCurve:
+    def test_shape(self):
+        factors = np.geomspace(0.1, 50, 40)
+        curve = privacy_curve(factors, 2)
+        assert curve.shape == factors.shape
+        assert np.all((curve >= 0) & (curve <= 1))
+
+    def test_unimodal_over_paper_range(self):
+        """Privacy rises to the optimum then falls — the Fig. 2 shape."""
+        factors = np.geomspace(0.1, 50, 200)
+        curve = privacy_curve(factors, 2)
+        peak = int(np.argmax(curve))
+        assert 0 < peak < len(curve) - 1
+        assert np.all(np.diff(curve[: peak + 1]) > -1e-9)
+        assert np.all(np.diff(curve[peak:]) < 1e-9)
+
+    def test_exact_vs_rounded_sizing(self):
+        factors = np.array([3.0])
+        exact = privacy_curve(factors, 2, exact_sizing=True)
+        rounded = privacy_curve(factors, 2, exact_sizing=False)
+        # Power-of-two rounding shifts the realized factor but stays in
+        # the same privacy ballpark.
+        assert abs(float(exact[0]) - float(rounded[0])) < 0.2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            privacy_curve(np.array([0.0]), 2)
+        with pytest.raises(ConfigurationError):
+            privacy_curve(np.array([1.0]), 2, n_x=-5)
+        with pytest.raises(ConfigurationError):
+            privacy_curve(np.array([1.0]), 2, common_fraction=1.5)
+
+
+class TestPaperReadings:
+    """The quantitative claims of Section VI-B, reproduced."""
+
+    def test_optimal_f_in_paper_band_equal_traffic(self):
+        for s in (2, 5, 10):
+            f_star, p_star = optimal_load_factor(s)
+            assert 1.0 < f_star < 5.0  # "approximately from 2 to 4"
+            assert p_star > 0.7
+
+    def test_s5_equal_traffic_privacy_075(self):
+        _, p_star = optimal_load_factor(5)
+        assert p_star == pytest.approx(0.75, abs=0.03)
+
+    def test_s5_skewed_traffic_beats_equal(self):
+        p3_10 = float(
+            privacy_curve(np.array([3.0]), 5, n_x=1e4, n_y=1e5)[0]
+        )
+        p3_50 = float(
+            privacy_curve(np.array([3.0]), 5, n_x=1e4, n_y=5e5)[0]
+        )
+        assert p3_10 == pytest.approx(0.89, abs=0.02)
+        assert p3_50 == pytest.approx(0.91, abs=0.03)
+        assert p3_50 > p3_10 > 0.75
+
+    def test_overload_collapse_at_s2(self):
+        p50 = float(privacy_curve(np.array([50.0]), 2)[0])
+        assert p50 == pytest.approx(0.2, abs=0.05)
+
+    def test_privacy_half_bound_near_15(self):
+        f_max = max_load_factor_for_privacy(0.5, 2)
+        assert 10.0 < f_max < 17.0  # paper: "no larger than 15 n_min"
+
+
+class TestMaxLoadFactor:
+    def test_meets_target(self):
+        f_max = max_load_factor_for_privacy(0.6, 2)
+        p = float(privacy_curve(np.array([f_max]), 2)[0])
+        assert p >= 0.6 - 1e-6
+
+    def test_unreachable_target(self):
+        with pytest.raises(CalibrationError):
+            max_load_factor_for_privacy(0.999999, 2)
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            max_load_factor_for_privacy(1.5, 2)

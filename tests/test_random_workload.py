@@ -1,0 +1,54 @@
+"""Tests for the controlled (n_x, n_y, n_c) workload generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic.random_workload import make_pair_population
+
+
+class TestMakePairPopulation:
+    def test_exact_cardinalities(self):
+        pop = make_pair_population(100, 300, 40, seed=1)
+        assert (pop.n_x, pop.n_y, pop.n_c) == (100, 300, 40)
+
+    def test_overlap_is_exact(self):
+        pop = make_pair_population(100, 300, 40, seed=1)
+        ids_x, _ = pop.passes_at_x()
+        ids_y, _ = pop.passes_at_y()
+        assert np.intersect1d(ids_x, ids_y).size == 40
+
+    def test_invalid_nc(self):
+        with pytest.raises(ConfigurationError):
+            make_pair_population(10, 20, 11)
+        with pytest.raises(ConfigurationError):
+            make_pair_population(10, 20, -1)
+
+    def test_zero_common(self):
+        pop = make_pair_population(10, 20, 0, seed=2)
+        ids_x, _ = pop.passes_at_x()
+        ids_y, _ = pop.passes_at_y()
+        assert np.intersect1d(ids_x, ids_y).size == 0
+
+    def test_full_overlap(self):
+        pop = make_pair_population(10, 20, 10, seed=3)
+        assert pop.n_c == 10
+        assert pop.n_x == 10
+
+    def test_custom_rsu_ids(self):
+        pop = make_pair_population(10, 20, 5, rsu_x=7, rsu_y=9, seed=4)
+        assert set(pop.passes()) == {7, 9}
+
+    @given(
+        st.integers(min_value=1, max_value=400),
+        st.integers(min_value=1, max_value=400),
+        st.data(),
+    )
+    @settings(max_examples=30)
+    def test_cardinalities_property(self, n_x, n_y, data):
+        n_c = data.draw(st.integers(min_value=0, max_value=min(n_x, n_y)))
+        pop = make_pair_population(n_x, n_y, n_c, seed=0)
+        assert pop.n_x == n_x and pop.n_y == n_y and pop.n_c == n_c
+        total = len(pop.common) + len(pop.only_x) + len(pop.only_y)
+        assert total == n_x + n_y - n_c

@@ -1,0 +1,73 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(1 << 30)
+        b = as_generator(42).integers(1 << 30)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.integers(1 << 30) for g in spawn_generators(3, 4)]
+        second = [g.integers(1 << 30) for g in spawn_generators(3, 4)]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(0), 3)
+        assert len(gens) == 3
+
+
+class TestRngFactory:
+    def test_same_request_same_stream(self):
+        factory = RngFactory(7)
+        a = factory.generator("pair", 3).integers(1 << 30)
+        b = factory.generator("pair", 3).integers(1 << 30)
+        assert a == b
+
+    def test_different_names_differ(self):
+        factory = RngFactory(7)
+        a = factory.generator("pair", 0).integers(1 << 30)
+        b = factory.generator("rep", 0).integers(1 << 30)
+        assert a != b
+
+    def test_different_indices_differ(self):
+        factory = RngFactory(7)
+        values = {factory.generator("x", i).integers(1 << 30) for i in range(8)}
+        assert len(values) == 8
+
+    def test_child_factories_differ_from_parent(self):
+        factory = RngFactory(7)
+        child = factory.child(0)
+        assert child.seed != factory.seed
+        assert factory.child(0).seed == child.seed  # deterministic
+
+    def test_none_seed_defaults_to_zero(self):
+        assert RngFactory(None).seed == 0

@@ -1,0 +1,56 @@
+"""Tests for route assignment."""
+
+import pytest
+
+from repro.errors import NetworkDataError
+from repro.roadnet.graph import Arc, RoadNetwork
+from repro.roadnet.routing import assign_routes
+from repro.roadnet.sioux_falls import sioux_falls_network
+from repro.roadnet.trips import TripTable
+
+
+@pytest.fixture
+def line_network():
+    """1 - 2 - 3 - 4 chain (both directions)."""
+    arcs = []
+    for a, b in [(1, 2), (2, 3), (3, 4)]:
+        arcs.append(Arc(a, b))
+        arcs.append(Arc(b, a))
+    return RoadNetwork("line", arcs)
+
+
+class TestAssignRoutes:
+    def test_routes_cover_all_pairs(self, line_network):
+        trips = TripTable({(1, 4): 10, (4, 1): 5, (2, 3): 7})
+        plan = assign_routes(line_network, trips)
+        assert len(plan) == 3
+        assert plan.route(1, 4) == [1, 2, 3, 4]
+        assert plan.route(4, 1) == [4, 3, 2, 1]
+
+    def test_missing_route(self, line_network):
+        plan = assign_routes(line_network, TripTable({(1, 2): 1}))
+        with pytest.raises(NetworkDataError):
+            plan.route(2, 1)
+
+    def test_disconnected_pair(self):
+        net = RoadNetwork("disc", [Arc(1, 2), Arc(3, 4)])
+        with pytest.raises(NetworkDataError):
+            assign_routes(net, TripTable({(1, 4): 1}))
+
+    def test_vehicles_through(self, line_network):
+        trips = TripTable({(1, 4): 10, (2, 3): 7})
+        plan = assign_routes(line_network, trips)
+        assert plan.vehicles_through(2) == 17
+        assert plan.vehicles_through(1) == 10
+        assert plan.vehicles_through(4) == 10
+
+    def test_sioux_falls_routes_are_shortest(self):
+        network = sioux_falls_network()
+        trips = TripTable({(1, 20): 5, (13, 8): 5})
+        plan = assign_routes(network, trips)
+        for (o, d), _ in trips.pairs():
+            route = plan.route(o, d)
+            assert route[0] == o and route[-1] == d
+            assert network.path_time(route) == pytest.approx(
+                network.path_time(network.shortest_path(o, d))
+            )

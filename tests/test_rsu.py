@@ -1,0 +1,81 @@
+"""Tests for the RSU agent."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.vcps.ids import random_mac
+from repro.vcps.messages import Response
+from repro.vcps.pki import CertificateAuthority
+from repro.vcps.rsu import RoadsideUnit
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority(seed=1)
+
+
+@pytest.fixture
+def rsu(ca):
+    return RoadsideUnit(5, 256, ca.issue(5))
+
+
+class TestConstruction:
+    def test_certificate_subject_checked(self, ca):
+        with pytest.raises(ProtocolError):
+            RoadsideUnit(5, 256, ca.issue(6))
+
+    def test_query_interval_validated(self, ca):
+        with pytest.raises(ProtocolError):
+            RoadsideUnit(5, 256, ca.issue(5), query_interval=0)
+
+
+class TestBroadcast:
+    def test_query_content(self, rsu):
+        query = rsu.make_query(now=9)
+        assert query.rsu_id == 5
+        assert query.array_size == 256
+        assert query.timestamp == 9
+        assert query.certificate.rsu_id == 5
+
+    def test_should_broadcast_interval(self, ca):
+        rsu = RoadsideUnit(5, 256, ca.issue(5), query_interval=3)
+        assert rsu.should_broadcast(0)
+        assert not rsu.should_broadcast(1)
+        assert rsu.should_broadcast(3)
+
+
+class TestCollection:
+    def test_handle_response_records(self, rsu):
+        rsu.handle_response(Response(mac=random_mac(1), bit_index=9))
+        assert rsu.counter == 1
+        report = rsu.end_period()
+        assert report.bits[9] == 1
+
+    def test_malformed_response_rejected_and_counted(self, rsu):
+        with pytest.raises(ProtocolError):
+            rsu.handle_response(Response(mac=random_mac(1), bit_index=256))
+        assert rsu.counter == 0
+        assert rsu.rejected_responses == 1
+
+    def test_vendor_mac_rejected(self, rsu):
+        with pytest.raises(ProtocolError):
+            rsu.handle_response(Response(mac=0x001A2B3C4D5E, bit_index=1))
+        assert rsu.rejected_responses == 1
+
+
+class TestPeriodLifecycle:
+    def test_end_period_resets_and_increments(self, rsu):
+        rsu.handle_response(Response(mac=random_mac(1), bit_index=1))
+        first = rsu.end_period()
+        assert first.period == 0
+        assert first.counter == 1
+        assert rsu.counter == 0
+        second = rsu.end_period()
+        assert second.period == 1
+        assert second.counter == 0
+
+    def test_reports_are_snapshots(self, rsu):
+        rsu.handle_response(Response(mac=random_mac(1), bit_index=1))
+        report = rsu.end_period()
+        rsu.handle_response(Response(mac=random_mac(2), bit_index=2))
+        assert report.bits.count_ones() == 1

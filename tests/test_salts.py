@@ -1,0 +1,48 @@
+"""Unit tests for repro.hashing.salts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.salts import SaltArray
+
+
+class TestSaltArray:
+    def test_deterministic_from_seed(self):
+        a = SaltArray(5, seed=3)
+        b = SaltArray(5, seed=3)
+        assert list(a) == list(b)
+
+    def test_seed_changes_constants(self):
+        assert list(SaltArray(5, seed=1)) != list(SaltArray(5, seed=2))
+
+    def test_size_and_len(self):
+        salts = SaltArray(10)
+        assert salts.size == len(salts) == 10
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            SaltArray(0)
+
+    def test_values_read_only(self):
+        salts = SaltArray(4)
+        with pytest.raises(ValueError):
+            salts.values[0] = 0
+
+    def test_getitem_wraps_modulo(self):
+        salts = SaltArray(4, seed=7)
+        assert salts[5] == salts[1]
+
+    def test_gather_matches_getitem(self):
+        salts = SaltArray(8, seed=11)
+        positions = [0, 3, 7, 3]
+        gathered = salts.gather(positions)
+        assert [int(v) for v in gathered] == [salts[p] for p in positions]
+
+    def test_constants_distinct(self):
+        salts = SaltArray(64, seed=5)
+        assert len(set(salts)) == 64
+
+    def test_gather_wraps(self):
+        salts = SaltArray(4, seed=2)
+        assert int(salts.gather([6])[0]) == salts[2]

@@ -1,0 +1,58 @@
+"""Tests for the named paper scenarios."""
+
+from repro.traffic.scenarios import (
+    FIG45_SWEEP,
+    S_VALUES,
+    TABLE1_N_Y,
+    TABLE1_PAIRS,
+    TABLE1_RSU_Y,
+    TRAFFIC_RATIOS,
+    table1_volumes,
+)
+
+
+class TestFig45Sweep:
+    def test_paper_grid(self):
+        values = FIG45_SWEEP.n_c_values()
+        # 0.01 n_x .. 0.5 n_x step 0.001 n_x with n_x = 10,000.
+        assert values[0] == 100
+        assert values[-1] == 5_000
+        assert values[1] - values[0] == 10
+        assert len(values) == 491
+
+    def test_parameters(self):
+        assert FIG45_SWEEP.n_x == 10_000
+        assert FIG45_SWEEP.s == 2
+
+
+class TestTable1Data:
+    def test_anchor(self):
+        assert TABLE1_RSU_Y == 10
+        assert TABLE1_N_Y == 451_000
+
+    def test_rows_match_paper(self):
+        assert [p.rsu_x for p in TABLE1_PAIRS] == [15, 12, 7, 24, 6, 18, 2, 3]
+        assert [p.n_x for p in TABLE1_PAIRS] == [
+            213_000, 140_000, 121_000, 78_000, 76_000, 47_000, 40_000, 28_000
+        ]
+        assert [p.n_c for p in TABLE1_PAIRS] == [
+            40_000, 20_000, 19_000, 8_000, 8_000, 7_000, 6_000, 3_000
+        ]
+
+    def test_sorted_by_difference_ratio(self):
+        ratios = [p.traffic_difference_ratio for p in TABLE1_PAIRS]
+        assert ratios == sorted(ratios)
+        # Paper quotes d = 2.117 for node 15 and 16.107 for node 3.
+        assert ratios[0] == round(451 / 213, 3) or abs(ratios[0] - 2.117) < 0.01
+        assert abs(ratios[-1] - 16.107) < 0.01
+
+    def test_volumes_map(self):
+        volumes = table1_volumes()
+        assert volumes[10] == 451_000
+        assert len(volumes) == 9
+
+
+class TestConstants:
+    def test_ratios_and_s(self):
+        assert TRAFFIC_RATIOS == (1, 10, 50)
+        assert S_VALUES == (2, 5, 10)

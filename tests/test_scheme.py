@@ -1,0 +1,70 @@
+"""End-to-end tests for the VlmScheme facade."""
+
+import pytest
+
+from repro.core.scheme import VlmScheme
+from repro.errors import ConfigurationError
+from repro.traffic.random_workload import make_pair_population
+
+
+class TestConfiguration:
+    def test_sizes_follow_rule(self):
+        scheme = VlmScheme({1: 10_000, 2: 500_000}, s=2, load_factor=3.0)
+        assert scheme.array_size(1) == 32_768
+        assert scheme.array_size(2) == 2_097_152
+        assert scheme.m_o == 2_097_152
+
+    def test_empty_volumes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VlmScheme({})
+
+    def test_unknown_rsu(self):
+        scheme = VlmScheme({1: 100})
+        with pytest.raises(ConfigurationError):
+            scheme.array_size(2)
+
+    def test_rsu_ids_sorted(self):
+        scheme = VlmScheme({5: 100, 1: 100, 3: 100})
+        assert scheme.rsu_ids == (1, 3, 5)
+
+    def test_m_o_grows_past_s(self):
+        # Tiny volumes must not leave m_o <= s.
+        scheme = VlmScheme({1: 1, 2: 1}, s=10, load_factor=0.5)
+        assert scheme.m_o > 10
+
+    def test_properties(self):
+        scheme = VlmScheme({1: 100}, s=5, load_factor=4.0)
+        assert scheme.s == 5
+        assert scheme.load_factor == 4.0
+
+
+class TestEndToEnd:
+    def test_measure_close_to_truth(self):
+        pop = make_pair_population(8_000, 40_000, 2_000, seed=2)
+        scheme = VlmScheme(pop.volumes(), s=2, load_factor=8.0, hash_seed=5)
+        reports = scheme.encode(pop.passes())
+        estimate = scheme.measure(reports[pop.rsu_x], reports[pop.rsu_y])
+        assert estimate.error_ratio(pop.n_c) < 0.25
+
+    def test_run_period_feeds_decoder(self):
+        pop = make_pair_population(4_000, 8_000, 1_000, seed=3)
+        scheme = VlmScheme(pop.volumes(), s=2, load_factor=8.0, hash_seed=6)
+        scheme.run_period(pop.passes())
+        estimate = scheme.decoder.pair_estimate(pop.rsu_x, pop.rsu_y)
+        assert estimate.error_ratio(pop.n_c) < 0.35
+
+    def test_counters_are_exact(self):
+        pop = make_pair_population(1_000, 3_000, 500, seed=4)
+        scheme = VlmScheme(pop.volumes(), s=2, load_factor=4.0)
+        reports = scheme.run_period(pop.passes())
+        assert reports[pop.rsu_x].counter == pop.n_x
+        assert reports[pop.rsu_y].counter == pop.n_y
+
+    def test_hash_seed_changes_arrays_not_counters(self):
+        pop = make_pair_population(1_000, 1_000, 100, seed=5)
+        a = VlmScheme(pop.volumes(), s=2, load_factor=4.0, hash_seed=1)
+        b = VlmScheme(pop.volumes(), s=2, load_factor=4.0, hash_seed=2)
+        ra = a.encode(pop.passes())[pop.rsu_x]
+        rb = b.encode(pop.passes())[pop.rsu_x]
+        assert ra.counter == rb.counter
+        assert ra.bits != rb.bits

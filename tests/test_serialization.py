@@ -1,0 +1,52 @@
+"""Unit tests for repro.utils.serialization."""
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+
+
+@dataclass
+class Sample:
+    name: str
+    values: np.ndarray
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert to_jsonable(value) == value
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(2.5)) == 2.5
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_dataclass(self):
+        out = to_jsonable(Sample(name="s", values=np.array([1.5])))
+        assert out == {"name": "s", "values": [1.5]}
+
+    def test_nested_containers(self):
+        out = to_jsonable({"a": (1, 2), "b": {3}})
+        assert out["a"] == [1, 2]
+        assert out["b"] == [3]
+
+    def test_path(self):
+        assert to_jsonable(Path("/tmp/x")) == "/tmp/x"
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        payload = {"rows": [1, 2, 3], "meta": {"seed": 7}}
+        path = dump_json(payload, tmp_path / "sub" / "out.json")
+        assert path.exists()
+        assert load_json(path) == payload

@@ -1,0 +1,79 @@
+"""Tests for the central server."""
+
+import pytest
+
+from repro.core.bitarray import BitArray
+from repro.core.encoder import encode_passes
+from repro.core.parameters import SchemeParameters
+from repro.core.reports import RsuReport
+from repro.core.sizing import LoadFactorSizing
+from repro.traffic.population import VehicleFleet
+from repro.vcps.history import VolumeHistory
+from repro.vcps.server import CentralServer
+
+
+@pytest.fixture
+def server():
+    return CentralServer(
+        2, LoadFactorSizing(4.0), history=VolumeHistory({1: 1_000, 2: 2_000})
+    )
+
+
+def genuine_report(rsu_id, n, m, seed=0, period=0):
+    params = SchemeParameters(s=2, load_factor=1.0, m_o=max(m, 4), hash_seed=seed)
+    fleet = VehicleFleet.random(n, seed=seed)
+    return encode_passes(fleet.ids, fleet.keys, rsu_id, m, params, period=period)
+
+
+class TestIngestion:
+    def test_receive_updates_history(self, server):
+        server.receive_report(genuine_report(1, 1_200, 4_096))
+        assert server.history.average(1) == pytest.approx((1_000 + 1_200) / 2)
+
+    def test_next_period_sizes_follow_history(self, server):
+        sizes = server.next_period_sizes()
+        assert sizes == {1: 4_096, 2: 8_192}
+        server.receive_report(genuine_report(2, 30_000, 8_192))
+        assert server.next_period_sizes()[2] > 8_192
+
+    def test_point_volume(self, server):
+        server.receive_report(genuine_report(1, 500, 4_096))
+        assert server.point_volume(1) == 500
+
+
+class TestAnomalyDetection:
+    def test_clean_report_not_flagged(self, server):
+        server.receive_report(genuine_report(1, 2_000, 4_096))
+        assert server.anomalies == []
+
+    def test_counter_array_mismatch_flagged(self, server):
+        """An RSU claiming 10x more vehicles than its array shows is
+        caught by the bitmap cross-check."""
+        honest = genuine_report(1, 500, 4_096)
+        tampered = RsuReport(
+            rsu_id=1, counter=5_000, bits=honest.bits, period=0
+        )
+        server.receive_report(tampered)
+        assert len(server.anomalies) == 1
+        anomaly = server.anomalies[0]
+        assert anomaly.rsu_id == 1
+        assert anomaly.counter == 5_000
+        assert anomaly.bitmap_estimate == pytest.approx(500, rel=0.3)
+
+    def test_empty_report_not_flagged(self, server):
+        server.receive_report(RsuReport(rsu_id=1, counter=0, bits=BitArray(64)))
+        assert server.anomalies == []
+
+
+class TestMeasurement:
+    def test_point_to_point_and_matrix(self, server):
+        params = SchemeParameters(s=2, load_factor=1.0, m_o=8_192, hash_seed=4)
+        fleet = VehicleFleet.random(3_000, seed=4)
+        # RSU 1 sees [0, 1000); RSU 2 sees [500, 3000): overlap 500.
+        r1 = encode_passes(fleet.ids[:1_000], fleet.keys[:1_000], 1, 4_096, params)
+        r2 = encode_passes(fleet.ids[500:], fleet.keys[500:], 2, 8_192, params)
+        server.receive_reports([r1, r2])
+        estimate = server.point_to_point(1, 2)
+        assert estimate.error_ratio(500) < 0.4
+        matrix = server.traffic_matrix()
+        assert set(matrix) == {(1, 2)}

@@ -1,0 +1,39 @@
+"""Tests for the all-pairs Sioux Falls matrix experiment."""
+
+import pytest
+
+from repro.experiments.sioux_falls_matrix import run_sioux_falls_matrix
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sioux_falls_matrix(total_trips=80_000, min_truth=500, seed=13)
+
+
+class TestRunMatrix:
+    def test_covers_many_pairs(self, result):
+        assert len(result.outcomes) > 100
+
+    def test_d_values_valid(self, result):
+        assert all(o.d >= 1.0 for o in result.outcomes)
+
+    def test_vlm_beats_baseline_on_medians(self, result):
+        vlm = result.percentiles("vlm")
+        base = result.percentiles("baseline")
+        assert vlm["median"] < base["median"]
+        assert vlm["p90"] < base["p90"]
+
+    def test_vlm_median_is_small(self, result):
+        assert result.percentiles("vlm")["median"] < 0.06
+
+    def test_stratification_covers_all_outcomes(self, result):
+        rows = result.stratified_by_d()
+        assert sum(count for _, count, _, _ in rows) == len(result.outcomes)
+
+    def test_min_truth_respected(self, result):
+        assert all(o.truth >= result.min_truth for o in result.outcomes)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Sioux Falls full traffic matrix" in text
+        assert "median" in text

@@ -1,0 +1,57 @@
+"""Unit tests for the array sizing rule (Section IV-B)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sizing import LoadFactorSizing, array_size_for_volume
+from repro.errors import ConfigurationError
+from repro.utils.validation import is_power_of_two
+
+
+class TestArraySizeForVolume:
+    def test_paper_rule(self):
+        # m_x = 2^ceil(log2(n * f))
+        assert array_size_for_volume(10_000, 3.0) == 32_768
+        assert array_size_for_volume(451_000, 3.0) == 2_097_152
+
+    def test_minimum_two(self):
+        assert array_size_for_volume(0.1, 0.5) == 2
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ConfigurationError):
+            array_size_for_volume(bad, 3.0)
+        with pytest.raises(ConfigurationError):
+            array_size_for_volume(100, bad)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e7),
+        st.floats(min_value=0.01, max_value=64.0),
+    )
+    def test_always_power_of_two_and_sufficient(self, volume, factor):
+        m = array_size_for_volume(volume, factor)
+        assert is_power_of_two(m)
+        assert m >= min(volume * factor, 2) or m == 2
+        # never more than twice the target (power-of-two rounding band)
+        assert m < 2 * max(volume * factor, 2) + 1
+
+
+class TestLoadFactorSizing:
+    def test_size_for(self):
+        sizing = LoadFactorSizing(3.0)
+        assert sizing.size_for(10_000) == 32_768
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            LoadFactorSizing(0.0)
+
+    @given(st.floats(min_value=10.0, max_value=1e6))
+    def test_effective_load_factor_band(self, volume):
+        sizing = LoadFactorSizing(3.0)
+        effective = sizing.effective_load_factor(volume)
+        assert 3.0 - 1e-9 <= effective < 6.0 + 1e-9
+
+    def test_frozen(self):
+        sizing = LoadFactorSizing(3.0)
+        with pytest.raises(Exception):
+            sizing.load_factor = 4.0

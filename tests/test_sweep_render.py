@@ -1,0 +1,39 @@
+"""Tests for the sweep result rendering (tables + ASCII scatter)."""
+
+import pytest
+
+from repro.experiments.sweep import run_accuracy_sweep
+
+GRID = list(range(500, 5_001, 900))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_accuracy_sweep(
+        "vlm", ratios=(1, 10), n_c_values=GRID, seed=77
+    )
+
+
+class TestRenderScatter:
+    def test_scatter_per_ratio(self, result):
+        for ratio in (1, 10):
+            text = result.render_scatter(ratio)
+            assert "VLM scheme" in text
+            assert f"n_y = {ratio} n_x" in text
+            assert "true n_c" in text
+
+    def test_full_render_embeds_scatters(self, result):
+        text = result.render()
+        assert text.count("measured vs true n_c") == 2
+        assert "mean |err| %" in text
+
+    def test_series_metrics_consistent(self, result):
+        series = result.series[1]
+        assert series.true_n_c.size == len(GRID)
+        assert series.rmse >= 0
+        assert series.worst_abs_error >= series.mean_abs_error
+        assert 0 <= series.scatter_rmse
+
+    def test_unknown_ratio(self, result):
+        with pytest.raises(KeyError):
+            result.render_scatter(50)

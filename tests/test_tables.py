@@ -1,0 +1,60 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import AsciiTable, format_number
+
+
+class TestFormatNumber:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, "-"),
+            ("abc", "abc"),
+            (5, "5"),
+            (1234567, "1,234,567"),
+            (3.0, "3"),
+            (0.12345, "0.123"),
+            (float("nan"), "nan"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_number(value) == expected
+
+    def test_precision(self):
+        assert format_number(0.123456, precision=5) == "0.12346"
+
+
+class TestAsciiTable:
+    def test_render_aligns_columns(self):
+        table = AsciiTable(["a", "long-header"], title="T")
+        table.add_row([1, 2])
+        table.add_row([100000, 3])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-header" in lines[1]
+        body = lines[3:]
+        assert len(body) == 2
+        assert len(set(len(line) for line in lines[1:])) == 1  # equal widths
+
+    def test_row_width_mismatch(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_len_and_rows_copy(self):
+        table = AsciiTable(["a"])
+        table.add_row([1])
+        assert len(table) == 1
+        rows = table.rows
+        rows[0][0] = "mutated"
+        assert table.rows[0][0] == "1"
+
+    def test_markdown(self):
+        table = AsciiTable(["x", "y"], title="M")
+        table.add_row([1, 2.5])
+        md = table.to_markdown()
+        assert "| x | y |" in md
+        assert "| 1 | 2.500 |" in md
+        assert md.startswith("**M**")

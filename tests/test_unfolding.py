@@ -1,0 +1,80 @@
+"""Unit and property tests for the unfolding technique (Eq. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitarray import BitArray
+from repro.core.unfolding import unfold, unfolded_or
+from repro.errors import ConfigurationError
+
+powers = st.integers(min_value=0, max_value=7).map(lambda k: 1 << k)
+
+
+class TestUnfold:
+    def test_duplicates_content(self):
+        array = BitArray.from_indices(4, [1])
+        unfolded = unfold(array, 12)
+        assert [unfolded[i] for i in range(12)] == [0, 1, 0, 0] * 3
+
+    def test_definition_eq3(self):
+        """B_x^u[i] == B_x[i mod m_x] for all i (paper Eq. 3)."""
+        rng = np.random.default_rng(5)
+        array = BitArray.from_bits(rng.random(8) < 0.4)
+        unfolded = unfold(array, 32)
+        for i in range(32):
+            assert unfolded[i] == array[i % 8]
+
+    def test_same_size_copy(self):
+        array = BitArray.from_indices(4, [0])
+        out = unfold(array, 4)
+        assert out == array
+        out.set_bit(2)
+        assert array[2] == 0  # independent copy
+
+    def test_rejects_shrink(self):
+        with pytest.raises(ConfigurationError):
+            unfold(BitArray(8), 4)
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ConfigurationError):
+            unfold(BitArray(8), 20)
+
+    @given(powers, powers, st.data())
+    def test_zero_fraction_preserved(self, m_small, factor, data):
+        """The estimator's key invariant: unfolding preserves the
+        fraction of zero bits exactly."""
+        size = m_small
+        indices = data.draw(
+            st.lists(st.integers(min_value=0, max_value=size - 1), max_size=size)
+        )
+        array = BitArray.from_indices(size, indices) if indices else BitArray(size)
+        unfolded = unfold(array, size * factor)
+        assert unfolded.zero_fraction() == pytest.approx(array.zero_fraction())
+
+
+class TestUnfoldedOr:
+    def test_basic(self):
+        small = BitArray.from_indices(2, [0])
+        large = BitArray.from_indices(4, [3])
+        joint = unfolded_or(small, large)
+        assert [joint[i] for i in range(4)] == [1, 0, 1, 1]
+
+    def test_order_independent(self):
+        small = BitArray.from_indices(2, [1])
+        large = BitArray.from_indices(8, [0, 5])
+        assert unfolded_or(small, large) == unfolded_or(large, small)
+
+    def test_equal_sizes_is_plain_or(self):
+        a = BitArray.from_indices(4, [0])
+        b = BitArray.from_indices(4, [2])
+        assert unfolded_or(a, b) == (a | b)
+
+    @given(powers, powers)
+    def test_joint_zeros_never_exceed_either(self, m_small, factor):
+        rng = np.random.default_rng(m_small * 31 + factor)
+        small = BitArray.from_bits(rng.random(m_small) < 0.3)
+        large = BitArray.from_bits(rng.random(m_small * factor) < 0.3)
+        joint = unfolded_or(small, large)
+        assert joint.zero_fraction() <= small.zero_fraction() + 1e-12
+        assert joint.zero_fraction() <= large.zero_fraction() + 1e-12

@@ -1,0 +1,87 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 1024, 1 << 40])
+    def test_accepts_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -1, -2, 3, 6, 12, 1023, (1 << 40) - 1])
+    def test_rejects_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.5, 1),
+            (1, 1),
+            (2, 2),
+            (3, 4),
+            (4, 4),
+            (5, 8),
+            (8.5, 16),
+            (30_000, 32_768),
+            (451_000 * 3, 2_097_152),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+    def test_matches_ceil_log2_definition(self):
+        import math
+
+        for value in [1.5, 7, 100, 999, 4096, 4097, 123456.7]:
+            assert next_power_of_two(value) == 2 ** math.ceil(math.log2(value))
+
+
+class TestCheckers:
+    def test_check_power_of_two_passes_through(self):
+        assert check_power_of_two(64, "m") == 64
+
+    @pytest.mark.parametrize("value", [0, 3, -4, 2.5])
+    def test_check_power_of_two_rejects(self, value):
+        with pytest.raises(ConfigurationError, match="m"):
+            check_power_of_two(value, "m")
+
+    def test_check_positive(self):
+        assert check_positive(0.1, "x") == 0.1
+        with pytest.raises(ConfigurationError):
+            check_positive(0, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive(-1, "x")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(5, "n") == 5
+        for bad in (0, -3, 2.5):
+            with pytest.raises(ConfigurationError):
+                check_positive_int(bad, "n")
+
+    def test_check_probability(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        for bad in (-0.01, 1.01):
+            with pytest.raises(ConfigurationError):
+                check_probability(bad, "p")
+
+    def test_check_in_range_inclusive_and_exclusive(self):
+        assert check_in_range(5, 0, 10, "v") == 5
+        assert check_in_range(0, 0, 10, "v") == 0
+        with pytest.raises(ConfigurationError):
+            check_in_range(0, 0, 10, "v", inclusive=False)
+        with pytest.raises(ConfigurationError):
+            check_in_range(11, 0, 10, "v")

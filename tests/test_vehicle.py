@@ -1,0 +1,82 @@
+"""Tests for the vehicle agent."""
+
+import pytest
+
+from repro.core.parameters import SchemeParameters
+from repro.errors import AuthenticationError
+from repro.vcps.messages import Query
+from repro.vcps.pki import CertificateAuthority
+from repro.vcps.vehicle import Vehicle
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority(seed=1)
+
+
+@pytest.fixture
+def vehicle(ca, small_params):
+    return Vehicle(
+        7, 1234, small_params, trust_anchor=ca.trust_anchor(), seed=1
+    )
+
+
+def make_query(ca, rsu_id=3, size=256, **kwargs):
+    return Query(rsu_id=rsu_id, certificate=ca.issue(rsu_id), array_size=size, **kwargs)
+
+
+class TestHandleQuery:
+    def test_responds_with_valid_index(self, vehicle, ca):
+        response = vehicle.handle_query(make_query(ca))
+        assert response is not None
+        assert 0 <= response.bit_index < 256
+
+    def test_response_matches_logical_bit_array(self, vehicle, ca):
+        response = vehicle.handle_query(make_query(ca))
+        assert response.bit_index == vehicle.logical_bits.bit_for_rsu(3, 256)
+
+    def test_answers_each_rsu_once_per_period(self, vehicle, ca):
+        assert vehicle.handle_query(make_query(ca)) is not None
+        assert vehicle.handle_query(make_query(ca)) is None  # repeat query
+        assert vehicle.handle_query(make_query(ca, rsu_id=4)) is not None
+
+    def test_start_period_resets(self, vehicle, ca):
+        vehicle.handle_query(make_query(ca))
+        vehicle.start_period()
+        assert vehicle.handle_query(make_query(ca)) is not None
+
+    def test_rejects_untrusted_certificate(self, vehicle):
+        rogue = CertificateAuthority("rogue", seed=9)
+        query = Query(rsu_id=3, certificate=rogue.issue(3), array_size=256)
+        with pytest.raises(AuthenticationError):
+            vehicle.handle_query(query)
+
+    def test_rejects_expired_certificate(self, vehicle, ca):
+        query = Query(
+            rsu_id=3, certificate=ca.issue(3, not_after=10), array_size=256
+        )
+        with pytest.raises(AuthenticationError):
+            vehicle.handle_query(query, now=11)
+
+    def test_fresh_mac_per_response(self, ca, small_params):
+        vehicle = Vehicle(
+            9, 42, small_params, trust_anchor=ca.trust_anchor(), seed=2
+        )
+        macs = set()
+        for rsu_id in range(3, 23):
+            response = vehicle.handle_query(make_query(ca, rsu_id=rsu_id))
+            macs.add(response.mac)
+        assert len(macs) == 20  # one-time MACs never repeat
+
+    def test_no_anchor_skips_verification(self, small_params):
+        rogue = CertificateAuthority("rogue", seed=9)
+        vehicle = Vehicle(9, 42, small_params, trust_anchor=None, seed=2)
+        query = Query(rsu_id=3, certificate=rogue.issue(3), array_size=256)
+        assert vehicle.handle_query(query) is not None
+
+    def test_response_never_contains_identity(self, vehicle, ca):
+        """The wire response carries only (mac, bit_index); neither
+        equals or encodes the vehicle id."""
+        response = vehicle.handle_query(make_query(ca))
+        assert set(vars(response)) == {"mac", "bit_index"}
+        assert response.mac != vehicle.vehicle_id
