@@ -4,7 +4,6 @@ Run: ``pytest benchmarks/bench_compression.py --benchmark-only``
 Artifact: ``results/compression.txt``
 """
 
-import numpy as np
 
 from conftest import publish
 from repro.core.compression import decode_report, encode_report

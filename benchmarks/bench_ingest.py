@@ -1,0 +1,116 @@
+"""Gateway ingest bench: per-message vs batched response handling.
+
+The live gateway's reason to exist is the batched fast path —
+:meth:`RoadsideUnit.handle_responses` turns N per-message
+validate/record calls into one vectorized bounds/MAC check, one
+counter bump, and one ``set_bits``.  This bench measures both paths in
+responses/sec and publishes the speedup (the issue's acceptance bar is
+>= 5x).
+
+Run: ``pytest benchmarks/bench_ingest.py --benchmark-only``
+Artifact: ``results/ingest.txt``
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import publish
+from repro.utils.tables import AsciiTable
+from repro.vcps.ids import random_macs
+from repro.vcps.messages import Response
+from repro.vcps.pki import CertificateAuthority
+from repro.vcps.rsu import RoadsideUnit
+
+ARRAY_SIZE = 1 << 16
+BATCH = 50_000
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return CertificateAuthority(seed=3)
+
+
+def make_rsu(authority):
+    return RoadsideUnit(1, ARRAY_SIZE, authority.issue(1))
+
+
+@pytest.fixture(scope="module")
+def responses():
+    rng = np.random.default_rng(11)
+    macs = random_macs(BATCH, seed=rng)
+    indices = rng.integers(0, ARRAY_SIZE, size=BATCH)
+    return [
+        Response(mac=int(m), bit_index=int(i))
+        for m, i in zip(macs, indices)
+    ]
+
+
+def ingest_per_message(rsu, responses):
+    for response in responses:
+        rsu.handle_response(response)
+
+
+def test_per_message_ingest(authority, responses, benchmark):
+    rsu = make_rsu(authority)
+    benchmark.pedantic(
+        ingest_per_message, args=(rsu, responses), rounds=3, iterations=1
+    )
+
+
+def test_batched_ingest(authority, responses, benchmark):
+    rsu = make_rsu(authority)
+    benchmark.pedantic(
+        rsu.handle_responses, args=(responses,), rounds=3, iterations=1
+    )
+
+
+def test_batched_speedup_at_least_5x(authority, responses):
+    """The issue's acceptance criterion, measured directly."""
+    rounds = 3
+    timings = {}
+    for label, runner in (
+        ("per-message handle_response", ingest_per_message),
+        ("batched handle_responses", lambda r, b: r.handle_responses(b)),
+    ):
+        best = float("inf")
+        for _ in range(rounds):
+            rsu = make_rsu(authority)
+            start = time.perf_counter()
+            runner(rsu, responses)
+            best = min(best, time.perf_counter() - start)
+            assert rsu.counter == BATCH
+        timings[label] = best
+
+    # The wire-level path skips Response objects entirely.
+    rng = np.random.default_rng(11)
+    macs = random_macs(BATCH, seed=rng)
+    indices = rng.integers(0, ARRAY_SIZE, size=BATCH)
+    best = float("inf")
+    for _ in range(rounds):
+        rsu = make_rsu(authority)
+        start = time.perf_counter()
+        rsu.handle_index_batch(macs, indices)
+        best = min(best, time.perf_counter() - start)
+        assert rsu.counter == BATCH
+    timings["arrays handle_index_batch"] = best
+
+    table = AsciiTable(
+        ["path", "time (ms)", "responses/sec", "speedup"],
+        title=f"RSU ingest paths ({BATCH:,} responses, m = {ARRAY_SIZE:,})",
+    )
+    base = timings["per-message handle_response"]
+    for label, seconds in timings.items():
+        table.add_row(
+            [
+                label,
+                seconds * 1e3,
+                f"{BATCH / seconds:,.0f}",
+                f"{base / seconds:.1f}x",
+            ]
+        )
+    publish("ingest", table.render())
+
+    speedup = base / timings["batched handle_responses"]
+    assert speedup >= 5.0, f"batched path only {speedup:.1f}x faster"

@@ -18,7 +18,7 @@ closed forms, with no simulation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.accuracy.variance import estimator_stddev
 from repro.core.sizing import array_size_for_volume

@@ -13,7 +13,7 @@ transportation engineers actually apply to count programs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.apps.link_flows import LinkFlowStudy
 from repro.errors import EstimationError, NetworkDataError

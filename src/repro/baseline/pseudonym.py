@@ -22,8 +22,8 @@ corner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Set, Tuple
 
 import numpy as np
 

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate every table and figure.
+"""Command-line interface: regenerate artifacts and run the live plane.
 
 Usage::
 
@@ -10,8 +10,14 @@ Usage::
     python -m repro.cli ablations   # design-choice ablations
     python -m repro.cli all         # everything
 
+    python -m repro.cli serve       # live gateway + collector
+    python -m repro.cli loadgen     # replay a Sioux Falls day at them
+
 ``--quick`` shrinks the sweeps/repetitions for a fast smoke run;
 ``--json PATH`` additionally writes the structured results to a file.
+``serve`` and ``loadgen`` must be given the same deployment flags
+(``--trips --seed --s --load-factor --hash-seed``) so both processes
+derive the identical fleet; see ``docs/protocol.md``.
 """
 
 from __future__ import annotations
@@ -163,6 +169,51 @@ EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
 }
 
 
+def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
+    """Flags ``serve`` and ``loadgen`` must share to stay consistent."""
+    parser.add_argument(
+        "--trips",
+        type=int,
+        default=60_000,
+        help="Sioux Falls trips per day (default %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=13, help="deployment seed (default %(default)s)"
+    )
+    parser.add_argument(
+        "--s", type=int, default=2, help="logical bit array size (default %(default)s)"
+    )
+    parser.add_argument(
+        "--load-factor",
+        type=float,
+        default=3.0,
+        help="global load factor f̄ (default %(default)s)",
+    )
+    parser.add_argument(
+        "--hash-seed", type=int, default=7, help="shared hash seed (default %(default)s)"
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind/connect address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--gateway-port",
+        type=int,
+        default=8701,
+        help="RSU gateway TCP port (default %(default)s)",
+    )
+    parser.add_argument(
+        "--collector-port",
+        type=int,
+        default=8702,
+        help="central collector TCP port (default %(default)s)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="enable library debug logging on stderr",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -170,32 +221,120 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Regenerate the evaluation artifacts of 'Point-to-Point Traffic "
             "Volume Measurement through Variable-Length Bit Array Masking in "
-            "Vehicular Cyber-Physical Systems' (ICDCS 2015)."
+            "Vehicular Cyber-Physical Systems' (ICDCS 2015), or run the "
+            "live measurement plane."
         ),
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which artifact to regenerate",
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        metavar="command",
+        required=True,
+        help="artifact to regenerate, or serve/loadgen for the live plane",
     )
-    parser.add_argument(
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
         "--quick",
         action="store_true",
         help="reduced repetitions/grids for a fast smoke run",
     )
-    parser.add_argument(
+    common.add_argument(
         "--json",
         type=Path,
         default=None,
         metavar="PATH",
         help="also dump structured results as JSON",
     )
-    parser.add_argument(
+    common.add_argument(
         "--verbose",
         action="store_true",
         help="enable library debug logging on stderr",
     )
+    for name in sorted(EXPERIMENTS) + ["all"]:
+        subparsers.add_parser(
+            name,
+            parents=[common],
+            help=(
+                "every registered artifact"
+                if name == "all"
+                else f"regenerate {name}"
+            ),
+        )
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the live RSU gateway + central collector",
+        description=(
+            "Start the asyncio RSU gateway and central collector on "
+            "localhost TCP ports.  Run `repro loadgen` with the same "
+            "deployment flags in another terminal to replay a day."
+        ),
+    )
+    _add_deployment_args(serve)
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="replay a Sioux Falls day against a running `repro serve`",
+        description=(
+            "Stream one Sioux Falls day of vehicle responses at a live "
+            "gateway, close the period, query the collector for the "
+            "full point-to-point matrix, and verify every answer "
+            "bit-for-bit against in-process decoding."
+        ),
+    )
+    _add_deployment_args(loadgen)
+    loadgen.add_argument(
+        "--wire-batch",
+        type=int,
+        default=4096,
+        help="responses per wire frame (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--max-queries",
+        type=int,
+        default=None,
+        help="cap on point-to-point queries (default: the full matrix)",
+    )
     return parser
+
+
+def _deployment_spec(args: argparse.Namespace):
+    from repro.service.runtime import DeploymentSpec
+
+    return DeploymentSpec(
+        total_trips=args.trips,
+        seed=args.seed,
+        s=args.s,
+        load_factor=args.load_factor,
+        hash_seed=args.hash_seed,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.runtime import run_serve
+
+    return run_serve(
+        _deployment_spec(args),
+        host=args.host,
+        gateway_port=args.gateway_port,
+        collector_port=args.collector_port,
+    )
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.loadgen import run_loadgen
+
+    result = asyncio.run(
+        run_loadgen(
+            _deployment_spec(args),
+            host=args.host,
+            gateway_port=args.gateway_port,
+            collector_port=args.collector_port,
+            wire_batch=args.wire_batch,
+            max_queries=args.max_queries,
+        )
+    )
+    print(result.render())
+    return 0 if result.bit_identical else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -205,6 +344,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.utils.logconfig import configure_logging
 
         configure_logging(verbose=True)
+    if args.experiment == "serve":
+        return _run_serve(args)
+    if args.experiment == "loadgen":
+        return _run_loadgen(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     collected = {}
     for name in names:

@@ -15,7 +15,7 @@ from typing import Iterable, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 
 __all__ = ["BitArray"]
 
@@ -106,7 +106,9 @@ class BitArray:
     def set_bit(self, index: int) -> None:
         """Set a single bit (one vehicle report, paper Eq. 2)."""
         if not 0 <= index < self.size:
-            raise IndexError(f"bit index {index} out of range [0, {self.size})")
+            raise ValidationError(
+                f"bit index {index} out of range [0, {self.size})"
+            )
         self._bits[index] = True
 
     def set_bits(self, indices: IndexLike) -> None:
@@ -114,12 +116,27 @@ class BitArray:
 
         Duplicate indices are idempotent, exactly as repeated vehicle
         reports to the same position are in the real protocol.
+        Out-of-range or non-integral indices raise
+        :class:`~repro.errors.ValidationError` so a batch assembled
+        from untrusted wire input can never corrupt the array or crash
+        the caller with a raw numpy error.
         """
-        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        try:
+            idx = np.atleast_1d(np.asarray(indices))
+            if idx.size and not np.issubdtype(idx.dtype, np.integer):
+                cast = idx.astype(np.int64)
+                if not np.array_equal(cast, idx):
+                    raise ValidationError(
+                        f"bit indices must be integral, got dtype {idx.dtype}"
+                    )
+                idx = cast
+            idx = idx.astype(np.int64, copy=False)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"bit indices are not index-like: {exc}") from exc
         if idx.size == 0:
             return
         if idx.min() < 0 or idx.max() >= self.size:
-            raise IndexError(
+            raise ValidationError(
                 f"bit indices must lie in [0, {self.size}); got range "
                 f"[{idx.min()}, {idx.max()}]"
             )
@@ -157,7 +174,7 @@ class BitArray:
             return NotImplemented
         if other.size != self.size:
             raise ConfigurationError(
-                f"cannot OR bit arrays of different sizes "
+                "cannot OR bit arrays of different sizes "
                 f"({self.size} vs {other.size}); unfold the smaller one first"
             )
         return BitArray(self.size, self._bits | other._bits)

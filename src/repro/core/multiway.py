@@ -321,7 +321,6 @@ def estimate_multiway(
         if large % small:
             raise ConfigurationError("sizes must nest (powers of two)")
 
-    by_id = {r.rsu_id: r for r in reports}
     estimates: dict = {}
     for level in range(2, k + 1):
         for combo in combinations(range(k), level):

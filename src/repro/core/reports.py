@@ -10,7 +10,7 @@ constructions interchangeably.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.bitarray import BitArray

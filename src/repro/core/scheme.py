@@ -17,7 +17,7 @@ provided by :class:`repro.baseline.scheme.FixedLengthScheme`.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -28,7 +28,6 @@ from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
 from repro.core.sizing import LoadFactorSizing
 from repro.errors import ConfigurationError
-from repro.utils.validation import next_power_of_two
 
 __all__ = ["VlmScheme"]
 

@@ -11,10 +11,12 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "ValidationError",
     "EstimationError",
     "SaturatedArrayError",
     "ProtocolError",
     "AuthenticationError",
+    "WireError",
     "NetworkDataError",
     "CalibrationError",
 ]
@@ -29,6 +31,14 @@ class ConfigurationError(ReproError):
     parameters (e.g. a bit array length that is not a power of two, a
     logical bit array larger than the physical array, a non-positive
     load factor)."""
+
+
+class ValidationError(ReproError, IndexError):
+    """Runtime data failed a bounds or shape check (e.g. a bit index
+    outside the array, a non-integral index batch).  Subclasses
+    :class:`IndexError` so callers that guarded the historical numpy
+    behaviour keep working, while service code can treat it as a
+    recoverable :class:`ReproError` instead of a crash."""
 
 
 class EstimationError(ReproError):
@@ -53,6 +63,13 @@ class ProtocolError(ReproError):
 class AuthenticationError(ProtocolError):
     """An RSU certificate failed verification against the trusted
     certificate authority, so the vehicle refuses to respond."""
+
+
+class WireError(ProtocolError):
+    """A binary wire frame was malformed: bad magic, unsupported
+    version, truncated payload, or a field outside its allowed range.
+    Raised by :mod:`repro.service.wire` so gateways and collectors can
+    reject bad input without dropping the connection state."""
 
 
 class NetworkDataError(ReproError):

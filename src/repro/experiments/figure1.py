@@ -12,7 +12,7 @@ doubles as an executable specification of Eq. (3)/(4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.bitarray import BitArray
 from repro.core.unfolding import unfold, unfolded_or
@@ -49,7 +49,7 @@ class Figure1Result:
             "",
             (
                 f"zero fractions: V_x = {self.b_x.zero_fraction():.3f} "
-                f"(preserved by unfolding: "
+                "(preserved by unfolding: "
                 f"{self.b_x_unfolded.zero_fraction():.3f}), "
                 f"V_y = {self.b_y.zero_fraction():.3f}, "
                 f"V_c = {self.b_c.zero_fraction():.3f}"

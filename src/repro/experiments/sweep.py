@@ -21,7 +21,7 @@ indices) and an order of magnitude faster over the 491-point sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

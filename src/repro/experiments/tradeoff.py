@@ -13,9 +13,8 @@ baseline's whenever traffic volumes differ, and the pseudonym strawman
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
-import numpy as np
 
 from repro.accuracy.variance import estimator_stddev
 from repro.baseline.sizing import prev_power_of_two

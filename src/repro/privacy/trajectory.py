@@ -33,7 +33,7 @@ whole route requires winning every hop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.core.sizing import array_size_for_volume
 from repro.errors import ConfigurationError, NetworkDataError

@@ -11,7 +11,7 @@ underlying graph for algorithms (shortest paths, connectivity).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List
 
 import networkx as nx
 

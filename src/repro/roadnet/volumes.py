@@ -20,7 +20,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.errors import CalibrationError, NetworkDataError
+from repro.errors import CalibrationError
 from repro.roadnet.routing import RoutePlan
 from repro.traffic.population import VehicleFleet
 from repro.utils.rng import SeedLike

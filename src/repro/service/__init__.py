@@ -1,0 +1,35 @@
+"""Live measurement plane: the paper's online/offline split as a
+running system.
+
+The in-memory simulation (:mod:`repro.vcps`) collapses the paper's
+three roles into one process.  This package pulls them apart over real
+sockets:
+
+* :mod:`repro.service.wire` — length-prefixed binary codec for vehicle
+  responses, period snapshots, and decode queries;
+* :mod:`repro.service.gateway` — asyncio RSU gateway: streams of
+  vehicle responses in, batched ``set_bits`` ingestion, per-period
+  snapshot upload with retry;
+* :mod:`repro.service.collector` — asyncio central collector: snapshot
+  ingestion into :class:`~repro.vcps.server.CentralServer`, query
+  answering over the same protocol;
+* :mod:`repro.service.loadgen` — load generator replaying a Sioux
+  Falls day against a live deployment and checking the answers against
+  the in-process decoder;
+* :mod:`repro.service.runtime` — the shared deployment spec that keeps
+  ``repro serve`` and ``repro loadgen`` bit-for-bit consistent.
+"""
+
+from repro.service.collector import CollectorService
+from repro.service.gateway import RsuGateway
+from repro.service.loadgen import LoadgenResult, run_loadgen
+from repro.service.runtime import DeploymentSpec, run_serve
+
+__all__ = [
+    "CollectorService",
+    "RsuGateway",
+    "LoadgenResult",
+    "run_loadgen",
+    "DeploymentSpec",
+    "run_serve",
+]

@@ -1,0 +1,155 @@
+"""The asyncio central collector: the offline decoding phase as a
+service.
+
+Gateways upload :class:`~repro.service.wire.Snapshot` frames at period
+close; each becomes an :class:`~repro.core.reports.RsuReport` fed into
+the existing :class:`~repro.vcps.server.CentralServer` (history
+update, integrity check, decoder submission).  Analysts — or the load
+generator — then ask for point and point-to-point volumes over the
+same socket protocol and get the Eq. (5) MLE back, computed by exactly
+the code path the in-process experiments use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.errors import EstimationError, ReproError, WireError
+from repro.service import wire
+from repro.utils.logconfig import get_logger
+from repro.vcps.server import CentralServer
+
+__all__ = ["CollectorService"]
+
+logger = get_logger("service.collector")
+
+
+class CollectorService:
+    """One measurement back end behind a TCP socket.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.vcps.server.CentralServer` that stores
+        reports and answers queries.  Shared state: multiple
+        connections feed and query the same server.
+    """
+
+    def __init__(self, server: CentralServer) -> None:
+        self.server = server
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+        # Stats.
+        self.snapshots_received = 0
+        self.queries_answered = 0
+        self.frames_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_client, host, port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("collector listening on %s:%s", host, self.port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    message = await wire.read_message(reader)
+                except asyncio.IncompleteReadError:
+                    break
+                except WireError as exc:
+                    self.frames_rejected += 1
+                    await self._reply(
+                        writer, wire.ErrorMsg(wire.E_MALFORMED, str(exc))
+                    )
+                    break
+                reply = self._handle(message)
+                await self._reply(writer, reply)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _reply(
+        self, writer: asyncio.StreamWriter, message: wire.Message
+    ) -> None:
+        try:
+            await wire.write_message(writer, message)
+        except (ConnectionError, OSError):  # peer already gone
+            pass
+
+    # ------------------------------------------------------------------
+    # Message handling (synchronous — decoding is pure CPU)
+    # ------------------------------------------------------------------
+    def _handle(self, message: wire.Message) -> wire.Message:
+        if isinstance(message, wire.Snapshot):
+            return self._handle_snapshot(message)
+        if isinstance(message, wire.VolumeQuery):
+            return self._handle_query(message)
+        if isinstance(message, wire.PointQuery):
+            return self._handle_point_query(message)
+        self.frames_rejected += 1
+        return wire.ErrorMsg(
+            wire.E_MALFORMED,
+            f"collector cannot handle {type(message).__name__}",
+        )
+
+    def _handle_snapshot(self, snapshot: wire.Snapshot) -> wire.Message:
+        try:
+            report = snapshot.to_report()
+            self.server.receive_report(report)
+        except ReproError as exc:
+            self.frames_rejected += 1
+            return wire.ErrorMsg(wire.E_MALFORMED, str(exc))
+        self.snapshots_received += 1
+        return wire.SnapshotAck(rsu_id=snapshot.rsu_id, period=snapshot.period)
+
+    def _handle_query(self, query: wire.VolumeQuery) -> wire.Message:
+        try:
+            estimate = self.server.point_to_point(
+                query.rsu_x, query.rsu_y, query.period
+            )
+        except EstimationError as exc:
+            return wire.ErrorMsg(wire.E_ESTIMATION, str(exc))
+        except ReproError as exc:  # pragma: no cover - defensive
+            return wire.ErrorMsg(wire.E_INTERNAL, str(exc))
+        self.queries_answered += 1
+        return wire.EstimateMsg(
+            n_c_hat=estimate.n_c_hat,
+            v_c=estimate.v_c,
+            v_x=estimate.v_x,
+            v_y=estimate.v_y,
+            m_x=estimate.m_x,
+            m_y=estimate.m_y,
+            n_x=estimate.n_x,
+            n_y=estimate.n_y,
+            s=estimate.s,
+        )
+
+    def _handle_point_query(self, query: wire.PointQuery) -> wire.Message:
+        try:
+            counter = self.server.point_volume(query.rsu_id, query.period)
+        except EstimationError as exc:
+            return wire.ErrorMsg(wire.E_ESTIMATION, str(exc))
+        self.queries_answered += 1
+        return wire.PointVolume(
+            rsu_id=query.rsu_id, period=query.period, counter=counter
+        )

@@ -1,0 +1,323 @@
+"""The asyncio RSU gateway: the online coding phase as a service.
+
+Vehicles (or the load generator standing in for them) stream
+:class:`~repro.service.wire.ResponseMsg` /
+:class:`~repro.service.wire.ResponseBatch` frames over TCP.  The
+gateway routes them to the right
+:class:`~repro.vcps.rsu.RoadsideUnit`, but never records per message:
+responses accumulate in a bounded queue and a single ingest worker
+drains them into vectorized
+:meth:`~repro.vcps.rsu.RoadsideUnit.handle_index_batch` calls — one
+bounds/MAC check, one counter bump, one ``set_bits`` per flush.
+
+Backpressure is structural: the ingest queue is bounded, the reader
+coroutine ``await``-s on ``queue.put``, and while it waits it is not
+reading the socket, so TCP flow control pushes back on the sender.
+
+On :class:`~repro.service.wire.EndPeriod` the gateway flushes, closes
+the period at every RSU, and uploads each snapshot to the collector
+with bounded retries and per-attempt timeouts before acknowledging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.reports import RsuReport
+from repro.errors import WireError
+from repro.service import wire
+from repro.utils.logconfig import get_logger
+from repro.vcps.rsu import RoadsideUnit
+
+__all__ = ["RsuGateway"]
+
+logger = get_logger("service.gateway")
+
+#: (rsu_id, macs, bit_indices) as decoded straight off the wire.
+_QueueItem = Tuple[int, np.ndarray, np.ndarray]
+
+
+class RsuGateway:
+    """A fleet of RSUs behind one ingestion socket.
+
+    Parameters
+    ----------
+    rsus:
+        ``rsu_id -> RoadsideUnit`` — the measurement state this gateway
+        fronts.
+    collector_host, collector_port:
+        Where period snapshots are uploaded.
+    batch_size:
+        Flush an RSU's pending responses once this many accumulate.
+    queue_size:
+        Bound on the ingest queue (items, not responses); when full,
+        readers stall and TCP backpressure reaches the sender.
+    flush_interval:
+        Seconds of queue idleness after which pending responses are
+        flushed regardless of batch size.
+    upload_timeout:
+        Per-attempt timeout for a snapshot upload (connect, send, ack).
+    upload_retries:
+        Upload attempts per snapshot before giving up.
+    """
+
+    def __init__(
+        self,
+        rsus: Dict[int, RoadsideUnit],
+        *,
+        collector_host: str = "127.0.0.1",
+        collector_port: int = 8702,
+        batch_size: int = 4096,
+        queue_size: int = 1024,
+        flush_interval: float = 0.05,
+        upload_timeout: float = 5.0,
+        upload_retries: int = 3,
+    ) -> None:
+        self.rsus = dict(rsus)
+        self.collector_host = collector_host
+        self.collector_port = collector_port
+        self.batch_size = int(batch_size)
+        self.flush_interval = float(flush_interval)
+        self.upload_timeout = float(upload_timeout)
+        self.upload_retries = int(upload_retries)
+        self._queue: "asyncio.Queue[_QueueItem]" = asyncio.Queue(
+            maxsize=int(queue_size)
+        )
+        self._pending: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
+        self._pending_counts: Dict[int, int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ingest_task: Optional[asyncio.Task] = None
+        self.port: Optional[int] = None
+        # Stats.
+        self.responses_received = 0
+        self.responses_recorded = 0
+        self.responses_rejected = 0
+        self.frames_rejected = 0
+        self.snapshots_uploaded = 0
+        self.snapshots_failed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the ingestion socket and start the ingest worker."""
+        self._server = await asyncio.start_server(
+            self._serve_client, host, port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._ingest_task = asyncio.ensure_future(self._ingest_loop())
+        logger.info("gateway listening on %s:%s", host, self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the queue, cancel the worker."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._ingest_task is not None:
+            await self._queue.join()
+            self._flush_all()
+            self._ingest_task.cancel()
+            try:
+                await self._ingest_task
+            except asyncio.CancelledError:
+                pass
+            self._ingest_task = None
+
+    # ------------------------------------------------------------------
+    # Client connections
+    # ------------------------------------------------------------------
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    message = await wire.read_message(reader)
+                except asyncio.IncompleteReadError:
+                    break  # clean close between frames
+                except WireError as exc:
+                    # A framing error is unrecoverable on this stream —
+                    # report it and hang up.
+                    self.frames_rejected += 1
+                    await self._send_error(writer, wire.E_MALFORMED, str(exc))
+                    break
+                if isinstance(message, wire.ResponseMsg):
+                    await self._enqueue(
+                        writer,
+                        message.rsu_id,
+                        np.array([message.mac], dtype=np.uint64),
+                        np.array([message.bit_index], dtype=np.int64),
+                    )
+                elif isinstance(message, wire.ResponseBatch):
+                    await self._enqueue(
+                        writer,
+                        message.rsu_id,
+                        message.macs,
+                        message.bit_indices,
+                    )
+                elif isinstance(message, wire.EndPeriod):
+                    uploaded = await self.close_period(message.period)
+                    await wire.write_message(
+                        writer,
+                        wire.EndPeriodAck(
+                            period=message.period, snapshots=uploaded
+                        ),
+                    )
+                else:
+                    self.frames_rejected += 1
+                    await self._send_error(
+                        writer,
+                        wire.E_MALFORMED,
+                        f"gateway cannot handle {type(message).__name__}",
+                    )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, code: int, text: str
+    ) -> None:
+        try:
+            await wire.write_message(writer, wire.ErrorMsg(code, text))
+        except (ConnectionError, OSError):  # peer already gone
+            pass
+
+    async def _enqueue(
+        self,
+        writer: asyncio.StreamWriter,
+        rsu_id: int,
+        macs: np.ndarray,
+        indices: np.ndarray,
+    ) -> None:
+        if rsu_id not in self.rsus:
+            self.frames_rejected += 1
+            await self._send_error(
+                writer, wire.E_UNKNOWN_RSU, f"unknown RSU {rsu_id}"
+            )
+            return
+        self.responses_received += int(macs.size)
+        await self._queue.put((rsu_id, macs, indices))
+
+    # ------------------------------------------------------------------
+    # Batched ingestion
+    # ------------------------------------------------------------------
+    async def _ingest_loop(self) -> None:
+        while True:
+            try:
+                item = await asyncio.wait_for(
+                    self._queue.get(), timeout=self.flush_interval
+                )
+            except asyncio.TimeoutError:
+                self._flush_all()
+                continue
+            rsu_id, macs, indices = item
+            self._pending.setdefault(rsu_id, []).append((macs, indices))
+            count = self._pending_counts.get(rsu_id, 0) + int(macs.size)
+            self._pending_counts[rsu_id] = count
+            if count >= self.batch_size:
+                self._flush(rsu_id)
+            self._queue.task_done()
+
+    def _flush(self, rsu_id: int) -> None:
+        chunks = self._pending.pop(rsu_id, None)
+        self._pending_counts.pop(rsu_id, None)
+        if not chunks:
+            return
+        macs = np.concatenate([np.asarray(m, dtype=np.uint64) for m, _ in chunks])
+        indices = np.concatenate(
+            [np.asarray(i, dtype=np.int64) for _, i in chunks]
+        )
+        recorded = self.rsus[rsu_id].handle_index_batch(macs, indices)
+        self.responses_recorded += recorded
+        self.responses_rejected += int(indices.size) - recorded
+
+    def _flush_all(self) -> None:
+        for rsu_id in list(self._pending):
+            self._flush(rsu_id)
+
+    # ------------------------------------------------------------------
+    # Period close and snapshot upload
+    # ------------------------------------------------------------------
+    async def close_period(self, period: int) -> int:
+        """Flush, snapshot every RSU, upload everything; returns the
+        number of snapshots the collector acknowledged."""
+        await self._queue.join()
+        self._flush_all()
+        reports = [rsu.end_period() for rsu in self.rsus.values()]
+        uploaded = await self._upload_reports(reports)
+        logger.info(
+            "period %s closed: %d/%d snapshots uploaded",
+            period,
+            uploaded,
+            len(reports),
+        )
+        return uploaded
+
+    async def _upload_reports(self, reports: List[RsuReport]) -> int:
+        uploaded = 0
+        connection: Optional[
+            Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = None
+        try:
+            for report in reports:
+                snapshot = wire.Snapshot.from_report(report)
+                ok = False
+                for attempt in range(self.upload_retries):
+                    try:
+                        if connection is None:
+                            connection = await asyncio.wait_for(
+                                asyncio.open_connection(
+                                    self.collector_host, self.collector_port
+                                ),
+                                timeout=self.upload_timeout,
+                            )
+                        reader, writer = connection
+                        await asyncio.wait_for(
+                            wire.write_message(writer, snapshot),
+                            timeout=self.upload_timeout,
+                        )
+                        ack = await asyncio.wait_for(
+                            wire.read_message(reader),
+                            timeout=self.upload_timeout,
+                        )
+                        if (
+                            isinstance(ack, wire.SnapshotAck)
+                            and ack.rsu_id == report.rsu_id
+                            and ack.period == report.period
+                        ):
+                            ok = True
+                            break
+                        raise WireError(f"unexpected upload reply {ack!r}")
+                    except (
+                        OSError,
+                        WireError,
+                        asyncio.TimeoutError,
+                        asyncio.IncompleteReadError,
+                    ) as exc:
+                        logger.warning(
+                            "snapshot upload rsu=%s attempt %d/%d failed: %s",
+                            report.rsu_id,
+                            attempt + 1,
+                            self.upload_retries,
+                            exc,
+                        )
+                        if connection is not None:
+                            connection[1].close()
+                            connection = None
+                        await asyncio.sleep(0.05 * (2**attempt))
+                if ok:
+                    uploaded += 1
+                    self.snapshots_uploaded += 1
+                else:
+                    self.snapshots_failed += 1
+        finally:
+            if connection is not None:
+                connection[1].close()
+        return uploaded

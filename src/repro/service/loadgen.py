@@ -1,0 +1,276 @@
+"""Load generator: replay a Sioux Falls day against a live deployment.
+
+Computes every vehicle's wire response for the day locally (the same
+Eq. 2 arithmetic as the vectorized encoder), streams them to the
+gateway in :class:`~repro.service.wire.ResponseBatch` frames, closes
+the period, and then interrogates the collector pair by pair —
+recording achieved ingest throughput (responses/sec) and query latency
+percentiles, and checking every returned estimate bit-for-bit against
+the in-process :class:`~repro.core.decoder.CentralDecoder` on the same
+seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError, ProtocolError
+from repro.service import wire
+from repro.service.runtime import (
+    DEFAULT_COLLECTOR_PORT,
+    DEFAULT_GATEWAY_PORT,
+    DeploymentSpec,
+)
+from repro.utils.tables import AsciiTable
+from repro.vcps.ids import random_macs
+
+__all__ = ["LoadgenResult", "replay_day", "run_queries", "run_loadgen"]
+
+
+@dataclass
+class LoadgenResult:
+    """What a load generation run achieved and whether it was correct."""
+
+    responses_sent: int
+    stream_seconds: float
+    queries: int
+    query_latencies_ms: np.ndarray = field(repr=False)
+    estimates_checked: int
+    mismatches: List[Tuple[int, int]]
+    counters_checked: int
+    counter_mismatches: List[int]
+    snapshots_acked: int
+
+    @property
+    def throughput(self) -> float:
+        """Achieved ingest rate in responses per second."""
+        if self.stream_seconds <= 0:
+            return float("inf")
+        return self.responses_sent / self.stream_seconds
+
+    @property
+    def bit_identical(self) -> bool:
+        """True iff every live answer matched the in-process decoder."""
+        return not self.mismatches and not self.counter_mismatches
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p90/p99 query latency in milliseconds."""
+        if self.query_latencies_ms.size == 0:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "p50": float(np.percentile(self.query_latencies_ms, 50)),
+            "p90": float(np.percentile(self.query_latencies_ms, 90)),
+            "p99": float(np.percentile(self.query_latencies_ms, 99)),
+        }
+
+    def render(self) -> str:
+        p = self.latency_percentiles()
+        table = AsciiTable(
+            ["metric", "value"], title="Live pipeline load generation"
+        )
+        table.add_row(["responses streamed", f"{self.responses_sent:,}"])
+        table.add_row(["ingest time (s)", f"{self.stream_seconds:.2f}"])
+        table.add_row(["throughput (responses/s)", f"{self.throughput:,.0f}"])
+        table.add_row(["snapshots acked", self.snapshots_acked])
+        table.add_row(["queries answered", self.queries])
+        table.add_row(["query latency p50 (ms)", f"{p['p50']:.2f}"])
+        table.add_row(["query latency p90 (ms)", f"{p['p90']:.2f}"])
+        table.add_row(["query latency p99 (ms)", f"{p['p99']:.2f}"])
+        table.add_row(
+            ["point counters checked", f"{self.counters_checked}"]
+        )
+        table.add_row(
+            ["pair estimates checked", f"{self.estimates_checked}"]
+        )
+        verdict = (
+            "bit-identical to in-process decoding"
+            if self.bit_identical
+            else (
+                f"MISMATCHES: {len(self.mismatches)} pairs, "
+                f"{len(self.counter_mismatches)} counters"
+            )
+        )
+        table.add_row(["verification", verdict])
+        return table.render()
+
+
+async def replay_day(
+    spec: DeploymentSpec,
+    *,
+    host: str = "127.0.0.1",
+    gateway_port: int = DEFAULT_GATEWAY_PORT,
+    wire_batch: int = 4096,
+    period: int = 0,
+) -> Tuple[int, float, int]:
+    """Stream the whole day's responses and close the period.
+
+    Returns ``(responses_sent, elapsed_seconds, snapshots_acked)``.
+    """
+    reader, writer = await asyncio.open_connection(host, gateway_port)
+    mac_rng = np.random.default_rng(spec.seed)
+    sent = 0
+    start = time.perf_counter()
+    try:
+        for rsu_id in spec.scheme.rsu_ids:
+            indices = spec.response_indices(rsu_id)
+            if indices.size == 0:
+                continue
+            macs = random_macs(indices.size, seed=mac_rng)
+            for lo in range(0, indices.size, wire_batch):
+                batch = wire.ResponseBatch(
+                    rsu_id=rsu_id,
+                    macs=macs[lo : lo + wire_batch],
+                    bit_indices=indices[lo : lo + wire_batch].astype(
+                        np.uint32
+                    ),
+                )
+                await wire.write_message(writer, batch)
+                sent += len(batch)
+        await wire.write_message(writer, wire.EndPeriod(period=period))
+        ack = await wire.read_message(reader)
+        elapsed = time.perf_counter() - start
+        if not isinstance(ack, wire.EndPeriodAck):
+            raise ProtocolError(f"expected EndPeriodAck, got {ack!r}")
+        return sent, elapsed, ack.snapshots
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def run_queries(
+    spec: DeploymentSpec,
+    *,
+    host: str = "127.0.0.1",
+    collector_port: int = DEFAULT_COLLECTOR_PORT,
+    period: int = 0,
+    max_queries: Optional[int] = None,
+) -> Tuple[np.ndarray, int, List[Tuple[int, int]], int, List[int]]:
+    """Query the live collector and diff against the local decoder.
+
+    Returns ``(latencies_ms, estimates_checked, pair_mismatches,
+    counters_checked, counter_mismatches)``.
+    """
+    reference = spec.reference_decoder(period=period)
+    rsu_ids = reference.rsu_ids(period)
+    reader, writer = await asyncio.open_connection(host, collector_port)
+    latencies: List[float] = []
+    mismatches: List[Tuple[int, int]] = []
+    counter_mismatches: List[int] = []
+    checked = 0
+    counters_checked = 0
+    try:
+        # Exact point volumes first: cheap, and a counter drift would
+        # explain any estimate drift downstream.
+        for rsu_id in rsu_ids:
+            await wire.write_message(
+                writer, wire.PointQuery(rsu_id=rsu_id, period=period)
+            )
+            answer = await wire.read_message(reader)
+            counters_checked += 1
+            if not (
+                isinstance(answer, wire.PointVolume)
+                and answer.counter == reference.point_volume(rsu_id, period)
+            ):
+                counter_mismatches.append(rsu_id)
+        # The full point-to-point matrix.
+        pairs = [
+            (a, b)
+            for i, a in enumerate(rsu_ids)
+            for b in rsu_ids[i + 1 :]
+        ]
+        if max_queries is not None:
+            pairs = pairs[: int(max_queries)]
+        for rsu_x, rsu_y in pairs:
+            start = time.perf_counter()
+            await wire.write_message(
+                writer,
+                wire.VolumeQuery(rsu_x=rsu_x, rsu_y=rsu_y, period=period),
+            )
+            answer = await wire.read_message(reader)
+            latencies.append((time.perf_counter() - start) * 1e3)
+            try:
+                expected = reference.pair_estimate(rsu_x, rsu_y, period)
+            except EstimationError:
+                # The live side must fail the same way.
+                if not isinstance(answer, wire.ErrorMsg):
+                    mismatches.append((rsu_x, rsu_y))
+                continue
+            checked += 1
+            if not (
+                isinstance(answer, wire.EstimateMsg)
+                and answer.n_c_hat == expected.n_c_hat
+                and answer.v_c == expected.v_c
+                and answer.v_x == expected.v_x
+                and answer.v_y == expected.v_y
+                and answer.m_x == expected.m_x
+                and answer.m_y == expected.m_y
+                and answer.n_x == expected.n_x
+                and answer.n_y == expected.n_y
+            ):
+                mismatches.append((rsu_x, rsu_y))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    return (
+        np.asarray(latencies),
+        checked,
+        mismatches,
+        counters_checked,
+        counter_mismatches,
+    )
+
+
+async def run_loadgen(
+    spec: Optional[DeploymentSpec] = None,
+    *,
+    host: str = "127.0.0.1",
+    gateway_port: int = DEFAULT_GATEWAY_PORT,
+    collector_port: int = DEFAULT_COLLECTOR_PORT,
+    wire_batch: int = 4096,
+    max_queries: Optional[int] = None,
+    period: int = 0,
+) -> LoadgenResult:
+    """Full load generation run: stream the day, then verify queries."""
+    spec = spec if spec is not None else DeploymentSpec()
+    sent, elapsed, acked = await replay_day(
+        spec,
+        host=host,
+        gateway_port=gateway_port,
+        wire_batch=wire_batch,
+        period=period,
+    )
+    (
+        latencies,
+        checked,
+        mismatches,
+        counters_checked,
+        counter_mismatches,
+    ) = await run_queries(
+        spec,
+        host=host,
+        collector_port=collector_port,
+        period=period,
+        max_queries=max_queries,
+    )
+    return LoadgenResult(
+        responses_sent=sent,
+        stream_seconds=elapsed,
+        queries=int(latencies.size),
+        query_latencies_ms=latencies,
+        estimates_checked=checked,
+        mismatches=mismatches,
+        counters_checked=counters_checked,
+        counter_mismatches=counter_mismatches,
+        snapshots_acked=acked,
+    )

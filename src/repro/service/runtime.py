@@ -1,0 +1,196 @@
+"""Shared deployment configuration for the live measurement plane.
+
+``repro serve`` and ``repro loadgen`` run in different processes but
+must agree on everything the estimator depends on: which RSUs exist,
+their array sizes ``m_x``, the global parameters ``(s, f̄, m_o,
+hash seed)``, and the vehicle fleet itself.  :class:`DeploymentSpec`
+derives all of it deterministically from ``(total_trips, seed, s,
+load_factor, hash_seed)``, so giving both commands the same flags
+yields a bit-for-bit consistent deployment — the property the
+acceptance check in :mod:`repro.service.loadgen` verifies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.decoder import CentralDecoder
+from repro.core.estimator import ZeroFractionPolicy
+from repro.core.reports import RsuReport
+from repro.core.scheme import VlmScheme
+from repro.core.sizing import LoadFactorSizing
+from repro.hashing.logical_bitarray import select_indices
+from repro.traffic.network_workload import NetworkWorkload, sioux_falls_workload
+from repro.utils.logconfig import get_logger
+from repro.vcps.history import VolumeHistory
+from repro.vcps.pki import CertificateAuthority
+from repro.vcps.rsu import RoadsideUnit
+from repro.vcps.server import CentralServer
+
+__all__ = [
+    "DeploymentSpec",
+    "DEFAULT_GATEWAY_PORT",
+    "DEFAULT_COLLECTOR_PORT",
+    "start_services",
+    "run_serve",
+]
+
+logger = get_logger("service.runtime")
+
+DEFAULT_GATEWAY_PORT = 8701
+DEFAULT_COLLECTOR_PORT = 8702
+
+
+@dataclass
+class DeploymentSpec:
+    """Everything both sides of a live deployment must agree on."""
+
+    total_trips: int = 60_000
+    seed: int = 13
+    s: int = 2
+    load_factor: float = 3.0
+    hash_seed: int = 7
+    workload: NetworkWorkload = field(init=False, repr=False)
+    scheme: VlmScheme = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.workload = sioux_falls_workload(
+            total_trips=self.total_trips, seed=self.seed
+        )
+        self.scheme = VlmScheme(
+            self.workload.volumes(),
+            s=self.s,
+            load_factor=self.load_factor,
+            hash_seed=self.hash_seed,
+            policy=ZeroFractionPolicy.CLAMP,
+        )
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def build_rsus(self) -> Dict[int, RoadsideUnit]:
+        """The gateway's RSU fleet, sized from the workload volumes."""
+        authority = CertificateAuthority(seed=self.seed)
+        return {
+            rsu_id: RoadsideUnit(
+                rsu_id,
+                self.scheme.array_size(rsu_id),
+                authority.issue(rsu_id),
+            )
+            for rsu_id in self.scheme.rsu_ids
+        }
+
+    def build_central_server(self) -> CentralServer:
+        """The collector's measurement back end."""
+        return CentralServer(
+            self.s,
+            LoadFactorSizing(self.load_factor),
+            history=VolumeHistory(dict(self.workload.volumes())),
+            policy=ZeroFractionPolicy.CLAMP,
+        )
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def response_indices(self, rsu_id: int) -> np.ndarray:
+        """Every passing vehicle's reported bit index at *rsu_id*.
+
+        The same computation as the vectorized encoder (paper Eq. 2):
+        ``H(v ⊕ K_v ⊕ X[j]) mod m_x`` — what the load generator puts on
+        the wire, and what :func:`repro.core.encoder.encode_passes`
+        produces in process.
+        """
+        ids, keys = self.workload.assignment.passes_at(rsu_id)
+        params = self.scheme.params
+        logical = select_indices(
+            ids, keys, rsu_id, params.salts, params.m_o, seed=params.hash_seed
+        )
+        return logical & (self.scheme.array_size(rsu_id) - 1)
+
+    def reference_reports(self, *, period: int = 0) -> Dict[int, RsuReport]:
+        """The in-process ground truth: one encoded report per RSU."""
+        passes = self.workload.passes()
+        return self.scheme.encode(passes, period=period)
+
+    def reference_decoder(self, *, period: int = 0) -> CentralDecoder:
+        """A local decoder loaded with :meth:`reference_reports`."""
+        decoder = CentralDecoder(self.s, policy=ZeroFractionPolicy.CLAMP)
+        decoder.submit_many(self.reference_reports(period=period).values())
+        return decoder
+
+
+async def start_services(
+    spec: DeploymentSpec,
+    *,
+    host: str = "127.0.0.1",
+    gateway_port: int = DEFAULT_GATEWAY_PORT,
+    collector_port: int = DEFAULT_COLLECTOR_PORT,
+) -> Tuple["RsuGateway", "CollectorService"]:
+    """Start collector and gateway servers; returns both (running)."""
+    from repro.service.collector import CollectorService
+    from repro.service.gateway import RsuGateway
+
+    collector = CollectorService(spec.build_central_server())
+    await collector.start(host, collector_port)
+    gateway = RsuGateway(
+        spec.build_rsus(),
+        collector_host=host,
+        collector_port=collector.port,
+    )
+    await gateway.start(host, gateway_port)
+    logger.info(
+        "live plane up: gateway %s:%s (%d RSUs) -> collector %s:%s",
+        host,
+        gateway.port,
+        len(spec.scheme.rsu_ids),
+        host,
+        collector.port,
+    )
+    return gateway, collector
+
+
+async def _serve_forever(
+    spec: DeploymentSpec,
+    host: str,
+    gateway_port: int,
+    collector_port: int,
+) -> None:
+    gateway, collector = await start_services(
+        spec,
+        host=host,
+        gateway_port=gateway_port,
+        collector_port=collector_port,
+    )
+    print(
+        f"gateway listening on {host}:{gateway.port} "
+        f"({len(spec.scheme.rsu_ids)} RSUs, m_o={spec.scheme.m_o:,})"
+    )
+    print(f"collector listening on {host}:{collector.port}")
+    print("press Ctrl-C to stop")
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await gateway.stop()
+        await collector.stop()
+
+
+def run_serve(
+    spec: Optional[DeploymentSpec] = None,
+    *,
+    host: str = "127.0.0.1",
+    gateway_port: int = DEFAULT_GATEWAY_PORT,
+    collector_port: int = DEFAULT_COLLECTOR_PORT,
+) -> int:
+    """Blocking entry point behind ``repro serve``."""
+    spec = spec if spec is not None else DeploymentSpec()
+    try:
+        asyncio.run(
+            _serve_forever(spec, host, gateway_port, collector_port)
+        )
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0

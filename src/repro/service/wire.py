@@ -1,0 +1,557 @@
+"""Binary wire protocol for the live measurement plane.
+
+Every message travels in one *frame*::
+
+    offset  size  field
+    0       2     magic  b"VW"
+    2       1     version (currently 1)
+    3       1     message type
+    4       4     payload length (big-endian u32)
+    8       N     payload
+
+All multi-byte integers are big-endian.  Payload layouts per type are
+documented on each message class and in ``docs/protocol.md``.  The
+decoder is strict: bad magic, unknown version/type, truncated or
+oversized payloads, out-of-range fields, and non-zero padding bits in
+a snapshot all raise :class:`~repro.errors.WireError` — a gateway must
+be able to reject any byte stream without crashing or corrupting
+state.
+
+The codec is deliberately numpy-friendly: response batches carry
+parallel ``uint64``/``uint32`` arrays (decoded with zero copies via
+``np.frombuffer``) and snapshots carry ``np.packbits`` output, so the
+hot ingest path never loops in Python.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.core.bitarray import BitArray
+from repro.core.reports import RsuReport
+from repro.errors import WireError
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "MAX_PAYLOAD",
+    "ResponseMsg",
+    "ResponseBatch",
+    "Snapshot",
+    "SnapshotAck",
+    "EndPeriod",
+    "EndPeriodAck",
+    "VolumeQuery",
+    "EstimateMsg",
+    "PointQuery",
+    "PointVolume",
+    "ErrorMsg",
+    "Message",
+    "encode_frame",
+    "decode_frame",
+    "read_message",
+    "write_message",
+]
+
+MAGIC = b"VW"
+VERSION = 1
+#: Hard cap on payload size: the largest legal snapshot is an
+#: ``m_o = 2**24``-bit array (2 MiB packed) plus its fixed header.
+MAX_PAYLOAD = (1 << 21) + 64
+
+_HEADER = struct.Struct(">2sBBI")
+
+_MAC_LIMIT = 1 << 48
+
+# Message type codes.
+T_RESPONSE = 0x01
+T_RESPONSE_BATCH = 0x02
+T_SNAPSHOT = 0x03
+T_SNAPSHOT_ACK = 0x04
+T_END_PERIOD = 0x05
+T_END_PERIOD_ACK = 0x06
+T_QUERY = 0x07
+T_ESTIMATE = 0x08
+T_POINT_QUERY = 0x09
+T_POINT_VOLUME = 0x0A
+T_ERROR = 0x7F
+
+# Error codes carried by ErrorMsg.
+E_MALFORMED = 1
+E_UNKNOWN_RSU = 2
+E_ESTIMATION = 3
+E_INTERNAL = 4
+
+
+def _check_u32(value: int, name: str) -> int:
+    value = int(value)
+    if not 0 <= value < 1 << 32:
+        raise WireError(f"{name} must fit in u32, got {value}")
+    return value
+
+
+def _check_u64(value: int, name: str) -> int:
+    value = int(value)
+    if not 0 <= value < 1 << 64:
+        raise WireError(f"{name} must fit in u64, got {value}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Message classes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResponseMsg:
+    """One vehicle response: ``rsu_id u32 | mac u64 | bit_index u32``."""
+
+    rsu_id: int
+    mac: int
+    bit_index: int
+
+    _STRUCT = struct.Struct(">IQI")
+    type = T_RESPONSE
+
+    def payload(self) -> bytes:
+        if not 0 <= self.mac < _MAC_LIMIT:
+            raise WireError(f"mac must be a 48-bit integer, got {self.mac}")
+        return self._STRUCT.pack(
+            _check_u32(self.rsu_id, "rsu_id"),
+            self.mac,
+            _check_u32(self.bit_index, "bit_index"),
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ResponseMsg":
+        if len(payload) != cls._STRUCT.size:
+            raise WireError(
+                f"response payload must be {cls._STRUCT.size} bytes, "
+                f"got {len(payload)}"
+            )
+        rsu_id, mac, bit_index = cls._STRUCT.unpack(payload)
+        if mac >= _MAC_LIMIT:
+            raise WireError(f"mac must be a 48-bit integer, got {mac}")
+        return cls(rsu_id=rsu_id, mac=mac, bit_index=bit_index)
+
+
+@dataclass(frozen=True)
+class ResponseBatch:
+    """A batch of responses for one RSU.
+
+    ``rsu_id u32 | count u32 | macs u64[count] | indices u32[count]``.
+    Parallel arrays rather than interleaved records, so the gateway can
+    hand both straight to :meth:`RoadsideUnit.handle_index_batch`.
+    """
+
+    rsu_id: int
+    macs: np.ndarray
+    bit_indices: np.ndarray
+
+    _HEAD = struct.Struct(">II")
+    type = T_RESPONSE_BATCH
+
+    def __post_init__(self) -> None:
+        macs = np.ascontiguousarray(self.macs, dtype=">u8")
+        idx = np.ascontiguousarray(self.bit_indices, dtype=">u4")
+        if macs.shape != idx.shape or macs.ndim != 1:
+            raise WireError(
+                f"macs shape {macs.shape} and indices shape {idx.shape} "
+                "must be equal 1-D arrays"
+            )
+        object.__setattr__(self, "macs", macs)
+        object.__setattr__(self, "bit_indices", idx)
+
+    def __len__(self) -> int:
+        return int(self.macs.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResponseBatch):
+            return NotImplemented
+        return (
+            self.rsu_id == other.rsu_id
+            and np.array_equal(self.macs, other.macs)
+            and np.array_equal(self.bit_indices, other.bit_indices)
+        )
+
+    def payload(self) -> bytes:
+        if self.macs.size and int(self.macs.max()) >= _MAC_LIMIT:
+            raise WireError("batch contains a MAC wider than 48 bits")
+        head = self._HEAD.pack(
+            _check_u32(self.rsu_id, "rsu_id"),
+            _check_u32(self.macs.size, "count"),
+        )
+        return head + self.macs.tobytes() + self.bit_indices.tobytes()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ResponseBatch":
+        if len(payload) < cls._HEAD.size:
+            raise WireError("truncated response batch header")
+        rsu_id, count = cls._HEAD.unpack_from(payload)
+        expected = cls._HEAD.size + count * 12
+        if len(payload) != expected:
+            raise WireError(
+                f"response batch of {count} entries must be {expected} "
+                f"bytes, got {len(payload)}"
+            )
+        macs = np.frombuffer(payload, dtype=">u8", count=count, offset=cls._HEAD.size)
+        idx = np.frombuffer(
+            payload, dtype=">u4", count=count, offset=cls._HEAD.size + 8 * count
+        )
+        if macs.size and int(macs.max()) >= _MAC_LIMIT:
+            raise WireError("batch contains a MAC wider than 48 bits")
+        return cls(rsu_id=rsu_id, macs=macs, bit_indices=idx)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An RSU's period-end report.
+
+    ``rsu_id u32 | period u32 | counter u64 | array_size u32 |
+    packed_bits u8[ceil(array_size / 8)]`` — the bit array is
+    ``np.packbits`` output (big-endian bit order) and any padding bits
+    past ``array_size`` must be zero.
+    """
+
+    rsu_id: int
+    period: int
+    counter: int
+    array_size: int
+    packed_bits: bytes = field(repr=False)
+
+    _HEAD = struct.Struct(">IIQI")
+    type = T_SNAPSHOT
+
+    def payload(self) -> bytes:
+        expected = (self.array_size + 7) // 8
+        if len(self.packed_bits) != expected:
+            raise WireError(
+                f"snapshot of {self.array_size} bits needs {expected} "
+                f"packed bytes, got {len(self.packed_bits)}"
+            )
+        return (
+            self._HEAD.pack(
+                _check_u32(self.rsu_id, "rsu_id"),
+                _check_u32(self.period, "period"),
+                _check_u64(self.counter, "counter"),
+                _check_u32(self.array_size, "array_size"),
+            )
+            + self.packed_bits
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Snapshot":
+        if len(payload) < cls._HEAD.size:
+            raise WireError("truncated snapshot header")
+        rsu_id, period, counter, size = cls._HEAD.unpack_from(payload)
+        if size == 0:
+            raise WireError("snapshot array_size must be positive")
+        packed = payload[cls._HEAD.size :]
+        expected = (size + 7) // 8
+        if len(packed) != expected:
+            raise WireError(
+                f"snapshot of {size} bits needs {expected} packed bytes, "
+                f"got {len(packed)}"
+            )
+        if size % 8:
+            tail = packed[-1] & ((1 << (8 - size % 8)) - 1)
+            if tail:
+                raise WireError("snapshot padding bits past array_size are set")
+        return cls(
+            rsu_id=rsu_id,
+            period=period,
+            counter=counter,
+            array_size=size,
+            packed_bits=packed,
+        )
+
+    # -- conversions to/from the in-process report type ----------------
+    @classmethod
+    def from_report(cls, report: RsuReport) -> "Snapshot":
+        return cls(
+            rsu_id=report.rsu_id,
+            period=report.period,
+            counter=report.counter,
+            array_size=report.array_size,
+            packed_bits=report.bits.to_bytes(),
+        )
+
+    def to_report(self) -> RsuReport:
+        bits = BitArray.from_bytes(self.packed_bits, self.array_size)
+        return RsuReport(
+            rsu_id=self.rsu_id,
+            counter=self.counter,
+            bits=bits,
+            period=self.period,
+        )
+
+
+def _simple(name, code, fmt, fields_doc, field_names):
+    """Build a fixed-layout message class (header-only payload)."""
+    layout = struct.Struct(fmt)
+
+    def payload(self) -> bytes:
+        values = []
+        for fname in field_names:
+            value = getattr(self, fname)
+            if fmt[1 + len(values)] == "Q":
+                values.append(_check_u64(value, fname))
+            else:
+                values.append(_check_u32(value, fname))
+        return layout.pack(*values)
+
+    def decode(cls, data: bytes):
+        if len(data) != layout.size:
+            raise WireError(
+                f"{name} payload must be {layout.size} bytes, got {len(data)}"
+            )
+        return cls(*layout.unpack(data))
+
+    namespace = {
+        "__doc__": fields_doc,
+        "payload": payload,
+        "decode": classmethod(decode),
+        "type": code,
+        "__annotations__": {fname: int for fname in field_names},
+    }
+    return dataclass(frozen=True)(type(name, (), namespace))
+
+
+SnapshotAck = _simple(
+    "SnapshotAck",
+    T_SNAPSHOT_ACK,
+    ">II",
+    "Collector's receipt for one snapshot: ``rsu_id u32 | period u32``.",
+    ("rsu_id", "period"),
+)
+
+EndPeriod = _simple(
+    "EndPeriod",
+    T_END_PERIOD,
+    ">I",
+    "Close the measurement period at the gateway: ``period u32``.",
+    ("period",),
+)
+
+EndPeriodAck = _simple(
+    "EndPeriodAck",
+    T_END_PERIOD_ACK,
+    ">II",
+    "Gateway's confirmation: ``period u32 | snapshots_uploaded u32``.",
+    ("period", "snapshots"),
+)
+
+VolumeQuery = _simple(
+    "VolumeQuery",
+    T_QUERY,
+    ">III",
+    "Point-to-point query: ``rsu_x u32 | rsu_y u32 | period u32``.",
+    ("rsu_x", "rsu_y", "period"),
+)
+
+PointQuery = _simple(
+    "PointQuery",
+    T_POINT_QUERY,
+    ">II",
+    "Point volume query: ``rsu_id u32 | period u32``.",
+    ("rsu_id", "period"),
+)
+
+PointVolume = _simple(
+    "PointVolume",
+    T_POINT_VOLUME,
+    ">IIQ",
+    "Point volume answer: ``rsu_id u32 | period u32 | counter u64``.",
+    ("rsu_id", "period", "counter"),
+)
+
+
+@dataclass(frozen=True)
+class EstimateMsg:
+    """Point-to-point answer mirroring
+    :class:`~repro.core.estimator.PairEstimate`:
+
+    ``n_c_hat f64 | v_c f64 | v_x f64 | v_y f64 | m_x u32 | m_y u32 |
+    n_x u64 | n_y u64 | s u32``.
+    """
+
+    n_c_hat: float
+    v_c: float
+    v_x: float
+    v_y: float
+    m_x: int
+    m_y: int
+    n_x: int
+    n_y: int
+    s: int
+
+    _STRUCT = struct.Struct(">ddddIIQQI")
+    type = T_ESTIMATE
+
+    def payload(self) -> bytes:
+        return self._STRUCT.pack(
+            float(self.n_c_hat),
+            float(self.v_c),
+            float(self.v_x),
+            float(self.v_y),
+            _check_u32(self.m_x, "m_x"),
+            _check_u32(self.m_y, "m_y"),
+            _check_u64(self.n_x, "n_x"),
+            _check_u64(self.n_y, "n_y"),
+            _check_u32(self.s, "s"),
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "EstimateMsg":
+        if len(payload) != cls._STRUCT.size:
+            raise WireError(
+                f"estimate payload must be {cls._STRUCT.size} bytes, "
+                f"got {len(payload)}"
+            )
+        return cls(*cls._STRUCT.unpack(payload))
+
+
+@dataclass(frozen=True)
+class ErrorMsg:
+    """An error frame: ``code u16 | utf-8 message``."""
+
+    code: int
+    message: str
+
+    _HEAD = struct.Struct(">H")
+    type = T_ERROR
+
+    def payload(self) -> bytes:
+        code = int(self.code)
+        if not 0 <= code < 1 << 16:
+            raise WireError(f"error code must fit in u16, got {code}")
+        return self._HEAD.pack(code) + self.message.encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ErrorMsg":
+        if len(payload) < cls._HEAD.size:
+            raise WireError("truncated error frame")
+        (code,) = cls._HEAD.unpack_from(payload)
+        try:
+            text = payload[cls._HEAD.size :].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"error frame text is not UTF-8: {exc}") from exc
+        return cls(code=code, message=text)
+
+
+Message = Union[
+    ResponseMsg,
+    ResponseBatch,
+    Snapshot,
+    SnapshotAck,
+    EndPeriod,
+    EndPeriodAck,
+    VolumeQuery,
+    EstimateMsg,
+    PointQuery,
+    PointVolume,
+    ErrorMsg,
+]
+
+_DECODERS = {
+    cls.type: cls
+    for cls in (
+        ResponseMsg,
+        ResponseBatch,
+        Snapshot,
+        SnapshotAck,
+        EndPeriod,
+        EndPeriodAck,
+        VolumeQuery,
+        EstimateMsg,
+        PointQuery,
+        PointVolume,
+        ErrorMsg,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(message: Message) -> bytes:
+    """Serialize *message* into one complete frame."""
+    payload = message.payload()
+    if len(payload) > MAX_PAYLOAD:
+        raise WireError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD "
+            f"({MAX_PAYLOAD})"
+        )
+    return _HEADER.pack(MAGIC, VERSION, message.type, len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> "tuple[Message, int]":
+    """Decode one frame from the head of *data*.
+
+    Returns ``(message, bytes_consumed)``.  Raises
+    :class:`~repro.errors.WireError` on any malformation, including a
+    buffer too short for the declared payload — stream consumers should
+    use :func:`read_message`, which knows how many bytes to wait for.
+    """
+    if len(data) < _HEADER.size:
+        raise WireError(
+            f"frame header needs {_HEADER.size} bytes, got {len(data)}"
+        )
+    magic, version, msg_type, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    if length > MAX_PAYLOAD:
+        raise WireError(
+            f"declared payload of {length} bytes exceeds MAX_PAYLOAD "
+            f"({MAX_PAYLOAD})"
+        )
+    end = _HEADER.size + length
+    if len(data) < end:
+        raise WireError(
+            f"frame declares {length} payload bytes but only "
+            f"{len(data) - _HEADER.size} present"
+        )
+    try:
+        decoder = _DECODERS[msg_type]
+    except KeyError:
+        raise WireError(f"unknown message type 0x{msg_type:02x}") from None
+    return decoder.decode(data[_HEADER.size : end]), end
+
+
+async def read_message(reader: asyncio.StreamReader) -> Message:
+    """Read exactly one frame from *reader*.
+
+    Raises :class:`asyncio.IncompleteReadError` on clean EOF between
+    frames (callers treat that as connection close) and
+    :class:`~repro.errors.WireError` on malformed bytes.
+    """
+    header = await reader.readexactly(_HEADER.size)
+    magic, version, msg_type, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    if length > MAX_PAYLOAD:
+        raise WireError(
+            f"declared payload of {length} bytes exceeds MAX_PAYLOAD "
+            f"({MAX_PAYLOAD})"
+        )
+    payload = await reader.readexactly(length)
+    try:
+        decoder = _DECODERS[msg_type]
+    except KeyError:
+        raise WireError(f"unknown message type 0x{msg_type:02x}") from None
+    return decoder.decode(payload)
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, message: Message
+) -> None:
+    """Frame and send *message*, honouring transport backpressure."""
+    writer.write(encode_frame(message))
+    await writer.drain()

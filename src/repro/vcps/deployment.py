@@ -10,8 +10,8 @@ This is the vectorized (experiment-scale) sibling of the per-message
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 

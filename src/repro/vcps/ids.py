@@ -10,9 +10,17 @@ layer addresses carry no linkable identity.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["random_mac", "format_mac", "is_locally_administered"]
+__all__ = [
+    "random_mac",
+    "random_macs",
+    "format_mac",
+    "is_locally_administered",
+    "locally_administered_mask",
+]
 
 #: Bit 1 of the first octet: locally administered (not vendor-assigned).
 _LOCAL_BIT = 0x02_00_00_00_00_00
@@ -28,10 +36,29 @@ def random_mac(seed: SeedLike = None) -> int:
     return (raw | _LOCAL_BIT) & ~_MULTICAST_BIT
 
 
+def random_macs(count: int, seed: SeedLike = None) -> np.ndarray:
+    """*count* fresh one-time MACs in one vectorized draw (uint64).
+
+    The batch equivalent of :func:`random_mac`, used by the load
+    generator to stamp whole response batches.
+    """
+    rng = as_generator(seed)
+    raw = rng.integers(0, 1 << 48, size=int(count), dtype=np.uint64)
+    return (raw | np.uint64(_LOCAL_BIT)) & ~np.uint64(_MULTICAST_BIT)
+
+
 def is_locally_administered(mac: int) -> bool:
     """``True`` iff *mac* has the locally-administered bit set and the
     multicast bit clear — the shape every one-time MAC must have."""
     return bool(mac & _LOCAL_BIT) and not bool(mac & _MULTICAST_BIT)
+
+
+def locally_administered_mask(macs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`is_locally_administered` over a uint64 array."""
+    macs = np.asarray(macs, dtype=np.uint64)
+    local = (macs & np.uint64(_LOCAL_BIT)) != 0
+    unicast = (macs & np.uint64(_MULTICAST_BIT)) == 0
+    return local & unicast
 
 
 def format_mac(mac: int) -> str:

@@ -9,9 +9,14 @@ server at the end of each measurement period.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.core.encoder import RsuState
 from repro.core.reports import RsuReport
 from repro.errors import ProtocolError
+from repro.vcps.ids import locally_administered_mask
 from repro.vcps.messages import Query, Response
 from repro.vcps.pki import Certificate
 
@@ -87,6 +92,57 @@ class RoadsideUnit:
             self._rejected += 1
             raise
         self._state.record(response.bit_index)
+
+    def handle_responses(self, responses: Sequence[Response]) -> int:
+        """Admit a whole batch of responses in one vectorized pass.
+
+        The fast path for the live gateway and the fleet simulation:
+        one bounds/MAC check over the batch, one counter bump, one
+        :meth:`~repro.core.bitarray.BitArray.set_bits` call.  Unlike
+        :meth:`handle_response`, malformed entries do not raise — they
+        are dropped and counted in :attr:`rejected_responses`, so one
+        bad message can never poison the rest of its batch.  Returns
+        the number of responses actually recorded.
+        """
+        if not responses:
+            return 0
+        count = len(responses)
+        macs = np.fromiter(
+            (r.mac for r in responses), dtype=np.uint64, count=count
+        )
+        indices = np.fromiter(
+            (r.bit_index for r in responses), dtype=np.int64, count=count
+        )
+        return self.handle_index_batch(macs, indices)
+
+    def handle_index_batch(
+        self, macs: np.ndarray, indices: np.ndarray
+    ) -> int:
+        """Array-level form of :meth:`handle_responses`.
+
+        Used directly by the wire gateway, which decodes responses
+        straight into parallel ``(macs, indices)`` arrays and never
+        materializes per-message objects.
+        """
+        macs = np.asarray(macs, dtype=np.uint64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if macs.shape != indices.shape:
+            raise ProtocolError(
+                f"mac batch shape {macs.shape} != index batch shape "
+                f"{indices.shape}"
+            )
+        m = self._state.array_size
+        valid = (
+            (indices >= 0)
+            & (indices < m)
+            & locally_administered_mask(macs)
+        )
+        rejected = int(indices.size - int(valid.sum()))
+        if rejected:
+            self._rejected += rejected
+            indices = indices[valid]
+        self._state.record_many(indices)
+        return int(indices.size)
 
     @property
     def counter(self) -> int:

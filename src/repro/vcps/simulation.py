@@ -15,7 +15,7 @@ experiments and is tested to produce byte-identical arrays.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
@@ -127,16 +127,18 @@ class VcpsSimulation:
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
-    def drive(self, vehicle_id: int, route: Sequence[int]) -> int:
-        """Drive one vehicle along *route* (a sequence of RSU ids).
+    def _collect_responses(
+        self, vehicle_id: int, route: Sequence[int]
+    ) -> List[tuple]:
+        """Run one vehicle's radio exchanges; return ``(rsu_id, response)``
+        pairs that made it through the channel, without recording them.
 
-        At each RSU en route the RSU broadcasts, the vehicle verifies
-        and responds, the RSU records.  Returns how many responses were
-        actually recorded (repeat visits to the same RSU within one
-        period are answered once).
+        Shared by the per-message :meth:`drive` and the batched
+        :meth:`drive_all` so both paths draw from the channel and the
+        vehicle's RNG in exactly the same order.
         """
         agent = self.vehicle(vehicle_id)
-        recorded = 0
+        delivered: List[tuple] = []
         for rsu_id in route:
             try:
                 rsu = self.rsus[int(rsu_id)]
@@ -153,17 +155,41 @@ class VcpsSimulation:
                 except AuthenticationError:  # pragma: no cover - trusted CA
                     break
                 if response is not None and self.channel.deliver_response():
-                    rsu.handle_response(response)
-                    recorded += 1
+                    delivered.append((rsu.rsu_id, response))
                 break
             self.clock.advance(1)
+        return delivered
+
+    def drive(self, vehicle_id: int, route: Sequence[int]) -> int:
+        """Drive one vehicle along *route* (a sequence of RSU ids).
+
+        At each RSU en route the RSU broadcasts, the vehicle verifies
+        and responds, the RSU records.  Returns how many responses were
+        actually recorded (repeat visits to the same RSU within one
+        period are answered once).
+        """
+        recorded = 0
+        for rsu_id, response in self._collect_responses(vehicle_id, route):
+            self.rsus[rsu_id].handle_response(response)
+            recorded += 1
         return recorded
 
     def drive_all(self, routes: Mapping[int, Sequence[int]]) -> int:
-        """Drive a whole fleet; returns total recorded responses."""
-        total = 0
+        """Drive a whole fleet; returns total recorded responses.
+
+        The radio exchanges run per vehicle (order-faithful), but the
+        recording side uses the RSUs' vectorized
+        :meth:`~repro.vcps.rsu.RoadsideUnit.handle_responses` fast path
+        — one bounds check, counter bump, and ``set_bits`` per RSU —
+        which produces bit-identical arrays to per-message recording.
+        """
+        pending: Dict[int, List] = {}
         for vehicle_id, route in routes.items():
-            total += self.drive(vehicle_id, route)
+            for rsu_id, response in self._collect_responses(vehicle_id, route):
+                pending.setdefault(rsu_id, []).append(response)
+        total = 0
+        for rsu_id, batch in pending.items():
+            total += self.rsus[rsu_id].handle_responses(batch)
         return total
 
     # ------------------------------------------------------------------

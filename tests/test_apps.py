@@ -12,7 +12,6 @@ from repro.core.estimator import ZeroFractionPolicy
 from repro.core.scheme import VlmScheme
 from repro.errors import ConfigurationError, EstimationError, NetworkDataError
 from repro.roadnet.graph import Arc, RoadNetwork
-from repro.roadnet.routing import assign_routes
 from repro.roadnet.trips import TripTable
 from repro.roadnet.volumes import pair_common_volumes
 from repro.traffic.network_workload import NetworkWorkload

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.bitarray import BitArray
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, ValidationError
 
 
 class TestConstruction:
@@ -63,6 +63,29 @@ class TestMutation:
         array = BitArray(8)
         with pytest.raises(IndexError):
             array.set_bits([7, 8])
+
+    def test_set_bits_raises_catchable_validation_error(self):
+        """Out-of-range wire input must surface as a library error a
+        gateway can catch (not a raw numpy IndexError) — and still be
+        an IndexError for callers guarding the historical behaviour."""
+        array = BitArray(8)
+        with pytest.raises(ValidationError):
+            array.set_bits([3, 100])
+        with pytest.raises(ReproError):
+            array.set_bits([-5])
+        with pytest.raises(ValidationError):
+            array.set_bit(8)
+        assert array.count_ones() == 0
+
+    def test_set_bits_rejects_non_integral(self):
+        array = BitArray(8)
+        with pytest.raises(ValidationError):
+            array.set_bits(np.array([1.5, 2.0]))
+        with pytest.raises(ValidationError):
+            array.set_bits(["not", "indices"])
+        # Exactly-integral floats are accepted (numpy promotion).
+        array.set_bits(np.array([1.0, 2.0]))
+        assert array.count_ones() == 2
 
     def test_clear(self):
         array = BitArray.from_indices(8, [0, 1])

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.encoder import RsuState, encode_passes
-from repro.core.parameters import SchemeParameters
 from repro.errors import ConfigurationError
 from repro.hashing.logical_bitarray import LogicalBitArray
 

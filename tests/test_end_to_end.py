@@ -1,6 +1,5 @@
 """Whole-system integration scenarios spanning many subsystems."""
 
-import numpy as np
 import pytest
 
 from repro.core.estimator import ZeroFractionPolicy
@@ -54,7 +53,6 @@ class TestCrossEstimatorConsistency:
             policy=ZeroFractionPolicy.CLAMP,
         )
         scheme.run_period(city.passes())
-        truth = city.common_volumes()
         # Central 3x3 grid nodes 2, 5, 8 form a realistic triple.
         reports = [scheme.decoder.report_for(node) for node in (2, 5, 8)]
         multi = estimate_multiway(tuple(reports), 2)

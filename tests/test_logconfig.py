@@ -39,7 +39,6 @@ class TestConfigureLogging:
 
     def test_anomaly_warning_is_logged(self):
         """The server's integrity flag reaches the log stream."""
-        from repro.core.bitarray import BitArray
         from repro.core.encoder import encode_passes
         from repro.core.parameters import SchemeParameters
         from repro.core.reports import RsuReport

@@ -1,6 +1,5 @@
 """Tests for multi-period aggregation."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Integration tests: road network -> workload -> scheme -> estimate."""
 
-import pytest
 
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.scheme import VlmScheme

@@ -28,7 +28,7 @@ class TestReportIndexEntropy:
         params = SchemeParameters(s=2, load_factor=1.0, m_o=1 << 10, hash_seed=3)
         fleet = VehicleFleet.random(50_000, seed=1)
         m = 1 << 10
-        report = encode_passes(fleet.ids, fleet.keys, 1, m, params)
+        encode_passes(fleet.ids, fleet.keys, 1, m, params)  # exercises the real path
         # Rebuild the index histogram from raw selection.
         from repro.hashing.logical_bitarray import select_indices
 

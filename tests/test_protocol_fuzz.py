@@ -12,7 +12,6 @@ invariants hold regardless of ordering:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.parameters import SchemeParameters

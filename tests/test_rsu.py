@@ -1,5 +1,6 @@
 """Tests for the RSU agent."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ProtocolError
@@ -61,6 +62,54 @@ class TestCollection:
         with pytest.raises(ProtocolError):
             rsu.handle_response(Response(mac=0x001A2B3C4D5E, bit_index=1))
         assert rsu.rejected_responses == 1
+
+
+class TestBatchedCollection:
+    def test_batch_matches_per_message(self, ca):
+        """handle_responses produces bit-identical state to the
+        per-message path for the same responses."""
+        responses = [
+            Response(mac=random_mac(i), bit_index=(7 * i) % 256)
+            for i in range(100)
+        ]
+        one = RoadsideUnit(5, 256, ca.issue(5))
+        for response in responses:
+            one.handle_response(response)
+        batched = RoadsideUnit(5, 256, ca.issue(5))
+        recorded = batched.handle_responses(responses)
+        assert recorded == 100
+        assert batched.counter == one.counter
+        assert batched.end_period().bits == one.end_period().bits
+
+    def test_empty_batch(self, rsu):
+        assert rsu.handle_responses([]) == 0
+        assert rsu.counter == 0
+
+    def test_malformed_entries_dropped_not_fatal(self, rsu):
+        batch = [
+            Response(mac=random_mac(1), bit_index=3),
+            Response(mac=random_mac(2), bit_index=256),  # out of range
+            Response(mac=0x001A2B3C4D5E, bit_index=4),  # vendor MAC
+            Response(mac=random_mac(3), bit_index=5),
+        ]
+        assert rsu.handle_responses(batch) == 2
+        assert rsu.counter == 2
+        assert rsu.rejected_responses == 2
+        report = rsu.end_period()
+        assert report.bits[3] == 1 and report.bits[5] == 1
+        assert report.bits[4] == 0
+
+    def test_index_batch_arrays(self, rsu):
+        macs = np.array([random_mac(i) for i in range(4)], dtype=np.uint64)
+        indices = np.array([0, 1, 300, -1], dtype=np.int64)
+        assert rsu.handle_index_batch(macs, indices) == 2
+        assert rsu.rejected_responses == 2
+
+    def test_index_batch_shape_mismatch(self, rsu):
+        with pytest.raises(ProtocolError):
+            rsu.handle_index_batch(
+                np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.int64)
+            )
 
 
 class TestPeriodLifecycle:

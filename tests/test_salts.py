@@ -1,6 +1,5 @@
 """Unit tests for repro.hashing.salts."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -1,6 +1,5 @@
 """Tests for the Sioux Falls network data (paper Fig. 3)."""
 
-import pytest
 
 from repro.roadnet.sioux_falls import (
     NUM_NODES,

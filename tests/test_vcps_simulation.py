@@ -80,6 +80,37 @@ class TestPeriodLifecycle:
         assert sim.rsus[3].array_size <= sim.params.m_o
 
 
+class TestBatchedDriveEquivalence:
+    def test_drive_all_matches_per_message_drive(self):
+        """drive_all's batched recording (handle_responses fast path)
+        must leave every RSU bit-identical to per-message drive()."""
+        def fleet():
+            return VcpsSimulation(
+                {1: 100, 2: 400, 3: 150}, s=2, load_factor=4.0, seed=5,
+                ticks_per_period=100_000,
+            )
+
+        routes = {vid: [1, 2] for vid in range(50)}
+        routes.update({vid: [2, 3] for vid in range(50, 120)})
+
+        batched = fleet()
+        total_batched = batched.drive_all(routes)
+        per_message = fleet()
+        total_single = sum(
+            per_message.drive(vid, route) for vid, route in routes.items()
+        )
+        assert total_batched == total_single
+        for rsu_id in (1, 2, 3):
+            assert (
+                batched.rsus[rsu_id].counter
+                == per_message.rsus[rsu_id].counter
+            )
+            assert (
+                batched.rsus[rsu_id].end_period().bits
+                == per_message.rsus[rsu_id].end_period().bits
+            )
+
+
 class TestAgentVectorEquivalence:
     def test_agent_sim_matches_vectorized_encoder(self):
         """The per-message agent path and the bulk numpy path must

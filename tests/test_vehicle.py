@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.parameters import SchemeParameters
 from repro.errors import AuthenticationError
 from repro.vcps.messages import Query
 from repro.vcps.pki import CertificateAuthority
