@@ -12,6 +12,7 @@ Usage::
 
     python -m repro.cli serve       # live gateway + collector
     python -m repro.cli loadgen     # replay a Sioux Falls day at them
+    python -m repro.cli chaos       # fault-injection proxy in front
 
 ``--quick`` shrinks the sweeps/repetitions for a fast smoke run;
 ``--json PATH`` additionally writes the structured results to a file.
@@ -292,6 +293,94 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap on point-to-point queries (default: the full matrix)",
     )
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="fault-injection TCP proxy in front of serve's ports",
+        description=(
+            "Relay TCP traffic to an upstream service while injecting "
+            "deterministic, seeded faults: latency, bandwidth caps, "
+            "partial writes, byte corruption, dropped ranges, resets "
+            "and blackholes.  Point `repro loadgen --gateway-port` at "
+            "the listen port to chaos-test the live plane; see the "
+            "README's chaos-testing section."
+        ),
+    )
+    chaos.add_argument(
+        "--listen-host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    chaos.add_argument(
+        "--listen-port",
+        type=int,
+        default=9701,
+        help="port clients connect to (default %(default)s)",
+    )
+    chaos.add_argument(
+        "--upstream-host",
+        default="127.0.0.1",
+        help="service to relay to (default %(default)s)",
+    )
+    chaos.add_argument(
+        "--upstream-port",
+        type=int,
+        default=8701,
+        help="upstream TCP port (default: the gateway, %(default)s)",
+    )
+    chaos.add_argument(
+        "--profile",
+        default="lossy",
+        help="named fault profile: clean, lossy, flaky, slow "
+        "(default %(default)s); individual flags below override it",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=None, help="fault decision seed"
+    )
+    chaos.add_argument(
+        "--latency", type=float, default=None, help="added delay per read (s)"
+    )
+    chaos.add_argument(
+        "--latency-jitter",
+        type=float,
+        default=None,
+        help="uniform extra delay in [0, J] per read (s)",
+    )
+    chaos.add_argument(
+        "--bandwidth", type=float, default=None, help="bytes/sec cap"
+    )
+    chaos.add_argument(
+        "--drop-rate",
+        type=float,
+        default=None,
+        help="per-512B-window probability of dropping its bytes",
+    )
+    chaos.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=None,
+        help="per-window probability of flipping one bit",
+    )
+    chaos.add_argument(
+        "--reset-rate",
+        type=float,
+        default=None,
+        help="per-window probability of a hard connection reset",
+    )
+    chaos.add_argument(
+        "--blackhole-rate",
+        type=float,
+        default=None,
+        help="per-window probability the direction goes silent",
+    )
+    chaos.add_argument(
+        "--max-chunk",
+        type=int,
+        default=None,
+        help="fragment forwarded writes to at most this many bytes",
+    )
+    chaos.add_argument(
+        "--verbose",
+        action="store_true",
+        help="enable library debug logging on stderr",
+    )
     return parser
 
 
@@ -337,6 +426,30 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     return 0 if result.bit_identical else 1
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    from repro.service.faults import profile_from_args, run_chaos
+
+    profile = profile_from_args(
+        args.profile,
+        seed=args.seed,
+        latency=args.latency,
+        latency_jitter=args.latency_jitter,
+        bandwidth=args.bandwidth,
+        drop_rate=args.drop_rate,
+        corrupt_rate=args.corrupt_rate,
+        reset_rate=args.reset_rate,
+        blackhole_rate=args.blackhole_rate,
+        max_chunk=args.max_chunk,
+    )
+    return run_chaos(
+        listen_host=args.listen_host,
+        listen_port=args.listen_port,
+        upstream_host=args.upstream_host,
+        upstream_port=args.upstream_port,
+        profile=profile,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -348,6 +461,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(args)
     if args.experiment == "loadgen":
         return _run_loadgen(args)
+    if args.experiment == "chaos":
+        return _run_chaos(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     collected = {}
     for name in names:

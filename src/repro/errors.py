@@ -17,6 +17,7 @@ __all__ = [
     "ProtocolError",
     "AuthenticationError",
     "WireError",
+    "RetryExhaustedError",
     "NetworkDataError",
     "CalibrationError",
 ]
@@ -70,6 +71,19 @@ class WireError(ProtocolError):
     version, truncated payload, or a field outside its allowed range.
     Raised by :mod:`repro.service.wire` so gateways and collectors can
     reject bad input without dropping the connection state."""
+
+
+class RetryExhaustedError(ReproError):
+    """A retried network operation failed on every allowed attempt.
+
+    Raised by :func:`repro.service.retry.retry_async` once a
+    :class:`~repro.service.retry.RetryPolicy` gives up; ``attempts``
+    records how many tries were made and ``__cause__`` carries the last
+    underlying failure."""
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = int(attempts)
 
 
 class NetworkDataError(ReproError):

@@ -17,12 +17,24 @@ sockets:
   Falls day against a live deployment and checking the answers against
   the in-process decoder;
 * :mod:`repro.service.runtime` — the shared deployment spec that keeps
-  ``repro serve`` and ``repro loadgen`` bit-for-bit consistent.
+  ``repro serve`` and ``repro loadgen`` bit-for-bit consistent;
+* :mod:`repro.service.faults` — deterministic fault-injection TCP
+  proxy (``repro chaos``) for latency, drops, corruption, resets, and
+  blackholes;
+* :mod:`repro.service.retry` — the shared jittered-exponential-backoff
+  policy every reconnecting client uses.
 """
 
 from repro.service.collector import CollectorService
+from repro.service.faults import (
+    PROFILES,
+    FaultProfile,
+    FaultProxy,
+    run_chaos,
+)
 from repro.service.gateway import RsuGateway
 from repro.service.loadgen import LoadgenResult, run_loadgen
+from repro.service.retry import RetryPolicy, retry_async
 from repro.service.runtime import DeploymentSpec, run_serve
 
 __all__ = [
@@ -32,4 +44,10 @@ __all__ = [
     "run_loadgen",
     "DeploymentSpec",
     "run_serve",
+    "FaultProfile",
+    "FaultProxy",
+    "PROFILES",
+    "run_chaos",
+    "RetryPolicy",
+    "retry_async",
 ]

@@ -13,7 +13,7 @@ the code path the in-process experiments use.
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import EstimationError, ReproError, WireError
 from repro.service import wire
@@ -28,6 +28,16 @@ logger = get_logger("service.collector")
 class CollectorService:
     """One measurement back end behind a TCP socket.
 
+    Snapshot ingestion is idempotent: uploads are keyed by
+    ``(rsu_id, period, seq)``.  A retransmission of an
+    already-applied upload (same key) is acknowledged again without
+    touching measurement state — safe because re-ORing identical
+    snapshot bits changes nothing and the counter is only observed
+    once — while an upload that would *replace* stored state for a
+    ``(rsu_id, period)`` under a different seq is refused with
+    ``E_DUPLICATE``.  That split is what makes gateway-side retries
+    safe on a lossy link.
+
     Parameters
     ----------
     server:
@@ -40,8 +50,12 @@ class CollectorService:
         self.server = server
         self._server: Optional[asyncio.AbstractServer] = None
         self.port: Optional[int] = None
+        #: (rsu_id, period) -> seq of the upload that was applied.
+        self._applied: Dict[Tuple[int, int], int] = {}
         # Stats.
         self.snapshots_received = 0
+        self.snapshots_deduped = 0
+        self.snapshots_conflicted = 0
         self.queries_answered = 0
         self.frames_rejected = 0
 
@@ -81,6 +95,8 @@ class CollectorService:
                     break
                 reply = self._handle(message)
                 await self._reply(writer, reply)
+        except (ConnectionError, OSError):
+            pass  # peer vanished mid-exchange (reset, abort, …)
         finally:
             writer.close()
             try:
@@ -113,14 +129,45 @@ class CollectorService:
         )
 
     def _handle_snapshot(self, snapshot: wire.Snapshot) -> wire.Message:
+        key = (snapshot.rsu_id, snapshot.period)
+        applied_seq = self._applied.get(key)
+        if applied_seq is not None:
+            if applied_seq == snapshot.seq:
+                # Retransmission of the upload we already applied:
+                # idempotent, ack again, leave state untouched.
+                self.snapshots_deduped += 1
+                logger.debug(
+                    "dedup: rsu=%s period=%s seq=%s",
+                    snapshot.rsu_id,
+                    snapshot.period,
+                    snapshot.seq,
+                )
+                return wire.SnapshotAck(
+                    rsu_id=snapshot.rsu_id,
+                    period=snapshot.period,
+                    seq=applied_seq,
+                )
+            # A *different* upload for a key we already decoded from:
+            # refusing is the only answer that keeps estimates stable.
+            self.snapshots_conflicted += 1
+            return wire.ErrorMsg(
+                wire.E_DUPLICATE,
+                f"snapshot for rsu {snapshot.rsu_id} period "
+                f"{snapshot.period} already applied from upload seq "
+                f"{applied_seq}; refusing to overwrite with seq "
+                f"{snapshot.seq}",
+            )
         try:
             report = snapshot.to_report()
             self.server.receive_report(report)
         except ReproError as exc:
             self.frames_rejected += 1
             return wire.ErrorMsg(wire.E_MALFORMED, str(exc))
+        self._applied[key] = snapshot.seq
         self.snapshots_received += 1
-        return wire.SnapshotAck(rsu_id=snapshot.rsu_id, period=snapshot.period)
+        return wire.SnapshotAck(
+            rsu_id=snapshot.rsu_id, period=snapshot.period, seq=snapshot.seq
+        )
 
     def _handle_query(self, query: wire.VolumeQuery) -> wire.Message:
         try:

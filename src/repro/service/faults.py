@@ -1,0 +1,509 @@
+"""Deterministic fault-injection proxy for the live measurement plane.
+
+:class:`FaultProxy` is a "toxic" TCP relay: it sits between a client
+and an upstream service (loadgen → gateway, or gateway → collector)
+and injects the failure modes a vehicular data plane must survive —
+added latency, bandwidth caps, partial writes, byte corruption,
+dropped byte ranges, connection resets, and blackholes (the link goes
+silent but stays open).  It is usable in-process by tests and
+standalone via ``repro chaos``.
+
+Determinism is the design center: every fault decision is a pure
+function of ``(profile.seed, connection index, direction, absolute
+byte offset)``.  Each relay direction divides its byte stream into
+fixed :data:`SEGMENT`-byte windows and draws one fate per window from
+a per-direction RNG, *indexed by window, not by read chunk* — so the
+same traffic produces the same faults no matter how the OS happens to
+chunk TCP reads.  A dropped window removes those bytes from the
+stream; a corrupted window flips one predetermined bit; reset and
+blackhole windows tear down or silence the connection when the stream
+reaches them.
+
+Dropping or corrupting arbitrary bytes deliberately violates frame
+boundaries: downstream decoders see garbage, raise
+:class:`~repro.errors.WireError`, nack, and hang up — exactly the
+recovery path (:mod:`repro.service.retry` + sequence-number dedup)
+the chaos suite exists to exercise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.logconfig import get_logger
+from repro.utils.tables import AsciiTable
+
+__all__ = [
+    "SEGMENT",
+    "FaultProfile",
+    "FaultStats",
+    "FaultProxy",
+    "PROFILES",
+    "run_chaos",
+]
+
+logger = get_logger("service.faults")
+
+#: Fault-decision granularity in bytes.  One fate (pass / drop /
+#: corrupt / reset / blackhole) is drawn per SEGMENT-byte window of
+#: each relay direction's byte stream.
+SEGMENT = 512
+
+_READ_SIZE = 1 << 16
+
+# Window fates.
+_PASS = 0
+_DROP = 1
+_CORRUPT = 2
+_RESET = 3
+_BLACKHOLE = 4
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """What a :class:`FaultProxy` does to the traffic it relays.
+
+    All ``*_rate`` parameters are per-:data:`SEGMENT`-window
+    probabilities, so fault counts scale with bytes transferred and a
+    short exchange sees proportionally fewer faults than a full day's
+    replay.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for every fault decision; same seed + same traffic =
+        same faults.
+    latency:
+        Seconds of delay added to every forwarded read.
+    latency_jitter:
+        Uniform extra delay in ``[0, latency_jitter]`` per read.
+    bandwidth:
+        Bytes/second cap (None = unlimited), applied as a per-chunk
+        pacing delay.
+    drop_rate:
+        Probability a window's bytes vanish from the stream.
+    corrupt_rate:
+        Probability one bit of a window is flipped in flight.
+    reset_rate:
+        Probability a window triggers a hard connection teardown when
+        the stream reaches it.
+    blackhole_rate:
+        Probability a window silences its direction: the connection
+        stays open but nothing more is ever forwarded.
+    max_chunk:
+        If set, forwarded data is written at most this many bytes at a
+        time (partial frame writes for peers that assume one read ==
+        one frame).
+    """
+
+    seed: int = 0
+    latency: float = 0.0
+    latency_jitter: float = 0.0
+    bandwidth: Optional[float] = None
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    reset_rate: float = 0.0
+    blackhole_rate: float = 0.0
+    max_chunk: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.drop_rate,
+            self.corrupt_rate,
+            self.reset_rate,
+            self.blackhole_rate,
+        )
+        if any(r < 0.0 for r in rates) or sum(rates) > 1.0:
+            raise ConfigurationError(
+                "fault rates must be non-negative and sum to <= 1, got "
+                f"{rates}"
+            )
+        if self.latency < 0 or self.latency_jitter < 0:
+            raise ConfigurationError("latency must be non-negative")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth cap must be positive, got {self.bandwidth}"
+            )
+        if self.max_chunk is not None and self.max_chunk < 1:
+            raise ConfigurationError(
+                f"max_chunk must be >= 1, got {self.max_chunk}"
+            )
+
+
+#: Named profiles for ``repro chaos --profile`` and the chaos tests.
+PROFILES: Dict[str, FaultProfile] = {
+    # A perfectly healthy relay: bytes pass through untouched.
+    "clean": FaultProfile(),
+    # Lossy link: dropped ranges and occasional corruption, mild delay.
+    "lossy": FaultProfile(
+        drop_rate=0.10,
+        corrupt_rate=0.03,
+        latency=0.002,
+        latency_jitter=0.002,
+    ),
+    # Flaky peer: connections die mid-stream, some loss.
+    "flaky": FaultProfile(
+        drop_rate=0.05, reset_rate=0.03, blackhole_rate=0.01
+    ),
+    # Slow pipe: high latency, tight bandwidth, fragmented writes.
+    "slow": FaultProfile(
+        latency=0.02,
+        latency_jitter=0.01,
+        bandwidth=256_000.0,
+        max_chunk=512,
+    ),
+}
+
+
+@dataclass
+class FaultStats:
+    """What a proxy actually did to the traffic (one instance per
+    proxy, shared by all its connections)."""
+
+    connections: int = 0
+    bytes_in: int = 0
+    bytes_forwarded: int = 0
+    windows_dropped: int = 0
+    bits_flipped: int = 0
+    resets: int = 0
+    blackholes: int = 0
+    upstream_failures: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total discrete fault events across all categories."""
+        return (
+            self.windows_dropped
+            + self.bits_flipped
+            + self.resets
+            + self.blackholes
+        )
+
+
+class _Lane:
+    """One relay direction's deterministic fault schedule.
+
+    Fates are drawn lazily, strictly in window order, from an RNG
+    seeded by ``(profile seed, connection, direction)`` — byte offset
+    is the only input, so TCP chunking cannot change the outcome.
+    """
+
+    def __init__(self, profile: FaultProfile, seed: int, stats: FaultStats):
+        self.profile = profile
+        self.stats = stats
+        self._rng = random.Random(seed)
+        self._time_rng = random.Random(seed ^ 0x5EED)
+        self._offset = 0
+        self._next_window = 0
+        self._fates: Dict[int, Tuple[int, int, int]] = {}
+        self.blackholed = False
+
+    def _fate(self, window: int) -> Tuple[int, int, int]:
+        """``(kind, corrupt_offset, corrupt_mask)`` for *window*."""
+        while self._next_window <= window:
+            idx = self._next_window
+            r = self._rng.random()
+            p = self.profile
+            edge = p.drop_rate
+            if r < edge:
+                fate = (_DROP, 0, 0)
+            elif r < (edge := edge + p.corrupt_rate):
+                fate = (
+                    _CORRUPT,
+                    idx * SEGMENT + self._rng.randrange(SEGMENT),
+                    1 << self._rng.randrange(8),
+                )
+            elif r < (edge := edge + p.reset_rate):
+                fate = (_RESET, 0, 0)
+            elif r < edge + p.blackhole_rate:
+                fate = (_BLACKHOLE, 0, 0)
+            else:
+                fate = (_PASS, 0, 0)
+            self._fates[idx] = fate
+            self._next_window += 1
+        return self._fates[window]
+
+    def delay_for(self, nbytes: int) -> float:
+        """Injected latency + bandwidth pacing for one read."""
+        p = self.profile
+        delay = p.latency
+        if p.latency_jitter:
+            delay += self._time_rng.uniform(0.0, p.latency_jitter)
+        if p.bandwidth is not None:
+            delay += nbytes / p.bandwidth
+        return delay
+
+    def process(self, chunk: bytes) -> Tuple[bytes, bool]:
+        """Apply the schedule to *chunk*; returns ``(bytes_to_forward,
+        reset_now)``."""
+        self.stats.bytes_in += len(chunk)
+        out = bytearray()
+        pos = 0
+        n = len(chunk)
+        while pos < n:
+            abs_pos = self._offset + pos
+            window = abs_pos // SEGMENT
+            take = min(n - pos, (window + 1) * SEGMENT - abs_pos)
+            kind, corrupt_at, mask = self._fate(window)
+            piece = chunk[pos : pos + take]
+            if self.blackholed:
+                pass  # silently discarded
+            elif kind == _RESET:
+                self.stats.resets += 1
+                self._offset += pos + take
+                self.stats.bytes_forwarded += len(out)
+                return bytes(out), True
+            elif kind == _BLACKHOLE:
+                self.blackholed = True
+                self.stats.blackholes += 1
+            elif kind == _DROP:
+                # The stream visits each window's first byte exactly
+                # once, so count the dropped window there.
+                if abs_pos == window * SEGMENT:
+                    self.stats.windows_dropped += 1
+            else:
+                if kind == _CORRUPT and abs_pos <= corrupt_at < abs_pos + take:
+                    flipped = bytearray(piece)
+                    flipped[corrupt_at - abs_pos] ^= mask
+                    piece = bytes(flipped)
+                    self.stats.bits_flipped += 1
+                out += piece
+            pos += take
+        self._offset += n
+        self.stats.bytes_forwarded += len(out)
+        return bytes(out), False
+
+
+class FaultProxy:
+    """A TCP relay that injects faults per :class:`FaultProfile`.
+
+    Point it at an upstream service, connect clients to
+    :attr:`port`, and every relayed byte stream is subjected to the
+    profile's deterministic fault schedule.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        profile: FaultProfile = PROFILES["clean"],
+        *,
+        name: str = "chaos",
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = int(upstream_port)
+        self.profile = profile
+        self.name = name
+        self.stats = FaultStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_counter = 0
+        self._tasks: "set[asyncio.Task]" = set()
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = await asyncio.start_server(self._serve, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info(
+            "%s proxy: %s:%s -> %s:%s",
+            self.name,
+            host,
+            self.port,
+            self.upstream_host,
+            self.upstream_port,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks.clear()
+
+    # ------------------------------------------------------------------
+    # Relaying
+    # ------------------------------------------------------------------
+    def _lane_seed(self, conn_id: int, direction: int) -> int:
+        return self.profile.seed * 2_000_003 + conn_id * 2 + direction
+
+    async def _serve(
+        self,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        conn_id = self._conn_counter
+        self._conn_counter += 1
+        self.stats.connections += 1
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            self.stats.upstream_failures += 1
+            client_writer.close()
+            return
+        lanes = (
+            _Lane(self.profile, self._lane_seed(conn_id, 0), self.stats),
+            _Lane(self.profile, self._lane_seed(conn_id, 1), self.stats),
+        )
+        writers = (client_writer, up_writer)
+        pipes = [
+            asyncio.ensure_future(
+                self._pipe(client_reader, up_writer, lanes[0], writers)
+            ),
+            asyncio.ensure_future(
+                self._pipe(up_reader, client_writer, lanes[1], writers)
+            ),
+        ]
+        for task in pipes:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        await asyncio.gather(*pipes, return_exceptions=True)
+        for writer in writers:
+            writer.close()
+
+    async def _pipe(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        lane: _Lane,
+        writers: Tuple[asyncio.StreamWriter, asyncio.StreamWriter],
+    ) -> None:
+        max_chunk = self.profile.max_chunk
+        try:
+            while True:
+                chunk = await reader.read(_READ_SIZE)
+                if not chunk:
+                    break
+                delay = lane.delay_for(len(chunk))
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                out, reset = lane.process(chunk)
+                if out:
+                    if max_chunk is None:
+                        writer.write(out)
+                        await writer.drain()
+                    else:
+                        for lo in range(0, len(out), max_chunk):
+                            writer.write(out[lo : lo + max_chunk])
+                            await writer.drain()
+                if reset:
+                    for w in writers:
+                        if w.transport is not None:
+                            w.transport.abort()
+                    return
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def render_stats(self) -> str:
+        s = self.stats
+        table = AsciiTable(
+            ["metric", "value"], title=f"Fault proxy '{self.name}'"
+        )
+        table.add_row(["connections relayed", s.connections])
+        table.add_row(["bytes in", f"{s.bytes_in:,}"])
+        table.add_row(["bytes forwarded", f"{s.bytes_forwarded:,}"])
+        table.add_row(["windows dropped", s.windows_dropped])
+        table.add_row(["bits flipped", s.bits_flipped])
+        table.add_row(["connections reset", s.resets])
+        table.add_row(["blackholes", s.blackholes])
+        table.add_row(["upstream connect failures", s.upstream_failures])
+        table.add_row(["total faults injected", s.faults_injected])
+        return table.render()
+
+
+# ----------------------------------------------------------------------
+# ``repro chaos`` entry point
+# ----------------------------------------------------------------------
+def profile_from_args(
+    profile_name: str,
+    *,
+    seed: Optional[int] = None,
+    latency: Optional[float] = None,
+    latency_jitter: Optional[float] = None,
+    bandwidth: Optional[float] = None,
+    drop_rate: Optional[float] = None,
+    corrupt_rate: Optional[float] = None,
+    reset_rate: Optional[float] = None,
+    blackhole_rate: Optional[float] = None,
+    max_chunk: Optional[int] = None,
+) -> FaultProfile:
+    """A named profile with any explicitly-given overrides applied."""
+    try:
+        profile = PROFILES[profile_name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault profile {profile_name!r}; choose from "
+            f"{sorted(PROFILES)}"
+        ) from None
+    overrides = {
+        key: value
+        for key, value in {
+            "seed": seed,
+            "latency": latency,
+            "latency_jitter": latency_jitter,
+            "bandwidth": bandwidth,
+            "drop_rate": drop_rate,
+            "corrupt_rate": corrupt_rate,
+            "reset_rate": reset_rate,
+            "blackhole_rate": blackhole_rate,
+            "max_chunk": max_chunk,
+        }.items()
+        if value is not None
+    }
+    return replace(profile, **overrides)
+
+
+async def _chaos_forever(proxy: FaultProxy, host: str, port: int) -> None:
+    await proxy.start(host, port)
+    print(
+        f"fault proxy listening on {host}:{proxy.port} -> "
+        f"{proxy.upstream_host}:{proxy.upstream_port}"
+    )
+    print(f"profile: {proxy.profile}")
+    print("press Ctrl-C to stop")
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await proxy.stop()
+
+
+def run_chaos(
+    *,
+    listen_host: str = "127.0.0.1",
+    listen_port: int = 0,
+    upstream_host: str = "127.0.0.1",
+    upstream_port: int,
+    profile: FaultProfile,
+    name: str = "chaos",
+) -> int:
+    """Blocking entry point behind ``repro chaos``."""
+    proxy = FaultProxy(upstream_host, upstream_port, profile, name=name)
+    try:
+        asyncio.run(_chaos_forever(proxy, listen_host, listen_port))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    print(proxy.render_stats())
+    return 0

@@ -22,19 +22,28 @@ with bounded retries and per-attempt timeouts before acknowledging.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Tuple
+import random
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.reports import RsuReport
-from repro.errors import WireError
+from repro.errors import RetryExhaustedError, WireError
 from repro.service import wire
+from repro.service.retry import RetryPolicy, retry_async
 from repro.utils.logconfig import get_logger
 from repro.vcps.rsu import RoadsideUnit
 
 __all__ = ["RsuGateway"]
 
 logger = get_logger("service.gateway")
+
+#: Failures during a snapshot upload worth another attempt.
+_UPLOAD_RETRY_ON = (
+    OSError,
+    WireError,
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+)
 
 #: (rsu_id, macs, bit_indices) as decoded straight off the wire.
 _QueueItem = Tuple[int, np.ndarray, np.ndarray]
@@ -61,7 +70,12 @@ class RsuGateway:
     upload_timeout:
         Per-attempt timeout for a snapshot upload (connect, send, ack).
     upload_retries:
-        Upload attempts per snapshot before giving up.
+        Upload attempts per snapshot before giving up (used to build
+        the default *retry_policy*).
+    retry_policy:
+        Full backoff schedule for uploads; overrides *upload_retries*.
+    retry_seed:
+        Seed for backoff jitter, so fault tests are reproducible.
     """
 
     def __init__(
@@ -75,6 +89,8 @@ class RsuGateway:
         flush_interval: float = 0.05,
         upload_timeout: float = 5.0,
         upload_retries: int = 3,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
     ) -> None:
         self.rsus = dict(rsus)
         self.collector_host = collector_host
@@ -82,7 +98,12 @@ class RsuGateway:
         self.batch_size = int(batch_size)
         self.flush_interval = float(flush_interval)
         self.upload_timeout = float(upload_timeout)
-        self.upload_retries = int(upload_retries)
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=max(int(upload_retries), 1))
+        )
+        self._retry_rng = random.Random(retry_seed)
         self._queue: "asyncio.Queue[_QueueItem]" = asyncio.Queue(
             maxsize=int(queue_size)
         )
@@ -91,13 +112,29 @@ class RsuGateway:
         self._server: Optional[asyncio.AbstractServer] = None
         self._ingest_task: Optional[asyncio.Task] = None
         self.port: Optional[int] = None
+        # Sequenced-delivery state.  Seqs of applied batches (bounded
+        # by one day's frame count; senders restart seqs per run).
+        self._seen_seqs: Set[int] = set()
+        # period -> rsu_id -> the exact Snapshot frame (with its upload
+        # seq) produced when the period was first closed; re-closing an
+        # already-closed period re-uploads from here instead of calling
+        # end_period() again, which makes EndPeriod idempotent.
+        self._period_uploads: Dict[int, Dict[int, wire.Snapshot]] = {}
+        self._period_acked: Dict[int, Set[int]] = {}
+        self._next_upload_seq = 1
+        # Created lazily inside the running loop (py3.9 binds locks to
+        # the loop current at construction time).
+        self._close_lock: Optional[asyncio.Lock] = None
         # Stats.
         self.responses_received = 0
         self.responses_recorded = 0
         self.responses_rejected = 0
         self.frames_rejected = 0
+        self.batches_deduped = 0
         self.snapshots_uploaded = 0
         self.snapshots_failed = 0
+        self.uploads_retried = 0
+        self.periods_reclosed = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -158,6 +195,7 @@ class RsuGateway:
                         message.rsu_id,
                         message.macs,
                         message.bit_indices,
+                        seq=message.seq,
                     )
                 elif isinstance(message, wire.EndPeriod):
                     uploaded = await self.close_period(message.period)
@@ -174,6 +212,8 @@ class RsuGateway:
                         wire.E_MALFORMED,
                         f"gateway cannot handle {type(message).__name__}",
                     )
+        except (ConnectionError, OSError):
+            pass  # peer vanished mid-exchange (reset, abort, …)
         finally:
             writer.close()
             try:
@@ -195,6 +235,7 @@ class RsuGateway:
         rsu_id: int,
         macs: np.ndarray,
         indices: np.ndarray,
+        seq: int = 0,
     ) -> None:
         if rsu_id not in self.rsus:
             self.frames_rejected += 1
@@ -202,8 +243,30 @@ class RsuGateway:
                 writer, wire.E_UNKNOWN_RSU, f"unknown RSU {rsu_id}"
             )
             return
+        if seq:
+            # Sequenced delivery: a batch the sender may retransmit
+            # after a fault.  Apply exactly once, ack every time.
+            if seq in self._seen_seqs:
+                self.batches_deduped += 1
+                await self._reply_ack(writer, seq, duplicate=True)
+                return
+            self._seen_seqs.add(seq)
+            self.responses_received += int(macs.size)
+            await self._queue.put((rsu_id, macs, indices))
+            await self._reply_ack(writer, seq, duplicate=False)
+            return
         self.responses_received += int(macs.size)
         await self._queue.put((rsu_id, macs, indices))
+
+    async def _reply_ack(
+        self, writer: asyncio.StreamWriter, seq: int, *, duplicate: bool
+    ) -> None:
+        try:
+            await wire.write_message(
+                writer, wire.BatchAck(seq=seq, duplicate=duplicate)
+            )
+        except (ConnectionError, OSError):  # peer already gone
+            pass
 
     # ------------------------------------------------------------------
     # Batched ingestion
@@ -247,77 +310,131 @@ class RsuGateway:
     # ------------------------------------------------------------------
     async def close_period(self, period: int) -> int:
         """Flush, snapshot every RSU, upload everything; returns the
-        number of snapshots the collector acknowledged."""
-        await self._queue.join()
-        self._flush_all()
-        reports = [rsu.end_period() for rsu in self.rsus.values()]
-        uploaded = await self._upload_reports(reports)
+        number of snapshots the collector has acknowledged.
+
+        Idempotent: the first close of a period drains the queue,
+        closes every RSU, and caches the resulting snapshots (each
+        stamped with a stable upload seq).  A re-close — e.g. a sender
+        retrying ``EndPeriod`` after a lost ack — re-uploads only the
+        snapshots the collector has not yet acknowledged, never calling
+        :meth:`~repro.vcps.rsu.RoadsideUnit.end_period` a second time.
+        """
+        if self._close_lock is None:
+            self._close_lock = asyncio.Lock()
+        async with self._close_lock:
+            if period in self._period_uploads:
+                self.periods_reclosed += 1
+                logger.info("period %s re-closed; resuming uploads", period)
+            else:
+                await self._queue.join()
+                self._flush_all()
+                snapshots: Dict[int, wire.Snapshot] = {}
+                for rsu in self.rsus.values():
+                    report = rsu.end_period()
+                    snapshots[report.rsu_id] = wire.Snapshot.from_report(
+                        report, seq=self._next_upload_seq
+                    )
+                    self._next_upload_seq += 1
+                self._period_uploads[period] = snapshots
+                self._period_acked[period] = set()
+                # Batch seqs are scoped to one period's stream: the next
+                # day's replay numbers its batches from 1 again, so the
+                # dedup window must reset when the period closes.  Any
+                # straggler resend for the closed period was already
+                # acked (senders only close after every batch acks).
+                self._seen_seqs.clear()
+            acked = self._period_acked[period]
+            todo = [
+                snap
+                for rsu_id, snap in sorted(
+                    self._period_uploads[period].items()
+                )
+                if rsu_id not in acked
+            ]
+            await self._upload_snapshots(period, todo)
+            uploaded = len(acked)
         logger.info(
             "period %s closed: %d/%d snapshots uploaded",
             period,
             uploaded,
-            len(reports),
+            len(self._period_uploads[period]),
         )
         return uploaded
 
-    async def _upload_reports(self, reports: List[RsuReport]) -> int:
-        uploaded = 0
-        connection: Optional[
-            Tuple[asyncio.StreamReader, asyncio.StreamWriter]
-        ] = None
+    async def _upload_snapshots(
+        self, period: int, snapshots: List[wire.Snapshot]
+    ) -> None:
+        """Upload each snapshot with the retry policy, reusing one
+        connection across snapshots; a fault closes it and the next
+        attempt redials.  Collector-side (rsu_id, period, seq) dedup
+        makes retransmissions exactly-once."""
+        connection: List[
+            Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+        ] = [None]
+
+        def _drop_connection() -> None:
+            if connection[0] is not None:
+                connection[0][1].close()
+                connection[0] = None
+
         try:
-            for report in reports:
-                snapshot = wire.Snapshot.from_report(report)
-                ok = False
-                for attempt in range(self.upload_retries):
-                    try:
-                        if connection is None:
-                            connection = await asyncio.wait_for(
-                                asyncio.open_connection(
-                                    self.collector_host, self.collector_port
-                                ),
-                                timeout=self.upload_timeout,
-                            )
-                        reader, writer = connection
-                        await asyncio.wait_for(
-                            wire.write_message(writer, snapshot),
+            for snapshot in snapshots:
+
+                async def attempt(snap: wire.Snapshot = snapshot) -> None:
+                    if connection[0] is None:
+                        connection[0] = await asyncio.wait_for(
+                            asyncio.open_connection(
+                                self.collector_host, self.collector_port
+                            ),
                             timeout=self.upload_timeout,
                         )
-                        ack = await asyncio.wait_for(
-                            wire.read_message(reader),
-                            timeout=self.upload_timeout,
-                        )
-                        if (
-                            isinstance(ack, wire.SnapshotAck)
-                            and ack.rsu_id == report.rsu_id
-                            and ack.period == report.period
-                        ):
-                            ok = True
-                            break
-                        raise WireError(f"unexpected upload reply {ack!r}")
-                    except (
-                        OSError,
-                        WireError,
-                        asyncio.TimeoutError,
-                        asyncio.IncompleteReadError,
-                    ) as exc:
-                        logger.warning(
-                            "snapshot upload rsu=%s attempt %d/%d failed: %s",
-                            report.rsu_id,
-                            attempt + 1,
-                            self.upload_retries,
-                            exc,
-                        )
-                        if connection is not None:
-                            connection[1].close()
-                            connection = None
-                        await asyncio.sleep(0.05 * (2**attempt))
-                if ok:
-                    uploaded += 1
-                    self.snapshots_uploaded += 1
-                else:
+                    reader, writer = connection[0]
+                    await asyncio.wait_for(
+                        wire.write_message(writer, snap),
+                        timeout=self.upload_timeout,
+                    )
+                    ack = await asyncio.wait_for(
+                        wire.read_message(reader),
+                        timeout=self.upload_timeout,
+                    )
+                    if (
+                        isinstance(ack, wire.SnapshotAck)
+                        and ack.rsu_id == snap.rsu_id
+                        and ack.period == snap.period
+                    ):
+                        return
+                    raise WireError(f"unexpected upload reply {ack!r}")
+
+                def _on_retry(attempt_no: int, exc: BaseException) -> None:
+                    logger.warning(
+                        "snapshot upload rsu=%s attempt %d/%d failed: %s",
+                        snapshot.rsu_id,
+                        attempt_no + 1,
+                        self.retry_policy.max_attempts,
+                        exc,
+                    )
+                    self.uploads_retried += 1
+                    _drop_connection()
+
+                try:
+                    await retry_async(
+                        attempt,
+                        policy=self.retry_policy,
+                        retry_on=_UPLOAD_RETRY_ON,
+                        rng=self._retry_rng,
+                        on_retry=_on_retry,
+                    )
+                except RetryExhaustedError as exc:
+                    logger.error(
+                        "snapshot upload rsu=%s gave up after %d attempts: %s",
+                        snapshot.rsu_id,
+                        exc.attempts,
+                        exc,
+                    )
                     self.snapshots_failed += 1
+                    _drop_connection()
+                    continue
+                self._period_acked[period].add(snapshot.rsu_id)
+                self.snapshots_uploaded += 1
         finally:
-            if connection is not None:
-                connection[1].close()
-        return uploaded
+            _drop_connection()

@@ -2,25 +2,37 @@
 
 Computes every vehicle's wire response for the day locally (the same
 Eq. 2 arithmetic as the vectorized encoder), streams them to the
-gateway in :class:`~repro.service.wire.ResponseBatch` frames, closes
-the period, and then interrogates the collector pair by pair —
+gateway in sequenced :class:`~repro.service.wire.ResponseBatch` frames,
+closes the period, and then interrogates the collector pair by pair —
 recording achieved ingest throughput (responses/sec) and query latency
 percentiles, and checking every returned estimate bit-for-bit against
 the in-process :class:`~repro.core.decoder.CentralDecoder` on the same
 seed.
+
+Delivery is fault-tolerant end to end.  Every batch carries a sequence
+number and is held until the gateway's :class:`~repro.service.wire.
+BatchAck` comes back; on any fault — a dropped or corrupted frame, a
+reset, a silent blackhole — the generator reconnects with jittered
+backoff and resends only the unacked batches.  Gateway-side seq dedup
+makes resends exactly-once, the idempotent ``EndPeriod`` makes the
+close retryable, and queries are read-only so they are simply
+reissued.  The result is the issue's headline property: estimates stay
+bit-identical to in-process decoding under every fault profile.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import EstimationError, ProtocolError
+from repro.errors import EstimationError, RetryExhaustedError, WireError
 from repro.service import wire
+from repro.service.retry import RetryPolicy, retry_async
 from repro.service.runtime import (
     DEFAULT_COLLECTOR_PORT,
     DEFAULT_GATEWAY_PORT,
@@ -29,7 +41,37 @@ from repro.service.runtime import (
 from repro.utils.tables import AsciiTable
 from repro.vcps.ids import random_macs
 
-__all__ = ["LoadgenResult", "replay_day", "run_queries", "run_loadgen"]
+__all__ = [
+    "LoadgenResult",
+    "StreamStats",
+    "replay_day",
+    "run_queries",
+    "run_loadgen",
+]
+
+#: Failures that mean "this connection is gone; reconnect and resend".
+_FAULTS = (
+    OSError,
+    WireError,
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+)
+
+#: Consecutive zero-progress reconnect cycles before giving up.
+_MAX_STALLS = 20
+
+
+@dataclass
+class StreamStats:
+    """What the streaming phase delivered and what it survived."""
+
+    sent: int = 0
+    elapsed: float = 0.0
+    snapshots_acked: int = 0
+    reconnects: int = 0
+    batches_resent: int = 0
+    dedup_acks: int = 0
+    nacks: int = 0
 
 
 @dataclass
@@ -45,6 +87,10 @@ class LoadgenResult:
     counters_checked: int
     counter_mismatches: List[int]
     snapshots_acked: int
+    reconnects: int = 0
+    batches_resent: int = 0
+    dedup_acks: int = 0
+    nacks: int = 0
 
     @property
     def throughput(self) -> float:
@@ -81,6 +127,10 @@ class LoadgenResult:
         table.add_row(["query latency p50 (ms)", f"{p['p50']:.2f}"])
         table.add_row(["query latency p90 (ms)", f"{p['p90']:.2f}"])
         table.add_row(["query latency p99 (ms)", f"{p['p99']:.2f}"])
+        table.add_row(["reconnects", self.reconnects])
+        table.add_row(["batches resent", self.batches_resent])
+        table.add_row(["duplicate acks (deduped)", self.dedup_acks])
+        table.add_row(["nacks (corrupt frames)", self.nacks])
         table.add_row(
             ["point counters checked", f"{self.counters_checked}"]
         )
@@ -99,6 +149,47 @@ class LoadgenResult:
         return table.render()
 
 
+def _close_connection(
+    connection: Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+) -> None:
+    if connection is not None:
+        try:
+            connection[1].close()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+def _day_batches(
+    spec: DeploymentSpec, wire_batch: int
+) -> List[wire.ResponseBatch]:
+    """Precompute the whole day as sequenced batches (seqs 1..N).
+
+    Seqs are assigned deterministically so a re-run of the same spec
+    produces the same frames — the dedup identity a resend relies on.
+    """
+    mac_rng = np.random.default_rng(spec.seed)
+    batches: List[wire.ResponseBatch] = []
+    seq = 1
+    for rsu_id in spec.scheme.rsu_ids:
+        indices = spec.response_indices(rsu_id)
+        if indices.size == 0:
+            continue
+        macs = random_macs(indices.size, seed=mac_rng)
+        for lo in range(0, indices.size, wire_batch):
+            batches.append(
+                wire.ResponseBatch(
+                    rsu_id=rsu_id,
+                    macs=macs[lo : lo + wire_batch],
+                    bit_indices=indices[lo : lo + wire_batch].astype(
+                        np.uint32
+                    ),
+                    seq=seq,
+                )
+            )
+            seq += 1
+    return batches
+
+
 async def replay_day(
     spec: DeploymentSpec,
     *,
@@ -106,43 +197,112 @@ async def replay_day(
     gateway_port: int = DEFAULT_GATEWAY_PORT,
     wire_batch: int = 4096,
     period: int = 0,
-) -> Tuple[int, float, int]:
+    window: int = 32,
+    ack_timeout: float = 5.0,
+    close_timeout: float = 30.0,
+    retry_policy: Optional[RetryPolicy] = None,
+    retry_seed: int = 0,
+) -> StreamStats:
     """Stream the whole day's responses and close the period.
 
-    Returns ``(responses_sent, elapsed_seconds, snapshots_acked)``.
+    Batches are streamed in windows of *window* outstanding frames;
+    each window's acks are read back before the next is written.  A
+    fault mid-stream closes the connection, reconnects under
+    *retry_policy*, and resends only the batches the gateway has not
+    acknowledged.  Raises :class:`~repro.errors.RetryExhaustedError`
+    after too many consecutive cycles with no forward progress.
     """
-    reader, writer = await asyncio.open_connection(host, gateway_port)
-    mac_rng = np.random.default_rng(spec.seed)
-    sent = 0
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+    rng = random.Random(retry_seed)
+    batches = _day_batches(spec, wire_batch)
+    unacked: Dict[int, wire.ResponseBatch] = {b.seq: b for b in batches}
+    sent_once: set = set()
+    stats = StreamStats()
+    connection: Optional[
+        Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+    ] = None
+    end_acked = False
+    stalls = 0
     start = time.perf_counter()
     try:
-        for rsu_id in spec.scheme.rsu_ids:
-            indices = spec.response_indices(rsu_id)
-            if indices.size == 0:
-                continue
-            macs = random_macs(indices.size, seed=mac_rng)
-            for lo in range(0, indices.size, wire_batch):
-                batch = wire.ResponseBatch(
-                    rsu_id=rsu_id,
-                    macs=macs[lo : lo + wire_batch],
-                    bit_indices=indices[lo : lo + wire_batch].astype(
-                        np.uint32
-                    ),
+        while not end_acked:
+            made_progress = False
+            try:
+                if connection is None:
+
+                    async def connect():
+                        return await asyncio.wait_for(
+                            asyncio.open_connection(host, gateway_port),
+                            timeout=ack_timeout,
+                        )
+
+                    connection = await retry_async(
+                        connect, policy=policy, rng=rng
+                    )
+                reader, writer = connection
+                todo = list(unacked.values())
+                for lo in range(0, len(todo), window):
+                    chunk = todo[lo : lo + window]
+                    for batch in chunk:
+                        if batch.seq in sent_once:
+                            stats.batches_resent += 1
+                        else:
+                            sent_once.add(batch.seq)
+                        await wire.write_message(writer, batch)
+                    for _ in chunk:
+                        answer = await asyncio.wait_for(
+                            wire.read_message(reader), timeout=ack_timeout
+                        )
+                        if isinstance(answer, wire.BatchAck):
+                            if answer.duplicate:
+                                stats.dedup_acks += 1
+                            acked = unacked.pop(answer.seq, None)
+                            if acked is not None:
+                                stats.sent += len(acked)
+                                made_progress = True
+                        elif isinstance(answer, wire.ErrorMsg):
+                            stats.nacks += 1
+                            raise WireError(
+                                f"gateway nack: {answer.message}"
+                            )
+                        else:
+                            raise WireError(
+                                f"unexpected ack frame {answer!r}"
+                            )
+                # Everything acked: close the period.  The gateway's
+                # close is idempotent, so a lost ack here is retried
+                # on the next cycle without re-snapshotting.
+                await wire.write_message(
+                    writer, wire.EndPeriod(period=period)
                 )
-                await wire.write_message(writer, batch)
-                sent += len(batch)
-        await wire.write_message(writer, wire.EndPeriod(period=period))
-        ack = await wire.read_message(reader)
-        elapsed = time.perf_counter() - start
-        if not isinstance(ack, wire.EndPeriodAck):
-            raise ProtocolError(f"expected EndPeriodAck, got {ack!r}")
-        return sent, elapsed, ack.snapshots
+                answer = await asyncio.wait_for(
+                    wire.read_message(reader), timeout=close_timeout
+                )
+                if isinstance(answer, wire.EndPeriodAck):
+                    stats.snapshots_acked = answer.snapshots
+                    end_acked = True
+                elif isinstance(answer, wire.ErrorMsg):
+                    stats.nacks += 1
+                    raise WireError(
+                        f"gateway nack on EndPeriod: {answer.message}"
+                    )
+                else:
+                    raise WireError(f"unexpected close reply {answer!r}")
+            except _FAULTS as exc:
+                _close_connection(connection)
+                connection = None
+                stats.reconnects += 1
+                stalls = 0 if made_progress else stalls + 1
+                if stalls >= _MAX_STALLS:
+                    raise RetryExhaustedError(
+                        f"no streaming progress after {stalls} "
+                        f"consecutive reconnects: {exc}",
+                        attempts=stalls,
+                    ) from exc
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):  # pragma: no cover
-            pass
+        _close_connection(connection)
+    stats.elapsed = time.perf_counter() - start
+    return stats
 
 
 async def run_queries(
@@ -152,28 +312,80 @@ async def run_queries(
     collector_port: int = DEFAULT_COLLECTOR_PORT,
     period: int = 0,
     max_queries: Optional[int] = None,
-) -> Tuple[np.ndarray, int, List[Tuple[int, int]], int, List[int]]:
+    ack_timeout: float = 5.0,
+    retry_policy: Optional[RetryPolicy] = None,
+    retry_seed: int = 0,
+) -> Tuple[np.ndarray, int, List[Tuple[int, int]], int, List[int], int]:
     """Query the live collector and diff against the local decoder.
 
+    Queries are read-only, so fault recovery is simple: on any broken
+    exchange, reconnect and reissue the same query.  An
+    ``E_ESTIMATION`` error frame is a legitimate *answer* (the local
+    decoder fails the same way); any other error frame counts as a
+    fault.
+
     Returns ``(latencies_ms, estimates_checked, pair_mismatches,
-    counters_checked, counter_mismatches)``.
+    counters_checked, counter_mismatches, reconnects)``.
     """
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+    rng = random.Random(retry_seed)
     reference = spec.reference_decoder(period=period)
     rsu_ids = reference.rsu_ids(period)
-    reader, writer = await asyncio.open_connection(host, collector_port)
     latencies: List[float] = []
     mismatches: List[Tuple[int, int]] = []
     counter_mismatches: List[int] = []
     checked = 0
     counters_checked = 0
+    reconnects = 0
+    connection: Optional[
+        Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+    ] = None
+
+    async def ask(message: wire.Message) -> wire.Message:
+        nonlocal connection, reconnects
+        last_exc: Optional[BaseException] = None
+        for _ in range(_MAX_STALLS):
+            try:
+                if connection is None:
+
+                    async def connect():
+                        return await asyncio.wait_for(
+                            asyncio.open_connection(host, collector_port),
+                            timeout=ack_timeout,
+                        )
+
+                    connection = await retry_async(
+                        connect, policy=policy, rng=rng
+                    )
+                reader, writer = connection
+                await wire.write_message(writer, message)
+                answer = await asyncio.wait_for(
+                    wire.read_message(reader), timeout=ack_timeout
+                )
+                if (
+                    isinstance(answer, wire.ErrorMsg)
+                    and answer.code != wire.E_ESTIMATION
+                ):
+                    raise WireError(f"collector nack: {answer.message}")
+                return answer
+            except _FAULTS as exc:
+                last_exc = exc
+                _close_connection(connection)
+                connection = None
+                reconnects += 1
+        raise RetryExhaustedError(
+            f"query never completed after {_MAX_STALLS} reconnects: "
+            f"{last_exc}",
+            attempts=_MAX_STALLS,
+        ) from last_exc
+
     try:
         # Exact point volumes first: cheap, and a counter drift would
         # explain any estimate drift downstream.
         for rsu_id in rsu_ids:
-            await wire.write_message(
-                writer, wire.PointQuery(rsu_id=rsu_id, period=period)
+            answer = await ask(
+                wire.PointQuery(rsu_id=rsu_id, period=period)
             )
-            answer = await wire.read_message(reader)
             counters_checked += 1
             if not (
                 isinstance(answer, wire.PointVolume)
@@ -190,11 +402,9 @@ async def run_queries(
             pairs = pairs[: int(max_queries)]
         for rsu_x, rsu_y in pairs:
             start = time.perf_counter()
-            await wire.write_message(
-                writer,
-                wire.VolumeQuery(rsu_x=rsu_x, rsu_y=rsu_y, period=period),
+            answer = await ask(
+                wire.VolumeQuery(rsu_x=rsu_x, rsu_y=rsu_y, period=period)
             )
-            answer = await wire.read_message(reader)
             latencies.append((time.perf_counter() - start) * 1e3)
             try:
                 expected = reference.pair_estimate(rsu_x, rsu_y, period)
@@ -217,17 +427,14 @@ async def run_queries(
             ):
                 mismatches.append((rsu_x, rsu_y))
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):  # pragma: no cover
-            pass
+        _close_connection(connection)
     return (
         np.asarray(latencies),
         checked,
         mismatches,
         counters_checked,
         counter_mismatches,
+        reconnects,
     )
 
 
@@ -240,15 +447,25 @@ async def run_loadgen(
     wire_batch: int = 4096,
     max_queries: Optional[int] = None,
     period: int = 0,
+    window: int = 32,
+    ack_timeout: float = 5.0,
+    close_timeout: float = 30.0,
+    retry_policy: Optional[RetryPolicy] = None,
+    retry_seed: int = 0,
 ) -> LoadgenResult:
     """Full load generation run: stream the day, then verify queries."""
     spec = spec if spec is not None else DeploymentSpec()
-    sent, elapsed, acked = await replay_day(
+    stream = await replay_day(
         spec,
         host=host,
         gateway_port=gateway_port,
         wire_batch=wire_batch,
         period=period,
+        window=window,
+        ack_timeout=ack_timeout,
+        close_timeout=close_timeout,
+        retry_policy=retry_policy,
+        retry_seed=retry_seed,
     )
     (
         latencies,
@@ -256,21 +473,29 @@ async def run_loadgen(
         mismatches,
         counters_checked,
         counter_mismatches,
+        query_reconnects,
     ) = await run_queries(
         spec,
         host=host,
         collector_port=collector_port,
         period=period,
         max_queries=max_queries,
+        ack_timeout=ack_timeout,
+        retry_policy=retry_policy,
+        retry_seed=retry_seed + 1,
     )
     return LoadgenResult(
-        responses_sent=sent,
-        stream_seconds=elapsed,
+        responses_sent=stream.sent,
+        stream_seconds=stream.elapsed,
         queries=int(latencies.size),
         query_latencies_ms=latencies,
         estimates_checked=checked,
         mismatches=mismatches,
         counters_checked=counters_checked,
         counter_mismatches=counter_mismatches,
-        snapshots_acked=acked,
+        snapshots_acked=stream.snapshots_acked,
+        reconnects=stream.reconnects + query_reconnects,
+        batches_resent=stream.batches_resent,
+        dedup_acks=stream.dedup_acks,
+        nacks=stream.nacks,
     )

@@ -1,0 +1,157 @@
+"""Shared retry policy: jittered exponential backoff with a cap.
+
+Every reconnect/retransmit loop in the live measurement plane — the
+gateway's snapshot uploads, the load generator's batch streaming and
+query connections — follows the same schedule so behaviour under
+faults is tunable in one place:
+
+    ``delay(k) = min(base_delay * multiplier**k, max_delay)``,
+
+optionally scaled by a symmetric random jitter of ``±jitter`` (a
+fraction of the deterministic delay), which prevents a fleet of
+clients that failed together from retrying in lockstep.
+
+Everything is injectable for tests: the RNG (so jitter is seedable)
+and the sleep function (so a fake clock can record the schedule
+without waiting).  :func:`retry_async` raises
+:class:`~repro.errors.RetryExhaustedError` once the policy gives up,
+chaining the last underlying failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import (
+    Awaitable,
+    Callable,
+    Iterator,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+)
+
+from repro.errors import ConfigurationError, RetryExhaustedError
+
+__all__ = ["RetryPolicy", "retry_async", "TRANSIENT_NETWORK_ERRORS"]
+
+T = TypeVar("T")
+
+#: The failures a retry loop should treat as transient: connection
+#: problems, timeouts, and streams that died mid-frame.  WireError is
+#: deliberately included — on a faulty link a corrupt frame means the
+#: *transport* mangled bytes, and the fix is a clean reconnect, not a
+#: crash.
+TRANSIENT_NETWORK_ERRORS: Tuple[Type[BaseException], ...] = (
+    OSError,
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, to retry a failing operation.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries (the first attempt counts); must be >= 1.
+    base_delay:
+        Seconds before the first retry.
+    multiplier:
+        Exponential growth factor between consecutive retries.
+    max_delay:
+        Ceiling on any single delay, applied before jitter.
+    jitter:
+        Fraction in ``[0, 1]``: each delay is scaled by a uniform
+        factor in ``[1 - jitter, 1 + jitter]``.  Zero disables jitter,
+        making the schedule fully deterministic without an RNG.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be a fraction in [0, 1], got {self.jitter}"
+            )
+
+    def delay(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Backoff before retry number *attempt* (0-based).
+
+        With an *rng* and non-zero jitter the result is uniform in
+        ``[d * (1 - jitter), d * (1 + jitter)]`` around the
+        deterministic delay ``d``; without one it is exactly ``d``.
+        """
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        base = min(
+            self.base_delay * self.multiplier**attempt, self.max_delay
+        )
+        if rng is not None and self.jitter > 0.0:
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base
+
+    def delays(
+        self, rng: Optional[random.Random] = None
+    ) -> Iterator[float]:
+        """The full backoff schedule: one delay per *retry* (so
+        ``max_attempts - 1`` values)."""
+        for attempt in range(self.max_attempts - 1):
+            yield self.delay(attempt, rng)
+
+
+async def retry_async(
+    operation: Callable[[], Awaitable[T]],
+    *,
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = TRANSIENT_NETWORK_ERRORS,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Run *operation* until it succeeds or the policy gives up.
+
+    *operation* is a zero-argument coroutine factory, awaited once per
+    attempt.  Exceptions matching *retry_on* trigger a backoff
+    (computed by *policy*, slept via *sleep*) and another attempt;
+    anything else propagates immediately.  *on_retry* is called with
+    ``(attempt_index, exception)`` before each backoff — the hook the
+    services use to reset connections and bump fault counters.
+
+    Raises :class:`~repro.errors.RetryExhaustedError` (with the final
+    failure as ``__cause__``) after ``policy.max_attempts`` failures.
+    """
+    for attempt in range(policy.max_attempts):
+        try:
+            return await operation()
+        except retry_on as exc:
+            if attempt + 1 >= policy.max_attempts:
+                raise RetryExhaustedError(
+                    f"operation failed after {policy.max_attempts} "
+                    f"attempts; last error: {exc!r}",
+                    attempts=policy.max_attempts,
+                ) from exc
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            await sleep(policy.delay(attempt, rng))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.retry import RetryPolicy
 
 import numpy as np
 
@@ -129,8 +132,18 @@ async def start_services(
     host: str = "127.0.0.1",
     gateway_port: int = DEFAULT_GATEWAY_PORT,
     collector_port: int = DEFAULT_COLLECTOR_PORT,
+    upload_port: Optional[int] = None,
+    upload_retry_policy: Optional["RetryPolicy"] = None,
+    upload_retry_seed: int = 0,
+    upload_timeout: float = 5.0,
 ) -> Tuple["RsuGateway", "CollectorService"]:
-    """Start collector and gateway servers; returns both (running)."""
+    """Start collector and gateway servers; returns both (running).
+
+    *upload_port* overrides where the gateway dials for snapshot
+    uploads — pass a :class:`~repro.service.faults.FaultProxy` port to
+    route the gateway→collector path through injected faults while the
+    collector itself listens on *collector_port* as usual.
+    """
     from repro.service.collector import CollectorService
     from repro.service.gateway import RsuGateway
 
@@ -139,7 +152,12 @@ async def start_services(
     gateway = RsuGateway(
         spec.build_rsus(),
         collector_host=host,
-        collector_port=collector.port,
+        collector_port=(
+            collector.port if upload_port is None else upload_port
+        ),
+        upload_timeout=upload_timeout,
+        retry_policy=upload_retry_policy,
+        retry_seed=upload_retry_seed,
     )
     await gateway.start(host, gateway_port)
     logger.info(

@@ -4,18 +4,29 @@ Every message travels in one *frame*::
 
     offset  size  field
     0       2     magic  b"VW"
-    2       1     version (currently 1)
+    2       1     version (currently 2)
     3       1     message type
     4       4     payload length (big-endian u32)
-    8       N     payload
+    8       4     CRC-32 of the payload (big-endian u32)
+    12      N     payload
 
 All multi-byte integers are big-endian.  Payload layouts per type are
 documented on each message class and in ``docs/protocol.md``.  The
 decoder is strict: bad magic, unknown version/type, truncated or
-oversized payloads, out-of-range fields, and non-zero padding bits in
-a snapshot all raise :class:`~repro.errors.WireError` — a gateway must
-be able to reject any byte stream without crashing or corrupting
-state.
+oversized payloads, a payload whose CRC-32 disagrees with the header,
+out-of-range fields, and non-zero padding bits in a snapshot all raise
+:class:`~repro.errors.WireError` — a gateway must be able to reject
+any byte stream without crashing or corrupting state.  The CRC makes
+in-flight corruption *detectable*: a corrupt frame is nacked with an
+error frame instead of being silently recorded, which is what lets the
+retry layer (:mod:`repro.service.retry`) guarantee bit-identical
+decoding over lossy links.
+
+Version 2 additions over the original framing: the payload CRC, the
+``seq`` field on :class:`ResponseBatch` / :class:`Snapshot` /
+``SnapshotAck`` (delivery sequence numbers, ``0`` = unsequenced
+best-effort), and :class:`BatchAck` — the gateway's per-batch receipt
+that makes retransmission-with-dedup possible.
 
 The codec is deliberately numpy-friendly: response batches carry
 parallel ``uint64``/``uint32`` arrays (decoded with zero copies via
@@ -27,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -42,6 +54,7 @@ __all__ = [
     "MAX_PAYLOAD",
     "ResponseMsg",
     "ResponseBatch",
+    "BatchAck",
     "Snapshot",
     "SnapshotAck",
     "EndPeriod",
@@ -59,12 +72,12 @@ __all__ = [
 ]
 
 MAGIC = b"VW"
-VERSION = 1
+VERSION = 2
 #: Hard cap on payload size: the largest legal snapshot is an
 #: ``m_o = 2**24``-bit array (2 MiB packed) plus its fixed header.
 MAX_PAYLOAD = (1 << 21) + 64
 
-_HEADER = struct.Struct(">2sBBI")
+_HEADER = struct.Struct(">2sBBII")
 
 _MAC_LIMIT = 1 << 48
 
@@ -79,6 +92,7 @@ T_QUERY = 0x07
 T_ESTIMATE = 0x08
 T_POINT_QUERY = 0x09
 T_POINT_VOLUME = 0x0A
+T_BATCH_ACK = 0x0B
 T_ERROR = 0x7F
 
 # Error codes carried by ErrorMsg.
@@ -86,6 +100,10 @@ E_MALFORMED = 1
 E_UNKNOWN_RSU = 2
 E_ESTIMATION = 3
 E_INTERNAL = 4
+#: A snapshot re-upload for an already-stored ``(rsu_id, period)`` that
+#: carries a *different* sequence number: the collector refuses to
+#: overwrite measurement state it has already decoded from.
+E_DUPLICATE = 5
 
 
 def _check_u32(value: int, name: str) -> int:
@@ -142,16 +160,24 @@ class ResponseMsg:
 class ResponseBatch:
     """A batch of responses for one RSU.
 
-    ``rsu_id u32 | count u32 | macs u64[count] | indices u32[count]``.
-    Parallel arrays rather than interleaved records, so the gateway can
-    hand both straight to :meth:`RoadsideUnit.handle_index_batch`.
+    ``rsu_id u32 | seq u64 | count u32 | macs u64[count] |
+    indices u32[count]``.  Parallel arrays rather than interleaved
+    records, so the gateway can hand both straight to
+    :meth:`RoadsideUnit.handle_index_batch`.
+
+    ``seq`` is a sender-assigned delivery sequence number.  ``seq == 0``
+    means best-effort (no ack, no dedup — the original fire-and-forget
+    semantics).  ``seq >= 1`` asks the gateway to (a) acknowledge the
+    batch with a :class:`BatchAck` and (b) apply it at most once, so a
+    sender may retransmit after a fault without double-counting.
     """
 
     rsu_id: int
     macs: np.ndarray
     bit_indices: np.ndarray
+    seq: int = 0
 
-    _HEAD = struct.Struct(">II")
+    _HEAD = struct.Struct(">IQI")
     type = T_RESPONSE_BATCH
 
     def __post_init__(self) -> None:
@@ -173,6 +199,7 @@ class ResponseBatch:
             return NotImplemented
         return (
             self.rsu_id == other.rsu_id
+            and self.seq == other.seq
             and np.array_equal(self.macs, other.macs)
             and np.array_equal(self.bit_indices, other.bit_indices)
         )
@@ -182,6 +209,7 @@ class ResponseBatch:
             raise WireError("batch contains a MAC wider than 48 bits")
         head = self._HEAD.pack(
             _check_u32(self.rsu_id, "rsu_id"),
+            _check_u64(self.seq, "seq"),
             _check_u32(self.macs.size, "count"),
         )
         return head + self.macs.tobytes() + self.bit_indices.tobytes()
@@ -190,7 +218,7 @@ class ResponseBatch:
     def decode(cls, payload: bytes) -> "ResponseBatch":
         if len(payload) < cls._HEAD.size:
             raise WireError("truncated response batch header")
-        rsu_id, count = cls._HEAD.unpack_from(payload)
+        rsu_id, seq, count = cls._HEAD.unpack_from(payload)
         expected = cls._HEAD.size + count * 12
         if len(payload) != expected:
             raise WireError(
@@ -203,17 +231,57 @@ class ResponseBatch:
         )
         if macs.size and int(macs.max()) >= _MAC_LIMIT:
             raise WireError("batch contains a MAC wider than 48 bits")
-        return cls(rsu_id=rsu_id, macs=macs, bit_indices=idx)
+        return cls(rsu_id=rsu_id, macs=macs, bit_indices=idx, seq=seq)
+
+
+@dataclass(frozen=True)
+class BatchAck:
+    """Gateway receipt for one sequenced batch: ``seq u64 | flags u8``.
+
+    ``flags`` bit 0 set means the batch was a duplicate of one already
+    applied (the sender's retransmission was deduplicated, not
+    recorded a second time).
+    """
+
+    seq: int
+    duplicate: bool = False
+
+    _STRUCT = struct.Struct(">QB")
+    type = T_BATCH_ACK
+
+    def payload(self) -> bytes:
+        return self._STRUCT.pack(
+            _check_u64(self.seq, "seq"), 1 if self.duplicate else 0
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "BatchAck":
+        if len(payload) != cls._STRUCT.size:
+            raise WireError(
+                f"batch ack payload must be {cls._STRUCT.size} bytes, "
+                f"got {len(payload)}"
+            )
+        seq, flags = cls._STRUCT.unpack(payload)
+        if flags > 1:
+            raise WireError(f"batch ack flags must be 0 or 1, got {flags}")
+        return cls(seq=seq, duplicate=bool(flags))
 
 
 @dataclass(frozen=True)
 class Snapshot:
     """An RSU's period-end report.
 
-    ``rsu_id u32 | period u32 | counter u64 | array_size u32 |
-    packed_bits u8[ceil(array_size / 8)]`` — the bit array is
+    ``rsu_id u32 | period u32 | seq u64 | counter u64 | array_size u32
+    | packed_bits u8[ceil(array_size / 8)]`` — the bit array is
     ``np.packbits`` output (big-endian bit order) and any padding bits
     past ``array_size`` must be zero.
+
+    ``seq`` identifies the *upload*, not the report: a gateway
+    retransmitting the same snapshot after a lost ack reuses the seq,
+    and the collector dedups on ``(rsu_id, period, seq)`` — safe,
+    because re-ORing identical snapshot bits is idempotent and the
+    counter is not re-observed.  A different seq for an already-stored
+    ``(rsu_id, period)`` is a conflict and is nacked.
     """
 
     rsu_id: int
@@ -221,8 +289,9 @@ class Snapshot:
     counter: int
     array_size: int
     packed_bits: bytes = field(repr=False)
+    seq: int = 0
 
-    _HEAD = struct.Struct(">IIQI")
+    _HEAD = struct.Struct(">IIQQI")
     type = T_SNAPSHOT
 
     def payload(self) -> bytes:
@@ -236,6 +305,7 @@ class Snapshot:
             self._HEAD.pack(
                 _check_u32(self.rsu_id, "rsu_id"),
                 _check_u32(self.period, "period"),
+                _check_u64(self.seq, "seq"),
                 _check_u64(self.counter, "counter"),
                 _check_u32(self.array_size, "array_size"),
             )
@@ -246,7 +316,7 @@ class Snapshot:
     def decode(cls, payload: bytes) -> "Snapshot":
         if len(payload) < cls._HEAD.size:
             raise WireError("truncated snapshot header")
-        rsu_id, period, counter, size = cls._HEAD.unpack_from(payload)
+        rsu_id, period, seq, counter, size = cls._HEAD.unpack_from(payload)
         if size == 0:
             raise WireError("snapshot array_size must be positive")
         packed = payload[cls._HEAD.size :]
@@ -266,17 +336,19 @@ class Snapshot:
             counter=counter,
             array_size=size,
             packed_bits=packed,
+            seq=seq,
         )
 
     # -- conversions to/from the in-process report type ----------------
     @classmethod
-    def from_report(cls, report: RsuReport) -> "Snapshot":
+    def from_report(cls, report: RsuReport, *, seq: int = 0) -> "Snapshot":
         return cls(
             rsu_id=report.rsu_id,
             period=report.period,
             counter=report.counter,
             array_size=report.array_size,
             packed_bits=report.bits.to_bytes(),
+            seq=seq,
         )
 
     def to_report(self) -> RsuReport:
@@ -323,9 +395,11 @@ def _simple(name, code, fmt, fields_doc, field_names):
 SnapshotAck = _simple(
     "SnapshotAck",
     T_SNAPSHOT_ACK,
-    ">II",
-    "Collector's receipt for one snapshot: ``rsu_id u32 | period u32``.",
-    ("rsu_id", "period"),
+    ">IIQ",
+    "Collector's receipt for one snapshot: ``rsu_id u32 | period u32 | "
+    "seq u64`` (seq echoes the upload being acknowledged; a dedup hit "
+    "echoes the stored upload's seq).",
+    ("rsu_id", "period", "seq"),
 )
 
 EndPeriod = _simple(
@@ -445,6 +519,7 @@ class ErrorMsg:
 Message = Union[
     ResponseMsg,
     ResponseBatch,
+    BatchAck,
     Snapshot,
     SnapshotAck,
     EndPeriod,
@@ -461,6 +536,7 @@ _DECODERS = {
     for cls in (
         ResponseMsg,
         ResponseBatch,
+        BatchAck,
         Snapshot,
         SnapshotAck,
         EndPeriod,
@@ -477,6 +553,10 @@ _DECODERS = {
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
+def _crc(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
 def encode_frame(message: Message) -> bytes:
     """Serialize *message* into one complete frame."""
     payload = message.payload()
@@ -485,7 +565,23 @@ def encode_frame(message: Message) -> bytes:
             f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD "
             f"({MAX_PAYLOAD})"
         )
-    return _HEADER.pack(MAGIC, VERSION, message.type, len(payload)) + payload
+    return (
+        _HEADER.pack(MAGIC, VERSION, message.type, len(payload), _crc(payload))
+        + payload
+    )
+
+
+def _decode_payload(msg_type: int, payload: bytes, crc: int) -> Message:
+    if _crc(payload) != crc:
+        raise WireError(
+            f"payload CRC mismatch (declared 0x{crc:08x}, computed "
+            f"0x{_crc(payload):08x}): frame corrupt in flight"
+        )
+    try:
+        decoder = _DECODERS[msg_type]
+    except KeyError:
+        raise WireError(f"unknown message type 0x{msg_type:02x}") from None
+    return decoder.decode(payload)
 
 
 def decode_frame(data: bytes) -> "tuple[Message, int]":
@@ -500,7 +596,7 @@ def decode_frame(data: bytes) -> "tuple[Message, int]":
         raise WireError(
             f"frame header needs {_HEADER.size} bytes, got {len(data)}"
         )
-    magic, version, msg_type, length = _HEADER.unpack_from(data)
+    magic, version, msg_type, length, crc = _HEADER.unpack_from(data)
     if magic != MAGIC:
         raise WireError(f"bad frame magic {magic!r}")
     if version != VERSION:
@@ -516,22 +612,27 @@ def decode_frame(data: bytes) -> "tuple[Message, int]":
             f"frame declares {length} payload bytes but only "
             f"{len(data) - _HEADER.size} present"
         )
-    try:
-        decoder = _DECODERS[msg_type]
-    except KeyError:
-        raise WireError(f"unknown message type 0x{msg_type:02x}") from None
-    return decoder.decode(data[_HEADER.size : end]), end
+    return _decode_payload(msg_type, data[_HEADER.size : end], crc), end
 
 
 async def read_message(reader: asyncio.StreamReader) -> Message:
     """Read exactly one frame from *reader*.
 
-    Raises :class:`asyncio.IncompleteReadError` on clean EOF between
+    Raises :class:`asyncio.IncompleteReadError` on clean EOF *between*
     frames (callers treat that as connection close) and
-    :class:`~repro.errors.WireError` on malformed bytes.
+    :class:`~repro.errors.WireError` on malformed bytes — including a
+    stream that ends mid-frame, which is truncation, not a clean close.
     """
-    header = await reader.readexactly(_HEADER.size)
-    magic, version, msg_type, length = _HEADER.unpack(header)
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise WireError(
+                f"stream truncated mid-header ({len(exc.partial)} of "
+                f"{_HEADER.size} bytes)"
+            ) from exc
+        raise  # clean EOF between frames
+    magic, version, msg_type, length, crc = _HEADER.unpack(header)
     if magic != MAGIC:
         raise WireError(f"bad frame magic {magic!r}")
     if version != VERSION:
@@ -541,12 +642,14 @@ async def read_message(reader: asyncio.StreamReader) -> Message:
             f"declared payload of {length} bytes exceeds MAX_PAYLOAD "
             f"({MAX_PAYLOAD})"
         )
-    payload = await reader.readexactly(length)
     try:
-        decoder = _DECODERS[msg_type]
-    except KeyError:
-        raise WireError(f"unknown message type 0x{msg_type:02x}") from None
-    return decoder.decode(payload)
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireError(
+            f"stream truncated mid-frame ({len(exc.partial)} of "
+            f"{length} payload bytes)"
+        ) from exc
+    return _decode_payload(msg_type, payload, crc)
 
 
 async def write_message(

@@ -1,0 +1,460 @@
+"""Chaos suite: the live plane under deterministic injected faults.
+
+The headline property is the issue's acceptance criterion — a Sioux
+Falls day replayed through :class:`~repro.service.faults.FaultProxy`
+relays injecting ≥10% frame drops, corruption, resets, and blackholes
+must still decode to *exactly* the estimates the in-process
+:class:`~repro.core.decoder.CentralDecoder` produces, with the loadgen
+report showing the retries and dedups that made it so.
+
+Every fault decision is seeded (see :mod:`repro.service.faults`), so a
+failure here reproduces under the same profile seed.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import wire
+from repro.service.collector import CollectorService
+from repro.service.faults import (
+    PROFILES,
+    FaultProfile,
+    FaultProxy,
+    _Lane,
+    FaultStats,
+)
+from repro.service.gateway import RsuGateway
+from repro.service.loadgen import run_loadgen
+from repro.service.retry import RetryPolicy
+from repro.service.runtime import DeploymentSpec, start_services
+from repro.vcps.ids import random_mac
+from repro.vcps.pki import CertificateAuthority
+from repro.vcps.rsu import RoadsideUnit
+
+import numpy as np
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+#: Fast backoff so chaos runs stay quick while still exercising retry.
+FAST_POLICY = RetryPolicy(
+    max_attempts=8, base_delay=0.02, multiplier=2.0, max_delay=0.2, jitter=0.1
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    # Small but non-trivial: every node carries traffic, faults get
+    # thousands of byte windows to hit.
+    return DeploymentSpec(total_trips=800, seed=17)
+
+
+# ----------------------------------------------------------------------
+# Lane-level determinism: the scheme the whole suite rests on
+# ----------------------------------------------------------------------
+class TestLaneDeterminism:
+    PROFILE = FaultProfile(seed=3, drop_rate=0.15, corrupt_rate=0.10)
+
+    @staticmethod
+    def _run_lane(profile, payload, chunks):
+        lane = _Lane(profile, seed=99, stats=FaultStats())
+        out = bytearray()
+        pos = 0
+        for size in chunks:
+            piece, reset = lane.process(payload[pos : pos + size])
+            out += piece
+            pos += size
+            if reset:
+                break
+        return bytes(out), lane.stats
+
+    def test_chunking_does_not_change_the_outcome(self):
+        payload = bytes(range(256)) * 64  # 16 KiB, 32 windows
+        whole = self._run_lane(self.PROFILE, payload, [len(payload)])
+        bytewise = self._run_lane(self.PROFILE, payload, [1] * len(payload))
+        ragged = self._run_lane(
+            self.PROFILE, payload, [7, 500, 513, 1, 1024, 15000]
+        )
+        assert whole == bytewise == ragged
+
+    def test_reset_fires_at_the_same_byte_regardless_of_chunking(self):
+        profile = FaultProfile(seed=3, reset_rate=0.10)
+        payload = bytes(range(256)) * 64
+        whole, whole_stats = self._run_lane(profile, payload, [len(payload)])
+        bytewise, byte_stats = self._run_lane(
+            profile, payload, [1] * len(payload)
+        )
+        assert whole_stats.resets == byte_stats.resets == 1
+        # Both deliveries forward the identical pre-reset prefix.
+        assert whole == bytewise
+
+    def test_different_seeds_draw_different_fates(self):
+        payload = bytes(64) * 512  # plenty of windows
+        a = _Lane(self.PROFILE, seed=1, stats=FaultStats())
+        b = _Lane(self.PROFILE, seed=2, stats=FaultStats())
+        out_a, _ = a.process(payload)
+        out_b, _ = b.process(payload)
+        assert out_a != out_b or a.stats != b.stats
+
+    def test_clean_profile_is_a_passthrough(self):
+        payload = bytes(range(256)) * 16
+        lane = _Lane(PROFILES["clean"], seed=0, stats=FaultStats())
+        out, reset = lane.process(payload)
+        assert out == payload
+        assert reset is False
+        assert lane.stats.faults_injected == 0
+
+
+# ----------------------------------------------------------------------
+# Clean proxy: frames relay untouched
+# ----------------------------------------------------------------------
+class TestCleanProxy:
+    def test_roundtrip_through_clean_proxy(self, spec):
+        async def body():
+            gateway, collector = await start_services(
+                spec, gateway_port=0, collector_port=0
+            )
+            proxy = FaultProxy(
+                "127.0.0.1", gateway.port, PROFILES["clean"], name="clean"
+            )
+            await proxy.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", proxy.port
+                )
+                rsu_id = spec.scheme.rsu_ids[0]
+                batch = wire.ResponseBatch(
+                    rsu_id=rsu_id,
+                    macs=np.array([random_mac(1)], dtype=np.uint64),
+                    bit_indices=np.array([0], dtype=np.uint32),
+                    seq=1,
+                )
+                await wire.write_message(writer, batch)
+                ack = await asyncio.wait_for(
+                    wire.read_message(reader), timeout=5
+                )
+                writer.close()
+                await writer.wait_closed()
+                return ack, proxy.stats
+            finally:
+                await proxy.stop()
+                await gateway.stop()
+                await collector.stop()
+
+        ack, stats = run(body())
+        assert isinstance(ack, wire.BatchAck)
+        assert ack.seq == 1
+        assert not ack.duplicate
+        assert stats.faults_injected == 0
+        assert stats.bytes_forwarded == stats.bytes_in
+
+
+# ----------------------------------------------------------------------
+# Full replay through fault proxies: the bit-identical guarantee
+# ----------------------------------------------------------------------
+async def _loadgen_under_faults(
+    spec,
+    ingress_profile,
+    upload_profile,
+    *,
+    wire_batch=256,
+    max_queries=60,
+    ack_timeout=0.75,
+    close_timeout=3.0,
+):
+    """Run the full loadgen with every path routed through a proxy.
+
+    Ingress (loadgen→gateway), upload (gateway→collector), and the
+    query path (loadgen→collector, reusing the upload proxy) all see
+    injected faults.
+    """
+    gateway, collector = await start_services(
+        spec,
+        gateway_port=0,
+        collector_port=0,
+        upload_retry_policy=FAST_POLICY,
+        upload_timeout=1.0,
+    )
+    ingress = FaultProxy(
+        "127.0.0.1", gateway.port, ingress_profile, name="ingress"
+    )
+    upload = FaultProxy(
+        "127.0.0.1", collector.port, upload_profile, name="upload"
+    )
+    await ingress.start()
+    await upload.start()
+    # Route the gateway's snapshot uploads through the fault proxy.
+    gateway.collector_port = upload.port
+    try:
+        result = await run_loadgen(
+            spec,
+            gateway_port=ingress.port,
+            collector_port=upload.port,
+            wire_batch=wire_batch,
+            max_queries=max_queries,
+            ack_timeout=ack_timeout,
+            close_timeout=close_timeout,
+            retry_policy=FAST_POLICY,
+        )
+    finally:
+        await ingress.stop()
+        await upload.stop()
+        await gateway.stop()
+        await collector.stop()
+    return result, gateway, collector, ingress, upload
+
+
+class TestChaosBitIdentical:
+    def test_lossy_profile(self, spec):
+        """≥10% window drops plus corruption on every path."""
+        profile = PROFILES["lossy"]
+        assert profile.drop_rate >= 0.10  # the acceptance floor
+        result, gateway, collector, ingress, upload = run(
+            _loadgen_under_faults(spec, profile, profile)
+        )
+        # Exactness first: every surviving answer matches in-process.
+        assert result.bit_identical
+        assert result.snapshots_acked == len(spec.scheme.rsu_ids)
+        assert result.counter_mismatches == []
+        assert result.mismatches == []
+        assert result.estimates_checked > 0
+        # The run was not secretly clean.
+        assert ingress.stats.windows_dropped > 0
+        assert ingress.stats.faults_injected > 0
+        # And survival took actual retries/dedup, visible in the report.
+        assert result.reconnects > 0
+        assert result.batches_resent + result.dedup_acks + result.nacks > 0
+        rendered = result.render()
+        assert "reconnects" in rendered
+
+    def test_flaky_profile_disconnects(self, spec):
+        """Hard resets and blackholes mid-stream."""
+        profile = FaultProfile(
+            seed=11, drop_rate=0.05, reset_rate=0.03, blackhole_rate=0.01
+        )
+        result, gateway, collector, ingress, upload = run(
+            _loadgen_under_faults(spec, profile, profile)
+        )
+        assert result.bit_identical
+        assert result.snapshots_acked == len(spec.scheme.rsu_ids)
+        assert ingress.stats.resets + ingress.stats.blackholes > 0
+        assert result.reconnects > 0
+
+    def test_slow_profile_stays_correct_and_complete(self, spec):
+        """Latency, bandwidth cap, fragmented writes — no loss."""
+        profile = FaultProfile(
+            seed=5,
+            latency=0.005,
+            latency_jitter=0.003,
+            bandwidth=2_000_000.0,
+            max_chunk=512,
+        )
+        result, gateway, collector, ingress, upload = run(
+            _loadgen_under_faults(
+                spec, profile, profile, max_queries=20, ack_timeout=3.0
+            )
+        )
+        assert result.bit_identical
+        assert result.snapshots_acked == len(spec.scheme.rsu_ids)
+        # Nothing was lost, so nothing needed resending.
+        assert ingress.stats.windows_dropped == 0
+        assert result.nacks == 0
+
+
+# ----------------------------------------------------------------------
+# Duplicate delivery: the regression the collector used to get wrong
+# ----------------------------------------------------------------------
+class TestDuplicateDelivery:
+    def test_collector_dedups_reuploaded_snapshot(self, spec):
+        """Re-uploading the same (rsu_id, period, seq) snapshot must be
+        acked idempotently — the collector used to silently overwrite
+        its state (double-observing the history)."""
+
+        async def body():
+            collector = CollectorService(spec.build_central_server())
+            await collector.start(port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", collector.port
+                )
+                reports = spec.reference_reports()
+                rsu_id = spec.scheme.rsu_ids[0]
+                snapshot = wire.Snapshot.from_report(
+                    reports[rsu_id], seq=41
+                )
+                await wire.write_message(writer, snapshot)
+                first = await wire.read_message(reader)
+                volume_before = collector.server.point_volume(rsu_id)
+                # The retransmission a gateway sends after a lost ack.
+                await wire.write_message(writer, snapshot)
+                second = await wire.read_message(reader)
+                volume_after = collector.server.point_volume(rsu_id)
+                # A *different* upload for the same key is refused.
+                conflicting = wire.Snapshot.from_report(
+                    reports[rsu_id], seq=42
+                )
+                await wire.write_message(writer, conflicting)
+                refused = await wire.read_message(reader)
+                writer.close()
+                await writer.wait_closed()
+                return (
+                    first,
+                    second,
+                    refused,
+                    volume_before,
+                    volume_after,
+                    collector,
+                )
+            finally:
+                await collector.stop()
+
+        first, second, refused, before, after, collector = run(body())
+        assert isinstance(first, wire.SnapshotAck)
+        assert first.seq == 41
+        assert isinstance(second, wire.SnapshotAck)
+        assert second.seq == 41
+        assert before == after  # state untouched by the duplicate
+        assert collector.snapshots_received == 1
+        assert collector.snapshots_deduped == 1
+        assert isinstance(refused, wire.ErrorMsg)
+        assert refused.code == wire.E_DUPLICATE
+        assert collector.snapshots_conflicted == 1
+
+    def test_gateway_dedups_resent_batches(self):
+        async def body():
+            authority = CertificateAuthority(seed=5)
+            rsus = {3: RoadsideUnit(3, 64, authority.issue(3))}
+            gateway = RsuGateway(rsus, collector_port=1, flush_interval=0.01)
+            await gateway.start(port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", gateway.port
+                )
+                batch = wire.ResponseBatch(
+                    rsu_id=3,
+                    macs=np.array([random_mac(9)], dtype=np.uint64),
+                    bit_indices=np.array([5], dtype=np.uint32),
+                    seq=7,
+                )
+                await wire.write_message(writer, batch)
+                first = await wire.read_message(reader)
+                await wire.write_message(writer, batch)  # the resend
+                second = await wire.read_message(reader)
+                await asyncio.sleep(0.05)  # let the worker flush
+                writer.close()
+                await writer.wait_closed()
+                return first, second, gateway, rsus[3]
+            finally:
+                await gateway.stop()
+
+        first, second, gateway, rsu = run(body())
+        assert isinstance(first, wire.BatchAck) and not first.duplicate
+        assert isinstance(second, wire.BatchAck) and second.duplicate
+        assert first.seq == second.seq == 7
+        assert gateway.batches_deduped == 1
+        assert rsu.counter == 1  # applied exactly once
+
+    def test_seq_window_resets_when_the_period_closes(self):
+        """Batch seqs are scoped to one period's stream.  A second
+        day's replay against the same long-running gateway numbers its
+        batches from 1 again — closing the period must reset the dedup
+        window, or the whole next day gets silently swallowed."""
+
+        async def body():
+            authority = CertificateAuthority(seed=5)
+            rsus = {3: RoadsideUnit(3, 64, authority.issue(3))}
+            gateway = RsuGateway(
+                rsus,
+                collector_port=1,  # uploads fail; close still succeeds
+                flush_interval=0.01,
+                upload_timeout=0.1,
+                retry_policy=RetryPolicy(
+                    max_attempts=1, base_delay=0.01, jitter=0.0
+                ),
+            )
+            await gateway.start(port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", gateway.port
+                )
+
+                def batch(mac_seed):
+                    return wire.ResponseBatch(
+                        rsu_id=3,
+                        macs=np.array([random_mac(mac_seed)], np.uint64),
+                        bit_indices=np.array([5], dtype=np.uint32),
+                        seq=1,
+                    )
+
+                await wire.write_message(writer, batch(9))
+                day_one = await wire.read_message(reader)
+                await wire.write_message(writer, wire.EndPeriod(period=0))
+                await asyncio.wait_for(wire.read_message(reader), timeout=10)
+                # Day two: same seq, different content — must apply.
+                await wire.write_message(writer, batch(10))
+                day_two = await wire.read_message(reader)
+                await asyncio.sleep(0.05)  # let the worker flush
+                writer.close()
+                await writer.wait_closed()
+                return day_one, day_two, gateway, rsus[3]
+            finally:
+                await gateway.stop()
+
+        day_one, day_two, gateway, rsu = run(body())
+        assert isinstance(day_one, wire.BatchAck) and not day_one.duplicate
+        assert isinstance(day_two, wire.BatchAck) and not day_two.duplicate
+        assert gateway.batches_deduped == 0
+        assert rsu.counter == 1  # day two's response, after the reset
+
+    def test_reclosing_a_period_does_not_reset_arrays(self):
+        """A retried EndPeriod must not call rsu.end_period() twice —
+        that would wipe the day's arrays before upload."""
+
+        async def body():
+            authority = CertificateAuthority(seed=5)
+            rsus = {3: RoadsideUnit(3, 64, authority.issue(3))}
+            server = None  # no collector: uploads fail, close still works
+            del server
+            gateway = RsuGateway(
+                rsus,
+                collector_port=1,
+                upload_timeout=0.1,
+                retry_policy=RetryPolicy(
+                    max_attempts=1, base_delay=0.01, jitter=0.0
+                ),
+            )
+            await gateway.start(port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", gateway.port
+                )
+                await wire.write_message(
+                    writer,
+                    wire.ResponseMsg(rsu_id=3, mac=random_mac(4), bit_index=9),
+                )
+                await wire.write_message(writer, wire.EndPeriod(period=0))
+                ack_a = await asyncio.wait_for(
+                    wire.read_message(reader), timeout=10
+                )
+                await wire.write_message(writer, wire.EndPeriod(period=0))
+                ack_b = await asyncio.wait_for(
+                    wire.read_message(reader), timeout=10
+                )
+                writer.close()
+                await writer.wait_closed()
+                return ack_a, ack_b, gateway
+            finally:
+                await gateway.stop()
+
+        ack_a, ack_b, gateway = run(body())
+        assert isinstance(ack_a, wire.EndPeriodAck)
+        assert isinstance(ack_b, wire.EndPeriodAck)
+        assert gateway.periods_reclosed == 1
+        # One snapshot cached with one stable seq; the re-close reused
+        # it rather than snapshotting an already-reset array.
+        snapshots = gateway._period_uploads[0]
+        assert len(snapshots) == 1
+        assert snapshots[3].counter == 1

@@ -45,3 +45,53 @@ class TestMain:
         payload = json.loads(path.read_text())
         assert "ablations" in payload
         assert payload["ablations"]["rows"]
+
+
+class TestChaosParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.experiment == "chaos"
+        assert args.profile == "lossy"
+        assert args.listen_port == 9701
+        assert args.upstream_port == 8701
+        assert args.seed is None  # profile default unless overridden
+
+    def test_profile_and_overrides(self):
+        args = build_parser().parse_args(
+            [
+                "chaos",
+                "--profile",
+                "flaky",
+                "--seed",
+                "42",
+                "--drop-rate",
+                "0.2",
+                "--upstream-port",
+                "8702",
+            ]
+        )
+        assert args.profile == "flaky"
+        assert args.seed == 42
+        assert args.drop_rate == pytest.approx(0.2)
+        assert args.upstream_port == 8702
+
+    def test_overrides_build_the_right_profile(self):
+        from repro.service.faults import PROFILES, profile_from_args
+
+        args = build_parser().parse_args(
+            ["chaos", "--profile", "lossy", "--seed", "7", "--latency", "0.5"]
+        )
+        profile = profile_from_args(
+            args.profile, seed=args.seed, latency=args.latency
+        )
+        assert profile.seed == 7
+        assert profile.latency == pytest.approx(0.5)
+        # Unspecified fields keep the named profile's values.
+        assert profile.drop_rate == PROFILES["lossy"].drop_rate
+
+    def test_unknown_profile_is_a_configuration_error(self):
+        from repro.errors import ConfigurationError
+        from repro.service.faults import profile_from_args
+
+        with pytest.raises(ConfigurationError):
+            profile_from_args("mystery")

@@ -1,4 +1,5 @@
-"""Protocol fuzzing: randomized message sequences against the agents.
+"""Protocol fuzzing: randomized message sequences against the agents,
+and corpus-driven hardening of the binary wire codec.
 
 Hypothesis drives random interleavings of valid, replayed, malformed
 and impostor messages at a vehicle and an RSU, checking the agents'
@@ -9,13 +10,25 @@ invariants hold regardless of ordering:
 * a vehicle answers each RSU at most once per period, whatever the
   query order;
 * rejected responses never mutate measurement state.
+
+The wire-level corpora (truncated frames, bit-flipped headers,
+oversized length prefixes) pin down the codec's failure contract:
+malformed input raises a :mod:`repro.errors` type — never a raw
+``struct.error``, never an unbounded read.
 """
 
+import asyncio
+import struct
+
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.bitarray import BitArray
 from repro.core.parameters import SchemeParameters
-from repro.errors import AuthenticationError, ProtocolError
+from repro.core.reports import RsuReport
+from repro.errors import AuthenticationError, ProtocolError, WireError
+from repro.service import wire
 from repro.vcps.ids import random_mac
 from repro.vcps.messages import Query, Response
 from repro.vcps.pki import CertificateAuthority
@@ -123,3 +136,165 @@ class TestVehicleFuzz:
         # period input), fresh MAC each time.
         assert first.bit_index == second.bit_index
         assert first.mac != second.mac
+
+
+# ----------------------------------------------------------------------
+# Wire codec corpora
+# ----------------------------------------------------------------------
+def _report():
+    return RsuReport(
+        rsu_id=4, counter=3, bits=BitArray.from_indices(64, [1, 9, 40])
+    )
+
+
+def _corpus():
+    """One valid encoded frame of every message type."""
+    rng = np.random.default_rng(3)
+    messages = [
+        wire.ResponseMsg(rsu_id=1, mac=random_mac(rng), bit_index=5),
+        wire.ResponseBatch(
+            rsu_id=2,
+            macs=np.array([random_mac(rng) for _ in range(3)], np.uint64),
+            bit_indices=np.array([0, 7, 63], dtype=np.uint32),
+            seq=9,
+        ),
+        wire.BatchAck(seq=9, duplicate=True),
+        wire.EndPeriod(period=0),
+        wire.EndPeriodAck(period=0, snapshots=24),
+        wire.Snapshot.from_report(_report(), seq=5),
+        wire.SnapshotAck(rsu_id=4, period=0, seq=5),
+        wire.VolumeQuery(rsu_x=1, rsu_y=2, period=0),
+        wire.PointQuery(rsu_id=1, period=0),
+        wire.PointVolume(rsu_id=1, period=0, counter=12),
+        wire.EstimateMsg(
+            n_c_hat=10.5,
+            v_c=0.25,
+            v_x=0.5,
+            v_y=0.5,
+            m_x=64,
+            m_y=128,
+            n_x=10,
+            n_y=20,
+            s=2,
+        ),
+        wire.ErrorMsg(wire.E_MALFORMED, "fuzz"),
+    ]
+    return [wire.encode_frame(m) for m in messages]
+
+
+CORPUS = _corpus()
+
+
+def _read_from_bytes(data):
+    """Run read_message against a closed stream holding *data*."""
+
+    async def body():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await wire.read_message(reader)
+
+    return asyncio.run(body())
+
+
+class TestTruncatedFrames:
+    @pytest.mark.parametrize("frame", CORPUS, ids=lambda f: f"len{len(f)}")
+    def test_every_truncation_raises_wire_error(self, frame):
+        """decode_frame on any strict prefix is a WireError — never a
+        struct.error, never a partial parse."""
+        for cut in range(len(frame)):
+            with pytest.raises(WireError):
+                wire.decode_frame(frame[:cut])
+
+    @pytest.mark.parametrize("frame", CORPUS, ids=lambda f: f"len{len(f)}")
+    def test_stream_truncation_is_wire_error_not_clean_eof(self, frame):
+        """A stream that dies mid-frame is truncation (WireError);
+        only EOF on a frame boundary is a clean close."""
+        with pytest.raises(asyncio.IncompleteReadError):
+            _read_from_bytes(b"")  # clean close between frames
+        for cut in (1, len(frame) // 2, len(frame) - 1):
+            with pytest.raises(WireError):
+                _read_from_bytes(frame[:cut])
+
+    def test_trailing_garbage_after_valid_frame_is_detected(self):
+        frame = CORPUS[0]
+        message, consumed = wire.decode_frame(frame + b"\xff" * 7)
+        assert consumed == len(frame)
+        with pytest.raises(WireError):
+            wire.decode_frame((frame + b"\xff" * 7)[consumed:])
+
+
+class TestBitFlippedFrames:
+    @pytest.mark.parametrize("frame", CORPUS, ids=lambda f: f"len{len(f)}")
+    def test_header_bit_flips_never_escape_the_error_type(self, frame):
+        """Flip every bit of the 12-byte header: each one either is
+        detected (WireError) or still yields a well-formed Message —
+        struct.error and friends must never escape."""
+        header_size = 12
+        detected = 0
+        for byte in range(header_size):
+            for bit in range(8):
+                flipped = bytearray(frame)
+                flipped[byte] ^= 1 << bit
+                try:
+                    message, consumed = wire.decode_frame(bytes(flipped))
+                except WireError:
+                    detected += 1
+                else:
+                    assert consumed <= len(flipped)
+                    assert isinstance(message, wire.Message.__args__)
+        # Magic, version, length, and CRC cover most of the header, so
+        # the overwhelming majority of flips must be caught.
+        assert detected >= 7 * header_size
+
+    @pytest.mark.parametrize("frame", CORPUS, ids=lambda f: f"len{len(f)}")
+    def test_payload_bit_flips_are_always_caught_by_crc(self, frame):
+        header_size = 12
+        for offset in range(header_size, len(frame)):
+            flipped = bytearray(frame)
+            flipped[offset] ^= 0x10
+            with pytest.raises(WireError, match="CRC"):
+                wire.decode_frame(bytes(flipped))
+
+
+class TestOversizedLengthPrefix:
+    @staticmethod
+    def _header(length, msg_type=0x01):
+        return struct.pack(
+            ">2sBBII", wire.MAGIC, wire.VERSION, msg_type, length, 0
+        )
+
+    @pytest.mark.parametrize(
+        "length", [wire.MAX_PAYLOAD + 1, 1 << 31, (1 << 32) - 1]
+    )
+    def test_decode_frame_rejects_oversized_declaration(self, length):
+        with pytest.raises(WireError, match="MAX_PAYLOAD"):
+            wire.decode_frame(self._header(length))
+
+    @pytest.mark.parametrize(
+        "length", [wire.MAX_PAYLOAD + 1, 1 << 31, (1 << 32) - 1]
+    )
+    def test_read_message_rejects_before_reading_the_body(self, length):
+        """The length check happens on the header alone — a hostile
+        4 GiB declaration raises instead of waiting for bytes that
+        will never come (the hang the issue forbids)."""
+        with pytest.raises(WireError, match="MAX_PAYLOAD"):
+            _read_from_bytes(self._header(length))
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_any_declared_length_with_no_body_is_a_wire_error(self, length):
+        with pytest.raises(WireError):
+            _read_from_bytes(self._header(length) + b"xx")
+
+
+class TestRandomGarbage:
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=120, deadline=None)
+    def test_decode_frame_never_leaks_struct_error(self, blob):
+        try:
+            message, consumed = wire.decode_frame(blob)
+        except WireError:
+            return
+        assert consumed <= len(blob)
+        assert isinstance(message, wire.Message.__args__)

@@ -1,0 +1,200 @@
+"""Fake-clock tests for the shared retry/backoff policy.
+
+The live services (gateway snapshot uploads, loadgen reconnects) all
+share :mod:`repro.service.retry`; these tests pin down the schedule —
+jittered exponential growth, the delay cap, and give-up behaviour —
+without ever sleeping for real.
+"""
+
+import asyncio
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    ConfigurationError,
+    RetryExhaustedError,
+    WireError,
+)
+from repro.service.retry import RetryPolicy, retry_async
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeClock:
+    """Records requested sleeps instead of waiting."""
+
+    def __init__(self):
+        self.slept = []
+
+    async def sleep(self, seconds):
+        self.slept.append(seconds)
+
+
+class TestSchedule:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_delay=0.1,
+            multiplier=2.0,
+            max_delay=100.0,
+            jitter=0.0,
+        )
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_cap_applies_before_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=8,
+            base_delay=1.0,
+            multiplier=10.0,
+            max_delay=5.0,
+            jitter=0.0,
+        )
+        assert list(policy.delays()) == pytest.approx(
+            [1.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0]
+        )
+
+    @given(
+        attempt=st.integers(min_value=0, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_jitter_stays_within_band(self, attempt, seed):
+        policy = RetryPolicy(
+            max_attempts=30,
+            base_delay=0.05,
+            multiplier=2.0,
+            max_delay=3.0,
+            jitter=0.25,
+        )
+        exact = policy.delay(attempt)  # no rng -> deterministic
+        jittered = policy.delay(attempt, random.Random(seed))
+        assert exact * 0.75 - 1e-12 <= jittered <= exact * 1.25 + 1e-12
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy(max_attempts=6, jitter=0.3)
+        a = list(policy.delays(random.Random(42)))
+        b = list(policy.delays(random.Random(42)))
+        c = list(policy.delays(random.Random(43)))
+        assert a == b
+        assert a != c
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay(-1)
+
+
+class TestRetryAsync:
+    def test_success_after_transient_failures(self):
+        clock = FakeClock()
+        attempts = []
+
+        async def flaky():
+            attempts.append(len(attempts))
+            if len(attempts) < 3:
+                raise ConnectionResetError("boom")
+            return "ok"
+
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, jitter=0.0
+        )
+        result = run(
+            retry_async(flaky, policy=policy, sleep=clock.sleep)
+        )
+        assert result == "ok"
+        assert len(attempts) == 3
+        # One backoff per failure, following the schedule exactly.
+        assert clock.slept == pytest.approx([0.1, 0.2])
+
+    def test_gives_up_after_max_attempts(self):
+        clock = FakeClock()
+        calls = []
+
+        async def always_fails():
+            calls.append(1)
+            raise asyncio.TimeoutError()
+
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.05, multiplier=2.0, jitter=0.0
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run(
+                retry_async(
+                    always_fails, policy=policy, sleep=clock.sleep
+                )
+            )
+        assert len(calls) == 4
+        assert excinfo.value.attempts == 4
+        assert isinstance(excinfo.value.__cause__, asyncio.TimeoutError)
+        # No sleep after the final, losing attempt.
+        assert clock.slept == pytest.approx([0.05, 0.1, 0.2])
+
+    def test_non_retryable_error_propagates_immediately(self):
+        clock = FakeClock()
+
+        async def fails_strangely():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            run(
+                retry_async(
+                    fails_strangely,
+                    policy=RetryPolicy(max_attempts=5),
+                    sleep=clock.sleep,
+                )
+            )
+        assert clock.slept == []
+
+    def test_custom_retry_on_and_hook(self):
+        clock = FakeClock()
+        seen = []
+
+        async def wire_flaky():
+            if len(seen) < 2:
+                raise WireError("corrupt frame")
+            return 7
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, jitter=0.0)
+        result = run(
+            retry_async(
+                wire_flaky,
+                policy=policy,
+                retry_on=(WireError,),
+                sleep=clock.sleep,
+                on_retry=lambda attempt, exc: seen.append((attempt, exc)),
+            )
+        )
+        assert result == 7
+        assert [a for a, _ in seen] == [0, 1]
+        assert all(isinstance(e, WireError) for _, e in seen)
+
+    def test_jittered_loop_is_seed_deterministic(self):
+        async def run_once(seed):
+            clock = FakeClock()
+
+            async def always_fails():
+                raise OSError("down")
+
+            with pytest.raises(RetryExhaustedError):
+                await retry_async(
+                    always_fails,
+                    policy=RetryPolicy(
+                        max_attempts=4, base_delay=0.1, jitter=0.5
+                    ),
+                    rng=random.Random(seed),
+                    sleep=clock.sleep,
+                )
+            return clock.slept
+
+        assert run(run_once(9)) == run(run_once(9))
+        assert run(run_once(9)) != run(run_once(10))

@@ -5,10 +5,14 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.bitarray import BitArray
+from repro.core.decoder import CentralDecoder
+from repro.core.estimator import ZeroFractionPolicy, estimate_intersection
+from repro.core.reports import RsuReport
 from repro.core.unfolding import unfold, unfolded_or
 from repro.errors import ConfigurationError
 
 powers = st.integers(min_value=0, max_value=7).map(lambda k: 1 << k)
+small_powers = st.integers(min_value=1, max_value=5).map(lambda k: 1 << k)
 
 
 class TestUnfold:
@@ -78,3 +82,82 @@ class TestUnfoldedOr:
         joint = unfolded_or(small, large)
         assert joint.zero_fraction() <= small.zero_fraction() + 1e-12
         assert joint.zero_fraction() <= large.zero_fraction() + 1e-12
+
+
+def _random_arrays(m_x, factor, seed, density=0.4):
+    """Two random arrays with bit 0 clear so nothing saturates and the
+    CLAMP correction never kicks in — properties stay exact."""
+    rng = np.random.default_rng(seed)
+    bits_x = rng.random(m_x) < density
+    bits_y = rng.random(m_x * factor) < density
+    bits_x[0] = False
+    bits_y[0] = False
+    return BitArray.from_bits(bits_x), BitArray.from_bits(bits_y)
+
+
+class TestUnfoldThenOrDecodePath:
+    """The decode-path identity the whole estimator rests on: the
+    unfolded OR is an OR per index modulo ``m_x`` (Eq. 3), and the
+    zero fractions the MLE consumes are exactly the arrays'."""
+
+    @given(
+        small_powers,
+        small_powers,
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_unfold_then_or_is_or_per_index_modulo_m(
+        self, m_x, factor, seed
+    ):
+        array_x, array_y = _random_arrays(m_x, factor, seed)
+        joint = unfolded_or(array_x, array_y)
+        m_y = array_y.size
+        assert joint.size == m_y
+        for i in range(m_y):
+            assert joint[i] == (array_x[i % m_x] | array_y[i % m_y])
+
+    @given(
+        small_powers,
+        small_powers,
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_decoder_fractions_are_the_arrays_zero_fractions(
+        self, m_x, factor, seed
+    ):
+        """V_x, V_y, V_c reported by the decoder are exactly the zero
+        fractions of B_x, B_y, and unfold-then-OR — no resampling, no
+        approximation."""
+        array_x, array_y = _random_arrays(m_x, factor, seed)
+        decoder = CentralDecoder(2, policy=ZeroFractionPolicy.CLAMP)
+        decoder.submit(RsuReport(rsu_id=1, counter=3, bits=array_x))
+        decoder.submit(RsuReport(rsu_id=2, counter=4, bits=array_y))
+        estimate = decoder.pair_estimate(1, 2)
+        assert estimate.v_x == array_x.zero_fraction()
+        assert estimate.v_y == array_y.zero_fraction()
+        assert (
+            estimate.v_c == unfolded_or(array_x, array_y).zero_fraction()
+        )
+        assert estimate.m_x == array_x.size
+        assert estimate.m_y == array_y.size
+
+    @given(
+        small_powers,
+        small_powers,
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_memoized_decoder_matches_direct_estimator(
+        self, m_x, factor, seed
+    ):
+        """The decoder's unfold-cache fast path must agree with the
+        one-shot estimate_intersection on every field."""
+        array_x, array_y = _random_arrays(m_x, factor, seed)
+        report_x = RsuReport(rsu_id=1, counter=3, bits=array_x)
+        report_y = RsuReport(rsu_id=2, counter=4, bits=array_y)
+        decoder = CentralDecoder(2, policy=ZeroFractionPolicy.CLAMP)
+        decoder.submit_many([report_x, report_y])
+        # Query twice: the second answer comes from the unfold cache.
+        first = decoder.pair_estimate(1, 2)
+        second = decoder.pair_estimate(1, 2)
+        direct = estimate_intersection(
+            report_x, report_y, 2, policy=ZeroFractionPolicy.CLAMP
+        )
+        assert first == second == direct

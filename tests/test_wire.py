@@ -1,6 +1,7 @@
 """Property and validation tests for the binary wire codec."""
 
 import struct
+import zlib
 
 import numpy as np
 import pytest
@@ -31,18 +32,27 @@ class TestResponseRoundTrip:
 
     @given(
         rsu_id=u32,
+        seq=u64,
         entries=st.lists(st.tuples(mac48, u32), max_size=64),
     )
-    def test_batch(self, rsu_id, entries):
+    def test_batch(self, rsu_id, seq, entries):
         macs = np.array([m for m, _ in entries], dtype=np.uint64)
         idx = np.array([i for _, i in entries], dtype=np.uint32)
-        msg = wire.ResponseBatch(rsu_id=rsu_id, macs=macs, bit_indices=idx)
+        msg = wire.ResponseBatch(
+            rsu_id=rsu_id, macs=macs, bit_indices=idx, seq=seq
+        )
         out = roundtrip(msg)
         assert out.rsu_id == rsu_id
+        assert out.seq == seq
         assert np.array_equal(np.asarray(out.macs, dtype=np.uint64), macs)
         assert np.array_equal(
             np.asarray(out.bit_indices, dtype=np.uint32), idx
         )
+
+    @given(seq=u64, duplicate=st.booleans())
+    def test_batch_ack(self, seq, duplicate):
+        msg = wire.BatchAck(seq=seq, duplicate=duplicate)
+        assert roundtrip(msg) == msg
 
     def test_batch_rejects_mismatched_arrays(self):
         with pytest.raises(WireError):
@@ -67,11 +77,14 @@ class TestSnapshotRoundTrip:
         rsu_id=u32,
         period=u32,
         counter=u64,
+        seq=u64,
         log_m=st.integers(min_value=0, max_value=14),
         data=st.data(),
     )
     @settings(max_examples=60)
-    def test_arbitrary_reports(self, rsu_id, period, counter, log_m, data):
+    def test_arbitrary_reports(
+        self, rsu_id, period, counter, seq, log_m, data
+    ):
         """Counters, power-of-two sizes, and bit patterns all survive
         the wire (the satellite property test from the issue)."""
         size = 1 << log_m
@@ -88,7 +101,9 @@ class TestSnapshotRoundTrip:
             else BitArray(size),
             period=period,
         )
-        back = roundtrip(wire.Snapshot.from_report(report)).to_report()
+        snap = roundtrip(wire.Snapshot.from_report(report, seq=seq))
+        assert snap.seq == seq
+        back = snap.to_report()
         assert back.rsu_id == report.rsu_id
         assert back.period == report.period
         assert back.counter == report.counter
@@ -111,9 +126,9 @@ class TestSnapshotRoundTrip:
 
 
 class TestControlAndQueryRoundTrip:
-    @given(rsu_id=u32, period=u32)
-    def test_snapshot_ack(self, rsu_id, period):
-        msg = wire.SnapshotAck(rsu_id=rsu_id, period=period)
+    @given(rsu_id=u32, period=u32, seq=u64)
+    def test_snapshot_ack(self, rsu_id, period, seq):
+        msg = wire.SnapshotAck(rsu_id=rsu_id, period=period, seq=seq)
         assert roundtrip(msg) == msg
 
     @given(period=u32, snapshots=u32)
@@ -187,7 +202,12 @@ class TestStrictFraming:
 
     def test_declared_length_capped(self):
         header = struct.pack(
-            ">2sBBI", wire.MAGIC, wire.VERSION, wire.T_ERROR, wire.MAX_PAYLOAD + 1
+            ">2sBBII",
+            wire.MAGIC,
+            wire.VERSION,
+            wire.T_ERROR,
+            wire.MAX_PAYLOAD + 1,
+            0,
         )
         with pytest.raises(WireError, match="MAX_PAYLOAD"):
             wire.decode_frame(header)
@@ -197,12 +217,29 @@ class TestStrictFraming:
         good = wire.EndPeriod(period=1).payload() + b"\0"
         frame = (
             struct.pack(
-                ">2sBBI", wire.MAGIC, wire.VERSION, wire.T_END_PERIOD, len(good)
+                ">2sBBII",
+                wire.MAGIC,
+                wire.VERSION,
+                wire.T_END_PERIOD,
+                len(good),
+                zlib.crc32(good) & 0xFFFFFFFF,
             )
             + good
         )
         with pytest.raises(WireError):
             wire.decode_frame(frame)
+
+    def test_payload_crc_is_checked(self):
+        frame = bytearray(wire.encode_frame(wire.EndPeriod(period=3)))
+        frame[-1] ^= 0x10  # flip one payload bit; length/type stay valid
+        with pytest.raises(WireError, match="CRC"):
+            wire.decode_frame(bytes(frame))
+
+    def test_header_crc_field_is_checked(self):
+        frame = bytearray(wire.encode_frame(wire.EndPeriod(period=3)))
+        frame[8] ^= 0x01  # corrupt the declared CRC itself
+        with pytest.raises(WireError, match="CRC"):
+            wire.decode_frame(bytes(frame))
 
     def test_trailing_bytes_not_consumed(self):
         frame = self.frame()
