@@ -60,4 +60,4 @@ def test_pair_measurement_cost(paper_scale_pair, benchmark):
         return scheme.measure(rx, ry)
 
     estimate = benchmark.pedantic(measure, rounds=3, iterations=1)
-    assert estimate.n_c_hat > 0
+    assert estimate.value > 0

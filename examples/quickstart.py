@@ -38,5 +38,5 @@ for rsu_id, report in sorted(reports.items()):
 # Offline decoding phase: unfold, OR, count zeros, apply the MLE.
 estimate = scheme.decoder.pair_estimate(1, 2)
 print(f"\ntrue point-to-point volume  n_c  = {population.n_c:,}")
-print(f"estimated volume            n_c^ = {estimate.n_c_hat:,.1f}")
+print(f"estimated volume            n_c^ = {estimate.value:,.1f}")
 print(f"error ratio                 r    = {100 * estimate.error_ratio(population.n_c):.2f}%")

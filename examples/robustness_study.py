@@ -38,7 +38,7 @@ for query_loss, response_loss in [(0.0, 0.0), (0.3, 0.0), (0.0, 0.2), (0.3, 0.2)
             f"{query_loss:.0%}",
             f"{response_loss:.0%}",
             estimate.n_x,
-            round(estimate.n_c_hat, 1),
+            round(estimate.value, 1),
         ]
     )
 print(table.render())

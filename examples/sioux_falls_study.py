@@ -61,9 +61,9 @@ for a, b in top_pairs:
         [
             f"({a}, {b})",
             true_nc,
-            vlm.n_c_hat,
+            vlm.value,
             100 * vlm.error_ratio(true_nc),
-            base.n_c_hat,
+            base.value,
             100 * base.error_ratio(true_nc),
         ]
     )
@@ -98,6 +98,6 @@ for name, decoder in (("VLM", scheme.decoder), ("baseline [9]", baseline.decoder
         if true_nc < 200:  # skip pairs too small to measure meaningfully
             continue
         est = decoder.pair_estimate(a, b)
-        errors.append(abs(est.n_c_hat - true_nc) / true_nc)
+        errors.append(abs(est.value - true_nc) / true_nc)
     mean_err = 100 * sum(errors) / len(errors)
     print(f"{name}: mean |error| over {len(errors)} pairs with n_c >= 200: {mean_err:.1f}%")

@@ -70,6 +70,6 @@ pair = max(truth, key=truth.get)
 estimate = scheme.decoder.pair_estimate(*pair)
 print(
     f"heaviest pair {pair}: true n_c = {truth[pair]:,}, measured "
-    f"{estimate.n_c_hat:,.0f} "
+    f"{estimate.value:,.0f} "
     f"(error {100 * estimate.error_ratio(truth[pair]):.1f}%)"
 )

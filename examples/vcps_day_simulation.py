@@ -53,7 +53,7 @@ for (a, b), truth in sorted(true_common.items()):
     est = sim.server.point_to_point(a, b, period=0)
     print(
         f"pair ({a}, {b}): true n_c = {truth:4d}, measured n_c^ = "
-        f"{est.n_c_hat:7.1f} (error {100 * abs(est.n_c_hat - truth) / truth:.1f}%)"
+        f"{est.value:7.1f} (error {100 * abs(est.value - truth) / truth:.1f}%)"
     )
 print("integrity anomalies flagged:", len(sim.server.anomalies))
 

@@ -19,18 +19,23 @@ Quickstart
 >>> scheme = VlmScheme(population.volumes(), s=2, load_factor=3.0)
 >>> reports = scheme.encode(population.passes())
 >>> estimate = scheme.measure(reports[population.rsu_x], reports[population.rsu_y])
->>> abs(estimate.n_c_hat - population.n_c) / population.n_c < 0.1
+>>> abs(estimate.value - population.n_c) / population.n_c < 0.1
 True
 """
 
 from repro.core import (
+    AggregatedEstimate,
     BitArray,
     CentralDecoder,
+    Estimate,
     PairEstimate,
     RsuReport,
+    SchemeConfig,
     SchemeParameters,
+    TripleEstimate,
     VlmScheme,
     ZeroFractionPolicy,
+    configure,
     estimate_intersection,
     unfold,
     unfolded_or,
@@ -40,17 +45,22 @@ from repro.privacy import empirical_privacy, optimal_load_factor, preserved_priv
 from repro.traffic import PairPopulation, VehicleFleet, make_pair_population
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "AggregatedEstimate",
     "BitArray",
     "CentralDecoder",
+    "Estimate",
     "PairEstimate",
     "RsuReport",
+    "TripleEstimate",
+    "SchemeConfig",
     "SchemeParameters",
     "VlmScheme",
     "ZeroFractionPolicy",
+    "configure",
     "estimate_intersection",
     "unfold",
     "unfolded_or",

@@ -61,7 +61,7 @@ def confidence_interval(
         )
     z = _Z_BY_LEVEL[level]
     plug_in = min(
-        max(estimate.n_c_hat, 1.0), float(min(estimate.n_x, estimate.n_y))
+        max(estimate.value, 1.0), float(min(estimate.n_x, estimate.n_y))
     )
     variance = estimator_variance(
         estimate.n_x,
@@ -73,9 +73,9 @@ def confidence_interval(
     )
     stddev = math.sqrt(max(variance, 0.0))
     return EstimateInterval(
-        estimate=estimate.n_c_hat,
-        low=max(estimate.n_c_hat - z * stddev, 0.0),
-        high=estimate.n_c_hat + z * stddev,
+        estimate=estimate.value,
+        low=max(estimate.value - z * stddev, 0.0),
+        high=estimate.value + z * stddev,
         stddev=stddev,
         level=level,
     )

@@ -98,7 +98,7 @@ def simulate_accuracy(
         report_x = encode_passes(ids_x, keys_x, rsu_x, m_x, params)
         report_y = encode_passes(ids_y, keys_y, rsu_y, m_y, params)
         estimate = estimate_intersection(report_x, report_y, s, policy=policy)
-        estimates.append(estimate.n_c_hat)
+        estimates.append(estimate.value)
     return MonteCarloAccuracy(
         estimates=np.asarray(estimates), n_c=n_c, repetitions=repetitions
     )

@@ -99,7 +99,7 @@ def measure_link_flows(
         if key in flows:
             continue
         estimate = decoder.pair_estimate(key[0], key[1], period)
-        flows[key] = max(estimate.n_c_hat, 0.0)
+        flows[key] = max(estimate.value, 0.0)
     filtered_truth = None
     if truth is not None:
         filtered_truth = {key: truth[key] for key in flows if key in truth}

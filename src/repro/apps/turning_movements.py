@@ -111,7 +111,7 @@ def measure_turning_movements(
     for i, a in enumerate(neighbours):
         for b in neighbours[i + 1 :]:
             estimate = decoder.pair_estimate(a, b, period)
-            movements[(a, b)] = max(estimate.n_c_hat, 0.0)
+            movements[(a, b)] = max(estimate.value, 0.0)
     truth = true_turning_movements(truth_plan, node) if truth_plan else None
     return TurningMovementStudy(node=node, movements=movements, truth=truth)
 

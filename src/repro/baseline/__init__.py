@@ -13,6 +13,6 @@ Its weakness, which the paper's evaluation quantifies, is the
 """
 
 from repro.baseline.scheme import FixedLengthScheme
-from repro.baseline.sizing import fixed_array_size_for_privacy
+from repro.core.sizing import fixed_array_size_for_privacy
 
 __all__ = ["FixedLengthScheme", "fixed_array_size_for_privacy"]

@@ -1,68 +1,11 @@
-"""Choosing the baseline's single array length ``m`` (Section VI-B).
+"""Backwards-compatible re-export of the baseline sizing rule.
 
-The baseline must pick one ``m`` for every RSU.  The paper's evaluation
-protocol picks it "to guarantee a minimum privacy of at least 0.5":
-privacy at a light-traffic RSU degrades as its effective load factor
-``m / n`` grows, so the binding constraint comes from the *least*
-traffic volume ``n_min`` among the RSUs involved.  We therefore take
-the largest load factor ``f_max`` whose privacy still meets the target
-at ``n_min`` (e.g. ``f_max ≈ 15`` for ``s = 2``, matching the paper's
-"``m`` should be no larger than ``15 n_min``"), and set
-``m = 2^floor(log2(f_max * n_min))`` — the largest power of two within
-the constraint, which maximizes measurement accuracy subject to it.
+The privacy-constrained choice of the baseline's common ``m`` now
+lives with every other array-sizing rule in
+:mod:`repro.core.sizing`; this module remains so existing
+``from repro.baseline.sizing import ...`` imports keep working.
 """
 
-from __future__ import annotations
-
-from typing import Iterable
-
-from repro.errors import ConfigurationError
-from repro.privacy.optimizer import DEFAULT_COMMON_FRACTION, max_load_factor_for_privacy
+from repro.core.sizing import fixed_array_size_for_privacy, prev_power_of_two
 
 __all__ = ["fixed_array_size_for_privacy", "prev_power_of_two"]
-
-
-def prev_power_of_two(value: float) -> int:
-    """Largest power of two ``<= value`` (at least 2)."""
-    if value < 2:
-        return 2
-    return 1 << (int(value).bit_length() - 1)
-
-
-def fixed_array_size_for_privacy(
-    volumes: Iterable[float],
-    s: int,
-    *,
-    min_privacy: float = 0.5,
-    common_fraction: float = DEFAULT_COMMON_FRACTION,
-    power_of_two: bool = True,
-) -> int:
-    """The baseline's common ``m`` for a set of RSU *volumes*.
-
-    Parameters
-    ----------
-    volumes:
-        Historical point traffic volumes of all participating RSUs.
-    s:
-        Logical bit array size.
-    min_privacy:
-        Privacy floor every RSU must retain (paper uses 0.5).
-    power_of_two:
-        Round down to a power of two so the baseline's arrays remain
-        comparable with VLM's in the head-to-head experiments.  The
-        original [9] does not require powers of two; rounding *down*
-        keeps the privacy guarantee intact.
-    """
-    volumes = list(volumes)
-    if not volumes:
-        raise ConfigurationError("volumes must not be empty")
-    n_min = min(volumes)
-    if n_min <= 0:
-        raise ConfigurationError("volumes must be positive")
-    f_max = max_load_factor_for_privacy(
-        min_privacy, s, n_x=n_min, n_y=n_min, common_fraction=common_fraction
-    )
-    m = f_max * n_min
-    if power_of_two:
-        return prev_power_of_two(m)
-    return max(2, int(m))

@@ -13,6 +13,11 @@ Usage::
     python -m repro.cli serve       # live gateway + collector
     python -m repro.cli loadgen     # replay a Sioux Falls day at them
     python -m repro.cli chaos       # fault-injection proxy in front
+    python -m repro.cli metrics summarize run.jsonl  # inspect a dump
+
+``serve --metrics-port N`` exposes live metrics as Prometheus text;
+``loadgen --metrics-out PATH`` dumps a finished run's metrics as JSON
+lines (see ``docs/observability.md``).
 
 ``--quick`` shrinks the sweeps/repetitions for a fast smoke run;
 ``--json PATH`` additionally writes the structured results to a file.
@@ -270,6 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_deployment_args(serve)
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also expose gateway/collector metrics as Prometheus "
+        "text on this port (GET /metrics)",
+    )
     loadgen = subparsers.add_parser(
         "loadgen",
         help="replay a Sioux Falls day against a running `repro serve`",
@@ -292,6 +305,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="cap on point-to-point queries (default: the full matrix)",
+    )
+    loadgen.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics (loadgen, retry, wire, core) as "
+        "JSON lines; inspect with `repro metrics summarize PATH`",
+    )
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="inspect metrics dumps written by `loadgen --metrics-out`",
+        description=(
+            "Offline metrics tooling.  `summarize` renders a JSON-lines "
+            "metrics dump as a human-readable table."
+        ),
+    )
+    metrics.add_argument(
+        "action",
+        choices=["summarize"],
+        help="what to do with the dump",
+    )
+    metrics.add_argument(
+        "path", type=Path, help="JSON-lines file written by --metrics-out"
+    )
+    metrics.add_argument(
+        "--verbose",
+        action="store_true",
+        help="enable library debug logging on stderr",
     )
     chaos = subparsers.add_parser(
         "chaos",
@@ -404,14 +446,17 @@ def _run_serve(args: argparse.Namespace) -> int:
         host=args.host,
         gateway_port=args.gateway_port,
         collector_port=args.collector_port,
+        metrics_port=args.metrics_port,
     )
 
 
 def _run_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.obs import MetricsRegistry, get_registry, metric_rows, write_jsonl
     from repro.service.loadgen import run_loadgen
 
+    registry = MetricsRegistry()
     result = asyncio.run(
         run_loadgen(
             _deployment_spec(args),
@@ -420,10 +465,27 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             collector_port=args.collector_port,
             wire_batch=args.wire_batch,
             max_queries=args.max_queries,
+            registry=registry,
         )
     )
     print(result.render())
+    if args.metrics_out is not None:
+        # One dump covers the run's own registry plus the process
+        # default, where the wire codec and core hot paths record.
+        rows = metric_rows(registry) + metric_rows(get_registry())
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            written = write_jsonl(rows, fh)
+        print(f"{written} metric rows written to {args.metrics_out}")
     return 0 if result.bit_identical else 1
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl, render_summary
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        rows = read_jsonl(fh)
+    print(render_summary(rows, title=f"metrics: {args.path.name}"))
+    return 0
 
 
 def _run_chaos(args: argparse.Namespace) -> int:
@@ -461,6 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(args)
     if args.experiment == "loadgen":
         return _run_loadgen(args)
+    if args.experiment == "metrics":
+        return _run_metrics(args)
     if args.experiment == "chaos":
         return _run_chaos(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -13,6 +13,7 @@ masking (VLM) scheme.
 """
 
 from repro.core.bitarray import BitArray
+from repro.core.config import SchemeConfig, configure
 from repro.core.unfolding import unfold, unfolded_or
 from repro.core.sizing import LoadFactorSizing, array_size_for_volume
 from repro.core.parameters import SchemeParameters
@@ -27,8 +28,9 @@ from repro.core.estimator import (
 )
 from repro.core.decoder import CentralDecoder
 from repro.core.multiperiod import AggregatedEstimate, aggregate_estimates
-from repro.core.multiway import TripleEstimate, estimate_triple
+from repro.core.multiway import MultiwayEstimate, TripleEstimate, estimate_multiway, estimate_triple
 from repro.core.reports import RsuReport
+from repro.core.results import Estimate
 from repro.core.scheme import VlmScheme
 
 __all__ = [
@@ -37,7 +39,9 @@ __all__ = [
     "unfolded_or",
     "LoadFactorSizing",
     "array_size_for_volume",
+    "SchemeConfig",
     "SchemeParameters",
+    "configure",
     "RsuState",
     "encode_passes",
     "PairEstimate",
@@ -51,6 +55,9 @@ __all__ = [
     "VlmScheme",
     "AggregatedEstimate",
     "aggregate_estimates",
+    "Estimate",
+    "MultiwayEstimate",
     "TripleEstimate",
+    "estimate_multiway",
     "estimate_triple",
 ]

@@ -9,17 +9,17 @@ drive it directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.bitarray import BitArray
-from repro.core.estimator import (
-    PairEstimate,
-    ZeroFractionPolicy,
-    estimate_intersection,
-)
+from repro.core.estimator import PairEstimate
 from repro.core.reports import RsuReport
 from repro.core.unfolding import unfold
 from repro.errors import EstimationError
+from repro.obs import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import PolicyLike, SchemeConfig
 
 __all__ = ["CentralDecoder"]
 
@@ -39,13 +39,23 @@ class CentralDecoder:
         The logical bit array size the vehicle fleet uses.
     policy:
         Saturation handling passed through to the estimator.
+    config:
+        A :class:`~repro.core.config.SchemeConfig` providing defaults
+        for ``s`` and ``policy``; explicit arguments override it.
     """
 
     def __init__(
-        self, s: int, *, policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE
+        self,
+        s: Optional[int] = None,
+        *,
+        policy: Optional["PolicyLike"] = None,
+        config: Optional["SchemeConfig"] = None,
     ) -> None:
-        self.s = int(s)
-        self.policy = policy
+        from repro.core.config import resolve_config
+
+        resolved = resolve_config(config, s=s, policy=policy)
+        self.s = int(resolved.s)
+        self.policy = resolved.policy
         # (period, rsu_id) -> report
         self._reports: Dict[Tuple[int, int], RsuReport] = {}
         # (period, rsu_id, target_size) -> unfolded bit array
@@ -73,8 +83,11 @@ class CentralDecoder:
         key = (report.period, report.rsu_id, target_size)
         cached = self._unfold_cache.get(key)
         if cached is None:
+            get_registry().counter("decoder.unfold_cache_misses_total").inc()
             cached = unfold(report.bits, target_size)
             self._unfold_cache[key] = cached
+        else:
+            get_registry().counter("decoder.unfold_cache_hits_total").inc()
         return cached
 
     def submit_many(self, reports: Iterable[RsuReport]) -> None:
@@ -134,7 +147,7 @@ class CentralDecoder:
             v_c, v_x, v_y, report_y.array_size, self.s
         )
         return PairEstimate(
-            n_c_hat=n_c_hat,
+            value=n_c_hat,
             v_c=v_c,
             v_x=v_x,
             v_y=v_y,

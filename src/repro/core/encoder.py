@@ -25,6 +25,7 @@ from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
 from repro.errors import ConfigurationError
 from repro.hashing.logical_bitarray import select_indices
+from repro.obs import get_registry
 from repro.utils.validation import check_power_of_two
 
 __all__ = ["RsuState", "encode_passes"]
@@ -143,6 +144,9 @@ def encode_passes(
     # Power-of-two reduction: b_x = b mod m_x.
     indices = logical & (array_size - 1)
     bits = BitArray.from_indices(array_size, indices)
+    registry = get_registry()
+    registry.counter("core.encode_calls_total").inc()
+    registry.counter("core.encode_responses_total").inc(int(ids.size))
     return RsuReport(
         rsu_id=rsu_id, counter=int(ids.size), bits=bits, period=period
     )

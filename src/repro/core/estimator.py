@@ -26,12 +26,13 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
 from repro.core.bitarray import BitArray
 from repro.core.reports import RsuReport
+from repro.core.results import Estimate, deprecated_alias
 from repro.core.unfolding import unfolded_or
 from repro.errors import ConfigurationError, EstimationError, SaturatedArrayError
 from repro.utils.mathx import log_pow_one_minus
@@ -146,13 +147,14 @@ def _observed_fraction(bits: BitArray, policy: ZeroFractionPolicy) -> float:
 
 
 @dataclass(frozen=True)
-class PairEstimate:
+class PairEstimate(Estimate):
     """Result of decoding one RSU pair.
 
     Attributes
     ----------
-    n_c_hat:
-        The point-to-point traffic volume estimate ``n̂_c`` (Eq. 5).
+    value:
+        The point-to-point traffic volume estimate ``n̂_c`` (Eq. 5);
+        readable via the deprecated alias ``n_c_hat``.
     v_c, v_x, v_y:
         Observed zero-bit fractions that produced the estimate
         (``v_x`` always refers to the *smaller* array).
@@ -164,7 +166,6 @@ class PairEstimate:
         Logical bit array size used.
     """
 
-    n_c_hat: float
     v_c: float
     v_x: float
     v_y: float
@@ -174,18 +175,42 @@ class PairEstimate:
     n_y: int
     s: int
 
-    @property
-    def clamped_nonnegative(self) -> float:
-        """``max(n̂_c, 0)`` — a convenience for reporting, since sampling
-        noise can push the raw MLE slightly below zero when ``n_c`` is
-        tiny."""
-        return max(self.n_c_hat, 0.0)
+    #: Deprecated spelling of :attr:`value`.
+    n_c_hat = deprecated_alias("n_c_hat")
 
-    def error_ratio(self, true_n_c: float) -> float:
-        """The paper's Table I metric ``r = |n̂_c - n_c| / n_c``."""
-        if true_n_c <= 0:
-            raise EstimationError("error_ratio requires a positive true n_c")
-        return abs(self.n_c_hat - true_n_c) / true_n_c
+    @property
+    def stderr(self) -> float:
+        """Plug-in standard error from the Section V variance (Eq. 34
+        machinery), evaluated at the estimate clamped into the feasible
+        range ``[1, min(n_x, n_y)]``."""
+        from repro.accuracy.variance import estimator_variance
+
+        plug_in = min(max(self.value, 1.0), float(min(self.n_x, self.n_y)))
+        variance = estimator_variance(
+            self.n_x,
+            self.n_y,
+            int(round(plug_in)),
+            self.m_x,
+            self.m_y,
+            self.s,
+        )
+        return math.sqrt(max(variance, 0.0))
+
+    @property
+    def params(self) -> Dict[str, object]:
+        """Scheme parameters: ``s`` and the ordered array sizes."""
+        return {"s": self.s, "m_x": self.m_x, "m_y": self.m_y}
+
+    @property
+    def meta(self) -> Dict[str, object]:
+        """Observed zero fractions and reported counters."""
+        return {
+            "v_c": self.v_c,
+            "v_x": self.v_x,
+            "v_y": self.v_y,
+            "n_x": self.n_x,
+            "n_y": self.n_y,
+        }
 
 
 def estimate_intersection(
@@ -223,7 +248,7 @@ def estimate_intersection(
     v_y = _observed_fraction(report_y.bits, policy)
     n_c_hat = estimate_from_fractions(v_c, v_x, v_y, report_y.array_size, s)
     return PairEstimate(
-        n_c_hat=n_c_hat,
+        value=n_c_hat,
         v_c=v_c,
         v_x=v_x,
         v_y=v_y,

@@ -18,24 +18,26 @@ is quantified by :mod:`repro.experiments.multiperiod`.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.accuracy.variance import estimator_variance
 from repro.core.estimator import PairEstimate
+from repro.core.results import Estimate, deprecated_alias
 from repro.errors import EstimationError
 
 __all__ = ["AggregatedEstimate", "aggregate_estimates"]
 
 
 @dataclass(frozen=True)
-class AggregatedEstimate:
+class AggregatedEstimate(Estimate):
     """A combined multi-period point-to-point estimate.
 
     Attributes
     ----------
-    n_c_hat:
-        The combined estimate.
+    value:
+        The combined estimate (deprecated alias ``n_c_hat``).
     stderr:
         Predicted standard error of the combined estimate (from the
         closed-form per-period variances when available, else the
@@ -46,14 +48,30 @@ class AggregatedEstimate:
         ``"mean"`` or ``"inverse-variance"``.
     """
 
-    n_c_hat: float
-    stderr: float
-    periods: int
-    method: str
+    # Declared with a default so it shadows the base class's read-only
+    # ``stderr`` property; aggregation always supplies a real value.
+    stderr: Optional[float] = None
+    periods: int = 1
+    method: str = "mean"
+
+    #: Deprecated spelling of :attr:`value`.
+    n_c_hat = deprecated_alias("n_c_hat")
+
+    @property
+    def meta(self) -> dict:
+        """Aggregation method and the number of periods combined."""
+        return {"method": self.method, "periods": self.periods}
 
     def confidence_interval(self, z: float = 1.96) -> tuple:
-        """A normal-approximation confidence interval."""
-        return (self.n_c_hat - z * self.stderr, self.n_c_hat + z * self.stderr)
+        """Deprecated: use :meth:`ci` (which takes a *level*, not a
+        z-score) instead."""
+        warnings.warn(
+            "AggregatedEstimate.confidence_interval is deprecated; "
+            "use .ci(level) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return (self.value - z * self.stderr, self.value + z * self.stderr)
 
 
 def _closed_form_variance(estimate: PairEstimate, n_c_guess: float) -> float:
@@ -91,7 +109,7 @@ def aggregate_estimates(
         raise EstimationError("cannot aggregate zero estimates")
     if weights not in (None, "mean", "inverse-variance"):
         raise EstimationError(f"unknown weighting {weights!r}")
-    values = [e.n_c_hat for e in estimates]
+    values = [e.value for e in estimates]
     periods = len(values)
     pooled = sum(values) / periods
 
@@ -99,14 +117,14 @@ def aggregate_estimates(
         if periods == 1:
             variance = _closed_form_variance(estimates[0], pooled)
             return AggregatedEstimate(
-                n_c_hat=pooled,
+                value=pooled,
                 stderr=math.sqrt(max(variance, 0.0)),
                 periods=1,
                 method="mean",
             )
         sample_var = sum((v - pooled) ** 2 for v in values) / (periods - 1)
         return AggregatedEstimate(
-            n_c_hat=pooled,
+            value=pooled,
             stderr=math.sqrt(sample_var / periods),
             periods=periods,
             method="mean",
@@ -119,7 +137,7 @@ def aggregate_estimates(
     total = sum(precision)
     combined = sum(p * v for p, v in zip(precision, values)) / total
     return AggregatedEstimate(
-        n_c_hat=combined,
+        value=combined,
         stderr=math.sqrt(1.0 / total),
         periods=periods,
         method="inverse-variance",

@@ -47,6 +47,7 @@ from repro.core.estimator import (
     estimate_intersection,
 )
 from repro.core.reports import RsuReport
+from repro.core.results import Estimate, deprecated_alias
 from repro.core.unfolding import unfold
 from repro.errors import ConfigurationError, EstimationError, SaturatedArrayError
 
@@ -118,19 +119,30 @@ def log_q_triple_coefficients(
 
 
 @dataclass(frozen=True)
-class TripleEstimate:
-    """Result of a three-point measurement."""
+class TripleEstimate(Estimate):
+    """Result of a three-point measurement.
 
-    n_xyz_hat: float
+    :attr:`value` is the triple trajectory volume ``n̂_xyz`` (readable
+    via the deprecated alias ``n_xyz_hat``).
+    """
+
     pairwise: Tuple[float, float, float]
     v_t: float
     m_sizes: Tuple[int, int, int]
     s: int
 
+    #: Deprecated spelling of :attr:`value`.
+    n_xyz_hat = deprecated_alias("n_xyz_hat")
+
     @property
-    def clamped_nonnegative(self) -> float:
-        """``max(n̂_xyz, 0)``."""
-        return max(self.n_xyz_hat, 0.0)
+    def params(self) -> dict:
+        """Scheme parameters: ``s`` and the ordered array sizes."""
+        return {"s": self.s, "m_sizes": self.m_sizes}
+
+    @property
+    def meta(self) -> dict:
+        """Pairwise estimates and the triple-OR zero fraction."""
+        return {"pairwise": self.pairwise, "v_t": self.v_t}
 
 
 def estimate_triple(
@@ -158,9 +170,9 @@ def estimate_triple(
         raise ConfigurationError("sizes must nest: m_x | m_y | m_z")
 
     # Pairwise estimates via the paper's machinery.
-    pair_xy = estimate_intersection(r_x, r_y, s, policy=policy).n_c_hat
-    pair_xz = estimate_intersection(r_x, r_z, s, policy=policy).n_c_hat
-    pair_yz = estimate_intersection(r_y, r_z, s, policy=policy).n_c_hat
+    pair_xy = estimate_intersection(r_x, r_y, s, policy=policy).value
+    pair_xz = estimate_intersection(r_x, r_z, s, policy=policy).value
+    pair_yz = estimate_intersection(r_y, r_z, s, policy=policy).value
 
     # Observed zero fraction of the triple-OR array.
     joint: BitArray = unfold(r_x.bits, m_z) | unfold(r_y.bits, m_z) | r_z.bits
@@ -188,7 +200,7 @@ def estimate_triple(
         - pair_yz * d_yz
     ) / d_3
     return TripleEstimate(
-        n_xyz_hat=n_xyz,
+        value=n_xyz,
         pairwise=(pair_xy, pair_xz, pair_yz),
         v_t=v_t,
         m_sizes=(m_x, m_y, m_z),
@@ -270,23 +282,30 @@ def mobius_coefficient(sizes: Tuple[int, ...], s: int) -> float:
 
 
 @dataclass(frozen=True)
-class MultiwayEstimate:
+class MultiwayEstimate(Estimate):
     """Result of a k-way trajectory measurement.
 
     ``subset_estimates`` maps each RSU-id subset (size >= 2, as a
     sorted tuple) to its estimated intersection volume; the top-level
-    k-way estimate is :attr:`n_hat`.
+    k-way estimate is :attr:`value` (deprecated alias ``n_hat``).
     """
 
     rsu_ids: Tuple[int, ...]
-    n_hat: float
     subset_estimates: dict
     s: int
 
+    #: Deprecated spelling of :attr:`value`.
+    n_hat = deprecated_alias("n_hat")
+
     @property
-    def clamped_nonnegative(self) -> float:
-        """``max(n̂, 0)``."""
-        return max(self.n_hat, 0.0)
+    def params(self) -> dict:
+        """Scheme parameters: ``s`` and the participating RSUs."""
+        return {"s": self.s, "rsu_ids": self.rsu_ids}
+
+    @property
+    def meta(self) -> dict:
+        """Every lower-order subset intersection estimate."""
+        return {"subset_estimates": self.subset_estimates}
 
 
 def estimate_multiway(
@@ -355,5 +374,5 @@ def estimate_multiway(
             key = tuple(reports[i].rsu_id for i in combo)
             estimates[key] = residual / top
     return MultiwayEstimate(
-        rsu_ids=ids, n_hat=estimates[ids], subset_estimates=estimates, s=s
+        value=estimates[ids], rsu_ids=ids, subset_estimates=estimates, s=s
     )

@@ -1,0 +1,128 @@
+"""The unified result API: :class:`Estimate` and deprecation helpers.
+
+Result objects used to drift apart — ``PairEstimate.n_c_hat``,
+``TripleEstimate.n_xyz_hat``, ``MultiwayEstimate.n_hat``,
+``AggregatedEstimate.n_c_hat`` — so generic tooling (experiment
+harnesses, the loadgen verifier, metrics summaries) had to know which
+spelling each class used.  Every estimate now conforms to one
+contract:
+
+``value``
+    The point estimate (``n̂`` of whatever intersection was measured).
+``stderr``
+    Predicted standard error, or ``None`` when no closed-form variance
+    applies.
+``ci(level)``
+    Normal-approximation confidence interval at *level* (default
+    0.95).
+``params``
+    The scheme parameters that produced the estimate (``s``, array
+    sizes, ...).
+``meta``
+    Observational metadata (zero fractions, counters, aggregation
+    method, ...).
+
+The old attribute spellings still resolve — as deprecated properties
+built by :func:`deprecated_alias` that emit :class:`DeprecationWarning`
+— so downstream code keeps working while it migrates.  The test suite
+runs with ``-W error::DeprecationWarning`` scoped to ``repro`` so the
+library itself can never regress onto its own deprecated surface.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Dict, Optional, Tuple
+
+from repro.errors import EstimationError
+
+__all__ = ["Estimate", "deprecated_alias"]
+
+
+def deprecated_alias(old_name: str, new_name: str = "value") -> property:
+    """A read-only property aliasing *old_name* to *new_name*.
+
+    Reading it returns ``getattr(self, new_name)`` after emitting a
+    :class:`DeprecationWarning` attributed to the caller
+    (``stacklevel=2``), so the warning points at the code that needs
+    migrating, not at the alias itself.
+    """
+
+    def getter(self):
+        warnings.warn(
+            f"{type(self).__name__}.{old_name} is deprecated; "
+            f"use .{new_name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, new_name)
+
+    getter.__name__ = old_name
+    getter.__doc__ = f"Deprecated alias for :attr:`{new_name}`."
+    return property(getter)
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Base class for every measurement result.
+
+    Attributes
+    ----------
+    value:
+        The point estimate.
+    """
+
+    value: float
+
+    @property
+    def stderr(self) -> Optional[float]:
+        """Predicted standard error (``None`` if not available).
+
+        Subclasses override this with their closed-form variance when
+        one exists (e.g. the Eq. 34 machinery for pair estimates).
+        """
+        return None
+
+    @property
+    def params(self) -> Dict[str, object]:
+        """Scheme parameters that produced the estimate."""
+        return {}
+
+    @property
+    def meta(self) -> Dict[str, object]:
+        """Observational metadata (fractions, counters, method, ...)."""
+        return {}
+
+    @property
+    def clamped_nonnegative(self) -> float:
+        """``max(value, 0)`` — a convenience for reporting, since
+        sampling noise can push the raw MLE slightly below zero when
+        the true intersection is tiny."""
+        return max(self.value, 0.0)
+
+    def ci(self, level: float = 0.95) -> Tuple[float, float]:
+        """Normal-approximation confidence interval at *level*.
+
+        Raises :class:`~repro.errors.EstimationError` when the
+        estimate has no standard error (``stderr is None``).
+        """
+        if not 0.0 < level < 1.0:
+            raise EstimationError(
+                f"confidence level must be in (0, 1), got {level}"
+            )
+        stderr = self.stderr
+        if stderr is None:
+            raise EstimationError(
+                f"{type(self).__name__} has no standard error; "
+                "a confidence interval is undefined"
+            )
+        z = NormalDist().inv_cdf(0.5 + level / 2.0)
+        return (self.value - z * stderr, self.value + z * stderr)
+
+    def error_ratio(self, true_value: float) -> float:
+        """The paper's Table I metric ``r = |n̂ - n| / n``."""
+        if true_value <= 0:
+            raise EstimationError("error_ratio requires a positive true value")
+        return abs(self.value - true_value) / true_value

@@ -17,13 +17,14 @@ provided by :class:`repro.baseline.scheme.FixedLengthScheme`.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.core.config import PolicyLike, SchemeConfig, resolve_config
 from repro.core.decoder import CentralDecoder
 from repro.core.encoder import encode_passes
-from repro.core.estimator import PairEstimate, ZeroFractionPolicy
+from repro.core.estimator import PairEstimate
 from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
 from repro.core.sizing import LoadFactorSizing
@@ -51,19 +52,31 @@ class VlmScheme:
         Shared hash-function seed.
     policy:
         Saturation policy for the decoder.
+    config:
+        A :class:`~repro.core.config.SchemeConfig` providing defaults
+        for the four knobs above; explicit keywords override it.
     """
 
     def __init__(
         self,
         historical_volumes: Mapping[int, float],
         *,
-        s: int = 2,
-        load_factor: float = 3.0,
-        hash_seed: int = 0,
-        policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE,
+        s: Optional[int] = None,
+        load_factor: Optional[float] = None,
+        hash_seed: Optional[int] = None,
+        policy: Optional[PolicyLike] = None,
+        config: Optional[SchemeConfig] = None,
     ) -> None:
         if not historical_volumes:
             raise ConfigurationError("historical_volumes must not be empty")
+        config = resolve_config(
+            config,
+            s=s,
+            load_factor=load_factor,
+            hash_seed=hash_seed,
+            policy=policy,
+        )
+        s, load_factor = config.s, config.load_factor
         sizing = LoadFactorSizing(load_factor)
         self._sizes: Dict[int, int] = {
             int(rsu): sizing.size_for(volume)
@@ -74,10 +87,11 @@ class VlmScheme:
         while m_o <= s:
             m_o *= 2
         self.params = SchemeParameters(
-            s=s, load_factor=load_factor, m_o=m_o, hash_seed=hash_seed
+            s=s, load_factor=load_factor, m_o=m_o, hash_seed=config.hash_seed
         )
+        self.config = config
         self.sizing = sizing
-        self.decoder = CentralDecoder(s, policy=policy)
+        self.decoder = CentralDecoder(s, policy=config.policy)
 
     # ------------------------------------------------------------------
     # Configuration introspection

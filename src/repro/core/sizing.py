@@ -1,21 +1,33 @@
-"""Bit array sizing (paper Section IV-B).
+"""Bit array sizing — VLM (Section IV-B) and the baseline (VI-B).
 
-Each RSU's array length is ``m_x = 2**ceil(log2(n̄_x * f̄))`` — the
+Each VLM RSU's array length is ``m_x = 2**ceil(log2(n̄_x * f̄))`` — the
 smallest power of two no smaller than its historical average point
 traffic volume ``n̄_x`` times a global *load factor* ``f̄``.  Keeping
 every RSU at (roughly) the same load factor is the paper's central
 idea: it equalizes both privacy and estimator noise across
 heavy-traffic and light-traffic RSUs.
+
+The comparison baseline of reference [9] instead forces one common
+``m`` on every RSU; its privacy-constrained choice
+(:func:`fixed_array_size_for_privacy`) lives here too so every
+array-sizing rule shares one module — ``repro.baseline.sizing``
+re-exports it for backwards compatibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from repro.errors import ConfigurationError
 from repro.utils.validation import check_positive, next_power_of_two
 
-__all__ = ["array_size_for_volume", "LoadFactorSizing"]
+__all__ = [
+    "LoadFactorSizing",
+    "array_size_for_volume",
+    "fixed_array_size_for_privacy",
+    "prev_power_of_two",
+]
 
 
 def array_size_for_volume(average_volume: float, load_factor: float) -> int:
@@ -62,3 +74,74 @@ class LoadFactorSizing:
         rounding up to a power of two at most doubles the target.
         """
         return self.size_for(average_volume) / average_volume
+
+
+# ----------------------------------------------------------------------
+# The baseline's single fixed array length (paper Section VI-B)
+# ----------------------------------------------------------------------
+def prev_power_of_two(value: float) -> int:
+    """Largest power of two ``<= value`` (at least 2)."""
+    if value < 2:
+        return 2
+    return 1 << (int(value).bit_length() - 1)
+
+
+def fixed_array_size_for_privacy(
+    volumes: Iterable[float],
+    s: int,
+    *,
+    min_privacy: float = 0.5,
+    common_fraction: Optional[float] = None,
+    power_of_two: bool = True,
+) -> int:
+    """The baseline's common ``m`` for a set of RSU *volumes*.
+
+    The baseline must pick one ``m`` for every RSU; the paper's
+    protocol picks it "to guarantee a minimum privacy of at least
+    0.5".  Privacy at a light-traffic RSU degrades as its effective
+    load factor ``m / n`` grows, so the binding constraint comes from
+    the *least* traffic volume ``n_min``: take the largest load factor
+    ``f_max`` whose privacy still meets the target at ``n_min`` (e.g.
+    ``f_max ≈ 15`` for ``s = 2``, matching the paper's "``m`` should
+    be no larger than ``15 n_min``") and set
+    ``m = 2^floor(log2(f_max * n_min))``.
+
+    Parameters
+    ----------
+    volumes:
+        Historical point traffic volumes of all participating RSUs.
+    s:
+        Logical bit array size.
+    min_privacy:
+        Privacy floor every RSU must retain (paper uses 0.5).
+    common_fraction:
+        Assumed common-traffic fraction for the privacy model; defaults
+        to :data:`repro.privacy.optimizer.DEFAULT_COMMON_FRACTION`.
+    power_of_two:
+        Round down to a power of two so the baseline's arrays remain
+        comparable with VLM's in the head-to-head experiments.  The
+        original [9] does not require powers of two; rounding *down*
+        keeps the privacy guarantee intact.
+    """
+    # Imported lazily: repro.privacy builds on repro.core, so a
+    # module-level import here would close a cycle.
+    from repro.privacy.optimizer import (
+        DEFAULT_COMMON_FRACTION,
+        max_load_factor_for_privacy,
+    )
+
+    if common_fraction is None:
+        common_fraction = DEFAULT_COMMON_FRACTION
+    volumes = list(volumes)
+    if not volumes:
+        raise ConfigurationError("volumes must not be empty")
+    n_min = min(volumes)
+    if n_min <= 0:
+        raise ConfigurationError("volumes must be positive")
+    f_max = max_load_factor_for_privacy(
+        min_privacy, s, n_x=n_min, n_y=n_min, common_fraction=common_fraction
+    )
+    m = f_max * n_min
+    if power_of_two:
+        return prev_power_of_two(m)
+    return max(2, int(m))

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.bitarray import BitArray
 from repro.errors import ConfigurationError
+from repro.obs import get_registry
 
 __all__ = ["unfold", "unfolded_or"]
 
@@ -39,6 +40,7 @@ def unfold(array: BitArray, target_size: int) -> BitArray:
             f"{array.size}; the scheme requires power-of-two lengths"
         )
     repeats = target_size // array.size
+    get_registry().counter("core.unfold_total").inc()
     return BitArray(target_size, np.tile(array.bits, repeats))
 
 
@@ -50,4 +52,5 @@ def unfolded_or(smaller: BitArray, larger: BitArray) -> BitArray:
     """
     if smaller.size > larger.size:
         smaller, larger = larger, smaller
+    get_registry().counter("core.unfolded_or_total").inc()
     return unfold(smaller, larger.size) | larger

@@ -136,7 +136,7 @@ def run_ablations(
             policy=ZeroFractionPolicy.CLAMP,
         )
         reports = _pair_reports(fleet, n_x, n_y, n_c, scheme)
-        up_estimates.append(scheme.measure(reports[1], reports[2]).n_c_hat)
+        up_estimates.append(scheme.measure(reports[1], reports[2]).value)
         # Fold-down alternative: estimator runs entirely at m_x.
         m_x = reports[1].array_size
         folded = fold_down(reports[2].bits, m_x)
@@ -182,7 +182,7 @@ def run_ablations(
                 policy=ZeroFractionPolicy.CLAMP,
             )
             reports = _pair_reports(fleet, n_x, n_y, n_c, scheme)
-            estimates.append(scheme.measure(reports[1], reports[2]).n_c_hat)
+            estimates.append(scheme.measure(reports[1], reports[2]).value)
         m_x = array_size_for_volume(n_x, factor)
         rows.append(
             AblationRow(
@@ -207,7 +207,7 @@ def run_ablations(
                 policy=ZeroFractionPolicy.CLAMP,
             )
             reports = _pair_reports(fleet, n_x, n_y, n_c, scheme)
-            estimates.append(scheme.measure(reports[1], reports[2]).n_c_hat)
+            estimates.append(scheme.measure(reports[1], reports[2]).value)
         rows.append(
             AblationRow(
                 study="effect of s",

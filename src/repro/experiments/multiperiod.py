@@ -94,7 +94,7 @@ def run_multiperiod(
             estimates.append(scheme.measure(rx, ry))
         for p in period_counts:
             agg = aggregate_estimates(estimates[:p])
-            errors[p].append(abs(agg.n_c_hat - n_c) / n_c)
+            errors[p].append(abs(agg.value - n_c) / n_c)
             stderrs[p].append(agg.stderr / n_c)
     return MultiPeriodResult(
         n_x=n_x,

@@ -114,7 +114,7 @@ def run_scaling(
 
         truth = workload.common_volumes()
         errors = [
-            abs(matrix[pair].n_c_hat - true) / true
+            abs(matrix[pair].value - true) / true
             for pair, true in truth.items()
             if true >= min_truth and pair in matrix
         ]

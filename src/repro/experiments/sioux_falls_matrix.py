@@ -17,7 +17,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.baseline.scheme import FixedLengthScheme
-from repro.baseline.sizing import fixed_array_size_for_privacy
+from repro.core.sizing import fixed_array_size_for_privacy
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.scheme import VlmScheme
 from repro.privacy.optimizer import max_load_factor_for_privacy
@@ -148,8 +148,8 @@ def run_sioux_falls_matrix(
                 pair=(a, b),
                 truth=true_nc,
                 d=d,
-                vlm_error=abs(vlm_est.n_c_hat - true_nc) / true_nc,
-                baseline_error=abs(base_est.n_c_hat - true_nc) / true_nc,
+                vlm_error=abs(vlm_est.value - true_nc) / true_nc,
+                baseline_error=abs(base_est.value - true_nc) / true_nc,
             )
         )
     return MatrixResult(

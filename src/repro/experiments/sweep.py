@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.baseline.scheme import FixedLengthScheme
-from repro.baseline.sizing import fixed_array_size_for_privacy
+from repro.core.sizing import fixed_array_size_for_privacy
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.scheme import VlmScheme
 from repro.errors import ConfigurationError
@@ -220,7 +220,7 @@ def run_accuracy_sweep(
                 )
             report_x = engine.encode_rsu(1, ids_x, keys_x)
             report_y = engine.encode_rsu(2, ids_y, keys_y)
-            estimates.append(engine.measure(report_x, report_y).n_c_hat)
+            estimates.append(engine.measure(report_x, report_y).value)
         series[ratio] = SweepSeries(
             ratio=ratio,
             n_x=n_x,

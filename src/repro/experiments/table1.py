@@ -28,7 +28,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.baseline.scheme import FixedLengthScheme
-from repro.baseline.sizing import fixed_array_size_for_privacy
+from repro.core.sizing import fixed_array_size_for_privacy
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.scheme import VlmScheme
 from repro.privacy.optimizer import max_load_factor_for_privacy
@@ -160,11 +160,11 @@ def _measure_pair(
         )
         rx = vlm.encode_rsu(pair.rsu_x, ids_x, keys_x)
         ry = vlm.encode_rsu(TABLE1_RSU_Y, ids_y, keys_y)
-        vlm_estimates.append(vlm.measure(rx, ry).n_c_hat)
+        vlm_estimates.append(vlm.measure(rx, ry).value)
         base = FixedLengthScheme(baseline_m, s=s, hash_seed=hash_seed)
         bx = base.encode_rsu(pair.rsu_x, ids_x, keys_x)
         by = base.encode_rsu(TABLE1_RSU_Y, ids_y, keys_y)
-        base_estimates.append(base.measure(bx, by).n_c_hat)
+        base_estimates.append(base.measure(bx, by).value)
     vlm_mean = float(np.mean(vlm_estimates))
     base_mean = float(np.mean(base_estimates))
     from repro.accuracy.variance import estimator_stddev

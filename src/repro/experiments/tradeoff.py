@@ -17,7 +17,7 @@ from typing import List, Sequence
 
 
 from repro.accuracy.variance import estimator_stddev
-from repro.baseline.sizing import prev_power_of_two
+from repro.core.sizing import prev_power_of_two
 from repro.core.sizing import array_size_for_volume
 from repro.privacy.formulas import preserved_privacy
 from repro.utils.tables import AsciiTable

@@ -1,0 +1,59 @@
+"""Observability layer for the measurement plane.
+
+``repro.obs`` is a dependency-free metrics + tracing substrate:
+
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  histograms with an injectable clock (deterministic under a fake
+  clock);
+* :data:`trace` / :class:`Tracer` — span-based timing that records
+  into ``<name>.seconds`` histograms on the same registry;
+* exporters — JSON-lines snapshots (:func:`write_jsonl`), Prometheus
+  text (:func:`render_prometheus`), ascii summaries
+  (:func:`render_summary`);
+* :class:`MetricsServer` — a plaintext scrape endpoint for the asyncio
+  service loop (``repro serve --metrics-port``).
+
+See ``docs/observability.md`` for the metric catalogue and naming
+convention.
+"""
+
+from repro.obs.export import (
+    metric_rows,
+    read_jsonl,
+    render_prometheus,
+    render_summary,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.scrape import MetricsServer, serve_metrics
+from repro.obs.tracing import Span, Tracer, trace
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "metric_rows",
+    "read_jsonl",
+    "render_prometheus",
+    "render_summary",
+    "serve_metrics",
+    "set_registry",
+    "trace",
+    "use_registry",
+    "write_jsonl",
+]

@@ -1,0 +1,165 @@
+"""Exporters: JSON-lines snapshots, Prometheus text, ascii summaries.
+
+Three consumers, three formats, one source of truth
+(:meth:`MetricsRegistry.snapshot`):
+
+* ``repro loadgen --metrics-out run.jsonl`` writes one JSON object per
+  instrument (:func:`write_jsonl`) for offline analysis;
+* ``repro serve --metrics-port`` serves :func:`render_prometheus` text
+  so a scraper can watch a live gateway;
+* ``repro metrics summarize run.jsonl`` renders
+  :func:`render_summary`'s ascii table for humans.
+
+Prometheus naming: dotted registry names are mangled to the
+``repro_``-prefixed underscore form the exposition format requires
+(``gateway.batches_deduped_total`` → ``repro_gateway_batches_deduped_total``).
+Histograms export the conventional cumulative ``_bucket{le=...}``
+series plus ``_sum``/``_count``.  Output is sorted and uses ``repr``
+style floats, so two identical registries render byte-identically —
+the golden-file tests depend on it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO, Dict, Iterable, List, Union
+
+from repro.utils.tables import AsciiTable
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "metric_rows",
+    "read_jsonl",
+    "render_prometheus",
+    "render_summary",
+    "write_jsonl",
+]
+
+Row = Dict[str, object]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    mangled = _INVALID_CHARS.sub("_", name)
+    return mangled if mangled.startswith("repro_") else f"repro_{mangled}"
+
+
+def _prom_labels(labels: Dict[str, object], extra: str = "") -> str:
+    parts = [
+        f'{_INVALID_CHARS.sub("_", str(k))}="{v}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_float(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def metric_rows(registry: MetricsRegistry) -> List[Row]:
+    """The registry's snapshot rows (deterministic order)."""
+    return registry.snapshot()
+
+
+def write_jsonl(
+    registry_or_rows: Union[MetricsRegistry, Iterable[Row]],
+    stream: IO[str],
+) -> int:
+    """Write one JSON object per instrument; returns the row count."""
+    if isinstance(registry_or_rows, MetricsRegistry):
+        rows: Iterable[Row] = registry_or_rows.snapshot()
+    else:
+        rows = registry_or_rows
+    written = 0
+    for row in rows:
+        stream.write(json.dumps(row, sort_keys=True) + "\n")
+        written += 1
+    return written
+
+
+def read_jsonl(stream: IO[str]) -> List[Row]:
+    """Parse rows produced by :func:`write_jsonl` (blank lines ok)."""
+    rows: List[Row] = []
+    for line in stream:
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def render_prometheus(
+    registry_or_rows: Union[MetricsRegistry, Iterable[Row]],
+) -> str:
+    """Prometheus text-exposition rendering of a snapshot."""
+    if isinstance(registry_or_rows, MetricsRegistry):
+        rows: Iterable[Row] = registry_or_rows.snapshot()
+    else:
+        rows = registry_or_rows
+    lines: List[str] = []
+    typed = set()
+    for row in rows:
+        name = _prom_name(str(row["name"]))
+        labels = dict(row.get("labels") or {})
+        kind = row["type"]
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+        if kind in ("counter", "gauge"):
+            value = float(row["value"])  # type: ignore[arg-type]
+            lines.append(f"{name}{_prom_labels(labels)} {_prom_float(value)}")
+        elif kind == "histogram":
+            cumulative = 0
+            for boundary, count in row["buckets"]:  # type: ignore[union-attr]
+                cumulative += count
+                le = 'le="%s"' % _prom_float(float(boundary))
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, le)} {cumulative}"
+                )
+            total = cumulative + int(row["overflow"])  # type: ignore[arg-type]
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, inf)} {total}"
+            )
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)} "
+                f"{_prom_float(float(row['sum']))}"  # type: ignore[arg-type]
+            )
+            lines.append(f"{name}_count{_prom_labels(labels)} {total}")
+        else:  # pragma: no cover - registry only makes three kinds
+            raise ValueError(f"unknown metric type {kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _summary_value(row: Row) -> str:
+    if row["type"] == "histogram":
+        count = int(row["count"])  # type: ignore[arg-type]
+        total = float(row["sum"])  # type: ignore[arg-type]
+        mean = total / count if count else 0.0
+        return f"n={count} mean={mean:.6f}s"
+    value = float(row["value"])  # type: ignore[arg-type]
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:.4f}"
+
+
+def render_summary(rows: Iterable[Row], *, title: str = "metrics") -> str:
+    """Human-readable ascii table of snapshot rows."""
+    table = AsciiTable(["metric", "labels", "type", "value"], title=title)
+    ordered = sorted(
+        rows,
+        key=lambda r: (str(r["name"]), sorted((r.get("labels") or {}).items())),
+    )
+    for row in ordered:
+        labels = dict(row.get("labels") or {})
+        rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        table.add_row(
+            [str(row["name"]), rendered or "-", str(row["type"]), _summary_value(row)]
+        )
+    return table.render()

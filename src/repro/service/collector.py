@@ -16,6 +16,7 @@ import asyncio
 from typing import Dict, Optional, Tuple
 
 from repro.errors import EstimationError, ReproError, WireError
+from repro.obs import MetricsRegistry
 from repro.service import wire
 from repro.utils.logconfig import get_logger
 from repro.vcps.server import CentralServer
@@ -44,20 +45,72 @@ class CollectorService:
         The :class:`~repro.vcps.server.CentralServer` that stores
         reports and answers queries.  Shared state: multiple
         connections feed and query the same server.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` this collector records
+        into (``collector.*`` metrics); private by default.
     """
 
-    def __init__(self, server: CentralServer) -> None:
+    def __init__(
+        self,
+        server: CentralServer,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.server = server
         self._server: Optional[asyncio.AbstractServer] = None
         self.port: Optional[int] = None
         #: (rsu_id, period) -> seq of the upload that was applied.
         self._applied: Dict[Tuple[int, int], int] = {}
-        # Stats.
-        self.snapshots_received = 0
-        self.snapshots_deduped = 0
-        self.snapshots_conflicted = 0
-        self.queries_answered = 0
-        self.frames_rejected = 0
+        # Metrics (pre-created; see the gateway for the pattern).
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._m_received = self.registry.counter(
+            "collector.snapshots_received_total"
+        )
+        self._m_deduped = self.registry.counter(
+            "collector.snapshots_deduped_total"
+        )
+        self._m_conflicted = self.registry.counter(
+            "collector.snapshots_conflicted_total"
+        )
+        self._m_answered = self.registry.counter(
+            "collector.queries_answered_total"
+        )
+        self._m_frames_rejected = self.registry.counter(
+            "collector.frames_rejected_total"
+        )
+        self._m_query_seconds = self.registry.histogram(
+            "collector.query_seconds"
+        )
+
+    # ------------------------------------------------------------------
+    # Stats (registry-backed integer views, kept for compatibility)
+    # ------------------------------------------------------------------
+    @property
+    def snapshots_received(self) -> int:
+        """Snapshots applied to measurement state."""
+        return int(self._m_received.value)
+
+    @property
+    def snapshots_deduped(self) -> int:
+        """Retransmitted uploads acknowledged without re-applying."""
+        return int(self._m_deduped.value)
+
+    @property
+    def snapshots_conflicted(self) -> int:
+        """Uploads refused because a different seq already applied."""
+        return int(self._m_conflicted.value)
+
+    @property
+    def queries_answered(self) -> int:
+        """Point and point-to-point queries answered successfully."""
+        return int(self._m_answered.value)
+
+    @property
+    def frames_rejected(self) -> int:
+        """Frames nacked as malformed or unhandleable."""
+        return int(self._m_frames_rejected.value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -88,7 +141,7 @@ class CollectorService:
                 except asyncio.IncompleteReadError:
                     break
                 except WireError as exc:
-                    self.frames_rejected += 1
+                    self._m_frames_rejected.inc()
                     await self._reply(
                         writer, wire.ErrorMsg(wire.E_MALFORMED, str(exc))
                     )
@@ -118,11 +171,15 @@ class CollectorService:
     def _handle(self, message: wire.Message) -> wire.Message:
         if isinstance(message, wire.Snapshot):
             return self._handle_snapshot(message)
-        if isinstance(message, wire.VolumeQuery):
-            return self._handle_query(message)
-        if isinstance(message, wire.PointQuery):
-            return self._handle_point_query(message)
-        self.frames_rejected += 1
+        if isinstance(message, (wire.VolumeQuery, wire.PointQuery)):
+            start = self.registry.clock()
+            if isinstance(message, wire.VolumeQuery):
+                reply = self._handle_query(message)
+            else:
+                reply = self._handle_point_query(message)
+            self._m_query_seconds.observe(self.registry.clock() - start)
+            return reply
+        self._m_frames_rejected.inc()
         return wire.ErrorMsg(
             wire.E_MALFORMED,
             f"collector cannot handle {type(message).__name__}",
@@ -135,7 +192,7 @@ class CollectorService:
             if applied_seq == snapshot.seq:
                 # Retransmission of the upload we already applied:
                 # idempotent, ack again, leave state untouched.
-                self.snapshots_deduped += 1
+                self._m_deduped.inc()
                 logger.debug(
                     "dedup: rsu=%s period=%s seq=%s",
                     snapshot.rsu_id,
@@ -149,7 +206,7 @@ class CollectorService:
                 )
             # A *different* upload for a key we already decoded from:
             # refusing is the only answer that keeps estimates stable.
-            self.snapshots_conflicted += 1
+            self._m_conflicted.inc()
             return wire.ErrorMsg(
                 wire.E_DUPLICATE,
                 f"snapshot for rsu {snapshot.rsu_id} period "
@@ -161,10 +218,10 @@ class CollectorService:
             report = snapshot.to_report()
             self.server.receive_report(report)
         except ReproError as exc:
-            self.frames_rejected += 1
+            self._m_frames_rejected.inc()
             return wire.ErrorMsg(wire.E_MALFORMED, str(exc))
         self._applied[key] = snapshot.seq
-        self.snapshots_received += 1
+        self._m_received.inc()
         return wire.SnapshotAck(
             rsu_id=snapshot.rsu_id, period=snapshot.period, seq=snapshot.seq
         )
@@ -178,9 +235,9 @@ class CollectorService:
             return wire.ErrorMsg(wire.E_ESTIMATION, str(exc))
         except ReproError as exc:  # pragma: no cover - defensive
             return wire.ErrorMsg(wire.E_INTERNAL, str(exc))
-        self.queries_answered += 1
+        self._m_answered.inc()
         return wire.EstimateMsg(
-            n_c_hat=estimate.n_c_hat,
+            n_c_hat=estimate.value,
             v_c=estimate.v_c,
             v_x=estimate.v_x,
             v_y=estimate.v_y,
@@ -196,7 +253,7 @@ class CollectorService:
             counter = self.server.point_volume(query.rsu_id, query.period)
         except EstimationError as exc:
             return wire.ErrorMsg(wire.E_ESTIMATION, str(exc))
-        self.queries_answered += 1
+        self._m_answered.inc()
         return wire.PointVolume(
             rsu_id=query.rsu_id, period=query.period, counter=counter
         )

@@ -17,6 +17,12 @@ reading the socket, so TCP flow control pushes back on the sender.
 On :class:`~repro.service.wire.EndPeriod` the gateway flushes, closes
 the period at every RSU, and uploads each snapshot to the collector
 with bounded retries and per-attempt timeouts before acknowledging.
+
+Every stage records into the gateway's own
+:class:`~repro.obs.MetricsRegistry` (``gateway.*`` metrics; see
+``docs/observability.md``); the historical stat attributes
+(``responses_received`` etc.) remain as registry-backed integer
+properties.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.errors import RetryExhaustedError, WireError
+from repro.obs import MetricsRegistry
 from repro.service import wire
 from repro.service.retry import RetryPolicy, retry_async
 from repro.utils.logconfig import get_logger
@@ -76,6 +83,10 @@ class RsuGateway:
         Full backoff schedule for uploads; overrides *upload_retries*.
     retry_seed:
         Seed for backoff jitter, so fault tests are reproducible.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` this gateway records
+        into; a fresh private registry by default so concurrent
+        gateways (and tests) never share counters.
     """
 
     def __init__(
@@ -91,6 +102,7 @@ class RsuGateway:
         upload_retries: int = 3,
         retry_policy: Optional[RetryPolicy] = None,
         retry_seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.rsus = dict(rsus)
         self.collector_host = collector_host
@@ -125,16 +137,102 @@ class RsuGateway:
         # Created lazily inside the running loop (py3.9 binds locks to
         # the loop current at construction time).
         self._close_lock: Optional[asyncio.Lock] = None
-        # Stats.
-        self.responses_received = 0
-        self.responses_recorded = 0
-        self.responses_rejected = 0
-        self.frames_rejected = 0
-        self.batches_deduped = 0
-        self.snapshots_uploaded = 0
-        self.snapshots_failed = 0
-        self.uploads_retried = 0
-        self.periods_reclosed = 0
+        # Metrics.  Instruments are pre-created so the hot paths pay
+        # one attribute access, not a registry lookup, per event.
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._m_received = self.registry.counter(
+            "gateway.responses_received_total"
+        )
+        self._m_recorded = self.registry.counter(
+            "gateway.responses_recorded_total"
+        )
+        self._m_rejected = self.registry.counter(
+            "gateway.responses_rejected_total"
+        )
+        self._m_frames_rejected = self.registry.counter(
+            "gateway.frames_rejected_total"
+        )
+        self._m_deduped = self.registry.counter(
+            "gateway.batches_deduped_total"
+        )
+        self._m_uploaded = self.registry.counter(
+            "gateway.snapshots_uploaded_total"
+        )
+        self._m_upload_failed = self.registry.counter(
+            "gateway.snapshots_failed_total"
+        )
+        self._m_retried = self.registry.counter(
+            "gateway.uploads_retried_total"
+        )
+        self._m_reclosed = self.registry.counter(
+            "gateway.periods_reclosed_total"
+        )
+        self._m_backpressure = self.registry.counter(
+            "gateway.backpressure_stalls_total"
+        )
+        self._m_queue_depth = self.registry.gauge("gateway.queue_depth")
+        self._m_flush_seconds = self.registry.histogram(
+            "gateway.ingest_flush_seconds"
+        )
+        self._m_close_seconds = self.registry.histogram(
+            "gateway.period_close_seconds"
+        )
+
+    # ------------------------------------------------------------------
+    # Stats (registry-backed; the attribute names predate the registry
+    # and the chaos suite asserts on them as exact integers)
+    # ------------------------------------------------------------------
+    @property
+    def responses_received(self) -> int:
+        """Responses accepted off the wire (pre-validation)."""
+        return int(self._m_received.value)
+
+    @property
+    def responses_recorded(self) -> int:
+        """Responses that passed RSU validation and set a bit."""
+        return int(self._m_recorded.value)
+
+    @property
+    def responses_rejected(self) -> int:
+        """Responses an RSU refused (bad MAC or out-of-range index)."""
+        return int(self._m_rejected.value)
+
+    @property
+    def frames_rejected(self) -> int:
+        """Frames nacked outright (malformed or unknown RSU)."""
+        return int(self._m_frames_rejected.value)
+
+    @property
+    def batches_deduped(self) -> int:
+        """Sequenced batches dropped as already-applied duplicates."""
+        return int(self._m_deduped.value)
+
+    @property
+    def snapshots_uploaded(self) -> int:
+        """Snapshots the collector acknowledged."""
+        return int(self._m_uploaded.value)
+
+    @property
+    def snapshots_failed(self) -> int:
+        """Snapshots abandoned after the retry policy gave up."""
+        return int(self._m_upload_failed.value)
+
+    @property
+    def uploads_retried(self) -> int:
+        """Individual upload attempts that failed and were retried."""
+        return int(self._m_retried.value)
+
+    @property
+    def periods_reclosed(self) -> int:
+        """EndPeriod frames for a period that was already closed."""
+        return int(self._m_reclosed.value)
+
+    @property
+    def backpressure_stalls(self) -> int:
+        """Times a reader blocked on a full ingest queue."""
+        return int(self._m_backpressure.value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -179,7 +277,7 @@ class RsuGateway:
                 except WireError as exc:
                     # A framing error is unrecoverable on this stream —
                     # report it and hang up.
-                    self.frames_rejected += 1
+                    self._m_frames_rejected.inc()
                     await self._send_error(writer, wire.E_MALFORMED, str(exc))
                     break
                 if isinstance(message, wire.ResponseMsg):
@@ -206,7 +304,7 @@ class RsuGateway:
                         ),
                     )
                 else:
-                    self.frames_rejected += 1
+                    self._m_frames_rejected.inc()
                     await self._send_error(
                         writer,
                         wire.E_MALFORMED,
@@ -238,7 +336,7 @@ class RsuGateway:
         seq: int = 0,
     ) -> None:
         if rsu_id not in self.rsus:
-            self.frames_rejected += 1
+            self._m_frames_rejected.inc()
             await self._send_error(
                 writer, wire.E_UNKNOWN_RSU, f"unknown RSU {rsu_id}"
             )
@@ -247,16 +345,23 @@ class RsuGateway:
             # Sequenced delivery: a batch the sender may retransmit
             # after a fault.  Apply exactly once, ack every time.
             if seq in self._seen_seqs:
-                self.batches_deduped += 1
+                self._m_deduped.inc()
                 await self._reply_ack(writer, seq, duplicate=True)
                 return
             self._seen_seqs.add(seq)
-            self.responses_received += int(macs.size)
-            await self._queue.put((rsu_id, macs, indices))
+            self._m_received.inc(int(macs.size))
+            await self._put((rsu_id, macs, indices))
             await self._reply_ack(writer, seq, duplicate=False)
             return
-        self.responses_received += int(macs.size)
-        await self._queue.put((rsu_id, macs, indices))
+        self._m_received.inc(int(macs.size))
+        await self._put((rsu_id, macs, indices))
+
+    async def _put(self, item: _QueueItem) -> None:
+        """Enqueue for the ingest worker, counting backpressure stalls."""
+        if self._queue.full():
+            self._m_backpressure.inc()
+        await self._queue.put(item)
+        self._m_queue_depth.set(self._queue.qsize())
 
     async def _reply_ack(
         self, writer: asyncio.StreamWriter, seq: int, *, duplicate: bool
@@ -286,6 +391,7 @@ class RsuGateway:
             self._pending_counts[rsu_id] = count
             if count >= self.batch_size:
                 self._flush(rsu_id)
+            self._m_queue_depth.set(self._queue.qsize())
             self._queue.task_done()
 
     def _flush(self, rsu_id: int) -> None:
@@ -293,13 +399,15 @@ class RsuGateway:
         self._pending_counts.pop(rsu_id, None)
         if not chunks:
             return
+        start = self.registry.clock()
         macs = np.concatenate([np.asarray(m, dtype=np.uint64) for m, _ in chunks])
         indices = np.concatenate(
             [np.asarray(i, dtype=np.int64) for _, i in chunks]
         )
         recorded = self.rsus[rsu_id].handle_index_batch(macs, indices)
-        self.responses_recorded += recorded
-        self.responses_rejected += int(indices.size) - recorded
+        self._m_recorded.inc(recorded)
+        self._m_rejected.inc(int(indices.size) - recorded)
+        self._m_flush_seconds.observe(self.registry.clock() - start)
 
     def _flush_all(self) -> None:
         for rsu_id in list(self._pending):
@@ -321,9 +429,10 @@ class RsuGateway:
         """
         if self._close_lock is None:
             self._close_lock = asyncio.Lock()
+        close_start = self.registry.clock()
         async with self._close_lock:
             if period in self._period_uploads:
-                self.periods_reclosed += 1
+                self._m_reclosed.inc()
                 logger.info("period %s re-closed; resuming uploads", period)
             else:
                 await self._queue.join()
@@ -353,6 +462,7 @@ class RsuGateway:
             ]
             await self._upload_snapshots(period, todo)
             uploaded = len(acked)
+        self._m_close_seconds.observe(self.registry.clock() - close_start)
         logger.info(
             "period %s closed: %d/%d snapshots uploaded",
             period,
@@ -413,7 +523,7 @@ class RsuGateway:
                         self.retry_policy.max_attempts,
                         exc,
                     )
-                    self.uploads_retried += 1
+                    self._m_retried.inc()
                     _drop_connection()
 
                 try:
@@ -423,6 +533,8 @@ class RsuGateway:
                         retry_on=_UPLOAD_RETRY_ON,
                         rng=self._retry_rng,
                         on_retry=_on_retry,
+                        registry=self.registry,
+                        op="snapshot_upload",
                     )
                 except RetryExhaustedError as exc:
                     logger.error(
@@ -431,10 +543,10 @@ class RsuGateway:
                         exc.attempts,
                         exc,
                     )
-                    self.snapshots_failed += 1
+                    self._m_upload_failed.inc()
                     _drop_connection()
                     continue
                 self._period_acked[period].add(snapshot.rsu_id)
-                self.snapshots_uploaded += 1
+                self._m_uploaded.inc()
         finally:
             _drop_connection()

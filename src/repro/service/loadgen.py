@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import EstimationError, RetryExhaustedError, WireError
+from repro.obs import MetricsRegistry
 from repro.service import wire
 from repro.service.retry import RetryPolicy, retry_async
 from repro.service.runtime import (
@@ -61,17 +62,70 @@ _FAULTS = (
 _MAX_STALLS = 20
 
 
-@dataclass
 class StreamStats:
-    """What the streaming phase delivered and what it survived."""
+    """What the streaming phase delivered and what it survived.
 
-    sent: int = 0
-    elapsed: float = 0.0
-    snapshots_acked: int = 0
-    reconnects: int = 0
-    batches_resent: int = 0
-    dedup_acks: int = 0
-    nacks: int = 0
+    A read view over ``loadgen.*`` instruments in a
+    :class:`~repro.obs.MetricsRegistry`: the bespoke fault counters
+    this class used to carry now live in the registry, so the stats
+    returned to callers and a ``--metrics-out`` dump of the same run
+    can never disagree.
+    """
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._m_sent = self.registry.counter(
+            "loadgen.responses_sent_total"
+        )
+        self._m_reconnects = self.registry.counter(
+            "loadgen.reconnects_total"
+        )
+        self._m_resent = self.registry.counter(
+            "loadgen.batches_resent_total"
+        )
+        self._m_dedup = self.registry.counter("loadgen.dedup_acks_total")
+        self._m_nacks = self.registry.counter("loadgen.nacks_total")
+        self._m_snapshots = self.registry.gauge("loadgen.snapshots_acked")
+        self._m_elapsed = self.registry.gauge("loadgen.stream_seconds")
+
+    @property
+    def sent(self) -> int:
+        """Responses the gateway acknowledged."""
+        return int(self._m_sent.value)
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds the streaming phase took."""
+        return float(self._m_elapsed.value)
+
+    @property
+    def snapshots_acked(self) -> int:
+        """Snapshots the collector acked at period close."""
+        return int(self._m_snapshots.value)
+
+    @property
+    def reconnects(self) -> int:
+        """Faults that forced a reconnect-and-resend cycle."""
+        return int(self._m_reconnects.value)
+
+    @property
+    def batches_resent(self) -> int:
+        """Batches written more than once (unacked at a fault)."""
+        return int(self._m_resent.value)
+
+    @property
+    def dedup_acks(self) -> int:
+        """Acks flagged duplicate (the gateway had the batch already)."""
+        return int(self._m_dedup.value)
+
+    @property
+    def nacks(self) -> int:
+        """Error frames received where an ack was expected."""
+        return int(self._m_nacks.value)
 
 
 @dataclass
@@ -91,6 +145,9 @@ class LoadgenResult:
     batches_resent: int = 0
     dedup_acks: int = 0
     nacks: int = 0
+    #: Registry holding every ``loadgen.*``/``retry.*`` metric the run
+    #: recorded — what ``repro loadgen --metrics-out`` dumps.
+    registry: Optional[MetricsRegistry] = field(default=None, repr=False)
 
     @property
     def throughput(self) -> float:
@@ -202,6 +259,7 @@ async def replay_day(
     close_timeout: float = 30.0,
     retry_policy: Optional[RetryPolicy] = None,
     retry_seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> StreamStats:
     """Stream the whole day's responses and close the period.
 
@@ -211,13 +269,17 @@ async def replay_day(
     *retry_policy*, and resends only the batches the gateway has not
     acknowledged.  Raises :class:`~repro.errors.RetryExhaustedError`
     after too many consecutive cycles with no forward progress.
+
+    Everything the run observes lands in *registry* (fresh if omitted)
+    as ``loadgen.*`` metrics; the returned :class:`StreamStats` is a
+    view over that registry.
     """
     policy = retry_policy if retry_policy is not None else RetryPolicy()
     rng = random.Random(retry_seed)
     batches = _day_batches(spec, wire_batch)
     unacked: Dict[int, wire.ResponseBatch] = {b.seq: b for b in batches}
     sent_once: set = set()
-    stats = StreamStats()
+    stats = StreamStats(registry)
     connection: Optional[
         Tuple[asyncio.StreamReader, asyncio.StreamWriter]
     ] = None
@@ -237,7 +299,11 @@ async def replay_day(
                         )
 
                     connection = await retry_async(
-                        connect, policy=policy, rng=rng
+                        connect,
+                        policy=policy,
+                        rng=rng,
+                        registry=stats.registry,
+                        op="gateway_connect",
                     )
                 reader, writer = connection
                 todo = list(unacked.values())
@@ -245,7 +311,7 @@ async def replay_day(
                     chunk = todo[lo : lo + window]
                     for batch in chunk:
                         if batch.seq in sent_once:
-                            stats.batches_resent += 1
+                            stats._m_resent.inc()
                         else:
                             sent_once.add(batch.seq)
                         await wire.write_message(writer, batch)
@@ -255,13 +321,13 @@ async def replay_day(
                         )
                         if isinstance(answer, wire.BatchAck):
                             if answer.duplicate:
-                                stats.dedup_acks += 1
+                                stats._m_dedup.inc()
                             acked = unacked.pop(answer.seq, None)
                             if acked is not None:
-                                stats.sent += len(acked)
+                                stats._m_sent.inc(len(acked))
                                 made_progress = True
                         elif isinstance(answer, wire.ErrorMsg):
-                            stats.nacks += 1
+                            stats._m_nacks.inc()
                             raise WireError(
                                 f"gateway nack: {answer.message}"
                             )
@@ -279,10 +345,10 @@ async def replay_day(
                     wire.read_message(reader), timeout=close_timeout
                 )
                 if isinstance(answer, wire.EndPeriodAck):
-                    stats.snapshots_acked = answer.snapshots
+                    stats._m_snapshots.set(answer.snapshots)
                     end_acked = True
                 elif isinstance(answer, wire.ErrorMsg):
-                    stats.nacks += 1
+                    stats._m_nacks.inc()
                     raise WireError(
                         f"gateway nack on EndPeriod: {answer.message}"
                     )
@@ -291,7 +357,7 @@ async def replay_day(
             except _FAULTS as exc:
                 _close_connection(connection)
                 connection = None
-                stats.reconnects += 1
+                stats._m_reconnects.inc()
                 stalls = 0 if made_progress else stalls + 1
                 if stalls >= _MAX_STALLS:
                     raise RetryExhaustedError(
@@ -301,7 +367,7 @@ async def replay_day(
                     ) from exc
     finally:
         _close_connection(connection)
-    stats.elapsed = time.perf_counter() - start
+    stats._m_elapsed.set(time.perf_counter() - start)
     return stats
 
 
@@ -315,6 +381,7 @@ async def run_queries(
     ack_timeout: float = 5.0,
     retry_policy: Optional[RetryPolicy] = None,
     retry_seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[np.ndarray, int, List[Tuple[int, int]], int, List[int], int]:
     """Query the live collector and diff against the local decoder.
 
@@ -329,6 +396,10 @@ async def run_queries(
     """
     policy = retry_policy if retry_policy is not None else RetryPolicy()
     rng = random.Random(retry_seed)
+    registry = registry if registry is not None else MetricsRegistry()
+    m_queries = registry.counter("loadgen.queries_total")
+    m_reconnects = registry.counter("loadgen.query_reconnects_total")
+    m_latency = registry.histogram("loadgen.query_seconds")
     reference = spec.reference_decoder(period=period)
     rsu_ids = reference.rsu_ids(period)
     latencies: List[float] = []
@@ -336,13 +407,12 @@ async def run_queries(
     counter_mismatches: List[int] = []
     checked = 0
     counters_checked = 0
-    reconnects = 0
     connection: Optional[
         Tuple[asyncio.StreamReader, asyncio.StreamWriter]
     ] = None
 
     async def ask(message: wire.Message) -> wire.Message:
-        nonlocal connection, reconnects
+        nonlocal connection
         last_exc: Optional[BaseException] = None
         for _ in range(_MAX_STALLS):
             try:
@@ -355,7 +425,11 @@ async def run_queries(
                         )
 
                     connection = await retry_async(
-                        connect, policy=policy, rng=rng
+                        connect,
+                        policy=policy,
+                        rng=rng,
+                        registry=registry,
+                        op="collector_connect",
                     )
                 reader, writer = connection
                 await wire.write_message(writer, message)
@@ -367,12 +441,13 @@ async def run_queries(
                     and answer.code != wire.E_ESTIMATION
                 ):
                     raise WireError(f"collector nack: {answer.message}")
+                m_queries.inc()
                 return answer
             except _FAULTS as exc:
                 last_exc = exc
                 _close_connection(connection)
                 connection = None
-                reconnects += 1
+                m_reconnects.inc()
         raise RetryExhaustedError(
             f"query never completed after {_MAX_STALLS} reconnects: "
             f"{last_exc}",
@@ -405,7 +480,9 @@ async def run_queries(
             answer = await ask(
                 wire.VolumeQuery(rsu_x=rsu_x, rsu_y=rsu_y, period=period)
             )
-            latencies.append((time.perf_counter() - start) * 1e3)
+            elapsed = time.perf_counter() - start
+            m_latency.observe(elapsed)
+            latencies.append(elapsed * 1e3)
             try:
                 expected = reference.pair_estimate(rsu_x, rsu_y, period)
             except EstimationError:
@@ -416,7 +493,7 @@ async def run_queries(
             checked += 1
             if not (
                 isinstance(answer, wire.EstimateMsg)
-                and answer.n_c_hat == expected.n_c_hat
+                and answer.n_c_hat == expected.value
                 and answer.v_c == expected.v_c
                 and answer.v_x == expected.v_x
                 and answer.v_y == expected.v_y
@@ -434,7 +511,7 @@ async def run_queries(
         mismatches,
         counters_checked,
         counter_mismatches,
-        reconnects,
+        int(m_reconnects.value),
     )
 
 
@@ -452,9 +529,15 @@ async def run_loadgen(
     close_timeout: float = 30.0,
     retry_policy: Optional[RetryPolicy] = None,
     retry_seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> LoadgenResult:
-    """Full load generation run: stream the day, then verify queries."""
+    """Full load generation run: stream the day, then verify queries.
+
+    One *registry* (fresh if omitted) collects both phases' metrics
+    and is attached to the result as ``result.registry``.
+    """
     spec = spec if spec is not None else DeploymentSpec()
+    registry = registry if registry is not None else MetricsRegistry()
     stream = await replay_day(
         spec,
         host=host,
@@ -466,6 +549,7 @@ async def run_loadgen(
         close_timeout=close_timeout,
         retry_policy=retry_policy,
         retry_seed=retry_seed,
+        registry=registry,
     )
     (
         latencies,
@@ -483,6 +567,7 @@ async def run_loadgen(
         ack_timeout=ack_timeout,
         retry_policy=retry_policy,
         retry_seed=retry_seed + 1,
+        registry=registry,
     )
     return LoadgenResult(
         responses_sent=stream.sent,
@@ -498,4 +583,5 @@ async def run_loadgen(
         batches_resent=stream.batches_resent,
         dedup_acks=stream.dedup_acks,
         nacks=stream.nacks,
+        registry=registry,
     )

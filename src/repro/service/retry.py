@@ -16,6 +16,11 @@ and the sleep function (so a fake clock can record the schedule
 without waiting).  :func:`retry_async` raises
 :class:`~repro.errors.RetryExhaustedError` once the policy gives up,
 chaining the last underlying failure.
+
+Passing a :class:`~repro.obs.MetricsRegistry` (and an ``op`` label)
+makes the loop self-reporting: attempts, retries, backoff seconds
+slept, and exhaustions land as ``retry.*`` metrics, so every caller
+gets uniform retry observability without hand-rolled counters.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from typing import (
 )
 
 from repro.errors import ConfigurationError, RetryExhaustedError
+from repro.obs import MetricsRegistry
 
 __all__ = ["RetryPolicy", "retry_async", "TRANSIENT_NETWORK_ERRORS"]
 
@@ -128,6 +134,8 @@ async def retry_async(
     rng: Optional[random.Random] = None,
     sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    op: str = "operation",
 ) -> T:
     """Run *operation* until it succeeds or the policy gives up.
 
@@ -138,14 +146,23 @@ async def retry_async(
     ``(attempt_index, exception)`` before each backoff — the hook the
     services use to reset connections and bump fault counters.
 
+    With a *registry*, the loop records ``retry.attempts_total``,
+    ``retry.retries_total``, ``retry.backoff_seconds_total``, and
+    ``retry.exhausted_total``, all labelled ``op=<op>`` so callers
+    sharing a registry stay distinguishable.
+
     Raises :class:`~repro.errors.RetryExhaustedError` (with the final
     failure as ``__cause__``) after ``policy.max_attempts`` failures.
     """
     for attempt in range(policy.max_attempts):
+        if registry is not None:
+            registry.counter("retry.attempts_total", op=op).inc()
         try:
             return await operation()
         except retry_on as exc:
             if attempt + 1 >= policy.max_attempts:
+                if registry is not None:
+                    registry.counter("retry.exhausted_total", op=op).inc()
                 raise RetryExhaustedError(
                     f"operation failed after {policy.max_attempts} "
                     f"attempts; last error: {exc!r}",
@@ -153,5 +170,11 @@ async def retry_async(
                 ) from exc
             if on_retry is not None:
                 on_retry(attempt, exc)
-            await sleep(policy.delay(attempt, rng))
+            delay = policy.delay(attempt, rng)
+            if registry is not None:
+                registry.counter("retry.retries_total", op=op).inc()
+                registry.counter(
+                    "retry.backoff_seconds_total", op=op
+                ).inc(delay)
+            await sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 import numpy as np
 
+from repro.core.config import SchemeConfig
 from repro.core.decoder import CentralDecoder
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.reports import RsuReport
@@ -50,17 +51,34 @@ DEFAULT_COLLECTOR_PORT = 8702
 
 @dataclass
 class DeploymentSpec:
-    """Everything both sides of a live deployment must agree on."""
+    """Everything both sides of a live deployment must agree on.
+
+    Tuning knobs may be given individually (``s``, ``load_factor``,
+    ``hash_seed``) or via one :class:`~repro.core.config.SchemeConfig`
+    in ``config`` — the same object the in-process entry points accept
+    — which then overrides the individual fields so both processes of
+    a deployment can share a single config value.  The saturation
+    policy defaults to CLAMP (the live plane must keep answering under
+    extreme load) unless a ``config`` explicitly chooses otherwise.
+    """
 
     total_trips: int = 60_000
     seed: int = 13
     s: int = 2
     load_factor: float = 3.0
     hash_seed: int = 7
+    config: Optional[SchemeConfig] = None
     workload: NetworkWorkload = field(init=False, repr=False)
     scheme: VlmScheme = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.config is not None:
+            self.s = self.config.s
+            self.load_factor = self.config.load_factor
+            self.hash_seed = self.config.hash_seed
+            self.policy = self.config.policy
+        else:
+            self.policy = ZeroFractionPolicy.CLAMP
         self.workload = sioux_falls_workload(
             total_trips=self.total_trips, seed=self.seed
         )
@@ -69,7 +87,7 @@ class DeploymentSpec:
             s=self.s,
             load_factor=self.load_factor,
             hash_seed=self.hash_seed,
-            policy=ZeroFractionPolicy.CLAMP,
+            policy=self.policy,
         )
 
     # ------------------------------------------------------------------
@@ -93,7 +111,7 @@ class DeploymentSpec:
             self.s,
             LoadFactorSizing(self.load_factor),
             history=VolumeHistory(dict(self.workload.volumes())),
-            policy=ZeroFractionPolicy.CLAMP,
+            policy=self.policy,
         )
 
     # ------------------------------------------------------------------
@@ -121,7 +139,7 @@ class DeploymentSpec:
 
     def reference_decoder(self, *, period: int = 0) -> CentralDecoder:
         """A local decoder loaded with :meth:`reference_reports`."""
-        decoder = CentralDecoder(self.s, policy=ZeroFractionPolicy.CLAMP)
+        decoder = CentralDecoder(self.s, policy=self.policy)
         decoder.submit_many(self.reference_reports(period=period).values())
         return decoder
 
@@ -176,22 +194,38 @@ async def _serve_forever(
     host: str,
     gateway_port: int,
     collector_port: int,
+    metrics_port: Optional[int] = None,
 ) -> None:
+    from repro.obs import serve_metrics
+
     gateway, collector = await start_services(
         spec,
         host=host,
         gateway_port=gateway_port,
         collector_port=collector_port,
     )
+    metrics = None
+    if metrics_port is not None:
+        metrics = await serve_metrics(
+            {"gateway": gateway.registry, "collector": collector.registry},
+            host=host,
+            port=metrics_port,
+        )
     print(
         f"gateway listening on {host}:{gateway.port} "
         f"({len(spec.scheme.rsu_ids)} RSUs, m_o={spec.scheme.m_o:,})"
     )
     print(f"collector listening on {host}:{collector.port}")
+    if metrics is not None:
+        print(
+            f"metrics exposed at http://{host}:{metrics.port}/metrics"
+        )
     print("press Ctrl-C to stop")
     try:
         await asyncio.Event().wait()
     finally:
+        if metrics is not None:
+            await metrics.stop()
         await gateway.stop()
         await collector.stop()
 
@@ -202,12 +236,20 @@ def run_serve(
     host: str = "127.0.0.1",
     gateway_port: int = DEFAULT_GATEWAY_PORT,
     collector_port: int = DEFAULT_COLLECTOR_PORT,
+    metrics_port: Optional[int] = None,
 ) -> int:
-    """Blocking entry point behind ``repro serve``."""
+    """Blocking entry point behind ``repro serve``.
+
+    With *metrics_port*, a scrape endpoint serves the gateway's and
+    collector's registries (plus the process-default registry's
+    ``wire.*``/``core.*`` metrics) as Prometheus text.
+    """
     spec = spec if spec is not None else DeploymentSpec()
     try:
         asyncio.run(
-            _serve_forever(spec, host, gateway_port, collector_port)
+            _serve_forever(
+                spec, host, gateway_port, collector_port, metrics_port
+            )
         )
     except KeyboardInterrupt:
         print("\nshutting down")

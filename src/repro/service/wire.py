@@ -47,6 +47,7 @@ import numpy as np
 from repro.core.bitarray import BitArray
 from repro.core.reports import RsuReport
 from repro.errors import WireError
+from repro.obs import get_registry
 
 __all__ = [
     "MAGIC",
@@ -573,6 +574,7 @@ def encode_frame(message: Message) -> bytes:
 
 def _decode_payload(msg_type: int, payload: bytes, crc: int) -> Message:
     if _crc(payload) != crc:
+        get_registry().counter("wire.crc_failures_total").inc()
         raise WireError(
             f"payload CRC mismatch (declared 0x{crc:08x}, computed "
             f"0x{_crc(payload):08x}): frame corrupt in flight"
@@ -649,12 +651,22 @@ async def read_message(reader: asyncio.StreamReader) -> Message:
             f"stream truncated mid-frame ({len(exc.partial)} of "
             f"{length} payload bytes)"
         ) from exc
-    return _decode_payload(msg_type, payload, crc)
+    message = _decode_payload(msg_type, payload, crc)
+    registry = get_registry()
+    registry.counter("wire.frames_total", direction="in").inc()
+    registry.counter("wire.bytes_total", direction="in").inc(
+        _HEADER.size + length
+    )
+    return message
 
 
 async def write_message(
     writer: asyncio.StreamWriter, message: Message
 ) -> None:
     """Frame and send *message*, honouring transport backpressure."""
-    writer.write(encode_frame(message))
+    frame = encode_frame(message)
+    registry = get_registry()
+    registry.counter("wire.frames_total", direction="out").inc()
+    registry.counter("wire.bytes_total", direction="out").inc(len(frame))
+    writer.write(frame)
     await writer.drain()

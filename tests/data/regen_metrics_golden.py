@@ -1,0 +1,31 @@
+"""Regenerate the exporter golden files from the fixed workload in
+tests/test_obs.py::golden_registry.
+
+Usage::
+
+    PYTHONPATH=src python tests/data/regen_metrics_golden.py
+"""
+
+import sys
+from pathlib import Path
+
+DATA_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(DATA_DIR.parent))
+
+from test_obs import golden_registry  # noqa: E402
+
+from repro.obs import render_prometheus, write_jsonl  # noqa: E402
+
+
+def main() -> None:
+    registry = golden_registry()
+    prom = DATA_DIR / "metrics_golden.prom"
+    prom.write_text(render_prometheus(registry))
+    jsonl = DATA_DIR / "metrics_golden.jsonl"
+    with jsonl.open("w") as stream:
+        rows = write_jsonl(registry, stream)
+    print(f"wrote {prom} and {jsonl} ({rows} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,4 +77,4 @@ class TestSimulationWithLoss:
         sim.close_period()
         estimate = sim.server.point_to_point(1, 2)
         # Observed overlap is ~400 * 0.8 * 0.8 = 256; generous bounds.
-        assert 150 < estimate.n_c_hat < 380
+        assert 150 < estimate.value < 380

@@ -458,3 +458,79 @@ class TestDuplicateDelivery:
         snapshots = gateway._period_uploads[0]
         assert len(snapshots) == 1
         assert snapshots[3].counter == 1
+
+
+# ----------------------------------------------------------------------
+# Metrics reconciliation: injected faults match observed metrics
+# ----------------------------------------------------------------------
+class TestChaosMetricsReconcile:
+    """The issue's acceptance criterion: a fault-profile replay must
+    produce metrics that reconcile *exactly* with the injected faults.
+
+    A reset-only ingress profile makes the accounting closed-form:
+    every injected reset kills the streaming connection exactly once,
+    and with a generous ack timeout and a clean query/upload path no
+    other event causes a reconnect — so the loadgen's observed
+    reconnect counter must equal the proxy's injected reset counter.
+    """
+
+    def test_injected_resets_equal_observed_reconnects(self, spec):
+        profile = FaultProfile(seed=29, reset_rate=0.02)
+        clean = FaultProfile(seed=0)
+        result, gateway, collector, ingress, upload = run(
+            _loadgen_under_faults(
+                spec,
+                profile,
+                clean,
+                max_queries=20,
+                ack_timeout=5.0,
+            )
+        )
+        assert result.bit_identical
+        # The run was not secretly clean, and resets were the ONLY
+        # fault class injected.
+        assert ingress.stats.resets > 0
+        assert ingress.stats.faults_injected == ingress.stats.resets
+        # Exact reconciliation, via both the report and the registry.
+        assert result.reconnects == ingress.stats.resets
+        assert (
+            int(result.registry.value("loadgen.reconnects_total"))
+            == ingress.stats.resets
+        )
+        # The clean query path contributed no reconnects.
+        assert result.registry.value("loadgen.query_reconnects_total") == 0
+
+    def test_response_counters_reconcile_across_the_plane(self, spec):
+        """Every response the loadgen got acked was received and
+        recorded by the gateway exactly once, resets notwithstanding."""
+        profile = FaultProfile(seed=29, reset_rate=0.02)
+        clean = FaultProfile(seed=0)
+        result, gateway, collector, ingress, upload = run(
+            _loadgen_under_faults(
+                spec,
+                profile,
+                clean,
+                max_queries=10,
+                ack_timeout=5.0,
+            )
+        )
+        assert result.bit_identical
+        sent = int(result.registry.value("loadgen.responses_sent_total"))
+        total_passes = sum(
+            len(spec.response_indices(rsu_id))
+            for rsu_id in spec.scheme.rsu_ids
+        )
+        # Dedup means resent batches count once on both sides.
+        assert sent == total_passes
+        assert gateway.responses_received == sent
+        assert gateway.responses_recorded == sent
+        # Clean upload path: each RSU's snapshot uploaded and stored
+        # exactly once.
+        assert upload.stats.faults_injected == 0
+        assert gateway.snapshots_uploaded == len(spec.scheme.rsu_ids)
+        assert collector.snapshots_received == len(spec.scheme.rsu_ids)
+        assert collector.snapshots_deduped == 0
+        # Gateway-side dedup can exceed the loadgen's observed dedup
+        # acks (a duplicate ack lost to a reset triggers yet another
+        # resend), but never the other way around.
+        assert gateway.batches_deduped >= result.dedup_acks

@@ -34,7 +34,7 @@ class TestUnfoldCache:
         for a, b in [(1, 2), (1, 3), (2, 3)]:
             cached = decoder.pair_estimate(a, b)
             reference = estimate_intersection(reports[a], reports[b], 2)
-            assert cached.n_c_hat == pytest.approx(reference.n_c_hat)
+            assert cached.value == pytest.approx(reference.value)
             assert (cached.m_x, cached.m_y) == (reference.m_x, reference.m_y)
 
     def test_cache_populated_and_reused(self, decoder_with_reports):

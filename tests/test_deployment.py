@@ -46,7 +46,7 @@ class TestPeriodExecution:
         truth = workload.common_volumes()
         heavy = max(truth, key=truth.get)
         estimate = deployment.server.point_to_point(*heavy, period=0)
-        assert estimate.n_c_hat == pytest.approx(0.6 * truth[heavy], rel=0.30)
+        assert estimate.value == pytest.approx(0.6 * truth[heavy], rel=0.30)
 
     def test_week_structure(self, deployment):
         records = deployment.run_week()
@@ -65,7 +65,7 @@ class TestLongitudinal:
         pair = max(truth, key=truth.get)
         series = deployment.measurements(*pair)
         assert [period for period, _ in series] == [0, 1]
-        assert series[0][1].n_c_hat > series[1][1].n_c_hat * 0.9
+        assert series[0][1].value > series[1][1].value * 0.9
 
     def test_history_tracks_demand(self, deployment, workload):
         base_total = sum(workload.volumes().values())

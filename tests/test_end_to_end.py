@@ -37,7 +37,7 @@ class TestDeploymentRestartCycle:
         save_server(deployment.server, tmp_path / "state")
         restored = load_server(tmp_path / "state")
         after = restored.point_to_point(*pair, period=0)
-        assert after.n_c_hat == pytest.approx(before.n_c_hat)
+        assert after.value == pytest.approx(before.value)
         # The restored server still supports next-period sizing.
         assert restored.next_period_sizes().keys() == set(city.network.nodes)
 
@@ -61,14 +61,14 @@ class TestCrossEstimatorConsistency:
             if len(key) != 2:
                 continue
             pair = tuple(sorted(key))
-            assert matrix[pair].n_c_hat == pytest.approx(
+            assert matrix[pair].value == pytest.approx(
                 value, rel=0.30, abs=150
             )
         # The triple is bounded by its tightest pair.
         tightest = min(
             v for k, v in multi.subset_estimates.items() if len(k) == 2
         )
-        assert multi.n_hat <= tightest * 1.3 + 150
+        assert multi.value <= tightest * 1.3 + 150
 
     def test_scheme_estimates_track_network_truth(self, city):
         volumes = city.volumes()

@@ -136,7 +136,7 @@ class TestEstimateIntersection:
         rx, ry = self._reports(2_000, 8_000, 500, 8_192, 32_768, 2, seed=4)
         a = estimate_intersection(rx, ry, 2)
         b = estimate_intersection(ry, rx, 2)
-        assert a.n_c_hat == pytest.approx(b.n_c_hat)
+        assert a.value == pytest.approx(b.value)
         assert a.m_x <= a.m_y and b.m_x <= b.m_y
 
     def test_period_mismatch_rejected(self):
@@ -157,7 +157,7 @@ class TestEstimateIntersection:
         estimate = estimate_intersection(
             full, other, 2, policy=ZeroFractionPolicy.CLAMP
         )
-        assert math.isfinite(estimate.n_c_hat)
+        assert math.isfinite(estimate.value)
 
     def test_pair_estimate_metadata(self):
         rx, ry = self._reports(1_000, 4_000, 200, 4_096, 16_384, 2, seed=9)

@@ -23,7 +23,7 @@ class TestEmptyTraffic:
         rx = RsuReport(1, 0, BitArray(64))
         ry = RsuReport(2, 0, BitArray(256))
         estimate = estimate_intersection(rx, ry, 2)
-        assert estimate.n_c_hat == pytest.approx(0.0, abs=1e-9)
+        assert estimate.value == pytest.approx(0.0, abs=1e-9)
 
     def test_one_rsu_idle(self):
         params = SchemeParameters(s=2, load_factor=1.0, m_o=256, hash_seed=1)
@@ -33,7 +33,7 @@ class TestEmptyTraffic:
         ry = RsuReport(2, 0, BitArray(256))
         estimate = estimate_intersection(rx, ry, 2)
         # No traffic at y: V_c = V_x^u-fraction exactly, so n_c = 0.
-        assert estimate.n_c_hat == pytest.approx(0.0, abs=1e-9)
+        assert estimate.value == pytest.approx(0.0, abs=1e-9)
 
 
 class TestDisjointPopulations:
@@ -48,7 +48,7 @@ class TestDisjointPopulations:
             pop = make_pair_population(2_000, 8_000, 0, seed=seed)
             rx = encode_passes(*pop.passes_at_x(), 1, 1 << 12, params)
             ry = encode_passes(*pop.passes_at_y(), 2, 1 << 14, params)
-            values.append(estimate_intersection(rx, ry, 2).n_c_hat)
+            values.append(estimate_intersection(rx, ry, 2).value)
         mean = float(np.mean(values))
         spread = float(np.std(values))
         assert abs(mean) < max(3 * spread / math.sqrt(10), 30)
@@ -76,7 +76,7 @@ class TestExtremeShapes:
         estimate = estimate_intersection(
             rx, ry, 2, policy=ZeroFractionPolicy.CLAMP
         )
-        assert math.isfinite(estimate.n_c_hat)
+        assert math.isfinite(estimate.value)
 
     def test_extreme_size_ratio(self):
         """m_y / m_x = 4096: unfolding still exact, estimate finite and
@@ -88,7 +88,7 @@ class TestExtremeShapes:
         estimate = estimate_intersection(
             rx, ry, 2, policy=ZeroFractionPolicy.CLAMP
         )
-        assert math.isfinite(estimate.n_c_hat)
+        assert math.isfinite(estimate.value)
         assert estimate.m_x == 1 << 6
 
     def test_large_s(self):
@@ -100,7 +100,7 @@ class TestExtremeShapes:
         estimate = estimate_intersection(
             rx, ry, 50, policy=ZeroFractionPolicy.CLAMP
         )
-        assert math.isfinite(estimate.n_c_hat)
+        assert math.isfinite(estimate.value)
 
 
 class TestModelEdgeValues:

@@ -106,8 +106,8 @@ class TestEstimateMultiway:
         multi = estimate_multiway(reports, 2)
         pair = estimate_intersection(reports[0], reports[1], 2,
                                      policy=ZeroFractionPolicy.CLAMP)
-        assert multi.n_hat == pytest.approx(1_500, rel=0.25)
-        assert multi.n_hat == pytest.approx(pair.n_c_hat, rel=0.25)
+        assert multi.value == pytest.approx(1_500, rel=0.25)
+        assert multi.value == pytest.approx(pair.value, rel=0.25)
 
     def test_triple_agrees_with_dedicated_estimator(self):
         counts = [2_000, 3_000, 5_000, 800, 700, 900, 1_200]
@@ -118,9 +118,9 @@ class TestEstimateMultiway:
             reports = nested_population(
                 counts, memberships, sizes, 2, hash_seed=trial, seed=trial
             )
-            multi_vals.append(estimate_multiway(reports, 2).n_hat)
+            multi_vals.append(estimate_multiway(reports, 2).value)
             triple_vals.append(
-                estimate_triple(*reports, 2, policy=ZeroFractionPolicy.CLAMP).n_xyz_hat
+                estimate_triple(*reports, 2, policy=ZeroFractionPolicy.CLAMP).value
             )
         assert float(np.mean(multi_vals)) == pytest.approx(1_200, rel=0.35)
         assert float(np.mean(triple_vals)) == pytest.approx(
@@ -139,7 +139,7 @@ class TestEstimateMultiway:
             reports = nested_population(
                 counts, memberships, sizes, 2, hash_seed=50 + trial, seed=trial
             )
-            estimates.append(estimate_multiway(reports, 2).n_hat)
+            estimates.append(estimate_multiway(reports, 2).value)
         assert float(np.mean(estimates)) == pytest.approx(2_000, rel=0.35)
 
     def test_subset_estimates_exposed(self):

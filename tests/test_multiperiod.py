@@ -13,7 +13,7 @@ from repro.traffic.random_workload import make_pair_population
 
 def fake_estimate(value, n_x=2_000, n_y=8_000, m_x=8_192, m_y=32_768, s=2):
     return PairEstimate(
-        n_c_hat=value, v_c=0.5, v_x=0.7, v_y=0.8,
+        value=value, v_c=0.5, v_x=0.7, v_y=0.8,
         m_x=m_x, m_y=m_y, n_x=n_x, n_y=n_y, s=s,
     )
 
@@ -29,7 +29,7 @@ class TestAggregateEstimates:
 
     def test_single_estimate_uses_closed_form_stderr(self):
         agg = aggregate_estimates([fake_estimate(500)])
-        assert agg.n_c_hat == 500
+        assert agg.value == 500
         assert agg.periods == 1
         assert agg.stderr > 0
 
@@ -37,14 +37,14 @@ class TestAggregateEstimates:
         agg = aggregate_estimates(
             [fake_estimate(400), fake_estimate(600)], weights="mean"
         )
-        assert agg.n_c_hat == pytest.approx(500)
+        assert agg.value == pytest.approx(500)
         assert agg.method == "mean"
         # sample stderr of [400, 600]: std=141.4, /sqrt(2) = 100
         assert agg.stderr == pytest.approx(100, rel=0.02)
 
     def test_inverse_variance_equal_configs_is_mean(self):
         agg = aggregate_estimates([fake_estimate(400), fake_estimate(600)])
-        assert agg.n_c_hat == pytest.approx(500)
+        assert agg.value == pytest.approx(500)
         assert agg.method == "inverse-variance"
 
     def test_inverse_variance_prefers_precise_period(self):
@@ -53,7 +53,7 @@ class TestAggregateEstimates:
         precise = fake_estimate(400, m_x=65_536, m_y=262_144)
         noisy = fake_estimate(600, m_x=8_192, m_y=32_768)
         agg = aggregate_estimates([precise, noisy])
-        assert agg.n_c_hat < 500
+        assert agg.value < 500
 
     def test_stderr_shrinks_with_periods(self):
         one = aggregate_estimates([fake_estimate(500)])
@@ -62,7 +62,8 @@ class TestAggregateEstimates:
 
     def test_confidence_interval(self):
         agg = aggregate_estimates([fake_estimate(500)] * 4)
-        low, high = agg.confidence_interval()
+        with pytest.warns(DeprecationWarning, match="confidence_interval"):
+            low, high = agg.confidence_interval()
         assert low < 500 < high
         assert high - low == pytest.approx(2 * 1.96 * agg.stderr)
 
@@ -84,9 +85,9 @@ class TestEndToEnd:
                 estimates.append(
                     scheme.measure(reports[pop.rsu_x], reports[pop.rsu_y])
                 )
-            single_errors.append(abs(estimates[0].n_c_hat - 800))
+            single_errors.append(abs(estimates[0].value - 800))
             agg = aggregate_estimates(estimates)
-            multi_errors.append(abs(agg.n_c_hat - 800))
+            multi_errors.append(abs(agg.value - 800))
         assert sum(multi_errors) < sum(single_errors)
 
 

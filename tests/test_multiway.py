@@ -114,7 +114,7 @@ class TestEstimateTriple:
             result = estimate_triple(
                 rx, ry, rz, 2, policy=ZeroFractionPolicy.CLAMP
             )
-            estimates.append(result.n_xyz_hat)
+            estimates.append(result.value)
         mean = float(np.mean(estimates))
         assert mean == pytest.approx(COUNTS["xyz"], rel=0.35)
 
@@ -128,7 +128,7 @@ class TestEstimateTriple:
             result = estimate_triple(
                 rx, ry, rz, 2, policy=ZeroFractionPolicy.CLAMP
             )
-            estimates.append(result.n_xyz_hat)
+            estimates.append(result.value)
         # Unbiased around 0: mean within noise of zero.
         assert abs(float(np.mean(estimates))) < 400
 
@@ -136,7 +136,7 @@ class TestEstimateTriple:
         rx, ry, rz = triple_population(COUNTS, M_SIZES, 2, hash_seed=5, seed=5)
         a = estimate_triple(rx, ry, rz, 2)
         b = estimate_triple(rz, rx, ry, 2)
-        assert a.n_xyz_hat == pytest.approx(b.n_xyz_hat)
+        assert a.value == pytest.approx(b.value)
 
     def test_distinct_rsus_required(self):
         rx, ry, _ = triple_population(COUNTS, M_SIZES, 2, hash_seed=5, seed=5)

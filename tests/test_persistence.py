@@ -49,7 +49,7 @@ class TestRoundTrip:
         for period in (0, 1):
             a = populated_server.point_to_point(1, 2, period)
             b = restored.point_to_point(1, 2, period)
-            assert a.n_c_hat == pytest.approx(b.n_c_hat)
+            assert a.value == pytest.approx(b.value)
 
     def test_history_and_config_restored(self, populated_server, tmp_path):
         save_server(populated_server, tmp_path / "state")

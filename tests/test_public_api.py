@@ -22,6 +22,8 @@ PACKAGES = [
     "repro.utils",
     "repro.analysis",
     "repro.apps",
+    "repro.service",
+    "repro.obs",
 ]
 
 
@@ -85,3 +87,37 @@ class TestDocumentation:
                 if name.startswith("_"):
                     continue
                 assert inspect.getdoc(member), f"{cls.__name__}.{name} undocumented"
+
+
+class TestDeprecatedAliases:
+    """The pre-unification result field names still resolve — to the
+    canonical ``.value`` — but warn so callers migrate."""
+
+    CASES = [
+        ("repro.core.estimator", "PairEstimate", "n_c_hat"),
+        ("repro.core.multiway", "TripleEstimate", "n_xyz_hat"),
+        ("repro.core.multiway", "MultiwayEstimate", "n_hat"),
+        ("repro.core.multiperiod", "AggregatedEstimate", "n_c_hat"),
+    ]
+
+    @pytest.mark.parametrize("module_name,class_name,alias", CASES)
+    def test_alias_resolves_to_value_and_warns(
+        self, module_name, class_name, alias
+    ):
+        module = importlib.import_module(module_name)
+        cls = getattr(module, class_name)
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "value", 42.5)
+        with pytest.warns(DeprecationWarning, match=alias):
+            assert getattr(instance, alias) == 42.5
+
+    def test_aliases_do_not_warn_on_class_access(self):
+        """Introspection (help(), inspect) touches the descriptor on
+        the class without tripping the warning."""
+        import warnings
+
+        from repro.core.estimator import PairEstimate
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            PairEstimate.n_c_hat

@@ -223,7 +223,7 @@ class TestCollectorRobustness:
         a, b = spec.scheme.rsu_ids[:2]
         expected = spec.reference_decoder().pair_estimate(a, b)
         assert isinstance(estimate, wire.EstimateMsg)
-        assert estimate.n_c_hat == expected.n_c_hat
+        assert estimate.n_c_hat == expected.value
         assert isinstance(error, wire.ErrorMsg)
         assert error.code == wire.E_ESTIMATION
         assert isinstance(rejected, wire.ErrorMsg)

@@ -55,7 +55,7 @@ class TestPeriodLifecycle:
         sim.close_period()
         estimate = sim.server.point_to_point(1, 2, period=0)
         # Tiny populations: generous bound, just confirm signal.
-        assert abs(estimate.n_c_hat - truth["n_c"]) < 45
+        assert abs(estimate.value - truth["n_c"]) < 45
 
     def test_vehicles_reset_across_periods(self, sim):
         sim.drive(0, [1])
