@@ -1,12 +1,19 @@
 """The physical bit array ``B_x`` maintained by each RSU.
 
-A thin, explicit wrapper around a numpy boolean vector with exactly the
-operations the scheme needs: set bits by index (online coding), count
-zeros / fraction of zeros (the ``U``/``V`` statistics of Section IV-C),
-bitwise OR, and compact byte (de)serialization for the RSU-to-server
-report.  Lengths are *not* restricted to powers of two here — that
-constraint belongs to the scheme's sizing rule — so the ablation
-experiments can also exercise arbitrary lengths.
+A thin, explicit wrapper with exactly the operations the scheme needs:
+set bits by index (online coding), count zeros / fraction of zeros (the
+``U``/``V`` statistics of Section IV-C), bitwise OR, and compact byte
+(de)serialization for the RSU-to-server report.  Lengths are *not*
+restricted to powers of two here — that constraint belongs to the
+scheme's sizing rule — so the ablation experiments can also exercise
+arbitrary lengths.
+
+*How* the bits are stored is delegated to a pluggable backend from
+:mod:`repro.engine`: the default ``"packed"`` backend keeps them in
+``uint64`` words (8x denser than the bool representation, with
+word-parallel OR/unfold and vectorized popcount), while ``"legacy"``
+keeps the original numpy bool vector for differential testing.  Both
+serialize byte-identically, so the choice never leaks onto the wire.
 """
 
 from __future__ import annotations
@@ -15,11 +22,13 @@ from typing import Iterable, Union
 
 import numpy as np
 
+from repro import engine
 from repro.errors import ConfigurationError, ValidationError
 
 __all__ = ["BitArray"]
 
 IndexLike = Union[int, Iterable[int], np.ndarray]
+BackendLike = Union[str, "engine.BitBackend", None]
 
 
 class BitArray:
@@ -32,44 +41,96 @@ class BitArray:
     bits:
         Optional initial contents (boolean array of length *size*); the
         array is copied.
+    backend:
+        Bit-storage backend: a name (``"packed"`` / ``"legacy"``), a
+        :class:`~repro.engine.BitBackend` instance, or ``None`` for the
+        process default (see :func:`repro.engine.get_backend`).
     """
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_size", "_backend", "_storage")
 
-    def __init__(self, size: int, bits: np.ndarray = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        bits: np.ndarray = None,
+        *,
+        backend: BackendLike = None,
+    ) -> None:
         if size <= 0:
             raise ConfigurationError(f"bit array size must be positive, got {size}")
+        self._size = int(size)
+        self._backend = engine.get_backend(backend)
         if bits is None:
-            self._bits = np.zeros(int(size), dtype=bool)
+            self._storage = self._backend.zeros(self._size)
         else:
             bits = np.asarray(bits, dtype=bool)
-            if bits.shape != (int(size),):
+            if bits.shape != (self._size,):
                 raise ConfigurationError(
                     f"bits shape {bits.shape} does not match size {size}"
                 )
-            self._bits = bits.copy()
+            self._storage = self._backend.from_bool(bits)
+
+    @classmethod
+    def _wrap(cls, size: int, storage: np.ndarray, backend) -> "BitArray":
+        """Adopt *storage* (already in *backend*'s representation)
+        without copying — internal fast constructor."""
+        array = cls.__new__(cls)
+        array._size = int(size)
+        array._backend = backend
+        array._storage = storage
+        return array
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_bits(cls, bits: np.ndarray) -> "BitArray":
+    def from_bits(
+        cls, bits: np.ndarray, *, backend: BackendLike = None
+    ) -> "BitArray":
         """Wrap (a copy of) a boolean vector."""
         bits = np.asarray(bits, dtype=bool)
-        return cls(bits.size, bits)
+        return cls(bits.size, bits, backend=backend)
 
     @classmethod
-    def from_indices(cls, size: int, indices: IndexLike) -> "BitArray":
+    def from_indices(
+        cls, size: int, indices: IndexLike, *, backend: BackendLike = None
+    ) -> "BitArray":
         """Create an array of *size* bits with *indices* set to 1."""
-        array = cls(size)
+        array = cls(size, backend=backend)
         array.set_bits(indices)
         return array
 
     @classmethod
-    def from_bytes(cls, data: bytes, size: int) -> "BitArray":
-        """Inverse of :meth:`to_bytes`."""
-        unpacked = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=size)
-        return cls(size, unpacked.astype(bool))
+    def from_bytes(
+        cls, data: bytes, size: int, *, backend: BackendLike = None
+    ) -> "BitArray":
+        """Inverse of :meth:`to_bytes`.
+
+        *data* must be exactly ``ceil(size / 8)`` bytes, and any padding
+        bits past *size* in the final byte must be zero — a nonzero
+        padding bit means the sender and receiver disagree about the
+        array length (or the payload was corrupted), which would
+        silently skew the zero-bit statistics if accepted.  Raises
+        :class:`~repro.errors.ValidationError` on either violation.
+        """
+        if size <= 0:
+            raise ConfigurationError(f"bit array size must be positive, got {size}")
+        size = int(size)
+        expected = (size + 7) // 8
+        if len(data) != expected:
+            raise ValidationError(
+                f"bit array of size {size} needs exactly {expected} bytes, "
+                f"got {len(data)}"
+            )
+        tail_bits = size % 8
+        if tail_bits and data[-1] & ((1 << (8 - tail_bits)) - 1):
+            raise ValidationError(
+                f"nonzero padding bits in the final byte of a size-{size} "
+                f"bit array (last byte 0x{data[-1]:02x}); the sender "
+                "disagrees about the array length"
+            )
+        resolved = engine.get_backend(backend)
+        return cls._wrap(size, resolved.from_bytes(data, size), resolved)
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -77,25 +138,54 @@ class BitArray:
     @property
     def size(self) -> int:
         """Number of bits ``m``."""
-        return int(self._bits.size)
+        return self._size
+
+    @property
+    def backend(self) -> str:
+        """Name of the bit-storage backend holding this array."""
+        return self._backend.name
+
+    @property
+    def storage_nbytes(self) -> int:
+        """Resident bytes of the underlying storage buffer (8x smaller
+        under the packed backend than under legacy)."""
+        return self._backend.nbytes(self._storage)
 
     @property
     def bits(self) -> np.ndarray:
-        """The underlying boolean vector (read-only view)."""
-        view = self._bits.view()
+        """The logical contents as a read-only boolean vector.
+
+        Under the legacy backend this is a view of live storage; under
+        the packed backend it is materialized on access (a snapshot).
+        Either way, treat it as read-only.
+        """
+        view = self._backend.to_bool(self._storage, self._size).view()
         view.flags.writeable = False
         return view
 
     def __len__(self) -> int:
-        return self.size
+        return self._size
 
     def __getitem__(self, index: int) -> int:
-        return int(self._bits[index])
+        index = int(index)
+        original = index
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(
+                f"bit index {original} out of range for size {self._size}"
+            )
+        return self._backend.get_bit(self._storage, self._size, index)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitArray):
             return NotImplemented
-        return self.size == other.size and bool(np.array_equal(self._bits, other._bits))
+        if self._size != other._size:
+            return False
+        if self._backend is other._backend:
+            return self._backend.equal(self._storage, other._storage)
+        # Mixed backends: compare the canonical serialization.
+        return self.to_bytes() == other.to_bytes()
 
     def __hash__(self) -> int:  # BitArrays are mutable; identity hash only
         return id(self)
@@ -105,11 +195,11 @@ class BitArray:
     # ------------------------------------------------------------------
     def set_bit(self, index: int) -> None:
         """Set a single bit (one vehicle report, paper Eq. 2)."""
-        if not 0 <= index < self.size:
+        if not 0 <= index < self._size:
             raise ValidationError(
-                f"bit index {index} out of range [0, {self.size})"
+                f"bit index {index} out of range [0, {self._size})"
             )
-        self._bits[index] = True
+        self._backend.set_index(self._storage, int(index))
 
     def set_bits(self, indices: IndexLike) -> None:
         """Set many bits at once (vectorized online coding).
@@ -135,31 +225,31 @@ class BitArray:
             raise ValidationError(f"bit indices are not index-like: {exc}") from exc
         if idx.size == 0:
             return
-        if idx.min() < 0 or idx.max() >= self.size:
+        if idx.min() < 0 or idx.max() >= self._size:
             raise ValidationError(
-                f"bit indices must lie in [0, {self.size}); got range "
+                f"bit indices must lie in [0, {self._size}); got range "
                 f"[{idx.min()}, {idx.max()}]"
             )
-        self._bits[idx] = True
+        self._backend.set_indices(self._storage, self._size, idx)
 
     def clear(self) -> None:
         """Reset all bits to zero (start of a measurement period)."""
-        self._bits[:] = False
+        self._backend.clear(self._storage)
 
     # ------------------------------------------------------------------
     # Statistics (offline decoding phase)
     # ------------------------------------------------------------------
     def count_ones(self) -> int:
         """Number of set bits."""
-        return int(self._bits.sum())
+        return self._backend.count_ones(self._storage, self._size)
 
     def count_zeros(self) -> int:
         """The ``U`` statistic: number of zero bits."""
-        return self.size - self.count_ones()
+        return self._size - self.count_ones()
 
     def zero_fraction(self) -> float:
         """The ``V`` statistic: fraction of zero bits (``U / m``)."""
-        return self.count_zeros() / self.size
+        return self.count_zeros() / self._size
 
     def is_saturated(self) -> bool:
         """``True`` iff every bit is set (``V = 0``; estimator undefined)."""
@@ -169,26 +259,91 @@ class BitArray:
     # Combination
     # ------------------------------------------------------------------
     def __or__(self, other: "BitArray") -> "BitArray":
-        """Bitwise OR of two equal-length arrays (paper Eq. 4)."""
+        """Bitwise OR of two equal-length arrays (paper Eq. 4).
+
+        The result uses the left operand's backend; a mixed-backend
+        right operand is converted first.
+        """
         if not isinstance(other, BitArray):
             return NotImplemented
-        if other.size != self.size:
+        if other._size != self._size:
             raise ConfigurationError(
                 "cannot OR bit arrays of different sizes "
-                f"({self.size} vs {other.size}); unfold the smaller one first"
+                f"({self._size} vs {other._size}); unfold the smaller one first"
             )
-        return BitArray(self.size, self._bits | other._bits)
+        other_storage = other._storage_as(self._backend)
+        return BitArray._wrap(
+            self._size,
+            self._backend.or_(self._storage, other_storage),
+            self._backend,
+        )
+
+    def __and__(self, other: "BitArray") -> "BitArray":
+        """Bitwise AND of two equal-length arrays."""
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        if other._size != self._size:
+            raise ConfigurationError(
+                "cannot AND bit arrays of different sizes "
+                f"({self._size} vs {other._size}); unfold the smaller one first"
+            )
+        other_storage = other._storage_as(self._backend)
+        return BitArray._wrap(
+            self._size,
+            self._backend.and_(self._storage, other_storage),
+            self._backend,
+        )
+
+    def tile(self, repeats: int) -> "BitArray":
+        """Content duplicated *repeats* times — the storage-level form
+        of unfolding (Eq. 3); prefer :func:`repro.core.unfolding.unfold`
+        which validates the scheme's size constraints."""
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        return BitArray._wrap(
+            self._size * int(repeats),
+            self._backend.tile(self._storage, self._size, int(repeats)),
+            self._backend,
+        )
 
     def copy(self) -> "BitArray":
         """An independent copy."""
-        return BitArray(self.size, self._bits)
+        return BitArray._wrap(
+            self._size, self._backend.copy(self._storage), self._backend
+        )
+
+    def with_backend(self, backend: BackendLike) -> "BitArray":
+        """This array's contents under another backend (self if it
+        already matches)."""
+        resolved = engine.get_backend(backend)
+        if resolved is self._backend:
+            return self
+        return BitArray._wrap(
+            self._size, self._storage_as(resolved), resolved
+        )
+
+    def _storage_as(self, backend) -> np.ndarray:
+        """This array's storage in *backend*'s representation (no copy
+        when it already matches)."""
+        if backend is self._backend:
+            return self._storage
+        return backend.from_bool(
+            self._backend.to_bool(self._storage, self._size)
+        )
 
     # ------------------------------------------------------------------
     # Serialization (RSU -> server report)
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Pack into ``ceil(m / 8)`` bytes (big-endian bit order)."""
-        return np.packbits(self._bits.astype(np.uint8)).tobytes()
+        """Pack into ``ceil(m / 8)`` bytes (big-endian bit order).
+
+        Byte-identical across backends, so wire frames and persisted
+        reports never depend on the storage representation.
+        """
+        return self._backend.to_bytes(self._storage, self._size)
 
     def __repr__(self) -> str:
-        return f"BitArray(size={self.size}, ones={self.count_ones()})"
+        return (
+            f"BitArray(size={self.size}, ones={self.count_ones()}, "
+            f"backend={self.backend!r})"
+        )

@@ -27,6 +27,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro import engine as repro_engine
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.parameters import DEFAULT_LOAD_FACTOR, DEFAULT_S
 from repro.errors import ConfigurationError
@@ -63,15 +64,26 @@ class SchemeConfig:
     policy:
         Saturation handling; an enum member or its string value
         (``"raise"`` / ``"clamp"``).
+    engine:
+        Bit-storage backend name (``"packed"`` / ``"legacy"``) threaded
+        to every :class:`~repro.core.bitarray.BitArray` the deployment
+        creates.  ``None`` (the default) defers to the process default
+        — the ``REPRO_ENGINE`` environment variable or ``"packed"``
+        (see :mod:`repro.engine`).
     """
 
     s: int = DEFAULT_S
     load_factor: float = DEFAULT_LOAD_FACTOR
     hash_seed: int = 0
     policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", _coerce_policy(self.policy))
+        if self.engine is not None:
+            # Canonicalize and fail fast on unknown names.
+            resolved = repro_engine.get_backend(str(self.engine))
+            object.__setattr__(self, "engine", resolved.name)
         if int(self.s) != self.s or self.s < 1:
             raise ConfigurationError(
                 f"s must be a positive integer, got {self.s!r}"
@@ -96,6 +108,7 @@ def configure(
     load_factor: float = DEFAULT_LOAD_FACTOR,
     hash_seed: int = 0,
     policy: PolicyLike = ZeroFractionPolicy.RAISE,
+    engine: Optional[str] = None,
 ) -> SchemeConfig:
     """Build a validated :class:`SchemeConfig`.
 
@@ -105,7 +118,11 @@ def configure(
     load_factor=...`` keywords at each call site.
     """
     return SchemeConfig(
-        s=s, load_factor=load_factor, hash_seed=hash_seed, policy=policy
+        s=s,
+        load_factor=load_factor,
+        hash_seed=hash_seed,
+        policy=policy,
+        engine=engine,
     )
 
 
@@ -116,6 +133,7 @@ def resolve_config(
     load_factor: Optional[float] = None,
     hash_seed: Optional[int] = None,
     policy: Optional[PolicyLike] = None,
+    engine: Optional[str] = None,
 ) -> SchemeConfig:
     """Merge an optional *config* with optional keyword overrides.
 
@@ -132,6 +150,7 @@ def resolve_config(
             ("load_factor", load_factor),
             ("hash_seed", hash_seed),
             ("policy", policy),
+            ("engine", engine),
         )
         if value is not None
     }

@@ -5,17 +5,31 @@ point-to-point queries between arbitrary RSU pairs.  It is the
 measurement back end used by :class:`repro.vcps.server.CentralServer`;
 it has no networking concerns of its own so the experiment harness can
 drive it directly.
+
+Two decode paths produce bit-identical :class:`PairEstimate` values:
+
+* :meth:`CentralDecoder.pair_estimate` / :meth:`CentralDecoder.all_pairs`
+  — the scalar reference path, one unfold-OR-count per pair;
+* :meth:`CentralDecoder.estimate_matrix` — the vectorized path: every
+  report is unfolded once to the period's largest array size, the
+  storages are stacked into one 2-D word matrix, and all pairwise
+  ``U_c`` statistics fall out of broadcast OR + popcount.  Because the
+  joint array at the common size is an exact tiling of the joint array
+  at the pair's own ``m_y``, the zero *fraction* — and therefore the
+  MLE — is unchanged, digit for digit.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
+from repro import engine
 from repro.core.bitarray import BitArray
 from repro.core.estimator import PairEstimate
 from repro.core.reports import RsuReport
 from repro.core.unfolding import unfold
-from repro.errors import EstimationError
+from repro.errors import ConfigurationError, EstimationError
 from repro.obs import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -23,15 +37,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["CentralDecoder"]
 
+#: Default bound on memoized unfolded arrays (see ``memo_capacity``).
+DEFAULT_MEMO_CAPACITY = 128
+
 
 class CentralDecoder:
     """Stores RSU reports and computes pairwise intersection estimates.
 
-    All-pairs decoding re-unfolds each array once per *target size*
+    Repeated pair queries re-unfold each array once per *target size*
     rather than once per pair: unfolded arrays are memoized per
-    ``(period, rsu_id, size)``, which turns the ``O(k² · m)`` matrix
-    pass into ``O(k² · m)`` ORs plus only ``O(k · log(sizes) · m)``
-    unfolds (``benchmarks/bench_overhead.py`` covers the decode path).
+    ``(period, rsu_id, size)`` in a small LRU (capacity
+    ``memo_capacity``), which turns the ``O(k² · m)`` matrix pass into
+    ``O(k² · m)`` ORs plus only ``O(k · log(sizes) · m)`` unfolds.
+    Evictions are visible as the ``core.decoder_memo_evictions_total``
+    counter.  For the full matrix, prefer :meth:`estimate_matrix`,
+    which batches the per-pair work into a handful of vectorized numpy
+    passes (``benchmarks/bench_matrix.py`` measures both paths).
 
     Parameters
     ----------
@@ -41,7 +62,10 @@ class CentralDecoder:
         Saturation handling passed through to the estimator.
     config:
         A :class:`~repro.core.config.SchemeConfig` providing defaults
-        for ``s`` and ``policy``; explicit arguments override it.
+        for ``s``, ``policy`` and ``engine``; explicit arguments
+        override it.
+    memo_capacity:
+        Maximum number of unfolded arrays kept in the LRU memo.
     """
 
     def __init__(
@@ -50,16 +74,25 @@ class CentralDecoder:
         *,
         policy: Optional["PolicyLike"] = None,
         config: Optional["SchemeConfig"] = None,
+        memo_capacity: int = DEFAULT_MEMO_CAPACITY,
     ) -> None:
         from repro.core.config import resolve_config
 
         resolved = resolve_config(config, s=s, policy=policy)
         self.s = int(resolved.s)
         self.policy = resolved.policy
+        self.engine = resolved.engine
+        if memo_capacity < 1:
+            raise ConfigurationError(
+                f"memo_capacity must be >= 1, got {memo_capacity}"
+            )
+        self.memo_capacity = int(memo_capacity)
         # (period, rsu_id) -> report
         self._reports: Dict[Tuple[int, int], RsuReport] = {}
-        # (period, rsu_id, target_size) -> unfolded bit array
-        self._unfold_cache: Dict[Tuple[int, int, int], BitArray] = {}
+        # (period, rsu_id, target_size) -> unfolded bit array, LRU order
+        self._unfold_cache: "OrderedDict[Tuple[int, int, int], BitArray]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Report ingestion
@@ -77,7 +110,7 @@ class CentralDecoder:
             del self._unfold_cache[key]
 
     def _unfolded(self, report: RsuReport, target_size: int) -> BitArray:
-        """Memoized ``unfold(report.bits, target_size)``."""
+        """Memoized ``unfold(report.bits, target_size)`` (bounded LRU)."""
         if target_size == report.array_size:
             return report.bits
         key = (report.period, report.rsu_id, target_size)
@@ -86,8 +119,14 @@ class CentralDecoder:
             get_registry().counter("decoder.unfold_cache_misses_total").inc()
             cached = unfold(report.bits, target_size)
             self._unfold_cache[key] = cached
+            while len(self._unfold_cache) > self.memo_capacity:
+                self._unfold_cache.popitem(last=False)
+                get_registry().counter(
+                    "core.decoder_memo_evictions_total"
+                ).inc()
         else:
             get_registry().counter("decoder.unfold_cache_hits_total").inc()
+            self._unfold_cache.move_to_end(key)
         return cached
 
     def submit_many(self, reports: Iterable[RsuReport]) -> None:
@@ -163,12 +202,104 @@ class CentralDecoder:
     ) -> Dict[Tuple[int, int], PairEstimate]:
         """Estimates for every unordered RSU pair in *period*.
 
-        The full matrix a transportation study consumes; ``O(m_y)`` per
-        pair as analyzed in paper Section IV-E.
+        The scalar reference path: one :meth:`pair_estimate` per pair,
+        ``O(m_y)`` each as analyzed in paper Section IV-E.
+        :meth:`estimate_matrix` computes the same dictionary (bit for
+        bit) with vectorized batch work and should be preferred for
+        full-matrix consumers.
         """
         ids = self.rsu_ids(period) if rsu_ids is None else sorted(rsu_ids)
         results: Dict[Tuple[int, int], PairEstimate] = {}
         for i, rsu_x in enumerate(ids):
             for rsu_y in ids[i + 1 :]:
                 results[(rsu_x, rsu_y)] = self.pair_estimate(rsu_x, rsu_y, period)
+        return results
+
+    def estimate_matrix(
+        self, period: int = 0, *, rsu_ids: Optional[List[int]] = None
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """Vectorized all-pairs decode (bit-identical to :meth:`all_pairs`).
+
+        Every report is unfolded once to the period's *largest* array
+        size, the storages are stacked into one 2-D matrix, and each
+        row's pairwise joint-zero counts against all later rows come
+        from one broadcast OR + popcount
+        (:meth:`repro.engine.BitBackend.or_zero_counts`).  Unfolding a
+        joint array never changes its zero *fraction*, so feeding
+        ``U_c(common) / m_common`` to the MLE yields exactly the float
+        the per-pair path computes from ``U_c(m_y) / m_y`` — IEEE
+        division of an identical rational — and the resulting
+        :class:`PairEstimate` fields match digit for digit under either
+        storage backend.
+        """
+        from repro.core.estimator import (
+            ZeroFractionPolicy,
+            _observed_fraction,
+            estimate_from_fractions,
+        )
+        from repro.errors import SaturatedArrayError
+
+        ids = self.rsu_ids(period) if rsu_ids is None else sorted(rsu_ids)
+        results: Dict[Tuple[int, int], PairEstimate] = {}
+        if len(ids) < 2:
+            return results
+
+        backend = engine.get_backend(self.engine)
+        reports = [self.report_for(rsu_id, period) for rsu_id in ids]
+        target = max(report.array_size for report in reports)
+
+        # One unfold per report (memoized), one stack for the period.
+        storages = [
+            self._unfolded(report, target)._storage_as(backend)
+            for report in reports
+        ]
+        matrix = backend.stack(storages, target)
+
+        # Per-report statistics are shared by every pair they join.
+        fractions = [
+            _observed_fraction(report.bits, self.policy) for report in reports
+        ]
+
+        registry = get_registry()
+        for i in range(len(ids) - 1):
+            joint_zeros = backend.or_zero_counts(
+                matrix[i], matrix[i + 1 :], target
+            )
+            registry.counter(
+                "decoder.matrix_pairs_total", backend=backend.name
+            ).inc(int(joint_zeros.size))
+            for offset, zeros in enumerate(joint_zeros):
+                j = i + 1 + offset
+                report_x, report_y = reports[i], reports[j]
+                v_x, v_y = fractions[i], fractions[j]
+                if report_x.array_size > report_y.array_size:
+                    report_x, report_y = report_y, report_x
+                    v_x, v_y = v_y, v_x
+                m_y = report_y.array_size
+                zeros = int(zeros)
+                if zeros == 0:
+                    if self.policy is ZeroFractionPolicy.RAISE:
+                        raise SaturatedArrayError(
+                            f"joint array for RSU pair ({ids[i]}, {ids[j]}) "
+                            f"is saturated (no zero bits)"
+                        )
+                    v_c = 0.5 / m_y
+                else:
+                    # zeros/target == zeros_at_m_y/m_y exactly (the joint
+                    # at `target` tiles the joint at m_y), so this is the
+                    # same correctly-rounded IEEE quotient the per-pair
+                    # path computes.
+                    v_c = zeros / target
+                n_c_hat = estimate_from_fractions(v_c, v_x, v_y, m_y, self.s)
+                results[(ids[i], ids[j])] = PairEstimate(
+                    value=n_c_hat,
+                    v_c=v_c,
+                    v_x=v_x,
+                    v_y=v_y,
+                    m_x=report_x.array_size,
+                    m_y=m_y,
+                    n_x=report_x.counter,
+                    n_y=report_y.counter,
+                    s=self.s,
+                )
         return results

@@ -52,9 +52,12 @@ class VlmScheme:
         Shared hash-function seed.
     policy:
         Saturation policy for the decoder.
+    engine:
+        Bit-storage backend name for every array the scheme creates
+        (``None`` = process default; see :mod:`repro.engine`).
     config:
         A :class:`~repro.core.config.SchemeConfig` providing defaults
-        for the four knobs above; explicit keywords override it.
+        for the knobs above; explicit keywords override it.
     """
 
     def __init__(
@@ -65,6 +68,7 @@ class VlmScheme:
         load_factor: Optional[float] = None,
         hash_seed: Optional[int] = None,
         policy: Optional[PolicyLike] = None,
+        engine: Optional[str] = None,
         config: Optional[SchemeConfig] = None,
     ) -> None:
         if not historical_volumes:
@@ -75,6 +79,7 @@ class VlmScheme:
             load_factor=load_factor,
             hash_seed=hash_seed,
             policy=policy,
+            engine=engine,
         )
         s, load_factor = config.s, config.load_factor
         sizing = LoadFactorSizing(load_factor)
@@ -91,7 +96,7 @@ class VlmScheme:
         )
         self.config = config
         self.sizing = sizing
-        self.decoder = CentralDecoder(s, policy=config.policy)
+        self.decoder = CentralDecoder(config=config)
 
     # ------------------------------------------------------------------
     # Configuration introspection
@@ -142,6 +147,7 @@ class VlmScheme:
             self.array_size(rsu_id),
             self.params,
             period=period,
+            backend=self.config.engine,
         )
 
     def encode(

@@ -10,11 +10,13 @@ Because both sizes are powers of two, the ratio is an exact integer and
 the unfolded array preserves the zero-bit *fraction* of the original —
 the property the estimator relies on ("the fraction of zero bits in
 ``B_x^u`` is the same as ``B_x``").
+
+The duplication itself happens at the storage level
+(:meth:`~repro.core.bitarray.BitArray.tile`): the packed backend tiles
+``uint64`` words directly, the legacy backend tiles bools.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.core.bitarray import BitArray
 from repro.errors import ConfigurationError
@@ -40,8 +42,8 @@ def unfold(array: BitArray, target_size: int) -> BitArray:
             f"{array.size}; the scheme requires power-of-two lengths"
         )
     repeats = target_size // array.size
-    get_registry().counter("core.unfold_total").inc()
-    return BitArray(target_size, np.tile(array.bits, repeats))
+    get_registry().counter("core.unfold_total", backend=array.backend).inc()
+    return array.tile(repeats)
 
 
 def unfolded_or(smaller: BitArray, larger: BitArray) -> BitArray:
@@ -52,5 +54,7 @@ def unfolded_or(smaller: BitArray, larger: BitArray) -> BitArray:
     """
     if smaller.size > larger.size:
         smaller, larger = larger, smaller
-    get_registry().counter("core.unfolded_or_total").inc()
+    get_registry().counter(
+        "core.unfolded_or_total", backend=larger.backend
+    ).inc()
     return unfold(smaller, larger.size) | larger

@@ -1,0 +1,152 @@
+"""Pluggable bit-storage backends for :class:`repro.core.bitarray.BitArray`.
+
+The paper's offline decoder is pure bit-parallel work — unfold (Eq. 3),
+OR (Eq. 4), count zeros, MLE (Eq. 5) — so how the physical array ``B_x``
+is *stored* decides how fast the whole measurement plane runs and how
+many RSU-periods fit in server memory.  This package separates the
+storage representation from the :class:`~repro.core.bitarray.BitArray`
+API behind a small backend interface:
+
+* :class:`PackedWordBackend` (``"packed"``, the default) stores bits in
+  ``uint64`` words — 8x denser than one-byte-per-bit — and implements
+  OR/AND/tile on words with zero counting via vectorized popcount;
+* :class:`LegacyBoolBackend` (``"legacy"``) keeps the original numpy
+  ``bool`` representation, retained for differential testing (the
+  hypothesis suite in ``tests/test_engine.py`` asserts both backends
+  agree bit for bit) and as a fallback reference.
+
+Both backends produce **byte-identical** wire serializations
+(``to_bytes`` uses big-endian bit order, matching ``np.packbits``) and
+**bit-identical** estimates, so a deployment can switch backends
+without invalidating stored reports or golden results.
+
+Selecting a backend
+-------------------
+Resolution order, strongest first:
+
+1. an explicit ``backend=`` argument (a name or backend instance);
+2. the process default set via :func:`set_default_backend` /
+   :func:`use_backend`;
+3. the ``REPRO_ENGINE`` environment variable (``legacy`` / ``packed``);
+4. the built-in default, ``"packed"``.
+
+Entry points that take a :class:`~repro.core.config.SchemeConfig`
+(``VlmScheme``, ``CentralDecoder``, ``DeploymentSpec``) honour its
+``engine`` field, so ``repro.configure(engine="legacy")`` threads the
+choice through a whole deployment.  See ``docs/engine.md`` for the word
+layout and the memory math.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.engine.backend import BitBackend
+from repro.engine.legacy import LegacyBoolBackend
+from repro.engine.packed import PackedWordBackend
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BitBackend",
+    "LegacyBoolBackend",
+    "PackedWordBackend",
+    "BUILTIN_DEFAULT",
+    "ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "default_backend_name",
+    "set_default_backend",
+    "use_backend",
+]
+
+#: Environment variable that overrides the built-in default backend.
+ENV_VAR = "REPRO_ENGINE"
+
+#: The backend used when nothing else selects one.
+BUILTIN_DEFAULT = "packed"
+
+_BACKENDS: Dict[str, BitBackend] = {
+    "legacy": LegacyBoolBackend(),
+    "packed": PackedWordBackend(),
+}
+
+#: Process-level programmatic default (None = fall through to env).
+_process_default: Optional[str] = None
+
+BackendLike = Union[str, BitBackend, None]
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def _lookup(name: str) -> BitBackend:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        choices = ", ".join(available_backends())
+        raise ConfigurationError(
+            f"unknown bit-engine backend {name!r}; choose one of {choices}"
+        ) from None
+
+
+def default_backend_name() -> str:
+    """The backend name used when no explicit backend is given.
+
+    Resolution: programmatic default (:func:`set_default_backend`) >
+    ``REPRO_ENGINE`` environment variable > ``"packed"``.
+    """
+    if _process_default is not None:
+        return _process_default
+    env = os.environ.get(ENV_VAR)
+    if env:
+        # Validate eagerly so a typo in CI fails loudly, not quietly.
+        return _lookup(env).name
+    return BUILTIN_DEFAULT
+
+
+def get_backend(backend: BackendLike = None) -> BitBackend:
+    """Resolve *backend* (name, instance, or ``None``) to an instance.
+
+    ``None`` resolves through :func:`default_backend_name`; an unknown
+    name raises :class:`~repro.errors.ConfigurationError`.
+    """
+    if backend is None:
+        return _lookup(default_backend_name())
+    if isinstance(backend, BitBackend):
+        return backend
+    return _lookup(str(backend))
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with ``None``, clear) the process-level default backend.
+
+    Takes precedence over the ``REPRO_ENGINE`` environment variable.
+    """
+    global _process_default
+    if name is not None:
+        name = _lookup(str(name)).name
+    _process_default = name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[BitBackend]:
+    """Temporarily make *name* the process default backend.
+
+    The tool the differential tests use to run the same code path under
+    both representations::
+
+        with repro.engine.use_backend("legacy"):
+            reports = scheme.encode(passes)
+    """
+    backend = _lookup(str(name))
+    global _process_default
+    previous = _process_default
+    _process_default = backend.name
+    try:
+        yield backend
+    finally:
+        _process_default = previous

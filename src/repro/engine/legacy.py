@@ -1,0 +1,116 @@
+"""The original one-byte-per-bit boolean backend.
+
+Storage is a numpy ``bool`` vector, exactly what
+:class:`~repro.core.bitarray.BitArray` used before the packed engine
+existed.  It is kept as the differential-testing reference — the
+hypothesis suite asserts the packed backend agrees with it on every
+operation — and as a maximally-simple fallback.  Eight times the
+resident memory of :class:`~repro.engine.packed.PackedWordBackend`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.backend import BitBackend
+
+__all__ = ["LegacyBoolBackend"]
+
+
+class LegacyBoolBackend(BitBackend):
+    """``bool`` vector storage: one byte per bit."""
+
+    name = "legacy"
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def zeros(self, size: int) -> np.ndarray:
+        """All-zero boolean vector of length *size*."""
+        return np.zeros(int(size), dtype=bool)
+
+    def from_bool(self, bits: np.ndarray) -> np.ndarray:
+        """Copy of the boolean vector *bits*."""
+        return np.asarray(bits, dtype=bool).copy()
+
+    def from_bytes(self, data: bytes, size: int) -> np.ndarray:
+        """Unpack big-endian-bit-order bytes into *size* bools."""
+        unpacked = np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8), count=int(size)
+        )
+        return unpacked.astype(bool)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def to_bool(self, storage: np.ndarray, size: int) -> np.ndarray:
+        """The storage itself (a live view)."""
+        return storage
+
+    def to_bytes(self, storage: np.ndarray, size: int) -> bytes:
+        """``np.packbits`` serialization (big-endian bit order)."""
+        return np.packbits(storage.astype(np.uint8)).tobytes()
+
+    def get_bit(self, storage: np.ndarray, size: int, index: int) -> int:
+        """Single-bit read."""
+        return int(storage[index])
+
+    def count_ones(self, storage: np.ndarray, size: int) -> int:
+        """Sum of set bits."""
+        return int(storage.sum())
+
+    def equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Elementwise equality."""
+        return bool(np.array_equal(a, b))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def set_index(self, storage: np.ndarray, index: int) -> None:
+        """Set one bit."""
+        storage[index] = True
+
+    def set_indices(
+        self, storage: np.ndarray, size: int, indices: np.ndarray
+    ) -> None:
+        """Vectorized scatter (duplicates idempotent)."""
+        storage[indices] = True
+
+    def clear(self, storage: np.ndarray) -> None:
+        """Zero in place."""
+        storage[:] = False
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def copy(self, storage: np.ndarray) -> np.ndarray:
+        """Independent copy."""
+        return storage.copy()
+
+    def or_(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise OR."""
+        return a | b
+
+    def and_(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise AND."""
+        return a & b
+
+    def tile(
+        self, storage: np.ndarray, size: int, repeats: int
+    ) -> np.ndarray:
+        """``np.tile`` content duplication (Eq. 3)."""
+        return np.tile(storage, int(repeats))
+
+    # ------------------------------------------------------------------
+    # Batched all-pairs decode
+    # ------------------------------------------------------------------
+    def stack(self, storages, size: int) -> np.ndarray:
+        """Rows of bools, one per array."""
+        return np.stack(list(storages), axis=0)
+
+    def or_zero_counts(
+        self, row: np.ndarray, rows: np.ndarray, size: int
+    ) -> np.ndarray:
+        """``size - popcount(row | rows[j])`` per row, on bools."""
+        joint_ones = (row[None, :] | rows).sum(axis=1, dtype=np.int64)
+        return int(size) - joint_ones

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.bitarray import BitArray
+from repro.core.decoder import CentralDecoder
 from repro.core.encoder import RsuState, encode_passes
 from repro.core.estimator import estimate_intersection
 from repro.core.parameters import SchemeParameters
@@ -85,8 +86,16 @@ def run_overhead(
     *,
     m_exponents: Sequence[int] = (14, 17, 20),
     seed: SeedLike = 51,
+    engine: Optional[str] = None,
 ) -> OverheadResult:
-    """Measure the three roles across the given array-size exponents."""
+    """Measure the three roles across the given array-size exponents.
+
+    *engine* pins the bit-storage backend for every array involved
+    (``None`` = process default).  The paper's O(m_y) server-decode
+    claim is about per-bit work, which the ``legacy`` backend exposes
+    directly; under ``packed`` the same sweep shows how far word
+    parallelism pushes out the size at which m dominates fixed costs.
+    """
     rng = as_generator(seed)
     rows: List[OverheadRow] = []
     m_max = 1 << max(m_exponents)
@@ -102,7 +111,7 @@ def run_overhead(
         )
 
     # RSU: one counter increment + one bit set.
-    state = RsuState(rsu_id=1, array_size=m_max)
+    state = RsuState(rsu_id=1, array_size=m_max, engine=engine)
     per_op = _time_per_op(lambda: state.record(12345), repeats=20_000)
     rows.append(OverheadRow(role="rsu (1 bit set)", scale=f"m=2^{max(m_exponents)}", per_op_us=per_op))
 
@@ -111,7 +120,7 @@ def run_overhead(
     ids = np.arange(n, dtype=np.uint64)
     keys = ids * np.uint64(2654435761) + np.uint64(7)
     start = time.perf_counter()
-    encode_passes(ids, keys, 1, m_max, params)
+    encode_passes(ids, keys, 1, m_max, params, backend=engine)
     elapsed = time.perf_counter() - start
     rows.append(
         OverheadRow(
@@ -125,12 +134,47 @@ def run_overhead(
     for exponent in m_exponents:
         m_y = 1 << exponent
         m_x = max(m_y >> 4, 4)
-        rx = RsuReport(1, m_x // 3, BitArray.from_bits(rng.random(m_x) < 0.3))
-        ry = RsuReport(2, m_y // 3, BitArray.from_bits(rng.random(m_y) < 0.3))
+        rx = RsuReport(
+            1, m_x // 3, BitArray.from_bits(rng.random(m_x) < 0.3, backend=engine)
+        )
+        ry = RsuReport(
+            2, m_y // 3, BitArray.from_bits(rng.random(m_y) < 0.3, backend=engine)
+        )
         per_op = _time_per_op(
             lambda rx=rx, ry=ry: estimate_intersection(rx, ry, 2), repeats=5
         )
         rows.append(
             OverheadRow(role="server decode", scale=f"m_y=2^{exponent}", per_op_us=per_op)
+        )
+
+    # Server matrix decode: per-pair cost of the batched all-pairs path
+    # vs the scalar per-pair loop, at the largest m.
+    from repro.core.config import SchemeConfig
+
+    decoder = CentralDecoder(
+        config=SchemeConfig(s=2, policy="clamp", engine=engine)
+    )
+    k = 12
+    for rsu_id in range(1, k + 1):
+        m = m_max >> (rsu_id % 3)
+        decoder.submit(
+            RsuReport(
+                rsu_id,
+                m // 3,
+                BitArray.from_bits(rng.random(m) < 0.3, backend=engine),
+            )
+        )
+    pairs = k * (k - 1) // 2
+    for role, fn in (
+        ("matrix decode scalar (per pair)", decoder.all_pairs),
+        ("matrix decode batched (per pair)", decoder.estimate_matrix),
+    ):
+        per_call = _time_per_op(fn, repeats=3)
+        rows.append(
+            OverheadRow(
+                role=role,
+                scale=f"{k} RSUs, m=2^{max(m_exponents)}",
+                per_op_us=per_call / pairs,
+            )
         )
     return OverheadResult(rows=rows)

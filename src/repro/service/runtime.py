@@ -77,8 +77,10 @@ class DeploymentSpec:
             self.load_factor = self.config.load_factor
             self.hash_seed = self.config.hash_seed
             self.policy = self.config.policy
+            self.engine = self.config.engine
         else:
             self.policy = ZeroFractionPolicy.CLAMP
+            self.engine = None
         self.workload = sioux_falls_workload(
             total_trips=self.total_trips, seed=self.seed
         )
@@ -88,6 +90,7 @@ class DeploymentSpec:
             load_factor=self.load_factor,
             hash_seed=self.hash_seed,
             policy=self.policy,
+            engine=self.engine,
         )
 
     # ------------------------------------------------------------------
@@ -101,6 +104,7 @@ class DeploymentSpec:
                 rsu_id,
                 self.scheme.array_size(rsu_id),
                 authority.issue(rsu_id),
+                engine=self.engine,
             )
             for rsu_id in self.scheme.rsu_ids
         }
@@ -112,6 +116,7 @@ class DeploymentSpec:
             LoadFactorSizing(self.load_factor),
             history=VolumeHistory(dict(self.workload.volumes())),
             policy=self.policy,
+            engine=self.engine,
         )
 
     # ------------------------------------------------------------------
@@ -139,7 +144,11 @@ class DeploymentSpec:
 
     def reference_decoder(self, *, period: int = 0) -> CentralDecoder:
         """A local decoder loaded with :meth:`reference_reports`."""
-        decoder = CentralDecoder(self.s, policy=self.policy)
+        decoder = CentralDecoder(
+            config=SchemeConfig(
+                s=self.s, policy=self.policy, engine=self.engine
+            )
+        )
         decoder.submit_many(self.reference_reports(period=period).values())
         return decoder
 

@@ -15,7 +15,12 @@ Layout::
       reports/p<period>_r<rsu>.bin
 
 Round-trip fidelity (bit arrays byte-identical, estimates equal) is
-pinned by ``tests/test_persistence.py``.
+pinned by ``tests/test_persistence.py``.  The on-disk format is
+storage-representation agnostic: reports serialize through the wire
+codec regardless of bit-engine backend, and a restored server decodes
+them under the process-default backend (see :mod:`repro.engine`), so a
+directory written under ``legacy`` loads unchanged under ``packed``
+and vice versa.
 """
 
 from __future__ import annotations

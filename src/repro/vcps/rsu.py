@@ -9,7 +9,7 @@ server at the end of each measurement period.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +38,9 @@ class RoadsideUnit:
     query_interval:
         Ticks between broadcasts (paper: "pre-set intervals (e.g.,
         once a second)").
+    engine:
+        Bit-storage backend name for ``B_x`` (``None`` = process
+        default; see :mod:`repro.engine`).
     """
 
     def __init__(
@@ -47,6 +50,7 @@ class RoadsideUnit:
         certificate: Certificate,
         *,
         query_interval: int = 1,
+        engine: Optional[str] = None,
     ) -> None:
         if certificate.rsu_id != int(rsu_id):
             raise ProtocolError(
@@ -58,7 +62,9 @@ class RoadsideUnit:
         self.rsu_id = int(rsu_id)
         self.certificate = certificate
         self.query_interval = int(query_interval)
-        self._state = RsuState(rsu_id=self.rsu_id, array_size=int(array_size))
+        self._state = RsuState(
+            rsu_id=self.rsu_id, array_size=int(array_size), engine=engine
+        )
         self._rejected = 0
 
     # ------------------------------------------------------------------

@@ -61,6 +61,9 @@ class CentralServer:
         Historical volume store (may be pre-seeded).
     policy:
         Saturation policy for the decoder.
+    engine:
+        Bit-storage backend name for the decoder's batched matrix
+        decode (``None`` = process default; see :mod:`repro.engine`).
     anomaly_threshold:
         How many standard deviations of counter/bitmap disagreement to
         tolerate before flagging (see :meth:`anomalies`).
@@ -73,12 +76,17 @@ class CentralServer:
         *,
         history: Optional[VolumeHistory] = None,
         policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE,
+        engine: Optional[str] = None,
         anomaly_threshold: float = 6.0,
     ) -> None:
         self.s = int(s)
         self.sizing = sizing
         self.history = history if history is not None else VolumeHistory()
-        self.decoder = CentralDecoder(s, policy=policy)
+        from repro.core.config import SchemeConfig
+
+        self.decoder = CentralDecoder(
+            config=SchemeConfig(s=int(s), policy=policy, engine=engine)
+        )
         self.anomaly_threshold = float(anomaly_threshold)
         self._anomalies: List[ReportAnomaly] = []
 
@@ -171,5 +179,10 @@ class CentralServer:
     def traffic_matrix(
         self, period: int = 0
     ) -> Dict[Tuple[int, int], PairEstimate]:
-        """All-pairs point-to-point estimates for *period*."""
-        return self.decoder.all_pairs(period)
+        """All-pairs point-to-point estimates for *period*.
+
+        Uses the decoder's vectorized
+        :meth:`~repro.core.decoder.CentralDecoder.estimate_matrix`,
+        which is bit-identical to the per-pair path.
+        """
+        return self.decoder.estimate_matrix(period)

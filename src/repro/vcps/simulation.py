@@ -15,7 +15,7 @@ experiments and is tested to produce byte-identical arrays.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
@@ -59,6 +59,10 @@ class VcpsSimulation:
         How many query broadcasts a passing vehicle can hear while in
         range of one RSU (the paper's once-a-second re-broadcast gives
         several opportunities per pass).
+    engine:
+        Bit-storage backend name threaded to every RSU array and the
+        server's decoder (``None`` = process default; see
+        :mod:`repro.engine`).
     """
 
     def __init__(
@@ -72,6 +76,7 @@ class VcpsSimulation:
         ticks_per_period: int = 86_400,
         channel=None,
         query_attempts: int = 3,
+        engine: Optional[str] = None,
     ) -> None:
         if query_attempts < 1:
             raise ConfigurationError(
@@ -92,11 +97,12 @@ class VcpsSimulation:
         self.params = SchemeParameters(
             s=s, load_factor=load_factor, m_o=m_o, hash_seed=hash_seed
         )
+        self.engine = engine
         self.authority = CertificateAuthority(seed=self._rng)
         self._anchor = self.authority.trust_anchor()
         self.rsus: Dict[int, RoadsideUnit] = {
             rsu_id: RoadsideUnit(
-                rsu_id, size, self.authority.issue(rsu_id)
+                rsu_id, size, self.authority.issue(rsu_id), engine=engine
             )
             for rsu_id, size in sizes.items()
         }
@@ -104,6 +110,7 @@ class VcpsSimulation:
             s,
             self.sizing,
             history=VolumeHistory(dict(historical_volumes)),
+            engine=engine,
         )
         self._keys = KeyStore(self._rng)
         self._vehicles: Dict[int, Vehicle] = {}
@@ -229,5 +236,6 @@ class VcpsSimulation:
                 new_size,
                 self.authority.issue(rsu_id),
                 query_interval=rsu.query_interval,
+                engine=self.engine,
             )
         return sizes

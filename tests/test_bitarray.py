@@ -145,6 +145,45 @@ class TestSerialization:
         assert len(BitArray(16).to_bytes()) == 2
         assert len(BitArray(17).to_bytes()) == 3
 
+    def test_from_bytes_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            BitArray.from_bytes(b"\x00", 12)  # needs 2 bytes
+        with pytest.raises(ValidationError):
+            BitArray.from_bytes(b"\x00\x00\x00", 12)  # 1 byte too many
+
+    def test_from_bytes_rejects_nonzero_padding(self):
+        """A set bit past the logical size means sender and receiver
+        disagree about the array length; it must not be silently
+        dropped into the zero-bit statistics (regression: previously
+        accepted)."""
+        # size=12: low 4 bits of the second byte are padding.
+        BitArray.from_bytes(b"\xff\xf0", 12)  # all 12 bits set: fine
+        with pytest.raises(ValidationError):
+            BitArray.from_bytes(b"\xff\xf8", 12)
+        with pytest.raises(ValidationError):
+            BitArray.from_bytes(b"\x00\x01", 12)
+        # size=5: low 3 bits of the single byte are padding.
+        with pytest.raises(ValidationError):
+            BitArray.from_bytes(b"\x07", 5)
+        # Whole-byte sizes have no padding to reject.
+        assert BitArray.from_bytes(b"\xff", 8).count_ones() == 8
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_from_bytes_padding_property(self, size, last_byte):
+        """from_bytes accepts a final byte iff its padding bits are 0."""
+        nbytes = (size + 7) // 8
+        data = b"\x00" * (nbytes - 1) + bytes([last_byte])
+        pad = (1 << (8 - size % 8)) - 1 if size % 8 else 0
+        if last_byte & pad:
+            with pytest.raises(ValidationError):
+                BitArray.from_bytes(data, size)
+        else:
+            restored = BitArray.from_bytes(data, size)
+            assert restored.to_bytes() == data
+
 
 class TestProperties:
     @given(

@@ -71,3 +71,64 @@ class TestUnfoldCache:
         assert len(matrix) == 3
         # Two distinct smaller arrays each unfolded to their partners.
         assert len(decoder._unfold_cache) >= 2
+
+
+class TestMemoBound:
+    def _decoder(self, capacity, rsu_count=6):
+        from repro.core.bitarray import BitArray
+        from repro.core.reports import RsuReport
+
+        decoder = CentralDecoder(2, memo_capacity=capacity, policy="clamp")
+        for rsu_id in range(1, rsu_count + 1):
+            size = 1 << 6 if rsu_id < rsu_count else 1 << 10
+            decoder.submit(
+                RsuReport(
+                    rsu_id,
+                    size // 4,
+                    BitArray.from_indices(size, range(0, size, 4)),
+                )
+            )
+        return decoder
+
+    def test_capacity_validated(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CentralDecoder(2, memo_capacity=0)
+
+    def test_memo_never_exceeds_capacity(self):
+        decoder = self._decoder(capacity=2)
+        decoder.all_pairs()
+        assert len(decoder._unfold_cache) <= 2
+
+    def test_evictions_counted(self):
+        from repro.obs import get_registry
+
+        decoder = self._decoder(capacity=2)
+        counter = get_registry().counter("core.decoder_memo_evictions_total")
+        before = counter.value
+        # Five small arrays each unfold to 1<<10 when paired with the
+        # big one: 5 distinct memo entries through a capacity-2 LRU.
+        decoder.all_pairs()
+        assert counter.value >= before + 3
+
+    def test_lru_keeps_most_recent(self):
+        decoder = self._decoder(capacity=2)
+        decoder.pair_estimate(1, 6)
+        decoder.pair_estimate(2, 6)
+        decoder.pair_estimate(3, 6)  # evicts RSU 1's entry
+        keys = list(decoder._unfold_cache)
+        assert (0, 1, 1 << 10) not in keys
+        assert (0, 2, 1 << 10) in keys
+        assert (0, 3, 1 << 10) in keys
+        # Re-touch RSU 2's entry, then add another: RSU 3's is evicted.
+        decoder.pair_estimate(2, 6)
+        decoder.pair_estimate(4, 6)
+        keys = list(decoder._unfold_cache)
+        assert (0, 2, 1 << 10) in keys
+        assert (0, 3, 1 << 10) not in keys
+
+    def test_eviction_does_not_change_results(self):
+        bounded = self._decoder(capacity=1)
+        unbounded = self._decoder(capacity=1000)
+        assert bounded.all_pairs() == unbounded.all_pairs()

@@ -11,6 +11,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.engine",
     "repro.baseline",
     "repro.hashing",
     "repro.privacy",
