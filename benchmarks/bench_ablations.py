@@ -2,6 +2,12 @@
 
 Run: ``pytest benchmarks/bench_ablations.py --benchmark-only``
 Artifact: ``results/ablations.txt``
+
+The unfold-vs-fold assertion runs at ``ratio = 50`` — the regime the
+ablation's claim is about: fold-down only collapses once the traffic
+ratio is large (at ratio 10 the two operators are statistically
+indistinguishable, so asserting an ordering there would be a coin
+flip on the seed).
 """
 
 from conftest import publish
@@ -10,7 +16,9 @@ from repro.experiments.ablations import run_ablations
 
 def test_regenerate_ablations(benchmark):
     result = benchmark.pedantic(
-        lambda: run_ablations(repetitions=6, seed=21), rounds=1, iterations=1
+        lambda: run_ablations(ratio=50, repetitions=6, seed=21),
+        rounds=1,
+        iterations=1,
     )
     publish("ablations", result.render())
     rows = {row.label: row for row in result.study("unfold-up vs fold-down")}

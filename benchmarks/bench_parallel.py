@@ -1,0 +1,106 @@
+"""Parallel runtime bench: speedup and bit-identity across plans.
+
+Times the Monte-Carlo accuracy battery and the Sioux Falls matrix at
+1/2/4/8 process workers, writes the speedup table to
+``results/parallel.txt``, and asserts every parallel run is
+bit-identical to the serial one.
+
+Run: ``pytest benchmarks/bench_parallel.py``
+Artifact: ``results/parallel.txt``
+
+The ``>= 3x at 8 process workers`` gate on the Monte-Carlo battery
+only fires on machines with at least 8 CPUs (and not in
+``REPRO_BENCH_SMOKE=1`` mode) — a speedup assertion on an
+oversubscribed box measures the scheduler, not the runtime.
+"""
+
+import json
+import os
+import time
+
+from conftest import publish
+from repro.accuracy.montecarlo import simulate_accuracy
+from repro.experiments.sioux_falls_matrix import run_sioux_falls_matrix
+from repro.utils.serialization import to_jsonable
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _canon(result) -> str:
+    return json.dumps(to_jsonable(result), sort_keys=True, default=str)
+
+
+def _time_plan(fn, workers):
+    start = time.perf_counter()
+    result = fn(workers)
+    return time.perf_counter() - start, result
+
+
+def test_parallel_speedup():
+    """Monte-Carlo battery + full matrix at 1/2/4/8 process workers.
+
+    Always checks bit-identity against the serial run; asserts the
+    >= 3x Monte-Carlo speedup only where 8 real cores exist.
+    """
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    cpus = os.cpu_count() or 1
+    mc_reps = 16 if smoke else 64
+    mc_n = (20_000, 200_000, 6_000, 65_536, 524_288)
+    trips = 30_000 if smoke else 360_600
+
+    def mc(workers):
+        n_x, n_y, n_c, m_x, m_y = mc_n
+        return simulate_accuracy(
+            n_x, n_y, n_c, m_x, m_y, 2,
+            repetitions=mc_reps, seed=3,
+            workers=workers, executor="serial" if workers == 1 else "process",
+        )
+
+    def matrix(workers):
+        return run_sioux_falls_matrix(
+            total_trips=trips, seed=13,
+            workers=workers, executor="serial" if workers == 1 else "process",
+        )
+
+    timings = {}
+    for label, fn in (("montecarlo", mc), ("matrix", matrix)):
+        rows = {}
+        reference = None
+        for workers in WORKER_COUNTS:
+            elapsed, result = _time_plan(fn, workers)
+            rows[workers] = elapsed
+            if reference is None:
+                reference = _canon(result)
+            else:
+                assert _canon(result) == reference, (
+                    f"{label} at {workers} process workers diverged from serial"
+                )
+        timings[label] = rows
+
+    lines = [
+        f"Parallel runtime speedup ({cpus} CPUs visible"
+        + (", SMOKE" if smoke else "")
+        + f"): Monte-Carlo battery ({mc_reps} reps) and "
+        f"Sioux Falls matrix ({trips:,} trips)",
+        "",
+        f"{'battery':<14}" + "".join(f"{w:>4} wkr" for w in WORKER_COUNTS)
+        + f"{'speedup@8':>12}",
+    ]
+    for label, rows in timings.items():
+        speedup = rows[1] / rows[8]
+        lines.append(
+            f"{label:<14}"
+            + "".join(f"{rows[w]:>7.2f}s" for w in WORKER_COUNTS)
+            + f"{speedup:>11.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        "all parallel runs bit-identical to the serial run: yes"
+    )
+    publish("parallel", "\n".join(lines))
+
+    mc_speedup = timings["montecarlo"][1] / timings["montecarlo"][8]
+    if not smoke and cpus >= 8:
+        assert mc_speedup >= 3.0, (
+            f"Monte-Carlo battery only {mc_speedup:.2f}x at 8 process workers"
+        )

@@ -10,7 +10,7 @@ experiment in :mod:`repro.experiments.accuracy_analysis`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -18,8 +18,9 @@ from repro.core.encoder import encode_passes
 from repro.core.estimator import ZeroFractionPolicy, estimate_intersection
 from repro.core.parameters import SchemeParameters
 from repro.errors import ConfigurationError
+from repro.runtime import run_tasks, task
 from repro.traffic.random_workload import make_pair_population
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, as_generator, spawn_sequences
 from repro.utils.validation import check_power_of_two
 
 __all__ = ["MonteCarloAccuracy", "simulate_accuracy"]
@@ -59,6 +60,33 @@ class MonteCarloAccuracy:
         return float(np.abs(self.estimates - self.n_c).mean() / self.n_c)
 
 
+def _simulate_repetition(
+    n_x: int,
+    n_y: int,
+    n_c: int,
+    m_x: int,
+    m_y: int,
+    s: int,
+    policy: ZeroFractionPolicy,
+    seed: SeedLike,
+) -> float:
+    """One independent encode/decode round (a runtime task: pure
+    function of its arguments, randomness only from *seed*)."""
+    rng = as_generator(seed)
+    rsu_x, rsu_y = 1, 2
+    params = SchemeParameters(
+        s=s, load_factor=1.0, m_o=m_y, hash_seed=int(rng.integers(2**63))
+    )
+    population = make_pair_population(
+        n_x, n_y, n_c, rsu_x=rsu_x, rsu_y=rsu_y, seed=rng
+    )
+    ids_x, keys_x = population.passes_at_x()
+    ids_y, keys_y = population.passes_at_y()
+    report_x = encode_passes(ids_x, keys_x, rsu_x, m_x, params)
+    report_y = encode_passes(ids_y, keys_y, rsu_y, m_y, params)
+    return estimate_intersection(report_x, report_y, s, policy=policy).value
+
+
 def simulate_accuracy(
     n_x: int,
     n_y: int,
@@ -70,12 +98,17 @@ def simulate_accuracy(
     repetitions: int = 50,
     seed: SeedLike = None,
     policy: ZeroFractionPolicy = ZeroFractionPolicy.CLAMP,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> MonteCarloAccuracy:
     """Run *repetitions* independent encode/decode rounds.
 
     Each repetition draws a fresh population and a fresh hash seed so
     both identity randomness and hash randomness are integrated over,
-    matching the expectations the closed forms take.
+    matching the expectations the closed forms take.  Every repetition
+    owns a :class:`numpy.random.SeedSequence` substream derived up
+    front, so the result is bit-identical for any ``workers`` count and
+    ``executor`` (see :mod:`repro.runtime`).
     """
     m_x = check_power_of_two(m_x, "m_x")
     m_y = check_power_of_two(m_y, "m_y")
@@ -83,22 +116,14 @@ def simulate_accuracy(
         raise ConfigurationError("m_x must be <= m_y (swap the pair)")
     if n_c <= 0:
         raise ConfigurationError("simulate_accuracy requires n_c > 0")
-    rngs = spawn_generators(seed, repetitions)
-    estimates: List[float] = []
-    rsu_x, rsu_y = 1, 2
-    for rep, rng in enumerate(rngs):
-        params = SchemeParameters(
-            s=s, load_factor=1.0, m_o=m_y, hash_seed=int(rng.integers(2**63))
-        )
-        population = make_pair_population(
-            n_x, n_y, n_c, rsu_x=rsu_x, rsu_y=rsu_y, seed=rng
-        )
-        ids_x, keys_x = population.passes_at_x()
-        ids_y, keys_y = population.passes_at_y()
-        report_x = encode_passes(ids_x, keys_x, rsu_x, m_x, params)
-        report_y = encode_passes(ids_y, keys_y, rsu_y, m_y, params)
-        estimate = estimate_intersection(report_x, report_y, s, policy=policy)
-        estimates.append(estimate.value)
+    estimates: List[float] = run_tasks(
+        [
+            task(_simulate_repetition, n_x, n_y, n_c, m_x, m_y, s, policy, sub)
+            for sub in spawn_sequences(seed, repetitions)
+        ],
+        workers=workers,
+        executor=executor,
+    )
     return MonteCarloAccuracy(
         estimates=np.asarray(estimates), n_c=n_c, repetitions=repetitions
     )

@@ -21,6 +21,11 @@ lines (see ``docs/observability.md``).
 
 ``--quick`` shrinks the sweeps/repetitions for a fast smoke run;
 ``--json PATH`` additionally writes the structured results to a file.
+``--workers N`` / ``--executor {serial,thread,process}`` (or the
+``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` environment variables) run an
+experiment's independent tasks in parallel — results are bit-identical
+for every worker count and executor (see ``docs/parallel.md``); with
+``repro all`` the independent artifacts themselves run concurrently.
 ``serve`` and ``loadgen`` must be given the same deployment flags
 (``--trips --seed --s --load-factor --hash-seed``) so both processes
 derive the identical fleet; see ``docs/protocol.md``.
@@ -32,26 +37,44 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.runtime import EXECUTOR_ENV, EXECUTORS, WORKERS_ENV, Task, run_tasks
 from repro.utils.serialization import dump_json
 
 __all__ = ["main", "build_parser"]
 
+#: Experiment runner signature: (quick, workers=None, executor=None).
+Runner = Callable[..., object]
 
-def _run_table1(quick: bool) -> object:
+
+def _run_table1(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.table1 import run_table1
 
-    return run_table1(repetitions=2 if quick else 10)
+    return run_table1(
+        repetitions=2 if quick else 10, workers=workers, executor=executor
+    )
 
 
-def _run_fig1(quick: bool) -> object:
+def _run_fig1(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.figure1 import run_figure1
 
     return run_figure1()
 
 
-def _run_fig2(quick: bool) -> object:
+def _run_fig2(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.figure2 import run_figure2
 
     return run_figure2(
@@ -73,7 +96,11 @@ class _Fig3Result:
         return self.text
 
 
-def _run_fig3(quick: bool) -> object:
+def _run_fig3(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     return _Fig3Result()
 
 
@@ -85,78 +112,140 @@ def _sweep_points(quick: bool) -> Optional[List[int]]:
     return list(FIG45_SWEEP.n_c_values())[::10]
 
 
-def _run_fig4(quick: bool) -> object:
+def _run_fig4(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.figure4 import run_figure4
 
-    return run_figure4(n_c_values=_sweep_points(quick))
+    return run_figure4(
+        n_c_values=_sweep_points(quick), workers=workers, executor=executor
+    )
 
 
-def _run_fig5(quick: bool) -> object:
+def _run_fig5(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.figure5 import run_figure5
 
-    return run_figure5(n_c_values=_sweep_points(quick))
+    return run_figure5(
+        n_c_values=_sweep_points(quick), workers=workers, executor=executor
+    )
 
 
-def _run_accuracy(quick: bool) -> object:
+def _run_accuracy(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.accuracy_analysis import run_accuracy_analysis
 
-    return run_accuracy_analysis(repetitions=5 if quick else 30)
+    return run_accuracy_analysis(
+        repetitions=5 if quick else 30, workers=workers, executor=executor
+    )
 
 
-def _run_ablations(quick: bool) -> object:
+def _run_ablations(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.ablations import run_ablations
 
-    return run_ablations(repetitions=3 if quick else 10)
+    return run_ablations(
+        repetitions=3 if quick else 10, workers=workers, executor=executor
+    )
 
 
-def _run_multiperiod(quick: bool) -> object:
+def _run_multiperiod(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.multiperiod import run_multiperiod
 
-    return run_multiperiod(trials=3 if quick else 8)
+    return run_multiperiod(
+        trials=3 if quick else 8, workers=workers, executor=executor
+    )
 
 
-def _run_tradeoff(quick: bool) -> object:
+def _run_tradeoff(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.tradeoff import run_tradeoff
 
     return run_tradeoff()
 
 
-def _run_matrix(quick: bool) -> object:
+def _run_matrix(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.sioux_falls_matrix import run_sioux_falls_matrix
 
     return run_sioux_falls_matrix(
-        total_trips=60_000 if quick else 360_600
+        total_trips=60_000 if quick else 360_600,
+        workers=workers,
+        executor=executor,
     )
 
 
-def _run_attacks(quick: bool) -> object:
+def _run_attacks(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.attack_resilience import run_attack_resilience
 
-    return run_attack_resilience(n_honest=5_000 if quick else 20_000)
+    return run_attack_resilience(
+        n_honest=5_000 if quick else 20_000,
+        workers=workers,
+        executor=executor,
+    )
 
 
-def _run_overhead(quick: bool) -> object:
+def _run_overhead(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.overhead import run_overhead
 
     return run_overhead(m_exponents=(14, 17) if quick else (14, 17, 20))
 
 
-def _run_calibration(quick: bool) -> object:
+def _run_calibration(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.calibration import run_calibration
 
     return run_calibration(
-        fractions=(0.05, 0.1, 0.2) if quick else (0.02, 0.05, 0.1, 0.2, 0.3)
+        fractions=(0.05, 0.1, 0.2) if quick else (0.02, 0.05, 0.1, 0.2, 0.3),
+        workers=workers,
+        executor=executor,
     )
 
 
-def _run_scaling(quick: bool) -> object:
+def _run_scaling(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
     from repro.experiments.scaling import run_scaling
 
     sizes = ((2, 6), (3, 8)) if quick else ((2, 6), (3, 8), (4, 10), (5, 12))
-    return run_scaling(city_sizes=sizes)
+    return run_scaling(city_sizes=sizes, workers=workers, executor=executor)
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
+EXPERIMENTS: Dict[str, Runner] = {
     "table1": _run_table1,
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -254,6 +343,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="enable library debug logging on stderr",
+    )
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "parallel workers for the experiment's independent tasks "
+            f"(default: ${WORKERS_ENV} or 1); results are bit-identical "
+            "for every worker count"
+        ),
+    )
+    common.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help=(
+            f"task executor (default: ${EXECUTOR_ENV}, else serial at one "
+            "worker and process beyond)"
+        ),
     )
     for name in sorted(EXPERIMENTS) + ["all"]:
         subparsers.add_parser(
@@ -512,6 +621,20 @@ def _run_chaos(args: argparse.Namespace) -> int:
     )
 
 
+def _timed_experiment(
+    name: str,
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> Tuple[object, float]:
+    """Run one registered experiment and time it (a runtime task; when
+    ``repro all`` fans artifacts out to workers, the nested-plan guard
+    makes each experiment's internal task batch run serial)."""
+    start = time.time()
+    result = EXPERIMENTS[name](quick, workers=workers, executor=executor)
+    return result, time.time() - start
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -527,12 +650,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_metrics(args)
     if args.experiment == "chaos":
         return _run_chaos(args)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        # Independent artifacts run concurrently; each one's internal
+        # batch then degrades to serial on the workers (nested guard),
+        # so the numbers match a per-experiment parallel run exactly.
+        names = sorted(EXPERIMENTS)
+        outcomes = run_tasks(
+            [
+                Task(fn=_timed_experiment, args=(name, args.quick), label=name)
+                for name in names
+            ],
+            workers=args.workers,
+            executor=args.executor,
+        )
+    else:
+        names = [args.experiment]
+        outcomes = [
+            _timed_experiment(
+                names[0], args.quick,
+                workers=args.workers, executor=args.executor,
+            )
+        ]
     collected = {}
-    for name in names:
-        start = time.time()
-        result = EXPERIMENTS[name](args.quick)
-        elapsed = time.time() - start
+    for name, (result, elapsed) in zip(names, outcomes):
         print(result.render())
         print(f"[{name} finished in {elapsed:.1f}s]")
         print()

@@ -12,13 +12,16 @@ traffic ratio) while VLM does not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.accuracy.bias import relative_bias
 from repro.accuracy.montecarlo import simulate_accuracy
 from repro.accuracy.variance import estimator_stddev
 from repro.core.sizing import array_size_for_volume
-from repro.utils.rng import SeedLike, as_generator
+from repro.runtime import Task, run_tasks
+from repro.utils.rng import SeedLike, spawn_sequences
 from repro.utils.tables import AsciiTable
 
 __all__ = ["AccuracyCase", "AccuracyAnalysisResult", "run_accuracy_analysis"]
@@ -94,40 +97,63 @@ DEFAULT_CONFIGS: Tuple[Tuple[int, int, int, int], ...] = (
 )
 
 
+def _analyze_config(
+    config: Tuple[int, int, int, int],
+    load_factor: float,
+    repetitions: int,
+    seed: np.random.SeedSequence,
+) -> AccuracyCase:
+    """Closed forms + Monte-Carlo for one configuration (a runtime
+    task; the nested Monte-Carlo battery inherits this task's
+    substream and runs serial when this task is on a worker)."""
+    n_x, n_y, n_c, s = config
+    m_x = array_size_for_volume(n_x, load_factor)
+    m_y = array_size_for_volume(n_y, load_factor)
+    closed_bias = relative_bias(n_x, n_y, n_c, m_x, m_y, s, exact=True)
+    closed_std = estimator_stddev(n_x, n_y, n_c, m_x, m_y, s)
+    mc = simulate_accuracy(
+        n_x, n_y, n_c, m_x, m_y, s, repetitions=repetitions, seed=seed
+    )
+    return AccuracyCase(
+        n_x=n_x,
+        n_y=n_y,
+        n_c=n_c,
+        m_x=m_x,
+        m_y=m_y,
+        s=s,
+        closed_bias=closed_bias,
+        closed_stddev=closed_std,
+        mc_bias=mc.bias,
+        mc_stddev=mc.stddev,
+    )
+
+
 def run_accuracy_analysis(
     *,
     configs: Sequence[Tuple[int, int, int, int]] = DEFAULT_CONFIGS,
     load_factor: float = 3.0,
     repetitions: int = 30,
     seed: SeedLike = 9,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> AccuracyAnalysisResult:
     """Evaluate closed forms and Monte-Carlo for each configuration.
 
     Array sizes follow the VLM sizing rule at *load_factor* (so the
-    cases exercise genuinely different ``m_x``/``m_y``).
+    cases exercise genuinely different ``m_x``/``m_y``).  Each
+    configuration is an independent runtime task with its own seed
+    substream — bit-identical for any worker count and executor.
     """
-    rng = as_generator(seed)
-    cases: List[AccuracyCase] = []
-    for n_x, n_y, n_c, s in configs:
-        m_x = array_size_for_volume(n_x, load_factor)
-        m_y = array_size_for_volume(n_y, load_factor)
-        closed_bias = relative_bias(n_x, n_y, n_c, m_x, m_y, s, exact=True)
-        closed_std = estimator_stddev(n_x, n_y, n_c, m_x, m_y, s)
-        mc = simulate_accuracy(
-            n_x, n_y, n_c, m_x, m_y, s, repetitions=repetitions, seed=rng
-        )
-        cases.append(
-            AccuracyCase(
-                n_x=n_x,
-                n_y=n_y,
-                n_c=n_c,
-                m_x=m_x,
-                m_y=m_y,
-                s=s,
-                closed_bias=closed_bias,
-                closed_stddev=closed_std,
-                mc_bias=mc.bias,
-                mc_stddev=mc.stddev,
+    cases: List[AccuracyCase] = run_tasks(
+        [
+            Task(
+                fn=_analyze_config,
+                args=(config, load_factor, repetitions, sub),
+                label=f"accuracy:{config[0]}x{config[1]}:s{config[3]}",
             )
-        )
+            for config, sub in zip(configs, spawn_sequences(seed, len(configs)))
+        ],
+        workers=workers,
+        executor=executor,
+    )
     return AccuracyAnalysisResult(cases=cases, repetitions=repetitions)

@@ -24,7 +24,7 @@ bitmap-implied volume, and whether the cross-check fires.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -35,8 +35,9 @@ from repro.core.reports import RsuReport
 from repro.core.sizing import LoadFactorSizing, array_size_for_volume
 from repro.errors import ConfigurationError
 from repro.hashing.logical_bitarray import select_indices
+from repro.runtime import Task, run_tasks
 from repro.traffic.population import VehicleFleet
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, spawn_sequences
 from repro.utils.tables import AsciiTable
 from repro.vcps.history import VolumeHistory
 from repro.vcps.server import CentralServer
@@ -118,6 +119,71 @@ class AttackResilienceResult:
         return "\n".join(lines)
 
 
+def _attack_outcome(
+    variant: str,
+    duplicates: int,
+    n_honest: int,
+    attacker_count: int,
+    m: int,
+    s: int,
+    load_factor: float,
+    anomaly_threshold: float,
+    fleet_seed: np.random.SeedSequence,
+    seed: np.random.SeedSequence,
+) -> AttackOutcome:
+    """One (variant, intensity) cell of the sweep (a runtime task).
+
+    The honest fleet is rebuilt from its shared substream; forged
+    indices come from this cell's own substream, so cells are
+    independent of execution order.
+    """
+    params = SchemeParameters(s=s, load_factor=load_factor, m_o=m, hash_seed=11)
+    fleet = VehicleFleet.random(n_honest, seed=fleet_seed)
+    honest = encode_passes(fleet.ids, fleet.keys, 1, m, params)
+    bits = honest.bits.copy()
+    extra = attacker_count * int(duplicates)
+    if extra:
+        if variant == "replay":
+            # Attackers are the first `attacker_count` honest vehicles:
+            # their deterministic replay index is their genuine Eq. (2)
+            # index.
+            replay_indices = (
+                select_indices(
+                    fleet.ids[:attacker_count],
+                    fleet.keys[:attacker_count],
+                    1,
+                    params.salts,
+                    params.m_o,
+                    seed=params.hash_seed,
+                )
+                & (m - 1)
+            )
+            stuffed = np.repeat(replay_indices, int(duplicates))
+        else:
+            stuffed = as_generator(seed).integers(0, m, size=extra)
+        bits.set_bits(stuffed)
+    report = RsuReport(rsu_id=1, counter=honest.counter + extra, bits=bits)
+    server = CentralServer(
+        s,
+        LoadFactorSizing(load_factor),
+        history=VolumeHistory({1: n_honest}),
+        anomaly_threshold=anomaly_threshold,
+    )
+    server.receive_report(report)
+    anomalies = server.anomalies
+    bitmap_estimate = estimate_point_volume(
+        report, policy=ZeroFractionPolicy.CLAMP
+    )
+    return AttackOutcome(
+        variant=variant,
+        duplicates_per_attacker=int(duplicates),
+        counter_inflation=extra / n_honest,
+        bitmap_estimate_inflation=(bitmap_estimate - n_honest) / n_honest,
+        flagged=bool(anomalies),
+        anomaly_deviations=(anomalies[0].deviations if anomalies else 0.0),
+    )
+
+
 def run_attack_resilience(
     *,
     n_honest: int = 20_000,
@@ -127,70 +193,50 @@ def run_attack_resilience(
     s: int = 2,
     anomaly_threshold: float = 6.0,
     seed: SeedLike = 23,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> AttackResilienceResult:
-    """Sweep both attack variants and record inflation + detection."""
+    """Sweep both attack variants and record inflation + detection.
+
+    Every (variant, duplicates) cell is an independent runtime task
+    with its own substream — bit-identical for any worker count and
+    executor.
+    """
     if not 0.0 <= attacker_fraction <= 1.0:
         raise ConfigurationError(
             f"attacker_fraction must be in [0, 1], got {attacker_fraction}"
         )
-    rng = as_generator(seed)
     m = array_size_for_volume(n_honest, load_factor)
-    params = SchemeParameters(s=s, load_factor=load_factor, m_o=m, hash_seed=11)
-    fleet = VehicleFleet.random(n_honest, seed=rng)
     attacker_count = int(round(attacker_fraction * n_honest))
-    # Attackers are the first `attacker_count` honest vehicles: their
-    # deterministic replay index is their genuine Eq. (2) index.
-    replay_indices = (
-        select_indices(
-            fleet.ids[:attacker_count],
-            fleet.keys[:attacker_count],
-            1,
-            params.salts,
-            params.m_o,
-            seed=params.hash_seed,
-        )
-        & (m - 1)
+    cells = [
+        (variant, duplicates)
+        for variant in ("replay", "forgery")
+        for duplicates in duplicates_grid
+    ]
+    fleet_seed, *cell_seeds = spawn_sequences(seed, 1 + len(cells))
+    outcomes: List[AttackOutcome] = run_tasks(
+        [
+            Task(
+                fn=_attack_outcome,
+                args=(
+                    variant,
+                    int(duplicates),
+                    n_honest,
+                    attacker_count,
+                    m,
+                    s,
+                    load_factor,
+                    anomaly_threshold,
+                    fleet_seed,
+                    cell_seed,
+                ),
+                label=f"attack:{variant}:{duplicates}",
+            )
+            for (variant, duplicates), cell_seed in zip(cells, cell_seeds)
+        ],
+        workers=workers,
+        executor=executor,
     )
-
-    outcomes: List[AttackOutcome] = []
-    for variant in ("replay", "forgery"):
-        for duplicates in duplicates_grid:
-            honest = encode_passes(fleet.ids, fleet.keys, 1, m, params)
-            bits = honest.bits.copy()
-            extra = attacker_count * int(duplicates)
-            if extra:
-                if variant == "replay":
-                    stuffed = np.repeat(replay_indices, int(duplicates))
-                else:
-                    stuffed = rng.integers(0, m, size=extra)
-                bits.set_bits(stuffed)
-            report = RsuReport(
-                rsu_id=1, counter=honest.counter + extra, bits=bits
-            )
-            server = CentralServer(
-                s,
-                LoadFactorSizing(load_factor),
-                history=VolumeHistory({1: n_honest}),
-                anomaly_threshold=anomaly_threshold,
-            )
-            server.receive_report(report)
-            anomalies = server.anomalies
-            bitmap_estimate = estimate_point_volume(
-                report, policy=ZeroFractionPolicy.CLAMP
-            )
-            outcomes.append(
-                AttackOutcome(
-                    variant=variant,
-                    duplicates_per_attacker=int(duplicates),
-                    counter_inflation=extra / n_honest,
-                    bitmap_estimate_inflation=(bitmap_estimate - n_honest)
-                    / n_honest,
-                    flagged=bool(anomalies),
-                    anomaly_deviations=(
-                        anomalies[0].deviations if anomalies else 0.0
-                    ),
-                )
-            )
     return AttackResilienceResult(
         outcomes=outcomes,
         n_honest=n_honest,

@@ -19,7 +19,7 @@ Paper readings scored (Section VI-B):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.privacy.optimizer import (
     optimal_load_factor,
     privacy_curve,
 )
+from repro.runtime import Task, run_tasks
 from repro.utils.tables import AsciiTable
 
 __all__ = ["CalibrationResult", "run_calibration"]
@@ -113,13 +114,30 @@ def run_calibration(
     *,
     fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.3),
     n_x: float = 10_000.0,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> CalibrationResult:
-    """Score each candidate fraction against the paper's readings."""
+    """Score each candidate fraction against the paper's readings.
+
+    Entirely closed-form (no randomness): one runtime task per
+    candidate fraction, trivially identical under any plan.
+    """
     readings: Dict[float, Tuple[float, ...]] = {}
     scores: Dict[float, float] = {}
     targets = [value for _, value in PAPER_READINGS]
-    for fraction in fractions:
-        values = _readings_for(fraction, n_x)
+    all_values = run_tasks(
+        [
+            Task(
+                fn=_readings_for,
+                args=(fraction, n_x),
+                label=f"calibration:{fraction:g}",
+            )
+            for fraction in fractions
+        ],
+        workers=workers,
+        executor=executor,
+    )
+    for fraction, values in zip(fractions, all_values):
         readings[fraction] = values
         misfit = 0.0
         for value, target in zip(values, targets):

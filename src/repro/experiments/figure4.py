@@ -21,6 +21,14 @@ def run_figure4(
     *,
     n_c_values: Optional[Sequence[int]] = None,
     seed: SeedLike = 4,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SweepResult:
     """Run the Fig. 4 sweep (baseline scheme, ``s = 2``)."""
-    return run_accuracy_sweep("baseline", n_c_values=n_c_values, seed=seed)
+    return run_accuracy_sweep(
+        "baseline",
+        n_c_values=n_c_values,
+        seed=seed,
+        workers=workers,
+        executor=executor,
+    )

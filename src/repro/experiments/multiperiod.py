@@ -10,15 +10,16 @@ cuts a 10% per-day stddev to ~4%.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.estimator import ZeroFractionPolicy
+from repro.core.estimator import PairEstimate, ZeroFractionPolicy
 from repro.core.multiperiod import aggregate_estimates
 from repro.core.scheme import VlmScheme
+from repro.runtime import Task, run_tasks
 from repro.traffic.population import VehicleFleet
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, spawn_sequences
 from repro.utils.tables import AsciiTable
 
 __all__ = ["MultiPeriodResult", "run_multiperiod"]
@@ -58,6 +59,37 @@ class MultiPeriodResult:
         return table.render()
 
 
+def _run_trial(
+    n_x: int,
+    n_y: int,
+    n_c: int,
+    load_factor: float,
+    max_periods: int,
+    fleet_seed: np.random.SeedSequence,
+    seed: np.random.SeedSequence,
+) -> List[PairEstimate]:
+    """One trial: estimates for periods ``0..max_periods-1`` (a runtime
+    task; the shared fleet and each period's hash seed come from
+    dedicated substreams derived up front)."""
+    fleet = VehicleFleet.random(n_x + n_y, seed=fleet_seed)
+    ids_x, keys_x = fleet.ids[:n_x], fleet.keys[:n_x]
+    ids_y = np.concatenate([fleet.ids[:n_c], fleet.ids[n_x : n_x + n_y - n_c]])
+    keys_y = np.concatenate([fleet.keys[:n_c], fleet.keys[n_x : n_x + n_y - n_c]])
+    estimates: List[PairEstimate] = []
+    for period, period_seed in enumerate(spawn_sequences(seed, max_periods)):
+        scheme = VlmScheme(
+            {1: n_x, 2: n_y},
+            s=2,
+            load_factor=load_factor,
+            hash_seed=int(as_generator(period_seed).integers(2**63)),
+            policy=ZeroFractionPolicy.CLAMP,
+        )
+        rx = scheme.encode_rsu(1, ids_x, keys_x, period=period)
+        ry = scheme.encode_rsu(2, ids_y, keys_y, period=period)
+        estimates.append(scheme.measure(rx, ry))
+    return estimates
+
+
 def run_multiperiod(
     *,
     n_x: int = 10_000,
@@ -67,31 +99,32 @@ def run_multiperiod(
     period_counts: Sequence[int] = (1, 2, 4, 8),
     trials: int = 8,
     seed: SeedLike = 31,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> MultiPeriodResult:
     """Simulate P independent daily periods of a stable OD flow and
-    aggregate; report error vs P."""
-    rng = as_generator(seed)
+    aggregate; report error vs P.  Trials are independent runtime
+    tasks — results are bit-identical for any worker count/executor."""
     max_periods = max(period_counts)
-    fleet = VehicleFleet.random(n_x + n_y, seed=rng)
-    ids_x, keys_x = fleet.ids[:n_x], fleet.keys[:n_x]
-    ids_y = np.concatenate([fleet.ids[:n_c], fleet.ids[n_x : n_x + n_y - n_c]])
-    keys_y = np.concatenate([fleet.keys[:n_c], fleet.keys[n_x : n_x + n_y - n_c]])
-
+    fleet_seed, *trial_seeds = spawn_sequences(seed, 1 + trials)
+    per_trial = run_tasks(
+        [
+            Task(
+                fn=_run_trial,
+                args=(
+                    n_x, n_y, n_c, load_factor, max_periods,
+                    fleet_seed, trial_seed,
+                ),
+                label=f"multiperiod:trial{index}",
+            )
+            for index, trial_seed in enumerate(trial_seeds)
+        ],
+        workers=workers,
+        executor=executor,
+    )
     errors: Dict[int, List[float]] = {p: [] for p in period_counts}
     stderrs: Dict[int, List[float]] = {p: [] for p in period_counts}
-    for _ in range(trials):
-        estimates = []
-        for period in range(max_periods):
-            scheme = VlmScheme(
-                {1: n_x, 2: n_y},
-                s=2,
-                load_factor=load_factor,
-                hash_seed=int(rng.integers(2**63)),
-                policy=ZeroFractionPolicy.CLAMP,
-            )
-            rx = scheme.encode_rsu(1, ids_x, keys_x, period=period)
-            ry = scheme.encode_rsu(2, ids_y, keys_y, period=period)
-            estimates.append(scheme.measure(rx, ry))
+    for estimates in per_trial:
         for p in period_counts:
             agg = aggregate_estimates(estimates[:p])
             errors[p].append(abs(agg.value - n_c) / n_c)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,8 +21,9 @@ from repro.core.estimator import ZeroFractionPolicy
 from repro.core.scheme import VlmScheme
 from repro.roadnet.generators import ring_radial_network
 from repro.roadnet.gravity import gravity_trip_table
+from repro.runtime import Task, run_tasks
 from repro.traffic.network_workload import NetworkWorkload
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, spawn_sequences
 from repro.utils.tables import AsciiTable
 
 __all__ = ["ScalePoint", "ScalingResult", "run_scaling"]
@@ -75,6 +76,64 @@ class ScalingResult:
         return table.render()
 
 
+def _scale_point(
+    rings: int,
+    spokes: int,
+    trips_per_rsu: int,
+    load_factor: float,
+    min_truth: int,
+    seed: np.random.SeedSequence,
+) -> ScalePoint:
+    """One city size through the whole pipeline (a runtime task).
+
+    The estimates are deterministic per substream; the recorded
+    wall-clock readings are measurements, not results, and naturally
+    vary run to run (and under an oversubscribed parallel plan).
+    """
+    workload_seed, hash_seed_seq = spawn_sequences(seed, 2)
+    network = ring_radial_network(rings, spokes)
+    weights = {node: 1.0 for node in network.nodes}
+    trips = gravity_trip_table(
+        network,
+        total_trips=trips_per_rsu * network.num_nodes,
+        gamma=0.5,
+        weights=weights,
+    )
+    workload = NetworkWorkload.build(network, trips, seed=workload_seed)
+    volumes = workload.volumes()
+    scheme = VlmScheme(
+        volumes,
+        s=2,
+        load_factor=load_factor,
+        hash_seed=int(as_generator(hash_seed_seq).integers(2**63)),
+        policy=ZeroFractionPolicy.CLAMP,
+    )
+    start = time.perf_counter()
+    scheme.run_period(workload.passes())
+    encode_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    matrix = scheme.decoder.all_pairs()
+    matrix_seconds = time.perf_counter() - start
+
+    truth = workload.common_volumes()
+    errors = [
+        abs(matrix[pair].value - true) / true
+        for pair, true in truth.items()
+        if true >= min_truth and pair in matrix
+    ]
+    memory_bits = sum(scheme.array_size(rsu) for rsu in scheme.rsu_ids)
+    return ScalePoint(
+        rsus=network.num_nodes,
+        vehicles=workload.plan.trips.total_trips,
+        pairs_measured=len(matrix),
+        encode_seconds=encode_seconds,
+        matrix_seconds=matrix_seconds,
+        total_memory_mib=memory_bits / 8 / 1024 / 1024,
+        median_error=float(np.median(errors)) if errors else float("nan"),
+    )
+
+
 def run_scaling(
     *,
     city_sizes: Sequence[Tuple[int, int]] = ((2, 6), (3, 8), (4, 10)),
@@ -82,54 +141,27 @@ def run_scaling(
     load_factor: float = 8.0,
     min_truth: int = 300,
     seed: SeedLike = 41,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> ScalingResult:
-    """Sweep ring-radial cities of the given ``(rings, spokes)`` sizes."""
-    rng = as_generator(seed)
-    points: List[ScalePoint] = []
-    for rings, spokes in city_sizes:
-        network = ring_radial_network(rings, spokes)
-        weights = {node: 1.0 for node in network.nodes}
-        trips = gravity_trip_table(
-            network,
-            total_trips=trips_per_rsu * network.num_nodes,
-            gamma=0.5,
-            weights=weights,
-        )
-        workload = NetworkWorkload.build(network, trips, seed=rng)
-        volumes = workload.volumes()
-        scheme = VlmScheme(
-            volumes,
-            s=2,
-            load_factor=load_factor,
-            hash_seed=int(rng.integers(2**63)),
-            policy=ZeroFractionPolicy.CLAMP,
-        )
-        start = time.perf_counter()
-        scheme.run_period(workload.passes())
-        encode_seconds = time.perf_counter() - start
+    """Sweep ring-radial cities of the given ``(rings, spokes)`` sizes.
 
-        start = time.perf_counter()
-        matrix = scheme.decoder.all_pairs()
-        matrix_seconds = time.perf_counter() - start
-
-        truth = workload.common_volumes()
-        errors = [
-            abs(matrix[pair].value - true) / true
-            for pair, true in truth.items()
-            if true >= min_truth and pair in matrix
-        ]
-        memory_bits = sum(
-            scheme.array_size(rsu) for rsu in scheme.rsu_ids
-        )
-        points.append(
-            ScalePoint(
-                rsus=network.num_nodes,
-                vehicles=workload.plan.trips.total_trips,
-                pairs_measured=len(matrix),
-                encode_seconds=encode_seconds,
-                matrix_seconds=matrix_seconds,
-                total_memory_mib=memory_bits / 8 / 1024 / 1024,
-                median_error=float(np.median(errors)) if errors else float("nan"),
+    Each city size is an independent runtime task with its own seed
+    substream; accuracy results are bit-identical for any worker
+    count/executor (timing columns are measurements and are not).
+    """
+    points: List[ScalePoint] = run_tasks(
+        [
+            Task(
+                fn=_scale_point,
+                args=(rings, spokes, trips_per_rsu, load_factor, min_truth, sub),
+                label=f"scaling:{rings}x{spokes}",
             )
-        )
+            for (rings, spokes), sub in zip(
+                city_sizes, spawn_sequences(seed, len(city_sizes))
+            )
+        ],
+        workers=workers,
+        executor=executor,
+    )
     return ScalingResult(points=points)

@@ -12,16 +12,17 @@ paper's Table I comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.baseline.scheme import FixedLengthScheme
 from repro.core.sizing import fixed_array_size_for_privacy
-from repro.core.estimator import ZeroFractionPolicy
+from repro.core.estimator import PairEstimate, ZeroFractionPolicy
 from repro.core.scheme import VlmScheme
 from repro.privacy.optimizer import max_load_factor_for_privacy
-from repro.traffic.network_workload import sioux_falls_workload
+from repro.runtime import Task, run_tasks
+from repro.traffic.network_workload import NetworkWorkload, sioux_falls_workload
 from repro.utils.rng import SeedLike
 from repro.utils.tables import AsciiTable
 
@@ -103,6 +104,29 @@ class MatrixResult:
         return "\n".join(lines)
 
 
+def _measure_scheme(
+    kind: str,
+    workload: NetworkWorkload,
+    s: int,
+    load_factor: float,
+    baseline_m: int,
+) -> Dict[PairKey, PairEstimate]:
+    """Run one scheme over the whole day and decode all pairs (a
+    runtime task; the measurement consumes no randomness — hash seed 7
+    is pinned — so the matrix is deterministic by construction)."""
+    if kind == "vlm":
+        scheme = VlmScheme(
+            workload.volumes(), s=s, load_factor=load_factor, hash_seed=7,
+            policy=ZeroFractionPolicy.CLAMP,
+        )
+    else:
+        scheme = FixedLengthScheme(baseline_m, s=s, hash_seed=7)
+    scheme.run_period(workload.passes())
+    # One vectorized all-pairs decode per scheme (bit-identical to
+    # querying pair_estimate per pair, but a single batched pass).
+    return scheme.decoder.estimate_matrix()
+
+
 def run_sioux_falls_matrix(
     *,
     total_trips: int = 360_600,
@@ -110,12 +134,15 @@ def run_sioux_falls_matrix(
     s: int = 2,
     min_privacy: float = 0.5,
     seed: SeedLike = 13,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> MatrixResult:
     """Measure the full Sioux Falls matrix with both schemes.
 
     Pairs whose true common volume is below *min_truth* are excluded
     from error statistics (relative error is not meaningful against a
-    near-zero denominator).
+    near-zero denominator).  The two schemes run as independent
+    runtime tasks — bit-identical for any worker count and executor.
     """
     workload = sioux_falls_workload(total_trips=total_trips, seed=seed)
     volumes = workload.volumes()
@@ -127,19 +154,18 @@ def run_sioux_falls_matrix(
     baseline_m = fixed_array_size_for_privacy(
         volumes.values(), s, min_privacy=min_privacy
     )
-    vlm = VlmScheme(
-        volumes, s=s, load_factor=load_factor, hash_seed=7,
-        policy=ZeroFractionPolicy.CLAMP,
+    vlm_matrix, base_matrix = run_tasks(
+        [
+            Task(
+                fn=_measure_scheme,
+                args=(kind, workload, s, load_factor, baseline_m),
+                label=f"matrix:{kind}",
+            )
+            for kind in ("vlm", "baseline")
+        ],
+        workers=workers,
+        executor=executor,
     )
-    baseline = FixedLengthScheme(baseline_m, s=s, hash_seed=7)
-    passes = workload.passes()
-    vlm.run_period(passes)
-    baseline.run_period(passes)
-
-    # One vectorized all-pairs decode per scheme (bit-identical to
-    # querying pair_estimate per pair, but a single batched pass).
-    vlm_matrix = vlm.decoder.estimate_matrix()
-    base_matrix = baseline.decoder.estimate_matrix()
 
     outcomes: List[PairOutcome] = []
     for (a, b), true_nc in sorted(truth.items()):

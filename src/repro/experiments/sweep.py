@@ -31,9 +31,10 @@ from repro.core.estimator import ZeroFractionPolicy
 from repro.core.scheme import VlmScheme
 from repro.errors import ConfigurationError
 from repro.privacy.optimizer import max_load_factor_for_privacy
+from repro.runtime import Task, run_tasks
 from repro.traffic.population import VehicleFleet
 from repro.traffic.scenarios import FIG45_SWEEP
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, spawn_sequences
 from repro.utils.tables import AsciiTable
 
 __all__ = ["SweepResult", "run_accuracy_sweep", "sweep_parameters"]
@@ -162,6 +163,57 @@ def sweep_parameters(
     return {"load_factor": f_bar, "baseline_m": float(m_fixed)}
 
 
+def _sweep_ratio_series(
+    scheme: str,
+    n_x: int,
+    ratio: int,
+    n_c_array: np.ndarray,
+    s: int,
+    params: Dict[str, float],
+    seed: np.random.SeedSequence,
+) -> SweepSeries:
+    """One ratio's full sweep (a runtime task).
+
+    The ratio's substream splits into one fleet stream plus one
+    hash-seed stream per sweep point, all derived up front.
+    """
+    n_y = n_x * ratio
+    fleet_seed, *point_seeds = spawn_sequences(seed, 1 + int(n_c_array.size))
+    fleet = VehicleFleet.random(n_x + n_y, seed=fleet_seed)
+    estimates: List[float] = []
+    for n_c, point_seed in zip(n_c_array, point_seeds):
+        hash_seed = int(as_generator(point_seed).integers(2**63))
+        ids_x = fleet.ids[:n_x]
+        keys_x = fleet.keys[:n_x]
+        # Common vehicles are the first n_c of the x-population.
+        ids_y = np.concatenate([fleet.ids[:n_c], fleet.ids[n_x : n_x + n_y - n_c]])
+        keys_y = np.concatenate(
+            [fleet.keys[:n_c], fleet.keys[n_x : n_x + n_y - n_c]]
+        )
+        if scheme == "vlm":
+            engine = VlmScheme(
+                {1: n_x, 2: n_y},
+                s=s,
+                load_factor=params["load_factor"],
+                hash_seed=hash_seed,
+                policy=ZeroFractionPolicy.CLAMP,
+            )
+        else:
+            engine = FixedLengthScheme(
+                int(params["baseline_m"]), s=s, hash_seed=hash_seed
+            )
+        report_x = engine.encode_rsu(1, ids_x, keys_x)
+        report_y = engine.encode_rsu(2, ids_y, keys_y)
+        estimates.append(engine.measure(report_x, report_y).value)
+    return SweepSeries(
+        ratio=ratio,
+        n_x=n_x,
+        n_y=n_y,
+        true_n_c=n_c_array.astype(float),
+        estimated_n_c=np.asarray(estimates),
+    )
+
+
 def run_accuracy_sweep(
     scheme: str,
     *,
@@ -171,6 +223,8 @@ def run_accuracy_sweep(
     n_c_values: Optional[Sequence[int]] = None,
     seed: SeedLike = 0,
     min_privacy: float = 0.5,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SweepResult:
     """Run one figure's sweep.
 
@@ -181,6 +235,10 @@ def run_accuracy_sweep(
     n_c_values:
         True common volumes to sweep (default: the paper's 491-point
         grid from :data:`repro.traffic.scenarios.FIG45_SWEEP`).
+    workers, executor:
+        Parallel execution plan (see :mod:`repro.runtime`); each
+        traffic ratio is one task and results are bit-identical for
+        any plan.
     """
     if scheme not in ("vlm", "baseline"):
         raise ConfigurationError(f"scheme must be 'vlm' or 'baseline', got {scheme!r}")
@@ -190,42 +248,19 @@ def run_accuracy_sweep(
     if n_c_array.size == 0 or n_c_array[0] <= 0 or n_c_array[-1] > n_x:
         raise ConfigurationError("n_c values must lie in (0, n_x]")
     params = sweep_parameters(n_x, ratios, s, min_privacy=min_privacy)
-    rng = as_generator(seed)
-
-    series: Dict[int, SweepSeries] = {}
-    for ratio in ratios:
-        n_y = n_x * ratio
-        fleet = VehicleFleet.random(n_x + n_y, seed=rng)
-        estimates: List[float] = []
-        for n_c in n_c_array:
-            hash_seed = int(rng.integers(2**63))
-            ids_x = fleet.ids[:n_x]
-            keys_x = fleet.keys[:n_x]
-            # Common vehicles are the first n_c of the x-population.
-            ids_y = np.concatenate([fleet.ids[:n_c], fleet.ids[n_x : n_x + n_y - n_c]])
-            keys_y = np.concatenate(
-                [fleet.keys[:n_c], fleet.keys[n_x : n_x + n_y - n_c]]
+    all_series = run_tasks(
+        [
+            Task(
+                fn=_sweep_ratio_series,
+                args=(scheme, n_x, ratio, n_c_array, s, params, sub),
+                label=f"{scheme}-sweep:ratio{ratio}",
             )
-            if scheme == "vlm":
-                engine = VlmScheme(
-                    {1: n_x, 2: n_y},
-                    s=s,
-                    load_factor=params["load_factor"],
-                    hash_seed=hash_seed,
-                    policy=ZeroFractionPolicy.CLAMP,
-                )
-            else:
-                engine = FixedLengthScheme(
-                    int(params["baseline_m"]), s=s, hash_seed=hash_seed
-                )
-            report_x = engine.encode_rsu(1, ids_x, keys_x)
-            report_y = engine.encode_rsu(2, ids_y, keys_y)
-            estimates.append(engine.measure(report_x, report_y).value)
-        series[ratio] = SweepSeries(
-            ratio=ratio,
-            n_x=n_x,
-            n_y=n_y,
-            true_n_c=n_c_array.astype(float),
-            estimated_n_c=np.asarray(estimates),
-        )
+            for ratio, sub in zip(ratios, spawn_sequences(seed, len(ratios)))
+        ],
+        workers=workers,
+        executor=executor,
+    )
+    series: Dict[int, SweepSeries] = {
+        entry.ratio: entry for entry in all_series
+    }
     return SweepResult(scheme=scheme, s=s, series=series, parameters=params)

@@ -23,7 +23,7 @@ inspection), which is the fair shape comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.core.sizing import fixed_array_size_for_privacy
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.scheme import VlmScheme
 from repro.privacy.optimizer import max_load_factor_for_privacy
+from repro.runtime import Task, run_tasks
 from repro.traffic.population import VehicleFleet
 from repro.traffic.scenarios import (
     TABLE1_N_Y,
@@ -39,7 +40,7 @@ from repro.traffic.scenarios import (
     TABLE1_RSU_Y,
     Table1Pair,
 )
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, spawn_sequences
 from repro.utils.tables import AsciiTable
 
 __all__ = ["Table1Row", "Table1Result", "run_table1"]
@@ -139,18 +140,25 @@ def _measure_pair(
     load_factor: float,
     baseline_m: int,
     repetitions: int,
-    rng: np.random.Generator,
+    seed: np.random.SeedSequence,
 ) -> Table1Row:
-    """Both schemes on one pair, averaged over repetitions."""
+    """Both schemes on one pair, averaged over repetitions.
+
+    A runtime task: the pair's ``SeedSequence`` substream is split up
+    front into one fleet stream and one hash-seed stream per
+    repetition, so the row is independent of every other pair's
+    execution (and of the executor running it).
+    """
     n_x, n_c = pair.n_x, pair.n_c
-    fleet = VehicleFleet.random(n_x + n_y, seed=rng)
+    fleet_seed, *rep_seeds = spawn_sequences(seed, 1 + repetitions)
+    fleet = VehicleFleet.random(n_x + n_y, seed=fleet_seed)
     ids_x, keys_x = fleet.ids[:n_x], fleet.keys[:n_x]
     ids_y = np.concatenate([fleet.ids[:n_c], fleet.ids[n_x : n_x + n_y - n_c]])
     keys_y = np.concatenate([fleet.keys[:n_c], fleet.keys[n_x : n_x + n_y - n_c]])
     vlm_estimates: List[float] = []
     base_estimates: List[float] = []
-    for _ in range(repetitions):
-        hash_seed = int(rng.integers(2**63))
+    for rep_seed in rep_seeds:
+        hash_seed = int(as_generator(rep_seed).integers(2**63))
         vlm = VlmScheme(
             {pair.rsu_x: n_x, TABLE1_RSU_Y: n_y},
             s=s,
@@ -197,14 +205,17 @@ def run_table1(
     repetitions: int = 5,
     min_privacy: float = 0.5,
     seed: SeedLike = 1,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> Table1Result:
     """Reproduce Table I.
 
     ``f̄`` and the baseline ``m`` are derived from the privacy floor
     exactly as the paper prescribes: the binding volume is the
-    least-traffic RSU among all involved (node 3, 28k/day).
+    least-traffic RSU among all involved (node 3, 28k/day).  Pairs are
+    measured as independent runtime tasks, one substream each — the
+    result is bit-identical for any worker count and executor.
     """
-    rng = as_generator(seed)
     n_min = min(min(p.n_x for p in pairs), TABLE1_N_Y)
     load_factor = max_load_factor_for_privacy(
         min_privacy, s, n_x=n_min, n_y=n_min
@@ -213,12 +224,26 @@ def run_table1(
     baseline_m = fixed_array_size_for_privacy(
         volumes, s, min_privacy=min_privacy
     )
-    rows = [
-        _measure_pair(
-            pair, TABLE1_N_Y, s, load_factor, baseline_m, repetitions, rng
-        )
-        for pair in pairs
-    ]
+    rows = run_tasks(
+        [
+            Task(
+                fn=_measure_pair,
+                args=(
+                    pair,
+                    TABLE1_N_Y,
+                    s,
+                    load_factor,
+                    baseline_m,
+                    repetitions,
+                    sub,
+                ),
+                label=f"table1:rsu{pair.rsu_x}",
+            )
+            for pair, sub in zip(pairs, spawn_sequences(seed, len(pairs)))
+        ],
+        workers=workers,
+        executor=executor,
+    )
     return Table1Result(
         rows=rows,
         n_y=TABLE1_N_Y,

@@ -39,6 +39,7 @@ from repro.service.runtime import (
     DEFAULT_GATEWAY_PORT,
     DeploymentSpec,
 )
+from repro.utils.rng import as_generator
 from repro.utils.tables import AsciiTable
 from repro.vcps.ids import random_macs
 
@@ -224,7 +225,7 @@ def _day_batches(
     Seqs are assigned deterministically so a re-run of the same spec
     produces the same frames — the dedup identity a resend relies on.
     """
-    mac_rng = np.random.default_rng(spec.seed)
+    mac_rng = as_generator(spec.seed)
     batches: List[wire.ResponseBatch] = []
     seq = 1
     for rsu_id in spec.scheme.rsu_ids:

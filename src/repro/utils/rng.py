@@ -13,7 +13,14 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-__all__ = ["SeedLike", "as_generator", "spawn_generators", "RngFactory"]
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "as_seed_sequence",
+    "spawn_sequences",
+    "spawn_generators",
+    "RngFactory",
+]
 
 # Anything accepted as a source of randomness by the public API.
 SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
@@ -34,23 +41,51 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
-    """Derive *count* statistically independent generators from *seed*.
+def as_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Return a :class:`numpy.random.SeedSequence` for *seed*.
 
-    Uses :class:`numpy.random.SeedSequence` spawning, the recommended
-    mechanism for parallel-stream independence.
+    ``None`` yields fresh OS entropy; an ``int`` is the sequence's
+    entropy; a ``SeedSequence`` is returned unchanged.  A
+    :class:`~numpy.random.Generator` *consumes one 63-bit draw* to seed
+    the sequence — callers threading a generator through a pipeline
+    should be aware the generator state advances.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return np.random.SeedSequence(seed)
+
+
+def spawn_sequences(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
+    """Derive *count* independent child seed sequences from *seed*.
+
+    This is the substream contract of the parallel runtime
+    (:mod:`repro.runtime`): every per-repetition substream is derived
+    *up front* from the root seed, so results do not depend on the
+    order — or the process — in which repetitions execute.  Children
+    are cheap, picklable, and safe to ship to worker processes.
+
+    ``as_generator(child)`` over the children reproduces exactly what
+    :func:`spawn_generators` returns for every ``SeedLike`` type (for
+    generators: the same one-seed-per-child draws, in order).
     """
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")
     if isinstance(seed, np.random.Generator):
         # Derive children from the generator itself: draw child seeds.
         seeds = seed.integers(0, 2**63 - 1, size=count)
-        return [np.random.default_rng(int(s)) for s in seeds]
-    if isinstance(seed, np.random.SeedSequence):
-        sequence = seed
-    else:
-        sequence = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+        return [np.random.SeedSequence(int(s)) for s in seeds]
+    return as_seed_sequence(seed).spawn(count)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive *count* statistically independent generators from *seed*.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, the recommended
+    mechanism for parallel-stream independence.
+    """
+    return [np.random.default_rng(child) for child in spawn_sequences(seed, count)]
 
 
 class RngFactory:

@@ -1,0 +1,92 @@
+"""Bit-identity of experiment batteries across execution plans.
+
+The runtime's contract — results are bit-identical for every worker
+count and executor — checked on real batteries: the Monte-Carlo
+accuracy simulation, Table I, and the Sioux Falls matrix.  Serial at
+one worker is the reference; every other plan must reproduce it
+exactly (``to_jsonable`` canonical form compares every float bit).
+
+Process-pool plans are exercised once per battery (pool spin-up
+dominates tiny workloads); thread plans cover the worker-count sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.accuracy.montecarlo import simulate_accuracy
+from repro.experiments.sioux_falls_matrix import run_sioux_falls_matrix
+from repro.experiments.table1 import run_table1
+from repro.traffic.scenarios import Table1Pair
+from repro.utils.serialization import to_jsonable
+
+PLANS = [(1, "serial"), (2, "thread"), (5, "thread"), (2, "process")]
+
+
+def canon(result) -> str:
+    return json.dumps(to_jsonable(result), sort_keys=True, default=str)
+
+
+def plans_agree(fn) -> None:
+    reference = canon(fn(*PLANS[0]))
+    for workers, executor in PLANS[1:]:
+        assert canon(fn(workers, executor)) == reference, (
+            f"({workers}, {executor}) diverged from serial"
+        )
+
+
+def test_montecarlo_battery():
+    plans_agree(
+        lambda w, e: simulate_accuracy(
+            3_000, 9_000, 800, 8_192, 32_768, 2,
+            repetitions=6, seed=17, workers=w, executor=e,
+        )
+    )
+
+
+def test_table1_battery():
+    pairs = (
+        Table1Pair(rsu_x=1, n_x=2_000, n_c=500),
+        Table1Pair(rsu_x=3, n_x=1_500, n_c=300),
+    )
+    plans_agree(
+        lambda w, e: run_table1(
+            pairs=pairs, repetitions=3, seed=3, workers=w, executor=e
+        )
+    )
+
+
+def test_sioux_falls_matrix():
+    plans_agree(
+        lambda w, e: run_sioux_falls_matrix(
+            total_trips=20_000, min_truth=30, seed=13, workers=w, executor=e
+        )
+    )
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_nested_battery_runs_serial_inside_worker(executor):
+    """An experiment that parallelizes internally, dispatched as a task
+    itself, must both complete (no nested pools) and keep producing the
+    serial reference result."""
+    from repro.runtime import run_tasks, task
+
+    reference = canon(
+        simulate_accuracy(
+            2_000, 4_000, 500, 4_096, 8_192, 2, repetitions=4, seed=29
+        )
+    )
+    inner_a, inner_b = run_tasks(
+        [
+            task(
+                simulate_accuracy,
+                2_000, 4_000, 500, 4_096, 8_192, 2,
+                repetitions=4, seed=29, workers=4, executor="process",
+            )
+            for _ in range(2)
+        ],
+        workers=2,
+        executor=executor,
+    )
+    assert canon(inner_a) == reference
+    assert canon(inner_b) == reference

@@ -1,0 +1,178 @@
+"""The deterministic parallel runtime: ordering, plans, guards, metrics.
+
+The parallel-vs-serial bit-identity of real experiment batteries is
+covered by ``test_parallel_determinism.py``; this module tests the
+runtime machinery itself.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, metric_rows
+from repro.runtime import (
+    EXECUTOR_ENV,
+    EXECUTORS,
+    WORKERS_ENV,
+    Task,
+    default_executor,
+    default_workers,
+    in_worker,
+    resolve_plan,
+    run_tasks,
+    task,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on(x, bad):
+    if x == bad:
+        raise ValueError(f"boom at {x}")
+    return x
+
+
+def _nested_plan(_):
+    """Report the plan a nested run_tasks call would resolve to."""
+    return in_worker(), resolve_plan(workers=4, executor="process")
+
+
+class TestRunTasks:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_results_in_submission_order(self, workers, executor):
+        tasks = [task(_square, x) for x in range(11)]
+        assert run_tasks(tasks, workers=workers, executor=executor) == [
+            x * x for x in range(11)
+        ]
+
+    def test_empty_batch(self):
+        assert run_tasks([]) == []
+
+    def test_workers_clamped_to_batch_size(self):
+        # 100 workers on 2 tasks must not blow up pool creation.
+        assert run_tasks(
+            [task(_square, 3), task(_square, 4)], workers=100, executor="thread"
+        ) == [9, 16]
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_lowest_indexed_failure_raised(self, executor):
+        tasks = [Task(fn=_fail_on, args=(x, 2), label=f"t{x}") for x in range(5)]
+        tasks.append(Task(fn=_fail_on, args=(9, 9), label="t9"))
+        with pytest.raises(ValueError, match="boom at 2"):
+            run_tasks(tasks, workers=3, executor=executor)
+
+    def test_failure_chain_names_task(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_tasks(
+                [Task(fn=_fail_on, args=(1, 1), label="doomed"),
+                 task(_square, 2)],
+                workers=2,
+                executor="thread",
+            )
+        assert "task #0 (doomed)" in str(excinfo.value.__cause__)
+
+    def test_rejects_bare_callables(self):
+        with pytest.raises(ConfigurationError, match="expects Task"):
+            run_tasks([lambda: 1])
+
+    def test_task_helper_packs_args(self):
+        t = task(_fail_on, 3, bad=7)
+        assert t.run() == 3
+
+
+class TestPlanResolution:
+    def test_defaults_are_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        assert default_workers() == 1
+        assert default_executor() is None
+        assert resolve_plan() == (1, "serial")
+
+    def test_multiworker_defaults_to_process(self):
+        assert resolve_plan(workers=4) == (4, "process")
+
+    def test_serial_executor_forces_one_worker(self):
+        assert resolve_plan(workers=8, executor="serial") == (1, "serial")
+
+    def test_env_workers_and_executor(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "6")
+        monkeypatch.setenv(EXECUTOR_ENV, "thread")
+        assert resolve_plan() == (6, "thread")
+        # Explicit arguments beat the environment.
+        assert resolve_plan(workers=2, executor="process") == (2, "process")
+
+    def test_bad_env_values(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError, match="integer"):
+            default_workers()
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            default_workers()
+        monkeypatch.setenv(EXECUTOR_ENV, "gpu")
+        with pytest.raises(ConfigurationError, match="one of"):
+            default_executor()
+
+    def test_bad_arguments(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            resolve_plan(workers=0)
+        with pytest.raises(ConfigurationError, match="one of"):
+            resolve_plan(workers=2, executor="fiber")
+
+
+class TestNestedGuard:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_nested_run_degrades_to_serial(self, executor):
+        # Two outer tasks so the outer batch genuinely uses the pool.
+        outcomes = run_tasks(
+            [task(_nested_plan, 0), task(_nested_plan, 1)],
+            workers=2,
+            executor=executor,
+        )
+        for inside, plan in outcomes:
+            assert inside is True
+            assert plan == (1, "serial")
+
+    def test_main_process_is_not_a_worker(self):
+        assert in_worker() is False
+        assert os.environ.get("REPRO_RUNTIME_IN_WORKER") is None
+
+
+class TestMetrics:
+    def test_batch_metrics_recorded(self):
+        registry = MetricsRegistry()
+        run_tasks(
+            [task(_square, x) for x in range(4)],
+            workers=2,
+            executor="thread",
+            registry=registry,
+        )
+        rows = {
+            (row["name"], tuple(sorted(row["labels"].items()))): row
+            for row in metric_rows(registry)
+        }
+        submitted = rows[
+            ("runtime.tasks_submitted_total", (("executor", "thread"),))
+        ]
+        completed = rows[
+            ("runtime.tasks_completed_total", (("executor", "thread"),))
+        ]
+        assert submitted["value"] == 4
+        assert completed["value"] == 4
+        assert rows[("runtime.workers", ())]["value"] == 2
+        batch = rows[("runtime.batch_seconds", (("executor", "thread"),))]
+        assert batch["count"] == 1
+
+    def test_failed_counter(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            run_tasks(
+                [task(_fail_on, 1, 1)],
+                executor="serial",
+                registry=registry,
+            )
+        rows = {row["name"]: row for row in metric_rows(registry)}
+        assert rows["runtime.tasks_failed_total"]["value"] == 1
