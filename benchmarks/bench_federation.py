@@ -1,0 +1,108 @@
+"""Federation ingest bench: sharded throughput and bit-identity.
+
+Streams the same synthetic day twice — once through a single
+shard+collector pair, once split across ``SHARDS`` independent shard
+processes — and writes the throughput table to
+``results/federation.txt``.  Every run re-derives each RSU's traffic
+from ``seed + rsu_id``, so the federated partials' merged
+``(counter, popcount)`` per RSU must equal the single-shard baseline
+exactly, no matter how the fleet is sliced.
+
+Run: ``pytest benchmarks/bench_federation.py``
+Artifact: ``results/federation.txt``
+
+The ``>= 2x with 4 shard processes`` gate only fires on machines with
+at least 8 CPUs (and not in ``REPRO_BENCH_SMOKE=1`` mode) — on an
+oversubscribed box the shard processes time-slice one core and the
+ratio measures the scheduler, not the federation.
+"""
+
+import os
+import time
+
+from conftest import publish
+from repro.federation.runtime import run_shard_slice
+from repro.runtime import run_tasks, task
+
+SHARDS = 4
+RSUS_PER_SHARD = 8
+ARRAY_BITS = 1 << 17
+SEED = 1234
+
+
+def _merge_checks(results):
+    checks = {}
+    for result in results:
+        checks.update(result["checks"])
+    return checks
+
+
+def test_federated_ingest_throughput():
+    """1 Mi responses through 4 shard processes vs one shard.
+
+    Always checks per-RSU (counter, popcount) bit-identity between the
+    federated and single-shard runs; asserts the >= 2x throughput gate
+    only where 8 real cores exist.
+    """
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    cpus = os.cpu_count() or 1
+    per_rsu = 512 if smoke else 32_768
+    fleet = SHARDS * RSUS_PER_SHARD
+    total = fleet * per_rsu  # 1,048,576 responses in the full run
+
+    start = time.perf_counter()
+    baseline = run_shard_slice(
+        0, fleet, per_rsu, ARRAY_BITS, seed=SEED
+    )
+    baseline_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    federated = run_tasks(
+        [
+            task(
+                run_shard_slice,
+                shard_id,
+                RSUS_PER_SHARD,
+                per_rsu,
+                ARRAY_BITS,
+                seed=SEED,
+            )
+            for shard_id in range(SHARDS)
+        ],
+        workers=SHARDS,
+        executor="process",
+    )
+    federated_wall = time.perf_counter() - start
+
+    assert baseline["responses"] == total
+    assert sum(r["responses"] for r in federated) == total
+    merged = _merge_checks(federated)
+    assert merged == baseline["checks"], (
+        "federated per-RSU (counter, popcount) diverged from the "
+        "single-shard baseline"
+    )
+
+    base_rate = total / baseline_wall
+    fed_rate = total / federated_wall
+    speedup = federated_wall and baseline_wall / federated_wall
+    lines = [
+        f"Federated ingest ({cpus} CPUs visible"
+        + (", SMOKE" if smoke else "")
+        + f"): {total:,} responses, {fleet} RSUs, "
+        f"{ARRAY_BITS:,}-bit arrays",
+        "",
+        f"{'topology':<22}{'wall':>9}{'responses/s':>14}",
+        f"{'1 shard (serial)':<22}{baseline_wall:>8.2f}s{base_rate:>14,.0f}",
+        f"{f'{SHARDS} shards (process)':<22}"
+        f"{federated_wall:>8.2f}s{fed_rate:>14,.0f}",
+        "",
+        f"speedup: {speedup:.2f}x",
+        "per-RSU (counter, popcount) bit-identical to baseline: yes",
+    ]
+    publish("federation", "\n".join(lines))
+
+    if not smoke and cpus >= 8:
+        assert speedup >= 2.0, (
+            f"federated ingest only {speedup:.2f}x with {SHARDS} "
+            "shard processes"
+        )

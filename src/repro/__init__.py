@@ -45,7 +45,7 @@ from repro.privacy import empirical_privacy, optimal_load_factor, preserved_priv
 from repro.traffic import PairPopulation, VehicleFleet, make_pair_population
 from repro.errors import ReproError
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

@@ -11,9 +11,20 @@ Usage::
     python -m repro.cli all         # everything
 
     python -m repro.cli serve       # live gateway + collector
+    python -m repro.cli serve --shards 3 --wal collector.wal
+                                    # federated: 3 shards + journaled
+                                    # OR-merge collector
     python -m repro.cli loadgen     # replay a Sioux Falls day at them
+    python -m repro.cli loadgen --shards 3 --rebalance 2
+                                    # sharded replay with mid-period
+                                    # handoffs
     python -m repro.cli chaos       # fault-injection proxy in front
+    python -m repro.cli chaos --profile shard-kill
+                                    # kill a shard + the collector,
+                                    # prove WAL replay is bit-identical
+    python -m repro.cli federation status --metrics-port 9100
     python -m repro.cli metrics summarize run.jsonl  # inspect a dump
+    python -m repro.cli metrics summarize s0.jsonl s1.jsonl  # aggregate
 
 ``serve --metrics-port N`` exposes live metrics as Prometheus text;
 ``loadgen --metrics-out PATH`` dumps a finished run's metrics as JSON
@@ -303,6 +314,15 @@ def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
         help="central collector TCP port (default %(default)s)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the federated plane with N gateway shards (shard i "
+        "binds --gateway-port + i; 0 = single unsharded gateway, "
+        "default %(default)s)",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="enable library debug logging on stderr",
@@ -392,6 +412,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="also expose gateway/collector metrics as Prometheus "
         "text on this port (GET /metrics)",
     )
+    serve.add_argument(
+        "--wal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="with --shards: journal every shard partial to this "
+        "write-ahead log before merging, so a killed collector "
+        "replays to bit-identical state",
+    )
+    serve.add_argument(
+        "--retention",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep snapshot dedup keys for only the N most recent "
+        "periods (default: keep everything)",
+    )
     loadgen = subparsers.add_parser(
         "loadgen",
         help="replay a Sioux Falls day against a running `repro serve`",
@@ -423,12 +460,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics (loadgen, retry, wire, core) as "
         "JSON lines; inspect with `repro metrics summarize PATH`",
     )
+    loadgen.add_argument(
+        "--rebalance",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --shards: hand N RSUs to their neighbour shard "
+        "mid-period, splitting their responses across two shards "
+        "(the collector's OR-merge must still be bit-identical)",
+    )
     metrics = subparsers.add_parser(
         "metrics",
         help="inspect metrics dumps written by `loadgen --metrics-out`",
         description=(
-            "Offline metrics tooling.  `summarize` renders a JSON-lines "
-            "metrics dump as a human-readable table."
+            "Offline metrics tooling.  `summarize` renders one or more "
+            "JSON-lines metrics dumps as a human-readable table; with "
+            "several inputs, label-compatible series are aggregated "
+            "(counters/gauges sum, histograms merge per bucket)."
         ),
     )
     metrics.add_argument(
@@ -437,9 +485,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="what to do with the dump",
     )
     metrics.add_argument(
-        "path", type=Path, help="JSON-lines file written by --metrics-out"
+        "paths",
+        type=Path,
+        nargs="+",
+        metavar="path",
+        help="JSON-lines file(s) written by --metrics-out; several "
+        "files (e.g. one per shard) are aggregated",
     )
     metrics.add_argument(
+        "--verbose",
+        action="store_true",
+        help="enable library debug logging on stderr",
+    )
+    federation = subparsers.add_parser(
+        "federation",
+        help="inspect a running federated deployment",
+        description=(
+            "Federation tooling.  `status` scrapes the metrics "
+            "endpoint of a `repro serve --shards N --metrics-port P` "
+            "process and tabulates the federation/collector/gateway "
+            "series (WAL depth, merges per shard, handoffs, ...)."
+        ),
+    )
+    federation.add_argument(
+        "action",
+        choices=["status"],
+        help="what to inspect",
+    )
+    federation.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve process address (default %(default)s)",
+    )
+    federation.add_argument(
+        "--metrics-port",
+        type=int,
+        required=True,
+        metavar="PORT",
+        help="the serve process's --metrics-port",
+    )
+    federation.add_argument(
         "--verbose",
         action="store_true",
         help="enable library debug logging on stderr",
@@ -480,7 +565,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         default="lossy",
         help="named fault profile: clean, lossy, flaky, slow "
-        "(default %(default)s); individual flags below override it",
+        "(default %(default)s); individual flags below override it.  "
+        "The special profile `shard-kill` instead runs the federation "
+        "crash scenario in process: kill a shard mid-period, restart "
+        "and resend, kill the collector, replay its write-ahead log, "
+        "and exit 0 only if both the live and the recovered matrix "
+        "equal the unsharded golden run bit for bit",
+    )
+    chaos.add_argument(
+        "--trips",
+        type=int,
+        default=1_500,
+        help="(shard-kill) Sioux Falls trips per day "
+        "(default %(default)s)",
+    )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        metavar="N",
+        help="(shard-kill) gateway shards (default %(default)s)",
+    )
+    chaos.add_argument(
+        "--kill-shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help="(shard-kill) which shard to kill "
+        "(default: the highest id)",
+    )
+    chaos.add_argument(
+        "--wal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="(shard-kill) write-ahead log location "
+        "(default: a temporary file)",
+    )
+    chaos.add_argument(
+        "--matrix-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="(shard-kill) write the WAL-recovered period matrix as "
+        "canonical JSON",
+    )
+    chaos.add_argument(
+        "--golden-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="(shard-kill) write the unsharded golden matrix as "
+        "canonical JSON (diffable against --matrix-out)",
     )
     chaos.add_argument(
         "--seed", type=int, default=None, help="fault decision seed"
@@ -548,6 +684,19 @@ def _deployment_spec(args: argparse.Namespace):
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    if args.shards > 0:
+        from repro.federation.runtime import run_federated_serve
+
+        return run_federated_serve(
+            _deployment_spec(args),
+            shards=args.shards,
+            host=args.host,
+            gateway_port=args.gateway_port,
+            collector_port=args.collector_port,
+            metrics_port=args.metrics_port,
+            wal_path=args.wal,
+            retention_periods=args.retention,
+        )
     from repro.service.runtime import run_serve
 
     return run_serve(
@@ -566,17 +715,39 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     from repro.service.loadgen import run_loadgen
 
     registry = MetricsRegistry()
-    result = asyncio.run(
-        run_loadgen(
-            _deployment_spec(args),
-            host=args.host,
-            gateway_port=args.gateway_port,
-            collector_port=args.collector_port,
-            wire_batch=args.wire_batch,
-            max_queries=args.max_queries,
-            registry=registry,
+    if args.shards > 0:
+        from repro.federation.runtime import (
+            run_federated_loadgen,
+            shard_port_plan,
         )
-    )
+
+        result = asyncio.run(
+            run_federated_loadgen(
+                _deployment_spec(args),
+                shards=args.shards,
+                host=args.host,
+                shard_ports=shard_port_plan(
+                    args.gateway_port, args.shards, args.collector_port
+                ),
+                collector_port=args.collector_port,
+                wire_batch=args.wire_batch,
+                rebalance=args.rebalance,
+                max_queries=args.max_queries,
+                registry=registry,
+            )
+        )
+    else:
+        result = asyncio.run(
+            run_loadgen(
+                _deployment_spec(args),
+                host=args.host,
+                gateway_port=args.gateway_port,
+                collector_port=args.collector_port,
+                wire_batch=args.wire_batch,
+                max_queries=args.max_queries,
+                registry=registry,
+            )
+        )
     print(result.render())
     if args.metrics_out is not None:
         # One dump covers the run's own registry plus the process
@@ -589,15 +760,46 @@ def _run_loadgen(args: argparse.Namespace) -> int:
 
 
 def _run_metrics(args: argparse.Namespace) -> int:
-    from repro.obs import read_jsonl, render_summary
+    from repro.obs import aggregate_rows, read_jsonl, render_summary
 
-    with open(args.path, "r", encoding="utf-8") as fh:
-        rows = read_jsonl(fh)
-    print(render_summary(rows, title=f"metrics: {args.path.name}"))
+    rows = []
+    for path in args.paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            rows.extend(read_jsonl(fh))
+    names = ", ".join(path.name for path in args.paths)
+    if len(args.paths) > 1:
+        rows = aggregate_rows(rows)
+        title = f"metrics (aggregated over {len(args.paths)} dumps): {names}"
+    else:
+        title = f"metrics: {names}"
+    print(render_summary(rows, title=title))
     return 0
 
 
+def _run_federation(args: argparse.Namespace) -> int:
+    from repro.federation.status import run_federation_status
+
+    return run_federation_status(
+        host=args.host, metrics_port=args.metrics_port
+    )
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
+    if args.profile == "shard-kill":
+        from repro.federation.chaos import run_shard_kill
+        from repro.service.runtime import DeploymentSpec
+
+        return run_shard_kill(
+            DeploymentSpec(
+                total_trips=args.trips,
+                seed=args.seed if args.seed is not None else 13,
+            ),
+            shards=args.shards,
+            wal_path=args.wal,
+            kill_shard=args.kill_shard,
+            matrix_out=args.matrix_out,
+            golden_out=args.golden_out,
+        )
     from repro.service.faults import profile_from_args, run_chaos
 
     profile = profile_from_args(
@@ -648,6 +850,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_loadgen(args)
     if args.experiment == "metrics":
         return _run_metrics(args)
+    if args.experiment == "federation":
+        return _run_federation(args)
     if args.experiment == "chaos":
         return _run_chaos(args)
     if args.experiment == "all":

@@ -278,6 +278,51 @@ class BitArray:
             self._backend,
         )
 
+    def __ior__(self, other: "BitArray") -> "BitArray":
+        """In-place OR-merge of an equal-length array (CRDT join).
+
+        Mutates this array's storage directly — the federated
+        collector's merge path, which absorbs shard partials without
+        allocating per merge.  A mixed-backend right operand is
+        converted first.
+        """
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        if other._size != self._size:
+            raise ConfigurationError(
+                "cannot OR bit arrays of different sizes "
+                f"({self._size} vs {other._size}); unfold the smaller one first"
+            )
+        self._backend.or_inplace(
+            self._storage, other._storage_as(self._backend)
+        )
+        return self
+
+    def or_bytes(self, data: bytes) -> None:
+        """OR a serialized equal-length array (:meth:`to_bytes` form)
+        into this one, in place.
+
+        The zero-copy wire-merge path: under the packed backend a
+        word-aligned payload is viewed as words and ORed directly,
+        never unpacking to bools.  *data* is validated exactly like
+        :meth:`from_bytes` (byte length, zero padding), so untrusted
+        snapshot payloads cannot corrupt the padding invariant.
+        """
+        expected = (self._size + 7) // 8
+        if len(data) != expected:
+            raise ValidationError(
+                f"bit array of size {self._size} needs exactly {expected} "
+                f"bytes, got {len(data)}"
+            )
+        tail_bits = self._size % 8
+        if tail_bits and data[-1] & ((1 << (8 - tail_bits)) - 1):
+            raise ValidationError(
+                f"nonzero padding bits in the final byte of a size-"
+                f"{self._size} bit array (last byte 0x{data[-1]:02x}); "
+                "the sender disagrees about the array length"
+            )
+        self._backend.or_bytes(self._storage, self._size, data)
+
     def __and__(self, other: "BitArray") -> "BitArray":
         """Bitwise AND of two equal-length arrays."""
         if not isinstance(other, BitArray):

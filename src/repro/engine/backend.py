@@ -120,6 +120,29 @@ class BitBackend(abc.ABC):
     def or_(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise OR of two equal-size storages (new storage)."""
 
+    def or_inplace(self, storage: np.ndarray, other: np.ndarray) -> None:
+        """OR *other* into *storage* in place (equal-size storages).
+
+        The CRDT merge primitive of the federated collector: a shard's
+        partial snapshot is absorbed without allocating a third array.
+        ``np.bitwise_or`` acts as logical OR on bool storage and as
+        word-wise OR on packed words, so one default serves both
+        backends; the padding invariant is preserved because *other*
+        already honours it.
+        """
+        np.bitwise_or(storage, other, out=storage)
+
+    def or_bytes(self, storage: np.ndarray, size: int, data: bytes) -> None:
+        """OR a serialized bit array (``to_bytes`` form) into *storage*.
+
+        The wire-to-merge fast path: backends may override to consume
+        the bytes directly (the packed backend ORs the payload's word
+        view without materializing a bool vector).  The caller has
+        already validated the byte length and zero padding, exactly as
+        for :meth:`from_bytes`.
+        """
+        self.or_inplace(storage, self.from_bytes(data, size))
+
     @abc.abstractmethod
     def and_(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise AND of two equal-size storages (new storage)."""

@@ -168,6 +168,23 @@ class PackedWordBackend(BitBackend):
         """Word-wise OR (padding stays zero)."""
         return a | b
 
+    def or_bytes(self, storage: np.ndarray, size: int, data: bytes) -> None:
+        """OR serialized snapshot bytes straight into the words.
+
+        When the payload is word-aligned (every power-of-two size from
+        64 bits up), the incoming buffer is *viewed* as big-endian
+        words in place — no bool materialization, no zero-padding copy
+        — and merged with one vectorized OR.  Shorter payloads fall
+        back to the padded :meth:`from_bytes` path.
+        """
+        buf = np.frombuffer(data, dtype=np.uint8)
+        if buf.size == storage.size * 8:
+            np.bitwise_or(
+                storage, buf.view(_BE_U64).astype(np.uint64), out=storage
+            )
+            return
+        self.or_inplace(storage, self._from_packed_bytes(buf, size))
+
     def and_(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Word-wise AND (padding stays zero)."""
         return a & b

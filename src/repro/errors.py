@@ -17,6 +17,7 @@ __all__ = [
     "ProtocolError",
     "AuthenticationError",
     "WireError",
+    "WalError",
     "RetryExhaustedError",
     "NetworkDataError",
     "CalibrationError",
@@ -71,6 +72,15 @@ class WireError(ProtocolError):
     version, truncated payload, or a field outside its allowed range.
     Raised by :mod:`repro.service.wire` so gateways and collectors can
     reject bad input without dropping the connection state."""
+
+
+class WalError(ReproError):
+    """The write-ahead snapshot log is corrupt: a record in the middle
+    of the log failed its CRC or declares an impossible length.  A
+    *torn tail* (a record truncated by a crash mid-write) is not an
+    error — replay stops there — but corruption before the tail means
+    the log cannot be trusted to rebuild collector state.  Raised by
+    :mod:`repro.federation.wal`."""
 
 
 class RetryExhaustedError(ReproError):

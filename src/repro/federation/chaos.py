@@ -1,0 +1,294 @@
+"""The ``shard-kill`` chaos profile: crash, resend, replay, compare.
+
+The scenario the federation exists to survive, run end to end inside
+one process:
+
+1. start a federation (N shards, one journaled collector);
+2. stream the deterministic day, but kill the victim shard after it
+   has ingested only half of its batches — its un-uploaded bit arrays
+   and batch-dedup window are gone;
+3. restart the shard with fresh zeroed RSUs and resend **all** of its
+   batches (the sender cannot know which ones died in the queue;
+   resending everything is safe because the revived arrays are empty);
+4. close the period on every shard, so the collector OR-merges the
+   partials and journals each one;
+5. discard the collector and rebuild a fresh one purely from the
+   write-ahead log;
+6. compare three period matrices — live collector, WAL-recovered
+   collector, and the unsharded in-process golden run — for **exact**
+   equality, every float digit for digit.
+
+``repro chaos --profile shard-kill`` runs this and exits non-zero on
+any mismatch; ``--matrix-out`` / ``--golden-out`` dump the recovered
+and golden matrices as canonical JSON so CI can ``diff`` the files.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.estimator import PairEstimate
+from repro.federation.collector import FederatedCollector
+from repro.federation.runtime import (
+    ShardClient,
+    plan_shard_batches,
+    start_federation,
+)
+from repro.service.runtime import DeploymentSpec
+from repro.utils.logconfig import get_logger
+
+__all__ = ["ShardKillReport", "shard_kill_scenario", "run_shard_kill"]
+
+logger = get_logger("federation.chaos")
+
+
+def matrix_json(
+    matrix: Dict[Tuple[int, int], PairEstimate],
+) -> Dict[str, Dict[str, object]]:
+    """A period matrix as a canonical JSON-ready mapping.
+
+    Keys are ``"x->y"``; values are the full
+    :class:`~repro.core.estimator.PairEstimate` field dicts.  Dumped
+    with ``sort_keys=True`` this is byte-stable, so two bit-identical
+    matrices produce byte-identical files CI can ``cmp``.
+    """
+    return {
+        f"{x}->{y}": dataclasses.asdict(estimate)
+        for (x, y), estimate in sorted(matrix.items())
+    }
+
+
+@dataclass
+class ShardKillReport:
+    """Everything the shard-kill scenario measured and proved."""
+
+    shards: int
+    victim: int
+    responses_sent: int
+    responses_resent: int
+    snapshots_acked: int
+    wal_records: int
+    wal_replayed: int
+    pairs_compared: int
+    counters_compared: int
+    live_identical: bool
+    recovered_identical: bool
+    elapsed_seconds: float
+    recovered_matrix: Dict[str, Dict[str, object]]
+    golden_matrix: Dict[str, Dict[str, object]]
+
+    @property
+    def passed(self) -> bool:
+        """True iff both the live and the recovered matrix are exact."""
+        return self.live_identical and self.recovered_identical
+
+    def render(self) -> str:
+        """Human-readable verdict for the CLI."""
+        lines = [
+            f"shards               : {self.shards} "
+            f"(victim: shard {self.victim})",
+            f"responses sent       : {self.responses_sent:,} "
+            f"({self.responses_resent:,} resent after the kill)",
+            f"snapshots acked      : {self.snapshots_acked}",
+            f"wal records          : {self.wal_records} appended, "
+            f"{self.wal_replayed} replayed",
+            f"matrix pairs         : {self.pairs_compared} "
+            f"({self.counters_compared} point counters)",
+            "live vs golden       : "
+            + ("bit-identical" if self.live_identical else "MISMATCH"),
+            "recovered vs golden  : "
+            + (
+                "bit-identical"
+                if self.recovered_identical
+                else "MISMATCH"
+            ),
+            f"elapsed              : {self.elapsed_seconds:.2f}s",
+            "verdict              : "
+            + ("PASS" if self.passed else "FAIL"),
+        ]
+        return "\n".join(lines)
+
+
+async def shard_kill_scenario(
+    spec: DeploymentSpec,
+    *,
+    shards: int = 3,
+    wal_path: Union[str, Path],
+    kill_shard: Optional[int] = None,
+    wire_batch: int = 4096,
+    window: int = 32,
+    period: int = 0,
+) -> ShardKillReport:
+    """Run the kill/restart/replay scenario; see the module docstring.
+
+    *kill_shard* defaults to the highest shard id.  The WAL at
+    *wal_path* must not already exist (a stale journal would replay
+    foreign state into the comparison).
+    """
+    wal_path = Path(wal_path)
+    start = time.perf_counter()
+    victim = shards - 1 if kill_shard is None else int(kill_shard)
+    plane = await start_federation(
+        spec, shards=shards, wal_path=wal_path
+    )
+    router = plane.router
+    phase1, _moves = plan_shard_batches(
+        spec, router, wire_batch=wire_batch
+    )
+    victim_batches = phase1[victim]
+    resent = 0
+    try:
+        # Survivors stream their whole day; the victim gets only half
+        # before the crash.
+        clients = {
+            shard: ShardClient(plane.host, gateway.port)
+            for shard, gateway in plane.shards.items()
+        }
+        sent = 0
+
+        async def stream_full(shard: int) -> int:
+            return await clients[shard].send_batches(
+                phase1[shard], window=window
+            )
+
+        half = victim_batches[: max(1, len(victim_batches) // 2)]
+        results = await asyncio.gather(
+            *(stream_full(s) for s in range(shards) if s != victim),
+            clients[victim].send_batches(half, window=window),
+        )
+        sent += sum(results)
+        await clients[victim].close()
+
+        # Crash and resurrect the victim; its arrays come back zeroed,
+        # so the sender must replay the shard's entire day.  Batches
+        # it had already ingested are simply re-recorded into empty
+        # arrays — not duplicates, the state they fed is gone.
+        await plane.kill_shard(victim)
+        revived = await plane.restart_shard(victim)
+        clients[victim] = ShardClient(plane.host, revived.port)
+        resent = await clients[victim].send_batches(
+            victim_batches, window=window
+        )
+
+        # Period close: every shard uploads ShardSnapshot partials;
+        # the collector journals then merges each one.
+        snapshots = 0
+        for shard in range(shards):
+            snapshots += await clients[shard].end_period(
+                period, timeout=120.0
+            )
+        for client in clients.values():
+            await client.close()
+
+        live_matrix = plane.collector.server.decoder.estimate_matrix(
+            period
+        )
+        live_counters = {
+            rsu_id: plane.collector.server.point_volume(rsu_id, period)
+            for rsu_id in sorted(spec.scheme.rsu_ids)
+        }
+        wal_records = (
+            plane.wal.records_appended if plane.wal is not None else 0
+        )
+    finally:
+        await plane.stop()
+
+    # Rebuild a collector from nothing but the journal.
+    recovered = FederatedCollector(spec.build_central_server())
+    replayed = recovered.recover(wal_path)
+    recovered_matrix = recovered.server.decoder.estimate_matrix(period)
+    recovered_counters = {
+        rsu_id: recovered.server.point_volume(rsu_id, period)
+        for rsu_id in sorted(spec.scheme.rsu_ids)
+    }
+
+    # The unsharded golden run: every response encoded in process.
+    golden = spec.reference_decoder(period=period)
+    golden_matrix = golden.estimate_matrix(period)
+    golden_counters = {
+        rsu_id: golden.point_volume(rsu_id, period)
+        for rsu_id in sorted(spec.scheme.rsu_ids)
+    }
+
+    live_identical = (
+        live_matrix == golden_matrix and live_counters == golden_counters
+    )
+    recovered_identical = (
+        recovered_matrix == golden_matrix
+        and recovered_counters == golden_counters
+    )
+    report = ShardKillReport(
+        shards=shards,
+        victim=victim,
+        responses_sent=sent + resent,
+        responses_resent=resent,
+        snapshots_acked=snapshots,
+        wal_records=wal_records,
+        wal_replayed=replayed,
+        pairs_compared=len(golden_matrix),
+        counters_compared=len(golden_counters),
+        live_identical=live_identical,
+        recovered_identical=recovered_identical,
+        elapsed_seconds=time.perf_counter() - start,
+        recovered_matrix=matrix_json(recovered_matrix),
+        golden_matrix=matrix_json(golden_matrix),
+    )
+    logger.info("shard-kill scenario: %s", "PASS" if report.passed else "FAIL")
+    return report
+
+
+def run_shard_kill(
+    spec: Optional[DeploymentSpec] = None,
+    *,
+    shards: int = 3,
+    wal_path: Union[str, Path, None] = None,
+    kill_shard: Optional[int] = None,
+    wire_batch: int = 4096,
+    matrix_out: Union[str, Path, None] = None,
+    golden_out: Union[str, Path, None] = None,
+) -> int:
+    """Blocking entry point behind ``repro chaos --profile shard-kill``.
+
+    Runs the scenario, prints the verdict, optionally writes the
+    recovered and golden matrices as canonical JSON, and returns a
+    process exit code (0 = bit-identical recovery).
+    """
+    spec = spec if spec is not None else DeploymentSpec()
+    if wal_path is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-wal-")
+        path = Path(scratch.name) / "collector.wal"
+    else:
+        scratch = None
+        path = Path(wal_path)
+    try:
+        report = asyncio.run(
+            shard_kill_scenario(
+                spec,
+                shards=shards,
+                wal_path=path,
+                kill_shard=kill_shard,
+                wire_batch=wire_batch,
+            )
+        )
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    print(report.render())
+    if matrix_out is not None:
+        Path(matrix_out).write_text(
+            json.dumps(report.recovered_matrix, sort_keys=True, indent=1)
+        )
+        print(f"recovered matrix written to {matrix_out}")
+    if golden_out is not None:
+        Path(golden_out).write_text(
+            json.dumps(report.golden_matrix, sort_keys=True, indent=1)
+        )
+        print(f"golden matrix written to {golden_out}")
+    return 0 if report.passed else 1

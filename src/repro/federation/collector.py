@@ -1,0 +1,311 @@
+"""The federated collector: OR-merge of shard partials, journaled.
+
+One :class:`FederatedCollector` sits behind N gateway shards.  Each
+shard uploads :class:`~repro.service.wire.ShardSnapshot` partials at
+period close; the collector joins them into one report per
+``(rsu_id, period)`` by the state-based-CRDT merge the paper's
+encoding admits for free:
+
+* **bits** — word-wise OR, via the zero-copy
+  :meth:`~repro.core.bitarray.BitArray.or_bytes` path (the packed
+  wire bytes are ORed straight into the stored array, no intermediate
+  :class:`~repro.core.bitarray.BitArray` on the common word-aligned
+  path);
+* **counter** — sum, valid because shards count *disjoint* response
+  partitions (the router sends each response to exactly one shard,
+  and gateway-side batch dedup keeps retransmissions out).
+
+OR is commutative, associative, and idempotent, so partials may
+arrive in any order, interleaved across shards, and duplicated —
+``tests/test_federation_crdt.py`` proves those laws property-based.
+Retransmissions are deduplicated on ``(shard_id, rsu_id, period,
+seq)``; shard-scoped, because every shard numbers its uploads
+independently from 1.
+
+Every partial is appended to the :class:`~repro.federation.wal.WriteAheadLog`
+*before* it is merged (write-ahead), so a collector killed at any
+point replays — :meth:`FederatedCollector.recover` — to bit-identical
+merge state and therefore a bit-identical period matrix.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Set, Tuple, Union
+
+from repro.core.bitarray import BitArray
+from repro.core.reports import RsuReport
+from repro.errors import ReproError, ValidationError
+from repro.federation.wal import WriteAheadLog, replay_wal
+from repro.obs import MetricsRegistry
+from repro.service import wire
+from repro.service.collector import CollectorService
+from repro.utils.logconfig import get_logger
+from repro.vcps.server import CentralServer
+
+__all__ = ["FederatedCollector", "merge_partial_reports"]
+
+logger = get_logger("federation.collector")
+
+
+def merge_partial_reports(
+    partials: Iterable[RsuReport],
+) -> RsuReport:
+    """OR-merge partial reports for one ``(rsu_id, period)``.
+
+    The pure-function core of the federated collector, factored out so
+    the CRDT property tests can exercise the merge without sockets:
+    bits are ORed, counters summed.  All partials must agree on
+    ``rsu_id``, ``period``, and array size; the inputs are not
+    mutated.
+    """
+    iterator = iter(partials)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValidationError("cannot merge zero partial reports")
+    bits = first.bits.copy()
+    counter = first.counter
+    for partial in iterator:
+        if (
+            partial.rsu_id != first.rsu_id
+            or partial.period != first.period
+        ):
+            raise ValidationError(
+                f"cannot merge partials for rsu {partial.rsu_id} period "
+                f"{partial.period} into rsu {first.rsu_id} period "
+                f"{first.period}"
+            )
+        bits |= partial.bits
+        counter += partial.counter
+    return RsuReport(
+        rsu_id=first.rsu_id,
+        counter=counter,
+        bits=bits,
+        period=first.period,
+    )
+
+
+class _MergeState:
+    """Accumulated join for one ``(rsu_id, period)``."""
+
+    __slots__ = ("counter", "bits", "partials")
+
+    def __init__(self, counter: int, bits: BitArray) -> None:
+        self.counter = counter
+        self.bits = bits
+        self.partials = 1
+
+
+class FederatedCollector(CollectorService):
+    """A :class:`~repro.service.collector.CollectorService` that merges
+    shard partials.
+
+    Plain :class:`~repro.service.wire.Snapshot` uploads and all query
+    frames are served exactly as by the base class;
+    :class:`~repro.service.wire.ShardSnapshot` frames take the merge
+    path.  The two paths are mutually exclusive per ``(rsu_id,
+    period)``: once either has applied state for a key, the other is
+    refused with ``E_DUPLICATE``, because mixing a whole-report
+    overwrite into an ongoing OR-merge (or vice versa) would corrupt
+    the estimate.
+
+    Merged reports are submitted straight to the decoder
+    (``server.decoder.submit``), *not* through
+    :meth:`~repro.vcps.server.CentralServer.receive_report`: the
+    history/anomaly layer compares a report's counter against expected
+    volume, and a half-merged partial would trip it spuriously.  Each
+    new partial re-submits the merged report, which also invalidates
+    the decoder's unfold cache for that key.
+
+    Parameters
+    ----------
+    server:
+        The measurement back end, as for the base class.
+    wal:
+        The write-ahead journal; every shard partial is appended
+        (and flushed) before it is merged.  ``None`` disables
+        journaling — then a collector crash loses the period.
+    registry, retention_periods:
+        As for the base class; the retention window additionally
+        bounds the shard-scoped merge dedup keys.
+    """
+
+    def __init__(
+        self,
+        server: CentralServer,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        retention_periods: Optional[int] = None,
+        wal: Optional[WriteAheadLog] = None,
+    ) -> None:
+        super().__init__(
+            server,
+            registry=registry,
+            retention_periods=retention_periods,
+        )
+        self.wal = wal
+        #: (rsu_id, period) -> accumulated OR-merge.
+        self._merged: Dict[Tuple[int, int], _MergeState] = {}
+        #: (rsu_id, period) -> {(shard_id, seq)} already merged.
+        self._merge_seqs: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+        self._m_replayed = self.registry.counter(
+            "federation.wal_replayed_total"
+        )
+        self._m_merge_keys = self.registry.gauge("federation.merge_keys")
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def snapshots_merged(self) -> int:
+        """Shard partials merged into measurement state (all shards)."""
+        return sum(
+            state.partials for state in self._merged.values()
+        )
+
+    @property
+    def wal_records_replayed(self) -> int:
+        """Journal records re-applied by :meth:`recover`."""
+        return int(self._m_replayed.value)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _handle(self, message: wire.Message) -> wire.Message:
+        if isinstance(message, wire.ShardSnapshot):
+            return self._apply_shard_snapshot(message, journal=True)
+        return super()._handle(message)
+
+    def _handle_snapshot(self, snapshot: wire.Snapshot) -> wire.Message:
+        key = (snapshot.rsu_id, snapshot.period)
+        if key in self._merged:
+            self._m_conflicted.inc()
+            return wire.ErrorMsg(
+                wire.E_DUPLICATE,
+                f"rsu {snapshot.rsu_id} period {snapshot.period} is "
+                "being shard-merged; refusing a whole-report snapshot",
+            )
+        return super()._handle_snapshot(snapshot)
+
+    def _apply_shard_snapshot(
+        self, snap: wire.ShardSnapshot, *, journal: bool
+    ) -> wire.Message:
+        key = (snap.rsu_id, snap.period)
+        if key in self._applied:
+            # A whole-report Snapshot already owns this key.
+            self._m_conflicted.inc()
+            return wire.ErrorMsg(
+                wire.E_DUPLICATE,
+                f"rsu {snap.rsu_id} period {snap.period} already applied "
+                "as a whole-report snapshot; refusing a shard partial",
+            )
+        seqs = self._merge_seqs.setdefault(key, set())
+        identity = (snap.shard_id, snap.seq)
+        if identity in seqs:
+            # Retransmission of a merged partial: ack again without
+            # re-adding the counter (OR-ing the bits again would be
+            # harmless; re-summing the counter would not).
+            self._m_deduped.inc()
+            return wire.SnapshotAck(
+                rsu_id=snap.rsu_id, period=snap.period, seq=snap.seq
+            )
+        state = self._merged.get(key)
+        if state is not None and state.bits.size != snap.array_size:
+            self._m_frames_rejected.inc()
+            return wire.ErrorMsg(
+                wire.E_MALFORMED,
+                f"shard {snap.shard_id} uploaded a {snap.array_size}-bit "
+                f"partial for rsu {snap.rsu_id} period {snap.period}, "
+                f"but {state.bits.size} bits are already merged",
+            )
+        if journal and self.wal is not None:
+            # Write-ahead: on disk before the merge, long before the
+            # ack.  A crash after this point replays the record; the
+            # unacked gateway retransmits and dedups against it.
+            self.wal.append(snap)
+        try:
+            if state is None:
+                bits = BitArray.from_bytes(
+                    snap.packed_bits, snap.array_size
+                )
+                state = _MergeState(snap.counter, bits)
+                self._merged[key] = state
+            else:
+                state.bits.or_bytes(snap.packed_bits)
+                state.counter += snap.counter
+                state.partials += 1
+        except ReproError as exc:
+            self._m_frames_rejected.inc()
+            return wire.ErrorMsg(wire.E_MALFORMED, str(exc))
+        seqs.add(identity)
+        # Re-submit the merged report; submit() is latest-wins and
+        # invalidates the decoder's unfold cache for this key.
+        self.server.decoder.submit(
+            RsuReport(
+                rsu_id=snap.rsu_id,
+                counter=state.counter,
+                bits=state.bits,
+                period=snap.period,
+            )
+        )
+        self._m_received.inc()
+        self.registry.counter(
+            "federation.snapshots_merged_total", shard=snap.shard_id
+        ).inc()
+        self._m_merge_keys.set(len(self._merged))
+        self._observe_period(snap.period)
+        return wire.SnapshotAck(
+            rsu_id=snap.rsu_id, period=snap.period, seq=snap.seq
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(
+        self, path: Optional[Union[str, Path]] = None
+    ) -> int:
+        """Replay a write-ahead log into this collector's merge state.
+
+        Reads *path* (default: this collector's own ``wal.path``) and
+        re-applies every intact record through the live merge path —
+        without re-journaling — so the rebuilt state is bit-identical
+        to what the crashed collector held, including the dedup sets
+        that make post-recovery gateway retransmissions exactly-once.
+        Records the count in ``federation.wal_replayed_total`` and
+        returns the number of records applied (duplicates in the log
+        dedup against themselves and are not double-counted).
+        """
+        if path is None:
+            if self.wal is None:
+                raise ValidationError(
+                    "recover() needs a path when no WAL is attached"
+                )
+            path = self.wal.path
+        applied = 0
+        for snap in replay_wal(path, registry=self.registry):
+            reply = self._apply_shard_snapshot(snap, journal=False)
+            self._m_replayed.inc()
+            if isinstance(reply, wire.SnapshotAck):
+                applied += 1
+            else:  # pragma: no cover - requires a semantically bad log
+                logger.warning(
+                    "wal %s: replayed record refused: %r", path, reply
+                )
+        logger.info("wal %s: replayed %d records", path, applied)
+        return applied
+
+    # ------------------------------------------------------------------
+    # Dedup-state retention (extends the base eviction)
+    # ------------------------------------------------------------------
+    def _evict_before(self, horizon: int) -> int:
+        evicted = super()._evict_before(horizon)
+        stale = [key for key in self._merge_seqs if key[1] <= horizon]
+        for key in stale:
+            evicted += len(self._merge_seqs.pop(key))
+        return evicted
+
+    def _dedup_keys(self) -> int:
+        return super()._dedup_keys() + sum(
+            len(seqs) for seqs in self._merge_seqs.values()
+        )

@@ -1,0 +1,123 @@
+"""Deterministic RSU-to-shard assignment.
+
+Both sides of a federated deployment — the sharded load generator and
+``repro serve --shards N`` — must agree on which gateway shard owns
+each RSU without talking to each other, exactly as
+:class:`~repro.service.runtime.DeploymentSpec` makes them agree on the
+scheme parameters.  The home assignment is therefore a pure function,
+``rsu_id % shard_count``; mid-period rebalances are explicit
+per-RSU overrides recorded on top of it.
+
+Rebalances are *not* gossiped: the party that initiates a handoff (the
+load generator, or an operator) tells the target shard directly with a
+:class:`~repro.service.wire.Handoff` frame and updates its own router.
+The collector never needs the assignment at all — it merges whatever
+partials arrive, which is what makes a stale router harmless (frames
+routed to the old home shard still end up in the same OR-merge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Maps RSU ids onto ``shard_count`` gateway shards.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of gateway shards (>= 1).
+    assignment:
+        Optional explicit ``rsu_id -> shard`` overrides applied on top
+        of the modulo home assignment (e.g. restored from a previous
+        run's rebalances).
+    registry:
+        Where ``federation.rebalances_total`` is recorded; private by
+        default.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        *,
+        assignment: Optional[Dict[int, int]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        shard_count = int(shard_count)
+        if shard_count < 1:
+            raise ConfigurationError(
+                f"shard_count must be >= 1, got {shard_count}"
+            )
+        self.shard_count = shard_count
+        self._overrides: Dict[int, int] = {}
+        if assignment:
+            for rsu_id, shard in assignment.items():
+                self.reassign(rsu_id, shard, count=False)
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._m_rebalances = self.registry.counter(
+            "federation.rebalances_total"
+        )
+
+    def shard_for(self, rsu_id: int) -> int:
+        """The shard currently responsible for *rsu_id*."""
+        override = self._overrides.get(int(rsu_id))
+        if override is not None:
+            return override
+        return int(rsu_id) % self.shard_count
+
+    def partition(self, rsu_ids: Iterable[int]) -> Dict[int, List[int]]:
+        """Group *rsu_ids* by owning shard.
+
+        Every shard appears in the result (possibly with an empty
+        list), so callers can start one gateway per shard without
+        special-casing shards that currently own nothing.
+        """
+        groups: Dict[int, List[int]] = {
+            shard: [] for shard in range(self.shard_count)
+        }
+        for rsu_id in rsu_ids:
+            groups[self.shard_for(rsu_id)].append(int(rsu_id))
+        return groups
+
+    def reassign(
+        self, rsu_id: int, shard: int, *, count: bool = True
+    ) -> None:
+        """Move *rsu_id* to *shard* for the rest of the run.
+
+        Records ``federation.rebalances_total`` unless *count* is
+        False (used when replaying a saved assignment, which is not a
+        new rebalance).
+        """
+        shard = int(shard)
+        if not 0 <= shard < self.shard_count:
+            raise ConfigurationError(
+                f"cannot reassign RSU {rsu_id} to shard {shard}: "
+                f"federation has {self.shard_count} shards"
+            )
+        self._overrides[int(rsu_id)] = shard
+        if count:
+            self._m_rebalances.inc()
+
+    @property
+    def overrides(self) -> Dict[int, int]:
+        """Copy of the explicit reassignments layered on the modulo map."""
+        return dict(self._overrides)
+
+    @property
+    def rebalances(self) -> int:
+        """Reassignments recorded since construction."""
+        return int(self._m_rebalances.value)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(shard_count={self.shard_count}, "
+            f"overrides={len(self._overrides)})"
+        )

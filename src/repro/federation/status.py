@@ -1,0 +1,102 @@
+"""``repro federation status``: one look at a live federation.
+
+Scrapes the Prometheus text endpoint a federated ``repro serve
+--shards N --metrics-port P`` exposes, keeps the series that describe
+federation health — WAL depth, merges per shard, handoffs, per-shard
+ingest and upload counters — and renders them as an aligned table.
+Pure stdlib HTTP (``urllib``), so it works anywhere the repo does.
+"""
+
+from __future__ import annotations
+
+import re
+import urllib.error
+import urllib.request
+from typing import List, Tuple
+
+from repro.errors import ReproError
+from repro.utils.tables import AsciiTable
+
+__all__ = ["fetch_metrics_text", "parse_samples", "run_federation_status"]
+
+#: Metric-name prefixes worth showing in the status table.
+_INTERESTING = (
+    "repro_federation_",
+    "repro_collector_",
+    "repro_gateway_",
+    "repro_loadgen_",
+)
+
+#: ``name{labels} value`` — the exposition lines we render.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$"
+)
+
+
+def fetch_metrics_text(
+    host: str, port: int, *, timeout: float = 5.0
+) -> str:
+    """GET ``http://host:port/metrics`` and return the body."""
+    url = f"http://{host}:{port}/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        raise ReproError(
+            f"cannot scrape {url}: {exc}"
+        ) from exc
+
+
+def parse_samples(text: str) -> List[Tuple[str, str, str]]:
+    """``(name, labels, value)`` for each federation-relevant sample.
+
+    Histogram bucket series are folded out (only ``_sum`` / ``_count``
+    survive) to keep the table readable.
+    """
+    samples: List[Tuple[str, str, str]] = []
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line.strip())
+        if match is None:
+            continue
+        name = match.group("name")
+        if not name.startswith(_INTERESTING):
+            continue
+        if name.endswith("_bucket"):
+            continue
+        labels = (match.group("labels") or "{}").strip("{}")
+        samples.append((name, labels, match.group("value")))
+    return samples
+
+
+def run_federation_status(
+    *, host: str = "127.0.0.1", metrics_port: int
+) -> int:
+    """Blocking entry point behind ``repro federation status``.
+
+    Scrapes the serve process's metrics endpoint and prints the
+    federation/collector/gateway series as a table; exits non-zero if
+    the endpoint is unreachable.
+    """
+    try:
+        text = fetch_metrics_text(host, metrics_port)
+    except ReproError as exc:
+        print(f"federation status unavailable: {exc}")
+        return 1
+    samples = parse_samples(text)
+    if not samples:
+        print(
+            "endpoint is up but exposes no federation metrics "
+            "(is this a --shards serve?)"
+        )
+        return 1
+    table = AsciiTable(
+        ["metric", "labels", "value"],
+        title=f"federation status @ {host}:{metrics_port}",
+    )
+    for name, labels, value in sorted(samples):
+        table.add_row([name, labels or "-", value])
+    print(table.render())
+    return 0

@@ -18,6 +18,7 @@ convention.
 """
 
 from repro.obs.export import (
+    aggregate_rows,
     metric_rows,
     read_jsonl,
     render_prometheus,
@@ -46,6 +47,7 @@ __all__ = [
     "MetricsServer",
     "Span",
     "Tracer",
+    "aggregate_rows",
     "get_registry",
     "metric_rows",
     "read_jsonl",

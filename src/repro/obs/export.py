@@ -30,6 +30,7 @@ from repro.utils.tables import AsciiTable
 from repro.obs.registry import MetricsRegistry
 
 __all__ = [
+    "aggregate_rows",
     "metric_rows",
     "read_jsonl",
     "render_prometheus",
@@ -135,6 +136,67 @@ def render_prometheus(
         else:  # pragma: no cover - registry only makes three kinds
             raise ValueError(f"unknown metric type {kind!r}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def aggregate_rows(rows: Iterable[Row]) -> List[Row]:
+    """Merge label-compatible series from one or more snapshots.
+
+    Rows with the same ``(name, type, labels)`` — e.g. the same
+    counter dumped by several shards' ``--metrics-out`` files — are
+    folded into one: counter and gauge values sum, histograms merge
+    per-bucket counts plus ``sum``/``count``/``overflow``.  (Summing
+    gauges is the useful semantic for this repo's gauges, which are
+    all last-set sizes — queue depths, retained keys — where the
+    fleet-wide total is what an operator wants.)  Histograms whose
+    bucket boundaries disagree cannot be merged and raise
+    ``ValueError``.  Output order is deterministic: sorted by name,
+    then labels.
+    """
+    merged: Dict[tuple, Row] = {}
+    for row in rows:
+        labels = dict(row.get("labels") or {})
+        key = (
+            str(row["name"]),
+            str(row["type"]),
+            tuple(sorted((str(k), str(v)) for k, v in labels.items())),
+        )
+        kind = str(row["type"])
+        existing = merged.get(key)
+        if existing is None:
+            copy: Row = dict(row)
+            if kind == "histogram":
+                copy["buckets"] = [
+                    [boundary, count]
+                    for boundary, count in row["buckets"]  # type: ignore[union-attr]
+                ]
+            merged[key] = copy
+            continue
+        if kind in ("counter", "gauge"):
+            existing["value"] = float(existing["value"]) + float(  # type: ignore[arg-type]
+                row["value"]  # type: ignore[arg-type]
+            )
+        elif kind == "histogram":
+            old = existing["buckets"]
+            new = row["buckets"]
+            if [b for b, _ in old] != [b for b, _ in new]:  # type: ignore[union-attr]
+                raise ValueError(
+                    f"histogram {row['name']!r}: bucket boundaries "
+                    "disagree between snapshots; cannot aggregate"
+                )
+            existing["buckets"] = [
+                [boundary, old_count + new_count]
+                for (boundary, old_count), (_, new_count) in zip(old, new)  # type: ignore[union-attr]
+            ]
+            for field in ("sum", "count", "overflow"):
+                existing[field] = type(row[field])(
+                    existing[field] + row[field]  # type: ignore[operator]
+                )
+        else:  # pragma: no cover - registry only makes three kinds
+            raise ValueError(f"unknown metric type {kind!r}")
+    return [
+        merged[key]
+        for key in sorted(merged, key=lambda k: (k[0], k[2], k[1]))
+    ]
 
 
 def _summary_value(row: Row) -> str:

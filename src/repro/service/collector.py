@@ -15,7 +15,12 @@ from __future__ import annotations
 import asyncio
 from typing import Dict, Optional, Tuple
 
-from repro.errors import EstimationError, ReproError, WireError
+from repro.errors import (
+    ConfigurationError,
+    EstimationError,
+    ReproError,
+    WireError,
+)
 from repro.obs import MetricsRegistry
 from repro.service import wire
 from repro.utils.logconfig import get_logger
@@ -48,6 +53,18 @@ class CollectorService:
     registry:
         The :class:`~repro.obs.MetricsRegistry` this collector records
         into (``collector.*`` metrics); private by default.
+    retention_periods:
+        How many of the most recent measurement periods keep their
+        dedup keys.  ``None`` (the default) retains everything — the
+        historical behaviour — while ``N >= 1`` evicts the keys of any
+        period more than ``N`` behind the newest period seen, bounding
+        memory across a long-running multi-period deployment.  Beyond
+        the window the duplicate/conflict protection for that period
+        lapses: an (extremely) late retransmission would be re-applied
+        rather than deduplicated, which is why the window is
+        configurable rather than fixed.  The
+        ``collector.dedup_keys_retained`` gauge tracks the live key
+        count.
     """
 
     def __init__(
@@ -55,10 +72,19 @@ class CollectorService:
         server: CentralServer,
         *,
         registry: Optional[MetricsRegistry] = None,
+        retention_periods: Optional[int] = None,
     ) -> None:
         self.server = server
         self._server: Optional[asyncio.AbstractServer] = None
         self.port: Optional[int] = None
+        if retention_periods is not None:
+            retention_periods = int(retention_periods)
+            if retention_periods < 1:
+                raise ConfigurationError(
+                    f"retention_periods must be >= 1, got {retention_periods}"
+                )
+        self.retention_periods = retention_periods
+        self._max_period: Optional[int] = None
         #: (rsu_id, period) -> seq of the upload that was applied.
         self._applied: Dict[Tuple[int, int], int] = {}
         # Metrics (pre-created; see the gateway for the pattern).
@@ -82,6 +108,12 @@ class CollectorService:
         )
         self._m_query_seconds = self.registry.histogram(
             "collector.query_seconds"
+        )
+        self._m_retained = self.registry.gauge(
+            "collector.dedup_keys_retained"
+        )
+        self._m_evicted = self.registry.counter(
+            "collector.dedup_keys_evicted_total"
         )
 
     # ------------------------------------------------------------------
@@ -111,6 +143,11 @@ class CollectorService:
     def frames_rejected(self) -> int:
         """Frames nacked as malformed or unhandleable."""
         return int(self._m_frames_rejected.value)
+
+    @property
+    def dedup_keys_retained(self) -> int:
+        """Dedup keys currently held (bounded by the retention window)."""
+        return int(self._m_retained.value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -222,9 +259,43 @@ class CollectorService:
             return wire.ErrorMsg(wire.E_MALFORMED, str(exc))
         self._applied[key] = snapshot.seq
         self._m_received.inc()
+        self._observe_period(snapshot.period)
         return wire.SnapshotAck(
             rsu_id=snapshot.rsu_id, period=snapshot.period, seq=snapshot.seq
         )
+
+    # ------------------------------------------------------------------
+    # Dedup-state retention
+    # ------------------------------------------------------------------
+    def _observe_period(self, period: int) -> None:
+        """Advance the newest-period watermark and apply retention."""
+        if self._max_period is None or period > self._max_period:
+            self._max_period = period
+            if self.retention_periods is not None:
+                evicted = self._evict_before(
+                    self._max_period - self.retention_periods
+                )
+                if evicted:
+                    self._m_evicted.inc(evicted)
+                    logger.debug(
+                        "retention: evicted %d dedup keys for periods <= %d",
+                        evicted,
+                        self._max_period - self.retention_periods,
+                    )
+        self._m_retained.set(self._dedup_keys())
+
+    def _evict_before(self, horizon: int) -> int:
+        """Drop dedup keys for periods ``<= horizon``; returns the
+        number evicted.  Subclasses with extra per-period dedup state
+        extend this."""
+        stale = [key for key in self._applied if key[1] <= horizon]
+        for key in stale:
+            del self._applied[key]
+        return len(stale)
+
+    def _dedup_keys(self) -> int:
+        """Current dedup key count (feeds the retained-keys gauge)."""
+        return len(self._applied)
 
     def _handle_query(self, query: wire.VolumeQuery) -> wire.Message:
         try:

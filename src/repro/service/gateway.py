@@ -304,12 +304,7 @@ class RsuGateway:
                         ),
                     )
                 else:
-                    self._m_frames_rejected.inc()
-                    await self._send_error(
-                        writer,
-                        wire.E_MALFORMED,
-                        f"gateway cannot handle {type(message).__name__}",
-                    )
+                    await self._handle_extra(message, writer)
         except (ConnectionError, OSError):
             pass  # peer vanished mid-exchange (reset, abort, …)
         finally:
@@ -318,6 +313,23 @@ class RsuGateway:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
+
+    async def _handle_extra(
+        self, message: wire.Message, writer: asyncio.StreamWriter
+    ) -> None:
+        """Hook for message types the base gateway does not serve.
+
+        Subclasses (the federation tier's
+        :class:`~repro.federation.shards.ShardGateway`) override this
+        to accept e.g. :class:`~repro.service.wire.Handoff` frames; the
+        base behaviour is a nack.
+        """
+        self._m_frames_rejected.inc()
+        await self._send_error(
+            writer,
+            wire.E_MALFORMED,
+            f"gateway cannot handle {type(message).__name__}",
+        )
 
     async def _send_error(
         self, writer: asyncio.StreamWriter, code: int, text: str
@@ -440,8 +452,8 @@ class RsuGateway:
                 snapshots: Dict[int, wire.Snapshot] = {}
                 for rsu in self.rsus.values():
                     report = rsu.end_period()
-                    snapshots[report.rsu_id] = wire.Snapshot.from_report(
-                        report, seq=self._next_upload_seq
+                    snapshots[report.rsu_id] = self._make_snapshot(
+                        report, self._next_upload_seq
                     )
                     self._next_upload_seq += 1
                 self._period_uploads[period] = snapshots
@@ -470,6 +482,15 @@ class RsuGateway:
             len(self._period_uploads[period]),
         )
         return uploaded
+
+    def _make_snapshot(self, report, seq: int) -> wire.Snapshot:
+        """Build the upload frame for one period-end *report*.
+
+        Subclasses override to emit shard-aware frames (the federation
+        tier's :class:`~repro.service.wire.ShardSnapshot`); the upload
+        loop only relies on ``rsu_id`` / ``period`` matching the ack.
+        """
+        return wire.Snapshot.from_report(report, seq=seq)
 
     async def _upload_snapshots(
         self, period: int, snapshots: List[wire.Snapshot]

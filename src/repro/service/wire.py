@@ -26,7 +26,12 @@ Version 2 additions over the original framing: the payload CRC, the
 ``seq`` field on :class:`ResponseBatch` / :class:`Snapshot` /
 ``SnapshotAck`` (delivery sequence numbers, ``0`` = unsequenced
 best-effort), and :class:`BatchAck` — the gateway's per-batch receipt
-that makes retransmission-with-dedup possible.
+that makes retransmission-with-dedup possible.  The federation tier
+adds three shard-aware types under the same version (old peers simply
+never see them): :class:`ShardSnapshot` (a shard's *partial* report,
+OR-merged at the federated collector), :class:`Handoff` and
+:class:`HandoffAck` (mid-period RSU rebalance between shards) — see
+``docs/federation.md``.
 
 The codec is deliberately numpy-friendly: response batches carry
 parallel ``uint64``/``uint32`` arrays (decoded with zero copies via
@@ -58,6 +63,9 @@ __all__ = [
     "BatchAck",
     "Snapshot",
     "SnapshotAck",
+    "ShardSnapshot",
+    "Handoff",
+    "HandoffAck",
     "EndPeriod",
     "EndPeriodAck",
     "VolumeQuery",
@@ -94,6 +102,9 @@ T_ESTIMATE = 0x08
 T_POINT_QUERY = 0x09
 T_POINT_VOLUME = 0x0A
 T_BATCH_ACK = 0x0B
+T_SHARD_SNAPSHOT = 0x0C
+T_HANDOFF = 0x0D
+T_HANDOFF_ACK = 0x0E
 T_ERROR = 0x7F
 
 # Error codes carried by ErrorMsg.
@@ -362,6 +373,115 @@ class Snapshot:
         )
 
 
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """A gateway shard's *partial* period-end report.
+
+    ``shard_id u32 | rsu_id u32 | period u32 | seq u64 | counter u64 |
+    array_size u32 | packed_bits u8[ceil(array_size / 8)]`` — the same
+    packed-bit payload as :class:`Snapshot`, prefixed with the
+    uploading shard's id.
+
+    Unlike a :class:`Snapshot`, several ShardSnapshots for one
+    ``(rsu_id, period)`` are *expected*: after a mid-period handoff the
+    vehicle responses for an RSU land on two shards, and each uploads
+    the portion it recorded.  The federated collector OR-merges the
+    bit arrays (a lossless state-based CRDT join) and sums the
+    counters, deduplicating retransmissions on
+    ``(shard_id, rsu_id, period, seq)`` — shard-scoped, because each
+    shard numbers its uploads independently.  Acknowledged with the
+    ordinary :class:`SnapshotAck` echoing the upload seq.
+    """
+
+    shard_id: int
+    rsu_id: int
+    period: int
+    counter: int
+    array_size: int
+    packed_bits: bytes = field(repr=False)
+    seq: int = 0
+
+    _HEAD = struct.Struct(">IIIQQI")
+    type = T_SHARD_SNAPSHOT
+
+    def payload(self) -> bytes:
+        expected = (self.array_size + 7) // 8
+        if len(self.packed_bits) != expected:
+            raise WireError(
+                f"shard snapshot of {self.array_size} bits needs "
+                f"{expected} packed bytes, got {len(self.packed_bits)}"
+            )
+        return (
+            self._HEAD.pack(
+                _check_u32(self.shard_id, "shard_id"),
+                _check_u32(self.rsu_id, "rsu_id"),
+                _check_u32(self.period, "period"),
+                _check_u64(self.seq, "seq"),
+                _check_u64(self.counter, "counter"),
+                _check_u32(self.array_size, "array_size"),
+            )
+            + self.packed_bits
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ShardSnapshot":
+        if len(payload) < cls._HEAD.size:
+            raise WireError("truncated shard snapshot header")
+        shard_id, rsu_id, period, seq, counter, size = cls._HEAD.unpack_from(
+            payload
+        )
+        if size == 0:
+            raise WireError("shard snapshot array_size must be positive")
+        packed = payload[cls._HEAD.size :]
+        expected = (size + 7) // 8
+        if len(packed) != expected:
+            raise WireError(
+                f"shard snapshot of {size} bits needs {expected} packed "
+                f"bytes, got {len(packed)}"
+            )
+        if size % 8:
+            tail = packed[-1] & ((1 << (8 - size % 8)) - 1)
+            if tail:
+                raise WireError(
+                    "shard snapshot padding bits past array_size are set"
+                )
+        return cls(
+            shard_id=shard_id,
+            rsu_id=rsu_id,
+            period=period,
+            counter=counter,
+            array_size=size,
+            packed_bits=packed,
+            seq=seq,
+        )
+
+    # -- conversions to/from the in-process report type ----------------
+    @classmethod
+    def from_report(
+        cls, report: RsuReport, *, shard_id: int, seq: int = 0
+    ) -> "ShardSnapshot":
+        """Wrap a partial :class:`~repro.core.reports.RsuReport`."""
+        return cls(
+            shard_id=shard_id,
+            rsu_id=report.rsu_id,
+            period=report.period,
+            counter=report.counter,
+            array_size=report.array_size,
+            packed_bits=report.bits.to_bytes(),
+            seq=seq,
+        )
+
+    def to_report(self) -> RsuReport:
+        """The partial report this frame carries."""
+        bits = BitArray.from_bytes(self.packed_bits, self.array_size)
+        return RsuReport(
+            rsu_id=self.rsu_id,
+            counter=self.counter,
+            bits=bits,
+            period=self.period,
+        )
+
+
 def _simple(name, code, fmt, fields_doc, field_names):
     """Build a fixed-layout message class (header-only payload)."""
     layout = struct.Struct(fmt)
@@ -401,6 +521,28 @@ SnapshotAck = _simple(
     "seq u64`` (seq echoes the upload being acknowledged; a dedup hit "
     "echoes the stored upload's seq).",
     ("rsu_id", "period", "seq"),
+)
+
+Handoff = _simple(
+    "Handoff",
+    T_HANDOFF,
+    ">IIII",
+    "Mid-period shard rebalance: ``rsu_id u32 | from_shard u32 | "
+    "to_shard u32 | period u32``.  Sent to the *target* shard, which "
+    "provisions a fresh zeroed RSU for the remainder of the period; "
+    "the source shard keeps its partial array and both upload "
+    "``ShardSnapshot`` partials at period close (OR-merge makes the "
+    "split lossless).",
+    ("rsu_id", "from_shard", "to_shard", "period"),
+)
+
+HandoffAck = _simple(
+    "HandoffAck",
+    T_HANDOFF_ACK,
+    ">III",
+    "Target shard's confirmation of a ``Handoff``: ``rsu_id u32 | "
+    "to_shard u32 | period u32``.",
+    ("rsu_id", "to_shard", "period"),
 )
 
 EndPeriod = _simple(
@@ -523,6 +665,9 @@ Message = Union[
     BatchAck,
     Snapshot,
     SnapshotAck,
+    ShardSnapshot,
+    Handoff,
+    HandoffAck,
     EndPeriod,
     EndPeriodAck,
     VolumeQuery,
@@ -540,6 +685,9 @@ _DECODERS = {
         BatchAck,
         Snapshot,
         SnapshotAck,
+        ShardSnapshot,
+        Handoff,
+        HandoffAck,
         EndPeriod,
         EndPeriodAck,
         VolumeQuery,

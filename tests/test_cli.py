@@ -95,3 +95,62 @@ class TestChaosParser:
 
         with pytest.raises(ConfigurationError):
             profile_from_args("mystery")
+
+
+class TestFederationParser:
+    def test_serve_shard_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--shards", "3",
+                "--wal", str(tmp_path / "log.wal"),
+                "--retention", "4",
+            ]
+        )
+        assert args.shards == 3
+        assert args.wal.name == "log.wal"
+        assert args.retention == 4
+
+    def test_serve_defaults_to_unsharded(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shards == 0
+        assert args.wal is None
+
+    def test_loadgen_shard_flags(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--shards", "3", "--rebalance", "2"]
+        )
+        assert args.shards == 3
+        assert args.rebalance == 2
+
+    def test_federation_status_requires_metrics_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["federation", "status"])
+        args = build_parser().parse_args(
+            ["federation", "status", "--metrics-port", "9640"]
+        )
+        assert args.experiment == "federation"
+        assert args.metrics_port == 9640
+
+    def test_chaos_shard_kill_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "chaos",
+                "--profile", "shard-kill",
+                "--shards", "4",
+                "--kill-shard", "2",
+                "--trips", "900",
+                "--matrix-out", str(tmp_path / "m.json"),
+                "--golden-out", str(tmp_path / "g.json"),
+            ]
+        )
+        assert args.profile == "shard-kill"
+        assert args.shards == 4
+        assert args.kill_shard == 2
+        assert args.trips == 900
+
+    def test_metrics_accepts_multiple_paths(self):
+        args = build_parser().parse_args(
+            ["metrics", "summarize", "a.jsonl", "b.jsonl"]
+        )
+        assert [p.name for p in args.paths] == ["a.jsonl", "b.jsonl"]

@@ -22,6 +22,7 @@ from repro.obs import (
     MetricsRegistry,
     MetricsServer,
     Tracer,
+    aggregate_rows,
     get_registry,
     metric_rows,
     read_jsonl,
@@ -181,6 +182,83 @@ class TestExporters:
         assert "golden" in text
         for row in rows:
             assert str(row["name"]) in text
+
+
+# ----------------------------------------------------------------------
+# Aggregation across snapshots (``repro metrics summarize a.jsonl b.jsonl``)
+# ----------------------------------------------------------------------
+class TestAggregateRows:
+    def test_counters_and_gauges_sum_per_label_set(self):
+        rows = aggregate_rows(
+            metric_rows(golden_registry()) + metric_rows(golden_registry())
+        )
+        by_key = {
+            (row["name"], tuple(sorted((row.get("labels") or {}).items()))): row
+            for row in rows
+        }
+        assert (
+            by_key[("gateway.responses_received_total", ())]["value"]
+            == 8192
+        )
+        assert (
+            by_key[("wire.frames_total", (("direction", "in"),))]["value"]
+            == 14
+        )
+        # Distinct label sets stay distinct.
+        assert (
+            by_key[("wire.frames_total", (("direction", "out"),))]["value"]
+            == 18
+        )
+        assert by_key[("gateway.queue_depth", ())]["value"] == 6
+
+    def test_histograms_merge_buckets_sum_count_overflow(self):
+        rows = aggregate_rows(
+            metric_rows(golden_registry()) + metric_rows(golden_registry())
+        )
+        histogram = next(
+            row
+            for row in rows
+            if row["name"] == "gateway.period_close_seconds"
+        )
+        assert histogram["overflow"] == 2
+        assert histogram["sum"] == 200.0
+        flush = next(
+            row
+            for row in rows
+            if row["name"] == "gateway.ingest_flush_seconds"
+        )
+        assert flush["count"] == 4
+        assert sum(count for _, count in flush["buckets"]) == 4
+
+    def test_single_snapshot_is_unchanged_but_ordered(self):
+        rows = metric_rows(golden_registry())
+        assert aggregate_rows(rows) == sorted(
+            (dict(row) for row in rows),
+            key=lambda r: (
+                str(r["name"]),
+                tuple(
+                    sorted(
+                        (str(k), str(v))
+                        for k, v in (r.get("labels") or {}).items()
+                    )
+                ),
+                str(r["type"]),
+            ),
+        )
+
+    def test_boundary_mismatch_raises(self):
+        left = MetricsRegistry()
+        left.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        right = MetricsRegistry()
+        right.histogram("h", buckets=(1.0, 4.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket boundaries"):
+            aggregate_rows(metric_rows(left) + metric_rows(right))
+
+    def test_does_not_mutate_input_rows(self):
+        rows = metric_rows(golden_registry())
+        snapshot = json.dumps(rows, sort_keys=True)
+        aggregate_rows(rows + metric_rows(golden_registry()))
+        assert json.dumps(rows, sort_keys=True) == snapshot
 
 
 # ----------------------------------------------------------------------

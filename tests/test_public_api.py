@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.apps",
     "repro.service",
     "repro.obs",
+    "repro.federation",
 ]
 
 

@@ -1,0 +1,133 @@
+"""Graceful shutdown: ``repro serve`` drains and exits 0 on SIGTERM.
+
+Spawns the real CLI in a subprocess (unsharded and federated), streams
+a little traffic, delivers SIGTERM, and asserts the process drains its
+queues, flushes the WAL tail, prints the shutdown summary, and exits
+cleanly — the integration contract behind rolling restarts.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def free_port_block(count):
+    """A run of *count* consecutive ports that are free right now.
+
+    The federated serve derives shard ports as base, base+1, ... from
+    one ``--gateway-port`` flag, so the whole block must be bindable.
+    """
+    for _ in range(50):
+        probe = socket.socket()
+        try:
+            probe.bind(("127.0.0.1", 0))
+            base = probe.getsockname()[1]
+        finally:
+            probe.close()
+        if base + count >= 65535:
+            continue
+        sockets = []
+        try:
+            for offset in range(count):
+                sock = socket.socket()
+                sockets.append(sock)
+                sock.bind(("127.0.0.1", base + offset))
+        except OSError:
+            continue
+        finally:
+            for sock in sockets:
+                sock.close()
+        return list(range(base, base + count))
+    raise RuntimeError("no free consecutive port block found")
+
+
+def spawn_serve(extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--trips", "800"]
+        + extra_args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def wait_for_port(port, *, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=1).close()
+            return
+        except OSError:
+            time.sleep(0.1)
+    raise TimeoutError(f"port {port} never came up")
+
+
+def terminate_and_collect(process, *, timeout=60.0):
+    process.send_signal(signal.SIGTERM)
+    try:
+        output, _ = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        output, _ = process.communicate()
+        pytest.fail(f"serve did not exit after SIGTERM; output:\n{output}")
+    return process.returncode, output
+
+
+class TestUnshardedServe:
+    def test_sigterm_drains_and_exits_zero(self):
+        gateway_port, collector_port = free_port_block(2)
+        process = spawn_serve(
+            [
+                "--gateway-port", str(gateway_port),
+                "--collector-port", str(collector_port),
+            ]
+        )
+        try:
+            wait_for_port(gateway_port)
+            code, output = terminate_and_collect(process)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert code == 0, output
+        assert "shutdown complete" in output
+        assert "ingest queue drained" in output
+
+
+class TestFederatedServe:
+    def test_sigterm_flushes_wal_and_exits_zero(self, tmp_path):
+        base, _, collector_port = free_port_block(3)
+        wal_path = tmp_path / "serve.wal"
+        process = spawn_serve(
+            [
+                "--shards", "2",
+                "--gateway-port", str(base),
+                "--collector-port", str(collector_port),
+                "--wal", str(wal_path),
+            ]
+        )
+        try:
+            wait_for_port(collector_port)
+            code, output = terminate_and_collect(process)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert code == 0, output
+        assert "shutdown complete: 2 shards drained" in output
+        assert "wal synced" in output
+        # The WAL file exists and is intact (no responses streamed, so
+        # it may be empty — the point is the tail was flushed, not torn).
+        assert wal_path.exists()
+        from repro.federation.wal import replay_wal
+
+        list(replay_wal(wal_path))
