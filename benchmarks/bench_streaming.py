@@ -1,0 +1,160 @@
+"""Streaming-ingest bench: per-batch cost is O(batch), not O(period).
+
+Run: ``pytest benchmarks/bench_streaming.py --benchmark-only``
+Artifact: ``results/streaming.txt``
+
+The claim behind ``live_matrix()``: absorbing one batch touches only
+the batch's newly set bits (times the pair fan-out), so the
+incremental update cost stays flat as the period fills — while a
+fresh batch decode over everything received so far grows with the
+period.  The bench streams a Sioux Falls day in stages and probes
+both costs at each stage.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import publish
+from repro.core.config import SchemeConfig
+from repro.core.decoder import CentralDecoder
+from repro.core.reports import RsuReport
+from repro.core.bitarray import BitArray
+from repro.service.runtime import DeploymentSpec
+from repro.streaming import StreamingDecoder
+from repro.utils.tables import AsciiTable
+
+PROBE = 256  # responses per probe batch
+STAGES = 6
+REPEATS = 5
+
+
+def _median_seconds(fn) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+def _accumulated_reports(spec, consumed):
+    reports = []
+    for rsu_id, taken in sorted(consumed.items()):
+        size = spec.scheme.array_size(rsu_id)
+        bits = BitArray(size, backend=spec.engine)
+        if taken.size:
+            bits.set_bits(np.unique(taken))
+        reports.append(
+            RsuReport(
+                rsu_id=rsu_id,
+                counter=int(taken.size),
+                bits=bits,
+                period=0,
+            )
+        )
+    return reports
+
+
+def run_streaming_bench(total_trips: int = 60_000, seed: int = 13):
+    spec = DeploymentSpec(total_trips=total_trips, seed=seed)
+    decoder = StreamingDecoder(
+        s=spec.s, policy=spec.policy, engine=spec.engine
+    )
+    day = {
+        rsu_id: spec.response_indices(rsu_id)
+        for rsu_id in spec.scheme.rsu_ids
+    }
+    probe_rsu = max(day, key=lambda rsu_id: day[rsu_id].size)
+    probe_size = spec.scheme.array_size(probe_rsu)
+    rng = np.random.default_rng(seed)
+    consumed = {rsu_id: np.zeros(0, dtype=np.int64) for rsu_id in day}
+    for rsu_id in sorted(day):
+        decoder.ingest(
+            rsu_id,
+            np.zeros(0, dtype=np.int64),
+            size=spec.scheme.array_size(rsu_id),
+        )
+
+    rows = []
+    incr_times = []
+    for stage in range(1, STAGES + 1):
+        # Fill the period up to stage/STAGES of the day.
+        for rsu_id, indices in day.items():
+            upto = (indices.size * stage) // STAGES
+            fresh = indices[consumed[rsu_id].size : upto]
+            if fresh.size:
+                decoder.ingest(
+                    rsu_id,
+                    fresh,
+                    size=spec.scheme.array_size(rsu_id),
+                )
+                consumed[rsu_id] = indices[:upto]
+        period_responses = sum(v.size for v in consumed.values())
+
+        # Probe 1: incremental ingest of one fixed-size batch.
+        probe = rng.integers(0, probe_size, size=PROBE, dtype=np.int64)
+        incr = _median_seconds(
+            lambda: decoder.ingest(probe_rsu, probe, size=probe_size)
+        )
+        incr_times.append(incr)
+
+        # Probe 2: fresh batch decode over everything so far.
+        reports = _accumulated_reports(spec, consumed)
+
+        def redecode():
+            batch = CentralDecoder(
+                config=SchemeConfig(
+                    s=spec.s, policy=spec.policy, engine=spec.engine
+                )
+            )
+            batch.submit_many(reports)
+            return batch.estimate_matrix(0)
+
+        full = _median_seconds(redecode)
+        rows.append((period_responses, incr, full))
+
+    table = AsciiTable(
+        [
+            "period responses",
+            "incremental batch (ms)",
+            "full re-decode (ms)",
+            "speedup",
+        ],
+        title=(
+            f"Streaming ingest cost, probe batch = {PROBE} responses "
+            f"({len(day)} RSUs, {total_trips:,} trips)"
+        ),
+    )
+    for period_responses, incr, full in rows:
+        table.add_row(
+            [
+                f"{period_responses:,}",
+                f"{incr * 1e3:.3f}",
+                f"{full * 1e3:.3f}",
+                f"{full / incr:,.0f}x",
+            ]
+        )
+    return table.render(), rows, incr_times
+
+
+def test_incremental_cost_is_flat(benchmark):
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    trips = 12_000 if smoke else 60_000
+    text, rows, incr_times = benchmark.pedantic(
+        run_streaming_bench, args=(trips,), rounds=1, iterations=1
+    )
+    if not smoke:  # keep the checked-in artifact full-size
+        publish("streaming", text)
+    else:
+        print()
+        print(text)
+    # O(batch), not O(period): with the period 6x fuller, the probe
+    # batch must not cost an order of magnitude more...
+    assert incr_times[-1] < 10 * min(incr_times)
+    # ...and must beat re-decoding the whole period outright.
+    _, final_incr, final_full = rows[-1]
+    assert final_incr < final_full

@@ -323,6 +323,16 @@ def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
         "default %(default)s)",
     )
     parser.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        metavar="N",
+        help="split each period into N sub-period streaming windows "
+        "(0 = off, default %(default)s); serve and loadgen must "
+        "agree, like every other deployment flag — see "
+        "docs/streaming.md",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="enable library debug logging on stderr",
@@ -385,7 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     for name in sorted(EXPERIMENTS) + ["all"]:
-        subparsers.add_parser(
+        sub = subparsers.add_parser(
             name,
             parents=[common],
             help=(
@@ -394,6 +404,30 @@ def build_parser() -> argparse.ArgumentParser:
                 else f"regenerate {name}"
             ),
         )
+        if name == "matrix":
+            sub.add_argument(
+                "--live",
+                action="store_true",
+                help="decode the OD matrix incrementally while the day "
+                "streams in (repro.streaming), verifying the live "
+                "answer bit-for-bit against the batch decode",
+            )
+            sub.add_argument(
+                "--window",
+                type=int,
+                default=None,
+                metavar="W",
+                help="also print the time-sliced OD matrix of "
+                "sub-period window W (implies --live)",
+            )
+            sub.add_argument(
+                "--windows",
+                type=int,
+                default=4,
+                metavar="N",
+                help="sub-period windows per period for --live/"
+                "--window (default %(default)s)",
+            )
     serve = subparsers.add_parser(
         "serve",
         help="run the live RSU gateway + central collector",
@@ -696,6 +730,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             metrics_port=args.metrics_port,
             wal_path=args.wal,
             retention_periods=args.retention,
+            windows=args.window,
         )
     from repro.service.runtime import run_serve
 
@@ -705,6 +740,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         gateway_port=args.gateway_port,
         collector_port=args.collector_port,
         metrics_port=args.metrics_port,
+        windows=args.window,
     )
 
 
@@ -716,6 +752,15 @@ def _run_loadgen(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry()
     if args.shards > 0:
+        if args.window > 0:
+            print(
+                "loadgen --window is not supported together with "
+                "--shards; run the windowed replay against a single "
+                "gateway (the sharded window path is exercised by "
+                "tests/test_streaming.py in process)",
+                file=sys.stderr,
+            )
+            return 2
         from repro.federation.runtime import (
             run_federated_loadgen,
             shard_port_plan,
@@ -745,6 +790,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
                 collector_port=args.collector_port,
                 wire_batch=args.wire_batch,
                 max_queries=args.max_queries,
+                windows=args.window,
                 registry=registry,
             )
         )
@@ -756,6 +802,24 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             written = write_jsonl(rows, fh)
         print(f"{written} metric rows written to {args.metrics_out}")
+    return 0 if result.bit_identical else 1
+
+
+def _run_matrix_live(args: argparse.Namespace) -> int:
+    """``repro matrix --live [--window W]``: the streaming decode."""
+    from repro.experiments.streaming_matrix import run_streaming_matrix
+
+    result = run_streaming_matrix(
+        total_trips=6_000 if args.quick else 60_000,
+        windows=args.windows,
+        window=args.window,
+    )
+    print(result.render())
+    if args.json is not None:
+        from repro.utils.serialization import to_jsonable
+
+        dump_json({"matrix_live": to_jsonable(result)}, args.json)
+        print(f"structured results written to {args.json}")
     return 0 if result.bit_identical else 1
 
 
@@ -854,6 +918,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_federation(args)
     if args.experiment == "chaos":
         return _run_chaos(args)
+    if args.experiment == "matrix" and (
+        args.live or args.window is not None
+    ):
+        return _run_matrix_live(args)
     if args.experiment == "all":
         # Independent artifacts run concurrently; each one's internal
         # batch then degrades to serial on the workers (nested guard),

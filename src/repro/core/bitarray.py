@@ -236,6 +236,36 @@ class BitArray:
         """Reset all bits to zero (start of a measurement period)."""
         self._backend.clear(self._storage)
 
+    def get_bits(self, indices: IndexLike) -> np.ndarray:
+        """The bits at *indices* as a boolean vector (gather).
+
+        The read-side dual of :meth:`set_bits`, with the same
+        validation: out-of-range or non-integral indices raise
+        :class:`~repro.errors.ValidationError`.  The streaming decoder
+        uses this to split an ingest batch into already-set and
+        newly-set bits without materializing the whole array.
+        """
+        try:
+            idx = np.atleast_1d(np.asarray(indices))
+            if idx.size and not np.issubdtype(idx.dtype, np.integer):
+                cast = idx.astype(np.int64)
+                if not np.array_equal(cast, idx):
+                    raise ValidationError(
+                        f"bit indices must be integral, got dtype {idx.dtype}"
+                    )
+                idx = cast
+            idx = idx.astype(np.int64, copy=False)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"bit indices are not index-like: {exc}") from exc
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        if idx.min() < 0 or idx.max() >= self._size:
+            raise ValidationError(
+                f"bit indices must lie in [0, {self._size}); got range "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        return self._backend.get_bits(self._storage, self._size, idx)
+
     # ------------------------------------------------------------------
     # Statistics (offline decoding phase)
     # ------------------------------------------------------------------

@@ -78,6 +78,21 @@ class BitBackend(abc.ABC):
     def get_bit(self, storage: np.ndarray, size: int, index: int) -> int:
         """The bit at *index* (already bounds-normalized) as 0/1."""
 
+    def get_bits(
+        self, storage: np.ndarray, size: int, indices: np.ndarray
+    ) -> np.ndarray:
+        """The bits at *indices* (already bounds-normalized) as a bool
+        vector of ``indices.size``.
+
+        The gather dual of :meth:`set_indices`, added for the streaming
+        decoder: an incremental pair update needs to know which bits of
+        a batch are *newly* set, and which positions of the peer array
+        are still zero, without materializing the whole array.  The
+        default routes through :meth:`to_bool`; backends override with
+        a vectorized gather.
+        """
+        return np.asarray(self.to_bool(storage, size)[indices], dtype=bool)
+
     @abc.abstractmethod
     def count_ones(self, storage: np.ndarray, size: int) -> int:
         """Number of set bits."""

@@ -55,6 +55,12 @@ class LegacyBoolBackend(BitBackend):
         """Single-bit read."""
         return int(storage[index])
 
+    def get_bits(
+        self, storage: np.ndarray, size: int, indices: np.ndarray
+    ) -> np.ndarray:
+        """Fancy-indexing gather (a fresh bool vector)."""
+        return storage[indices]
+
     def count_ones(self, storage: np.ndarray, size: int) -> int:
         """Sum of set bits."""
         return int(storage.sum())

@@ -115,6 +115,14 @@ class PackedWordBackend(BitBackend):
         word = int(storage[index >> 6])
         return (word >> (_WORD_BITS - 1 - (index & 63))) & 1
 
+    def get_bits(
+        self, storage: np.ndarray, size: int, indices: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized multi-bit gather: word fetch, shift, mask."""
+        words = storage[indices >> 6]
+        shifts = (_WORD_BITS - 1 - (indices & 63)).astype(np.uint64)
+        return ((words >> shifts) & np.uint64(1)).astype(bool)
+
     def count_ones(self, storage: np.ndarray, size: int) -> int:
         """Vectorized popcount (padding bits are guaranteed zero)."""
         return _popcount_sum(storage)

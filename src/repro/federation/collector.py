@@ -259,6 +259,13 @@ class FederatedCollector(CollectorService):
             rsu_id=snap.rsu_id, period=snap.period, seq=snap.seq
         )
 
+    def _journal_window(self, partial: wire.WindowSnapshot) -> None:
+        """Window partials are journaled alongside shard snapshots
+        (record type ``REC_WINDOW``), so :meth:`recover` also rebuilds
+        the streaming tier's time-sliced overlay."""
+        if self.wal is not None:
+            self.wal.append(partial)
+
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
@@ -284,7 +291,10 @@ class FederatedCollector(CollectorService):
             path = self.wal.path
         applied = 0
         for snap in replay_wal(path, registry=self.registry):
-            reply = self._apply_shard_snapshot(snap, journal=False)
+            if isinstance(snap, wire.WindowSnapshot):
+                reply = self._handle_window_snapshot(snap, journal=False)
+            else:
+                reply = self._apply_shard_snapshot(snap, journal=False)
             self._m_replayed.inc()
             if isinstance(reply, wire.SnapshotAck):
                 applied += 1

@@ -111,6 +111,9 @@ class FederationPlane:
     host: str = "127.0.0.1"
     wal: Optional[WriteAheadLog] = None
     owns_wal: bool = field(default=False, repr=False)
+    #: Sub-period window count the plane was started with (0 = the
+    #: streaming window tier is off).
+    windows: int = 0
 
     def shard_ports(self) -> Dict[int, int]:
         """``shard_id -> bound ingest port`` for every live shard."""
@@ -158,6 +161,7 @@ class FederationPlane:
             provisioner=spec_provisioner(self.spec),
             collector_host=self.host,
             collector_port=self.collector.port,
+            windows=self.windows,
         )
         await gateway.start(self.host, port)
         self.shards[shard_id] = gateway
@@ -179,6 +183,7 @@ async def start_federation(
     retention_periods: Optional[int] = None,
     build_workers: Optional[int] = None,
     build_executor: Optional[str] = None,
+    windows: int = 0,
 ) -> FederationPlane:
     """Start a collector and *shards* gateway shards; returns the plane.
 
@@ -189,7 +194,9 @@ async def start_federation(
     log).  Shard RSU fleets are built through
     :func:`repro.runtime.run_tasks` with *build_workers* /
     *build_executor* (default: the ``REPRO_WORKERS`` /
-    ``REPRO_EXECUTOR`` plan).
+    ``REPRO_EXECUTOR`` plan).  *windows* ``> 0`` turns on the streaming
+    window tier: every shard tracks sub-period accumulators and serves
+    ``EndWindow``, and the collector OR-merges window-tagged partials.
     """
     router = ShardRouter(shards)
     registry = MetricsRegistry()
@@ -197,7 +204,7 @@ async def start_federation(
     if wal_path is not None:
         wal = WriteAheadLog(wal_path, registry=registry, fsync=wal_fsync)
     collector = FederatedCollector(
-        spec.build_central_server(),
+        spec.build_central_server(windows=max(int(windows), 1)),
         registry=registry,
         retention_periods=retention_periods,
         wal=wal,
@@ -229,6 +236,7 @@ async def start_federation(
         host=host,
         wal=wal,
         owns_wal=wal is not None,
+        windows=int(windows),
     )
     provisioner = spec_provisioner(spec)
     for shard_id, (fleet, port) in enumerate(zip(fleets, ports)):
@@ -238,6 +246,7 @@ async def start_federation(
             provisioner=provisioner,
             collector_host=host,
             collector_port=collector.port,
+            windows=int(windows),
         )
         await gateway.start(host, port)
         plane.shards[shard_id] = gateway
@@ -345,6 +354,30 @@ class ShardClient:
             isinstance(ack, wire.HandoffAck) and ack.rsu_id == rsu_id
         ):
             raise WireError(f"handoff of rsu {rsu_id} refused: {ack!r}")
+
+    async def end_window(
+        self, period: int, window: int, *, timeout: Optional[float] = None
+    ) -> int:
+        """Close sub-period *window* at the shard; returns how many
+        window-tagged partials the collector acked."""
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        await asyncio.wait_for(
+            wire.write_message(
+                self._writer,
+                wire.EndWindow(period=period, window=window),
+            ),
+            timeout=self.timeout,
+        )
+        ack = await asyncio.wait_for(
+            wire.read_message(self._reader),
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+        if not (
+            isinstance(ack, wire.EndWindowAck) and ack.window == window
+        ):
+            raise WireError(f"expected EndWindowAck, got {ack!r}")
+        return ack.partials
 
     async def end_period(
         self, period: int, *, timeout: Optional[float] = None
@@ -585,6 +618,7 @@ async def _federated_serve_forever(
     metrics_port: Optional[int],
     wal_path: Union[str, Path, None],
     retention_periods: Optional[int],
+    windows: int = 0,
 ) -> None:
     from repro.obs import serve_metrics
 
@@ -600,6 +634,7 @@ async def _federated_serve_forever(
         collector_port=collector_port,
         wal_path=wal_path,
         retention_periods=retention_periods,
+        windows=windows,
     )
     metrics = None
     if metrics_port is not None:
@@ -656,12 +691,14 @@ def run_federated_serve(
     metrics_port: Optional[int] = None,
     wal_path: Union[str, Path, None] = None,
     retention_periods: Optional[int] = None,
+    windows: int = 0,
 ) -> int:
     """Blocking entry point behind ``repro serve --shards N``.
 
     Shard *i* binds ``gateway_port + i``.  SIGTERM/SIGINT trigger the
     same graceful shutdown as the single-gateway serve, plus a WAL
-    fsync, before the process exits 0.
+    fsync, before the process exits 0.  *windows* ``> 0`` enables the
+    streaming window tier across every shard.
     """
     spec = spec if spec is not None else DeploymentSpec()
     try:
@@ -675,6 +712,7 @@ def run_federated_serve(
                 metrics_port=metrics_port,
                 wal_path=wal_path,
                 retention_periods=retention_periods,
+                windows=windows,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - non-unix fallback

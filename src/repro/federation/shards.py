@@ -157,7 +157,12 @@ class ShardGateway(RsuGateway):
                     f"{message.rsu_id} (no provisioner)",
                 )
                 return
-            self.rsus[message.rsu_id] = self._provisioner(message.rsu_id)
+            provisioned = self._provisioner(message.rsu_id)
+            if self.windows > 0:
+                # A rebalanced-in RSU joins the streaming tier too, so
+                # its window partials keep flowing mid-period.
+                provisioned.track_windows()
+            self.rsus[message.rsu_id] = provisioned
             self._m_handoffs.inc()
             logger.info(
                 "shard %d accepted rsu %d from shard %d (period %d)",

@@ -9,14 +9,18 @@ carry the same ``(shard, rsu, period, seq)`` dedup identity the live
 path uses, so records applied twice (logged, applied, crashed, then
 replayed *and* retransmitted by the gateway) still land exactly once.
 
+The streaming tier's :class:`~repro.service.wire.WindowSnapshot`
+partials are journaled the same way under their own record type, so a
+recovered collector also rebuilds its time-sliced window overlay.
+
 Record layout (all integers big-endian)::
 
     offset  size  field
     0       2     magic  b"WL"
-    2       1     record type (1 = shard snapshot)
+    2       1     record type (1 = shard snapshot, 2 = window partial)
     3       4     payload length u32
     7       4     CRC-32 of the payload
-    11      n     payload — the ShardSnapshot wire payload verbatim
+    11      n     payload — the frame's wire payload verbatim
 
 A *torn tail* — a final record whose header or payload is shorter than
 declared, or whose CRC does not match, because the process died
@@ -40,7 +44,7 @@ from repro.obs import MetricsRegistry
 from repro.service import wire
 from repro.utils.logconfig import get_logger
 
-__all__ = ["WriteAheadLog", "replay_wal", "REC_SNAPSHOT"]
+__all__ = ["WriteAheadLog", "replay_wal", "REC_SNAPSHOT", "REC_WINDOW"]
 
 logger = get_logger("federation.wal")
 
@@ -49,6 +53,8 @@ _HEADER = struct.Struct(">2sBII")
 
 #: Record type of a journaled :class:`~repro.service.wire.ShardSnapshot`.
 REC_SNAPSHOT = 1
+#: Record type of a journaled :class:`~repro.service.wire.WindowSnapshot`.
+REC_WINDOW = 2
 
 
 class WriteAheadLog:
@@ -91,15 +97,24 @@ class WriteAheadLog:
         )
         self._m_bytes = self.registry.counter("federation.wal_bytes_total")
 
-    def append(self, snapshot: wire.ShardSnapshot) -> None:
-        """Journal one shard snapshot; flushed before this returns."""
+    def append(
+        self,
+        snapshot: Union[wire.ShardSnapshot, wire.WindowSnapshot],
+    ) -> None:
+        """Journal one shard snapshot or window partial; flushed before
+        this returns."""
         if self._fh.closed:
             raise WalError(f"write-ahead log {self.path} is closed")
+        rec_type = (
+            REC_WINDOW
+            if isinstance(snapshot, wire.WindowSnapshot)
+            else REC_SNAPSHOT
+        )
         payload = snapshot.payload()
         record = (
             _HEADER.pack(
                 _MAGIC,
-                REC_SNAPSHOT,
+                rec_type,
                 len(payload),
                 zlib.crc32(payload) & 0xFFFFFFFF,
             )
@@ -146,8 +161,10 @@ def replay_wal(
     path: Union[str, Path],
     *,
     registry: Optional[MetricsRegistry] = None,
-) -> Iterator[wire.ShardSnapshot]:
-    """Yield every intact snapshot record in *path*, in append order.
+) -> Iterator[Union[wire.ShardSnapshot, wire.WindowSnapshot]]:
+    """Yield every intact record in *path*, in append order — shard
+    snapshots and window partials alike, each decoded to its frame
+    type.
 
     Stops (without error) at a torn tail — the partial final record a
     crash mid-append leaves behind — counting
@@ -177,7 +194,7 @@ def replay_wal(
                 f"wal {path}: bad record magic {magic!r} at offset "
                 f"{offset}"
             )
-        if rec_type != REC_SNAPSHOT:
+        if rec_type not in (REC_SNAPSHOT, REC_WINDOW):
             raise WalError(
                 f"wal {path}: unknown record type {rec_type} at offset "
                 f"{offset}"
@@ -212,5 +229,8 @@ def replay_wal(
                 f"wal {path}: CRC mismatch at offset {offset} with "
                 "intact records after it — log is corrupt"
             )
-        yield wire.ShardSnapshot.decode(payload)
+        if rec_type == REC_WINDOW:
+            yield wire.WindowSnapshot.decode(payload)
+        else:
+            yield wire.ShardSnapshot.decode(payload)
         offset = end

@@ -13,7 +13,7 @@ the code path the in-process experiments use.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import (
     ConfigurationError,
@@ -87,6 +87,12 @@ class CollectorService:
         self._max_period: Optional[int] = None
         #: (rsu_id, period) -> seq of the upload that was applied.
         self._applied: Dict[Tuple[int, int], int] = {}
+        #: (rsu_id, period, window) -> {(shard_id, seq)} of the window
+        #: partials already OR-merged (streaming tier; every shard
+        #: contributes one partial per window, so the value is a set).
+        self._window_applied: Dict[
+            Tuple[int, int, int], Set[Tuple[int, int]]
+        ] = {}
         # Metrics (pre-created; see the gateway for the pattern).
         self.registry = (
             registry if registry is not None else MetricsRegistry()
@@ -99,6 +105,12 @@ class CollectorService:
         )
         self._m_conflicted = self.registry.counter(
             "collector.snapshots_conflicted_total"
+        )
+        self._m_windows_received = self.registry.counter(
+            "collector.window_partials_received_total"
+        )
+        self._m_windows_deduped = self.registry.counter(
+            "collector.window_partials_deduped_total"
         )
         self._m_answered = self.registry.counter(
             "collector.queries_answered_total"
@@ -133,6 +145,16 @@ class CollectorService:
     def snapshots_conflicted(self) -> int:
         """Uploads refused because a different seq already applied."""
         return int(self._m_conflicted.value)
+
+    @property
+    def window_partials_received(self) -> int:
+        """Window-tagged partials OR-merged into the streaming tier."""
+        return int(self._m_windows_received.value)
+
+    @property
+    def window_partials_deduped(self) -> int:
+        """Retransmitted window partials acknowledged without merging."""
+        return int(self._m_windows_deduped.value)
 
     @property
     def queries_answered(self) -> int:
@@ -208,6 +230,8 @@ class CollectorService:
     def _handle(self, message: wire.Message) -> wire.Message:
         if isinstance(message, wire.Snapshot):
             return self._handle_snapshot(message)
+        if isinstance(message, wire.WindowSnapshot):
+            return self._handle_window_snapshot(message)
         if isinstance(message, (wire.VolumeQuery, wire.PointQuery)):
             start = self.registry.clock()
             if isinstance(message, wire.VolumeQuery):
@@ -264,6 +288,57 @@ class CollectorService:
             rsu_id=snapshot.rsu_id, period=snapshot.period, seq=snapshot.seq
         )
 
+    def _handle_window_snapshot(
+        self, partial: wire.WindowSnapshot, *, journal: bool = True
+    ) -> wire.Message:
+        """OR-merge one window-tagged shard partial (streaming tier).
+
+        Unlike period snapshots, many uploads legitimately target the
+        same ``(rsu_id, period, window)`` — one per shard — so dedup is
+        per ``(shard_id, seq)`` within the window key and a fresh seq
+        is always merged (OR is commutative and idempotent, so replays
+        and reorderings cannot corrupt the live matrix).
+        """
+        key = (partial.rsu_id, partial.period, partial.window)
+        applied = self._window_applied.setdefault(key, set())
+        stamp = (partial.shard_id, partial.seq)
+        if stamp in applied:
+            self._m_windows_deduped.inc()
+            return wire.SnapshotAck(
+                rsu_id=partial.rsu_id,
+                period=partial.period,
+                seq=partial.seq,
+            )
+        if journal:
+            # Write-ahead: journaled before the merge, as for period
+            # snapshots; *journal* is False on WAL replay.
+            self._journal_window(partial)
+        try:
+            self.server.receive_window_partial(
+                partial.rsu_id,
+                partial.packed_bits,
+                partial.array_size,
+                partial.counter,
+                period=partial.period,
+                window=partial.window,
+            )
+        except ReproError as exc:
+            self._m_frames_rejected.inc()
+            return wire.ErrorMsg(wire.E_MALFORMED, str(exc))
+        applied.add(stamp)
+        self._m_windows_received.inc()
+        self._observe_period(partial.period)
+        return wire.SnapshotAck(
+            rsu_id=partial.rsu_id,
+            period=partial.period,
+            seq=partial.seq,
+        )
+
+    def _journal_window(self, partial: wire.WindowSnapshot) -> None:
+        """Durability hook for an applied window partial.  The base
+        collector keeps streaming state in memory only; the federation
+        tier overrides this to append to its write-ahead log."""
+
     # ------------------------------------------------------------------
     # Dedup-state retention
     # ------------------------------------------------------------------
@@ -291,11 +366,19 @@ class CollectorService:
         stale = [key for key in self._applied if key[1] <= horizon]
         for key in stale:
             del self._applied[key]
-        return len(stale)
+        stale_windows = [
+            key for key in self._window_applied if key[1] <= horizon
+        ]
+        evicted = len(stale)
+        for key in stale_windows:
+            evicted += len(self._window_applied.pop(key))
+        return evicted
 
     def _dedup_keys(self) -> int:
         """Current dedup key count (feeds the retained-keys gauge)."""
-        return len(self._applied)
+        return len(self._applied) + sum(
+            len(stamps) for stamps in self._window_applied.values()
+        )
 
     def _handle_query(self, query: wire.VolumeQuery) -> wire.Message:
         try:

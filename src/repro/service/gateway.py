@@ -83,6 +83,13 @@ class RsuGateway:
         Full backoff schedule for uploads; overrides *upload_retries*.
     retry_seed:
         Seed for backoff jitter, so fault tests are reproducible.
+    windows:
+        When ``> 0``, every RSU also accumulates a sub-period window
+        bit array (see :meth:`~repro.vcps.rsu.RoadsideUnit.track_windows`)
+        and the gateway serves :class:`~repro.service.wire.EndWindow`
+        frames by uploading window-tagged
+        :class:`~repro.service.wire.WindowSnapshot` partials to the
+        collector.  ``0`` (the default) disables the streaming tier.
     registry:
         The :class:`~repro.obs.MetricsRegistry` this gateway records
         into; a fresh private registry by default so concurrent
@@ -102,9 +109,14 @@ class RsuGateway:
         upload_retries: int = 3,
         retry_policy: Optional[RetryPolicy] = None,
         retry_seed: int = 0,
+        windows: int = 0,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.rsus = dict(rsus)
+        self.windows = int(windows)
+        if self.windows > 0:
+            for rsu in self.rsus.values():
+                rsu.track_windows()
         self.collector_host = collector_host
         self.collector_port = collector_port
         self.batch_size = int(batch_size)
@@ -169,6 +181,12 @@ class RsuGateway:
         self._m_reclosed = self.registry.counter(
             "gateway.periods_reclosed_total"
         )
+        self._m_windows_closed = self.registry.counter(
+            "gateway.windows_closed_total"
+        )
+        self._m_window_uploads = self.registry.counter(
+            "gateway.window_partials_uploaded_total"
+        )
         self._m_backpressure = self.registry.counter(
             "gateway.backpressure_stalls_total"
         )
@@ -228,6 +246,16 @@ class RsuGateway:
     def periods_reclosed(self) -> int:
         """EndPeriod frames for a period that was already closed."""
         return int(self._m_reclosed.value)
+
+    @property
+    def windows_closed(self) -> int:
+        """EndWindow frames served (window partials shipped)."""
+        return int(self._m_windows_closed.value)
+
+    @property
+    def window_partials_uploaded(self) -> int:
+        """WindowSnapshot frames the collector acknowledged."""
+        return int(self._m_window_uploads.value)
 
     @property
     def backpressure_stalls(self) -> int:
@@ -294,6 +322,18 @@ class RsuGateway:
                         message.macs,
                         message.bit_indices,
                         seq=message.seq,
+                    )
+                elif isinstance(message, wire.EndWindow):
+                    uploaded = await self.close_window(
+                        message.period, message.window
+                    )
+                    await wire.write_message(
+                        writer,
+                        wire.EndWindowAck(
+                            period=message.period,
+                            window=message.window,
+                            partials=uploaded,
+                        ),
                     )
                 elif isinstance(message, wire.EndPeriod):
                     uploaded = await self.close_period(message.period)
@@ -483,6 +523,67 @@ class RsuGateway:
         )
         return uploaded
 
+    # ------------------------------------------------------------------
+    # Sub-period window close (streaming tier)
+    # ------------------------------------------------------------------
+    async def close_window(self, period: int, window: int) -> int:
+        """Flush, close the current window at every RSU, and upload the
+        window-tagged partials; returns how many the collector acked.
+
+        Window partials are an overlay on the authoritative period
+        snapshots: :meth:`close_period` is untouched by this path.  A
+        retransmitted ``EndWindow`` after a completed close re-ships
+        empty partials (the accumulators were already reset), which the
+        collector's OR-merge absorbs harmlessly.
+        """
+        if self.windows <= 0:
+            raise WireError(
+                "gateway was not started with windows enabled"
+            )
+        if self._close_lock is None:
+            self._close_lock = asyncio.Lock()
+        async with self._close_lock:
+            await self._queue.join()
+            self._flush_all()
+            partials: List[wire.WindowSnapshot] = []
+            for rsu in sorted(self.rsus.values(), key=lambda r: r.rsu_id):
+                report = rsu.close_window()
+                partials.append(
+                    self._make_window_snapshot(
+                        report, int(window), self._next_upload_seq
+                    )
+                )
+                self._next_upload_seq += 1
+            acked: Set[int] = set()
+            await self._upload_snapshots(
+                int(period), partials, acked=acked, window=True
+            )
+            self._m_windows_closed.inc()
+        logger.info(
+            "window %s/%s closed: %d/%d partials uploaded",
+            period,
+            window,
+            len(acked),
+            len(partials),
+        )
+        return len(acked)
+
+    def _make_window_snapshot(
+        self, report, window: int, seq: int
+    ) -> wire.WindowSnapshot:
+        """Build the upload frame for one closed window *report*.
+
+        The shard id comes from the subclass when there is one (the
+        federation tier's gateways carry ``shard_id``); the base
+        gateway ships shard 0.
+        """
+        return wire.WindowSnapshot.from_report(
+            report,
+            window=window,
+            shard_id=int(getattr(self, "shard_id", 0)),
+            seq=seq,
+        )
+
     def _make_snapshot(self, report, seq: int) -> wire.Snapshot:
         """Build the upload frame for one period-end *report*.
 
@@ -493,12 +594,24 @@ class RsuGateway:
         return wire.Snapshot.from_report(report, seq=seq)
 
     async def _upload_snapshots(
-        self, period: int, snapshots: List[wire.Snapshot]
+        self,
+        period: int,
+        snapshots: List[wire.Snapshot],
+        *,
+        acked: Optional[Set[int]] = None,
+        window: bool = False,
     ) -> None:
         """Upload each snapshot with the retry policy, reusing one
         connection across snapshots; a fault closes it and the next
         attempt redials.  Collector-side (rsu_id, period, seq) dedup
-        makes retransmissions exactly-once."""
+        makes retransmissions exactly-once.
+
+        *acked* collects the rsu_ids the collector confirmed (defaults
+        to the period-close ledger); *window* routes the success metric
+        to the window-partial counter.
+        """
+        if acked is None:
+            acked = self._period_acked[period]
         connection: List[
             Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]
         ] = [None]
@@ -567,7 +680,10 @@ class RsuGateway:
                     self._m_upload_failed.inc()
                     _drop_connection()
                     continue
-                self._period_acked[period].add(snapshot.rsu_id)
-                self._m_uploaded.inc()
+                acked.add(snapshot.rsu_id)
+                if window:
+                    self._m_window_uploads.inc()
+                else:
+                    self._m_uploaded.inc()
         finally:
             _drop_connection()

@@ -90,6 +90,9 @@ class StreamStats:
         )
         self._m_dedup = self.registry.counter("loadgen.dedup_acks_total")
         self._m_nacks = self.registry.counter("loadgen.nacks_total")
+        self._m_windows = self.registry.counter(
+            "loadgen.windows_closed_total"
+        )
         self._m_snapshots = self.registry.gauge("loadgen.snapshots_acked")
         self._m_elapsed = self.registry.gauge("loadgen.stream_seconds")
 
@@ -127,6 +130,11 @@ class StreamStats:
     def nacks(self) -> int:
         """Error frames received where an ack was expected."""
         return int(self._m_nacks.value)
+
+    @property
+    def windows_closed(self) -> int:
+        """Sub-period windows the gateway acknowledged closing."""
+        return int(self._m_windows.value)
 
 
 @dataclass
@@ -248,6 +256,45 @@ def _day_batches(
     return batches
 
 
+def _day_window_batches(
+    spec: DeploymentSpec, wire_batch: int, windows: int
+) -> List[List[wire.ResponseBatch]]:
+    """The day as *windows* sequential phases of sequenced batches.
+
+    Each RSU's day of responses is split into *windows* contiguous
+    slices (``np.array_split``: near-equal, deterministic); slice *w*
+    of every RSU forms phase *w* — the responses "observed during"
+    sub-period window *w*.  Seqs number the frames globally across
+    phases, matching the gateway's per-period dedup scope.
+    """
+    mac_rng = as_generator(spec.seed)
+    phases: List[List[wire.ResponseBatch]] = [[] for _ in range(windows)]
+    seq = 1
+    for rsu_id in spec.scheme.rsu_ids:
+        indices = spec.response_indices(rsu_id)
+        if indices.size == 0:
+            continue
+        macs = random_macs(indices.size, seed=mac_rng)
+        index_slices = np.array_split(indices, windows)
+        mac_slices = np.array_split(macs, windows)
+        for w in range(windows):
+            part = index_slices[w]
+            part_macs = mac_slices[w]
+            for lo in range(0, part.size, wire_batch):
+                phases[w].append(
+                    wire.ResponseBatch(
+                        rsu_id=rsu_id,
+                        macs=part_macs[lo : lo + wire_batch],
+                        bit_indices=part[lo : lo + wire_batch].astype(
+                            np.uint32
+                        ),
+                        seq=seq,
+                    )
+                )
+                seq += 1
+    return phases
+
+
 async def replay_day(
     spec: DeploymentSpec,
     *,
@@ -256,6 +303,7 @@ async def replay_day(
     wire_batch: int = 4096,
     period: int = 0,
     window: int = 32,
+    windows: int = 0,
     ack_timeout: float = 5.0,
     close_timeout: float = 30.0,
     retry_policy: Optional[RetryPolicy] = None,
@@ -271,101 +319,152 @@ async def replay_day(
     acknowledged.  Raises :class:`~repro.errors.RetryExhaustedError`
     after too many consecutive cycles with no forward progress.
 
+    With *windows* ``> 1`` (the sub-period window count — distinct
+    from *window*, the outstanding-frame cap) the day is replayed in
+    that many sequential phases, each fully acked and then closed with
+    an :class:`~repro.service.wire.EndWindow` frame before the next
+    begins, so the gateway ships one window-tagged partial per RSU per
+    phase (see ``docs/streaming.md``).
+
     Everything the run observes lands in *registry* (fresh if omitted)
     as ``loadgen.*`` metrics; the returned :class:`StreamStats` is a
     view over that registry.
     """
     policy = retry_policy if retry_policy is not None else RetryPolicy()
     rng = random.Random(retry_seed)
-    batches = _day_batches(spec, wire_batch)
-    unacked: Dict[int, wire.ResponseBatch] = {b.seq: b for b in batches}
+    # The replay plan: phases of (unacked batches, closing frame).  A
+    # plain replay is one phase closed by EndPeriod; a windowed replay
+    # is one EndWindow-closed phase per sub-period window, then an
+    # empty EndPeriod phase.
+    plan: List[Tuple[Dict[int, wire.ResponseBatch], wire.Message]] = []
+    if windows and int(windows) > 1:
+        for w, phase in enumerate(
+            _day_window_batches(spec, wire_batch, int(windows))
+        ):
+            plan.append(
+                (
+                    {b.seq: b for b in phase},
+                    wire.EndWindow(period=period, window=w),
+                )
+            )
+        plan.append(({}, wire.EndPeriod(period=period)))
+    else:
+        plan.append(
+            (
+                {b.seq: b for b in _day_batches(spec, wire_batch)},
+                wire.EndPeriod(period=period),
+            )
+        )
     sent_once: set = set()
     stats = StreamStats(registry)
     connection: Optional[
         Tuple[asyncio.StreamReader, asyncio.StreamWriter]
     ] = None
-    end_acked = False
     stalls = 0
     start = time.perf_counter()
     try:
-        while not end_acked:
-            made_progress = False
-            try:
-                if connection is None:
+        for unacked, close_frame in plan:
+            phase_done = False
+            while not phase_done:
+                made_progress = False
+                try:
+                    if connection is None:
 
-                    async def connect():
-                        return await asyncio.wait_for(
-                            asyncio.open_connection(host, gateway_port),
-                            timeout=ack_timeout,
+                        async def connect():
+                            return await asyncio.wait_for(
+                                asyncio.open_connection(host, gateway_port),
+                                timeout=ack_timeout,
+                            )
+
+                        connection = await retry_async(
+                            connect,
+                            policy=policy,
+                            rng=rng,
+                            registry=stats.registry,
+                            op="gateway_connect",
                         )
-
-                    connection = await retry_async(
-                        connect,
-                        policy=policy,
-                        rng=rng,
-                        registry=stats.registry,
-                        op="gateway_connect",
+                    reader, writer = connection
+                    todo = list(unacked.values())
+                    for lo in range(0, len(todo), window):
+                        chunk = todo[lo : lo + window]
+                        for batch in chunk:
+                            if batch.seq in sent_once:
+                                stats._m_resent.inc()
+                            else:
+                                sent_once.add(batch.seq)
+                            await wire.write_message(writer, batch)
+                        for _ in chunk:
+                            answer = await asyncio.wait_for(
+                                wire.read_message(reader),
+                                timeout=ack_timeout,
+                            )
+                            if isinstance(answer, wire.BatchAck):
+                                if answer.duplicate:
+                                    stats._m_dedup.inc()
+                                acked = unacked.pop(answer.seq, None)
+                                if acked is not None:
+                                    stats._m_sent.inc(len(acked))
+                                    made_progress = True
+                            elif isinstance(answer, wire.ErrorMsg):
+                                stats._m_nacks.inc()
+                                raise WireError(
+                                    f"gateway nack: {answer.message}"
+                                )
+                            else:
+                                raise WireError(
+                                    f"unexpected ack frame {answer!r}"
+                                )
+                    # Everything acked: close the phase.  Both closes
+                    # are idempotent gateway-side — EndPeriod re-uploads
+                    # unacked snapshots, a re-sent EndWindow ships empty
+                    # partials the OR-merge absorbs — so a lost ack here
+                    # is simply retried on the next cycle.
+                    await wire.write_message(writer, close_frame)
+                    answer = await asyncio.wait_for(
+                        wire.read_message(reader), timeout=close_timeout
                     )
-                reader, writer = connection
-                todo = list(unacked.values())
-                for lo in range(0, len(todo), window):
-                    chunk = todo[lo : lo + window]
-                    for batch in chunk:
-                        if batch.seq in sent_once:
-                            stats._m_resent.inc()
-                        else:
-                            sent_once.add(batch.seq)
-                        await wire.write_message(writer, batch)
-                    for _ in chunk:
-                        answer = await asyncio.wait_for(
-                            wire.read_message(reader), timeout=ack_timeout
-                        )
-                        if isinstance(answer, wire.BatchAck):
-                            if answer.duplicate:
-                                stats._m_dedup.inc()
-                            acked = unacked.pop(answer.seq, None)
-                            if acked is not None:
-                                stats._m_sent.inc(len(acked))
-                                made_progress = True
+                    if isinstance(close_frame, wire.EndPeriod):
+                        if isinstance(answer, wire.EndPeriodAck):
+                            stats._m_snapshots.set(answer.snapshots)
+                            phase_done = True
                         elif isinstance(answer, wire.ErrorMsg):
                             stats._m_nacks.inc()
                             raise WireError(
-                                f"gateway nack: {answer.message}"
+                                f"gateway nack on EndPeriod: "
+                                f"{answer.message}"
                             )
                         else:
                             raise WireError(
-                                f"unexpected ack frame {answer!r}"
+                                f"unexpected close reply {answer!r}"
                             )
-                # Everything acked: close the period.  The gateway's
-                # close is idempotent, so a lost ack here is retried
-                # on the next cycle without re-snapshotting.
-                await wire.write_message(
-                    writer, wire.EndPeriod(period=period)
-                )
-                answer = await asyncio.wait_for(
-                    wire.read_message(reader), timeout=close_timeout
-                )
-                if isinstance(answer, wire.EndPeriodAck):
-                    stats._m_snapshots.set(answer.snapshots)
-                    end_acked = True
-                elif isinstance(answer, wire.ErrorMsg):
-                    stats._m_nacks.inc()
-                    raise WireError(
-                        f"gateway nack on EndPeriod: {answer.message}"
-                    )
-                else:
-                    raise WireError(f"unexpected close reply {answer!r}")
-            except _FAULTS as exc:
-                _close_connection(connection)
-                connection = None
-                stats._m_reconnects.inc()
-                stalls = 0 if made_progress else stalls + 1
-                if stalls >= _MAX_STALLS:
-                    raise RetryExhaustedError(
-                        f"no streaming progress after {stalls} "
-                        f"consecutive reconnects: {exc}",
-                        attempts=stalls,
-                    ) from exc
+                    else:
+                        if (
+                            isinstance(answer, wire.EndWindowAck)
+                            and answer.window == close_frame.window
+                        ):
+                            stats._m_windows.inc()
+                            phase_done = True
+                        elif isinstance(answer, wire.ErrorMsg):
+                            stats._m_nacks.inc()
+                            raise WireError(
+                                f"gateway nack on EndWindow: "
+                                f"{answer.message}"
+                            )
+                        else:
+                            raise WireError(
+                                f"unexpected window close reply {answer!r}"
+                            )
+                except _FAULTS as exc:
+                    _close_connection(connection)
+                    connection = None
+                    stats._m_reconnects.inc()
+                    stalls = 0 if made_progress else stalls + 1
+                    if stalls >= _MAX_STALLS:
+                        raise RetryExhaustedError(
+                            f"no streaming progress after {stalls} "
+                            f"consecutive reconnects: {exc}",
+                            attempts=stalls,
+                        ) from exc
     finally:
         _close_connection(connection)
     stats._m_elapsed.set(time.perf_counter() - start)
@@ -526,6 +625,7 @@ async def run_loadgen(
     max_queries: Optional[int] = None,
     period: int = 0,
     window: int = 32,
+    windows: int = 0,
     ack_timeout: float = 5.0,
     close_timeout: float = 30.0,
     retry_policy: Optional[RetryPolicy] = None,
@@ -535,7 +635,9 @@ async def run_loadgen(
     """Full load generation run: stream the day, then verify queries.
 
     One *registry* (fresh if omitted) collects both phases' metrics
-    and is attached to the result as ``result.registry``.
+    and is attached to the result as ``result.registry``.  *windows*
+    ``> 1`` replays the day in that many window-closed phases (the
+    deployment must be serving with the same window count).
     """
     spec = spec if spec is not None else DeploymentSpec()
     registry = registry if registry is not None else MetricsRegistry()
@@ -546,6 +648,7 @@ async def run_loadgen(
         wire_batch=wire_batch,
         period=period,
         window=window,
+        windows=windows,
         ack_timeout=ack_timeout,
         close_timeout=close_timeout,
         retry_policy=retry_policy,

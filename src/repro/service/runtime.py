@@ -111,14 +111,23 @@ class DeploymentSpec:
             for rsu_id in self.scheme.rsu_ids
         }
 
-    def build_central_server(self) -> CentralServer:
-        """The collector's measurement back end."""
+    def build_central_server(
+        self, *, windows: int = 1, window_s: Optional[float] = None
+    ) -> CentralServer:
+        """The collector's measurement back end.
+
+        *windows*/*window_s* size the attached streaming tier (see
+        ``docs/streaming.md``); the defaults keep whole-period
+        streaming only.
+        """
         return CentralServer(
             self.s,
             LoadFactorSizing(self.load_factor),
             history=VolumeHistory(dict(self.workload.volumes())),
             policy=self.policy,
             engine=self.engine,
+            windows=windows,
+            window_s=window_s,
         )
 
     # ------------------------------------------------------------------
@@ -165,6 +174,7 @@ async def start_services(
     upload_retry_policy: Optional["RetryPolicy"] = None,
     upload_retry_seed: int = 0,
     upload_timeout: float = 5.0,
+    windows: int = 0,
 ) -> Tuple["RsuGateway", "CollectorService"]:
     """Start collector and gateway servers; returns both (running).
 
@@ -172,11 +182,17 @@ async def start_services(
     uploads — pass a :class:`~repro.service.faults.FaultProxy` port to
     route the gateway→collector path through injected faults while the
     collector itself listens on *collector_port* as usual.
+
+    *windows* ``> 0`` enables the streaming tier: the gateway tracks
+    sub-period window accumulators and serves ``EndWindow``, and the
+    collector's server decodes time-sliced matrices.
     """
     from repro.service.collector import CollectorService
     from repro.service.gateway import RsuGateway
 
-    collector = CollectorService(spec.build_central_server())
+    collector = CollectorService(
+        spec.build_central_server(windows=max(int(windows), 1))
+    )
     await collector.start(host, collector_port)
     gateway = RsuGateway(
         spec.build_rsus(),
@@ -187,6 +203,7 @@ async def start_services(
         upload_timeout=upload_timeout,
         retry_policy=upload_retry_policy,
         retry_seed=upload_retry_seed,
+        windows=int(windows),
     )
     await gateway.start(host, gateway_port)
     logger.info(
@@ -224,6 +241,7 @@ async def _serve_forever(
     gateway_port: int,
     collector_port: int,
     metrics_port: Optional[int] = None,
+    windows: int = 0,
 ) -> None:
     from repro.obs import serve_metrics
 
@@ -232,6 +250,7 @@ async def _serve_forever(
         host=host,
         gateway_port=gateway_port,
         collector_port=collector_port,
+        windows=windows,
     )
     metrics = None
     if metrics_port is not None:
@@ -276,6 +295,7 @@ def run_serve(
     gateway_port: int = DEFAULT_GATEWAY_PORT,
     collector_port: int = DEFAULT_COLLECTOR_PORT,
     metrics_port: Optional[int] = None,
+    windows: int = 0,
 ) -> int:
     """Blocking entry point behind ``repro serve``.
 
@@ -284,12 +304,18 @@ def run_serve(
     ``wire.*``/``core.*`` metrics) as Prometheus text.  SIGTERM and
     SIGINT both trigger a graceful shutdown: the ingest queue is
     drained and pending responses flushed before the process exits 0.
+    *windows* ``> 0`` enables the streaming tier end to end.
     """
     spec = spec if spec is not None else DeploymentSpec()
     try:
         asyncio.run(
             _serve_forever(
-                spec, host, gateway_port, collector_port, metrics_port
+                spec,
+                host,
+                gateway_port,
+                collector_port,
+                metrics_port,
+                windows,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - non-unix fallback

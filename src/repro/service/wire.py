@@ -31,7 +31,11 @@ adds three shard-aware types under the same version (old peers simply
 never see them): :class:`ShardSnapshot` (a shard's *partial* report,
 OR-merged at the federated collector), :class:`Handoff` and
 :class:`HandoffAck` (mid-period RSU rebalance between shards) — see
-``docs/federation.md``.
+``docs/federation.md``.  The streaming tier adds three more:
+:class:`WindowSnapshot` (a sub-period window partial, OR-merged into
+the server's live decoder), :class:`EndWindow` and
+:class:`EndWindowAck` (close one window at the gateway) — see
+``docs/streaming.md``.
 
 The codec is deliberately numpy-friendly: response batches carry
 parallel ``uint64``/``uint32`` arrays (decoded with zero copies via
@@ -64,8 +68,11 @@ __all__ = [
     "Snapshot",
     "SnapshotAck",
     "ShardSnapshot",
+    "WindowSnapshot",
     "Handoff",
     "HandoffAck",
+    "EndWindow",
+    "EndWindowAck",
     "EndPeriod",
     "EndPeriodAck",
     "VolumeQuery",
@@ -105,6 +112,9 @@ T_BATCH_ACK = 0x0B
 T_SHARD_SNAPSHOT = 0x0C
 T_HANDOFF = 0x0D
 T_HANDOFF_ACK = 0x0E
+T_WINDOW_SNAPSHOT = 0x0F
+T_END_WINDOW = 0x10
+T_END_WINDOW_ACK = 0x11
 T_ERROR = 0x7F
 
 # Error codes carried by ErrorMsg.
@@ -482,6 +492,131 @@ class ShardSnapshot:
         )
 
 
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """A sub-period *window* partial of one RSU's bit array.
+
+    ``shard_id u32 | rsu_id u32 | period u32 | window u32 | seq u64 |
+    counter u64 | array_size u32 |
+    packed_bits u8[ceil(array_size / 8)]`` — a
+    :class:`ShardSnapshot` with a window index.  An unsharded gateway
+    uploads with ``shard_id == 0``.
+
+    Window partials are an *overlay* on the period-close upload, not a
+    replacement: the gateway still ships its whole
+    :class:`Snapshot` / :class:`ShardSnapshot` at period close, so the
+    authoritative batch decode is untouched.  The collector OR-merges
+    window partials per ``(rsu_id, period, window)`` into the server's
+    streaming decoder — the same state-based CRDT join as shard
+    partials, deduplicated on ``(shard_id, seq)``, so rebalanced RSUs
+    whose window landed on two shards merge losslessly.  Acknowledged
+    with the ordinary :class:`SnapshotAck` echoing the upload seq.
+    """
+
+    shard_id: int
+    rsu_id: int
+    period: int
+    window: int
+    counter: int
+    array_size: int
+    packed_bits: bytes = field(repr=False)
+    seq: int = 0
+
+    _HEAD = struct.Struct(">IIIIQQI")
+    type = T_WINDOW_SNAPSHOT
+
+    def payload(self) -> bytes:
+        expected = (self.array_size + 7) // 8
+        if len(self.packed_bits) != expected:
+            raise WireError(
+                f"window snapshot of {self.array_size} bits needs "
+                f"{expected} packed bytes, got {len(self.packed_bits)}"
+            )
+        return (
+            self._HEAD.pack(
+                _check_u32(self.shard_id, "shard_id"),
+                _check_u32(self.rsu_id, "rsu_id"),
+                _check_u32(self.period, "period"),
+                _check_u32(self.window, "window"),
+                _check_u64(self.seq, "seq"),
+                _check_u64(self.counter, "counter"),
+                _check_u32(self.array_size, "array_size"),
+            )
+            + self.packed_bits
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "WindowSnapshot":
+        if len(payload) < cls._HEAD.size:
+            raise WireError("truncated window snapshot header")
+        (
+            shard_id,
+            rsu_id,
+            period,
+            window,
+            seq,
+            counter,
+            size,
+        ) = cls._HEAD.unpack_from(payload)
+        if size == 0:
+            raise WireError("window snapshot array_size must be positive")
+        packed = payload[cls._HEAD.size :]
+        expected = (size + 7) // 8
+        if len(packed) != expected:
+            raise WireError(
+                f"window snapshot of {size} bits needs {expected} packed "
+                f"bytes, got {len(packed)}"
+            )
+        if size % 8:
+            tail = packed[-1] & ((1 << (8 - size % 8)) - 1)
+            if tail:
+                raise WireError(
+                    "window snapshot padding bits past array_size are set"
+                )
+        return cls(
+            shard_id=shard_id,
+            rsu_id=rsu_id,
+            period=period,
+            window=window,
+            counter=counter,
+            array_size=size,
+            packed_bits=packed,
+            seq=seq,
+        )
+
+    # -- conversions to/from the in-process report type ----------------
+    @classmethod
+    def from_report(
+        cls,
+        report: RsuReport,
+        *,
+        window: int,
+        shard_id: int = 0,
+        seq: int = 0,
+    ) -> "WindowSnapshot":
+        """Wrap one window's partial :class:`~repro.core.reports.RsuReport`."""
+        return cls(
+            shard_id=shard_id,
+            rsu_id=report.rsu_id,
+            period=report.period,
+            window=window,
+            counter=report.counter,
+            array_size=report.array_size,
+            packed_bits=report.bits.to_bytes(),
+            seq=seq,
+        )
+
+    def to_report(self) -> RsuReport:
+        """The window partial this frame carries."""
+        bits = BitArray.from_bytes(self.packed_bits, self.array_size)
+        return RsuReport(
+            rsu_id=self.rsu_id,
+            counter=self.counter,
+            bits=bits,
+            period=self.period,
+        )
+
+
 def _simple(name, code, fmt, fields_doc, field_names):
     """Build a fixed-layout message class (header-only payload)."""
     layout = struct.Struct(fmt)
@@ -543,6 +678,26 @@ HandoffAck = _simple(
     "Target shard's confirmation of a ``Handoff``: ``rsu_id u32 | "
     "to_shard u32 | period u32``.",
     ("rsu_id", "to_shard", "period"),
+)
+
+EndWindow = _simple(
+    "EndWindow",
+    T_END_WINDOW,
+    ">II",
+    "Close one sub-period window at the gateway: ``period u32 | "
+    "window u32``.  The gateway drains its ingest queue, snapshots and "
+    "resets every RSU's window accumulator, and uploads one "
+    "``WindowSnapshot`` per RSU before acknowledging.",
+    ("period", "window"),
+)
+
+EndWindowAck = _simple(
+    "EndWindowAck",
+    T_END_WINDOW_ACK,
+    ">III",
+    "Gateway's confirmation of an ``EndWindow``: ``period u32 | "
+    "window u32 | partials_uploaded u32``.",
+    ("period", "window", "partials"),
 )
 
 EndPeriod = _simple(
@@ -666,8 +821,11 @@ Message = Union[
     Snapshot,
     SnapshotAck,
     ShardSnapshot,
+    WindowSnapshot,
     Handoff,
     HandoffAck,
+    EndWindow,
+    EndWindowAck,
     EndPeriod,
     EndPeriodAck,
     VolumeQuery,
@@ -686,8 +844,11 @@ _DECODERS = {
         Snapshot,
         SnapshotAck,
         ShardSnapshot,
+        WindowSnapshot,
         Handoff,
         HandoffAck,
+        EndWindow,
+        EndWindowAck,
         EndPeriod,
         EndPeriodAck,
         VolumeQuery,

@@ -1,0 +1,610 @@
+"""Streaming incremental decode: live OD matrices at any instant.
+
+The paper's decoder answers only at period close: every RSU ships its
+full bit array, the server unfolds, ORs, and counts zeros.  This
+package makes the same estimates available *while the period is still
+open*, at per-batch cost proportional to the batch — never to the
+period:
+
+* :class:`StreamingDecoder` maintains, per period, one running bit
+  array per RSU **and one running joint-zero count per RSU pair**.
+  When a batch of response indices arrives it finds the batch's
+  *newly set* bits with one vectorized gather
+  (:meth:`repro.core.bitarray.BitArray.get_bits`), and for each pair
+  subtracts exactly the joint positions those bits just killed.  A
+  :meth:`live_matrix` query then needs no unfold, no OR, and no
+  popcount over pairs — the counts are already sitting there.
+* A ring of ``W`` sub-period **window** arrays per RSU slices the
+  period into time intervals (rush hour vs off-peak):
+  :meth:`window_matrix` decodes one window,
+  :meth:`matrix_at` decodes the prefix of windows covering an instant
+  ``t`` (quantized by ``window_s``), and per-vehicle-**class** arrays
+  give the interval x class query surface of the trajectory tools the
+  ROADMAP points at.
+
+Exactness
+---------
+The incremental path is not an approximation.  Writing ``T`` for the
+pair's common (larger) size, every newly set bit ``i`` of ``B_x``
+turns the joint positions ``{i + j * m_x : 0 <= j < T / m_x}`` from
+``B_y``'s tiled value into 1 — so the running count equals the
+batch-computed ``U_c`` after every batch, exactly.  The MLE input
+``V_c = U_c / T`` is then the *identical IEEE float* the batch decoder
+produces, because its ``zeros / target`` at the period-global size is
+the same quotient scaled by a power of two in both numerator and
+denominator (both stay exact below 2**53, and IEEE division is
+correctly rounded).  ``tests/test_streaming.py`` pins
+``live_matrix()`` bit-identical to a fresh
+:meth:`repro.core.decoder.CentralDecoder.estimate_matrix` over the
+same prefix, on both engine backends.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitarray import BitArray
+from repro.core.decoder import CentralDecoder
+from repro.core.estimator import (
+    PairEstimate,
+    ZeroFractionPolicy,
+    _observed_fraction,
+    estimate_from_fractions,
+)
+from repro.core.reports import RsuReport
+from repro.errors import ConfigurationError, SaturatedArrayError
+from repro.obs import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import PolicyLike, SchemeConfig
+
+__all__ = ["StreamingDecoder", "window_for"]
+
+
+def window_for(at: float, window_s: float, windows: int) -> int:
+    """The window index covering instant *at* (seconds into the period).
+
+    Windows are half-open: ``[w * window_s, (w + 1) * window_s)``, so a
+    response landing exactly on a boundary belongs to the *later*
+    window.  Instants at or past the period's end clamp to the final
+    window.
+    """
+    if at < 0:
+        raise ConfigurationError(f"instant must be >= 0, got {at}")
+    if window_s <= 0:
+        raise ConfigurationError(f"window_s must be > 0, got {window_s}")
+    return min(int(at // window_s), int(windows) - 1)
+
+
+class _RsuStream:
+    """Running per-(period, RSU) streaming state."""
+
+    __slots__ = (
+        "rsu_id",
+        "size",
+        "bits",
+        "running_counter",
+        "sealed_counter",
+        "window_bits",
+        "window_counters",
+        "class_bits",
+        "class_counters",
+    )
+
+    def __init__(self, rsu_id: int, size: int, bits: BitArray) -> None:
+        self.rsu_id = rsu_id
+        self.size = size
+        self.bits = bits
+        self.running_counter = 0
+        self.sealed_counter: Optional[int] = None
+        self.window_bits: Dict[int, BitArray] = {}
+        self.window_counters: Dict[int, int] = {}
+        self.class_bits: Dict[str, BitArray] = {}
+        self.class_counters: Dict[str, int] = {}
+
+    @property
+    def counter(self) -> int:
+        """The live point volume: the authoritative period-close value
+        once sealed, the running ingest total before that."""
+        if self.sealed_counter is not None:
+            return self.sealed_counter
+        return self.running_counter
+
+
+class StreamingDecoder:
+    """Incremental all-pairs decoder with sub-period windows.
+
+    Parameters
+    ----------
+    s:
+        Logical bit array size (as for
+        :class:`~repro.core.decoder.CentralDecoder`).
+    policy:
+        Saturation handling for live queries.
+    config:
+        A :class:`~repro.core.config.SchemeConfig` providing defaults;
+        explicit arguments override it.
+    engine:
+        Bit-storage backend for the running arrays.
+    windows:
+        Number of sub-period windows ``W`` (>= 1).  With ``W == 1`` no
+        window ring is kept — :meth:`window_matrix` answers from the
+        running arrays.
+    window_s:
+        Wall-clock seconds per window; enables the ``at=`` seconds form
+        of :meth:`matrix_at` (without it, *at* is a window index).
+    registry:
+        Metrics sink for the ``stream.*`` series; defaults to the
+        process registry at call time.
+    """
+
+    def __init__(
+        self,
+        s: Optional[int] = None,
+        *,
+        policy: Optional["PolicyLike"] = None,
+        config: Optional["SchemeConfig"] = None,
+        engine: Optional[str] = None,
+        windows: int = 1,
+        window_s: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        from repro.core.config import resolve_config
+
+        resolved = resolve_config(config, s=s, policy=policy, engine=engine)
+        self.s = int(resolved.s)
+        self.policy = resolved.policy
+        self.engine = resolved.engine
+        if int(windows) < 1:
+            raise ConfigurationError(f"windows must be >= 1, got {windows}")
+        self.windows = int(windows)
+        if window_s is not None and float(window_s) <= 0:
+            raise ConfigurationError(f"window_s must be > 0, got {window_s}")
+        self.window_s = None if window_s is None else float(window_s)
+        self._registry = registry
+        # period -> rsu_id -> stream state
+        self._streams: Dict[int, Dict[int, _RsuStream]] = {}
+        # period -> (rsu_x, rsu_y) [x < y] -> running joint-zero count
+        # at the pair's common size max(m_x, m_y)
+        self._pair_zeros: Dict[int, Dict[Tuple[int, int], int]] = {}
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _reg(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def periods(self) -> List[int]:
+        """Periods with streaming state, sorted."""
+        return sorted(self._streams)
+
+    def rsu_ids(self, period: int = 0) -> List[int]:
+        """RSUs with streaming state in *period*, sorted."""
+        return sorted(self._streams.get(period, {}))
+
+    def counter(self, rsu_id: int, period: int = 0) -> int:
+        """The live point volume ``n_x`` of one RSU."""
+        try:
+            return self._streams[period][rsu_id].counter
+        except KeyError:
+            raise ConfigurationError(
+                f"no streaming state for RSU {rsu_id} in period {period}"
+            ) from None
+
+    def joint_zeros(self, period: int = 0) -> Dict[Tuple[int, int], int]:
+        """Copy of the running per-pair joint-zero counts (each at the
+        pair's common size ``max(m_x, m_y)``)."""
+        return dict(self._pair_zeros.get(period, {}))
+
+    def classes(self, period: int = 0) -> List[str]:
+        """Vehicle-class labels seen in *period*, sorted."""
+        labels = set()
+        for state in self._streams.get(period, {}).values():
+            labels.update(state.class_bits)
+        return sorted(labels)
+
+    def evict_period(self, period: int) -> None:
+        """Drop all streaming state for *period* (retention hook)."""
+        self._streams.pop(period, None)
+        self._pair_zeros.pop(period, None)
+
+    def _drop_rsu(self, period: int, rsu_id: int) -> None:
+        """Forget one RSU's streaming state (pre-resize replacement)."""
+        self._streams.get(period, {}).pop(rsu_id, None)
+        pairs = self._pair_zeros.get(period)
+        if pairs is not None:
+            for key in [k for k in pairs if rsu_id in k]:
+                del pairs[key]
+            self._reg().gauge("stream.tracked_pairs").set(len(pairs))
+
+    def _state(
+        self, period: int, rsu_id: int, size: Optional[int]
+    ) -> _RsuStream:
+        streams = self._streams.setdefault(period, {})
+        state = streams.get(rsu_id)
+        if state is not None:
+            if size is not None and int(size) != state.size:
+                raise ConfigurationError(
+                    f"RSU {rsu_id} streamed with array size {state.size} in "
+                    f"period {period}; got conflicting size {size}"
+                )
+            return state
+        if size is None:
+            raise ConfigurationError(
+                f"first batch for RSU {rsu_id} in period {period} must "
+                "declare its array size"
+            )
+        size = int(size)
+        state = _RsuStream(
+            rsu_id, size, BitArray(size, backend=self.engine)
+        )
+        pairs = self._pair_zeros.setdefault(period, {})
+        for other in streams.values():
+            target = max(size, other.size)
+            if target % min(size, other.size):
+                raise ConfigurationError(
+                    f"array sizes {other.size} and {size} do not tile; "
+                    "the unfolding of Eq. (3) needs an integer ratio"
+                )
+            # The newcomer's array is all zero, so the pair's joint
+            # zeros are wherever the peer's tiled array is zero.
+            zeros = target - other.bits.count_ones() * (
+                target // other.size
+            )
+            pairs[_pair_key(rsu_id, other.rsu_id)] = int(zeros)
+        streams[rsu_id] = state
+        self._reg().gauge("stream.tracked_pairs").set(len(pairs))
+        return state
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        rsu_id: int,
+        indices: np.ndarray,
+        *,
+        period: int = 0,
+        window: int = 0,
+        size: Optional[int] = None,
+        vclass: Optional[str] = None,
+    ) -> int:
+        """Absorb one batch of response bit indices for *rsu_id*.
+
+        Mirrors :meth:`repro.core.encoder.RsuState.record_many`: the
+        counter grows by the full batch (duplicates included) while the
+        scatter itself is idempotent.  Returns the number of bits the
+        batch newly set.  *window* tags the batch's sub-period window;
+        late or out-of-order windows are fine — the running state is an
+        OR, so arrival order never changes any answer.
+        """
+        if not 0 <= int(window) < self.windows:
+            raise ConfigurationError(
+                f"window {window} out of range [0, {self.windows})"
+            )
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        state = self._state(int(period), int(rsu_id), size)
+        state.running_counter += int(idx.size)
+        newly = self._absorb(int(period), state, idx)
+        if self.windows > 1:
+            ring = state.window_bits.get(int(window))
+            if ring is None:
+                ring = BitArray(state.size, backend=self.engine)
+                state.window_bits[int(window)] = ring
+            if idx.size:
+                ring.set_bits(np.unique(idx))
+            state.window_counters[int(window)] = (
+                state.window_counters.get(int(window), 0) + int(idx.size)
+            )
+        if vclass is not None:
+            label = str(vclass)
+            slot = state.class_bits.get(label)
+            if slot is None:
+                slot = BitArray(state.size, backend=self.engine)
+                state.class_bits[label] = slot
+            if idx.size:
+                slot.set_bits(np.unique(idx))
+            state.class_counters[label] = (
+                state.class_counters.get(label, 0) + int(idx.size)
+            )
+        registry = self._reg()
+        registry.counter("stream.batches_ingested_total").inc()
+        registry.counter("stream.responses_ingested_total").inc(
+            int(idx.size)
+        )
+        registry.counter("stream.new_bits_total").inc(newly)
+        return newly
+
+    def ingest_partial(
+        self,
+        rsu_id: int,
+        data: bytes,
+        size: int,
+        counter: int,
+        *,
+        period: int = 0,
+        window: int = 0,
+    ) -> int:
+        """OR a serialized window partial (``to_bytes`` form) into the
+        running and window state.
+
+        The collector's merge path for window-tagged shard snapshots:
+        idempotent on bits, additive on counters (the caller dedups
+        redeliveries).  Returns the number of bits newly set.
+        """
+        if not 0 <= int(window) < self.windows:
+            raise ConfigurationError(
+                f"window {window} out of range [0, {self.windows})"
+            )
+        partial = BitArray.from_bytes(data, int(size), backend=self.engine)
+        state = self._state(int(period), int(rsu_id), int(size))
+        newly_mask = np.asarray(partial.bits) & ~np.asarray(state.bits.bits)
+        newly = np.flatnonzero(newly_mask)
+        self._absorb(int(period), state, newly, presieved=True)
+        state.running_counter += int(counter)
+        if self.windows > 1:
+            ring = state.window_bits.get(int(window))
+            if ring is None:
+                state.window_bits[int(window)] = partial.with_backend(
+                    self.engine
+                ).copy()
+            else:
+                ring |= partial
+            state.window_counters[int(window)] = (
+                state.window_counters.get(int(window), 0) + int(counter)
+            )
+        self._reg().counter("stream.partials_merged_total").inc()
+        return int(newly.size)
+
+    def observe_report(self, report: RsuReport) -> int:
+        """Absorb an authoritative period-close report.
+
+        ORs the report's bits into the running state (bringing the live
+        matrix up to the period-close answer even when no window feed
+        ran) and *seals* the counter: from here on the RSU's live point
+        volume is the report's exact ``n_x``, immune to any late window
+        partial double-count.  A report whose size conflicts with
+        streamed state replaces it — the authoritative report wins,
+        mirroring the batch decoder's overwrite semantics when an RSU
+        is rebuilt at a new size (Section IV-C resizing).  Returns the
+        number of bits newly set.
+        """
+        existing = self._streams.get(report.period, {}).get(report.rsu_id)
+        if existing is not None and existing.size != report.array_size:
+            self._drop_rsu(report.period, report.rsu_id)
+        state = self._state(report.period, report.rsu_id, report.array_size)
+        newly_mask = np.asarray(report.bits.bits) & ~np.asarray(
+            state.bits.bits
+        )
+        newly = np.flatnonzero(newly_mask)
+        self._absorb(report.period, state, newly, presieved=True)
+        state.sealed_counter = int(report.counter)
+        self._reg().counter("stream.reports_sealed_total").inc()
+        return int(newly.size)
+
+    def _absorb(
+        self,
+        period: int,
+        state: _RsuStream,
+        indices: np.ndarray,
+        *,
+        presieved: bool = False,
+    ) -> int:
+        """Set *indices* in the running array, updating every pair's
+        joint-zero count for the bits that were still zero.
+
+        With ``presieved`` the caller guarantees *indices* are unique
+        and all currently zero (the mask-diff paths); otherwise they
+        are deduplicated and gathered against the running array first.
+        """
+        if indices.size == 0:
+            return 0
+        if presieved:
+            newly = indices
+        else:
+            unique = np.unique(indices)
+            newly = unique[~state.bits.get_bits(unique)]
+            if newly.size == 0:
+                return 0
+        streams = self._streams[period]
+        pairs = self._pair_zeros[period]
+        registry = self._reg()
+        for other in streams.values():
+            if other is state:
+                continue
+            target = max(state.size, other.size)
+            if state.size == target:
+                positions = newly
+            else:
+                # Every newly set bit i of the smaller array occupies
+                # positions i + j * m_x of its tiling at the common
+                # size (Eq. 3) — all distinct, so no double counting.
+                offsets = (
+                    np.arange(target // state.size, dtype=np.int64)
+                    * state.size
+                )
+                positions = (newly[None, :] + offsets[:, None]).ravel()
+            peer_bits = other.bits.get_bits(positions % other.size)
+            killed = int(positions.size) - int(peer_bits.sum())
+            pairs[_pair_key(state.rsu_id, other.rsu_id)] -= killed
+            registry.counter("stream.pair_updates_total").inc()
+        state.bits.set_bits(newly)
+        return int(newly.size)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def live_matrix(
+        self, period: int = 0
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """The all-pairs OD matrix over everything streamed so far.
+
+        Bit-identical to
+        :meth:`~repro.core.decoder.CentralDecoder.estimate_matrix`
+        over reports built from the same responses: the running
+        joint-zero count at the pair size ``T`` yields the identical
+        IEEE ``V_c`` (see the module docstring), and the per-RSU
+        fractions come from the same running arrays through the same
+        :func:`~repro.core.estimator._observed_fraction`.
+        """
+        streams = self._streams.get(period, {})
+        ids = sorted(streams)
+        results: Dict[Tuple[int, int], PairEstimate] = {}
+        if len(ids) < 2:
+            return results
+        fractions = {
+            rsu_id: _observed_fraction(streams[rsu_id].bits, self.policy)
+            for rsu_id in ids
+        }
+        pairs = self._pair_zeros[period]
+        for i, rsu_x in enumerate(ids):
+            for rsu_y in ids[i + 1 :]:
+                state_x, state_y = streams[rsu_x], streams[rsu_y]
+                v_x, v_y = fractions[rsu_x], fractions[rsu_y]
+                if state_x.size > state_y.size:
+                    state_x, state_y = state_y, state_x
+                    v_x, v_y = v_y, v_x
+                m_y = state_y.size
+                zeros = pairs[(rsu_x, rsu_y)]
+                if zeros == 0:
+                    if self.policy is ZeroFractionPolicy.RAISE:
+                        raise SaturatedArrayError(
+                            f"joint array for RSU pair ({rsu_x}, {rsu_y}) "
+                            f"is saturated (no zero bits)"
+                        )
+                    v_c = 0.5 / m_y
+                else:
+                    # zeros / m_y at the pair's common size is the same
+                    # correctly-rounded quotient the batch path gets
+                    # from zeros/target at the period-global size.
+                    v_c = zeros / m_y
+                value = estimate_from_fractions(v_c, v_x, v_y, m_y, self.s)
+                results[(rsu_x, rsu_y)] = PairEstimate(
+                    value=value,
+                    v_c=v_c,
+                    v_x=v_x,
+                    v_y=v_y,
+                    m_x=state_x.size,
+                    m_y=m_y,
+                    n_x=state_x.counter,
+                    n_y=state_y.counter,
+                    s=self.s,
+                )
+        self._reg().counter("stream.live_queries_total").inc()
+        return results
+
+    def _decode_reports(
+        self, period: int, reports: List[RsuReport]
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """Batch-decode ad-hoc reports through the vectorized path."""
+        from repro.core.config import SchemeConfig
+
+        decoder = CentralDecoder(
+            config=SchemeConfig(
+                s=self.s, policy=self.policy, engine=self.engine
+            )
+        )
+        decoder.submit_many(reports)
+        return decoder.estimate_matrix(period)
+
+    def _window_report(
+        self, state: _RsuStream, period: int, lo: int, hi: int
+    ) -> RsuReport:
+        """One RSU's report over windows ``lo..hi`` inclusive."""
+        bits = BitArray(state.size, backend=self.engine)
+        counter = 0
+        for w in range(lo, hi + 1):
+            ring = state.window_bits.get(w)
+            if ring is not None:
+                bits |= ring
+            counter += state.window_counters.get(w, 0)
+        return RsuReport(
+            rsu_id=state.rsu_id, counter=counter, bits=bits, period=period
+        )
+
+    def window_matrix(
+        self, period: int = 0, window: int = 0
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """The OD matrix of a single sub-period window.
+
+        An RSU with no responses in the window contributes an all-zero
+        array and a zero counter; with ``windows == 1`` the running
+        state *is* the single window.
+        """
+        if not 0 <= int(window) < self.windows:
+            raise ConfigurationError(
+                f"window {window} out of range [0, {self.windows})"
+            )
+        streams = self._streams.get(period, {})
+        if self.windows == 1:
+            return self.live_matrix(period)
+        reports = [
+            self._window_report(state, period, int(window), int(window))
+            for state in streams.values()
+        ]
+        self._reg().counter("stream.window_queries_total").inc()
+        return self._decode_reports(period, reports)
+
+    def matrix_at(
+        self, period: int = 0, at: float = 0.0
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """The OD matrix as of instant *at* within the period.
+
+        With ``window_s`` configured, *at* is seconds into the period
+        and quantizes to a window prefix (boundary instants belong to
+        the later window); otherwise *at* is a window index.  Decodes
+        the OR of windows ``0..w`` — exactly the batch decode over the
+        responses those windows received.
+        """
+        if self.window_s is not None:
+            w = window_for(float(at), self.window_s, self.windows)
+        else:
+            w = int(at)
+            if not 0 <= w < self.windows:
+                raise ConfigurationError(
+                    f"window {w} out of range [0, {self.windows})"
+                )
+        streams = self._streams.get(period, {})
+        if self.windows == 1 or w == self.windows - 1:
+            # The full prefix is the whole period streamed so far.
+            return self.live_matrix(period)
+        reports = [
+            self._window_report(state, period, 0, w)
+            for state in streams.values()
+        ]
+        self._reg().counter("stream.window_queries_total").inc()
+        return self._decode_reports(period, reports)
+
+    def class_matrix(
+        self, period: int = 0, vclass: str = ""
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """The OD matrix of one vehicle class (trajectory-path slices).
+
+        Decodes only the responses ingested with ``vclass=<label>``; an
+        RSU that saw none of the class contributes an all-zero array.
+        """
+        streams = self._streams.get(period, {})
+        label = str(vclass)
+        reports = []
+        for state in streams.values():
+            bits = state.class_bits.get(label)
+            reports.append(
+                RsuReport(
+                    rsu_id=state.rsu_id,
+                    counter=state.class_counters.get(label, 0),
+                    bits=(
+                        bits.copy()
+                        if bits is not None
+                        else BitArray(state.size, backend=self.engine)
+                    ),
+                    period=period,
+                )
+            )
+        self._reg().counter("stream.window_queries_total").inc()
+        return self._decode_reports(period, reports)
+
+
+def _pair_key(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a < b else (b, a)

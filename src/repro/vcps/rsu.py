@@ -62,9 +62,11 @@ class RoadsideUnit:
         self.rsu_id = int(rsu_id)
         self.certificate = certificate
         self.query_interval = int(query_interval)
+        self._engine = engine
         self._state = RsuState(
             rsu_id=self.rsu_id, array_size=int(array_size), engine=engine
         )
+        self._window_state: Optional[RsuState] = None
         self._rejected = 0
 
     # ------------------------------------------------------------------
@@ -148,6 +150,8 @@ class RoadsideUnit:
             self._rejected += rejected
             indices = indices[valid]
         self._state.record_many(indices)
+        if self._window_state is not None:
+            self._window_state.record_many(indices)
         return int(indices.size)
 
     @property
@@ -166,12 +170,53 @@ class RoadsideUnit:
         return self._rejected
 
     # ------------------------------------------------------------------
+    # Sub-period windows (streaming tier)
+    # ------------------------------------------------------------------
+    @property
+    def tracking_windows(self) -> bool:
+        """Whether a sub-period window accumulator is active."""
+        return self._window_state is not None
+
+    def track_windows(self) -> None:
+        """Start accumulating a second, window-scoped bit array.
+
+        Idempotent.  From here on every admitted batch is recorded in
+        both the period state and the current window's accumulator;
+        :meth:`close_window` snapshots and resets the latter.  The
+        period state is untouched, so window partials are an overlay on
+        the authoritative period report, never a replacement.
+        """
+        if self._window_state is None:
+            self._window_state = RsuState(
+                rsu_id=self.rsu_id,
+                array_size=self._state.array_size,
+                period=self._state.period,
+                engine=self._engine,
+            )
+
+    def close_window(self) -> RsuReport:
+        """Snapshot the current window's partial and reset the
+        accumulator for the next window (same period)."""
+        if self._window_state is None:
+            raise ProtocolError(
+                f"RSU {self.rsu_id} is not tracking windows; call "
+                "track_windows() first"
+            )
+        report = self._window_state.report()
+        self._window_state.reset(period=self._state.period)
+        return report
+
+    # ------------------------------------------------------------------
     # Reporting side
     # ------------------------------------------------------------------
     def end_period(self) -> RsuReport:
         """Snapshot this period's report and reset for the next one."""
         report = self._state.report()
         self._state.reset(period=self._state.period + 1)
+        if self._window_state is not None:
+            # The window ring rotates with the period: a fresh period
+            # starts with a fresh, empty current window.
+            self._window_state.reset(period=self._state.period)
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -67,6 +67,13 @@ class CentralServer:
     anomaly_threshold:
         How many standard deviations of counter/bitmap disagreement to
         tolerate before flagging (see :meth:`anomalies`).
+    windows:
+        Sub-period window count for the attached
+        :class:`~repro.streaming.StreamingDecoder` (``1`` = whole-period
+        streaming only; see ``docs/streaming.md``).
+    window_s:
+        Wall-clock seconds per window; enables time-valued
+        ``traffic_matrix(at=...)`` queries.
     """
 
     def __init__(
@@ -78,14 +85,28 @@ class CentralServer:
         policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE,
         engine: Optional[str] = None,
         anomaly_threshold: float = 6.0,
+        windows: int = 1,
+        window_s: Optional[float] = None,
     ) -> None:
         self.s = int(s)
         self.sizing = sizing
         self.history = history if history is not None else VolumeHistory()
         from repro.core.config import SchemeConfig
+        from repro.streaming import StreamingDecoder
 
         self.decoder = CentralDecoder(
             config=SchemeConfig(s=int(s), policy=policy, engine=engine)
+        )
+        #: Incremental decode state: every report (and every window
+        #: partial fed through :meth:`receive_window_partial`) also
+        #: lands here, so :meth:`live_matrix` answers at any instant
+        #: bit-identically to a batch decode over the same responses.
+        self.streaming = StreamingDecoder(
+            s=int(s),
+            policy=policy,
+            engine=engine,
+            windows=windows,
+            window_s=window_s,
         )
         self.anomaly_threshold = float(anomaly_threshold)
         self._anomalies: List[ReportAnomaly] = []
@@ -96,6 +117,7 @@ class CentralServer:
     def receive_report(self, report: RsuReport) -> None:
         """Ingest one report: store it, update history, run checks."""
         self.decoder.submit(report)
+        self.streaming.observe_report(report)
         self.history.observe(report.rsu_id, report.counter)
         logger.debug(
             "report: rsu=%s period=%s n=%s m=%s zeros=%.4f",
@@ -177,12 +199,56 @@ class CentralServer:
         return self.decoder.pair_estimate(rsu_x, rsu_y, period)
 
     def traffic_matrix(
-        self, period: int = 0
+        self, period: int = 0, at: Optional[float] = None
     ) -> Dict[Tuple[int, int], PairEstimate]:
         """All-pairs point-to-point estimates for *period*.
 
-        Uses the decoder's vectorized
+        With *at* ``None`` (the default) this is the authoritative
+        batch decode: the decoder's vectorized
         :meth:`~repro.core.decoder.CentralDecoder.estimate_matrix`,
-        which is bit-identical to the per-pair path.
+        which is bit-identical to the per-pair path.  With *at* set it
+        is a time-sliced query answered by the streaming tier — the OD
+        matrix over everything observed up to instant *at* (seconds
+        into the period when ``window_s`` is configured, else a window
+        index); see ``docs/streaming.md`` for the exactness guarantee.
         """
-        return self.decoder.estimate_matrix(period)
+        if at is None:
+            return self.decoder.estimate_matrix(period)
+        return self.streaming.matrix_at(period=period, at=at)
+
+    def live_matrix(
+        self, period: int = 0
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """The OD matrix over everything streamed so far for *period*,
+        from the incremental per-pair joint-zero counts — no period
+        close required, bit-identical to a batch decode of the same
+        responses (``docs/streaming.md``)."""
+        return self.streaming.live_matrix(period)
+
+    def window_matrix(
+        self, period: int = 0, window: int = 0
+    ) -> Dict[Tuple[int, int], PairEstimate]:
+        """The OD matrix for one sub-period window of *period*."""
+        return self.streaming.window_matrix(period=period, window=window)
+
+    def receive_window_partial(
+        self,
+        rsu_id: int,
+        data: bytes,
+        size: int,
+        counter: int,
+        *,
+        period: int = 0,
+        window: int = 0,
+    ) -> int:
+        """OR-merge one window-tagged bit-array partial (as uploaded by
+        a gateway serving ``EndWindow``) into the streaming tier.
+        Returns the number of newly set bits."""
+        return self.streaming.ingest_partial(
+            rsu_id,
+            data,
+            size,
+            counter,
+            period=period,
+            window=window,
+        )

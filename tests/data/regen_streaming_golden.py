@@ -1,0 +1,26 @@
+"""Regenerate the time-sliced matrix golden file from the fixed
+scenario in tests/test_streaming.py::golden_payload.
+
+Usage::
+
+    PYTHONPATH=src python tests/data/regen_streaming_golden.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+DATA_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(DATA_DIR.parent))
+
+from test_streaming import golden_payload  # noqa: E402
+
+
+def main() -> None:
+    path = DATA_DIR / "streaming_golden.json"
+    path.write_text(json.dumps(golden_payload(), indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

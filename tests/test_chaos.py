@@ -207,6 +207,7 @@ async def _loadgen_under_faults(
     return result, gateway, collector, ingress, upload
 
 
+@pytest.mark.slow
 class TestChaosBitIdentical:
     def test_lossy_profile(self, spec):
         """≥10% window drops plus corruption on every path."""

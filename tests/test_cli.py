@@ -154,3 +154,53 @@ class TestFederationParser:
             ["metrics", "summarize", "a.jsonl", "b.jsonl"]
         )
         assert [p.name for p in args.paths] == ["a.jsonl", "b.jsonl"]
+
+
+class TestStreamingParser:
+    def test_matrix_live_flag(self):
+        args = build_parser().parse_args(["matrix", "--live"])
+        assert args.experiment == "matrix"
+        assert args.live
+        assert args.window is None
+        assert args.windows == 4
+
+    def test_matrix_window_implies_live_dispatch(self):
+        args = build_parser().parse_args(
+            ["matrix", "--window", "2", "--windows", "8"]
+        )
+        assert not args.live  # --window alone routes to the live path
+        assert args.window == 2
+        assert args.windows == 8
+
+    def test_matrix_defaults_stay_batch(self):
+        args = build_parser().parse_args(["matrix"])
+        assert not args.live
+        assert args.window is None
+
+    def test_serve_window_flag(self):
+        args = build_parser().parse_args(["serve", "--window", "4"])
+        assert args.window == 4
+        assert build_parser().parse_args(["serve"]).window == 0
+
+    def test_loadgen_window_flag(self):
+        args = build_parser().parse_args(["loadgen", "--window", "6"])
+        assert args.window == 6
+
+    def test_loadgen_window_with_shards_refused(self, capsys):
+        assert main(["loadgen", "--shards", "2", "--window", "2"]) == 2
+        assert "not supported together" in capsys.readouterr().err
+
+    def test_matrix_live_quick_end_to_end(self, capsys, tmp_path):
+        path = tmp_path / "live.json"
+        assert main(
+            ["matrix", "--live", "--quick", "--json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        payload = json.loads(path.read_text())
+        assert payload["matrix_live"]["bit_identical"] is True
+        assert payload["matrix_live"]["prefix_identical"] is True
+
+    def test_matrix_window_slice_end_to_end(self, capsys):
+        assert main(["matrix", "--window", "1", "--quick"]) == 0
+        assert "top pairs of window 1" in capsys.readouterr().out
