@@ -16,7 +16,7 @@ Run:  python examples/privacy_tuning.py
 
 import numpy as np
 
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import StaticSizing
 from repro.privacy import optimal_load_factor, preserved_privacy
 from repro.privacy.optimizer import max_load_factor_for_privacy, privacy_curve
 from repro.utils.tables import AsciiTable

@@ -24,14 +24,18 @@ True
 """
 
 from repro.core import (
+    AdaptiveSizing,
     AggregatedEstimate,
     BitArray,
     CentralDecoder,
     Estimate,
     PairEstimate,
+    PrivacyOptimalSizing,
     RsuReport,
     SchemeConfig,
     SchemeParameters,
+    SizingPolicy,
+    StaticSizing,
     TripleEstimate,
     VlmScheme,
     ZeroFractionPolicy,
@@ -45,7 +49,7 @@ from repro.privacy import empirical_privacy, optimal_load_factor, preserved_priv
 from repro.traffic import PairPopulation, VehicleFleet, make_pair_population
 from repro.errors import ReproError
 
-__version__ = "1.4.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -58,6 +62,10 @@ __all__ = [
     "TripleEstimate",
     "SchemeConfig",
     "SchemeParameters",
+    "SizingPolicy",
+    "StaticSizing",
+    "PrivacyOptimalSizing",
+    "AdaptiveSizing",
     "VlmScheme",
     "ZeroFractionPolicy",
     "configure",

@@ -1,11 +1,28 @@
-"""Backwards-compatible re-export of the baseline sizing rule.
+"""Deprecated re-export of the baseline sizing rule.
 
-The privacy-constrained choice of the baseline's common ``m`` now
-lives with every other array-sizing rule in
-:mod:`repro.core.sizing`; this module remains so existing
-``from repro.baseline.sizing import ...`` imports keep working.
+The privacy-constrained choice of the baseline's common ``m`` lives
+with every other array-sizing rule in :mod:`repro.core.sizing` (behind
+the unified :class:`~repro.core.sizing.SizingPolicy` API).  Importing
+it through this module still works but emits a
+:class:`DeprecationWarning` (an error inside this repo via the
+pyproject ``filterwarnings`` pattern) — import from
+``repro.core.sizing`` instead.
 """
 
-from repro.core.sizing import fixed_array_size_for_privacy, prev_power_of_two
+import warnings
 
 __all__ = ["fixed_array_size_for_privacy", "prev_power_of_two"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        warnings.warn(
+            f"repro.baseline.sizing.{name} is deprecated; import it from "
+            f"repro.core.sizing instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import sizing
+
+        return getattr(sizing, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -26,6 +26,19 @@ Usage::
     python -m repro.cli metrics summarize run.jsonl  # inspect a dump
     python -m repro.cli metrics summarize s0.jsonl s1.jsonl  # aggregate
 
+    python -m repro.cli serve --periods 3 --drift -0.4 --adaptive
+    python -m repro.cli loadgen --periods 3 --drift -0.4 --adaptive
+                                    # multi-day run with between-period
+                                    # adaptive resizing (announced sizes
+                                    # verified against the golden
+                                    # trajectory; --trajectory-out dumps
+                                    # it for CI diffs)
+    python -m repro.cli matrix --adaptive   # multi-day adaptive decode
+    python -m repro.cli chaos --profile shard-kill --adaptive
+                                    # prove WAL replay restores the
+                                    # per-period size plan
+    python -m repro.cli adaptive    # adaptive-vs-static experiment
+
 ``serve --metrics-port N`` exposes live metrics as Prometheus text;
 ``loadgen --metrics-out PATH`` dumps a finished run's metrics as JSON
 lines (see ``docs/observability.md``).
@@ -256,7 +269,23 @@ def _run_scaling(
     return run_scaling(city_sizes=sizes, workers=workers, executor=executor)
 
 
+def _run_adaptive(
+    quick: bool,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> object:
+    from repro.experiments.adaptive_sizing import run_adaptive_sizing
+
+    return run_adaptive_sizing(
+        total_trips=6_000 if quick else 24_000,
+        periods=3 if quick else 5,
+        workers=workers,
+        executor=executor,
+    )
+
+
 EXPERIMENTS: Dict[str, Runner] = {
+    "adaptive": _run_adaptive,
     "table1": _run_table1,
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -297,6 +326,29 @@ def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--hash-seed", type=int, default=7, help="shared hash seed (default %(default)s)"
+    )
+    parser.add_argument(
+        "--periods",
+        type=int,
+        default=1,
+        metavar="P",
+        help="consecutive measurement periods (days) to run "
+        "(default %(default)s); serve and loadgen must agree",
+    )
+    parser.add_argument(
+        "--drift",
+        type=float,
+        default=0.0,
+        metavar="D",
+        help="geometric demand drift: day p carries trips*(1+D)**p "
+        "trips (default %(default)s)",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable the between-period adaptive array-sizing control "
+        "loop (collector plans per-period sizes toward the "
+        "privacy-optimal load factor; see docs/adaptive.md)",
     )
     parser.add_argument(
         "--host", default="127.0.0.1", help="bind/connect address (default %(default)s)"
@@ -428,6 +480,30 @@ def build_parser() -> argparse.ArgumentParser:
                 help="sub-period windows per period for --live/"
                 "--window (default %(default)s)",
             )
+            sub.add_argument(
+                "--adaptive",
+                action="store_true",
+                help="decode a multi-period day sequence with the "
+                "adaptive array-sizing control loop, printing the "
+                "size trajectory and the final period's OD matrix "
+                "(see docs/adaptive.md)",
+            )
+            sub.add_argument(
+                "--periods",
+                type=int,
+                default=5,
+                metavar="P",
+                help="measurement periods for --adaptive "
+                "(default %(default)s)",
+            )
+            sub.add_argument(
+                "--drift",
+                type=float,
+                default=-0.35,
+                metavar="D",
+                help="per-period demand drift for --adaptive "
+                "(default %(default)s)",
+            )
     serve = subparsers.add_parser(
         "serve",
         help="run the live RSU gateway + central collector",
@@ -493,6 +569,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the run's metrics (loadgen, retry, wire, core) as "
         "JSON lines; inspect with `repro metrics summarize PATH`",
+    )
+    loadgen.add_argument(
+        "--trajectory-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the announced per-period size plans as canonical "
+        "JSON (diffable against a golden trajectory; see "
+        "docs/adaptive.md)",
     )
     loadgen.add_argument(
         "--rebalance",
@@ -621,6 +706,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="(shard-kill) gateway shards (default %(default)s)",
     )
     chaos.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="(shard-kill) run the adaptive-sizing variant: the "
+        "collector plans and journals next period's sizes before the "
+        "crash, and the WAL-recovered collector must re-announce the "
+        "identical per-period size plan (docs/adaptive.md)",
+    )
+    chaos.add_argument(
         "--kill-shard",
         type=int,
         default=None,
@@ -714,6 +807,9 @@ def _deployment_spec(args: argparse.Namespace):
         s=args.s,
         load_factor=args.load_factor,
         hash_seed=args.hash_seed,
+        periods=getattr(args, "periods", 1),
+        drift=getattr(args, "drift", 0.0),
+        adaptive=getattr(args, "adaptive", False),
     )
 
 
@@ -752,6 +848,16 @@ def _run_loadgen(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry()
     if args.shards > 0:
+        if args.periods > 1:
+            print(
+                "loadgen --periods is not supported together with "
+                "--shards; run the multi-period adaptive replay "
+                "against a single gateway (the federated size-plan "
+                "recovery path is exercised by `repro chaos --profile "
+                "shard-kill --adaptive`)",
+                file=sys.stderr,
+            )
+            return 2
         if args.window > 0:
             print(
                 "loadgen --window is not supported together with "
@@ -795,6 +901,22 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             )
         )
     print(result.render())
+    if getattr(args, "trajectory_out", None) is not None:
+        import json
+
+        trajectory = getattr(result, "size_trajectory", [])
+        payload = {
+            "periods": getattr(result, "periods", 1),
+            "adaptive": bool(getattr(args, "adaptive", False)),
+            "trajectory": [
+                {str(rsu_id): plan[rsu_id] for rsu_id in sorted(plan)}
+                for plan in trajectory
+            ],
+        }
+        with open(args.trajectory_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"size trajectory written to {args.trajectory_out}")
     if args.metrics_out is not None:
         # One dump covers the run's own registry plus the process
         # default, where the wire codec and core hot paths record.
@@ -819,6 +941,24 @@ def _run_matrix_live(args: argparse.Namespace) -> int:
         from repro.utils.serialization import to_jsonable
 
         dump_json({"matrix_live": to_jsonable(result)}, args.json)
+        print(f"structured results written to {args.json}")
+    return 0 if result.bit_identical else 1
+
+
+def _run_matrix_adaptive(args: argparse.Namespace) -> int:
+    """``repro matrix --adaptive``: the multi-period adaptive decode."""
+    from repro.experiments.adaptive_sizing import run_adaptive_matrix
+
+    result = run_adaptive_matrix(
+        total_trips=6_000 if args.quick else 60_000,
+        periods=args.periods,
+        drift=args.drift,
+    )
+    print(result.render())
+    if args.json is not None:
+        from repro.utils.serialization import to_jsonable
+
+        dump_json({"matrix_adaptive": to_jsonable(result)}, args.json)
         print(f"structured results written to {args.json}")
     return 0 if result.bit_identical else 1
 
@@ -857,6 +997,8 @@ def _run_chaos(args: argparse.Namespace) -> int:
             DeploymentSpec(
                 total_trips=args.trips,
                 seed=args.seed if args.seed is not None else 13,
+                periods=2 if args.adaptive else 1,
+                adaptive=args.adaptive,
             ),
             shards=args.shards,
             wal_path=args.wal,
@@ -918,6 +1060,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_federation(args)
     if args.experiment == "chaos":
         return _run_chaos(args)
+    if args.experiment == "matrix" and args.adaptive:
+        return _run_matrix_adaptive(args)
     if args.experiment == "matrix" and (
         args.live or args.window is not None
     ):

@@ -15,7 +15,14 @@ masking (VLM) scheme.
 from repro.core.bitarray import BitArray
 from repro.core.config import SchemeConfig, configure
 from repro.core.unfolding import unfold, unfolded_or
-from repro.core.sizing import LoadFactorSizing, array_size_for_volume
+from repro.core.sizing import (
+    AdaptiveSizing,
+    LoadFactorSizing,
+    PrivacyOptimalSizing,
+    SizingPolicy,
+    StaticSizing,
+    array_size_for_volume,
+)
 from repro.core.parameters import SchemeParameters
 from repro.core.encoder import RsuState, encode_passes
 from repro.core.estimator import (
@@ -37,6 +44,10 @@ __all__ = [
     "BitArray",
     "unfold",
     "unfolded_or",
+    "SizingPolicy",
+    "StaticSizing",
+    "PrivacyOptimalSizing",
+    "AdaptiveSizing",
     "LoadFactorSizing",
     "array_size_for_volume",
     "SchemeConfig",

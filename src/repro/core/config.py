@@ -30,6 +30,7 @@ from typing import Optional, Union
 from repro import engine as repro_engine
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.parameters import DEFAULT_LOAD_FACTOR, DEFAULT_S
+from repro.core.sizing import SizingPolicy, StaticSizing
 from repro.errors import ConfigurationError
 
 __all__ = ["SchemeConfig", "configure", "resolve_config"]
@@ -70,6 +71,11 @@ class SchemeConfig:
         creates.  ``None`` (the default) defers to the process default
         — the ``REPRO_ENGINE`` environment variable or ``"packed"``
         (see :mod:`repro.engine`).
+    sizing:
+        An explicit :class:`~repro.core.sizing.SizingPolicy` used to
+        size every RSU array.  ``None`` (the default) means
+        :class:`~repro.core.sizing.StaticSizing` at ``load_factor`` —
+        the paper's fixed-``f̄`` rule; see :meth:`sizing_policy`.
     """
 
     s: int = DEFAULT_S
@@ -77,6 +83,7 @@ class SchemeConfig:
     hash_seed: int = 0
     policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE
     engine: Optional[str] = None
+    sizing: Optional[SizingPolicy] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", _coerce_policy(self.policy))
@@ -96,6 +103,22 @@ class SchemeConfig:
             raise ConfigurationError(
                 f"hash_seed must be an integer, got {self.hash_seed!r}"
             )
+        if self.sizing is not None and not isinstance(self.sizing, SizingPolicy):
+            raise ConfigurationError(
+                f"sizing must implement SizingPolicy "
+                f"(size_for / effective_load_factor / load_factor), "
+                f"got {self.sizing!r}"
+            )
+
+    def sizing_policy(self) -> SizingPolicy:
+        """The effective :class:`~repro.core.sizing.SizingPolicy`.
+
+        The explicit :attr:`sizing` field when set, else the paper's
+        :class:`~repro.core.sizing.StaticSizing` at :attr:`load_factor`.
+        """
+        if self.sizing is not None:
+            return self.sizing
+        return StaticSizing(self.load_factor)
 
     def replace(self, **changes: object) -> "SchemeConfig":
         """A copy with *changes* applied (validated like a fresh one)."""
@@ -109,6 +132,7 @@ def configure(
     hash_seed: int = 0,
     policy: PolicyLike = ZeroFractionPolicy.RAISE,
     engine: Optional[str] = None,
+    sizing: Optional[SizingPolicy] = None,
 ) -> SchemeConfig:
     """Build a validated :class:`SchemeConfig`.
 
@@ -123,6 +147,7 @@ def configure(
         hash_seed=hash_seed,
         policy=policy,
         engine=engine,
+        sizing=sizing,
     )
 
 
@@ -134,6 +159,7 @@ def resolve_config(
     hash_seed: Optional[int] = None,
     policy: Optional[PolicyLike] = None,
     engine: Optional[str] = None,
+    sizing: Optional[SizingPolicy] = None,
 ) -> SchemeConfig:
     """Merge an optional *config* with optional keyword overrides.
 
@@ -151,6 +177,7 @@ def resolve_config(
             ("hash_seed", hash_seed),
             ("policy", policy),
             ("engine", engine),
+            ("sizing", sizing),
         )
         if value is not None
     }

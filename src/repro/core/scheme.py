@@ -27,7 +27,7 @@ from repro.core.encoder import encode_passes
 from repro.core.estimator import PairEstimate
 from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import SizingPolicy
 from repro.errors import ConfigurationError
 
 __all__ = ["VlmScheme"]
@@ -55,6 +55,12 @@ class VlmScheme:
     engine:
         Bit-storage backend name for every array the scheme creates
         (``None`` = process default; see :mod:`repro.engine`).
+    sizing:
+        An explicit :class:`~repro.core.sizing.SizingPolicy`
+        (:class:`~repro.core.sizing.StaticSizing`,
+        :class:`~repro.core.sizing.PrivacyOptimalSizing`, ...);
+        overrides ``config.sizing``.  The default is the paper's
+        static rule at ``load_factor``.
     config:
         A :class:`~repro.core.config.SchemeConfig` providing defaults
         for the knobs above; explicit keywords override it.
@@ -69,6 +75,7 @@ class VlmScheme:
         hash_seed: Optional[int] = None,
         policy: Optional[PolicyLike] = None,
         engine: Optional[str] = None,
+        sizing: Optional[SizingPolicy] = None,
         config: Optional[SchemeConfig] = None,
     ) -> None:
         if not historical_volumes:
@@ -80,9 +87,11 @@ class VlmScheme:
             hash_seed=hash_seed,
             policy=policy,
             engine=engine,
+            sizing=sizing,
         )
-        s, load_factor = config.s, config.load_factor
-        sizing = LoadFactorSizing(load_factor)
+        s = config.s
+        sizing = config.sizing_policy()
+        load_factor = float(sizing.load_factor)
         self._sizes: Dict[int, int] = {
             int(rsu): sizing.size_for(volume)
             for rsu, volume in historical_volumes.items()

@@ -15,6 +15,12 @@ rows/series the paper reports:
 ``python -m repro.cli <experiment>`` drives them from the shell.
 """
 
+from repro.experiments.adaptive_sizing import (
+    AdaptiveMatrixResult,
+    AdaptiveSizingResult,
+    run_adaptive_matrix,
+    run_adaptive_sizing,
+)
 from repro.experiments.figure2 import Figure2Result, run_figure2
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.figure4 import run_figure4
@@ -37,6 +43,10 @@ from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.scaling import ScalingResult, run_scaling
 
 __all__ = [
+    "AdaptiveMatrixResult",
+    "AdaptiveSizingResult",
+    "run_adaptive_matrix",
+    "run_adaptive_sizing",
     "CalibrationResult",
     "run_calibration",
     "Figure1Result",

@@ -32,7 +32,7 @@ from repro.core.encoder import encode_passes
 from repro.core.estimator import ZeroFractionPolicy, estimate_point_volume
 from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
-from repro.core.sizing import LoadFactorSizing, array_size_for_volume
+from repro.core.sizing import StaticSizing, array_size_for_volume
 from repro.errors import ConfigurationError
 from repro.hashing.logical_bitarray import select_indices
 from repro.runtime import Task, run_tasks
@@ -165,7 +165,7 @@ def _attack_outcome(
     report = RsuReport(rsu_id=1, counter=honest.counter + extra, bits=bits)
     server = CentralServer(
         s,
-        LoadFactorSizing(load_factor),
+        StaticSizing(load_factor),
         history=VolumeHistory({1: n_honest}),
         anomaly_threshold=anomaly_threshold,
     )

@@ -35,12 +35,14 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.estimator import PairEstimate
+from repro.core.sizing import AdaptiveSizing
 from repro.federation.collector import FederatedCollector
 from repro.federation.runtime import (
     ShardClient,
     plan_shard_batches,
     start_federation,
 )
+from repro.service import wire
 from repro.service.runtime import DeploymentSpec
 from repro.utils.logconfig import get_logger
 
@@ -83,11 +85,20 @@ class ShardKillReport:
     elapsed_seconds: float
     recovered_matrix: Dict[str, Dict[str, object]]
     golden_matrix: Dict[str, Dict[str, object]]
+    #: Adaptive variant only: whether the WAL-recovered collector's
+    #: next-period size plan equals both the live announcement and the
+    #: in-process golden trajectory (``None`` = variant not run).
+    sizes_identical: Optional[bool] = None
 
     @property
     def passed(self) -> bool:
-        """True iff both the live and the recovered matrix are exact."""
-        return self.live_identical and self.recovered_identical
+        """True iff both the live and the recovered matrix are exact
+        (and, in the adaptive variant, the recovered size plan too)."""
+        return (
+            self.live_identical
+            and self.recovered_identical
+            and self.sizes_identical is not False
+        )
 
     def render(self) -> str:
         """Human-readable verdict for the CLI."""
@@ -108,6 +119,12 @@ class ShardKillReport:
                 "bit-identical"
                 if self.recovered_identical
                 else "MISMATCH"
+            ),
+            "recovered size plan  : "
+            + (
+                "not checked (static sizing)"
+                if self.sizes_identical is None
+                else "identical" if self.sizes_identical else "MISMATCH"
             ),
             f"elapsed              : {self.elapsed_seconds:.2f}s",
             "verdict              : "
@@ -194,6 +211,19 @@ async def shard_kill_scenario(
             rsu_id: plane.collector.server.point_volume(rsu_id, period)
             for rsu_id in sorted(spec.scheme.rsu_ids)
         }
+        # Adaptive variant: have the collector plan (and journal) next
+        # period's sizes before the crash, exactly as a between-period
+        # SizeQuery would.
+        live_sizes: Optional[Dict[int, int]] = None
+        if isinstance(spec.sizing, AdaptiveSizing):
+            announce = plane.collector._handle(
+                wire.SizeQuery(period=period + 1)
+            )
+            if not isinstance(announce, wire.SizeAnnounce):
+                raise RuntimeError(
+                    f"collector refused the size query: {announce!r}"
+                )
+            live_sizes = announce.to_sizes()
         wal_records = (
             plane.wal.records_appended if plane.wal is not None else 0
         )
@@ -224,6 +254,18 @@ async def shard_kill_scenario(
         recovered_matrix == golden_matrix
         and recovered_counters == golden_counters
     )
+    sizes_identical: Optional[bool] = None
+    if live_sizes is not None:
+        # The recovered collector must answer the journaled plan (no
+        # re-derivation), and both must equal the in-process golden
+        # trajectory when the spec models enough periods.
+        recovered_sizes = recovered.server.plan_sizes(period + 1)
+        sizes_identical = recovered_sizes == live_sizes
+        if spec.periods > period + 1:
+            golden_sizes = spec.sizes_for(period + 1)
+            sizes_identical = sizes_identical and (
+                live_sizes == golden_sizes
+            )
     report = ShardKillReport(
         shards=shards,
         victim=victim,
@@ -239,6 +281,7 @@ async def shard_kill_scenario(
         elapsed_seconds=time.perf_counter() - start,
         recovered_matrix=matrix_json(recovered_matrix),
         golden_matrix=matrix_json(golden_matrix),
+        sizes_identical=sizes_identical,
     )
     logger.info("shard-kill scenario: %s", "PASS" if report.passed else "FAIL")
     return report

@@ -240,15 +240,18 @@ class FederatedCollector(CollectorService):
             return wire.ErrorMsg(wire.E_MALFORMED, str(exc))
         seqs.add(identity)
         # Re-submit the merged report; submit() is latest-wins and
-        # invalidates the decoder's unfold cache for this key.
-        self.server.decoder.submit(
-            RsuReport(
-                rsu_id=snap.rsu_id,
-                counter=state.counter,
-                bits=state.bits,
-                period=snap.period,
-            )
+        # invalidates the decoder's unfold cache for this key.  The
+        # streaming tier absorbs the same merged report (OR on bits,
+        # sealed counter latest-wins), so the adaptive controller's
+        # observed per-period volumes stay correct behind shards too.
+        merged = RsuReport(
+            rsu_id=snap.rsu_id,
+            counter=state.counter,
+            bits=state.bits,
+            period=snap.period,
         )
+        self.server.decoder.submit(merged)
+        self.server.streaming.observe_report(merged)
         self._m_received.inc()
         self.registry.counter(
             "federation.snapshots_merged_total", shard=snap.shard_id
@@ -265,6 +268,18 @@ class FederatedCollector(CollectorService):
         the streaming tier's time-sliced overlay."""
         if self.wal is not None:
             self.wal.append(partial)
+
+    def _journal_sizes(self, announce: wire.SizeAnnounce) -> None:
+        """Size announcements are journaled before first publication
+        (record type ``REC_SIZES``), so :meth:`recover` re-announces
+        exactly the per-period sizes published before the crash."""
+        if self.wal is not None:
+            self.wal.append(announce)
+
+    def _adopt_size_announce(self, announce: wire.SizeAnnounce) -> None:
+        """Re-install one replayed size announcement (no re-journal)."""
+        self.server.adopt_size_plan(announce.period, announce.to_sizes())
+        self._announced[int(announce.period)] = announce
 
     # ------------------------------------------------------------------
     # Recovery
@@ -293,6 +308,11 @@ class FederatedCollector(CollectorService):
         for snap in replay_wal(path, registry=self.registry):
             if isinstance(snap, wire.WindowSnapshot):
                 reply = self._handle_window_snapshot(snap, journal=False)
+            elif isinstance(snap, wire.SizeAnnounce):
+                self._adopt_size_announce(snap)
+                self._m_replayed.inc()
+                applied += 1
+                continue
             else:
                 reply = self._apply_shard_snapshot(snap, journal=False)
             self._m_replayed.inc()

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import StaticSizing
 from repro.errors import ConfigurationError, WireError
 from repro.federation.collector import FederatedCollector
 from repro.federation.router import ShardRouter
@@ -761,7 +761,7 @@ def run_shard_slice(
             for rsu_id in range(base, base + rsu_count)
         }
         collector = FederatedCollector(
-            CentralServer(s, LoadFactorSizing(load_factor))
+            CentralServer(s, StaticSizing(load_factor))
         )
         await collector.start("127.0.0.1", 0)
         gateway = ShardGateway(

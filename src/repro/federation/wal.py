@@ -11,13 +11,19 @@ replayed *and* retransmitted by the gateway) still land exactly once.
 
 The streaming tier's :class:`~repro.service.wire.WindowSnapshot`
 partials are journaled the same way under their own record type, so a
-recovered collector also rebuilds its time-sliced window overlay.
+recovered collector also rebuilds its time-sliced window overlay.  The
+adaptive-sizing tier's :class:`~repro.service.wire.SizeAnnounce`
+frames are journaled *before first publication* under record type 3,
+so a recovered collector re-announces exactly the per-period sizes it
+announced before the crash rather than re-deriving a plan from
+possibly-partial streaming state (docs/adaptive.md).
 
 Record layout (all integers big-endian)::
 
     offset  size  field
     0       2     magic  b"WL"
-    2       1     record type (1 = shard snapshot, 2 = window partial)
+    2       1     record type (1 = shard snapshot, 2 = window partial,
+                  3 = size announce)
     3       4     payload length u32
     7       4     CRC-32 of the payload
     11      n     payload — the frame's wire payload verbatim
@@ -44,7 +50,13 @@ from repro.obs import MetricsRegistry
 from repro.service import wire
 from repro.utils.logconfig import get_logger
 
-__all__ = ["WriteAheadLog", "replay_wal", "REC_SNAPSHOT", "REC_WINDOW"]
+__all__ = [
+    "WriteAheadLog",
+    "replay_wal",
+    "REC_SNAPSHOT",
+    "REC_WINDOW",
+    "REC_SIZES",
+]
 
 logger = get_logger("federation.wal")
 
@@ -55,6 +67,8 @@ _HEADER = struct.Struct(">2sBII")
 REC_SNAPSHOT = 1
 #: Record type of a journaled :class:`~repro.service.wire.WindowSnapshot`.
 REC_WINDOW = 2
+#: Record type of a journaled :class:`~repro.service.wire.SizeAnnounce`.
+REC_SIZES = 3
 
 
 class WriteAheadLog:
@@ -99,17 +113,20 @@ class WriteAheadLog:
 
     def append(
         self,
-        snapshot: Union[wire.ShardSnapshot, wire.WindowSnapshot],
+        snapshot: Union[
+            wire.ShardSnapshot, wire.WindowSnapshot, wire.SizeAnnounce
+        ],
     ) -> None:
-        """Journal one shard snapshot or window partial; flushed before
-        this returns."""
+        """Journal one shard snapshot, window partial, or size
+        announcement; flushed before this returns."""
         if self._fh.closed:
             raise WalError(f"write-ahead log {self.path} is closed")
-        rec_type = (
-            REC_WINDOW
-            if isinstance(snapshot, wire.WindowSnapshot)
-            else REC_SNAPSHOT
-        )
+        if isinstance(snapshot, wire.WindowSnapshot):
+            rec_type = REC_WINDOW
+        elif isinstance(snapshot, wire.SizeAnnounce):
+            rec_type = REC_SIZES
+        else:
+            rec_type = REC_SNAPSHOT
         payload = snapshot.payload()
         record = (
             _HEADER.pack(
@@ -161,10 +178,12 @@ def replay_wal(
     path: Union[str, Path],
     *,
     registry: Optional[MetricsRegistry] = None,
-) -> Iterator[Union[wire.ShardSnapshot, wire.WindowSnapshot]]:
+) -> Iterator[
+    Union[wire.ShardSnapshot, wire.WindowSnapshot, wire.SizeAnnounce]
+]:
     """Yield every intact record in *path*, in append order — shard
-    snapshots and window partials alike, each decoded to its frame
-    type.
+    snapshots, window partials, and size announcements alike, each
+    decoded to its frame type.
 
     Stops (without error) at a torn tail — the partial final record a
     crash mid-append leaves behind — counting
@@ -194,7 +213,7 @@ def replay_wal(
                 f"wal {path}: bad record magic {magic!r} at offset "
                 f"{offset}"
             )
-        if rec_type not in (REC_SNAPSHOT, REC_WINDOW):
+        if rec_type not in (REC_SNAPSHOT, REC_WINDOW, REC_SIZES):
             raise WalError(
                 f"wal {path}: unknown record type {rec_type} at offset "
                 f"{offset}"
@@ -231,6 +250,8 @@ def replay_wal(
             )
         if rec_type == REC_WINDOW:
             yield wire.WindowSnapshot.decode(payload)
+        elif rec_type == REC_SIZES:
+            yield wire.SizeAnnounce.decode(payload)
         else:
             yield wire.ShardSnapshot.decode(payload)
         offset = end

@@ -93,6 +93,11 @@ class CollectorService:
         self._window_applied: Dict[
             Tuple[int, int, int], Set[Tuple[int, int]]
         ] = {}
+        #: period -> the SizeAnnounce already published for it.  Plans
+        #: are deterministic, but caching the frame keeps re-asks
+        #: byte-identical and lets recovery seed announcements from the
+        #: WAL without consulting the server.
+        self._announced: Dict[int, wire.SizeAnnounce] = {}
         # Metrics (pre-created; see the gateway for the pattern).
         self.registry = (
             registry if registry is not None else MetricsRegistry()
@@ -114,6 +119,9 @@ class CollectorService:
         )
         self._m_answered = self.registry.counter(
             "collector.queries_answered_total"
+        )
+        self._m_sizes_announced = self.registry.counter(
+            "collector.sizes_announced_total"
         )
         self._m_frames_rejected = self.registry.counter(
             "collector.frames_rejected_total"
@@ -232,6 +240,8 @@ class CollectorService:
             return self._handle_snapshot(message)
         if isinstance(message, wire.WindowSnapshot):
             return self._handle_window_snapshot(message)
+        if isinstance(message, wire.SizeQuery):
+            return self._handle_size_query(message)
         if isinstance(message, (wire.VolumeQuery, wire.PointQuery)):
             start = self.registry.clock()
             if isinstance(message, wire.VolumeQuery):
@@ -337,6 +347,37 @@ class CollectorService:
     def _journal_window(self, partial: wire.WindowSnapshot) -> None:
         """Durability hook for an applied window partial.  The base
         collector keeps streaming state in memory only; the federation
+        tier overrides this to append to its write-ahead log."""
+
+    def _handle_size_query(self, query: wire.SizeQuery) -> wire.Message:
+        """Answer one :class:`~repro.service.wire.SizeQuery` with the
+        period's canonical :class:`~repro.service.wire.SizeAnnounce`.
+
+        The first ask computes the plan
+        (:meth:`~repro.vcps.server.CentralServer.plan_sizes`) and
+        journals the announcement (:meth:`_journal_sizes`) *before*
+        publishing it — write-ahead, so a collector that crashes after
+        answering re-announces identical sizes after recovery.  Every
+        later ask (retry, second gateway, the loadgen verifier) gets
+        the cached frame back byte for byte.
+        """
+        period = int(query.period)
+        cached = self._announced.get(period)
+        if cached is None:
+            try:
+                sizes = self.server.plan_sizes(period)
+                cached = wire.SizeAnnounce.from_sizes(period, sizes)
+            except (ReproError, WireError) as exc:
+                self._m_frames_rejected.inc()
+                return wire.ErrorMsg(wire.E_ESTIMATION, str(exc))
+            self._journal_sizes(cached)
+            self._announced[period] = cached
+        self._m_sizes_announced.inc()
+        return cached
+
+    def _journal_sizes(self, announce: wire.SizeAnnounce) -> None:
+        """Durability hook for a size announcement about to publish.
+        The base collector keeps plans in memory only; the federation
         tier overrides this to append to its write-ahead log."""
 
     # ------------------------------------------------------------------

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.errors import RetryExhaustedError, WireError
+from repro.errors import ReproError, RetryExhaustedError, WireError
 from repro.obs import MetricsRegistry
 from repro.service import wire
 from repro.service.retry import RetryPolicy, retry_async
@@ -184,6 +184,9 @@ class RsuGateway:
         self._m_windows_closed = self.registry.counter(
             "gateway.windows_closed_total"
         )
+        self._m_resizes = self.registry.counter(
+            "gateway.resizes_applied_total"
+        )
         self._m_window_uploads = self.registry.counter(
             "gateway.window_partials_uploaded_total"
         )
@@ -256,6 +259,11 @@ class RsuGateway:
     def window_partials_uploaded(self) -> int:
         """WindowSnapshot frames the collector acknowledged."""
         return int(self._m_window_uploads.value)
+
+    @property
+    def resizes_applied(self) -> int:
+        """RSUs re-sized by accepted SizeAnnounce frames."""
+        return int(self._m_resizes.value)
 
     @property
     def backpressure_stalls(self) -> int:
@@ -343,6 +351,21 @@ class RsuGateway:
                             period=message.period, snapshots=uploaded
                         ),
                     )
+                elif isinstance(message, wire.SizeAnnounce):
+                    try:
+                        applied = await self.apply_size_announce(message)
+                    except ReproError as exc:
+                        self._m_frames_rejected.inc()
+                        await self._send_error(
+                            writer, wire.E_INTERNAL, str(exc)
+                        )
+                    else:
+                        await wire.write_message(
+                            writer,
+                            wire.SizeAnnounceAck(
+                                period=message.period, applied=applied
+                            ),
+                        )
                 else:
                     await self._handle_extra(message, writer)
         except (ConnectionError, OSError):
@@ -567,6 +590,44 @@ class RsuGateway:
             len(partials),
         )
         return len(acked)
+
+    # ------------------------------------------------------------------
+    # Adaptive re-sizing (docs/adaptive.md)
+    # ------------------------------------------------------------------
+    async def apply_size_announce(self, announce: wire.SizeAnnounce) -> int:
+        """Adopt a :class:`~repro.service.wire.SizeAnnounce` for the
+        fleet; returns how many RSUs actually changed size.
+
+        Announced ids this gateway does not own are skipped — a shard
+        gateway only holds its partition of the fleet, while the
+        announcement always covers all of it.  The ingest queue is
+        drained first so in-flight responses for the *old* size cannot
+        land in a re-sized array; senders announce strictly between an
+        ``EndPeriodAck`` and the next period's traffic, so the drain is
+        normally a no-op.  Idempotent: re-announcing the same plan
+        changes nothing and acks ``applied=0``.
+        """
+        if self._close_lock is None:
+            self._close_lock = asyncio.Lock()
+        async with self._close_lock:
+            await self._queue.join()
+            self._flush_all()
+            applied = 0
+            for rsu_id, size in announce.to_sizes().items():
+                rsu = self.rsus.get(int(rsu_id))
+                if rsu is None:
+                    continue
+                if rsu.resize(int(size)):
+                    applied += 1
+            if applied:
+                self._m_resizes.inc(applied)
+        logger.info(
+            "size announce period=%s: %d/%d resizes applied",
+            announce.period,
+            applied,
+            len(announce),
+        )
+        return applied
 
     def _make_window_snapshot(
         self, report, window: int, seq: int

@@ -47,6 +47,7 @@ __all__ = [
     "LoadgenResult",
     "StreamStats",
     "replay_day",
+    "announce_sizes",
     "run_queries",
     "run_loadgen",
 ]
@@ -157,6 +158,16 @@ class LoadgenResult:
     #: Registry holding every ``loadgen.*``/``retry.*`` metric the run
     #: recorded — what ``repro loadgen --metrics-out`` dumps.
     registry: Optional[MetricsRegistry] = field(default=None, repr=False)
+    #: How many measurement periods the run replayed.
+    periods: int = 1
+    #: The per-period size plans actually announced on the wire
+    #: (period 0 = the deployment's initial sizes).
+    size_trajectory: List[Dict[int, int]] = field(
+        default_factory=list, repr=False
+    )
+    #: Periods whose announced sizes differed from the in-process
+    #: golden trajectory — must be empty for a correct deployment.
+    trajectory_mismatches: List[int] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -167,8 +178,13 @@ class LoadgenResult:
 
     @property
     def bit_identical(self) -> bool:
-        """True iff every live answer matched the in-process decoder."""
-        return not self.mismatches and not self.counter_mismatches
+        """True iff every live answer matched the in-process decoder
+        and every announced size plan matched the golden trajectory."""
+        return (
+            not self.mismatches
+            and not self.counter_mismatches
+            and not self.trajectory_mismatches
+        )
 
     def latency_percentiles(self) -> Dict[str, float]:
         """p50/p90/p99 query latency in milliseconds."""
@@ -185,6 +201,28 @@ class LoadgenResult:
         table = AsciiTable(
             ["metric", "value"], title="Live pipeline load generation"
         )
+        if self.periods > 1:
+            table.add_row(["periods replayed", self.periods])
+            resizes = sum(
+                1
+                for prev, plan in zip(
+                    self.size_trajectory, self.size_trajectory[1:]
+                )
+                for rsu_id in plan
+                if plan[rsu_id] != prev.get(rsu_id)
+            )
+            table.add_row(["announced resizes", resizes])
+            table.add_row(
+                [
+                    "size trajectory",
+                    (
+                        "matches golden"
+                        if not self.trajectory_mismatches
+                        else "MISMATCH in periods "
+                        f"{self.trajectory_mismatches}"
+                    ),
+                ]
+            )
         table.add_row(["responses streamed", f"{self.responses_sent:,}"])
         table.add_row(["ingest time (s)", f"{self.stream_seconds:.2f}"])
         table.add_row(["throughput (responses/s)", f"{self.throughput:,.0f}"])
@@ -226,18 +264,22 @@ def _close_connection(
 
 
 def _day_batches(
-    spec: DeploymentSpec, wire_batch: int
+    spec: DeploymentSpec, wire_batch: int, period: int = 0
 ) -> List[wire.ResponseBatch]:
-    """Precompute the whole day as sequenced batches (seqs 1..N).
+    """Precompute day *period* as sequenced batches (seqs 1..N).
 
     Seqs are assigned deterministically so a re-run of the same spec
     produces the same frames — the dedup identity a resend relies on.
+    Seqs restart at 1 each period: the gateway's dedup window is
+    period-scoped (it resets when a period closes).  The MAC stream is
+    seeded ``spec.seed + period`` so period 0 replays byte-identically
+    to a single-period run.
     """
-    mac_rng = as_generator(spec.seed)
+    mac_rng = as_generator(spec.seed + int(period))
     batches: List[wire.ResponseBatch] = []
     seq = 1
     for rsu_id in spec.scheme.rsu_ids:
-        indices = spec.response_indices(rsu_id)
+        indices = spec.response_indices(rsu_id, period=period)
         if indices.size == 0:
             continue
         macs = random_macs(indices.size, seed=mac_rng)
@@ -338,6 +380,11 @@ async def replay_day(
     # empty EndPeriod phase.
     plan: List[Tuple[Dict[int, wire.ResponseBatch], wire.Message]] = []
     if windows and int(windows) > 1:
+        if int(period) != 0:
+            raise WireError(
+                "windowed replay supports a single period only; "
+                "run --periods without --window"
+            )
         for w, phase in enumerate(
             _day_window_batches(spec, wire_batch, int(windows))
         ):
@@ -351,7 +398,7 @@ async def replay_day(
     else:
         plan.append(
             (
-                {b.seq: b for b in _day_batches(spec, wire_batch)},
+                {b.seq: b for b in _day_batches(spec, wire_batch, period)},
                 wire.EndPeriod(period=period),
             )
         )
@@ -469,6 +516,99 @@ async def replay_day(
         _close_connection(connection)
     stats._m_elapsed.set(time.perf_counter() - start)
     return stats
+
+
+async def announce_sizes(
+    spec: DeploymentSpec,
+    period: int,
+    *,
+    host: str = "127.0.0.1",
+    gateway_port: int = DEFAULT_GATEWAY_PORT,
+    collector_port: int = DEFAULT_COLLECTOR_PORT,
+    ack_timeout: float = 5.0,
+    retry_policy: Optional[RetryPolicy] = None,
+    retry_seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[int, int]:
+    """Run one between-period size negotiation (docs/adaptive.md).
+
+    Asks the collector for *period*'s size plan
+    (:class:`~repro.service.wire.SizeQuery` →
+    :class:`~repro.service.wire.SizeAnnounce`), then forwards the
+    announcement verbatim to the gateway, which drains its ingest
+    queue and re-sizes the fleet before acking.  Both legs are
+    idempotent — the collector journals and caches the announcement
+    (byte-identical re-asks), the gateway's resizes are no-ops when
+    already applied — so fault recovery simply reissues the exchange.
+    Returns the announced ``rsu_id -> m_x`` plan.
+    """
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+    rng = random.Random(retry_seed)
+    registry = registry if registry is not None else MetricsRegistry()
+    m_announced = registry.counter("loadgen.size_announces_total")
+    m_reconnects = registry.counter(
+        "loadgen.size_announce_reconnects_total"
+    )
+
+    async def exchange(
+        port: int, message: wire.Message, op: str
+    ) -> wire.Message:
+        last_exc: Optional[BaseException] = None
+        for _ in range(_MAX_STALLS):
+            connection = None
+            try:
+
+                async def connect():
+                    return await asyncio.wait_for(
+                        asyncio.open_connection(host, port),
+                        timeout=ack_timeout,
+                    )
+
+                connection = await retry_async(
+                    connect,
+                    policy=policy,
+                    rng=rng,
+                    registry=registry,
+                    op=op,
+                )
+                reader, writer = connection
+                await wire.write_message(writer, message)
+                answer = await asyncio.wait_for(
+                    wire.read_message(reader), timeout=ack_timeout
+                )
+                if isinstance(answer, wire.ErrorMsg):
+                    raise WireError(f"{op} nack: {answer.message}")
+                return answer
+            except _FAULTS as exc:
+                last_exc = exc
+                m_reconnects.inc()
+            finally:
+                _close_connection(connection)
+        raise RetryExhaustedError(
+            f"{op} never completed after {_MAX_STALLS} reconnects: "
+            f"{last_exc}",
+            attempts=_MAX_STALLS,
+        ) from last_exc
+
+    announce = await exchange(
+        collector_port, wire.SizeQuery(period=int(period)), "size_query"
+    )
+    if not isinstance(announce, wire.SizeAnnounce):
+        raise WireError(
+            f"expected a SizeAnnounce for period {period}, "
+            f"got {announce!r}"
+        )
+    ack = await exchange(gateway_port, announce, "size_announce")
+    if not (
+        isinstance(ack, wire.SizeAnnounceAck)
+        and ack.period == int(period)
+    ):
+        raise WireError(
+            f"expected a SizeAnnounceAck for period {period}, "
+            f"got {ack!r}"
+        )
+    m_announced.inc()
+    return announce.to_sizes()
 
 
 async def run_queries(
@@ -632,60 +772,117 @@ async def run_loadgen(
     retry_seed: int = 0,
     registry: Optional[MetricsRegistry] = None,
 ) -> LoadgenResult:
-    """Full load generation run: stream the day, then verify queries.
+    """Full load generation run: stream the day(s), then verify queries.
 
     One *registry* (fresh if omitted) collects both phases' metrics
     and is attached to the result as ``result.registry``.  *windows*
     ``> 1`` replays the day in that many window-closed phases (the
     deployment must be serving with the same window count).
+
+    A spec with ``periods > 1`` replays that many consecutive days.
+    Between day ``p-1``'s close and day ``p``'s traffic the generator
+    runs :func:`announce_sizes` — collector plan, gateway resize —
+    and diffs the announced plan against the spec's in-process
+    :meth:`~repro.service.runtime.DeploymentSpec.size_trajectory`; a
+    divergence fails :attr:`LoadgenResult.bit_identical` like any
+    estimate mismatch.  Every period's matrix is then verified.
     """
     spec = spec if spec is not None else DeploymentSpec()
     registry = registry if registry is not None else MetricsRegistry()
-    stream = await replay_day(
-        spec,
-        host=host,
-        gateway_port=gateway_port,
-        wire_batch=wire_batch,
-        period=period,
-        window=window,
-        windows=windows,
-        ack_timeout=ack_timeout,
-        close_timeout=close_timeout,
-        retry_policy=retry_policy,
-        retry_seed=retry_seed,
-        registry=registry,
-    )
-    (
-        latencies,
-        checked,
-        mismatches,
-        counters_checked,
-        counter_mismatches,
-        query_reconnects,
-    ) = await run_queries(
-        spec,
-        host=host,
-        collector_port=collector_port,
-        period=period,
-        max_queries=max_queries,
-        ack_timeout=ack_timeout,
-        retry_policy=retry_policy,
-        retry_seed=retry_seed + 1,
-        registry=registry,
+    periods = max(1, int(getattr(spec, "periods", 1)))
+    if periods > 1 and windows and int(windows) > 1:
+        raise WireError(
+            "multi-period replay does not support sub-period windows; "
+            "drop --window or --periods"
+        )
+    golden = spec.size_trajectory()
+    announced: List[Dict[int, int]] = [dict(golden[0])]
+    trajectory_mismatches: List[int] = []
+    stream_seconds = 0.0
+    snapshots_acked = 0
+    stream = None
+    for p in range(periods):
+        if p > 0:
+            sizes = await announce_sizes(
+                spec,
+                p,
+                host=host,
+                gateway_port=gateway_port,
+                collector_port=collector_port,
+                ack_timeout=ack_timeout,
+                retry_policy=retry_policy,
+                retry_seed=retry_seed + 1000 + p,
+                registry=registry,
+            )
+            announced.append(sizes)
+            if sizes != golden[p]:
+                trajectory_mismatches.append(p)
+        stream = await replay_day(
+            spec,
+            host=host,
+            gateway_port=gateway_port,
+            wire_batch=wire_batch,
+            period=period + p,
+            window=window,
+            windows=windows,
+            ack_timeout=ack_timeout,
+            close_timeout=close_timeout,
+            retry_policy=retry_policy,
+            retry_seed=retry_seed,
+            registry=registry,
+        )
+        stream_seconds += stream.elapsed
+        snapshots_acked += stream.snapshots_acked
+    all_latencies: List[np.ndarray] = []
+    checked = 0
+    mismatches: List[Tuple[int, int]] = []
+    counters_checked = 0
+    counter_mismatches: List[int] = []
+    query_reconnects = 0
+    for p in range(periods):
+        (
+            latencies,
+            p_checked,
+            p_mismatches,
+            p_counters_checked,
+            p_counter_mismatches,
+            p_reconnects,
+        ) = await run_queries(
+            spec,
+            host=host,
+            collector_port=collector_port,
+            period=period + p,
+            max_queries=max_queries,
+            ack_timeout=ack_timeout,
+            retry_policy=retry_policy,
+            retry_seed=retry_seed + 1 + p,
+            registry=registry,
+        )
+        all_latencies.append(latencies)
+        checked += p_checked
+        mismatches.extend(p_mismatches)
+        counters_checked += p_counters_checked
+        counter_mismatches.extend(p_counter_mismatches)
+        query_reconnects += p_reconnects
+    latencies = (
+        np.concatenate(all_latencies) if all_latencies else np.asarray([])
     )
     return LoadgenResult(
         responses_sent=stream.sent,
-        stream_seconds=stream.elapsed,
+        stream_seconds=stream_seconds,
         queries=int(latencies.size),
         query_latencies_ms=latencies,
         estimates_checked=checked,
         mismatches=mismatches,
         counters_checked=counters_checked,
         counter_mismatches=counter_mismatches,
-        snapshots_acked=stream.snapshots_acked,
+        snapshots_acked=snapshots_acked,
         reconnects=stream.reconnects + query_reconnects,
         batches_resent=stream.batches_resent,
         dedup_acks=stream.dedup_acks,
         nacks=stream.nacks,
         registry=registry,
+        periods=periods,
+        size_trajectory=announced,
+        trajectory_mismatches=trajectory_mismatches,
     )

@@ -24,10 +24,17 @@ import numpy as np
 
 from repro.core.config import SchemeConfig
 from repro.core.decoder import CentralDecoder
+from repro.core.encoder import encode_passes
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.reports import RsuReport
 from repro.core.scheme import VlmScheme
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import (
+    AdaptiveSizing,
+    PrivacyOptimalSizing,
+    SizingPolicy,
+    StaticSizing,
+)
+from repro.errors import ConfigurationError
 from repro.hashing.logical_bitarray import select_indices
 from repro.traffic.network_workload import NetworkWorkload, sioux_falls_workload
 from repro.utils.logconfig import get_logger
@@ -62,6 +69,16 @@ class DeploymentSpec:
     a deployment can share a single config value.  The saturation
     policy defaults to CLAMP (the live plane must keep answering under
     extreme load) unless a ``config`` explicitly chooses otherwise.
+
+    Multi-period deployments replay ``periods`` consecutive days whose
+    demand drifts geometrically: day ``p`` carries ``total_trips *
+    (1 + drift) ** p`` trips (rounded, at least 1), re-routed under
+    seed ``seed + p``.  With ``adaptive`` (or an explicit
+    :class:`~repro.core.sizing.AdaptiveSizing` in ``sizing``) the
+    between-period control loop re-sizes each RSU from the previous
+    day's observed volumes; :meth:`size_trajectory` is the
+    deterministic in-process golden the live plane's announcements are
+    verified against (see ``docs/adaptive.md``).
     """
 
     total_trips: int = 60_000
@@ -70,6 +87,10 @@ class DeploymentSpec:
     load_factor: float = 3.0
     hash_seed: int = 7
     config: Optional[SchemeConfig] = None
+    periods: int = 1
+    drift: float = 0.0
+    sizing: Optional[SizingPolicy] = None
+    adaptive: bool = False
     workload: NetworkWorkload = field(init=False, repr=False)
     scheme: VlmScheme = field(init=False, repr=False)
 
@@ -80,20 +101,129 @@ class DeploymentSpec:
             self.hash_seed = self.config.hash_seed
             self.policy = self.config.policy
             self.engine = self.config.engine
+            if self.sizing is None:
+                self.sizing = self.config.sizing
         else:
             self.policy = ZeroFractionPolicy.CLAMP
             self.engine = None
+        self.periods = int(self.periods)
+        if self.periods < 1:
+            raise ConfigurationError(
+                f"periods must be >= 1, got {self.periods}"
+            )
+        self.drift = float(self.drift)
+        if not self.drift > -1.0:
+            raise ConfigurationError(
+                f"drift must be > -1 (trips stay positive), got {self.drift}"
+            )
+        # Resolve the sizing policy.  The *target* (what size a volume
+        # deserves) fixes the period-0 fleet; --adaptive then wraps it
+        # in the control-loop guards, clamped to the fleet's physical
+        # bound m_o so no announcement can outgrow the allocated
+        # arrays.
+        target: SizingPolicy
+        if isinstance(self.sizing, AdaptiveSizing):
+            self.adaptive = True
+            target = self.sizing.target
+        elif self.sizing is not None:
+            target = self.sizing
+        elif self.adaptive:
+            # The issue's default loop target: the privacy-optimal
+            # load factor for this deployment's s.
+            target = PrivacyOptimalSizing(self.s)
+        else:
+            target = StaticSizing(self.load_factor)
+        self.load_factor = float(target.load_factor)
         self.workload = sioux_falls_workload(
             total_trips=self.total_trips, seed=self.seed
         )
         self.scheme = VlmScheme(
             self.workload.volumes(),
             s=self.s,
-            load_factor=self.load_factor,
             hash_seed=self.hash_seed,
             policy=self.policy,
             engine=self.engine,
+            sizing=target,
         )
+        if self.adaptive and not isinstance(self.sizing, AdaptiveSizing):
+            self.sizing = AdaptiveSizing(
+                target=target, max_size=self.scheme.m_o
+            )
+        elif self.sizing is None:
+            self.sizing = target
+        self._workloads: Dict[int, NetworkWorkload] = {0: self.workload}
+        self._trajectory: List[Dict[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Multi-period demand
+    # ------------------------------------------------------------------
+    def trips_for(self, period: int) -> int:
+        """Day *period*'s trip count under the geometric demand drift."""
+        period = self._check_period(period)
+        return max(1, round(self.total_trips * (1.0 + self.drift) ** period))
+
+    def workload_for(self, period: int) -> NetworkWorkload:
+        """Day *period*'s routed workload (cached; period 0 is
+        :attr:`workload`)."""
+        period = self._check_period(period)
+        if period not in self._workloads:
+            self._workloads[period] = sioux_falls_workload(
+                total_trips=self.trips_for(period),
+                seed=self.seed + period,
+            )
+        return self._workloads[period]
+
+    def observed_volumes(self, period: int) -> Dict[int, float]:
+        """Per-RSU response counts day *period* puts on the wire —
+        exactly what the collector's streaming tier counts, and
+        therefore what drives the adaptive controller."""
+        workload = self.workload_for(period)
+        return {
+            rsu_id: float(workload.assignment.passes_at(rsu_id)[0].size)
+            for rsu_id in self.scheme.rsu_ids
+        }
+
+    def size_trajectory(self) -> List[Dict[int, int]]:
+        """The per-period size plans, period 0 first.
+
+        The in-process golden: derived with the same
+        :class:`~repro.adaptive.AdaptiveController` arithmetic the
+        collector runs, from the same observed volumes, so a live
+        deployment's :class:`~repro.service.wire.SizeAnnounce` frames
+        must match entry for entry.  Static policies hold the period-0
+        sizes for every period.
+        """
+        if not self._trajectory:
+            sizes0 = {
+                rsu_id: self.scheme.array_size(rsu_id)
+                for rsu_id in self.scheme.rsu_ids
+            }
+            plans = [sizes0]
+            if isinstance(self.sizing, AdaptiveSizing) and self.periods > 1:
+                from repro.adaptive import AdaptiveController
+
+                controller = AdaptiveController(self.sizing, sizes0)
+                for p in range(self.periods - 1):
+                    controller.observe_period(p, self.observed_volumes(p))
+                    plans.append(controller.sizes_for(p + 1))
+            else:
+                plans.extend(
+                    dict(sizes0) for _ in range(self.periods - 1)
+                )
+            self._trajectory = plans
+        return [dict(plan) for plan in self._trajectory]
+
+    def sizes_for(self, period: int) -> Dict[int, int]:
+        """The size plan in force during *period*."""
+        return self.size_trajectory()[self._check_period(period)]
+
+    def _check_period(self, period: int) -> int:
+        period = int(period)
+        if not 0 <= period < self.periods:
+            raise ConfigurationError(
+                f"period must be in [0, {self.periods}), got {period}"
+            )
+        return period
 
     # ------------------------------------------------------------------
     # Server side
@@ -118,11 +248,14 @@ class DeploymentSpec:
 
         *windows*/*window_s* size the attached streaming tier (see
         ``docs/streaming.md``); the defaults keep whole-period
-        streaming only.
+        streaming only.  The server carries this spec's resolved
+        :class:`~repro.core.sizing.SizingPolicy`, so an adaptive
+        deployment's collector plans per-period sizes with exactly the
+        controller this spec's :meth:`size_trajectory` mirrors.
         """
         return CentralServer(
             self.s,
-            LoadFactorSizing(self.load_factor),
+            self.sizing,
             history=VolumeHistory(dict(self.workload.volumes())),
             policy=self.policy,
             engine=self.engine,
@@ -133,25 +266,39 @@ class DeploymentSpec:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def response_indices(self, rsu_id: int) -> np.ndarray:
+    def response_indices(self, rsu_id: int, *, period: int = 0) -> np.ndarray:
         """Every passing vehicle's reported bit index at *rsu_id*.
 
         The same computation as the vectorized encoder (paper Eq. 2):
         ``H(v ⊕ K_v ⊕ X[j]) mod m_x`` — what the load generator puts on
         the wire, and what :func:`repro.core.encoder.encode_passes`
-        produces in process.
+        produces in process.  Day *period* uses that period's workload
+        and masks with that period's planned ``m_x``.
         """
-        ids, keys = self.workload.assignment.passes_at(rsu_id)
+        ids, keys = self.workload_for(period).assignment.passes_at(rsu_id)
         params = self.scheme.params
         logical = select_indices(
             ids, keys, rsu_id, params.salts, params.m_o, seed=params.hash_seed
         )
-        return logical & (self.scheme.array_size(rsu_id) - 1)
+        return logical & (self.sizes_for(period)[int(rsu_id)] - 1)
 
     def reference_reports(self, *, period: int = 0) -> Dict[int, RsuReport]:
-        """The in-process ground truth: one encoded report per RSU."""
-        passes = self.workload.passes()
-        return self.scheme.encode(passes, period=period)
+        """The in-process ground truth: one encoded report per RSU,
+        for day *period*'s workload at that period's planned sizes."""
+        sizes = self.sizes_for(period)
+        passes = self.workload_for(period).passes()
+        return {
+            int(rsu_id): encode_passes(
+                ids,
+                keys,
+                int(rsu_id),
+                sizes[int(rsu_id)],
+                self.scheme.params,
+                period=period,
+                backend=self.engine,
+            )
+            for rsu_id, (ids, keys) in passes.items()
+        }
 
     def reference_decoder(self, *, period: int = 0) -> CentralDecoder:
         """A local decoder loaded with :meth:`reference_reports`."""

@@ -35,7 +35,12 @@ OR-merged at the federated collector), :class:`Handoff` and
 :class:`WindowSnapshot` (a sub-period window partial, OR-merged into
 the server's live decoder), :class:`EndWindow` and
 :class:`EndWindowAck` (close one window at the gateway) — see
-``docs/streaming.md``.
+``docs/streaming.md``.  The adaptive-sizing tier adds three more:
+:class:`SizeQuery` (ask the collector for a period's array sizes),
+:class:`SizeAnnounce` (the deterministic per-period size plan, also
+journalled to the federation WAL as record type 3), and
+:class:`SizeAnnounceAck` (a gateway's receipt after re-sizing its
+fleet) — see ``docs/adaptive.md``.
 
 The codec is deliberately numpy-friendly: response batches carry
 parallel ``uint64``/``uint32`` arrays (decoded with zero copies via
@@ -79,6 +84,9 @@ __all__ = [
     "EstimateMsg",
     "PointQuery",
     "PointVolume",
+    "SizeQuery",
+    "SizeAnnounce",
+    "SizeAnnounceAck",
     "ErrorMsg",
     "Message",
     "encode_frame",
@@ -115,6 +123,9 @@ T_HANDOFF_ACK = 0x0E
 T_WINDOW_SNAPSHOT = 0x0F
 T_END_WINDOW = 0x10
 T_END_WINDOW_ACK = 0x11
+T_SIZE_QUERY = 0x12
+T_SIZE_ANNOUNCE = 0x13
+T_SIZE_ACK = 0x14
 T_ERROR = 0x7F
 
 # Error codes carried by ErrorMsg.
@@ -740,6 +751,121 @@ PointVolume = _simple(
     ("rsu_id", "period", "counter"),
 )
 
+SizeQuery = _simple(
+    "SizeQuery",
+    T_SIZE_QUERY,
+    ">I",
+    "Ask the collector for the array sizes of one period: "
+    "``period u32``.  Answered with a :class:`SizeAnnounce` built from "
+    "the server's deterministic size plan (docs/adaptive.md); "
+    "idempotent — re-asking returns the identical announcement.",
+    ("period",),
+)
+
+SizeAnnounceAck = _simple(
+    "SizeAnnounceAck",
+    T_SIZE_ACK,
+    ">II",
+    "Gateway's confirmation of a :class:`SizeAnnounce`: ``period u32 | "
+    "applied u32`` (the number of RSUs whose logical size actually "
+    "changed; re-announcing the same sizes applies zero).",
+    ("period", "applied"),
+)
+
+
+@dataclass(frozen=True)
+class SizeAnnounce:
+    """Per-period array sizes published by the adaptive control loop.
+
+    ``period u32 | count u32 | rsu_ids u32[count] | sizes u32[count]``
+    — parallel arrays, ``rsu_ids`` strictly increasing so the encoded
+    bytes of a plan are canonical (byte-identical announcements for
+    identical plans, which is what the WAL journalling and the CI
+    golden-trajectory diff rely on).  Every size must be a power of
+    two ``>= 2``; the strict decoder enforces both invariants.
+    """
+
+    period: int
+    rsu_ids: np.ndarray
+    sizes: np.ndarray
+
+    _HEAD = struct.Struct(">II")
+    type = T_SIZE_ANNOUNCE
+
+    def __post_init__(self) -> None:
+        rsu_ids = np.ascontiguousarray(self.rsu_ids, dtype=">u4")
+        sizes = np.ascontiguousarray(self.sizes, dtype=">u4")
+        if rsu_ids.shape != sizes.shape or rsu_ids.ndim != 1:
+            raise WireError(
+                f"rsu_ids shape {rsu_ids.shape} and sizes shape "
+                f"{sizes.shape} must be equal 1-D arrays"
+            )
+        if rsu_ids.size and np.any(rsu_ids[1:] <= rsu_ids[:-1]):
+            raise WireError("size announce rsu_ids must be strictly increasing")
+        if sizes.size:
+            as_int = sizes.astype(np.int64)
+            if np.any(as_int < 2) or np.any(as_int & (as_int - 1)):
+                raise WireError(
+                    "size announce sizes must be powers of two >= 2"
+                )
+        object.__setattr__(self, "rsu_ids", rsu_ids)
+        object.__setattr__(self, "sizes", sizes)
+
+    def __len__(self) -> int:
+        return int(self.rsu_ids.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SizeAnnounce):
+            return NotImplemented
+        return (
+            self.period == other.period
+            and np.array_equal(self.rsu_ids, other.rsu_ids)
+            and np.array_equal(self.sizes, other.sizes)
+        )
+
+    @classmethod
+    def from_sizes(cls, period: int, sizes) -> "SizeAnnounce":
+        """Build the canonical announcement for ``rsu_id -> m_x``."""
+        rsu_ids = sorted(int(rsu_id) for rsu_id in sizes)
+        return cls(
+            period=period,
+            rsu_ids=np.array(rsu_ids, dtype=">u4"),
+            sizes=np.array([int(sizes[r]) for r in rsu_ids], dtype=">u4"),
+        )
+
+    def to_sizes(self) -> dict:
+        """The announced plan as ``{rsu_id: m_x}``."""
+        return {
+            int(rsu_id): int(size)
+            for rsu_id, size in zip(self.rsu_ids, self.sizes)
+        }
+
+    def payload(self) -> bytes:
+        head = self._HEAD.pack(
+            _check_u32(self.period, "period"),
+            _check_u32(self.rsu_ids.size, "count"),
+        )
+        return head + self.rsu_ids.tobytes() + self.sizes.tobytes()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "SizeAnnounce":
+        if len(payload) < cls._HEAD.size:
+            raise WireError("truncated size announce header")
+        period, count = cls._HEAD.unpack_from(payload)
+        expected = cls._HEAD.size + count * 8
+        if len(payload) != expected:
+            raise WireError(
+                f"size announce of {count} entries must be {expected} "
+                f"bytes, got {len(payload)}"
+            )
+        rsu_ids = np.frombuffer(
+            payload, dtype=">u4", count=count, offset=cls._HEAD.size
+        )
+        sizes = np.frombuffer(
+            payload, dtype=">u4", count=count, offset=cls._HEAD.size + 4 * count
+        )
+        return cls(period=period, rsu_ids=rsu_ids, sizes=sizes)
+
 
 @dataclass(frozen=True)
 class EstimateMsg:
@@ -832,6 +958,9 @@ Message = Union[
     EstimateMsg,
     PointQuery,
     PointVolume,
+    SizeQuery,
+    SizeAnnounce,
+    SizeAnnounceAck,
     ErrorMsg,
 ]
 
@@ -855,6 +984,9 @@ _DECODERS = {
         EstimateMsg,
         PointQuery,
         PointVolume,
+        SizeQuery,
+        SizeAnnounce,
+        SizeAnnounceAck,
         ErrorMsg,
     )
 }

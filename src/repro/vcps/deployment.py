@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.encoder import encode_passes
 from repro.core.estimator import PairEstimate, ZeroFractionPolicy
 from repro.core.parameters import SchemeParameters
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import StaticSizing
 from repro.errors import ConfigurationError
 from repro.traffic.network_workload import NetworkWorkload
 from repro.utils.rng import SeedLike, as_generator
@@ -70,7 +70,7 @@ class Deployment:
         if headroom < 1.0:
             raise ConfigurationError(f"headroom must be >= 1, got {headroom}")
         self.workload = workload
-        self.sizing = LoadFactorSizing(load_factor)
+        self.sizing = StaticSizing(load_factor)
         base_volumes = workload.volumes()
         if not base_volumes:
             raise ConfigurationError("workload produces no traffic")

@@ -31,7 +31,7 @@ from typing import Union
 
 from repro.core.compression import decode_report, encode_report
 from repro.core.estimator import ZeroFractionPolicy
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import StaticSizing
 from repro.errors import ConfigurationError
 from repro.vcps.history import VolumeHistory
 from repro.vcps.server import CentralServer
@@ -89,7 +89,7 @@ def load_server(root: PathLike) -> CentralServer:
     )
     server = CentralServer(
         int(manifest["s"]),
-        LoadFactorSizing(float(manifest["load_factor"])),
+        StaticSizing(float(manifest["load_factor"])),
         history=history,
         policy=ZeroFractionPolicy(manifest["policy"]),
         anomaly_threshold=float(manifest["anomaly_threshold"]),

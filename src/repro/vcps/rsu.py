@@ -165,6 +165,11 @@ class RoadsideUnit:
         return self._state.array_size
 
     @property
+    def period(self) -> int:
+        """The measurement period currently being accumulated."""
+        return self._state.period
+
+    @property
     def rejected_responses(self) -> int:
         """Number of malformed responses dropped this lifetime."""
         return self._rejected
@@ -205,6 +210,48 @@ class RoadsideUnit:
         report = self._window_state.report()
         self._window_state.reset(period=self._state.period)
         return report
+
+    # ------------------------------------------------------------------
+    # Adaptive re-sizing (between periods; docs/adaptive.md)
+    # ------------------------------------------------------------------
+    def resize(self, array_size: int) -> bool:
+        """Adopt a new logical array length for the *current* period.
+
+        Called between periods when a size announcement arrives (after
+        :meth:`end_period` reset the state for the new period).  The
+        counter and bits start fresh at the new size while the period
+        number, certificate, and query interval are preserved — unlike
+        rebuilding the RSU, which would restart its period at 0 and
+        collide with already-reported periods.  Returns True when the
+        size actually changed.  Re-sizing mid-period (after responses
+        were admitted) raises: recorded indices were hashed for the old
+        length and cannot be reinterpreted.
+        """
+        array_size = int(array_size)
+        if array_size == self._state.array_size:
+            return False
+        if self._state.counter or (
+            self._window_state is not None and self._window_state.counter
+        ):
+            raise ProtocolError(
+                f"RSU {self.rsu_id} cannot resize mid-period: "
+                f"{self._state.counter} responses already recorded"
+            )
+        period = self._state.period
+        self._state = RsuState(
+            rsu_id=self.rsu_id,
+            array_size=array_size,
+            period=period,
+            engine=self._engine,
+        )
+        if self._window_state is not None:
+            self._window_state = RsuState(
+                rsu_id=self.rsu_id,
+                array_size=array_size,
+                period=period,
+                engine=self._engine,
+            )
+        return True
 
     # ------------------------------------------------------------------
     # Reporting side

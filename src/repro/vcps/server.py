@@ -21,8 +21,8 @@ from repro.core.estimator import (
     estimate_point_volume,
 )
 from repro.core.reports import RsuReport
-from repro.core.sizing import LoadFactorSizing
-from repro.errors import EstimationError
+from repro.core.sizing import AdaptiveSizing, SizingPolicy
+from repro.errors import ConfigurationError, EstimationError
 from repro.utils.logconfig import get_logger
 from repro.vcps.history import VolumeHistory
 
@@ -56,7 +56,12 @@ class CentralServer:
     s:
         Logical bit array size the fleet uses.
     sizing:
-        Sizing policy, used to publish next period's array sizes.
+        A :class:`~repro.core.sizing.SizingPolicy`, used to publish
+        next period's array sizes.  An
+        :class:`~repro.core.sizing.AdaptiveSizing` policy additionally
+        enables the between-period control loop: :meth:`plan_sizes`
+        then re-sizes from observed per-period volumes (via the
+        streaming tier) instead of holding the initial sizes.
     history:
         Historical volume store (may be pre-seeded).
     policy:
@@ -79,7 +84,7 @@ class CentralServer:
     def __init__(
         self,
         s: int,
-        sizing: LoadFactorSizing,
+        sizing: SizingPolicy,
         *,
         history: Optional[VolumeHistory] = None,
         policy: ZeroFractionPolicy = ZeroFractionPolicy.RAISE,
@@ -110,6 +115,15 @@ class CentralServer:
         )
         self.anomaly_threshold = float(anomaly_threshold)
         self._anomalies: List[ReportAnomaly] = []
+        #: Period-0 sizes, frozen at construction from the seed history
+        #: (before any ``observe`` moved the averages).  These anchor
+        #: every size trajectory: static policies return them for every
+        #: period, adaptive ones evolve them via :meth:`plan_sizes`.
+        self._initial_sizes: Dict[int, int] = {
+            rsu_id: sizing.size_for(volume)
+            for rsu_id, volume in self.history.known_rsus().items()
+        }
+        self._adaptive = None  # lazily-built AdaptiveController
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -187,6 +201,78 @@ class CentralServer:
             rsu_id: self.sizing.size_for(volume)
             for rsu_id, volume in self.history.known_rsus().items()
         }
+
+    # ------------------------------------------------------------------
+    # Adaptive sizing control loop (docs/adaptive.md)
+    # ------------------------------------------------------------------
+    @property
+    def initial_sizes(self) -> Dict[int, int]:
+        """The period-0 array sizes (from the seed history)."""
+        return dict(self._initial_sizes)
+
+    def _controller(self):
+        if self._adaptive is None:
+            from repro.adaptive import AdaptiveController
+            from repro.obs import get_registry
+
+            self._adaptive = AdaptiveController(
+                self.sizing,
+                self._initial_sizes,
+                registry=get_registry(),
+            )
+        return self._adaptive
+
+    def _observed_volume(self, rsu_id: int, period: int) -> float:
+        """The volume the streaming tier saw at *rsu_id* in *period*.
+
+        The sealed counter equals the report counter once the period
+        closed; an RSU that stayed dark (no responses, no report)
+        counts as zero so an idle period never crashes the loop.
+        """
+        try:
+            return float(self.streaming.counter(rsu_id, period))
+        except ConfigurationError:
+            return 0.0
+
+    def plan_sizes(self, period: int) -> Dict[int, int]:
+        """The array sizes every RSU should use in *period*.
+
+        Period 0 always answers the initial (seed-history) sizes.  A
+        non-adaptive policy answers those same sizes for every period —
+        the paper's static deployment.  An
+        :class:`~repro.core.sizing.AdaptiveSizing` policy evolves them
+        one period at a time: the plan for period ``p`` applies
+        :meth:`~repro.core.sizing.AdaptiveSizing.propose` to the plan
+        for ``p - 1`` and the volumes observed during ``p - 1``.  Plans
+        are cached, so repeated queries (and the idempotent collector
+        announcements built on them) are free and identical.
+        """
+        period = int(period)
+        if period < 0:
+            raise ConfigurationError(f"period must be >= 0, got {period}")
+        if not isinstance(self.sizing, AdaptiveSizing):
+            return dict(self._initial_sizes)
+        controller = self._controller()
+        while controller.latest_period < period:
+            p = controller.latest_period
+            volumes = {
+                rsu_id: self._observed_volume(rsu_id, p)
+                for rsu_id in controller.sizes_for(p)
+            }
+            controller.observe_period(p, volumes)
+        return controller.sizes_for(period)
+
+    def adopt_size_plan(self, period: int, sizes: Dict[int, int]) -> None:
+        """Seed the size plan for *period* (WAL crash recovery).
+
+        Recovery replays journalled size announcements so a restarted
+        collector publishes exactly the sizes it announced before the
+        crash, instead of re-deriving them from possibly-partial
+        streaming state.
+        """
+        if not isinstance(self.sizing, AdaptiveSizing):
+            return
+        self._controller().adopt(int(period), dict(sizes))
 
     def point_volume(self, rsu_id: int, period: int = 0) -> int:
         """Exact point volume from the stored counter."""

@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import AdaptiveSizing, SizingPolicy, StaticSizing
 from repro.errors import AuthenticationError, ConfigurationError
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import next_power_of_two
@@ -63,6 +63,14 @@ class VcpsSimulation:
         Bit-storage backend name threaded to every RSU array and the
         server's decoder (``None`` = process default; see
         :mod:`repro.engine`).
+    sizing:
+        An explicit :class:`~repro.core.sizing.SizingPolicy`
+        (overrides *load_factor*).  An
+        :class:`~repro.core.sizing.AdaptiveSizing` policy switches
+        :meth:`apply_resizing` to the between-period control loop:
+        sizes then follow the server's :meth:`~repro.vcps.server.
+        CentralServer.plan_sizes` trajectory instead of the
+        history-driven static rule (see ``docs/adaptive.md``).
     """
 
     def __init__(
@@ -77,6 +85,7 @@ class VcpsSimulation:
         channel=None,
         query_attempts: int = 3,
         engine: Optional[str] = None,
+        sizing: Optional[SizingPolicy] = None,
     ) -> None:
         if query_attempts < 1:
             raise ConfigurationError(
@@ -88,7 +97,8 @@ class VcpsSimulation:
             raise ConfigurationError("historical_volumes must not be empty")
         self._rng = as_generator(seed)
         self.clock = SimulationClock(ticks_per_period)
-        self.sizing = LoadFactorSizing(load_factor)
+        self.sizing = sizing if sizing is not None else StaticSizing(load_factor)
+        load_factor = float(self.sizing.load_factor)
         sizes = {
             int(rsu): self.sizing.size_for(volume)
             for rsu, volume in historical_volumes.items()
@@ -216,26 +226,31 @@ class VcpsSimulation:
         return reports
 
     def apply_resizing(self) -> Dict[int, int]:
-        """Adopt the server's published sizes for the next period.
+        """Adopt the published sizes for the just-started period.
 
-        Models the feedback loop of Section IV-C: the updated history
-        drives next period's ``m_x``.  RSUs whose size changes get a
-        fresh (empty) state at the new size.
+        Models the feedback loop of Section IV-C: under a static
+        policy the updated history drives next period's ``m_x``; under
+        an :class:`~repro.core.sizing.AdaptiveSizing` policy the
+        server's between-period controller does
+        (:meth:`~repro.vcps.server.CentralServer.plan_sizes`).  RSUs
+        whose size changes restart the new period empty at the new
+        size — in place, via :meth:`~repro.vcps.rsu.RoadsideUnit.
+        resize`, which preserves each RSU's period number so reports
+        keep lining up with the decoder's period axis.
         """
-        sizes = self.server.next_period_sizes()
+        if isinstance(self.sizing, AdaptiveSizing):
+            # All RSUs advance periods in lockstep via close_period().
+            period = next(iter(self.rsus.values())).period
+            sizes = self.server.plan_sizes(period)
+        else:
+            sizes = self.server.next_period_sizes()
         for rsu_id, new_size in sizes.items():
             # Logical bit arrays are bound to m_o for the fleet's
             # lifetime, so no physical array may outgrow it.
             new_size = min(new_size, self.params.m_o)
             sizes[rsu_id] = new_size
             rsu = self.rsus.get(rsu_id)
-            if rsu is None or rsu.array_size == new_size:
+            if rsu is None:
                 continue
-            self.rsus[rsu_id] = RoadsideUnit(
-                rsu_id,
-                new_size,
-                self.authority.issue(rsu_id),
-                query_interval=rsu.query_interval,
-                engine=self.engine,
-            )
+            rsu.resize(new_size)
         return sizes

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baseline.scheme import FixedLengthScheme
-from repro.baseline.sizing import fixed_array_size_for_privacy, prev_power_of_two
+from repro.core.sizing import fixed_array_size_for_privacy, prev_power_of_two
 from repro.core.scheme import VlmScheme
 from repro.errors import ConfigurationError
 from repro.privacy.formulas import preserved_privacy

@@ -42,7 +42,7 @@ class TestConfigureLogging:
         from repro.core.encoder import encode_passes
         from repro.core.parameters import SchemeParameters
         from repro.core.reports import RsuReport
-        from repro.core.sizing import LoadFactorSizing
+        from repro.core.sizing import StaticSizing
         from repro.traffic.population import VehicleFleet
         from repro.vcps.history import VolumeHistory
         from repro.vcps.server import CentralServer
@@ -54,7 +54,7 @@ class TestConfigureLogging:
         honest = encode_passes(fleet.ids, fleet.keys, 1, 4_096, params)
         tampered = RsuReport(rsu_id=1, counter=5_000, bits=honest.bits)
         server = CentralServer(
-            2, LoadFactorSizing(4.0), history=VolumeHistory({1: 500})
+            2, StaticSizing(4.0), history=VolumeHistory({1: 500})
         )
         server.receive_report(tampered)
         assert "integrity anomaly" in stream.getvalue()

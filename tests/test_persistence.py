@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.encoder import encode_passes
 from repro.core.parameters import SchemeParameters
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import StaticSizing
 from repro.errors import ConfigurationError
 from repro.traffic.population import VehicleFleet
 from repro.vcps.history import VolumeHistory
@@ -15,7 +15,7 @@ from repro.vcps.server import CentralServer
 @pytest.fixture
 def populated_server():
     server = CentralServer(
-        2, LoadFactorSizing(6.0), history=VolumeHistory({1: 900, 2: 2_100})
+        2, StaticSizing(6.0), history=VolumeHistory({1: 900, 2: 2_100})
     )
     params = SchemeParameters(s=2, load_factor=6.0, m_o=1 << 14, hash_seed=5)
     fleet = VehicleFleet.random(3_000, seed=5)

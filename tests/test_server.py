@@ -6,7 +6,7 @@ from repro.core.bitarray import BitArray
 from repro.core.encoder import encode_passes
 from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import StaticSizing
 from repro.traffic.population import VehicleFleet
 from repro.vcps.history import VolumeHistory
 from repro.vcps.server import CentralServer
@@ -15,7 +15,7 @@ from repro.vcps.server import CentralServer
 @pytest.fixture
 def server():
     return CentralServer(
-        2, LoadFactorSizing(4.0), history=VolumeHistory({1: 1_000, 2: 2_000})
+        2, StaticSizing(4.0), history=VolumeHistory({1: 1_000, 2: 2_000})
     )
 
 

@@ -21,7 +21,7 @@ from repro.core.config import SchemeConfig
 from repro.core.decoder import CentralDecoder
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.reports import RsuReport
-from repro.core.sizing import LoadFactorSizing
+from repro.core.sizing import StaticSizing
 from repro.errors import ConfigurationError
 from repro.federation.collector import FederatedCollector
 from repro.federation.wal import WriteAheadLog
@@ -369,7 +369,7 @@ def shard_partials(sizes, batches, *, shard_of, windows):
 def make_server(windows=3):
     return CentralServer(
         2,
-        LoadFactorSizing(2.0),
+        StaticSizing(2.0),
         policy=ZeroFractionPolicy.CLAMP,
         windows=windows,
     )
