@@ -1,0 +1,84 @@
+"""Scenario zoo scale bench: grids from 24 to 256 RSUs.
+
+Sweeps synthetic grid scenarios across the RSU ladder the paper's
+"larger network" discussion gestures at — 24 (Sioux Falls-sized)
+through 256 RSUs — running each through the complete pipeline (demand
+synthesis, routing, online coding, the all-pairs matrix) serially and
+at 4 process workers, and writes the wall-clock/accuracy table to
+``results/scenarios.txt``.  Every parallel matrix is asserted
+bit-identical to its serial twin (the zoo's determinism contract).
+
+Run: ``pytest benchmarks/bench_scenarios.py``
+Artifact: ``results/scenarios.txt``
+"""
+
+import json
+import os
+import time
+
+from conftest import publish
+from repro.experiments.sioux_falls_matrix import run_od_matrix
+from repro.scenarios import get_scenario
+from repro.utils.serialization import to_jsonable
+
+#: (spec, RSU count): Sioux Falls size up to a 16x16 metro grid.
+LADDER = (
+    ("grid-4x6", 24),
+    ("grid-8x8", 64),
+    ("grid-12x12", 144),
+    ("grid-16x16", 256),
+)
+
+
+def _canon(result) -> str:
+    return json.dumps(to_jsonable(result), sort_keys=True, default=str)
+
+
+def test_scenario_scale_sweep():
+    """The grid ladder through the full matrix, serial vs 4 workers."""
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    ladder = LADDER[:2] if smoke else LADDER
+    trips_per_rsu = 500 if smoke else 2_000
+
+    rows = []
+    for spec, rsus in ladder:
+        scenario = get_scenario(spec)
+        assert scenario.network().num_nodes == rsus
+
+        kwargs = dict(
+            scenario=spec,
+            total_trips=trips_per_rsu * rsus,
+            min_truth=50,
+            seed=13,
+        )
+        start = time.perf_counter()
+        serial = run_od_matrix(workers=1, executor="serial", **kwargs)
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = run_od_matrix(workers=4, executor="process", **kwargs)
+        parallel_s = time.perf_counter() - start
+
+        assert _canon(serial) == _canon(parallel), (
+            f"{spec} diverged between serial and 4 process workers"
+        )
+        median = serial.percentiles("vlm")["median"]
+        rows.append((spec, rsus, len(serial.outcomes), serial_s, parallel_s, median))
+
+    lines = [
+        "Scenario zoo scale sweep"
+        + (" (SMOKE)" if smoke else "")
+        + f": full OD matrix at {trips_per_rsu:,} trips/RSU, "
+        "serial vs 4 process workers (bit-identical)",
+        "",
+        f"{'scenario':<12}{'RSUs':>6}{'pairs':>7}"
+        f"{'serial s':>10}{'4 wkr s':>9}{'median |err| %':>16}",
+    ]
+    for spec, rsus, pairs, serial_s, parallel_s, median in rows:
+        lines.append(
+            f"{spec:<12}{rsus:>6}{pairs:>7}"
+            f"{serial_s:>10.2f}{parallel_s:>9.2f}{100 * median:>15.2f}%"
+        )
+    lines.append("")
+    lines.append("all parallel matrices bit-identical to serial: yes")
+    publish("scenarios", "\n".join(lines))

@@ -8,8 +8,10 @@ central server via the "unfolding" technique and the MLE estimator of
 Eq. (5) — together with the fixed-length baseline of reference [9],
 closed-form accuracy and privacy analysis, a vehicular cyber-physical
 system simulation substrate (vehicles, RSUs, DSRC messages, simulated
-PKI, central server), the Sioux Falls road network workload, and an
-experiment harness regenerating every table and figure of the paper's
+PKI, central server), a pluggable scenario zoo of road-network
+workloads (Sioux Falls, TNTP files, synthetic grids and rings,
+trajectory replay — see :mod:`repro.scenarios`), and an experiment
+harness regenerating every table and figure of the paper's
 evaluation.
 
 Quickstart
@@ -47,9 +49,10 @@ from repro.core import (
 from repro.baseline import FixedLengthScheme, fixed_array_size_for_privacy
 from repro.privacy import empirical_privacy, optimal_load_factor, preserved_privacy
 from repro.traffic import PairPopulation, VehicleFleet, make_pair_population
+from repro.scenarios import Scenario, get_scenario, scenario_names
 from repro.errors import ReproError
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -80,5 +83,8 @@ __all__ = [
     "PairPopulation",
     "VehicleFleet",
     "make_pair_population",
+    "Scenario",
+    "get_scenario",
+    "scenario_names",
     "ReproError",
 ]

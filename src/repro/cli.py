@@ -10,11 +10,18 @@ Usage::
     python -m repro.cli ablations   # design-choice ablations
     python -m repro.cli all         # everything
 
+    python -m repro.cli scenarios list           # the workload zoo
+    python -m repro.cli scenarios describe grid-8x8
+    python -m repro.cli matrix --scenario grid-16x16  # 256-RSU matrix
+
     python -m repro.cli serve       # live gateway + collector
+    python -m repro.cli serve --scenario trajectory-replay
+                                    # any zoo scenario, same flags on
+                                    # both sides
     python -m repro.cli serve --shards 3 --wal collector.wal
                                     # federated: 3 shards + journaled
                                     # OR-merge collector
-    python -m repro.cli loadgen     # replay a Sioux Falls day at them
+    python -m repro.cli loadgen     # replay a scenario day at them
     python -m repro.cli loadgen --shards 3 --rebalance 2
                                     # sharded replay with mid-period
                                     # handoffs
@@ -210,10 +217,12 @@ def _run_matrix(
     quick: bool,
     workers: Optional[int] = None,
     executor: Optional[str] = None,
+    scenario: str = "sioux-falls",
 ) -> object:
-    from repro.experiments.sioux_falls_matrix import run_sioux_falls_matrix
+    from repro.experiments.sioux_falls_matrix import run_od_matrix
 
-    return run_sioux_falls_matrix(
+    return run_od_matrix(
+        scenario=scenario,
         total_trips=60_000 if quick else 360_600,
         workers=workers,
         executor=executor,
@@ -262,23 +271,31 @@ def _run_scaling(
     quick: bool,
     workers: Optional[int] = None,
     executor: Optional[str] = None,
+    scenarios: Optional[Tuple[str, ...]] = None,
 ) -> object:
     from repro.experiments.scaling import run_scaling
 
     sizes = ((2, 6), (3, 8)) if quick else ((2, 6), (3, 8), (4, 10), (5, 12))
-    return run_scaling(city_sizes=sizes, workers=workers, executor=executor)
+    return run_scaling(
+        city_sizes=sizes,
+        scenarios=scenarios,
+        workers=workers,
+        executor=executor,
+    )
 
 
 def _run_adaptive(
     quick: bool,
     workers: Optional[int] = None,
     executor: Optional[str] = None,
+    scenario: str = "sioux-falls",
 ) -> object:
     from repro.experiments.adaptive_sizing import run_adaptive_sizing
 
     return run_adaptive_sizing(
         total_trips=6_000 if quick else 24_000,
         periods=3 if quick else 5,
+        scenario=scenario,
         workers=workers,
         executor=executor,
     )
@@ -307,10 +324,24 @@ EXPERIMENTS: Dict[str, Runner] = {
 def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
     """Flags ``serve`` and ``loadgen`` must share to stay consistent."""
     parser.add_argument(
+        "--scenario",
+        default="sioux-falls",
+        metavar="SPEC",
+        help="workload scenario: a registered name (`repro scenarios "
+        "list`), grid-NxM, ring-R[xS], or tntp:<net>[:<trips>] "
+        "(default %(default)s); serve and loadgen must agree",
+    )
+    parser.add_argument(
         "--trips",
         type=int,
         default=60_000,
-        help="Sioux Falls trips per day (default %(default)s)",
+        help="scenario trips per day (default %(default)s)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the day to a fast smoke run (caps --trips at "
+        "5000); serve and loadgen must agree",
     )
     parser.add_argument(
         "--seed", type=int, default=13, help="deployment seed (default %(default)s)"
@@ -456,6 +487,25 @@ def build_parser() -> argparse.ArgumentParser:
                 else f"regenerate {name}"
             ),
         )
+        if name in ("matrix", "adaptive"):
+            sub.add_argument(
+                "--scenario",
+                default="sioux-falls",
+                metavar="SPEC",
+                help="workload scenario: a registered name (`repro "
+                "scenarios list`), grid-NxM, ring-R[xS], or "
+                "tntp:<net>[:<trips>] (default %(default)s)",
+            )
+        if name == "scaling":
+            sub.add_argument(
+                "--scenarios",
+                nargs="+",
+                default=None,
+                metavar="SPEC",
+                help="scenario specs to sweep instead of the default "
+                "ring-radial ladder, e.g. --scenarios grid-8x8 "
+                "grid-12x12 grid-16x16 (hundreds of RSUs)",
+            )
         if name == "matrix":
             sub.add_argument(
                 "--live",
@@ -541,12 +591,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen = subparsers.add_parser(
         "loadgen",
-        help="replay a Sioux Falls day against a running `repro serve`",
+        help="replay a scenario day against a running `repro serve`",
         description=(
-            "Stream one Sioux Falls day of vehicle responses at a live "
+            "Stream one scenario day of vehicle responses at a live "
             "gateway, close the period, query the collector for the "
             "full point-to-point matrix, and verify every answer "
-            "bit-for-bit against in-process decoding."
+            "bit-for-bit against in-process decoding.  Pick the "
+            "workload with --scenario (default sioux-falls); serve "
+            "must be started with the same spec."
         ),
     )
     _add_deployment_args(loadgen)
@@ -587,6 +639,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --shards: hand N RSUs to their neighbour shard "
         "mid-period, splitting their responses across two shards "
         "(the collector's OR-merge must still be bit-identical)",
+    )
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="list or describe the workload scenario zoo",
+        description=(
+            "Scenario zoo tooling.  `list` tabulates every registered "
+            "scenario (node/arc/RSU counts, demand profile, vehicle "
+            "classes); `describe SPEC` prints one scenario in detail. "
+            "SPEC accepts parametric specs too: grid-NxM, ring-R[xS], "
+            "tntp:<net.tntp>[:<trips.tntp>]."
+        ),
+    )
+    scenarios.add_argument(
+        "action",
+        choices=["list", "describe"],
+        help="what to do",
+    )
+    scenarios.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        metavar="SPEC",
+        help="scenario spec for `describe`",
+    )
+    scenarios.add_argument(
+        "--verbose",
+        action="store_true",
+        help="enable library debug logging on stderr",
     )
     metrics = subparsers.add_parser(
         "metrics",
@@ -692,10 +772,16 @@ def build_parser() -> argparse.ArgumentParser:
         "equal the unsharded golden run bit for bit",
     )
     chaos.add_argument(
+        "--scenario",
+        default="sioux-falls",
+        metavar="SPEC",
+        help="(shard-kill) workload scenario spec (default %(default)s)",
+    )
+    chaos.add_argument(
         "--trips",
         type=int,
         default=1_500,
-        help="(shard-kill) Sioux Falls trips per day "
+        help="(shard-kill) scenario trips per day "
         "(default %(default)s)",
     )
     chaos.add_argument(
@@ -801,8 +887,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _deployment_spec(args: argparse.Namespace):
     from repro.service.runtime import DeploymentSpec
 
+    trips = args.trips
+    if getattr(args, "quick", False):
+        trips = min(trips, 5_000)
     return DeploymentSpec(
-        total_trips=args.trips,
+        total_trips=trips,
         seed=args.seed,
         s=args.s,
         load_factor=args.load_factor,
@@ -810,6 +899,7 @@ def _deployment_spec(args: argparse.Namespace):
         periods=getattr(args, "periods", 1),
         drift=getattr(args, "drift", 0.0),
         adaptive=getattr(args, "adaptive", False),
+        scenario=getattr(args, "scenario", "sioux-falls"),
     )
 
 
@@ -935,6 +1025,7 @@ def _run_matrix_live(args: argparse.Namespace) -> int:
         total_trips=6_000 if args.quick else 60_000,
         windows=args.windows,
         window=args.window,
+        scenario=args.scenario,
     )
     print(result.render())
     if args.json is not None:
@@ -953,6 +1044,7 @@ def _run_matrix_adaptive(args: argparse.Namespace) -> int:
         total_trips=6_000 if args.quick else 60_000,
         periods=args.periods,
         drift=args.drift,
+        scenario=args.scenario,
     )
     print(result.render())
     if args.json is not None:
@@ -961,6 +1053,24 @@ def _run_matrix_adaptive(args: argparse.Namespace) -> int:
         dump_json({"matrix_adaptive": to_jsonable(result)}, args.json)
         print(f"structured results written to {args.json}")
     return 0 if result.bit_identical else 1
+
+
+def _run_scenarios(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.scenarios import render_scenario_detail, render_scenario_list
+
+    if args.action == "list":
+        print(render_scenario_list())
+        return 0
+    if args.spec is None:
+        print("scenarios describe needs a SPEC argument", file=sys.stderr)
+        return 2
+    try:
+        print(render_scenario_detail(args.spec))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _run_metrics(args: argparse.Namespace) -> int:
@@ -999,6 +1109,7 @@ def _run_chaos(args: argparse.Namespace) -> int:
                 seed=args.seed if args.seed is not None else 13,
                 periods=2 if args.adaptive else 1,
                 adaptive=args.adaptive,
+                scenario=args.scenario,
             ),
             shards=args.shards,
             wal_path=args.wal,
@@ -1034,12 +1145,17 @@ def _timed_experiment(
     quick: bool,
     workers: Optional[int] = None,
     executor: Optional[str] = None,
+    **extra: object,
 ) -> Tuple[object, float]:
     """Run one registered experiment and time it (a runtime task; when
     ``repro all`` fans artifacts out to workers, the nested-plan guard
-    makes each experiment's internal task batch run serial)."""
+    makes each experiment's internal task batch run serial).  *extra*
+    carries per-experiment options (e.g. ``scenario=...``) that only
+    the single-experiment path supplies."""
     start = time.time()
-    result = EXPERIMENTS[name](quick, workers=workers, executor=executor)
+    result = EXPERIMENTS[name](
+        quick, workers=workers, executor=executor, **extra
+    )
     return result, time.time() - start
 
 
@@ -1054,6 +1170,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(args)
     if args.experiment == "loadgen":
         return _run_loadgen(args)
+    if args.experiment == "scenarios":
+        return _run_scenarios(args)
     if args.experiment == "metrics":
         return _run_metrics(args)
     if args.experiment == "federation":
@@ -1081,10 +1199,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     else:
         names = [args.experiment]
+        extra: Dict[str, object] = {}
+        if getattr(args, "scenario", None) is not None:
+            extra["scenario"] = args.scenario
+        if getattr(args, "scenarios", None) is not None:
+            extra["scenarios"] = tuple(args.scenarios)
         outcomes = [
             _timed_experiment(
                 names[0], args.quick,
                 workers=args.workers, executor=args.executor,
+                **extra,
             )
         ]
     collected = {}

@@ -20,6 +20,7 @@ __all__ = [
     "WalError",
     "RetryExhaustedError",
     "NetworkDataError",
+    "TntpFormatError",
     "CalibrationError",
 ]
 
@@ -99,6 +100,20 @@ class RetryExhaustedError(ReproError):
 class NetworkDataError(ReproError):
     """Road network data is inconsistent (unknown node, disconnected OD
     pair, negative demand)."""
+
+
+class TntpFormatError(NetworkDataError, ValidationError):
+    """A TNTP interchange document is malformed: a link row with too
+    few or non-numeric fields, a trips block with an unparseable
+    demand entry, or a file with no usable content at all.  Subclasses
+    both :class:`NetworkDataError` (it is bad road-network data) and
+    :class:`ValidationError` (it is a typed input-validation failure),
+    so existing callers catching either keep working.  Raised by
+    :mod:`repro.roadnet.tntp` with the offending line number."""
+
+    def __init__(self, message: str, *, line: int = 0) -> None:
+        super().__init__(message)
+        self.line = int(line)
 
 
 class CalibrationError(ReproError):

@@ -54,8 +54,8 @@ from repro.privacy.attacker import empirical_privacy
 from repro.privacy.formulas import preserved_privacy
 from repro.privacy.optimizer import optimal_load_factor
 from repro.runtime import Task, run_tasks
+from repro.scenarios import get_scenario
 from repro.service.runtime import DeploymentSpec
-from repro.traffic.network_workload import sioux_falls_workload
 from repro.utils.tables import AsciiTable
 
 __all__ = [
@@ -70,7 +70,14 @@ PairKey = Tuple[int, int]
 Matrix = Dict[PairKey, PairEstimate]
 
 
+def _display(scenario: str) -> str:
+    """Headline name: the historical wording for the default scenario,
+    the spec string for everything else."""
+    return "Sioux Falls" if scenario == "sioux-falls" else scenario
+
+
 def _decode_day(
+    scenario: str,
     trips: int,
     workload_seed: int,
     params: SchemeParameters,
@@ -81,11 +88,15 @@ def _decode_day(
 ) -> Matrix:
     """Encode one drifted day at a given size plan and decode all pairs.
 
-    A runtime task: self-contained (re-routes the day's workload from
-    its trip count and seed), consumes no ambient randomness, and is
+    A runtime task: self-contained (resolves *scenario* by name and
+    re-routes the day's workload from its trip count and seed — names
+    travel through pickled process-executor tasks where workload
+    objects should not), consumes no ambient randomness, and is
     therefore bit-identical at any worker count, on either backend.
     """
-    workload = sioux_falls_workload(total_trips=trips, seed=workload_seed)
+    workload = get_scenario(scenario).workload(
+        total_trips=trips, seed=workload_seed, period=period
+    )
     decoder = CentralDecoder(
         config=SchemeConfig(s=params.s, policy=policy, engine=engine)
     )
@@ -115,6 +126,7 @@ def _day_task(
     return Task(
         fn=_decode_day,
         args=(
+            spec.scenario,
             spec.trips_for(period),
             spec.seed + period,
             spec.scheme.params,
@@ -221,6 +233,7 @@ class AdaptiveSizingResult:
     serial_identical: bool
     engines_identical: bool
     size_trajectory: List[Dict[int, int]] = field(repr=False, default_factory=list)
+    scenario: str = "sioux-falls"
 
     @property
     def adaptive_always_in_band(self) -> bool:
@@ -254,7 +267,8 @@ class AdaptiveSizingResult:
             ],
             title=(
                 "Adaptive vs static sizing under drifting demand "
-                f"(Sioux Falls, {self.total_trips:,} trips/day shrinking "
+                f"({_display(self.scenario)}, "
+                f"{self.total_trips:,} trips/day shrinking "
                 f"{100 * -self.drift:.0f}%/day, s={self.s}, "
                 f"f*={self.f_star:.2f}, hysteresis ±{self.hysteresis} "
                 f"octave, max step {self.max_step})"
@@ -312,6 +326,7 @@ def run_adaptive_sizing(
     seed: int = 13,
     min_truth: int = 200,
     attacker_trials: int = 4,
+    scenario: str = "sioux-falls",
     workers: Optional[int] = None,
     executor: Optional[str] = None,
 ) -> AdaptiveSizingResult:
@@ -335,6 +350,7 @@ def run_adaptive_sizing(
         drift=drift,
         sizing=controller,
         adaptive=True,
+        scenario=scenario,
     )
     f_star, _ = optimal_load_factor(s)
     trajectory = spec.size_trajectory()
@@ -463,6 +479,7 @@ def run_adaptive_sizing(
         serial_identical=serial_identical,
         engines_identical=engines_identical,
         size_trajectory=trajectory,
+        scenario=spec.scenario,
     )
 
 
@@ -480,6 +497,7 @@ class AdaptiveMatrixResult:
     serial_identical: bool
     engines_identical: bool
     size_trajectory: List[Dict[int, int]] = field(repr=False, default_factory=list)
+    scenario: str = "sioux-falls"
 
     @property
     def bit_identical(self) -> bool:
@@ -490,7 +508,7 @@ class AdaptiveMatrixResult:
         table = AsciiTable(
             ["day", "trips", "resizes", "mean |err| %", "pairs"],
             title=(
-                "Adaptive multi-day Sioux Falls matrix "
+                f"Adaptive multi-day {_display(self.scenario)} matrix "
                 f"({self.total_trips:,} trips/day shrinking "
                 f"{100 * -self.drift:.0f}%/day, {self.periods} days)"
             ),
@@ -531,6 +549,7 @@ def run_adaptive_matrix(
     s: int = 2,
     seed: int = 13,
     min_truth: int = 200,
+    scenario: str = "sioux-falls",
     workers: Optional[int] = None,
     executor: Optional[str] = None,
 ) -> AdaptiveMatrixResult:
@@ -549,6 +568,7 @@ def run_adaptive_matrix(
         periods=periods,
         drift=drift,
         adaptive=True,
+        scenario=scenario,
     )
     trajectory = spec.size_trajectory()
     last = periods - 1
@@ -591,4 +611,5 @@ def run_adaptive_matrix(
         serial_identical=serial == matrices[last],
         engines_identical=legacy == matrices[last],
         size_trajectory=trajectory,
+        scenario=spec.scenario,
     )

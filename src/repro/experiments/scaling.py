@@ -3,10 +3,11 @@
 Section IV-E analyzes per-pair cost; a deployment cares about the whole
 city: how do encode time, decode time, memory, and accuracy behave as
 the instrumented network grows from a town to a metro?  This study
-sweeps synthetic ring-radial cities of increasing size through the
-complete pipeline — gravity demand, routing, online coding at every
-RSU, the full all-pairs traffic matrix — and reports wall-clock and
-accuracy per scale.
+sweeps scenarios of increasing size — any specs the scenario zoo
+resolves (``ring-RxS``, ``grid-NxM``, ``tntp:...``); the default sweep
+is the historical ring-radial ladder — through the complete pipeline:
+demand synthesis, routing, online coding at every RSU, the full
+all-pairs traffic matrix, reporting wall-clock and accuracy per scale.
 """
 
 from __future__ import annotations
@@ -19,10 +20,8 @@ import numpy as np
 
 from repro.core.estimator import ZeroFractionPolicy
 from repro.core.scheme import VlmScheme
-from repro.roadnet.generators import ring_radial_network
-from repro.roadnet.gravity import gravity_trip_table
 from repro.runtime import Task, run_tasks
-from repro.traffic.network_workload import NetworkWorkload
+from repro.scenarios import get_scenario
 from repro.utils.rng import SeedLike, as_generator, spawn_sequences
 from repro.utils.tables import AsciiTable
 
@@ -40,6 +39,7 @@ class ScalePoint:
     matrix_seconds: float
     total_memory_mib: float
     median_error: float
+    scenario: str = ""
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,7 @@ class ScalingResult:
     def render(self) -> str:
         table = AsciiTable(
             [
+                "scenario",
                 "RSUs",
                 "vehicles/day",
                 "pairs",
@@ -59,11 +60,12 @@ class ScalingResult:
                 "memory MiB",
                 "median |err| %",
             ],
-            title="City-scale pipeline scaling (ring-radial networks)",
+            title="City-scale pipeline scaling (scenario sweep)",
         )
         for p in self.points:
             table.add_row(
                 [
+                    p.scenario,
                     p.rsus,
                     p.vehicles,
                     p.pairs_measured,
@@ -77,29 +79,26 @@ class ScalingResult:
 
 
 def _scale_point(
-    rings: int,
-    spokes: int,
+    spec: str,
     trips_per_rsu: int,
     load_factor: float,
     min_truth: int,
     seed: np.random.SeedSequence,
 ) -> ScalePoint:
-    """One city size through the whole pipeline (a runtime task).
+    """One scenario through the whole pipeline (a runtime task).
 
-    The estimates are deterministic per substream; the recorded
-    wall-clock readings are measurements, not results, and naturally
-    vary run to run (and under an oversubscribed parallel plan).
+    *spec* travels as a string so the task pickles cleanly into
+    process executors.  The estimates are deterministic per substream;
+    the recorded wall-clock readings are measurements, not results,
+    and naturally vary run to run (and under an oversubscribed
+    parallel plan).
     """
     workload_seed, hash_seed_seq = spawn_sequences(seed, 2)
-    network = ring_radial_network(rings, spokes)
-    weights = {node: 1.0 for node in network.nodes}
-    trips = gravity_trip_table(
-        network,
-        total_trips=trips_per_rsu * network.num_nodes,
-        gamma=0.5,
-        weights=weights,
+    scenario = get_scenario(spec)
+    network = scenario.network()
+    workload = scenario.workload(
+        total_trips=trips_per_rsu * network.num_nodes, seed=workload_seed
     )
-    workload = NetworkWorkload.build(network, trips, seed=workload_seed)
     volumes = workload.volumes()
     scheme = VlmScheme(
         volumes,
@@ -131,12 +130,14 @@ def _scale_point(
         matrix_seconds=matrix_seconds,
         total_memory_mib=memory_bits / 8 / 1024 / 1024,
         median_error=float(np.median(errors)) if errors else float("nan"),
+        scenario=scenario.name,
     )
 
 
 def run_scaling(
     *,
     city_sizes: Sequence[Tuple[int, int]] = ((2, 6), (3, 8), (4, 10)),
+    scenarios: Optional[Sequence[str]] = None,
     trips_per_rsu: int = 4_000,
     load_factor: float = 8.0,
     min_truth: int = 300,
@@ -144,22 +145,30 @@ def run_scaling(
     workers: Optional[int] = None,
     executor: Optional[str] = None,
 ) -> ScalingResult:
-    """Sweep ring-radial cities of the given ``(rings, spokes)`` sizes.
+    """Sweep a ladder of scenarios through the whole pipeline.
 
-    Each city size is an independent runtime task with its own seed
-    substream; accuracy results are bit-identical for any worker
-    count/executor (timing columns are measurements and are not).
+    *scenarios* is a sequence of scenario zoo specs; when omitted the
+    historical ``(rings, spokes)`` pairs in *city_sizes* sweep as
+    ``ring-RxS`` scenarios (bit-identical to the pre-zoo study).
+    Synthetic grids reach hundreds of RSUs: ``scenarios=("grid-8x8",
+    "grid-12x12", "grid-16x16")`` sweeps 64 → 256 RSUs.  Each point is
+    an independent runtime task with its own seed substream; accuracy
+    results are bit-identical for any worker count/executor (timing
+    columns are measurements and are not).
     """
+    if scenarios is None:
+        scenarios = [
+            f"ring-{rings}x{spokes}" for rings, spokes in city_sizes
+        ]
+    specs = [str(spec) for spec in scenarios]
     points: List[ScalePoint] = run_tasks(
         [
             Task(
                 fn=_scale_point,
-                args=(rings, spokes, trips_per_rsu, load_factor, min_truth, sub),
-                label=f"scaling:{rings}x{spokes}",
+                args=(spec, trips_per_rsu, load_factor, min_truth, sub),
+                label=f"scaling:{spec}",
             )
-            for (rings, spokes), sub in zip(
-                city_sizes, spawn_sequences(seed, len(city_sizes))
-            )
+            for spec, sub in zip(specs, spawn_sequences(seed, len(specs)))
         ],
         workers=workers,
         executor=executor,

@@ -111,6 +111,7 @@ def run_streaming_matrix(
     window: Optional[int] = None,
     seed: SeedLike = 13,
     top: int = 8,
+    scenario: str = "sioux-falls",
 ) -> StreamingMatrixResult:
     """Replay the deterministic day through the streaming decoder.
 
@@ -126,7 +127,9 @@ def run_streaming_matrix(
         raise ValueError(
             f"--window must lie in [0, {windows}); got {window}"
         )
-    spec = DeploymentSpec(total_trips=int(total_trips), seed=int(seed))
+    spec = DeploymentSpec(
+        total_trips=int(total_trips), seed=int(seed), scenario=str(scenario)
+    )
     decoder = StreamingDecoder(
         s=spec.s,
         policy=spec.policy,

@@ -31,7 +31,7 @@ import re
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
-from repro.errors import NetworkDataError
+from repro.errors import TntpFormatError
 from repro.roadnet.graph import Arc, RoadNetwork
 from repro.roadnet.trips import TripTable
 
@@ -47,11 +47,32 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
-def _strip_metadata(text: str) -> str:
-    """Drop everything up to and including ``<END OF METADATA>``."""
+def _body_lines(text: str) -> List[Tuple[int, str]]:
+    """``(line_number, line)`` pairs after the metadata header.
+
+    Robustness against files as they circulate in the wild: a UTF-8
+    BOM is dropped, CRLF/CR line endings are normalized, everything up
+    to and including ``<END OF METADATA>`` is skipped (files without
+    the marker are taken to be all body), and stray ``<...>`` metadata
+    headers appearing *after* the marker are tolerated and ignored.
+    Line numbers are 1-based positions in the original document, so
+    parse errors point at the offending line.
+    """
+    text = text.lstrip("﻿")
+    lines = text.replace("\r\n", "\n").replace("\r", "\n").split("\n")
     marker = "<END OF METADATA>"
-    position = text.find(marker)
-    return text[position + len(marker):] if position >= 0 else text
+    start = 0
+    for i, line in enumerate(lines):
+        if marker in line.upper():
+            start = i + 1
+            break
+    out: List[Tuple[int, str]] = []
+    for i in range(start, len(lines)):
+        line = lines[i].strip()
+        if line.startswith("<"):
+            continue  # stray metadata header after the marker
+        out.append((i + 1, lines[i]))
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -63,26 +84,31 @@ def parse_network(text: str, *, name: str = "tntp-network") -> RoadNetwork:
     Only the first five columns (tail, head, capacity, length,
     free-flow time) are consumed; the remaining BPR columns are
     accepted and ignored (capacities/times feed
-    :mod:`repro.roadnet.congestion`).
+    :mod:`repro.roadnet.congestion`).  Comment lines (``~`` prefixed),
+    CRLF endings, and ``<...>`` metadata headers are tolerated;
+    malformed link rows raise :class:`~repro.errors.TntpFormatError`
+    with the offending line number.
     """
-    body = _strip_metadata(text)
     arcs: List[Arc] = []
-    for raw_line in body.splitlines():
+    for lineno, raw_line in _body_lines(text):
         line = raw_line.split("~")[0].strip().rstrip(";").strip()
         if not line:
             continue
         fields = line.split()
         if len(fields) < 5:
-            raise NetworkDataError(
-                f"malformed TNTP link line (need >= 5 fields): {raw_line!r}"
+            raise TntpFormatError(
+                f"malformed TNTP link line (need >= 5 fields) "
+                f"at line {lineno}: {raw_line!r}",
+                line=lineno,
             )
         try:
             tail, head = int(fields[0]), int(fields[1])
             capacity = float(fields[2])
             free_flow_time = float(fields[4])
         except ValueError as exc:
-            raise NetworkDataError(
-                f"non-numeric TNTP link line: {raw_line!r}"
+            raise TntpFormatError(
+                f"non-numeric TNTP link line at line {lineno}: {raw_line!r}",
+                line=lineno,
             ) from exc
         # Degenerate entries (zero time) occur in some datasets; give
         # them a tiny positive time instead of rejecting the file.
@@ -95,7 +121,7 @@ def parse_network(text: str, *, name: str = "tntp-network") -> RoadNetwork:
             )
         )
     if not arcs:
-        raise NetworkDataError("TNTP network file contains no links")
+        raise TntpFormatError("TNTP network file contains no links")
     return RoadNetwork(name, arcs)
 
 
@@ -126,29 +152,46 @@ _PAIR_RE = re.compile(r"(\d+)\s*:\s*([0-9.eE+-]+)\s*;")
 def parse_trips(text: str) -> TripTable:
     """Parse a ``*_trips.tntp`` document into a :class:`TripTable`.
 
-    Fractional demands are rounded to the nearest vehicle.
+    Fractional demands are rounded to the nearest vehicle.  Comment
+    lines, CRLF endings, and post-marker metadata headers are
+    tolerated; a demand entry whose value does not parse as a number
+    raises :class:`~repro.errors.TntpFormatError` with its line number.
     """
-    body = _strip_metadata(text)
     demand: Dict[Tuple[int, int], int] = {}
     origin = None
-    for raw_line in body.splitlines():
-        match = _ORIGIN_RE.match(raw_line)
+    for lineno, raw_line in _body_lines(text):
+        line = raw_line.split("~")[0]
+        match = _ORIGIN_RE.match(line)
         if match:
             origin = int(match.group(1))
             continue
-        if origin is None:
+        if origin is None or not line.strip():
             continue
-        for destination, value in _PAIR_RE.findall(raw_line):
+        matched = _PAIR_RE.findall(line)
+        if not matched and ":" in line:
+            raise TntpFormatError(
+                f"malformed TNTP demand entry at line {lineno}: "
+                f"{raw_line!r}",
+                line=lineno,
+            )
+        for destination, value in matched:
             destination = int(destination)
+            try:
+                trips = int(round(float(value)))
+            except ValueError as exc:
+                raise TntpFormatError(
+                    f"non-numeric TNTP demand at line {lineno}: "
+                    f"{raw_line!r}",
+                    line=lineno,
+                ) from exc
             if destination == origin:
                 continue  # some files carry explicit zero diagonals
-            trips = int(round(float(value)))
             if trips:
                 demand[(origin, destination)] = (
                     demand.get((origin, destination), 0) + trips
                 )
     if not demand:
-        raise NetworkDataError("TNTP trips file contains no demand")
+        raise TntpFormatError("TNTP trips file contains no demand")
     return TripTable(demand)
 
 

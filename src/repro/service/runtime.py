@@ -36,7 +36,8 @@ from repro.core.sizing import (
 )
 from repro.errors import ConfigurationError
 from repro.hashing.logical_bitarray import select_indices
-from repro.traffic.network_workload import NetworkWorkload, sioux_falls_workload
+from repro.scenarios import Scenario, get_scenario
+from repro.traffic.network_workload import NetworkWorkload
 from repro.utils.logconfig import get_logger
 from repro.vcps.history import VolumeHistory
 from repro.vcps.pki import CertificateAuthority
@@ -70,10 +71,20 @@ class DeploymentSpec:
     policy defaults to CLAMP (the live plane must keep answering under
     extreme load) unless a ``config`` explicitly chooses otherwise.
 
+    ``scenario`` names the workload through the scenario zoo
+    (:func:`repro.scenarios.get_scenario`): ``sioux-falls`` (the
+    default, bit-identical to the historical hardcoded workload),
+    ``grid-NxM`` / ``ring-R[xS]`` synthetic cities,
+    ``tntp:<net>[:<trips>]`` files, or ``trajectory-replay``.  It is
+    kept as the spec *string* so both processes of a deployment (and
+    pickled parallel-runtime tasks) rebuild the identical scenario
+    from their flags.
+
     Multi-period deployments replay ``periods`` consecutive days whose
     demand drifts geometrically: day ``p`` carries ``total_trips *
     (1 + drift) ** p`` trips (rounded, at least 1), re-routed under
-    seed ``seed + p``.  With ``adaptive`` (or an explicit
+    seed ``seed + p`` (scenarios with a per-period demand profile,
+    e.g. ``trajectory-replay``'s weekday/weekend curve, scale on top).  With ``adaptive`` (or an explicit
     :class:`~repro.core.sizing.AdaptiveSizing` in ``sizing``) the
     between-period control loop re-sizes each RSU from the previous
     day's observed volumes; :meth:`size_trajectory` is the
@@ -91,6 +102,7 @@ class DeploymentSpec:
     drift: float = 0.0
     sizing: Optional[SizingPolicy] = None
     adaptive: bool = False
+    scenario: str = "sioux-falls"
     workload: NetworkWorkload = field(init=False, repr=False)
     scheme: VlmScheme = field(init=False, repr=False)
 
@@ -134,8 +146,13 @@ class DeploymentSpec:
         else:
             target = StaticSizing(self.load_factor)
         self.load_factor = float(target.load_factor)
-        self.workload = sioux_falls_workload(
-            total_trips=self.total_trips, seed=self.seed
+        # The scenario travels as a spec string so pickled runtime
+        # tasks and wire peers can rebuild the identical deployment;
+        # the resolved instance is cached for its network cache.
+        self.scenario = str(self.scenario)
+        self._scenario_obj: Scenario = get_scenario(self.scenario)
+        self.workload = self._scenario_obj.workload(
+            total_trips=self.total_trips, seed=self.seed, period=0
         )
         self.scheme = VlmScheme(
             self.workload.volumes(),
@@ -154,6 +171,11 @@ class DeploymentSpec:
         self._workloads: Dict[int, NetworkWorkload] = {0: self.workload}
         self._trajectory: List[Dict[int, int]] = []
 
+    @property
+    def scenario_obj(self) -> Scenario:
+        """The resolved :class:`~repro.scenarios.Scenario` instance."""
+        return self._scenario_obj
+
     # ------------------------------------------------------------------
     # Multi-period demand
     # ------------------------------------------------------------------
@@ -167,9 +189,10 @@ class DeploymentSpec:
         :attr:`workload`)."""
         period = self._check_period(period)
         if period not in self._workloads:
-            self._workloads[period] = sioux_falls_workload(
+            self._workloads[period] = self._scenario_obj.workload(
                 total_trips=self.trips_for(period),
                 seed=self.seed + period,
+                period=period,
             )
         return self._workloads[period]
 

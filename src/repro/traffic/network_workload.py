@@ -13,7 +13,6 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.roadnet.graph import RoadNetwork
-from repro.roadnet.gravity import gravity_trip_table
 from repro.roadnet.routing import RoutePlan, assign_routes
 from repro.roadnet.trips import TripTable
 from repro.roadnet.volumes import (
@@ -79,13 +78,19 @@ def sioux_falls_workload(
 ) -> NetworkWorkload:
     """The default Sioux Falls workload: gravity trips, routed.
 
+    .. deprecated:: 1.7
+        Thin alias for the scenario zoo — equivalent to
+        ``get_scenario("sioux-falls").workload(total_trips=...,
+        seed=...)`` (bit-identical output).  Prefer
+        :func:`repro.scenarios.get_scenario`, which also resolves
+        grids, rings, TNTP files, and trajectory replays.
+
     See DESIGN.md substitution #1 — the Table I experiment additionally
     pins the per-pair ``(n_x, n_y, n_c)`` to the paper's exact values;
     this workload provides the realistic full-network context for the
     examples and the all-pairs study.
     """
-    from repro.roadnet.sioux_falls import sioux_falls_network
+    from repro.scenarios.builtin import SiouxFallsScenario
 
-    network = sioux_falls_network()
-    trips = gravity_trip_table(network, total_trips=total_trips, gamma=gamma)
-    return NetworkWorkload.build(network, trips, seed=seed)
+    scenario = SiouxFallsScenario(gamma=gamma)
+    return scenario.workload(total_trips=total_trips, seed=seed)

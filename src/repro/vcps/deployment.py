@@ -89,6 +89,39 @@ class Deployment:
         self._rng = as_generator(seed)
         self._period = 0
         self.records: List[PeriodRecord] = []
+        #: The scenario this deployment was built from, when built via
+        #: :meth:`from_scenario` (None for a raw-workload deployment).
+        self.scenario = None
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario,
+        *,
+        total_trips: int = 60_000,
+        workload_seed: SeedLike = None,
+        **kwargs,
+    ) -> "Deployment":
+        """Build a deployment from a scenario spec string or instance.
+
+        Resolves *scenario* through :func:`repro.scenarios.get_scenario`
+        (``"sioux-falls"``, ``"grid-8x8"``, ``"trajectory-replay"``,
+        ...), materializes its period-0 workload at *total_trips* /
+        *workload_seed*, and remembers the scenario so
+        :meth:`run_profile` can replay its demand curve.  Remaining
+        keyword arguments go to the constructor unchanged.
+        """
+        from repro.scenarios import Scenario, get_scenario
+
+        obj = (
+            scenario
+            if isinstance(scenario, Scenario)
+            else get_scenario(scenario)
+        )
+        workload = obj.workload(total_trips=int(total_trips), seed=workload_seed)
+        deployment = cls(workload, **kwargs)
+        deployment.scenario = obj
+        return deployment
 
     # ------------------------------------------------------------------
     # Period execution
@@ -154,6 +187,27 @@ class Deployment:
         records = [self.run_period(demand_factor=weekday_factor) for _ in range(5)]
         records += [self.run_period(demand_factor=weekend_factor) for _ in range(2)]
         return records
+
+    def run_profile(self, periods: int) -> List[PeriodRecord]:
+        """Run *periods* periods driven by the scenario's demand curve.
+
+        Requires a deployment built via :meth:`from_scenario`; each
+        period's demand factor comes from the scenario's
+        :class:`~repro.scenarios.DemandProfile` (so
+        ``trajectory-replay`` replays its weekday/weekend week).
+        """
+        if self.scenario is None:
+            raise ConfigurationError(
+                "run_profile needs a scenario-built deployment; "
+                "use Deployment.from_scenario(...)"
+            )
+        profile = self.scenario.demand_profile
+        return [
+            self.run_period(
+                demand_factor=profile.factor(self._period)
+            )
+            for _ in range(int(periods))
+        ]
 
     # ------------------------------------------------------------------
     # Longitudinal queries

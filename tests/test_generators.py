@@ -1,6 +1,8 @@
 """Tests for synthetic road network generators."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import NetworkDataError
 from repro.roadnet.generators import (
@@ -78,3 +80,41 @@ class TestRingRadialNetwork:
         b = 1 + 1 * 8 + 4 + 1
         path = network.shortest_path(a, b)
         assert 1 in path
+
+
+class TestTopologyProperties:
+    """Hypothesis invariants over the whole parametric families."""
+
+    @given(rows=st.integers(2, 8), cols=st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_grid_invariants(self, rows, cols):
+        network = grid_network(rows, cols)
+        assert network.num_nodes == expected_nodes_grid(rows, cols)
+        # Two directed arcs per interior street segment.
+        streets = rows * (cols - 1) + cols * (rows - 1)
+        assert network.num_arcs == 2 * streets
+        assert set(network.nodes) == set(range(1, rows * cols + 1))
+        assert network.is_strongly_connected()
+
+    @given(rings=st.integers(1, 5), spokes=st.integers(3, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_ring_radial_invariants(self, rings, spokes):
+        network = ring_radial_network(rings, spokes)
+        assert network.num_nodes == expected_nodes_ring_radial(rings, spokes)
+        assert set(network.nodes) == set(range(1, 1 + rings * spokes + 1))
+        assert network.is_strongly_connected()
+
+    @given(rows=st.integers(2, 6), cols=st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_generation_is_deterministic(self, rows, cols):
+        """The generators take no seed: two builds must be identical
+        arc for arc (the scenario zoo's bit-identity contract needs
+        this)."""
+        a, b = grid_network(rows, cols), grid_network(rows, cols)
+        assert [
+            (arc.tail, arc.head, arc.free_flow_time, arc.capacity)
+            for arc in a.arcs()
+        ] == [
+            (arc.tail, arc.head, arc.free_flow_time, arc.capacity)
+            for arc in b.arcs()
+        ]

@@ -1,6 +1,8 @@
 """Tests for the gravity-model trip synthesis."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import CalibrationError, NetworkDataError
 from repro.roadnet.gravity import DEFAULT_NODE_WEIGHTS, gravity_trip_table
@@ -54,3 +56,43 @@ class TestGravityTripTable:
 
     def test_default_weights_cover_all_nodes(self):
         assert set(DEFAULT_NODE_WEIGHTS) == set(range(1, 25))
+
+
+class TestGravityProperties:
+    """Hypothesis invariants across networks, targets, and gammas."""
+
+    @given(
+        rows=st.integers(2, 5),
+        cols=st.integers(2, 5),
+        total=st.integers(1_000, 200_000),
+        gamma=st.floats(0.0, 3.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_demand_non_negative_and_conserved(self, rows, cols, total, gamma):
+        from repro.roadnet.generators import grid_network
+
+        network = grid_network(rows, cols)
+        weights = {node: 1.0 for node in network.nodes}
+        table = gravity_trip_table(
+            network, total_trips=total, gamma=gamma, weights=weights
+        )
+        counts = [count for _, count in table.pairs()]
+        # Non-negative (strictly positive: zero-demand pairs are
+        # dropped) and off-diagonal only.
+        assert all(count > 0 for count in counts)
+        assert all(o != d for (o, d), _ in table.pairs())
+        # Conserved: rounding drifts by at most half a vehicle per pair.
+        pairs = rows * cols * (rows * cols - 1)
+        assert abs(table.total_trips - total) <= max(pairs // 2, 1)
+        # Production/attraction marginals re-add to the same total.
+        nodes = table.nodes()
+        assert sum(table.production(n) for n in nodes) == table.total_trips
+        assert sum(table.attraction(n) for n in nodes) == table.total_trips
+
+    @given(total=st.integers(5_000, 50_000), gamma=st.floats(0.0, 2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_synthesis_is_deterministic(self, total, gamma):
+        net = sioux_falls_network()
+        a = gravity_trip_table(net, total_trips=total, gamma=gamma)
+        b = gravity_trip_table(net, total_trips=total, gamma=gamma)
+        assert dict(a.pairs()) == dict(b.pairs())

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import NetworkDataError
+from repro.errors import NetworkDataError, TntpFormatError, ValidationError
 from repro.roadnet.sioux_falls import sioux_falls_network
 from repro.roadnet.tntp import (
     load_network,
@@ -81,6 +81,100 @@ class TestParseTrips:
     def test_empty_rejected(self):
         with pytest.raises(NetworkDataError):
             parse_trips("<END OF METADATA>\nOrigin 1\n")
+
+
+class TestRobustness:
+    """Files as they circulate in the wild: BOM, CRLF, comments,
+    stray metadata, and typed line-numbered parse errors."""
+
+    def test_crlf_and_cr_line_endings(self):
+        for ending in ("\r\n", "\r"):
+            network = parse_network(SAMPLE_NET.replace("\n", ending))
+            assert network.num_arcs == 4
+            trips = parse_trips(SAMPLE_TRIPS.replace("\n", ending))
+            assert trips.total_trips == 599
+
+    def test_utf8_bom_dropped(self):
+        assert parse_network("﻿" + SAMPLE_NET).num_arcs == 4
+
+    def test_comment_lines_and_trailing_comments(self):
+        text = (
+            "<END OF METADATA>\n"
+            "~ a full-line comment\n"
+            "1 2 100.0 6 6.0 0.15 4 0 0 1 ; ~ main street\n"
+            "2 1 100.0 6 6.0 0.15 4 0 0 1 ;\n"
+        )
+        network = parse_network(text)
+        assert network.num_arcs == 2
+
+    def test_marker_case_insensitive(self):
+        text = SAMPLE_NET.replace("<END OF METADATA>", "<End of Metadata>")
+        assert parse_network(text).num_arcs == 4
+
+    def test_stray_headers_after_marker_ignored(self):
+        text = SAMPLE_NET.replace(
+            "~ init", "<FIRST THRU NODE> 1\n~ init"
+        )
+        assert parse_network(text).num_arcs == 4
+
+    def test_file_without_marker_is_all_body(self):
+        text = (
+            "1 2 100.0 6 6.0 0.15 4 0 0 1 ;\n"
+            "2 1 100.0 6 6.0 0.15 4 0 0 1 ;\n"
+        )
+        assert parse_network(text).num_arcs == 2
+
+    def test_error_is_typed_with_line_number(self):
+        bad = "<END OF METADATA>\n1 2 100.0 6 6.0 ;\n1 2 3 ;\n"
+        with pytest.raises(TntpFormatError) as excinfo:
+            parse_network(bad)
+        error = excinfo.value
+        assert isinstance(error, NetworkDataError)
+        assert isinstance(error, ValidationError)
+        assert error.line == 3
+        assert "line 3" in str(error)
+
+    def test_non_numeric_link_row(self):
+        with pytest.raises(TntpFormatError) as excinfo:
+            parse_network("<END OF METADATA>\n1 2 x y z ;\n")
+        assert excinfo.value.line == 2
+
+    def test_malformed_demand_entry(self):
+        bad = (
+            "<END OF METADATA>\n"
+            "Origin 1\n"
+            "    2 : oops;\n"
+        )
+        with pytest.raises(TntpFormatError) as excinfo:
+            parse_trips(bad)
+        assert excinfo.value.line == 3
+
+    def test_trips_comment_lines_skipped(self):
+        text = SAMPLE_TRIPS.replace(
+            "Origin  2", "~ weekday counts only\nOrigin  2"
+        )
+        assert parse_trips(text).total_trips == 599
+
+
+class TestMiniFixture:
+    """The checked-in mini TNTP dataset under repro/scenarios/data."""
+
+    def test_network_loads(self):
+        from repro.scenarios import mini_tntp_paths
+
+        net_path, _ = mini_tntp_paths()
+        network = load_network(net_path)
+        assert network.num_nodes == 8
+        assert network.num_arcs == 20
+        assert network.is_strongly_connected()
+
+    def test_trips_load_and_match_declared_flow(self):
+        from repro.scenarios import mini_tntp_paths
+
+        _, trips_path = mini_tntp_paths()
+        trips = load_trips(trips_path)
+        assert trips.total_trips == 1240
+        assert all(o != d for (o, d), _ in trips.pairs())
 
 
 class TestRoundTrip:
