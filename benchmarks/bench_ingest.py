@@ -115,7 +115,22 @@ def test_batched_speedup_at_least_5x(authority, responses):
                 f"{base / seconds:.1f}x",
             ]
         )
-    publish("ingest", table.render())
+    publish(
+        "ingest",
+        table.render(),
+        data={
+            "batch": BATCH,
+            "array_size": ARRAY_SIZE,
+            "paths": {
+                label: {
+                    "seconds": seconds,
+                    "responses_per_sec": BATCH / seconds,
+                    "speedup": base / seconds,
+                }
+                for label, seconds in timings.items()
+            },
+        },
+    )
 
     speedup = base / timings["batched handle_responses"]
     assert speedup >= 5.0, f"batched path only {speedup:.1f}x faster"
@@ -174,7 +189,17 @@ def test_metrics_overhead_under_5pct(authority):
     total = flushes * batch
     for label, seconds in (("bare", bare), ("instrumented", instrumented)):
         table.add_row([label, seconds * 1e3, f"{total / seconds:,.0f}"])
-    publish("ingest_metrics_overhead", table.render())
+    publish(
+        "ingest_metrics_overhead",
+        table.render(),
+        data={
+            "flushes": flushes,
+            "batch": batch,
+            "bare_seconds": bare,
+            "instrumented_seconds": instrumented,
+            "overhead_fraction": overhead,
+        },
+    )
 
     assert overhead < 0.05, (
         f"instrumentation adds {overhead * 100:.1f}% to the ingest path "

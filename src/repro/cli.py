@@ -769,19 +769,36 @@ def build_parser() -> argparse.ArgumentParser:
         "crash scenario in process: kill a shard mid-period, restart "
         "and resend, kill the collector, replay its write-ahead log, "
         "and exit 0 only if both the live and the recovered matrix "
-        "equal the unsharded golden run bit for bit",
+        "equal the unsharded golden run bit for bit.  The special "
+        "profile `rsu-outage` realizes the scenario's scheduled RSU "
+        "maintenance windows against a live gateway: frames for the "
+        "downed RSUs are dropped mid-period, and the drill exits 0 "
+        "only if the damage is exactly the scheduled slices "
+        "(unaffected pairs bit-identical, affected pairs' accuracy "
+        "delta reported)",
     )
     chaos.add_argument(
         "--scenario",
-        default="sioux-falls",
+        default=None,
         metavar="SPEC",
-        help="(shard-kill) workload scenario spec (default %(default)s)",
+        help="(shard-kill/rsu-outage) workload scenario spec "
+        "(default: sioux-falls; trajectory-replay for rsu-outage, "
+        "which needs a scenario that schedules outages)",
     )
     chaos.add_argument(
         "--trips",
         type=int,
         default=1_500,
-        help="(shard-kill) scenario trips per day "
+        help="(shard-kill/rsu-outage) scenario trips per day "
+        "(default %(default)s)",
+    )
+    chaos.add_argument(
+        "--windows",
+        type=int,
+        default=6,
+        metavar="W",
+        help="(rsu-outage) sequential delivery phases the day is "
+        "split into; the middle third is the outage window "
         "(default %(default)s)",
     )
     chaos.add_argument(
@@ -1099,6 +1116,34 @@ def _run_federation(args: argparse.Namespace) -> int:
 
 
 def _run_chaos(args: argparse.Namespace) -> int:
+    if args.profile == "rsu-outage":
+        from repro.scenarios import get_scenario
+        from repro.service.outage import (
+            first_outage_period,
+            run_rsu_outage,
+        )
+        from repro.service.runtime import DeploymentSpec
+
+        scenario = args.scenario or "trajectory-replay"
+        period = first_outage_period(get_scenario(scenario))
+        if period is None:
+            print(
+                f"scenario {scenario!r} schedules no RSU outages; "
+                "try --scenario trajectory-replay",
+                file=sys.stderr,
+            )
+            return 2
+        return run_rsu_outage(
+            DeploymentSpec(
+                total_trips=args.trips,
+                seed=args.seed if args.seed is not None else 13,
+                periods=period + 1,
+                scenario=scenario,
+            ),
+            windows=args.windows,
+            matrix_out=args.matrix_out,
+            golden_out=args.golden_out,
+        )
     if args.profile == "shard-kill":
         from repro.federation.chaos import run_shard_kill
         from repro.service.runtime import DeploymentSpec
@@ -1109,7 +1154,7 @@ def _run_chaos(args: argparse.Namespace) -> int:
                 seed=args.seed if args.seed is not None else 13,
                 periods=2 if args.adaptive else 1,
                 adaptive=args.adaptive,
-                scenario=args.scenario,
+                scenario=args.scenario or "sioux-falls",
             ),
             shards=args.shards,
             wal_path=args.wal,

@@ -18,11 +18,12 @@ serialize byte-identically, so the choice never leaks onto the wire.
 
 from __future__ import annotations
 
-from typing import Iterable, Union
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
 from repro import engine
+from repro.engine import kernels as engine_kernels
 from repro.errors import ConfigurationError, ValidationError
 
 __all__ = ["BitArray"]
@@ -230,7 +231,25 @@ class BitArray:
                 f"bit indices must lie in [0, {self._size}); got range "
                 f"[{idx.min()}, {idx.max()}]"
             )
-        self._backend.set_indices(self._storage, self._size, idx)
+        engine_kernels.get_kernels(self._backend).set_bits(
+            self._storage, self._size, idx
+        )
+
+    def set_bits_unchecked(self, indices: np.ndarray) -> None:
+        """Trusted scatter: set pre-validated ``int64`` indices.
+
+        Skips :meth:`set_bits`'s dtype and bounds checks and goes
+        straight to the backend's scatter kernel — the zero-copy wire
+        ingest path calls this after its own fused validity pass, and
+        the streaming decoder after a validated gather.  Out-of-range
+        input here is undefined behaviour (it can corrupt the array or
+        raise a raw numpy error), so only call it with indices some
+        earlier pass already proved to lie in ``[0, size)``.
+        """
+        if indices.size:
+            engine_kernels.get_kernels(self._backend).set_bits(
+                self._storage, self._size, indices
+            )
 
     def clear(self) -> None:
         """Reset all bits to zero (start of a measurement period)."""
@@ -271,7 +290,9 @@ class BitArray:
     # ------------------------------------------------------------------
     def count_ones(self) -> int:
         """Number of set bits."""
-        return self._backend.count_ones(self._storage, self._size)
+        return engine_kernels.get_kernels(self._backend).popcount(
+            self._storage, self._size
+        )
 
     def count_zeros(self) -> int:
         """The ``U`` statistic: number of zero bits."""
@@ -377,9 +398,54 @@ class BitArray:
             raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
         return BitArray._wrap(
             self._size * int(repeats),
-            self._backend.tile(self._storage, self._size, int(repeats)),
+            engine_kernels.get_kernels(self._backend).unfold(
+                self._storage, self._size, int(repeats)
+            ),
             self._backend,
         )
+
+    @classmethod
+    def or_reduce(
+        cls,
+        arrays: Sequence["BitArray"],
+        *,
+        size: int = None,
+        backend: BackendLike = None,
+    ) -> "BitArray":
+        """OR-fold many equal-length arrays in one kernel call.
+
+        The n-ary form of Eq. (4) and the CRDT join: the federated
+        collector merges shard partials and the streaming decoder
+        collapses window rings through this instead of a Python-level
+        ``|=`` loop.  With an empty *arrays*, *size* is required and an
+        all-zero array is returned.  *backend* defaults to the first
+        array's backend (or the process default when empty);
+        mixed-backend inputs are converted first.
+        """
+        arrays = list(arrays)
+        if not arrays:
+            if size is None:
+                raise ConfigurationError(
+                    "or_reduce of no arrays needs an explicit size"
+                )
+            return cls(size, backend=backend)
+        resolved = (
+            arrays[0]._backend
+            if backend is None
+            else engine.get_backend(backend)
+        )
+        target = arrays[0]._size if size is None else int(size)
+        for array in arrays:
+            if array._size != target:
+                raise ConfigurationError(
+                    "cannot OR bit arrays of different sizes "
+                    f"({target} vs {array._size}); unfold the smaller "
+                    "one first"
+                )
+        merged = engine_kernels.get_kernels(resolved).or_reduce(
+            [array._storage_as(resolved) for array in arrays], target
+        )
+        return cls._wrap(target, merged, resolved)
 
     def copy(self) -> "BitArray":
         """An independent copy."""

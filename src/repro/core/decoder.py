@@ -171,15 +171,32 @@ class CentralDecoder:
         if report_x.array_size > report_y.array_size:
             report_x, report_y = report_y, report_x
         # Same computation as estimate_intersection, but the unfolding
-        # of the smaller array is memoized across queries.
+        # of the smaller array is memoized across queries and the joint
+        # statistic comes from one fused OR+popcount kernel — no joint
+        # BitArray is materialized.
         from repro.core.estimator import (
+            ZeroFractionPolicy,
             _observed_fraction,
             estimate_from_fractions,
         )
+        from repro.errors import SaturatedArrayError
 
         unfolded = self._unfolded(report_x, report_y.array_size)
-        joint = unfolded | report_y.bits
-        v_c = _observed_fraction(joint, self.policy)
+        backend = engine.get_backend(unfolded.backend)
+        m_y = report_y.array_size
+        zeros = engine.get_kernels(backend).joint_zero_counts(
+            unfolded._storage_as(backend),
+            report_y.bits._storage_as(backend),
+            m_y,
+        )
+        if zeros == 0:
+            if self.policy is ZeroFractionPolicy.RAISE:
+                raise SaturatedArrayError(
+                    f"bit array of size {m_y} is saturated (no zero bits)"
+                )
+            v_c = 0.5 / m_y
+        else:
+            v_c = zeros / m_y
         v_x = _observed_fraction(report_x.bits, self.policy)
         v_y = _observed_fraction(report_y.bits, self.policy)
         n_c_hat = estimate_from_fractions(
@@ -223,8 +240,8 @@ class CentralDecoder:
         Every report is unfolded once to the period's *largest* array
         size, the storages are stacked into one 2-D matrix, and each
         row's pairwise joint-zero counts against all later rows come
-        from one broadcast OR + popcount
-        (:meth:`repro.engine.BitBackend.or_zero_counts`).  Unfolding a
+        from one broadcast OR + popcount (the ``pairwise_or_popcount``
+        kernel of :mod:`repro.engine.kernels`).  Unfolding a
         joint array never changes its zero *fraction*, so feeding
         ``U_c(common) / m_common`` to the MLE yields exactly the float
         the per-pair path computes from ``U_c(m_y) / m_y`` — IEEE
@@ -245,6 +262,7 @@ class CentralDecoder:
             return results
 
         backend = engine.get_backend(self.engine)
+        kernels = engine.get_kernels(backend)
         reports = [self.report_for(rsu_id, period) for rsu_id in ids]
         target = max(report.array_size for report in reports)
 
@@ -262,7 +280,7 @@ class CentralDecoder:
 
         registry = get_registry()
         for i in range(len(ids) - 1):
-            joint_zeros = backend.or_zero_counts(
+            joint_zeros = target - kernels.pairwise_or_popcount(
                 matrix[i], matrix[i + 1 :], target
             )
             registry.counter(

@@ -87,6 +87,20 @@ class RsuState:
         self.counter += int(idx.size)
         self.bits.set_bits(idx)
 
+    def record_trusted(self, bit_indices: np.ndarray) -> None:
+        """:meth:`record_many` minus the re-validation, for callers
+        that already proved every index lies in ``[0, array_size)``.
+
+        The gateway's zero-copy wire ingest runs one fused bounds/MAC
+        pass over the decoded frame views and then records through
+        here, so the batch is bounds-checked exactly once instead of
+        three times (see
+        :meth:`~repro.core.bitarray.BitArray.set_bits_unchecked` for
+        the trust contract).  *bit_indices* must be an ``int64`` array.
+        """
+        self.counter += int(bit_indices.size)
+        self.bits.set_bits_unchecked(bit_indices)
+
     def reset(self, period: int = None) -> None:
         """Start a new measurement period: zero counter and bits."""
         self.counter = 0

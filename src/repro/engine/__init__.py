@@ -43,20 +43,25 @@ import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple, Union
 
+from repro.engine import kernels
 from repro.engine.backend import BitBackend
+from repro.engine.kernels import KernelTable, get_kernels
 from repro.engine.legacy import LegacyBoolBackend
 from repro.engine.packed import PackedWordBackend
 from repro.errors import ConfigurationError
 
 __all__ = [
     "BitBackend",
+    "KernelTable",
     "LegacyBoolBackend",
     "PackedWordBackend",
     "BUILTIN_DEFAULT",
     "ENV_VAR",
     "available_backends",
     "get_backend",
+    "get_kernels",
     "default_backend_name",
+    "register_backend",
     "set_default_backend",
     "use_backend",
 ]
@@ -67,15 +72,54 @@ ENV_VAR = "REPRO_ENGINE"
 #: The backend used when nothing else selects one.
 BUILTIN_DEFAULT = "packed"
 
-_BACKENDS: Dict[str, BitBackend] = {
-    "legacy": LegacyBoolBackend(),
-    "packed": PackedWordBackend(),
-}
+_BACKENDS: Dict[str, BitBackend] = {}
 
 #: Process-level programmatic default (None = fall through to env).
 _process_default: Optional[str] = None
 
 BackendLike = Union[str, BitBackend, None]
+
+
+def register_backend(
+    backend: BitBackend,
+    *,
+    kernel_table: Optional[KernelTable] = None,
+    replace: bool = False,
+) -> BitBackend:
+    """Register *backend* (and its kernel table) under ``backend.name``.
+
+    The single entry point that keeps the backend registry and the
+    kernel-table registry of :mod:`repro.engine.kernels` in lockstep:
+    when *kernel_table* is omitted, a default table is derived from the
+    backend's own primitives via
+    :func:`~repro.engine.kernels.table_from_backend`.  Registering an
+    already-taken name raises
+    :class:`~repro.errors.ConfigurationError` unless *replace* is true.
+
+    This is how an out-of-tree accelerator plugs in::
+
+        engine.register_backend(MyGpuBackend(), kernel_table=my_table)
+        engine.set_default_backend("my-gpu")
+    """
+    if not isinstance(backend, BitBackend):
+        raise ConfigurationError(
+            f"register_backend needs a BitBackend instance, got {backend!r}"
+        )
+    name = backend.name
+    if name in _BACKENDS and not replace:
+        raise ConfigurationError(
+            f"bit-engine backend {name!r} is already registered; "
+            "pass replace=True to override"
+        )
+    table = kernel_table or kernels.table_from_backend(backend)
+    if table.backend != name:
+        raise ConfigurationError(
+            f"kernel table is for backend {table.backend!r}, "
+            f"not {name!r}"
+        )
+    _BACKENDS[name] = backend
+    kernels.register_kernels(table, replace=True)
+    return backend
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -150,3 +194,29 @@ def use_backend(name: str) -> Iterator[BitBackend]:
         yield backend
     finally:
         _process_default = previous
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations
+# ----------------------------------------------------------------------
+register_backend(LegacyBoolBackend())
+register_backend(PackedWordBackend())
+
+
+def _register_optional_backends() -> None:
+    """Auto-register accelerated backends whose dependency imports.
+
+    Today that is the numba word backend; a CuPy/GPU backend would hook
+    in the same way.  Absence is normal (numba is optional), so the
+    probe is silent.
+    """
+    from repro.engine import numba_backend
+
+    if numba_backend.HAVE_NUMBA:  # pragma: no cover - CI numba leg only
+        backend = numba_backend.NumbaWordBackend()
+        register_backend(
+            backend, kernel_table=numba_backend.kernel_table(backend)
+        )
+
+
+_register_optional_backends()

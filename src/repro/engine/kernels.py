@@ -1,0 +1,221 @@
+"""Typed kernel dispatch for the bit-level hot path.
+
+Everything the measurement plane does to a bit array at speed reduces
+to six primitives:
+
+========================  ==============================================
+``set_bits``              index scatter — online coding, Eq. (2)
+``or_reduce``             OR-fold of many arrays — Eq. (4) / CRDT join
+``popcount``              set-bit count — the ``U``/``V`` statistics
+``unfold``                content tiling — unfolding, Eq. (3)
+``joint_zero_counts``     zero bits of ``a | b`` — one pair's ``U_c``
+``pairwise_or_popcount``  set bits of ``row | rows[j]`` for every *j* —
+                          the broadcast heart of ``estimate_matrix``
+========================  ==============================================
+
+Each registered :class:`~repro.engine.backend.BitBackend` owns one
+:class:`KernelTable` binding those ops to implementations over that
+backend's storage representation.  Call sites (``BitArray``, the
+decoder, streaming, federation) resolve a table with
+:func:`get_kernels` and dispatch through it, so an accelerated backend
+(numba, C, GPU) replaces the hot loops by registering a table — no call
+site changes.
+
+Tables are built automatically from a backend's primitives by
+:func:`table_from_backend`; an accelerated backend passes its own table
+to :func:`repro.engine.register_backend` instead.  Every table must be
+**bit-identical** to the legacy oracle — the Hypothesis battery in
+``tests/test_kernels.py`` runs all six ops across every registered
+backend and asserts exact agreement.
+
+Kernel signatures take raw storage (the opaque array a backend's
+``zeros``/``from_bytes`` return) plus the logical bit ``size``; index
+arguments are pre-validated ``int64`` — kernels never re-validate, that
+is the caller's job (``BitArray`` for untrusted input, the zero-copy
+wire ingest for its own fused pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.backend import BitBackend
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "KERNEL_OPS",
+    "KernelTable",
+    "get_kernels",
+    "register_kernels",
+    "registered_kernels",
+    "table_from_backend",
+]
+
+#: The six hot-path operations every kernel table binds, in catalogue
+#: order (``docs/engine.md`` documents each signature).
+KERNEL_OPS: Tuple[str, ...] = (
+    "set_bits",
+    "or_reduce",
+    "popcount",
+    "unfold",
+    "joint_zero_counts",
+    "pairwise_or_popcount",
+)
+
+
+@dataclass(frozen=True)
+class KernelTable:
+    """One backend's bindings for the six hot-path kernels.
+
+    Attributes
+    ----------
+    backend:
+        Name of the backend whose storage representation these kernels
+        operate on (the registry key).
+    set_bits:
+        ``(storage, size, indices) -> None`` — scatter pre-validated
+        ``int64`` indices into *storage* in place (duplicates
+        idempotent).
+    or_reduce:
+        ``(storages, size) -> storage`` — OR-fold one or more
+        equal-size storages into a **new** storage (inputs untouched).
+    popcount:
+        ``(storage, size) -> int`` — number of set bits.
+    unfold:
+        ``(storage, size, repeats) -> storage`` — contents tiled
+        *repeats* times (Eq. 3); result covers ``size * repeats`` bits.
+    joint_zero_counts:
+        ``(a, b, size) -> int`` — zero bits of ``a | b`` (one pair's
+        ``U_c`` statistic) without mutating either input.
+    pairwise_or_popcount:
+        ``(row, rows, size) -> int64[n]`` — set bits of
+        ``row | rows[j]`` for every row *j* of a 2-D stack; the
+        decoder derives ``U_c = size - result``.
+    """
+
+    backend: str
+    set_bits: Callable[[np.ndarray, int, np.ndarray], None]
+    or_reduce: Callable[[Sequence[np.ndarray], int], np.ndarray]
+    popcount: Callable[[np.ndarray, int], int]
+    unfold: Callable[[np.ndarray, int, int], np.ndarray]
+    joint_zero_counts: Callable[[np.ndarray, np.ndarray, int], int]
+    pairwise_or_popcount: Callable[[np.ndarray, np.ndarray, int], np.ndarray]
+
+    def ops(self) -> Mapping[str, Callable]:
+        """The kernels as an op-name -> callable mapping (test/bench
+        harness convenience)."""
+        return {op: getattr(self, op) for op in KERNEL_OPS}
+
+    def with_overrides(self, **overrides: Callable) -> "KernelTable":
+        """A copy of this table with some ops rebound — how a partial
+        accelerator (say, a jitted popcount only) builds its table on
+        top of :func:`table_from_backend` defaults."""
+        unknown = set(overrides) - set(KERNEL_OPS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown kernel ops {sorted(unknown)}; "
+                f"choose from {list(KERNEL_OPS)}"
+            )
+        return _dc_replace(self, **overrides)
+
+
+#: Registered tables, keyed by backend name (kept in lockstep with the
+#: backend registry by :func:`repro.engine.register_backend`).
+_TABLES: Dict[str, KernelTable] = {}
+
+
+def table_from_backend(backend: BitBackend) -> KernelTable:
+    """Build a kernel table from a backend's own primitives.
+
+    The default wiring used for both built-in backends: each kernel
+    delegates to the corresponding :class:`BitBackend` method, with the
+    two compound ops (`or_reduce`, `joint_zero_counts`,
+    `pairwise_or_popcount`) composed from copy/OR/popcount.  An
+    accelerated backend overrides exactly the ops it speeds up via
+    :meth:`KernelTable.with_overrides`.
+    """
+
+    def or_reduce(storages: Sequence[np.ndarray], size: int) -> np.ndarray:
+        iterator = iter(storages)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return backend.zeros(size)
+        out = backend.copy(first)
+        for storage in iterator:
+            backend.or_inplace(out, storage)
+        return out
+
+    def joint_zero_counts(a: np.ndarray, b: np.ndarray, size: int) -> int:
+        return int(size) - backend.count_ones(backend.or_(a, b), size)
+
+    def pairwise_or_popcount(
+        row: np.ndarray, rows: np.ndarray, size: int
+    ) -> np.ndarray:
+        return int(size) - backend.or_zero_counts(row, rows, size)
+
+    return KernelTable(
+        backend=backend.name,
+        set_bits=backend.set_indices,
+        or_reduce=or_reduce,
+        popcount=backend.count_ones,
+        unfold=backend.tile,
+        joint_zero_counts=joint_zero_counts,
+        pairwise_or_popcount=pairwise_or_popcount,
+    )
+
+
+def register_kernels(
+    table: KernelTable, *, replace: bool = False
+) -> KernelTable:
+    """Register *table* under its backend name.
+
+    Normally called for you by :func:`repro.engine.register_backend`,
+    which keeps the backend and kernel registries in lockstep.  Raises
+    :class:`~repro.errors.ConfigurationError` if the name is taken and
+    *replace* is false.
+    """
+    name = table.backend
+    if name in _TABLES and not replace:
+        raise ConfigurationError(
+            f"kernel table for backend {name!r} is already registered; "
+            "pass replace=True to override"
+        )
+    _TABLES[name] = table
+    return table
+
+
+def registered_kernels() -> Tuple[str, ...]:
+    """Backend names with a registered kernel table, sorted."""
+    return tuple(sorted(_TABLES))
+
+
+def get_kernels(backend=None) -> KernelTable:
+    """Resolve *backend* to its kernel table.
+
+    Accepts a backend name, a :class:`BitBackend` instance, a
+    :class:`KernelTable` (returned as-is), or ``None`` for the process
+    default backend.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if isinstance(backend, KernelTable):
+        return backend
+    if backend is None:
+        from repro import engine  # late import; engine imports us first
+
+        name = engine.default_backend_name()
+    elif isinstance(backend, BitBackend):
+        name = backend.name
+    else:
+        name = str(backend)
+    try:
+        return _TABLES[name]
+    except KeyError:
+        choices = ", ".join(registered_kernels())
+        raise ConfigurationError(
+            f"no kernel table registered for backend {name!r}; "
+            f"choose one of {choices}"
+        ) from None

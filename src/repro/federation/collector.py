@@ -55,18 +55,15 @@ def merge_partial_reports(
 
     The pure-function core of the federated collector, factored out so
     the CRDT property tests can exercise the merge without sockets:
-    bits are ORed, counters summed.  All partials must agree on
-    ``rsu_id``, ``period``, and array size; the inputs are not
-    mutated.
+    bits are OR-folded in one ``or_reduce`` kernel call, counters
+    summed.  All partials must agree on ``rsu_id``, ``period``, and
+    array size; the inputs are not mutated.
     """
-    iterator = iter(partials)
-    try:
-        first = next(iterator)
-    except StopIteration:
+    partials = list(partials)
+    if not partials:
         raise ValidationError("cannot merge zero partial reports")
-    bits = first.bits.copy()
-    counter = first.counter
-    for partial in iterator:
+    first = partials[0]
+    for partial in partials[1:]:
         if (
             partial.rsu_id != first.rsu_id
             or partial.period != first.period
@@ -76,8 +73,8 @@ def merge_partial_reports(
                 f"{partial.period} into rsu {first.rsu_id} period "
                 f"{first.period}"
             )
-        bits |= partial.bits
-        counter += partial.counter
+    bits = BitArray.or_reduce([partial.bits for partial in partials])
+    counter = sum(partial.counter for partial in partials)
     return RsuReport(
         rsu_id=first.rsu_id,
         counter=counter,

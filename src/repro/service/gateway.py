@@ -139,6 +139,9 @@ class RsuGateway:
         # Sequenced-delivery state.  Seqs of applied batches (bounded
         # by one day's frame count; senders restart seqs per run).
         self._seen_seqs: Set[int] = set()
+        # RSUs whose radio is currently down (see set_outage): frames
+        # for them are dropped at admission, before the queue.
+        self._outages: Set[int] = set()
         # period -> rsu_id -> the exact Snapshot frame (with its upload
         # seq) produced when the period was first closed; re-closing an
         # already-closed period re-uploads from here instead of calling
@@ -192,6 +195,9 @@ class RsuGateway:
         )
         self._m_backpressure = self.registry.counter(
             "gateway.backpressure_stalls_total"
+        )
+        self._m_outage_dropped = self.registry.counter(
+            "gateway.outage_dropped_total"
         )
         self._m_queue_depth = self.registry.gauge("gateway.queue_depth")
         self._m_flush_seconds = self.registry.histogram(
@@ -269,6 +275,37 @@ class RsuGateway:
     def backpressure_stalls(self) -> int:
         """Times a reader blocked on a full ingest queue."""
         return int(self._m_backpressure.value)
+
+    @property
+    def outage_dropped(self) -> int:
+        """Responses dropped because their RSU's radio was down."""
+        return int(self._m_outage_dropped.value)
+
+    # ------------------------------------------------------------------
+    # Scheduled RSU outages (the chaos drill's switch; docs/scenarios.md)
+    # ------------------------------------------------------------------
+    def set_outage(self, rsu_ids) -> None:
+        """Silence the given RSUs: until :meth:`clear_outage`, frames
+        addressed to them are dropped at admission (counted in
+        ``gateway.outage_dropped_total``), as if the roadside radio
+        went dark mid-period.
+
+        The TCP plane stays up — sequenced frames are still acked so a
+        well-behaved sender does not retry into the hole — only the
+        measurement state goes unfed.  Unknown ids are ignored (a shard
+        gateway owns just its partition of the fleet).
+        """
+        self._outages.update(int(rsu_id) for rsu_id in rsu_ids)
+
+    def clear_outage(self, rsu_ids=None) -> None:
+        """Bring RSUs back: *rsu_ids* (or with ``None``, all of them)
+        resume recording from the next frame."""
+        if rsu_ids is None:
+            self._outages.clear()
+        else:
+            self._outages.difference_update(
+                int(rsu_id) for rsu_id in rsu_ids
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -416,6 +453,17 @@ class RsuGateway:
                 writer, wire.E_UNKNOWN_RSU, f"unknown RSU {rsu_id}"
             )
             return
+        if rsu_id in self._outages:
+            # Scheduled outage: the radio is down, so the responses
+            # never reach the measurement state.  The transport is
+            # still alive, so sequenced frames are acked (and their
+            # seqs burned) — the sender must not resend into the hole.
+            self._m_outage_dropped.inc(int(macs.size))
+            if seq and seq not in self._seen_seqs:
+                self._seen_seqs.add(seq)
+            if seq:
+                await self._reply_ack(writer, seq, duplicate=False)
+            return
         if seq:
             # Sequenced delivery: a batch the sender may retransmit
             # after a fault.  Apply exactly once, ack every time.
@@ -475,11 +523,18 @@ class RsuGateway:
         if not chunks:
             return
         start = self.registry.clock()
-        macs = np.concatenate([np.asarray(m, dtype=np.uint64) for m, _ in chunks])
-        indices = np.concatenate(
-            [np.asarray(i, dtype=np.int64) for _, i in chunks]
-        )
-        recorded = self.rsus[rsu_id].handle_index_batch(macs, indices)
+        if len(chunks) == 1:
+            # The common case: one wire frame pending — hand its
+            # zero-copy big-endian views straight to the RSU, no
+            # concatenation, no byteswap.
+            macs, indices = chunks[0]
+        else:
+            # Multi-frame flush: one fused concatenate per side (numpy
+            # normalizes byte order while copying, so the RSU still
+            # sees each element touched exactly once).
+            macs = np.concatenate([m for m, _ in chunks])
+            indices = np.concatenate([i for _, i in chunks])
+        recorded = self.rsus[rsu_id].handle_wire_batch(macs, indices)
         self._m_recorded.inc(recorded)
         self._m_rejected.inc(int(indices.size) - recorded)
         self._m_flush_seconds.observe(self.registry.clock() - start)

@@ -299,21 +299,24 @@ def _day_batches(
 
 
 def _day_window_batches(
-    spec: DeploymentSpec, wire_batch: int, windows: int
+    spec: DeploymentSpec, wire_batch: int, windows: int, period: int = 0
 ) -> List[List[wire.ResponseBatch]]:
-    """The day as *windows* sequential phases of sequenced batches.
+    """Day *period* as *windows* sequential phases of sequenced batches.
 
     Each RSU's day of responses is split into *windows* contiguous
     slices (``np.array_split``: near-equal, deterministic); slice *w*
     of every RSU forms phase *w* — the responses "observed during"
     sub-period window *w*.  Seqs number the frames globally across
-    phases, matching the gateway's per-period dedup scope.
+    phases, matching the gateway's per-period dedup scope.  As in
+    :func:`_day_batches`, the MAC stream is seeded ``spec.seed +
+    period`` so period 0 replays byte-identically to the historical
+    single-period behaviour.
     """
-    mac_rng = as_generator(spec.seed)
+    mac_rng = as_generator(spec.seed + int(period))
     phases: List[List[wire.ResponseBatch]] = [[] for _ in range(windows)]
     seq = 1
     for rsu_id in spec.scheme.rsu_ids:
-        indices = spec.response_indices(rsu_id)
+        indices = spec.response_indices(rsu_id, period=period)
         if indices.size == 0:
             continue
         macs = random_macs(indices.size, seed=mac_rng)

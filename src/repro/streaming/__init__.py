@@ -430,7 +430,10 @@ class StreamingDecoder:
             killed = int(positions.size) - int(peer_bits.sum())
             pairs[_pair_key(state.rsu_id, other.rsu_id)] -= killed
             registry.counter("stream.pair_updates_total").inc()
-        state.bits.set_bits(newly)
+        # Indices were already proven in-range (the gather above, or
+        # the caller's mask diff), so scatter through the trusted
+        # kernel path without re-validating.
+        state.bits.set_bits_unchecked(newly)
         return int(newly.size)
 
     # ------------------------------------------------------------------
@@ -513,13 +516,19 @@ class StreamingDecoder:
         self, state: _RsuStream, period: int, lo: int, hi: int
     ) -> RsuReport:
         """One RSU's report over windows ``lo..hi`` inclusive."""
-        bits = BitArray(state.size, backend=self.engine)
-        counter = 0
-        for w in range(lo, hi + 1):
-            ring = state.window_bits.get(w)
-            if ring is not None:
-                bits |= ring
-            counter += state.window_counters.get(w, 0)
+        rings = [
+            ring
+            for ring in (
+                state.window_bits.get(w) for w in range(lo, hi + 1)
+            )
+            if ring is not None
+        ]
+        bits = BitArray.or_reduce(
+            rings, size=state.size, backend=self.engine
+        )
+        counter = sum(
+            state.window_counters.get(w, 0) for w in range(lo, hi + 1)
+        )
         return RsuReport(
             rsu_id=state.rsu_id, counter=counter, bits=bits, period=period
         )

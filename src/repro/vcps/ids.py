@@ -53,8 +53,23 @@ def is_locally_administered(mac: int) -> bool:
     return bool(mac & _LOCAL_BIT) and not bool(mac & _MULTICAST_BIT)
 
 
+#: Big-endian uint64, the dtype wire frames decode MACs into.
+_BE_U64 = np.dtype(">u8")
+
+
 def locally_administered_mask(macs: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`is_locally_administered` over a uint64 array."""
+    """Vectorized :func:`is_locally_administered` over a uint64 array.
+
+    Big-endian input (the zero-copy ``>u8`` views wire frames decode
+    into) takes a strided byte read instead of a byteswap copy: both
+    flag bits live in the MAC's first octet — bits 47-40 of the word,
+    byte 2 of its big-endian serialization — so one ``uint8`` stride
+    picks them out of the network buffer in place.
+    """
+    macs = np.asarray(macs)
+    if macs.dtype == _BE_U64 and macs.flags.c_contiguous:
+        first_octet = macs.view(np.uint8)[2::8]
+        return (first_octet & 0x03) == 0x02
     macs = np.asarray(macs, dtype=np.uint64)
     local = (macs & np.uint64(_LOCAL_BIT)) != 0
     unicast = (macs & np.uint64(_MULTICAST_BIT)) == 0

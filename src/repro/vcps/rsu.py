@@ -154,6 +154,49 @@ class RoadsideUnit:
             self._window_state.record_many(indices)
         return int(indices.size)
 
+    def handle_wire_batch(
+        self, macs: np.ndarray, indices: np.ndarray
+    ) -> int:
+        """Zero-copy ingest of wire-decoded response views.
+
+        Takes the arrays a :class:`~repro.service.wire.ResponseBatch`
+        decode yields — big-endian ``>u8`` MAC and ``>u4`` index views
+        straight over the frame payload — and fuses the whole admission
+        into one pass: MAC validity via a strided byte read (no
+        byteswap copy; see
+        :func:`~repro.vcps.ids.locally_administered_mask`), one bounds
+        compare, one widening ``astype`` to ``int64``, and a trusted
+        scatter (:meth:`~repro.core.encoder.RsuState.record_trusted`)
+        instead of the three re-validations the
+        :meth:`handle_index_batch` path repeats.  Semantically
+        identical to :meth:`handle_index_batch` — same rejects, same
+        bits, same counter — just without the intermediate copies
+        (``benchmarks/bench_kernels.py`` gates the speedup).
+        """
+        macs = np.asarray(macs)
+        indices = np.asarray(indices)
+        if macs.shape != indices.shape:
+            raise ProtocolError(
+                f"mac batch shape {macs.shape} != index batch shape "
+                f"{indices.shape}"
+            )
+        m = self._state.array_size
+        valid = locally_administered_mask(macs)
+        idx = indices.astype(np.int64)  # one fused byteswap + widen
+        valid &= idx < m
+        if not np.issubdtype(indices.dtype, np.unsignedinteger):
+            valid &= idx >= 0
+        recorded = int(valid.sum())
+        rejected = idx.size - recorded
+        if rejected:
+            # Only a batch with rejects pays for the filter copy.
+            self._rejected += rejected
+            idx = idx[valid]
+        self._state.record_trusted(idx)
+        if self._window_state is not None:
+            self._window_state.record_trusted(idx)
+        return recorded
+
     @property
     def counter(self) -> int:
         """Current period's vehicle count ``n_x``."""

@@ -24,12 +24,18 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import engine
 from repro.core.bitarray import BitArray
 from repro.core.parameters import SchemeParameters
 from repro.core.reports import RsuReport
-from repro.errors import AuthenticationError, ProtocolError, WireError
+from repro.errors import (
+    AuthenticationError,
+    ProtocolError,
+    ValidationError,
+    WireError,
+)
 from repro.service import wire
-from repro.vcps.ids import random_mac
+from repro.vcps.ids import random_mac, random_macs
 from repro.vcps.messages import Query, Response
 from repro.vcps.pki import CertificateAuthority
 from repro.vcps.rsu import RoadsideUnit
@@ -298,3 +304,125 @@ class TestRandomGarbage:
             return
         assert consumed <= len(blob)
         assert isinstance(message, wire.Message.__args__)
+
+
+# ----------------------------------------------------------------------
+# Padding contract: from_bytes / or_bytes / zero-copy ingest, fuzzed
+# across every registered kernel backend
+# ----------------------------------------------------------------------
+@st.composite
+def sized_payloads(draw):
+    """A bit-array size and a payload of exactly the right length
+    (whose padding bits may or may not be dirty)."""
+    size = draw(st.integers(min_value=1, max_value=256))
+    nbytes = (size + 7) // 8
+    data = draw(st.binary(min_size=nbytes, max_size=nbytes))
+    return size, data
+
+
+def _padding_dirty(size, data):
+    tail = size % 8
+    return bool(tail and data[-1] & ((1 << (8 - tail)) - 1))
+
+
+class TestPaddingRejectionFuzz:
+    """Deserialization must reject payloads whose padding bits past
+    ``size`` are set — on every registered backend, because an accepted
+    dirty pad would skew the zero-bit statistics differently per
+    backend and break bit-identity."""
+
+    @pytest.mark.parametrize("backend", engine.available_backends())
+    @given(sized_payloads())
+    @settings(max_examples=60, deadline=None)
+    def test_from_bytes_contract_on_every_backend(self, backend, payload):
+        size, data = payload
+        if _padding_dirty(size, data):
+            with pytest.raises(ValidationError):
+                BitArray.from_bytes(data, size, backend=backend)
+        else:
+            array = BitArray.from_bytes(data, size, backend=backend)
+            assert array.to_bytes() == data
+            assert array.count_ones() == sum(
+                bin(byte).count("1") for byte in data
+            )
+
+    @pytest.mark.parametrize("backend", engine.available_backends())
+    @given(sized_payloads(), st.sampled_from([-2, -1, 1, 2]))
+    @settings(max_examples=40, deadline=None)
+    def test_wrong_length_rejected_on_every_backend(
+        self, backend, payload, delta
+    ):
+        size, data = payload
+        resized = data[:delta] if delta < 0 else data + b"\x00" * delta
+        with pytest.raises(ValidationError):
+            BitArray.from_bytes(resized, size, backend=backend)
+
+    @pytest.mark.parametrize("backend", engine.available_backends())
+    @given(sized_payloads())
+    @settings(max_examples=60, deadline=None)
+    def test_or_bytes_contract_on_every_backend(self, backend, payload):
+        size, data = payload
+        array = BitArray(size, backend=backend)
+        if _padding_dirty(size, data):
+            with pytest.raises(ValidationError):
+                array.or_bytes(data)
+            assert array.count_ones() == 0, "rejected payload mutated state"
+        else:
+            array.or_bytes(data)
+            assert array.to_bytes() == data
+
+    def test_snapshot_with_dirty_padding_is_rejected(self):
+        """A hostile period snapshot whose pad bits are set dies in the
+        codec itself, and — defense in depth — a hand-constructed
+        message object still dies at report reconstruction, before it
+        can touch collector state."""
+        snapshot = wire.Snapshot(
+            rsu_id=1,
+            period=0,
+            counter=3,
+            array_size=21,
+            packed_bits=b"\xff\xff\xff",
+            seq=1,
+        )
+        with pytest.raises(WireError, match="padding"):
+            wire.decode_frame(wire.encode_frame(snapshot))
+        with pytest.raises(ValidationError):
+            snapshot.to_report()
+        clean = wire.Snapshot.from_report(_report(), seq=1)
+        decoded, _ = wire.decode_frame(wire.encode_frame(clean))
+        assert decoded.to_report().bits == _report().bits
+
+    @pytest.mark.parametrize("backend", engine.available_backends())
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_wire_ingest_matches_index_ingest_on_every_backend(
+        self, backend, seed, count
+    ):
+        """The zero-copy admission path must make byte-identical
+        accept/reject decisions to the validated path, for any mix of
+        vendor MACs and out-of-range indices, on every backend."""
+        rng = np.random.default_rng(seed)
+        m = 64
+        macs = random_macs(count, seed=rng)
+        vendor = rng.random(count) < 0.25
+        macs[vendor] &= ~np.uint64(0x02_00_00_00_00_00)
+        indices = rng.integers(0, 2 * m, size=count, dtype=np.uint32)
+        ca = CertificateAuthority(seed=1)
+        validated = RoadsideUnit(1, m, ca.issue(1), engine=backend)
+        zero_copy = RoadsideUnit(1, m, ca.issue(1), engine=backend)
+        validated.handle_index_batch(
+            macs.astype(np.uint64), indices.astype(np.int64)
+        )
+        zero_copy.handle_wire_batch(
+            macs.astype(">u8"), indices.astype(">u4")
+        )
+        assert zero_copy.counter == validated.counter
+        assert (
+            zero_copy.rejected_responses == validated.rejected_responses
+        )
+        assert (
+            zero_copy.end_period().bits == validated.end_period().bits
+        )
